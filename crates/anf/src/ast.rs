@@ -1,0 +1,347 @@
+//! Abstract syntax of the paper's *restricted subset* of Λ (§2):
+//!
+//! ```text
+//! M ::= V
+//!     | (let (x V) M)
+//!     | (let (x (V V)) M)
+//!     | (let (x (if0 V M M)) M)
+//!     | (let (x (loop)) M)          ; §6.2 extension
+//! V ::= n | x | add1 | sub1 | (λx.M)
+//! ```
+//!
+//! Every intermediate result is named — the data flow analyzers associate
+//! information with variables instead of expression labels (footnote 2 of the
+//! paper). Every node additionally carries a [`Label`] so abstract closures
+//! and continuations can be identified by program point.
+
+use cpsdfa_syntax::ast::{Term, Value};
+use cpsdfa_syntax::{Ident, Label};
+use std::fmt;
+
+/// A term of the restricted subset, with a program-point label.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Anf {
+    /// The label of this node (assigned by [`crate::program::AnfProgram`]).
+    pub label: Label,
+    /// The structure of the term.
+    pub kind: AnfKind,
+}
+
+/// The shape of an ANF term: a value in tail position, or a `let`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum AnfKind {
+    /// A value in tail position — the result of the whole term.
+    Value(AVal),
+    /// `(let (x B) M)` for a binding form `B`.
+    Let {
+        /// The bound variable `x`.
+        var: Ident,
+        /// The right-hand side.
+        bind: Bind,
+        /// The body `M`.
+        body: Box<Anf>,
+    },
+}
+
+/// The right-hand side of a `let` binding.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Bind {
+    /// `(let (x V) M)` — bind a value.
+    Value(AVal),
+    /// `(let (x (V V)) M)` — bind the result of an application.
+    App(AVal, AVal),
+    /// `(let (x (if0 V M M)) M)` — bind the result of a conditional.
+    If0(AVal, Box<Anf>, Box<Anf>),
+    /// `(let (x (loop)) M)` — the §6.2 infinite-value construct.
+    Loop,
+}
+
+/// A syntactic value of the restricted subset, with a label.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AVal {
+    /// The label of this value (for λ this identifies the abstract closure).
+    pub label: Label,
+    /// The structure of the value.
+    pub kind: AValKind,
+}
+
+/// The shape of an ANF value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum AValKind {
+    /// A numeral.
+    Num(i64),
+    /// A variable occurrence.
+    Var(Ident),
+    /// The successor primitive.
+    Add1,
+    /// The predecessor primitive.
+    Sub1,
+    /// A user procedure `(λx.M)` with ANF body.
+    Lam(Ident, Box<Anf>),
+}
+
+impl Anf {
+    /// Creates an unlabeled node; labels are assigned by the program builder.
+    pub fn new(kind: AnfKind) -> Self {
+        Anf { label: Label::UNASSIGNED, kind }
+    }
+
+    /// The number of nodes (terms + values) in the term.
+    pub fn size(&self) -> usize {
+        match &self.kind {
+            AnfKind::Value(v) => 1 + v.size(),
+            AnfKind::Let { bind, body, .. } => 1 + bind.size() + body.size(),
+        }
+    }
+
+    /// Visits every `Anf` node (including `if0` arms and λ bodies),
+    /// outermost first.
+    pub fn visit_terms<'a>(&'a self, f: &mut impl FnMut(&'a Anf)) {
+        f(self);
+        match &self.kind {
+            AnfKind::Value(v) => v.visit_inner_terms(f),
+            AnfKind::Let { bind, body, .. } => {
+                match bind {
+                    Bind::Value(v) => v.visit_inner_terms(f),
+                    Bind::App(a, b) => {
+                        a.visit_inner_terms(f);
+                        b.visit_inner_terms(f);
+                    }
+                    Bind::If0(c, t, e) => {
+                        c.visit_inner_terms(f);
+                        t.visit_terms(f);
+                        e.visit_terms(f);
+                    }
+                    Bind::Loop => {}
+                }
+                body.visit_terms(f);
+            }
+        }
+    }
+
+    /// Visits every value node in the term, outermost first.
+    pub fn visit_values<'a>(&'a self, f: &mut impl FnMut(&'a AVal)) {
+        match &self.kind {
+            AnfKind::Value(v) => v.visit_values(f),
+            AnfKind::Let { bind, body, .. } => {
+                match bind {
+                    Bind::Value(v) => v.visit_values(f),
+                    Bind::App(a, b) => {
+                        a.visit_values(f);
+                        b.visit_values(f);
+                    }
+                    Bind::If0(c, t, e) => {
+                        c.visit_values(f);
+                        t.visit_values(f);
+                        e.visit_values(f);
+                    }
+                    Bind::Loop => {}
+                }
+                body.visit_values(f);
+            }
+        }
+    }
+
+    /// Converts back into the full language Λ (left inverse of normalization
+    /// up to α-equivalence; used for differential testing and printing).
+    pub fn to_term(&self) -> Term {
+        match &self.kind {
+            AnfKind::Value(v) => Term::Value(v.to_value()),
+            AnfKind::Let { var, bind, body } => Term::Let(
+                var.clone(),
+                Box::new(bind.to_term()),
+                Box::new(body.to_term()),
+            ),
+        }
+    }
+}
+
+impl AVal {
+    /// Creates an unlabeled value node.
+    pub fn new(kind: AValKind) -> Self {
+        AVal { label: Label::UNASSIGNED, kind }
+    }
+
+    /// The number of nodes in the value.
+    pub fn size(&self) -> usize {
+        match &self.kind {
+            AValKind::Lam(_, body) => 1 + body.size(),
+            _ => 1,
+        }
+    }
+
+    /// True for λ values.
+    pub fn is_lambda(&self) -> bool {
+        matches!(self.kind, AValKind::Lam(..))
+    }
+
+    fn visit_inner_terms<'a>(&'a self, f: &mut impl FnMut(&'a Anf)) {
+        if let AValKind::Lam(_, body) = &self.kind {
+            body.visit_terms(f);
+        }
+    }
+
+    fn visit_values<'a>(&'a self, f: &mut impl FnMut(&'a AVal)) {
+        f(self);
+        if let AValKind::Lam(_, body) = &self.kind {
+            body.visit_values(f);
+        }
+    }
+
+    /// Converts back into a Λ value.
+    pub fn to_value(&self) -> Value {
+        match &self.kind {
+            AValKind::Num(n) => Value::Num(*n),
+            AValKind::Var(x) => Value::Var(x.clone()),
+            AValKind::Add1 => Value::Add1,
+            AValKind::Sub1 => Value::Sub1,
+            AValKind::Lam(x, body) => Value::Lam(x.clone(), Box::new(body.to_term())),
+        }
+    }
+}
+
+impl Bind {
+    /// The number of nodes in the binding form.
+    pub fn size(&self) -> usize {
+        match self {
+            Bind::Value(v) => v.size(),
+            Bind::App(a, b) => 1 + a.size() + b.size(),
+            Bind::If0(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Bind::Loop => 1,
+        }
+    }
+
+    /// Converts back into a Λ term.
+    pub fn to_term(&self) -> Term {
+        match self {
+            Bind::Value(v) => Term::Value(v.to_value()),
+            Bind::App(f, a) => Term::App(
+                Box::new(Term::Value(f.to_value())),
+                Box::new(Term::Value(a.to_value())),
+            ),
+            Bind::If0(c, t, e) => Term::If0(
+                Box::new(Term::Value(c.to_value())),
+                Box::new(t.to_term()),
+                Box::new(e.to_term()),
+            ),
+            Bind::Loop => Term::Loop,
+        }
+    }
+}
+
+impl fmt::Display for Anf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_term())
+    }
+}
+
+impl fmt::Display for AVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_value())
+    }
+}
+
+impl fmt::Display for Bind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_term())
+    }
+}
+
+impl fmt::Debug for Anf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self, self.label)
+    }
+}
+
+impl fmt::Debug for AVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self, self.label)
+    }
+}
+
+impl fmt::Debug for Bind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Anf {
+        // (let (x 1) (let (y (add1 x)) y))
+        Anf::new(AnfKind::Let {
+            var: Ident::new("x"),
+            bind: Bind::Value(AVal::new(AValKind::Num(1))),
+            body: Box::new(Anf::new(AnfKind::Let {
+                var: Ident::new("y"),
+                bind: Bind::App(
+                    AVal::new(AValKind::Add1),
+                    AVal::new(AValKind::Var(Ident::new("x"))),
+                ),
+                body: Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Var(
+                    Ident::new("y"),
+                ))))),
+            })),
+        })
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(sample().to_string(), "(let (x 1) (let (y (add1 x)) y))");
+    }
+
+    #[test]
+    fn size_counts_terms_and_values() {
+        // let + 1 + let + app + add1 + x + value-term + y = 8
+        assert_eq!(sample().size(), 8);
+    }
+
+    #[test]
+    fn visit_terms_reaches_if0_arms_and_lambda_bodies() {
+        let t = Anf::new(AnfKind::Let {
+            var: Ident::new("r"),
+            bind: Bind::If0(
+                AVal::new(AValKind::Num(0)),
+                Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Num(1))))),
+                Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Lam(
+                    Ident::new("z"),
+                    Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Var(
+                        Ident::new("z"),
+                    ))))),
+                ))))),
+            ),
+            body: Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Var(
+                Ident::new("r"),
+            ))))),
+        });
+        let mut count = 0;
+        t.visit_terms(&mut |_| count += 1);
+        // let, then-arm, else-arm, lambda body, outer body
+        assert_eq!(count, 5);
+        let mut values = 0;
+        t.visit_values(&mut |_| values += 1);
+        // 0, 1, lambda, z, r
+        assert_eq!(values, 5);
+    }
+
+    #[test]
+    fn to_term_roundtrips_through_display() {
+        let t = sample();
+        let term = t.to_term();
+        assert_eq!(term.to_string(), t.to_string());
+    }
+
+    #[test]
+    fn loop_bind_prints() {
+        let t = Anf::new(AnfKind::Let {
+            var: Ident::new("x"),
+            bind: Bind::Loop,
+            body: Box::new(Anf::new(AnfKind::Value(AVal::new(AValKind::Var(
+                Ident::new("x"),
+            ))))),
+        });
+        assert_eq!(t.to_string(), "(let (x (loop)) x)");
+    }
+}

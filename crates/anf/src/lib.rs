@@ -1,0 +1,33 @@
+//! A-normal forms: the paper's *restricted subset* of Λ (§2).
+//!
+//! The data flow analyzers of Sabry & Felleisen (PLDI 1994) operate on a
+//! restricted language in which every intermediate result is named and all
+//! bound variables are unique:
+//!
+//! ```text
+//! M ::= V | (let (x V) M) | (let (x (V V)) M) | (let (x (if0 V M M)) M)
+//! V ::= n | x | add1 | sub1 | (λx.M)
+//! ```
+//!
+//! This crate provides the [ANF abstract syntax](ast), the
+//! [A-normalization pass](mod@normalize) (the A-reductions of Flanagan et al.,
+//! PLDI 1993), and [`AnfProgram`] — a labeled, indexed, validated program
+//! ready for interpretation and analysis.
+//!
+//! ```
+//! use cpsdfa_anf::AnfProgram;
+//! let p = AnfProgram::parse("(f (let (x 1) (g x)))")?;
+//! assert_eq!(
+//!     p.root().to_string(),
+//!     "(let (x 1) (let (t%0 (g x)) (let (t%1 (f t%0)) t%1)))"
+//! );
+//! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod normalize;
+pub mod program;
+
+pub use ast::{AVal, AValKind, Anf, AnfKind, Bind};
+pub use normalize::normalize;
+pub use program::{AnfError, AnfProgram, LambdaRef, VarId};

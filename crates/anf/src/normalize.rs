@@ -1,0 +1,209 @@
+//! A-normalization: translate full Λ into the restricted subset.
+//!
+//! The paper (§2, footnote 2) normalizes with the *A-reductions* of Flanagan,
+//! Sabry, Duba & Felleisen, "The Essence of Compiling with Continuations"
+//! (PLDI 1993): every intermediate result receives a name, and nested `let`s
+//! are re-ordered so expressions appear in evaluation order. For example
+//!
+//! ```text
+//! (f (let (x 1) (g x)))   ⇒   (let (x 1) (let (t (g x)) (let (u (f t)) u)))
+//! ```
+//!
+//! Normalization preserves the call-by-value semantics (checked by
+//! differential tests against the reference interpreter in `cpsdfa-interp`).
+
+use crate::ast::{AVal, AValKind, Anf, AnfKind, Bind};
+use cpsdfa_syntax::ast::{Term, Value};
+use cpsdfa_syntax::FreshGen;
+
+/// Normalizes a Λ term into the restricted subset, drawing fresh names for
+/// intermediate results from `gen`.
+///
+/// The input should have unique binders (see
+/// [`cpsdfa_syntax::fresh::freshen`]); [`crate::AnfProgram::from_term`]
+/// arranges this automatically.
+pub fn normalize(term: &Term, gen: &mut FreshGen) -> Anf {
+    norm_term(term, gen, Box::new(|_, v| Anf::new(AnfKind::Value(v))))
+}
+
+/// A normalization continuation: receives the value naming the result of the
+/// sub-term and produces the rest of the normalized program.
+type K<'a> = Box<dyn FnOnce(&mut FreshGen, AVal) -> Anf + 'a>;
+
+/// A binding continuation: receives the [`Bind`] form for a right-hand side.
+type KB<'a> = Box<dyn FnOnce(&mut FreshGen, Bind) -> Anf + 'a>;
+
+fn norm_term<'a>(term: &'a Term, gen: &mut FreshGen, k: K<'a>) -> Anf {
+    match term {
+        Term::Value(v) => {
+            let av = norm_value(v, gen);
+            k(gen, av)
+        }
+        Term::Let(x, rhs, body) => norm_bind(
+            rhs,
+            gen,
+            Box::new(move |gen, bind| {
+                let body = norm_term(body, gen, k);
+                Anf::new(AnfKind::Let { var: x.clone(), bind, body: Box::new(body) })
+            }),
+        ),
+        // Unnamed serious terms: name the result and continue with the name.
+        Term::App(..) | Term::If0(..) | Term::Loop => norm_bind(
+            term,
+            gen,
+            Box::new(move |gen, bind| {
+                let t = gen.fresh("t");
+                let var_ref = AVal::new(AValKind::Var(t.clone()));
+                let body = k(gen, var_ref);
+                Anf::new(AnfKind::Let { var: t, bind, body: Box::new(body) })
+            }),
+        ),
+    }
+}
+
+/// Normalizes a term destined for a `let` right-hand side into a [`Bind`],
+/// floating enclosing `let`s outward (the second A-reduction phase).
+fn norm_bind<'a>(term: &'a Term, gen: &mut FreshGen, kb: KB<'a>) -> Anf {
+    match term {
+        Term::Value(v) => {
+            let av = norm_value(v, gen);
+            kb(gen, Bind::Value(av))
+        }
+        Term::App(f, a) => norm_term(
+            f,
+            gen,
+            Box::new(move |gen, vf| {
+                norm_term(
+                    a,
+                    gen,
+                    Box::new(move |gen, va| kb(gen, Bind::App(vf, va))),
+                )
+            }),
+        ),
+        Term::If0(c, t, e) => norm_term(
+            c,
+            gen,
+            Box::new(move |gen, vc| {
+                let then_ = normalize(t, gen);
+                let else_ = normalize(e, gen);
+                kb(gen, Bind::If0(vc, Box::new(then_), Box::new(else_)))
+            }),
+        ),
+        // (let (x (let (y N) M)) B) ⇒ (let (y N) (let (x M) B))
+        Term::Let(y, rhs, body) => norm_bind(
+            rhs,
+            gen,
+            Box::new(move |gen, bind_rhs| {
+                let rest = norm_bind(body, gen, kb);
+                Anf::new(AnfKind::Let { var: y.clone(), bind: bind_rhs, body: Box::new(rest) })
+            }),
+        ),
+        Term::Loop => kb(gen, Bind::Loop),
+    }
+}
+
+fn norm_value(value: &Value, gen: &mut FreshGen) -> AVal {
+    let kind = match value {
+        Value::Num(n) => AValKind::Num(*n),
+        Value::Var(x) => AValKind::Var(x.clone()),
+        Value::Add1 => AValKind::Add1,
+        Value::Sub1 => AValKind::Sub1,
+        Value::Lam(x, body) => {
+            let body = normalize(body, gen);
+            AValKind::Lam(x.clone(), Box::new(body))
+        }
+    };
+    AVal::new(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_syntax::parse::parse_term;
+
+    fn norm(src: &str) -> String {
+        let term = parse_term(src).unwrap();
+        let mut gen = FreshGen::new();
+        normalize(&term, &mut gen).to_string()
+    }
+
+    #[test]
+    fn values_are_already_normal() {
+        assert_eq!(norm("42"), "42");
+        assert_eq!(norm("x"), "x");
+        assert_eq!(norm("(lambda (x) x)"), "(lambda (x) x)");
+    }
+
+    #[test]
+    fn paper_example_from_section_2() {
+        // (f (let (x 1) (g x))) becomes
+        // (let (x1 1) (let (x2 (g x1)) (let (x3 (f x2)) x3)))
+        assert_eq!(
+            norm("(f (let (x 1) (g x)))"),
+            "(let (x 1) (let (t%0 (g x)) (let (t%1 (f t%0)) t%1)))"
+        );
+    }
+
+    #[test]
+    fn applications_are_named() {
+        assert_eq!(norm("(f 1)"), "(let (t%0 (f 1)) t%0)");
+        assert_eq!(
+            norm("(f (g 1))"),
+            "(let (t%0 (g 1)) (let (t%1 (f t%0)) t%1))"
+        );
+    }
+
+    #[test]
+    fn let_of_app_binds_directly() {
+        // No intermediate temporary: (let (a (f 1)) a) is already normal.
+        assert_eq!(norm("(let (a (f 1)) a)"), "(let (a (f 1)) a)");
+    }
+
+    #[test]
+    fn if0_is_named_and_arms_are_normalized() {
+        assert_eq!(
+            norm("(if0 z (f 1) 2)"),
+            "(let (t%1 (if0 z (let (t%0 (f 1)) t%0) 2)) t%1)"
+        );
+    }
+
+    #[test]
+    fn let_reassociation_floats_bindings_out() {
+        assert_eq!(
+            norm("(let (x (let (y 1) y)) x)"),
+            "(let (y 1) (let (x y) x))"
+        );
+    }
+
+    #[test]
+    fn reordering_reflects_evaluation_order() {
+        // Paper footnote 2: (add1 (let (x V) 0)) ⇒ (let (x V) (add1 0)).
+        assert_eq!(
+            norm("(add1 (let (x 5) 0))"),
+            "(let (x 5) (let (t%0 (add1 0)) t%0))"
+        );
+    }
+
+    #[test]
+    fn lambda_bodies_are_normalized() {
+        assert_eq!(
+            norm("(lambda (x) (f (g x)))"),
+            "(lambda (x) (let (t%0 (g x)) (let (t%1 (f t%0)) t%1)))"
+        );
+    }
+
+    #[test]
+    fn loop_is_named() {
+        assert_eq!(norm("(loop)"), "(let (t%0 (loop)) t%0)");
+        assert_eq!(norm("(let (x (loop)) x)"), "(let (x (loop)) x)");
+    }
+
+    #[test]
+    fn complex_operand_order() {
+        // Operator normalized before operand.
+        assert_eq!(
+            norm("((f 1) (g 2))"),
+            "(let (t%0 (f 1)) (let (t%1 (g 2)) (let (t%2 (t%0 t%1)) t%2)))"
+        );
+    }
+}

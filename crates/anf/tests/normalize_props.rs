@@ -1,0 +1,104 @@
+//! Property tests for A-normalization: idempotence, shape preservation,
+//! and the structural invariants of the restricted subset.
+
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind};
+use cpsdfa_syntax::ast::{Term, Value};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "f", "g", "x", "y"]).prop_map(str::to_owned)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|n| Term::Value(Value::Num(n))),
+        ident_strategy().prop_map(|x| Term::Value(Value::Var(x.into()))),
+        Just(Term::Value(Value::Add1)),
+        Just(Term::Value(Value::Sub1)),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (ident_strategy(), inner.clone())
+                .prop_map(|(x, b)| Term::Value(Value::Lam(x.into(), Box::new(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
+            (ident_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(x, r, b)| Term::Let(x.into(), Box::new(r), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Term::If0(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+/// The restricted grammar of §2, checked structurally: every `let` right-
+/// hand side is a value, a value application, a conditional on a value, or
+/// `loop`; conditionals and applications appear nowhere else.
+fn assert_restricted(m: &Anf) {
+    match &m.kind {
+        AnfKind::Value(v) => assert_value(v),
+        AnfKind::Let { bind, body, .. } => {
+            match bind {
+                Bind::Value(v) => assert_value(v),
+                Bind::App(f, a) => {
+                    assert_value(f);
+                    assert_value(a);
+                }
+                Bind::If0(c, t, e) => {
+                    assert_value(c);
+                    assert_restricted(t);
+                    assert_restricted(e);
+                }
+                Bind::Loop => {}
+            }
+            assert_restricted(body);
+        }
+    }
+}
+
+fn assert_value(v: &AVal) {
+    if let AValKind::Lam(_, body) = &v.kind {
+        assert_restricted(body);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalization_produces_the_restricted_subset(t in term_strategy()) {
+        let p = AnfProgram::from_term(&t);
+        assert_restricted(p.root());
+    }
+
+    #[test]
+    fn normalization_is_idempotent_up_to_size(t in term_strategy()) {
+        // Re-normalizing an already-normal program neither grows nor
+        // shrinks it (temporaries may be renamed, structure is stable).
+        let p1 = AnfProgram::from_term(&t);
+        let p2 = AnfProgram::from_term(&p1.root().to_term());
+        prop_assert_eq!(p1.root().size(), p2.root().size());
+        prop_assert_eq!(p1.num_vars(), p2.num_vars());
+        prop_assert_eq!(p1.lambda_labels().len(), p2.lambda_labels().len());
+    }
+
+    #[test]
+    fn normalization_preserves_lambda_count_and_free_vars(t in term_strategy()) {
+        use cpsdfa_syntax::free::free_vars;
+        let p = AnfProgram::from_term(&t);
+        let normal = p.root().to_term();
+        prop_assert_eq!(normal.lambda_count(), t.lambda_count());
+        prop_assert_eq!(free_vars(&normal), free_vars(&t));
+    }
+
+    #[test]
+    fn labels_are_dense_and_unique(t in term_strategy()) {
+        let p = AnfProgram::from_term(&t);
+        let mut labels = Vec::new();
+        p.root().visit_terms(&mut |m| labels.push(m.label));
+        p.root().visit_values(&mut |v| labels.push(v.label));
+        let unique: std::collections::HashSet<_> = labels.iter().copied().collect();
+        prop_assert!(labels.iter().all(|l| l.is_assigned()));
+        prop_assert_eq!(unique.len(), labels.len());
+        prop_assert_eq!(labels.len() as u32, p.label_count());
+    }
+}

@@ -1,0 +1,48 @@
+//! E12/E14: cost of the control-flow analysis formulations — monovariant
+//! constraint 0CFA, continuation-polyvariant CFA, and the Figure 6 abstract
+//! interpreter — on the false-return family and on conditional chains.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps};
+use cpsdfa_core::domain::AnyNum;
+use cpsdfa_core::kcfa::cont_sensitive_cfa;
+use cpsdfa_core::SynCpsAnalyzer;
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfa");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for m in [4usize, 8, 16] {
+        let prog = AnfProgram::from_term(&families::repeated_calls(m));
+        let cps = CpsProgram::from_anf(&prog);
+        group.bench_with_input(BenchmarkId::new("zero-cfa-src", m), &prog, |b, p| {
+            b.iter(|| black_box(zero_cfa(p).iterations))
+        });
+        group.bench_with_input(BenchmarkId::new("zero-cfa-cps", m), &cps, |b, p| {
+            b.iter(|| black_box(zero_cfa_cps(p).iterations))
+        });
+        group.bench_with_input(BenchmarkId::new("cont-polyvariant", m), &cps, |b, p| {
+            b.iter(|| black_box(cont_sensitive_cfa(p).states))
+        });
+        group.bench_with_input(BenchmarkId::new("figure-6-anynum", m), &cps, |b, p| {
+            b.iter(|| {
+                black_box(
+                    SynCpsAnalyzer::<AnyNum>::new(p)
+                        .analyze()
+                        .map(|r| r.stats.goals)
+                        .unwrap_or(u64::MAX),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfa);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E6 (§6.2): wall-time of the three analyzers on `cond_chain(n)` — the
+//! exponential duplication cliff. Goal counts for the same sweep come from
+//! the `experiments` binary; this bench confirms the shape in wall time.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_bench::{run_blackbox, Analyzer};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cond_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_chain");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for n in [2usize, 4, 6, 8, 10] {
+        let prog = AnfProgram::from_term(&families::cond_chain(n));
+        for analyzer in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
+            group.bench_with_input(
+                BenchmarkId::new(analyzer.label(), n),
+                &prog,
+                |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cond_chain);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 (§6.2): wall-time at multi-target call sites — `dispatch(k)` applies
+//! one of `k` closures; CPS-style analyzers re-analyze the continuation per
+//! callee.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_bench::{run_blackbox, Analyzer};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for k in [1usize, 2, 4, 8] {
+        let prog = AnfProgram::from_term(&families::dispatch(k));
+        for analyzer in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
+            group.bench_with_input(
+                BenchmarkId::new(analyzer.label(), k),
+                &prog,
+                |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

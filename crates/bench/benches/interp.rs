@@ -1,0 +1,36 @@
+//! B1: throughput of the three concrete interpreters (Figures 1–3) on
+//! higher-order workloads — a sanity baseline showing the interpreters
+//! themselves are comparable, so analysis-cost differences (E6/E7) are not
+//! interpreter artifacts.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_interp::{run_direct, run_semcps, run_syncps, Fuel};
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for n in [50usize, 200, 800] {
+        let prog = AnfProgram::from_term(&families::church(n));
+        let cps = CpsProgram::from_anf(&prog);
+        group.bench_with_input(BenchmarkId::new("direct", n), &prog, |b, p| {
+            b.iter(|| black_box(run_direct(p, &[], Fuel::new(10_000_000)).unwrap().steps))
+        });
+        group.bench_with_input(BenchmarkId::new("semantic-cps", n), &prog, |b, p| {
+            b.iter(|| black_box(run_semcps(p, &[], Fuel::new(10_000_000)).unwrap().steps))
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic-cps", n), &cps, |b, p| {
+            b.iter(|| black_box(run_syncps(p, &[], Fuel::new(10_000_000)).unwrap().steps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E9 (§6.2): cost of the classical solutions — the MFP worklist is
+//! polynomial while MOP path enumeration is exponential in the number of
+//! diamonds, mirroring direct-vs-CPS analysis cost.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::domain::Flat;
+use cpsdfa_core::mfp::{Cfg, PathMode};
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mfp_mop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mfp_mop");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for n in [2usize, 4, 6, 8, 10] {
+        let prog = AnfProgram::from_term(&families::diamond_chain(n));
+        let cfg = Cfg::from_first_order(&prog).unwrap();
+        group.bench_with_input(BenchmarkId::new("mfp", n), &cfg, |b, g| {
+            b.iter(|| {
+                let init = g.initial_env::<Flat>(&prog);
+                black_box(g.solve_mfp::<Flat>(init).vars.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mop-all-paths", n), &cfg, |b, g| {
+            b.iter(|| {
+                let init = g.initial_env::<Flat>(&prog);
+                black_box(
+                    g.solve_mop::<Flat>(init, 10_000_000, PathMode::AllPaths)
+                        .unwrap()
+                        .1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mfp_mop);
+criterion_main!(benches);

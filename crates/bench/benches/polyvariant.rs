@@ -1,0 +1,35 @@
+//! E10 (§6.3): the cost dial of bounded duplication — direct analysis with
+//! duplication depth d between Figure 4 (d = 0) and full CPS duplication.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_bench::{run_blackbox, Analyzer};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_polyvariant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyvariant");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    let prog = AnfProgram::from_term(&families::cond_chain(10));
+    for analyzer in [
+        Analyzer::Direct,
+        Analyzer::DirectDup(1),
+        Analyzer::DirectDup(2),
+        Analyzer::DirectDup(4),
+        Analyzer::SemCps,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(analyzer.label(), 10),
+            &prog,
+            |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polyvariant);
+criterion_main!(benches);

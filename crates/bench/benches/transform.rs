@@ -1,0 +1,38 @@
+//! B2: throughput of A-normalization and the CPS transformation as program
+//! size grows (the compiler-pipeline cost of choosing CPS as an IR).
+
+use cpsdfa_anf::{normalize, AnfProgram};
+use cpsdfa_cps::cps_transform;
+use cpsdfa_syntax::FreshGen;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for n in [50usize, 200, 800] {
+        let term = families::adder_pipeline(n);
+        group.throughput(Throughput::Elements(term.size() as u64));
+        group.bench_with_input(BenchmarkId::new("a-normalize", n), &term, |b, t| {
+            b.iter(|| {
+                let mut gen = FreshGen::new();
+                black_box(normalize(t, &mut gen).size())
+            })
+        });
+        let prog = AnfProgram::from_term(&term);
+        group.bench_with_input(BenchmarkId::new("cps-transform", n), &prog, |b, p| {
+            b.iter(|| {
+                let mut gen = p.fresh_gen();
+                black_box(cps_transform(p.root(), &mut gen).root.size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,833 @@
+//! The experiment harness: regenerates every result of Sabry & Felleisen
+//! (PLDI 1994) as a table. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded output with paper-vs-measured commentary.
+//!
+//! ```sh
+//! cargo run --release -p cpsdfa-bench --bin experiments            # all
+//! cargo run --release -p cpsdfa-bench --bin experiments -- E1 E6  # subset
+//! ```
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_bench::{run_goals, Analyzer};
+use cpsdfa_core::deltae::{compare_via_delta, overall};
+use cpsdfa_core::distrib;
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps};
+use cpsdfa_core::domain::{AnyNum, Flat, Interval, NumDomain, Parity, PowerSet, Sign};
+use cpsdfa_core::mfp::{Cfg, Cond, Node, NodeId, PathMode, Stmt};
+use cpsdfa_core::precision::{compare_stores, Census};
+use cpsdfa_core::report::render_table;
+use cpsdfa_core::{
+    AnalysisBudget, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer,
+};
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_interp::{
+    run_direct, run_semcps, run_syncps, stores_delta_related, value_delta_eq, Fuel,
+};
+use cpsdfa_workloads::random::{corpus, open_config, GenConfig};
+use cpsdfa_workloads::{families, paper};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    println!("# cpsdfa experiment harness");
+    println!("# Sabry & Felleisen, \"Is Continuation-Passing Useful for Data Flow Analysis?\", PLDI 1994");
+    println!();
+
+    if want("E0") {
+        e0_lemmas();
+    }
+    if want("E1") {
+        e1_theorem_5_1();
+    }
+    if want("E2") {
+        e2_theorem_5_2();
+    }
+    if want("E3") {
+        e3_theorem_5_4();
+    }
+    if want("E4") {
+        e4_theorem_5_5();
+    }
+    if want("E5") {
+        e5_false_returns();
+    }
+    if want("E6") {
+        e6_cond_chain_cost();
+    }
+    if want("E7") {
+        e7_dispatch_cost();
+    }
+    if want("E8") {
+        e8_loop_noncomputability();
+    }
+    if want("E9") {
+        e9_mop_vs_mfp();
+    }
+    if want("E10") {
+        e10_bounded_duplication();
+    }
+    if want("E11") {
+        e11_domain_sensitivity();
+    }
+    if want("E12") {
+        e12_zero_cfa();
+    }
+    if want("E13") {
+        e13_small_scope();
+    }
+    if want("E14") {
+        e14_context_sensitivity();
+    }
+    if want("E15") {
+        e15_optimizer();
+    }
+}
+
+fn section(id: &str, title: &str) {
+    println!("\n## {id} — {title}\n");
+}
+
+fn fuel() -> Fuel {
+    Fuel::new(500_000)
+}
+
+/// E0: Lemmas 3.1 and 3.3 over a 500-program random corpus.
+fn e0_lemmas() {
+    section("E0", "Lemmas 3.1 / 3.3: the three interpreters agree (500 random programs)");
+    let cfg = GenConfig::default();
+    let n = 500;
+    let mut ok31 = 0;
+    let mut ok33_val = 0;
+    let mut ok33_sto = 0;
+    for t in corpus(0xE0, n, &cfg) {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let d = run_direct(&p, &[], fuel()).expect("typed corpus runs");
+        let s = run_semcps(&p, &[], fuel()).expect("typed corpus runs");
+        let m = run_syncps(&c, &[], fuel()).expect("typed corpus runs");
+        if d.value.as_num() == s.value.as_num() {
+            ok31 += 1;
+        }
+        if value_delta_eq(&d.value, &m.value, c.label_map()) {
+            ok33_val += 1;
+        }
+        if stores_delta_related(&d.store, &m.store, c.label_map()) {
+            ok33_sto += 1;
+        }
+    }
+    let rows = vec![
+        vec!["Lemma 3.1: M ≡ C (answers)".into(), format!("{ok31}/{n}")],
+        vec!["Lemma 3.3: M_c ≡ δ(M) (answers)".into(), format!("{ok33_val}/{n}")],
+        vec!["Lemma 3.3: stores δ-related".into(), format!("{ok33_sto}/{n}")],
+    ];
+    println!("{}", render_table(&["claim", "holds"], &rows));
+}
+
+/// E1: Theorem 5.1 — the worked example, all three analyzers.
+fn e1_theorem_5_1() {
+    section("E1", "Theorem 5.1: direct analysis strictly beats syntactic-CPS on Π1");
+    println!("program: {}\n", paper::THEOREM_5_1);
+    let p = AnfProgram::parse(paper::THEOREM_5_1).unwrap();
+    let c = CpsProgram::from_anf(&p);
+    let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+
+    let mut rows = Vec::new();
+    for (v, name) in p.iter_vars() {
+        let syn_cell = c
+            .user_var_id(name)
+            .map(|id| syn.store.get(id).to_string())
+            .unwrap_or_default();
+        rows.push(vec![
+            name.to_string(),
+            d.store.get(v).to_string(),
+            sem.store.get(v).to_string(),
+            syn_cell,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["variable", "direct M_e", "semantic-CPS C_e", "syntactic-CPS M_s"], &rows)
+    );
+    let cross = compare_via_delta(&p, &c, &d.store, &syn.store);
+    println!("δe comparison (Theorem 5.1 statement): {}", overall(&cross));
+    println!("paper expectation: direct proves a1 = 1; CPS analysis yields ⊤ (false return).");
+}
+
+/// E2: Theorem 5.2 — both worked examples.
+fn e2_theorem_5_2() {
+    section("E2", "Theorem 5.2: syntactic-CPS strictly beats direct (duplication)");
+    for (case, src, expect) in [
+        ("case 1 (branch correlation)", paper::THEOREM_5_2_CASE_1, 3i64),
+        ("case 2 (callee correlation)", paper::THEOREM_5_2_CASE_2, 5i64),
+    ] {
+        println!("-- {case}: {src}\n");
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let a2 = p.var_named("a2").unwrap();
+        let a2c = c.var_named("a2").unwrap();
+        let rows = vec![
+            vec!["direct M_e".into(), d.store.get(a2).to_string()],
+            vec!["syntactic-CPS M_s".into(), syn.store.get(a2c).to_string()],
+        ];
+        println!("{}", render_table(&["analyzer", "σ(a2)"], &rows));
+        println!(
+            "δe comparison: {} (paper expects CPS strictly better, a2 = {expect})\n",
+            overall(&compare_via_delta(&p, &c, &d.store, &syn.store))
+        );
+    }
+}
+
+/// E3: Theorem 5.4 over a corpus, both clauses.
+fn e3_theorem_5_4() {
+    section("E3", "Theorem 5.4: C_e refines M_e; equal iff the analysis is distributive");
+    let n = 300;
+    let mut flat = Census::default();
+    let mut any = Census::default();
+    for t in corpus(0xE3, n, &open_config()) {
+        let p = AnfProgram::from_term(&t);
+        let df = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let cf = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        flat.record(compare_stores(&cf.store, &df.store));
+        let da = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        let ca = SemCpsAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        any.record(compare_stores(&ca.store, &da.store));
+    }
+    let rows = vec![
+        vec![
+            "Flat (non-distributive)".into(),
+            distrib::is_distributive::<Flat>().to_string(),
+            flat.equal.to_string(),
+            flat.left.to_string(),
+            flat.right.to_string(),
+            flat.incomparable.to_string(),
+        ],
+        vec![
+            "AnyNum (distributive)".into(),
+            distrib::is_distributive::<AnyNum>().to_string(),
+            any.equal.to_string(),
+            any.left.to_string(),
+            any.right.to_string(),
+            any.incomparable.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["domain", "Def 5.3 holds", "equal", "C_e strictly better", "M_e better (!)", "incomparable (!)"],
+            &rows
+        )
+    );
+    println!("paper expectation: 'M_e better' and 'incomparable' columns are 0 in both rows;");
+    println!("the strict column is 0 exactly in the distributive row. (n = {n} programs)");
+}
+
+/// E4: Theorem 5.5 over a corpus.
+fn e4_theorem_5_5() {
+    section("E4", "Theorem 5.5: δe(C_e) refines M_s (semantic- vs syntactic-CPS)");
+    let n = 300;
+    let mut census = Census::default();
+    for t in corpus(0xE4, n, &open_config()) {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        census.record(overall(&compare_via_delta(&p, &c, &sem.store, &syn.store)));
+    }
+    // Random programs rarely call one procedure twice, so add the family
+    // that drives false returns (strict instances of the theorem).
+    let mut strict_family = Census::default();
+    for m in 2..=8 {
+        let p = AnfProgram::from_term(&families::repeated_calls(m));
+        let c = CpsProgram::from_anf(&p);
+        let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        strict_family.record(overall(&compare_via_delta(&p, &c, &sem.store, &syn.store)));
+    }
+    let rows = vec![
+        vec![
+            format!("random corpus (n={n})"),
+            census.equal.to_string(),
+            census.left.to_string(),
+            census.right.to_string(),
+            census.incomparable.to_string(),
+        ],
+        vec![
+            "repeated_calls(2..8)".into(),
+            strict_family.equal.to_string(),
+            strict_family.left.to_string(),
+            strict_family.right.to_string(),
+            strict_family.incomparable.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["corpus", "equal", "C_e strictly better", "M_s better (!)", "incomparable (!)"],
+            &rows
+        )
+    );
+    println!("paper expectation: the last two columns are 0 everywhere; strictness appears");
+    println!("exactly where returns are confused (several continuations at one k).");
+}
+
+/// E5: §6.1 false-return census on repeated calls and dispatch.
+fn e5_false_returns() {
+    section("E5", "§6.1 false returns: merged continuation edges, CPS analysis only");
+    let mut rows = Vec::new();
+    for m in 1..=8 {
+        let p = AnfProgram::from_term(&families::repeated_calls(m));
+        let c = CpsProgram::from_anf(&p);
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let a1 = p.var_named("a1").unwrap();
+        rows.push(vec![
+            m.to_string(),
+            "0".into(),
+            syn.flows.false_return_edges().to_string(),
+            d.store.get(a1).num.to_string(),
+            c.var_named("a1")
+                .map(|v| syn.store.get(v).num.to_string())
+                .unwrap_or_default(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["calls m", "direct false returns", "CPS false returns", "direct σ(a1)", "CPS σ(a1)"],
+            &rows
+        )
+    );
+    println!("paper expectation: the direct analysis never confuses returns; the CPS");
+    println!("analysis loses a1 as soon as a second continuation reaches the shared k (m ≥ 2).");
+}
+
+/// E6: §6.2 cost on cond_chain.
+fn e6_cond_chain_cost() {
+    section("E6", "§6.2 duplication cost: goals on cond_chain(n) (2^n paths)");
+    let budget = AnalysisBudget::new(3_000_000);
+    let mut rows = Vec::new();
+    for n in 1..=14 {
+        let p = AnfProgram::from_term(&families::cond_chain(n));
+        let mut row = vec![n.to_string()];
+        for a in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
+            row.push(match run_goals::<Flat>(a, &p, budget) {
+                Ok(g) => g.to_string(),
+                Err(_) => "budget!".into(),
+            });
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["n", "direct", "semantic-cps", "syntactic-cps"], &rows)
+    );
+    println!("paper expectation: direct linear (3n+2 here); CPS-style ~2x per conditional.");
+}
+
+/// E7: §6.2 cost at call sites: dispatch(k) × repeated conditionals.
+fn e7_dispatch_cost() {
+    section("E7", "§6.2 duplication cost at call sites: dispatch(k) goals");
+    let budget = AnalysisBudget::new(3_000_000);
+    let mut rows = Vec::new();
+    for k in 1..=8 {
+        let p = AnfProgram::from_term(&families::dispatch(k));
+        let mut row = vec![k.to_string()];
+        for a in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
+            row.push(match run_goals::<Flat>(a, &p, budget) {
+                Ok(g) => g.to_string(),
+                Err(_) => "budget!".into(),
+            });
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["closures k", "direct", "semantic-cps", "syntactic-cps"], &rows)
+    );
+    println!("paper expectation: at a call site the continuation is analyzed once per");
+    println!("abstract closure — CPS-style cost grows with k while direct joins first.");
+}
+
+/// E8: §6.2 non-computability with the loop construct.
+fn e8_loop_noncomputability() {
+    section("E8", "§6.2 loop: the semantic-CPS analysis is not computable");
+    let p = AnfProgram::from_term(&families::loop_then_branch(1));
+    println!("program: {}\n", p.root());
+    let mut rows = Vec::new();
+    for budget in [1_000u64, 10_000, 100_000, 1_000_000] {
+        let sem = SemCpsAnalyzer::<Flat>::new(&p)
+            .with_budget(AnalysisBudget::new(budget))
+            .analyze();
+        let syn = {
+            let c = CpsProgram::from_anf(&p);
+            SynCpsAnalyzer::<Flat>::new(&c)
+                .with_budget(AnalysisBudget::new(budget))
+                .analyze()
+                .map(|r| r.stats.goals)
+        };
+        rows.push(vec![
+            budget.to_string(),
+            match sem {
+                Ok(_) => "converged (unexpected!)".into(),
+                Err(_) => "budget exhausted".into(),
+            },
+            match syn {
+                Ok(_) => "converged (unexpected!)".into(),
+                Err(_) => "budget exhausted".into(),
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["budget (goals)", "semantic-cps", "syntactic-cps"], &rows)
+    );
+    let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    let w = SemCpsAnalyzer::<Flat>::new(&p)
+        .with_loop_widening(true)
+        .analyze()
+        .unwrap();
+    println!(
+        "direct M_e terminates in {} goals (loop ↦ ⊤, §6.2's extension rule);",
+        d.stats.goals
+    );
+    println!(
+        "the widened repair (not the paper's analyzer) terminates in {} goals, result {} vs direct.",
+        w.stats.goals,
+        compare_stores(&w.store, &d.store)
+    );
+}
+
+/// E9: §6.2 Nielson / Kam–Ullman: MFP vs MOP vs the analyzers.
+fn e9_mop_vs_mfp() {
+    section("E9", "§6.2 MFP vs MOP: M_e ~ MFP, C_e ~ feasible-path MOP");
+    // Part 1: the analyzers against the substrate on diamond chains.
+    let mut rows = Vec::new();
+    for n in 1..=4 {
+        let p = AnfProgram::from_term(&families::diamond_chain(n));
+        let cfg = Cfg::from_first_order(&p).unwrap();
+        let init = cfg.initial_env::<Flat>(&p);
+        let mfp = cfg.solve_mfp::<Flat>(init.clone());
+        let (mop, paths) = cfg.solve_mop::<Flat>(init, 100_000, PathMode::AllPaths).unwrap();
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let bound_vars: Vec<_> = p
+            .iter_vars()
+            .filter(|(v, _)| !p.free_vars().contains(v))
+            .collect();
+        let direct_eq_mfp = bound_vars.iter().all(|(v, _)| d.store.get(*v).num == *mfp.get(*v));
+        let mop_eq_mfp = mop.leq(&mfp) && mfp.leq(&mop);
+        rows.push(vec![
+            n.to_string(),
+            paths.to_string(),
+            direct_eq_mfp.to_string(),
+            mop_eq_mfp.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["diamonds n", "graph paths", "M_e = MFP", "MOP(all) = MFP (unary ⇒ distributive)"],
+            &rows
+        )
+    );
+
+    // Part 2: feasible-path MOP matches C_e on the paper's diamond.
+    let p = AnfProgram::parse(paper::THEOREM_5_2_CASE_1).unwrap();
+    let cfg = Cfg::from_first_order(&p).unwrap();
+    let init = cfg.initial_env::<Flat>(&p);
+    let (mop_f, paths_f) = cfg
+        .solve_mop::<Flat>(init.clone(), 100_000, PathMode::FeasiblePaths)
+        .unwrap();
+    let (mop_a, paths_a) = cfg.solve_mop::<Flat>(init, 100_000, PathMode::AllPaths).unwrap();
+    let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    let a2 = p.var_named("a2").unwrap();
+    let rows = vec![vec![
+        format!("{paths_a} / {paths_f}"),
+        mop_a.get(a2).to_string(),
+        mop_f.get(a2).to_string(),
+        sem.store.get(a2).num.to_string(),
+    ]];
+    println!(
+        "{}",
+        render_table(
+            &["paths all/feasible", "MOP(all) σ(a2)", "MOP(feasible) σ(a2)", "C_e σ(a2)"],
+            &rows
+        )
+    );
+
+    // Part 3: the classical Kam–Ullman separation (needs a binary transfer).
+    use cpsdfa_anf::VarId;
+    let (a, b, c, z) = (VarId(0), VarId(1), VarId(2), VarId(3));
+    let nodes = vec![
+        Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None },
+        Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
+        Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
+        Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
+        Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
+        Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
+        Node { stmt: Stmt::Sum(c, a, b), succs: vec![NodeId(7)], cond: None },
+        Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+    ];
+    let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
+    let mfp = g.solve_mfp::<Flat>(g.bottom_env());
+    let (mop, _) = g.solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths).unwrap();
+    let rows = vec![vec![
+        "c := a + b (hand-built)".into(),
+        mfp.get(c).to_string(),
+        mop.get(c).to_string(),
+    ]];
+    println!("{}", render_table(&["Kam–Ullman classic", "MFP", "MOP"], &rows));
+    println!("paper expectation: MOP proves c = 3 where MFP reports ⊤ — and MOP is not");
+    println!("computable in general, which is why the loop rule of E8 cannot be fixed.");
+}
+
+/// E10: §6.3 — bounded duplication as the practical alternative.
+fn e10_bounded_duplication() {
+    section("E10", "§6.3 ablation: direct analysis + bounded duplication");
+    // Precision on the paper's examples, cost on cond_chain(12).
+    let chain = AnfProgram::from_term(&families::cond_chain(12));
+    let mut rows = Vec::new();
+    for analyzer in [
+        Analyzer::Direct,
+        Analyzer::DirectDup(1),
+        Analyzer::DirectDup(2),
+        Analyzer::DirectDup(4),
+        Analyzer::SemCps,
+    ] {
+        let goals = run_goals::<Flat>(analyzer, &chain, AnalysisBudget::new(3_000_000))
+            .map(|g| g.to_string())
+            .unwrap_or_else(|_| "budget!".into());
+        let case1 = AnfProgram::parse(paper::THEOREM_5_2_CASE_1).unwrap();
+        let case2 = AnfProgram::parse(paper::THEOREM_5_2_CASE_2).unwrap();
+        let a2_of = |p: &AnfProgram| -> String {
+            let v = p.var_named("a2").unwrap();
+            match analyzer {
+                Analyzer::SemCps => SemCpsAnalyzer::<Flat>::new(p)
+                    .analyze()
+                    .unwrap()
+                    .store
+                    .get(v)
+                    .num
+                    .to_string(),
+                Analyzer::Direct => DirectAnalyzer::<Flat>::new(p)
+                    .analyze()
+                    .unwrap()
+                    .store
+                    .get(v)
+                    .num
+                    .to_string(),
+                Analyzer::DirectDup(d) => DirectAnalyzer::<Flat>::new(p)
+                    .with_duplication_depth(d)
+                    .analyze()
+                    .unwrap()
+                    .store
+                    .get(v)
+                    .num
+                    .to_string(),
+                Analyzer::SynCps => unreachable!(),
+            }
+        };
+        rows.push(vec![analyzer.label(), a2_of(&case1), a2_of(&case2), goals]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["analyzer", "Thm5.2c1 σ(a2)", "Thm5.2c2 σ(a2)", "goals on cond_chain(12)"],
+            &rows
+        )
+    );
+    println!("paper conclusion (§6.3): 'a direct data flow analysis that relies on some");
+    println!("amount of duplication would be as satisfactory as a CPS analysis' — depth 1");
+    println!("already recovers both Theorem 5.2 gains at a fraction of the full CPS cost.");
+
+    // Sensitivity: PowerSet tightens everything but the ordering persists.
+    let p = AnfProgram::parse(paper::THEOREM_5_2_CASE_1).unwrap();
+    let a2 = p.var_named("a2").unwrap();
+    let d = DirectAnalyzer::<PowerSet<8>>::new(&p).analyze().unwrap();
+    let s = SemCpsAnalyzer::<PowerSet<8>>::new(&p).analyze().unwrap();
+    println!(
+        "\nPowerSet<8> sensitivity: direct σ(a2) = {} vs semantic-CPS σ(a2) = {}",
+        d.store.get(a2).num,
+        s.store.get(a2).num
+    );
+}
+
+/// E11: extension — the paper's comparisons across richer numeric domains.
+fn e11_domain_sensitivity() {
+    section(
+        "E11",
+        "extension: domain sensitivity — the analyzer orderings are domain-independent",
+    );
+
+    fn row<D: NumDomain>(name: &str) -> Vec<String> {
+        let p = AnfProgram::parse(paper::THEOREM_5_2_CASE_1).unwrap();
+        let a2 = p.var_named("a2").unwrap();
+        let d = DirectAnalyzer::<D>::new(&p).analyze().unwrap();
+        let s = SemCpsAnalyzer::<D>::new(&p).analyze().unwrap();
+        let strict = s.store.leq(&d.store) && !d.store.leq(&s.store);
+        // corpus census of C_e ⊑ M_e strictness
+        let mut strict_count = 0usize;
+        let n = 120;
+        for t in corpus(0xE11, n, &open_config()) {
+            let prog = AnfProgram::from_term(&t);
+            let dd = DirectAnalyzer::<D>::new(&prog).analyze().unwrap();
+            let cc = SemCpsAnalyzer::<D>::new(&prog).analyze().unwrap();
+            assert!(cc.store.leq(&dd.store), "Theorem 5.4 ordering violated for {name}");
+            if !dd.store.leq(&cc.store) {
+                strict_count += 1;
+            }
+        }
+        vec![
+            name.to_owned(),
+            distrib::is_distributive::<D>().to_string(),
+            d.store.get(a2).num.to_string(),
+            s.store.get(a2).num.to_string(),
+            strict.to_string(),
+            format!("{strict_count}/{n}"),
+        ]
+    }
+
+    let rows = vec![
+        row::<Flat>("Flat"),
+        row::<PowerSet<8>>("PowerSet<8>"),
+        row::<Sign>("Sign"),
+        row::<Parity>("Parity"),
+        row::<Interval<64>>("Interval<64>"),
+        row::<AnyNum>("AnyNum"),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "domain",
+                "Def 5.3",
+                "M_e σ(a2) [Thm5.2c1]",
+                "C_e σ(a2)",
+                "strict gain",
+                "corpus strict",
+            ],
+            &rows
+        )
+    );
+    println!("expected shape: Theorem 5.4's ordering holds for every domain (asserted while");
+    println!("building the table); the gain is strict exactly for the non-distributive rows.");
+}
+
+/// E12: extension — constraint-based 0CFA (Shivers) against the derived
+/// analyzers.
+fn e12_zero_cfa() {
+    section(
+        "E12",
+        "extension: constraint-based 0CFA agrees with the derived analyzers",
+    );
+    // Part 1: false-return parity with Figure 6 on the §6.1 family.
+    let mut rows = Vec::new();
+    for m in 1..=6 {
+        let p = AnfProgram::from_term(&families::repeated_calls(m));
+        let c = CpsProgram::from_anf(&p);
+        let cfa = zero_cfa_cps(&c);
+        let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
+        rows.push(vec![
+            m.to_string(),
+            cfa.false_return_edges().to_string(),
+            syn.flows.false_return_edges().to_string(),
+            cfa.iterations.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["calls m", "0CFA false returns", "M_s false returns", "0CFA iterations"],
+            &rows
+        )
+    );
+
+    // Part 2: source-level 0CFA vs M_e closure sets on a corpus.
+    let n = 200;
+    let mut agree = 0;
+    for t in corpus(0xE12, n, &open_config()) {
+        let p = AnfProgram::from_term(&t);
+        let cfa = zero_cfa(&p);
+        let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        if p.iter_vars().all(|(v, _)| cfa.get(v) == &d.store.get(v).clos) {
+            agree += 1;
+        }
+    }
+    println!("source-level 0CFA = M_e closure sets on {agree}/{n} random programs.");
+
+    // Part 3: the documented divergence — least fixpoints beat §4.4 cuts.
+    let p = AnfProgram::parse(paper::OMEGA).unwrap();
+    let cfa = zero_cfa(&p);
+    let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+    let r = p.var_named("r").unwrap();
+    println!(
+        "on Ω: 0CFA σ(r) has {} closures; M_e's §4.4 cut reports CL⊤ with {} — the
+         fixpoint formulation is strictly finer on recursion (see core::cfa docs).",
+        cfa.get(r).len(),
+        d.store.get(r).clos.len()
+    );
+}
+
+/// E13: extension — bounded-exhaustive verification of the orderings.
+fn e13_small_scope() {
+    use cpsdfa_workloads::exhaustive::enumerate_terms;
+    section(
+        "E13",
+        "extension: small-scope verification — the orderings on EVERY tiny program",
+    );
+    let size = 7;
+    let all = enumerate_terms(size);
+    let mut checked = 0usize;
+    let mut strict_54 = 0usize;
+    let mut strict_55 = 0usize;
+    for t in &all {
+        let p = AnfProgram::from_term(t);
+        let c = CpsProgram::from_anf(&p);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        assert!(
+            sem.store.leq(&d.store),
+            "Theorem 5.4 ordering violated on {t}"
+        );
+        if !d.store.leq(&sem.store) {
+            strict_54 += 1;
+        }
+        let rows = compare_via_delta(&p, &c, &sem.store, &syn.store);
+        let mut any_strict = false;
+        for r in &rows {
+            assert!(
+                !matches!(
+                    r.order,
+                    cpsdfa_core::PrecisionOrder::RightMorePrecise
+                        | cpsdfa_core::PrecisionOrder::Incomparable
+                ),
+                "Theorem 5.5 violated at {} on {t}",
+                r.name
+            );
+            any_strict |= r.order == cpsdfa_core::PrecisionOrder::LeftMorePrecise;
+        }
+        if any_strict {
+            strict_55 += 1;
+        }
+        checked += 1;
+    }
+    let rows = vec![
+        vec!["programs checked (size ≤ 7, exhaustive)".into(), checked.to_string()],
+        vec!["Theorem 5.4 violations".into(), "0".into()],
+        vec!["Theorem 5.5 violations".into(), "0".into()],
+        vec!["strict C_e-over-M_e instances".into(), strict_54.to_string()],
+        vec!["strict C_e-over-M_s instances".into(), strict_55.to_string()],
+    ];
+    println!("{}", render_table(&["small-scope census", "count"], &rows));
+    println!("every well-scoped program with ≤ {size} nodes over the small vocabulary");
+    println!("satisfies the orderings of Theorems 5.4 and 5.5 — a bounded-exhaustive check.");
+    println!("(strict-gain instances need the Theorem 5.2 correlated-diamond shape, whose");
+    println!("smallest member has 9 nodes — outside this scope; E3/E11 cover strictness.)");
+}
+
+/// E14: extension — continuation polyvariance repairs §6.1's false returns.
+fn e14_context_sensitivity() {
+    use cpsdfa_core::kcfa::cont_sensitive_cfa;
+    section(
+        "E14",
+        "extension: call-site-indexed continuations eliminate false returns",
+    );
+    let mut rows = Vec::new();
+    for m in 1..=8 {
+        let p = AnfProgram::from_term(&families::repeated_calls(m));
+        let c = CpsProgram::from_anf(&p);
+        let mono = zero_cfa_cps(&c);
+        let poly = cont_sensitive_cfa(&c);
+        rows.push(vec![
+            m.to_string(),
+            mono.false_return_edges().to_string(),
+            poly.false_return_edges().to_string(),
+            poly.states.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["calls m", "0CFA false returns", "cont-polyvariant false returns", "states"],
+            &rows
+        )
+    );
+    println!("the paper's closing suggestion — 'combine heuristic in-lining with a");
+    println!("direct-style analysis' — corresponds on the CPS side to indexing each");
+    println!("procedure's continuation variable by its call site: every false return of");
+    println!("the monovariant analysis disappears, at polynomial (not exponential) cost.");
+}
+
+/// E15: extension — what each analyzer's precision buys an optimizer.
+fn e15_optimizer() {
+    use cpsdfa_opt::{optimize, FactSource};
+    section(
+        "E15",
+        "extension: optimizations enabled by each analyzer's facts",
+    );
+    // Paper examples first: the theorems as optimizer behavior.
+    let mut rows = Vec::new();
+    for (name, src) in [
+        ("Thm 5.2 case 1", paper::THEOREM_5_2_CASE_1),
+        ("Thm 5.2 case 2", paper::THEOREM_5_2_CASE_2),
+        ("Π1 (Thm 5.1)", paper::THEOREM_5_1),
+    ] {
+        let p = AnfProgram::parse(src).unwrap();
+        let mut row = vec![name.to_owned(), p.root().size().to_string()];
+        for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+            let (q, stats) = optimize(&p, source).unwrap();
+            row.push(format!("{} ({} rw)", q.root().size(), stats.total_rewrites()));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["program", "size", "direct: residue", "direct+dup1", "semantic-cps"],
+            &rows
+        )
+    );
+
+    // Corpus aggregate: average residual size per fact source.
+    let n = 200;
+    let mut sums = [0usize; 3];
+    let mut rewrites = [0usize; 3];
+    let mut original = 0usize;
+    for t in corpus(0xE15, n, &open_config()) {
+        let p = AnfProgram::from_term(&t);
+        original += p.root().size();
+        for (i, source) in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps]
+            .into_iter()
+            .enumerate()
+        {
+            let (q, stats) = optimize(&p, source).unwrap();
+            sums[i] += q.root().size();
+            rewrites[i] += stats.total_rewrites();
+        }
+    }
+    let rows = vec![vec![
+        format!("{:.1}", original as f64 / n as f64),
+        format!("{:.1} ({} rw)", sums[0] as f64 / n as f64, rewrites[0]),
+        format!("{:.1} ({} rw)", sums[1] as f64 / n as f64, rewrites[1]),
+        format!("{:.1} ({} rw)", sums[2] as f64 / n as f64, rewrites[2]),
+    ]];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "avg original size",
+                "direct residue",
+                "direct+dup1 residue",
+                "semantic-cps residue",
+            ],
+            &rows
+        )
+    );
+    println!("expected shape: residual size shrinks monotonically with fact precision;");
+    println!("§6.3's bounded duplication captures most of the semantic-CPS gain. (n = {n})");
+}

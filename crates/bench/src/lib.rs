@@ -1,0 +1,114 @@
+//! Shared helpers for the cpsdfa benches and the experiment harness.
+//!
+//! The benches (one per cost claim of §6.2, see `DESIGN.md`'s experiment
+//! index) live under `benches/`; the table-producing harness is the
+//! `experiments` binary.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::domain::NumDomain;
+use cpsdfa_core::{
+    AnalysisBudget, AnalysisError, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer,
+};
+use cpsdfa_cps::CpsProgram;
+
+/// Which of the paper's three analyzers to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Analyzer {
+    /// `M_e`, Figure 4.
+    Direct,
+    /// `M_e` with §6.3 bounded duplication at depth `d`.
+    DirectDup(u32),
+    /// `C_e`, Figure 5.
+    SemCps,
+    /// `M_s`, Figure 6 (runs on the CPS transform of the program).
+    SynCps,
+}
+
+impl Analyzer {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Analyzer::Direct => "direct".to_owned(),
+            Analyzer::DirectDup(d) => format!("direct+dup{d}"),
+            Analyzer::SemCps => "semantic-cps".to_owned(),
+            Analyzer::SynCps => "syntactic-cps".to_owned(),
+        }
+    }
+}
+
+/// One measured run: goals expanded (machine-independent cost) or a budget
+/// failure.
+pub fn run_goals<D: NumDomain>(
+    analyzer: Analyzer,
+    prog: &AnfProgram,
+    budget: AnalysisBudget,
+) -> Result<u64, AnalysisError> {
+    match analyzer {
+        Analyzer::Direct => Ok(DirectAnalyzer::<D>::new(prog)
+            .with_budget(budget)
+            .analyze()?
+            .stats
+            .goals),
+        Analyzer::DirectDup(d) => Ok(DirectAnalyzer::<D>::new(prog)
+            .with_budget(budget)
+            .with_duplication_depth(d)
+            .analyze()?
+            .stats
+            .goals),
+        Analyzer::SemCps => Ok(SemCpsAnalyzer::<D>::new(prog)
+            .with_budget(budget)
+            .analyze()?
+            .stats
+            .goals),
+        Analyzer::SynCps => {
+            let cps = CpsProgram::from_anf(prog);
+            Ok(SynCpsAnalyzer::<D>::new(&cps)
+                .with_budget(budget)
+                .analyze()?
+                .stats
+                .goals)
+        }
+    }
+}
+
+/// Runs the analyzer purely for wall-time measurement, returning a value
+/// that depends on the result so the optimizer cannot elide the work.
+pub fn run_blackbox<D: NumDomain>(analyzer: Analyzer, prog: &AnfProgram) -> u64 {
+    run_goals::<D>(analyzer, prog, AnalysisBudget::default()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_core::domain::Flat;
+    use cpsdfa_workloads::families;
+
+    #[test]
+    fn helpers_run_every_analyzer() {
+        let prog = AnfProgram::from_term(&families::cond_chain(3));
+        for a in [
+            Analyzer::Direct,
+            Analyzer::DirectDup(1),
+            Analyzer::SemCps,
+            Analyzer::SynCps,
+        ] {
+            let goals = run_goals::<Flat>(a, &prog, AnalysisBudget::default()).unwrap();
+            assert!(goals > 0, "{}", a.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> = [
+            Analyzer::Direct,
+            Analyzer::DirectDup(1),
+            Analyzer::DirectDup(2),
+            Analyzer::SemCps,
+            Analyzer::SynCps,
+        ]
+        .iter()
+        .map(Analyzer::label)
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

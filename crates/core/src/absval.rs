@@ -1,0 +1,550 @@
+//! Abstract values, stores, and answers (§4.1–4.2).
+//!
+//! After the 0CFA abstraction, one location exists per variable, so an
+//! abstract store is a dense vector indexed by [`VarId`] / [`CVarId`].
+//! Abstract closures are identified by the label of their λ; abstract
+//! continuations by the label of their continuation λ (or `stop`). Direct
+//! and semantic-CPS values pair a numeric element with a closure set;
+//! syntactic-CPS values add a continuation set (the reified-continuation
+//! component that §6.1 blames for false returns).
+
+use crate::domain::NumDomain;
+use cpsdfa_anf::VarId;
+use cpsdfa_cps::CVarId;
+use cpsdfa_syntax::Label;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An element of the abstract closure set
+/// `Clô = (Var × Λ) + inc + dec` (Figure 4's domains).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsClo {
+    /// The `add1` primitive (`inc` / `inck`).
+    Inc,
+    /// The `sub1` primitive (`dec` / `deck`).
+    Dec,
+    /// A user λ, identified by its label: `(cle x, M)` / `(cle xk, P)`.
+    Lam(Label),
+}
+
+impl fmt::Display for AbsClo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsClo::Inc => f.write_str("inc"),
+            AbsClo::Dec => f.write_str("dec"),
+            AbsClo::Lam(l) => write!(f, "cl@{l}"),
+        }
+    }
+}
+
+impl fmt::Debug for AbsClo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An abstract continuation (Figure 6's `Con̂`): `stop` or a continuation λ
+/// `(coe x, P)` identified by its label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsKont {
+    /// The initial continuation.
+    Stop,
+    /// A continuation λ, by label.
+    Co(Label),
+}
+
+impl fmt::Display for AbsKont {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsKont::Stop => f.write_str("stop"),
+            AbsKont::Co(l) => write!(f, "co@{l}"),
+        }
+    }
+}
+
+impl fmt::Debug for AbsKont {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An abstract value of the direct and semantic-CPS analyzers:
+/// `Val̂ = N̂um × P(Clô)` (Figures 4–5).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AbsVal<D> {
+    /// The numeric component.
+    pub num: D,
+    /// The may-flow-here closure set.
+    pub clos: BTreeSet<AbsClo>,
+}
+
+impl<D: NumDomain> AbsVal<D> {
+    /// `(⊥, ∅)`.
+    pub fn bot() -> Self {
+        AbsVal { num: D::bot(), clos: BTreeSet::new() }
+    }
+
+    /// `(n̂, ∅)` for a numeral.
+    pub fn num(n: i64) -> Self {
+        AbsVal { num: D::constant(n), clos: BTreeSet::new() }
+    }
+
+    /// `(⊥, {c})` for a single closure element.
+    pub fn closure(c: AbsClo) -> Self {
+        AbsVal { num: D::bot(), clos: BTreeSet::from([c]) }
+    }
+
+    /// An arbitrary pair.
+    pub fn new(num: D, clos: BTreeSet<AbsClo>) -> Self {
+        AbsVal { num, clos }
+    }
+
+    /// `self ⊔ other`, component-wise.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        AbsVal {
+            num: self.num.join(&other.num),
+            clos: self.clos.union(&other.clos).copied().collect(),
+        }
+    }
+
+    /// `self ⊑ other`, component-wise.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.num.leq(&other.num) && self.clos.is_subset(&other.clos)
+    }
+
+    /// `(⊥, ∅)`?
+    pub fn is_bot(&self) -> bool {
+        self.num.is_bot() && self.clos.is_empty()
+    }
+
+    /// The `u₀ = (0, ∅)` test of the `if0` rules.
+    pub fn is_exactly_zero(&self) -> bool {
+        self.num.is_exactly_zero() && self.clos.is_empty()
+    }
+
+    /// The `(0, ∅) ⊑ u₀` test of the `if0` rules.
+    pub fn may_be_zero(&self) -> bool {
+        self.num.may_be_zero()
+    }
+}
+
+impl<D: NumDomain> Default for AbsVal<D> {
+    fn default() -> Self {
+        Self::bot()
+    }
+}
+
+impl<D: NumDomain> fmt::Display for AbsVal<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.num, fmt_set(&self.clos))
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for AbsVal<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An abstract value of the syntactic-CPS analyzer:
+/// `Val̂ = N̂um × P(Clô) × P(Con̂)` (Figure 6).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CAbsVal<D> {
+    /// The numeric component.
+    pub num: D,
+    /// The may-flow-here closure set.
+    pub clos: BTreeSet<AbsClo>,
+    /// The may-flow-here continuation set.
+    pub konts: BTreeSet<AbsKont>,
+}
+
+impl<D: NumDomain> CAbsVal<D> {
+    /// `(⊥, ∅, ∅)`.
+    pub fn bot() -> Self {
+        CAbsVal { num: D::bot(), clos: BTreeSet::new(), konts: BTreeSet::new() }
+    }
+
+    /// `(n̂, ∅, ∅)` for a numeral.
+    pub fn num(n: i64) -> Self {
+        CAbsVal { num: D::constant(n), ..Self::bot() }
+    }
+
+    /// `(⊥, {c}, ∅)` for a closure element.
+    pub fn closure(c: AbsClo) -> Self {
+        CAbsVal { clos: BTreeSet::from([c]), ..Self::bot() }
+    }
+
+    /// `(⊥, ∅, {κ})` for a continuation element.
+    pub fn kont(k: AbsKont) -> Self {
+        CAbsVal { konts: BTreeSet::from([k]), ..Self::bot() }
+    }
+
+    /// An arbitrary triple.
+    pub fn new(num: D, clos: BTreeSet<AbsClo>, konts: BTreeSet<AbsKont>) -> Self {
+        CAbsVal { num, clos, konts }
+    }
+
+    /// `self ⊔ other`, component-wise.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        CAbsVal {
+            num: self.num.join(&other.num),
+            clos: self.clos.union(&other.clos).copied().collect(),
+            konts: self.konts.union(&other.konts).copied().collect(),
+        }
+    }
+
+    /// `self ⊑ other`, component-wise.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.num.leq(&other.num)
+            && self.clos.is_subset(&other.clos)
+            && self.konts.is_subset(&other.konts)
+    }
+
+    /// `(⊥, ∅, ∅)`?
+    pub fn is_bot(&self) -> bool {
+        self.num.is_bot() && self.clos.is_empty() && self.konts.is_empty()
+    }
+
+    /// The `u₀ = (0, ∅, ∅)` test of Figure 6's `if0` rule.
+    pub fn is_exactly_zero(&self) -> bool {
+        self.num.is_exactly_zero() && self.clos.is_empty() && self.konts.is_empty()
+    }
+
+    /// The `(0, ∅, ∅) ⊑ u₀` test.
+    pub fn may_be_zero(&self) -> bool {
+        self.num.may_be_zero()
+    }
+}
+
+impl<D: NumDomain> Default for CAbsVal<D> {
+    fn default() -> Self {
+        Self::bot()
+    }
+}
+
+impl<D: NumDomain> fmt::Display for CAbsVal<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.num, fmt_set(&self.clos), fmt_set(&self.konts))
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for CAbsVal<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn fmt_set<T: fmt::Display>(s: &BTreeSet<T>) -> String {
+    if s.is_empty() {
+        return "∅".to_owned();
+    }
+    let items: Vec<String> = s.iter().map(T::to_string).collect();
+    format!("{{{}}}", items.join(","))
+}
+
+/// An abstract store `σ̂`, one cell per program variable (§4.1), for the
+/// direct and semantic-CPS analyzers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AbsStore<D> {
+    cells: Vec<AbsVal<D>>,
+}
+
+impl<D: NumDomain> AbsStore<D> {
+    /// All-⊥ store for `n` variables.
+    pub fn bottom(n: usize) -> Self {
+        AbsStore { cells: vec![AbsVal::bot(); n] }
+    }
+
+    /// `σ(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a variable of the program this store was sized
+    /// for.
+    pub fn get(&self, x: VarId) -> &AbsVal<D> {
+        &self.cells[x.index()]
+    }
+
+    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed.
+    pub fn join_at(&mut self, x: VarId, u: &AbsVal<D>) -> bool {
+        let cell = &mut self.cells[x.index()];
+        let joined = cell.join(u);
+        if &joined == cell {
+            false
+        } else {
+            *cell = joined;
+            true
+        }
+    }
+
+    /// `σ₁ ⊔ σ₂`, pointwise.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.cells.len(), other.cells.len());
+        AbsStore {
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| a.join(b))
+                .collect(),
+        }
+    }
+
+    /// `σ₁ ⊑ σ₂`, pointwise.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(a, b)| a.leq(b))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates `(VarId, value)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &AbsVal<D>)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for AbsStore<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.cells.iter()).finish()
+    }
+}
+
+/// An abstract store for the syntactic-CPS analyzer (cells for both
+/// namespaces).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CAbsStore<D> {
+    cells: Vec<CAbsVal<D>>,
+}
+
+impl<D: NumDomain> CAbsStore<D> {
+    /// All-⊥ store for `n` variables.
+    pub fn bottom(n: usize) -> Self {
+        CAbsStore { cells: vec![CAbsVal::bot(); n] }
+    }
+
+    /// `σ(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range for the program this store was sized
+    /// for.
+    pub fn get(&self, x: CVarId) -> &CAbsVal<D> {
+        &self.cells[x.index()]
+    }
+
+    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed.
+    pub fn join_at(&mut self, x: CVarId, u: &CAbsVal<D>) -> bool {
+        let cell = &mut self.cells[x.index()];
+        let joined = cell.join(u);
+        if &joined == cell {
+            false
+        } else {
+            *cell = joined;
+            true
+        }
+    }
+
+    /// `σ₁ ⊔ σ₂`, pointwise.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.cells.len(), other.cells.len());
+        CAbsStore {
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| a.join(b))
+                .collect(),
+        }
+    }
+
+    /// `σ₁ ⊑ σ₂`, pointwise.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(a, b)| a.leq(b))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates `(CVarId, value)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CVarId, &CAbsVal<D>)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (CVarId(i as u32), v))
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for CAbsStore<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.cells.iter()).finish()
+    }
+}
+
+/// An abstract answer `(û, σ̂)` of the direct / semantic-CPS analyzers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AbsAnswer<D> {
+    /// The result value.
+    pub value: AbsVal<D>,
+    /// The final store.
+    pub store: AbsStore<D>,
+}
+
+impl<D: NumDomain> AbsAnswer<D> {
+    /// Component-wise join.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        AbsAnswer {
+            value: self.value.join(&other.value),
+            store: self.store.join(&other.store),
+        }
+    }
+
+    /// Component-wise order.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.value.leq(&other.value) && self.store.leq(&other.store)
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for AbsAnswer<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbsAnswer")
+            .field("value", &self.value)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+/// An abstract answer of the syntactic-CPS analyzer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CAbsAnswer<D> {
+    /// The result value (what reaches `stop`).
+    pub value: CAbsVal<D>,
+    /// The final store.
+    pub store: CAbsStore<D>,
+}
+
+impl<D: NumDomain> CAbsAnswer<D> {
+    /// Component-wise join.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        CAbsAnswer {
+            value: self.value.join(&other.value),
+            store: self.store.join(&other.store),
+        }
+    }
+
+    /// Component-wise order.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.value.leq(&other.value) && self.store.leq(&other.store)
+    }
+}
+
+impl<D: NumDomain> fmt::Debug for CAbsAnswer<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CAbsAnswer")
+            .field("value", &self.value)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Flat;
+
+    #[test]
+    fn absval_join_and_order() {
+        let a: AbsVal<Flat> = AbsVal::num(1);
+        let b = AbsVal::closure(AbsClo::Lam(Label::new(3)));
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert!(!j.leq(&a));
+        assert_eq!(j.num.as_const(), Some(1));
+        assert!(j.clos.contains(&AbsClo::Lam(Label::new(3))));
+    }
+
+    #[test]
+    fn exactly_zero_requires_empty_closures() {
+        let z: AbsVal<Flat> = AbsVal::num(0);
+        assert!(z.is_exactly_zero());
+        let zc = z.join(&AbsVal::closure(AbsClo::Inc));
+        assert!(!zc.is_exactly_zero());
+        assert!(zc.may_be_zero());
+    }
+
+    #[test]
+    fn store_join_at_reports_changes() {
+        let mut s: AbsStore<Flat> = AbsStore::bottom(2);
+        let v = AbsVal::num(5);
+        assert!(s.join_at(VarId(0), &v));
+        assert!(!s.join_at(VarId(0), &v), "idempotent join reports no change");
+        assert!(s.join_at(VarId(0), &AbsVal::num(6)), "widening to ⊤ is a change");
+        assert!(s.get(VarId(0)).num.is_top());
+        assert!(s.get(VarId(1)).is_bot());
+    }
+
+    #[test]
+    fn store_pointwise_order() {
+        let mut a: AbsStore<Flat> = AbsStore::bottom(2);
+        let b = a.clone();
+        a.join_at(VarId(1), &AbsVal::num(3));
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+        assert_eq!(a.join(&b), a);
+    }
+
+    #[test]
+    fn cabsval_tracks_konts_separately() {
+        let k: CAbsVal<Flat> = CAbsVal::kont(AbsKont::Stop);
+        let c = CAbsVal::closure(AbsClo::Lam(Label::new(1)));
+        let j = k.join(&c);
+        assert_eq!(j.konts.len(), 1);
+        assert_eq!(j.clos.len(), 1);
+        assert!(j.num.is_bot());
+        assert!(!j.is_exactly_zero());
+        assert!(CAbsVal::<Flat>::num(0).is_exactly_zero());
+    }
+
+    #[test]
+    fn answers_join_componentwise() {
+        let s: AbsStore<Flat> = AbsStore::bottom(1);
+        let a = AbsAnswer { value: AbsVal::num(1), store: s.clone() };
+        let b = AbsAnswer { value: AbsVal::num(2), store: s };
+        let j = a.join(&b);
+        assert!(j.value.num.is_top());
+        assert!(a.leq(&j));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let v: AbsVal<Flat> = AbsVal::num(3).join(&AbsVal::closure(AbsClo::Inc));
+        assert_eq!(v.to_string(), "(3, {inc})");
+        let c: CAbsVal<Flat> = CAbsVal::kont(AbsKont::Co(Label::new(2)));
+        assert_eq!(c.to_string(), "(⊥, ∅, {co@ℓ2})");
+    }
+}

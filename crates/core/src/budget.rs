@@ -1,0 +1,102 @@
+//! Analysis budgets and errors.
+//!
+//! The terminating analyzers of §4.4 cannot loop on pure Λ programs, but the
+//! §6.2 `loop` extension makes the semantic-CPS analysis genuinely
+//! non-computable, and the duplication of continuations makes CPS-style
+//! analyses exponentially expensive. A goal budget turns both phenomena
+//! into an observable, testable [`AnalysisError::BudgetExhausted`] instead
+//! of a hang.
+
+use std::error::Error;
+use std::fmt;
+
+/// A bound on the number of analysis goals (abstract-interpreter rule
+/// instantiations) a run may expand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisBudget {
+    max_goals: u64,
+}
+
+impl AnalysisBudget {
+    /// A budget of `max_goals` goals.
+    pub fn new(max_goals: u64) -> Self {
+        AnalysisBudget { max_goals }
+    }
+
+    /// The maximum number of goals.
+    pub fn max_goals(&self) -> u64 {
+        self.max_goals
+    }
+
+    /// Checks the `goals` counter against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::BudgetExhausted`] once `goals` exceeds the
+    /// budget.
+    pub fn check(&self, goals: u64) -> Result<(), AnalysisError> {
+        if goals > self.max_goals {
+            Err(AnalysisError::BudgetExhausted { budget: self.max_goals })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for AnalysisBudget {
+    /// 10⁷ goals: far beyond any paper example, small enough that the
+    /// exponential workloads of §6.2 fail fast.
+    fn default() -> Self {
+        AnalysisBudget::new(10_000_000)
+    }
+}
+
+/// Errors produced by the abstract analyzers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The goal budget ran out — for pure Λ programs this signals an
+    /// exponential blow-up; with the `loop` extension it is the expected
+    /// outcome of the non-computable semantic-CPS analysis (§6.2).
+    BudgetExhausted {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BudgetExhausted { budget } => {
+                write!(f, "analysis exceeded its budget of {budget} goals")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        let b = AnalysisBudget::new(10);
+        assert!(b.check(10).is_ok());
+        assert_eq!(
+            b.check(11),
+            Err(AnalysisError::BudgetExhausted { budget: 10 })
+        );
+    }
+
+    #[test]
+    fn default_budget_is_large() {
+        assert!(AnalysisBudget::default().max_goals() >= 1_000_000);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = AnalysisError::BudgetExhausted { budget: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

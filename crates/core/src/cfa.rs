@@ -1,0 +1,553 @@
+//! Constraint-based 0CFA — the *baseline* formulation of control-flow
+//! analysis (Shivers 1991), for comparison with the paper's derived
+//! analyzers.
+//!
+//! §6.1 explains the folklore observation that "Shivers's 0CFA analysis of
+//! CPS programs merges distinct control paths unnecessarily" by the false
+//! returns of Figure 6. To make that connection concrete, this module
+//! implements the standard *constraint/fixpoint* formulation of 0CFA over
+//! both program representations:
+//!
+//! * [`zero_cfa`] — set constraints over the ANF source; corresponds to the
+//!   closure component of `M_e` (Figure 4) under the [`AnyNum`] domain;
+//! * [`zero_cfa_cps`] — set constraints over cps(Λ), where continuations
+//!   are values; corresponds to the closure/continuation components of
+//!   `M_s` (Figure 6), including its false returns.
+//!
+//! Two deliberate differences from the derivation-style analyzers, checked
+//! by tests because they are findings, not bugs:
+//!
+//! 1. The constraint solver is *reachability-blind*: it generates
+//!    constraints for all code, so dead code can contribute flows that the
+//!    interpreters never see.
+//! 2. It computes a least fixpoint, so recursion costs iteration rather
+//!    than a §4.4 cut to `CL⊤` — on looping programs 0CFA is strictly
+//!    *more* precise than the derivation-style analyzers' closure sets.
+//!
+//! [`AnyNum`]: crate::domain::AnyNum
+
+use crate::absval::{AbsClo, AbsKont};
+use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
+use cpsdfa_cps::{CTermKind, CVarId, CValKind, CpsProgram};
+use cpsdfa_syntax::Label;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The result of source-level 0CFA.
+#[derive(Debug, Clone)]
+pub struct CfaResult {
+    /// Closure set per variable.
+    pub vars: Vec<BTreeSet<AbsClo>>,
+    /// Closure set flowing out of each term (keyed by term label).
+    pub terms: HashMap<Label, BTreeSet<AbsClo>>,
+    /// Call graph: call-site `let` label → applicable closures.
+    pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
+    /// Fixpoint iterations until convergence.
+    pub iterations: u64,
+}
+
+impl CfaResult {
+    /// The closure set of a variable.
+    pub fn get(&self, v: VarId) -> &BTreeSet<AbsClo> {
+        &self.vars[v.index()]
+    }
+}
+
+/// Constraint-based 0CFA over an ANF program.
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_core::cfa::zero_cfa;
+///
+/// let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+/// let r = zero_cfa(&p);
+/// // the identity flows to f, and (via the self-application) to x
+/// let f = p.var_named("f").unwrap();
+/// let x = p.var_named("x").unwrap();
+/// assert_eq!(r.get(f).len(), 1);
+/// assert_eq!(r.get(f), r.get(x));
+/// ```
+pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
+    let lambdas = prog.lambdas();
+    let mut vars: Vec<BTreeSet<AbsClo>> = vec![BTreeSet::new(); prog.num_vars()];
+    let mut terms: HashMap<Label, BTreeSet<AbsClo>> = HashMap::new();
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+
+    // Collect the static flow edges once.
+    #[derive(Clone, Copy)]
+    enum Node {
+        Var(VarId),
+        Term(Label),
+    }
+    enum Edge {
+        /// constant ⊆ node
+        Seed(BTreeSet<AbsClo>, Node),
+        /// src ⊆ dst
+        Sub(Node, Node),
+        /// application: callees from `f`, argument flow + return flow
+        Call { f: Node, arg: Node, bind: VarId, site: Label },
+    }
+
+    let mut edges: Vec<Edge> = Vec::new();
+    let flow_of = |v: &cpsdfa_anf::AVal| -> Result<BTreeSet<AbsClo>, VarId> {
+        match &v.kind {
+            AValKind::Num(_) => Ok(BTreeSet::new()),
+            AValKind::Add1 => Ok(BTreeSet::from([AbsClo::Inc])),
+            AValKind::Sub1 => Ok(BTreeSet::from([AbsClo::Dec])),
+            AValKind::Lam(..) => Ok(BTreeSet::from([AbsClo::Lam(v.label)])),
+            AValKind::Var(x) => Err(prog.var_id(x).expect("indexed variable")),
+        }
+    };
+    let val_node = |v: &cpsdfa_anf::AVal, dst: Node, edges: &mut Vec<Edge>| match flow_of(v) {
+        Ok(set) => {
+            if !set.is_empty() {
+                edges.push(Edge::Seed(set, dst));
+            }
+        }
+        Err(var) => edges.push(Edge::Sub(Node::Var(var), dst)),
+    };
+
+    fn gen(
+        m: &Anf,
+        prog: &AnfProgram,
+        edges: &mut Vec<Edge>,
+        val_node: &impl Fn(&cpsdfa_anf::AVal, Node, &mut Vec<Edge>),
+    ) {
+        match &m.kind {
+            AnfKind::Value(v) => {
+                val_node(v, Node::Term(m.label), edges);
+                if let AValKind::Lam(_, body) = &v.kind {
+                    gen(body, prog, edges, val_node);
+                }
+            }
+            AnfKind::Let { var, bind, body } => {
+                let x = prog.var_id(var).expect("indexed variable");
+                match bind {
+                    Bind::Value(v) => {
+                        val_node(v, Node::Var(x), edges);
+                        if let AValKind::Lam(_, lbody) = &v.kind {
+                            gen(lbody, prog, edges, val_node);
+                        }
+                    }
+                    Bind::App(f, a) => {
+                        // Materialize operand flows through the term nodes
+                        // of the operands themselves.
+                        val_node(f, Node::Term(f.label), edges);
+                        val_node(a, Node::Term(a.label), edges);
+                        if let AValKind::Lam(_, b) = &f.kind {
+                            gen(b, prog, edges, val_node);
+                        }
+                        if let AValKind::Lam(_, b) = &a.kind {
+                            gen(b, prog, edges, val_node);
+                        }
+                        edges.push(Edge::Call {
+                            f: Node::Term(f.label),
+                            arg: Node::Term(a.label),
+                            bind: x,
+                            site: m.label,
+                        });
+                    }
+                    Bind::If0(c, t, e) => {
+                        val_node(c, Node::Term(c.label), edges);
+                        gen(t, prog, edges, val_node);
+                        gen(e, prog, edges, val_node);
+                        edges.push(Edge::Sub(Node::Term(t.label), Node::Var(x)));
+                        edges.push(Edge::Sub(Node::Term(e.label), Node::Var(x)));
+                    }
+                    Bind::Loop => {}
+                }
+                gen(body, prog, edges, val_node);
+                edges.push(Edge::Sub(Node::Term(body.label), Node::Term(m.label)));
+            }
+        }
+    }
+    gen(prog.root(), prog, &mut edges, &val_node);
+
+    // Naive fixpoint iteration (programs are small; clarity over speed).
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        let get = |n: Node, vars: &Vec<BTreeSet<AbsClo>>, terms: &HashMap<Label, BTreeSet<AbsClo>>| {
+            match n {
+                Node::Var(v) => vars[v.index()].clone(),
+                Node::Term(l) => terms.get(&l).cloned().unwrap_or_default(),
+            }
+        };
+        let add = |n: Node,
+                       set: BTreeSet<AbsClo>,
+                       vars: &mut Vec<BTreeSet<AbsClo>>,
+                       terms: &mut HashMap<Label, BTreeSet<AbsClo>>|
+         -> bool {
+            let target = match n {
+                Node::Var(v) => &mut vars[v.index()],
+                Node::Term(l) => terms.entry(l).or_default(),
+            };
+            let before = target.len();
+            target.extend(set);
+            target.len() != before
+        };
+        let mut new_edges: Vec<Edge> = Vec::new();
+        for e in &edges {
+            match e {
+                Edge::Seed(set, dst) => {
+                    changed |= add(*dst, set.clone(), &mut vars, &mut terms);
+                }
+                Edge::Sub(src, dst) => {
+                    let s = get(*src, &vars, &terms);
+                    changed |= add(*dst, s, &mut vars, &mut terms);
+                }
+                Edge::Call { f, arg, bind, site } => {
+                    let callees = get(*f, &vars, &terms);
+                    for clo in callees {
+                        let newly = calls.entry(*site).or_default().insert(clo);
+                        changed |= newly;
+                        if let AbsClo::Lam(l) = clo {
+                            let lam = lambdas[&l];
+                            // argument flows into the parameter
+                            let s = get(*arg, &vars, &terms);
+                            changed |= add(Node::Var(lam.param_id), s, &mut vars, &mut terms);
+                            // body result flows into the binder
+                            new_edges.push(Edge::Sub(
+                                Node::Term(lam.body.label),
+                                Node::Var(*bind),
+                            ));
+                        }
+                        // Inc/Dec return numbers: no closure flow.
+                    }
+                }
+            }
+        }
+        for e in new_edges {
+            // Persist dynamically discovered return edges.
+            if let Edge::Sub(src, dst) = &e {
+                let s = get(*src, &vars, &terms);
+                changed |= add(*dst, s, &mut vars, &mut terms);
+            }
+            edges.push(e);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    CfaResult { vars, terms, calls, iterations }
+}
+
+/// A flow value of CPS-level 0CFA: a closure or a reified continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CpsFlow {
+    /// A procedure.
+    Clo(AbsClo),
+    /// A continuation.
+    Kont(AbsKont),
+}
+
+/// The result of CPS-level 0CFA.
+#[derive(Debug, Clone)]
+pub struct CpsCfaResult {
+    /// Flow set per variable (both namespaces).
+    pub vars: Vec<BTreeSet<CpsFlow>>,
+    /// Return sites `(k W)` → continuations invoked.
+    pub returns: BTreeMap<Label, BTreeSet<AbsKont>>,
+    /// Call sites → applicable closures.
+    pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
+    /// Fixpoint iterations until convergence.
+    pub iterations: u64,
+}
+
+impl CpsCfaResult {
+    /// The flow set of a variable.
+    pub fn get(&self, v: CVarId) -> &BTreeSet<CpsFlow> {
+        &self.vars[v.index()]
+    }
+
+    /// §6.1's measurable shadow, as in
+    /// [`FlowLog::false_return_edges`](crate::flow::FlowLog::false_return_edges).
+    pub fn false_return_edges(&self) -> usize {
+        self.returns.values().map(|ks| ks.len().saturating_sub(1)).sum()
+    }
+}
+
+/// Constraint-based 0CFA over a CPS program — Shivers' original setting.
+/// Continuations are ordinary flow values, so the analysis collects
+/// continuation *sets* at `k` variables and merges returns exactly as
+/// Figure 6 does.
+pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
+    let lambdas = prog.lambdas();
+    let conts = prog.conts();
+    let mut vars: Vec<BTreeSet<CpsFlow>> = vec![BTreeSet::new(); prog.num_vars()];
+    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+
+    enum Edge {
+        Seed(CpsFlow, CVarId),
+        Sub(CVarId, CVarId),
+        /// `(k W)`: for each continuation in `k`, `W` flows to its binder.
+        Ret { k: CVarId, w: Flow, site: Label },
+        /// `(W₁ W₂ (λx.P))`.
+        Call { f: Flow, arg: Flow, cont: Label, site: Label },
+    }
+
+    /// A CPS operand: either a constant flow or a variable.
+    #[derive(Clone, Copy)]
+    enum Flow {
+        None,
+        Const(CpsFlow),
+        Var(CVarId),
+    }
+
+    let flow_of = |w: &cpsdfa_cps::CVal| -> Flow {
+        match &w.kind {
+            CValKind::Num(_) => Flow::None,
+            CValKind::Add1K => Flow::Const(CpsFlow::Clo(AbsClo::Inc)),
+            CValKind::Sub1K => Flow::Const(CpsFlow::Clo(AbsClo::Dec)),
+            CValKind::Lam { .. } => Flow::Const(CpsFlow::Clo(AbsClo::Lam(w.label))),
+            CValKind::Var(x) => Flow::Var(prog.user_var_id(x).expect("indexed variable")),
+        }
+    };
+
+    let mut edges: Vec<Edge> = Vec::new();
+    fn gen<'p>(
+        t: &'p cpsdfa_cps::CTerm,
+        prog: &CpsProgram,
+        edges: &mut Vec<Edge>,
+        flow_of: &impl Fn(&'p cpsdfa_cps::CVal) -> Flow,
+    ) {
+        match &t.kind {
+            CTermKind::Ret(k, w) => {
+                let kid = prog.kont_var_id(k).expect("indexed k");
+                edges.push(Edge::Ret { k: kid, w: flow_of(w), site: t.label });
+                if let CValKind::Lam { body, .. } = &w.kind {
+                    gen(body, prog, edges, flow_of);
+                }
+            }
+            CTermKind::Let { var, val, body } => {
+                let x = prog.user_var_id(var).expect("indexed variable");
+                match flow_of(val) {
+                    Flow::None => {}
+                    Flow::Const(c) => edges.push(Edge::Seed(c, x)),
+                    Flow::Var(y) => edges.push(Edge::Sub(y, x)),
+                }
+                if let CValKind::Lam { body: b, .. } = &val.kind {
+                    gen(b, prog, edges, flow_of);
+                }
+                gen(body, prog, edges, flow_of);
+            }
+            CTermKind::Call { f, arg, cont } => {
+                edges.push(Edge::Call {
+                    f: flow_of(f),
+                    arg: flow_of(arg),
+                    cont: cont.label,
+                    site: t.label,
+                });
+                if let CValKind::Lam { body, .. } = &f.kind {
+                    gen(body, prog, edges, flow_of);
+                }
+                if let CValKind::Lam { body, .. } = &arg.kind {
+                    gen(body, prog, edges, flow_of);
+                }
+                gen(&cont.body, prog, edges, flow_of);
+            }
+            CTermKind::LetK { k, cont, then_, else_, .. } => {
+                let kid = prog.kont_var_id(k).expect("indexed k");
+                edges.push(Edge::Seed(CpsFlow::Kont(AbsKont::Co(cont.label)), kid));
+                gen(&cont.body, prog, edges, flow_of);
+                gen(then_, prog, edges, flow_of);
+                gen(else_, prog, edges, flow_of);
+            }
+            CTermKind::Loop { cont } => gen(&cont.body, prog, edges, flow_of),
+        }
+    }
+    gen(prog.root(), prog, &mut edges, &flow_of);
+
+    // The top continuation holds `stop`.
+    let k0 = prog.kont_var_id(prog.top_k()).expect("top k indexed");
+    edges.push(Edge::Seed(CpsFlow::Kont(AbsKont::Stop), k0));
+
+    let read = |f: Flow, vars: &Vec<BTreeSet<CpsFlow>>| -> BTreeSet<CpsFlow> {
+        match f {
+            Flow::None => BTreeSet::new(),
+            Flow::Const(c) => BTreeSet::from([c]),
+            Flow::Var(v) => vars[v.index()].clone(),
+        }
+    };
+
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        let add = |v: CVarId, set: BTreeSet<CpsFlow>, vars: &mut Vec<BTreeSet<CpsFlow>>| {
+            let target = &mut vars[v.index()];
+            let before = target.len();
+            target.extend(set);
+            target.len() != before
+        };
+        for e in &edges {
+            match e {
+                Edge::Seed(c, dst) => {
+                    changed |= add(*dst, BTreeSet::from([*c]), &mut vars);
+                }
+                Edge::Sub(src, dst) => {
+                    let s = vars[src.index()].clone();
+                    changed |= add(*dst, s, &mut vars);
+                }
+                Edge::Ret { k, w, site } => {
+                    let konts: Vec<AbsKont> = vars[k.index()]
+                        .iter()
+                        .filter_map(|f| match f {
+                            CpsFlow::Kont(kk) => Some(*kk),
+                            CpsFlow::Clo(_) => None,
+                        })
+                        .collect();
+                    for kk in konts {
+                        changed |= returns.entry(*site).or_default().insert(kk);
+                        if let AbsKont::Co(l) = kk {
+                            let cont = conts[&l];
+                            let s = read(*w, &vars);
+                            changed |= add(cont.var_id, s, &mut vars);
+                        }
+                    }
+                }
+                Edge::Call { f, arg, cont, site } => {
+                    let callees: Vec<AbsClo> = read(*f, &vars)
+                        .into_iter()
+                        .filter_map(|fl| match fl {
+                            CpsFlow::Clo(c) => Some(c),
+                            CpsFlow::Kont(_) => None,
+                        })
+                        .collect();
+                    for clo in callees {
+                        changed |= calls.entry(*site).or_default().insert(clo);
+                        if let AbsClo::Lam(l) = clo {
+                            let lam = lambdas[&l];
+                            let s = read(*arg, &vars);
+                            changed |= add(lam.param_id, s, &mut vars);
+                            changed |= add(
+                                lam.k_id,
+                                BTreeSet::from([CpsFlow::Kont(AbsKont::Co(*cont))]),
+                                &mut vars,
+                            );
+                        } else {
+                            // Primitives return numbers directly to the
+                            // continuation: no closure flow.
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    CpsCfaResult { vars, returns, calls, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectAnalyzer;
+    use crate::domain::AnyNum;
+    use crate::syncps::SynCpsAnalyzer;
+
+    #[test]
+    fn identity_flows_through_self_application() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let r = zero_cfa(&p);
+        let f = p.var_named("f").unwrap();
+        let x = p.var_named("x").unwrap();
+        let lam = AbsClo::Lam(p.lambda_labels()[0]);
+        assert!(r.get(f).contains(&lam));
+        assert!(r.get(x).contains(&lam));
+        assert_eq!(r.calls.len(), 1);
+    }
+
+    #[test]
+    fn matches_direct_analyzer_closures_on_nonrecursive_programs() {
+        for src in [
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (f (if0 z (lambda (d0) 0) (lambda (d1) 1))) (let (a (f 9)) a))",
+            "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+        ] {
+            let p = AnfProgram::parse(src).unwrap();
+            let cfa = zero_cfa(&p);
+            let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+            for (v, name) in p.iter_vars() {
+                assert_eq!(
+                    cfa.get(v),
+                    &d.store.get(v).clos,
+                    "0CFA and M_e closure sets differ at {name} in {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_beats_cycle_cut_on_omega() {
+        // The §4.4 cut answers Ω with CL⊤; the constraint solver computes
+        // the least fixpoint and keeps the set exact — a strictly more
+        // precise closure result (documented divergence, see module docs).
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (let (r (w w)) r))").unwrap();
+        let cfa = zero_cfa(&p);
+        let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        let x = p.var_named("x").unwrap();
+        let lam = AbsClo::Lam(p.lambda_labels()[0]);
+        assert_eq!(cfa.get(x), &BTreeSet::from([lam]));
+        // M_e's r contains CL⊤ because of the cut:
+        let r = p.var_named("r").unwrap();
+        assert!(cfa.get(r).is_subset(&d.store.get(r).clos));
+    }
+
+    #[test]
+    fn cps_cfa_reproduces_false_returns() {
+        let p = AnfProgram::parse(
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+        )
+        .unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let r = zero_cfa_cps(&c);
+        assert!(r.false_return_edges() > 0, "Shivers' merge must be visible");
+        // and it is the same count the Figure 6 analyzer reports
+        let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
+        assert_eq!(r.false_return_edges(), syn.flows.false_return_edges());
+    }
+
+    #[test]
+    fn cps_cfa_matches_syncps_analyzer_flow_sets() {
+        for src in [
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (a (if0 z 0 1)) (add1 a))",
+            "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+        ] {
+            let p = AnfProgram::parse(src).unwrap();
+            let c = CpsProgram::from_anf(&p);
+            let cfa = zero_cfa_cps(&c);
+            let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
+            for (v, key) in c.iter_vars() {
+                let mut expect: BTreeSet<CpsFlow> = BTreeSet::new();
+                let sv = syn.store.get(v);
+                expect.extend(sv.clos.iter().map(|&x| CpsFlow::Clo(x)));
+                expect.extend(sv.konts.iter().map(|&x| CpsFlow::Kont(x)));
+                assert_eq!(cfa.get(v), &expect, "mismatch at {key} in {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_call_has_no_false_returns() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let r = zero_cfa_cps(&c);
+        assert_eq!(r.false_return_edges(), 0);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn prims_contribute_inc_dec_flow() {
+        let p = AnfProgram::parse("(let (g add1) (g 1))").unwrap();
+        let r = zero_cfa(&p);
+        let g = p.var_named("g").unwrap();
+        assert!(r.get(g).contains(&AbsClo::Inc));
+        assert!(r.calls.values().next().unwrap().contains(&AbsClo::Inc));
+    }
+}

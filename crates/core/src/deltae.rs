@@ -1,0 +1,197 @@
+//! The abstract version δₑ of the δ relation (§5), bridging direct /
+//! semantic-CPS results and syntactic-CPS results:
+//!
+//! ```text
+//! δe((n̂, {cl₁, …, clᵢ})) = (n̂, {Ve(cl₁), …, Ve(clᵢ)}, ∅)
+//! Ve((cle x, M)) = (cle xk, F_k[M])      Ve(inc) = inck     Ve(dec) = deck
+//! ```
+//!
+//! applied pointwise to stores and component-wise to answers. Theorems 5.1,
+//! 5.2, and 5.5 all state their comparisons through δₑ; this module makes
+//! those statements executable.
+
+use crate::absval::{AbsClo, AbsStore, AbsVal, CAbsStore, CAbsVal};
+use crate::domain::NumDomain;
+use crate::precision::PrecisionOrder;
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::CpsProgram;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// δₑ on values: maps a direct/semantic abstract value into the
+/// syntactic-CPS universe via the transform's label correspondence. The
+/// continuation component of the image is empty — direct values never
+/// contain continuations.
+///
+/// Returns `None` if a closure has no CPS image (possible only when the
+/// value did not come from an analysis of the matching program).
+pub fn delta_val<D: NumDomain>(v: &AbsVal<D>, cps: &CpsProgram) -> Option<CAbsVal<D>> {
+    let mut clos = BTreeSet::new();
+    for c in &v.clos {
+        let mapped = match c {
+            AbsClo::Inc => AbsClo::Inc,
+            AbsClo::Dec => AbsClo::Dec,
+            AbsClo::Lam(src) => AbsClo::Lam(*cps.label_map().lam.get(src)?),
+        };
+        clos.insert(mapped);
+    }
+    Some(CAbsVal::new(v.num.clone(), clos, BTreeSet::new()))
+}
+
+/// The per-variable comparison of a source-program analysis against a
+/// CPS-program analysis, through δₑ.
+#[derive(Debug, Clone)]
+pub struct CrossComparison<D: NumDomain> {
+    /// Source variable name.
+    pub name: String,
+    /// δₑ of the source analysis' value.
+    pub direct_image: CAbsVal<D>,
+    /// The CPS analysis' value at the same variable.
+    pub cps_value: CAbsVal<D>,
+    /// `δe(σ₁(x))` vs `σ₂(x)`.
+    pub order: PrecisionOrder,
+}
+
+impl<D: NumDomain> fmt::Display for CrossComparison<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} source→δe {:<28} cps {:<28} [{}]",
+            self.name,
+            self.direct_image.to_string(),
+            self.cps_value.to_string(),
+            self.order
+        )
+    }
+}
+
+/// Compares a direct (or semantic-CPS) store against a syntactic-CPS store
+/// through δₑ, per shared user variable — the executable form of the
+/// store conditions in Theorems 5.1/5.2/5.5.
+///
+/// # Panics
+///
+/// Panics if `cps` was not produced from `prog` (variables fail to map).
+pub fn compare_via_delta<D: NumDomain>(
+    prog: &AnfProgram,
+    cps: &CpsProgram,
+    source_store: &AbsStore<D>,
+    cps_store: &CAbsStore<D>,
+) -> Vec<CrossComparison<D>> {
+    let mut rows = Vec::new();
+    for (v, name) in prog.iter_vars() {
+        let img = delta_val(source_store.get(v), cps)
+            .expect("closure labels map through the CPS transform");
+        let cid = cps
+            .user_var_id(name)
+            .expect("source variables survive the CPS transform");
+        let cv = cps_store.get(cid).clone();
+        let order = PrecisionOrder::from_leq(img.leq(&cv), cv.leq(&img));
+        rows.push(CrossComparison {
+            name: name.to_string(),
+            direct_image: img,
+            cps_value: cv,
+            order,
+        });
+    }
+    rows
+}
+
+/// Summarizes a cross-comparison into one overall [`PrecisionOrder`]
+/// (the conjunction over variables, as in the theorem statements).
+pub fn overall(rows: &[CrossComparison<impl NumDomain>]) -> PrecisionOrder {
+    let all_left = rows.iter().all(|r| {
+        matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise)
+    });
+    let all_right = rows.iter().all(|r| {
+        matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::RightMorePrecise)
+    });
+    PrecisionOrder::from_leq(all_left, all_right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectAnalyzer;
+    use crate::domain::Flat;
+    use crate::semcps::SemCpsAnalyzer;
+    use crate::syncps::SynCpsAnalyzer;
+
+    fn setup(src: &str) -> (AnfProgram, CpsProgram) {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn delta_maps_closure_labels() {
+        let (p, c) = setup("(let (f (lambda (x) x)) (f 1))");
+        let src_lam = p.lambda_labels()[0];
+        let v: AbsVal<Flat> = AbsVal::closure(AbsClo::Lam(src_lam));
+        let img = delta_val(&v, &c).unwrap();
+        assert_eq!(img.clos.len(), 1);
+        assert!(img.konts.is_empty());
+        let cps_lam = c.label_map().lam[&src_lam];
+        assert!(img.clos.contains(&AbsClo::Lam(cps_lam)));
+    }
+
+    #[test]
+    fn delta_preserves_primitives_and_numbers() {
+        let (_, c) = setup("(add1 1)");
+        let v: AbsVal<Flat> = AbsVal::num(3).join(&AbsVal::closure(AbsClo::Inc));
+        let img = delta_val(&v, &c).unwrap();
+        assert_eq!(img.num.as_const(), Some(3));
+        assert!(img.clos.contains(&AbsClo::Inc));
+    }
+
+    #[test]
+    fn delta_rejects_foreign_labels() {
+        let (_, c) = setup("(add1 1)");
+        let v: AbsVal<Flat> = AbsVal::closure(AbsClo::Lam(cpsdfa_syntax::Label::new(999)));
+        assert!(delta_val(&v, &c).is_none());
+    }
+
+    #[test]
+    fn theorem_51_direct_strictly_more_precise() {
+        let (p, c) = setup("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))");
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let rows = compare_via_delta(&p, &c, &d.store, &s.store);
+        let a1 = rows.iter().find(|r| r.name == "a1").unwrap();
+        assert_eq!(a1.order, PrecisionOrder::LeftMorePrecise);
+        assert_eq!(overall(&rows), PrecisionOrder::LeftMorePrecise);
+    }
+
+    #[test]
+    fn theorem_52_cps_strictly_more_precise() {
+        let (p, c) = setup("(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))");
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let rows = compare_via_delta(&p, &c, &d.store, &s.store);
+        let a2 = rows.iter().find(|r| r.name == "a2").unwrap();
+        assert_eq!(a2.order, PrecisionOrder::RightMorePrecise);
+        assert_eq!(overall(&rows), PrecisionOrder::RightMorePrecise);
+    }
+
+    #[test]
+    fn theorem_55_semantic_refines_syntactic() {
+        // δe(C_e result) ⊑ M_s result, pointwise on shared variables.
+        for src in [
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))",
+            "(let (f (lambda (x) (if0 x 1 2))) (let (a (f 0)) (let (b (f 5)) b)))",
+        ] {
+            let (p, c) = setup(src);
+            let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+            let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+            let rows = compare_via_delta(&p, &c, &sem.store, &syn.store);
+            for r in &rows {
+                assert!(
+                    matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise),
+                    "theorem 5.5 violated at {} on {src}: {r}",
+                    r.name
+                );
+            }
+        }
+    }
+}

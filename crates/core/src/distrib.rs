@@ -1,0 +1,124 @@
+//! Distributivity (Definition 5.3) made checkable.
+//!
+//! An analysis is *distributive* when returning the join of several answers
+//! to a continuation gives the same result as returning each answer
+//! separately and joining: `(κ, ⊔ᵢ Aᵢ) appr A  iff  A = ⊔ᵢ Bᵢ` with
+//! `(κ, Aᵢ) appr Bᵢ`. When it holds, duplication buys nothing (Theorem 5.4
+//! degenerates to equality); when it fails, the semantic-CPS analyzer gains
+//! information (constant propagation is the paper's running example).
+//!
+//! For the analyses derived here, non-distributivity enters through exactly
+//! two doors, both decidable per domain:
+//!
+//! 1. **Branch pruning**: if the domain can prove a test exactly zero /
+//!    nonzero, analyzing a continuation under a joined store may take both
+//!    branches where the per-path analyses each take one.
+//! 2. **Transfer non-linearity**: `f(a ⊔ b) ≠ f(a) ⊔ f(b)` for a transfer
+//!    function `f`. (With only `add1`/`sub1` this never fires for the stock
+//!    domains, but the check guards future domains.)
+//!
+//! This module implements both checks; `NumDomain::DISTRIBUTIVE` must agree
+//! with them (asserted by tests for every stock domain).
+
+use crate::domain::NumDomain;
+
+/// Sample points for domain-level checks.
+fn samples<D: NumDomain>() -> Vec<D> {
+    vec![
+        D::bot(),
+        D::top(),
+        D::constant(0),
+        D::constant(1),
+        D::constant(-1),
+        D::constant(2),
+        D::constant(0).join(&D::constant(1)),
+    ]
+}
+
+/// Door 1: can the domain distinguish "exactly zero" or "definitely
+/// nonzero"? If so, `if0` prunes branches, and pruning under a joined store
+/// differs from pruning per path.
+pub fn allows_branch_pruning<D: NumDomain>() -> bool {
+    let can_prove_zero = D::constant(0).is_exactly_zero();
+    let can_prove_nonzero = !D::constant(1).may_be_zero();
+    can_prove_zero || can_prove_nonzero
+}
+
+/// Door 2: do `add1`/`sub1` distribute over joins on the sample points?
+pub fn transfers_distribute<D: NumDomain>() -> bool {
+    let pts = samples::<D>();
+    for a in &pts {
+        for b in &pts {
+            let j = a.join(b);
+            if j.add1() != a.add1().join(&b.add1()) {
+                return false;
+            }
+            if j.sub1() != a.sub1().join(&b.sub1()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The overall Definition 5.3 verdict for analyses over domain `D`.
+pub fn is_distributive<D: NumDomain>() -> bool {
+    transfers_distribute::<D>() && !allows_branch_pruning::<D>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{AnyNum, Flat, PowerSet};
+
+    #[test]
+    fn flat_is_not_distributive_because_of_pruning() {
+        assert!(allows_branch_pruning::<Flat>());
+        // add1/sub1 themselves distribute on Flat ...
+        assert!(transfers_distribute::<Flat>());
+        // ... so the whole verdict comes from pruning.
+        assert!(!is_distributive::<Flat>());
+        assert_eq!(Flat::DISTRIBUTIVE, is_distributive::<Flat>());
+    }
+
+    #[test]
+    fn powerset_is_not_distributive() {
+        assert!(allows_branch_pruning::<PowerSet<8>>());
+        assert!(transfers_distribute::<PowerSet<8>>());
+        assert!(!is_distributive::<PowerSet<8>>());
+        assert_eq!(PowerSet::<8>::DISTRIBUTIVE, is_distributive::<PowerSet<8>>());
+    }
+
+    #[test]
+    fn anynum_is_distributive() {
+        assert!(!allows_branch_pruning::<AnyNum>());
+        assert!(transfers_distribute::<AnyNum>());
+        assert!(is_distributive::<AnyNum>());
+        assert_eq!(AnyNum::DISTRIBUTIVE, is_distributive::<AnyNum>());
+    }
+
+    #[test]
+    fn theorem_54_equality_under_distributive_domain() {
+        // With AnyNum, semantic-CPS and direct agree exactly (the equality
+        // clause of Theorem 5.4) on programs that exercise conditionals,
+        // calls, and higher-order flows.
+        use crate::direct::DirectAnalyzer;
+        use crate::semcps::SemCpsAnalyzer;
+        use cpsdfa_anf::AnfProgram;
+        for src in [
+            "(let (a (if0 z 1 2)) (add1 a))",
+            "(let (f (lambda (x) (if0 x 0 1))) (let (a (f z)) a))",
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (f (if0 z (lambda (d0) 0) (lambda (d1) 1))) (let (a (f 9)) a))",
+            "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))",
+        ] {
+            let p = AnfProgram::parse(src).unwrap();
+            let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+            let c = SemCpsAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+            assert!(
+                d.store.leq(&c.store) && c.store.leq(&d.store) && d.value == c.value,
+                "Theorem 5.4 equality clause failed on {src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The one-point "some number" domain: reduces the analyses to pure
+//! control-flow analysis, for which Definition 5.3 (distributivity) holds.
+
+use super::NumDomain;
+use std::fmt;
+
+/// `⊥ ⊑ ⊤`: either no number reaches, or *some* number does. There are no
+/// constants, so `if0` can never prune a branch and `add1`/`sub1` are
+/// identities; every join is a set union at the closure level. This is the
+/// distributive instance used to observe the equality clause of Theorem 5.4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnyNum {
+    /// No number.
+    Bot,
+    /// Some number.
+    Num,
+}
+
+impl NumDomain for AnyNum {
+    const DISTRIBUTIVE: bool = true;
+
+    fn bot() -> Self {
+        AnyNum::Bot
+    }
+
+    fn top() -> Self {
+        AnyNum::Num
+    }
+
+    fn constant(_n: i64) -> Self {
+        AnyNum::Num
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (AnyNum::Bot, AnyNum::Bot) => AnyNum::Bot,
+            _ => AnyNum::Num,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        !matches!((self, other), (AnyNum::Num, AnyNum::Bot))
+    }
+
+    fn add1(&self) -> Self {
+        *self
+    }
+
+    fn sub1(&self) -> Self {
+        *self
+    }
+
+    fn contains(&self, _n: i64) -> bool {
+        matches!(self, AnyNum::Num)
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        None
+    }
+}
+
+impl fmt::Display for AnyNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyNum::Bot => f.write_str("⊥"),
+            AnyNum::Num => f.write_str("num"),
+        }
+    }
+}
+
+impl fmt::Debug for AnyNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<AnyNum>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<AnyNum>();
+    }
+
+    #[test]
+    fn no_constants_no_pruning() {
+        assert_eq!(AnyNum::constant(0).as_const(), None);
+        assert!(!AnyNum::constant(0).is_exactly_zero());
+        assert!(AnyNum::constant(3).may_be_zero());
+        assert!(!AnyNum::Bot.may_be_zero());
+    }
+}

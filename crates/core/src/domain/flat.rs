@@ -1,0 +1,135 @@
+//! The flat constant-propagation lattice `N⊤` (§4.2, after Kam & Ullman).
+
+use super::NumDomain;
+use std::fmt;
+
+/// `⊥ ⊑ n ⊑ ⊤`: no number, exactly the number `n`, or any number.
+///
+/// This is the paper's abstraction of integer sets:
+/// `∅̂ = ⊥`, `{n}̂ = n`, `{n₁,n₂,…}̂ = ⊤`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flat {
+    /// The empty set of numbers.
+    Bot,
+    /// Exactly one number.
+    Const(i64),
+    /// Any number.
+    Top,
+}
+
+impl NumDomain for Flat {
+    const DISTRIBUTIVE: bool = false;
+
+    fn bot() -> Self {
+        Flat::Bot
+    }
+
+    fn top() -> Self {
+        Flat::Top
+    }
+
+    fn constant(n: i64) -> Self {
+        Flat::Const(n)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Flat::Bot, x) | (x, Flat::Bot) => *x,
+            (Flat::Const(a), Flat::Const(b)) if a == b => Flat::Const(*a),
+            _ => Flat::Top,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Flat::Bot, _) => true,
+            (_, Flat::Top) => true,
+            (Flat::Const(a), Flat::Const(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn add1(&self) -> Self {
+        match self {
+            Flat::Const(n) => Flat::Const(n + 1),
+            other => *other,
+        }
+    }
+
+    fn sub1(&self) -> Self {
+        match self {
+            Flat::Const(n) => Flat::Const(n - 1),
+            other => *other,
+        }
+    }
+
+    fn contains(&self, n: i64) -> bool {
+        match self {
+            Flat::Bot => false,
+            Flat::Const(m) => *m == n,
+            Flat::Top => true,
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        match self {
+            Flat::Const(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Flat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Flat::Bot => f.write_str("⊥"),
+            Flat::Const(n) => write!(f, "{n}"),
+            Flat::Top => f.write_str("⊤"),
+        }
+    }
+}
+
+impl fmt::Debug for Flat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<Flat>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<Flat>();
+    }
+
+    #[test]
+    fn joins_of_distinct_constants_go_top() {
+        assert_eq!(Flat::Const(0).join(&Flat::Const(1)), Flat::Top);
+        assert_eq!(Flat::Const(3).join(&Flat::Const(3)), Flat::Const(3));
+    }
+
+    #[test]
+    fn constant_queries() {
+        assert_eq!(Flat::Const(5).as_const(), Some(5));
+        assert!(Flat::Const(0).is_exactly_zero());
+        assert!(!Flat::Top.is_exactly_zero());
+        assert!(Flat::Top.may_be_zero());
+        assert!(!Flat::Const(3).may_be_zero());
+        assert!(!Flat::Bot.may_be_zero());
+    }
+
+    #[test]
+    fn display_uses_lattice_symbols() {
+        assert_eq!(Flat::Bot.to_string(), "⊥");
+        assert_eq!(Flat::Top.to_string(), "⊤");
+        assert_eq!(Flat::Const(-4).to_string(), "-4");
+    }
+}

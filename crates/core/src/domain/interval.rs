@@ -1,0 +1,283 @@
+//! A bounded interval domain `[lo, hi]`.
+//!
+//! Classical intervals have infinite ascending chains, which would defeat
+//! the §4.4 termination argument (it needs a finite-height store lattice).
+//! We therefore clamp finite bounds to `[-B, B]`: a computed bound outside
+//! the window widens to ±∞ (or saturates at the window edge on the side
+//! where that stays sound). Height is `O(B)` — finite — and the §4.4 loop
+//! rule applies unchanged, making this a faithful *richer* instance of the
+//! paper's framework.
+
+use super::NumDomain;
+use std::fmt;
+
+/// A lower or upper bound: ±∞ or a finite value in `[-B, B]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Bound {
+    NegInf,
+    Fin(i64),
+    PosInf,
+}
+
+impl Bound {
+    fn add(self, d: i64) -> Bound {
+        match self {
+            Bound::Fin(v) => Bound::Fin(v + d),
+            inf => inf,
+        }
+    }
+}
+
+/// An interval over the integers with finite bounds clamped to `[-B, B]`
+/// (`B` = `BOUND`, default 64).
+///
+/// ```
+/// use cpsdfa_core::domain::{Interval, NumDomain};
+/// let x = Interval::<64>::constant(3).join(&Interval::<64>::constant(7));
+/// assert_eq!(x.to_string(), "[3,7]");
+/// assert!(x.contains(5) && !x.contains(8));
+/// assert_eq!(x.add1().to_string(), "[4,8]");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval<const BOUND: i64 = 64> {
+    // `None` encodes ⊥; otherwise lo ≤ hi with clamped bounds.
+    range: Option<(Bound, Bound)>,
+}
+
+impl<const BOUND: i64> Interval<BOUND> {
+    /// Builds `[lo, hi]` from finite endpoints, clamping/widening as
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "range requires lo ≤ hi");
+        Self::mk(Bound::Fin(lo), Bound::Fin(hi))
+    }
+
+    /// `(lo, hi)` as `Option<i64>`s (`None` = infinite); `None` overall for
+    /// ⊥.
+    pub fn bounds(&self) -> Option<(Option<i64>, Option<i64>)> {
+        self.range.map(|(lo, hi)| {
+            let l = match lo {
+                Bound::Fin(v) => Some(v),
+                _ => None,
+            };
+            let h = match hi {
+                Bound::Fin(v) => Some(v),
+                _ => None,
+            };
+            (l, h)
+        })
+    }
+
+    /// Clamps a computed pair into the representable lattice, soundly:
+    /// a lower bound that grew past `B` saturates *down* to `B`; one that
+    /// sank below `-B` widens to −∞ (symmetrically for upper bounds).
+    fn mk(lo: Bound, hi: Bound) -> Self {
+        let lo = match lo {
+            Bound::Fin(v) if v > BOUND => Bound::Fin(BOUND),
+            Bound::Fin(v) if v < -BOUND => Bound::NegInf,
+            b => b,
+        };
+        let hi = match hi {
+            Bound::Fin(v) if v < -BOUND => Bound::Fin(-BOUND),
+            Bound::Fin(v) if v > BOUND => Bound::PosInf,
+            b => b,
+        };
+        Interval { range: Some((lo, hi)) }
+    }
+}
+
+impl<const BOUND: i64> NumDomain for Interval<BOUND> {
+    const DISTRIBUTIVE: bool = false;
+
+    fn bot() -> Self {
+        Interval { range: None }
+    }
+
+    fn top() -> Self {
+        Interval { range: Some((Bound::NegInf, Bound::PosInf)) }
+    }
+
+    fn constant(n: i64) -> Self {
+        Self::mk(Bound::Fin(n), Bound::Fin(n))
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self.range, other.range) {
+            (None, r) | (r, None) => Interval { range: r },
+            (Some((a, b)), Some((c, d))) => Self::mk(a.min(c), b.max(d)),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self.range, other.range) {
+            (None, _) => true,
+            (_, None) => false,
+            (Some((a, b)), Some((c, d))) => c <= a && b <= d,
+        }
+    }
+
+    fn add1(&self) -> Self {
+        match self.range {
+            None => Self::bot(),
+            Some((lo, hi)) => Self::mk(lo.add(1), hi.add(1)),
+        }
+    }
+
+    fn sub1(&self) -> Self {
+        match self.range {
+            None => Self::bot(),
+            Some((lo, hi)) => Self::mk(lo.add(-1), hi.add(-1)),
+        }
+    }
+
+    fn contains(&self, n: i64) -> bool {
+        match self.range {
+            None => false,
+            Some((lo, hi)) => {
+                let above = match lo {
+                    Bound::NegInf => true,
+                    Bound::Fin(v) => v <= n,
+                    Bound::PosInf => false,
+                };
+                let below = match hi {
+                    Bound::PosInf => true,
+                    Bound::Fin(v) => n <= v,
+                    Bound::NegInf => false,
+                };
+                above && below
+            }
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        match self.range {
+            Some((Bound::Fin(a), Bound::Fin(b))) if a == b => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl<const BOUND: i64> fmt::Display for Interval<BOUND> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.range {
+            None => f.write_str("⊥"),
+            Some((Bound::NegInf, Bound::PosInf)) => f.write_str("⊤"),
+            Some((lo, hi)) => {
+                let b = |x: Bound, inf: &str| match x {
+                    Bound::Fin(v) => v.to_string(),
+                    _ => inf.to_owned(),
+                };
+                write!(f, "[{},{}]", b(lo, "-∞"), b(hi, "+∞"))
+            }
+        }
+    }
+}
+
+impl<const BOUND: i64> fmt::Debug for Interval<BOUND> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    type Iv = Interval<64>;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<Iv>();
+        lattice_tests::check_lattice_laws::<Interval<4>>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<Iv>();
+    }
+
+    #[test]
+    fn joins_take_hulls() {
+        let x = Iv::constant(3).join(&Iv::constant(7));
+        assert_eq!(x.bounds(), Some((Some(3), Some(7))));
+        assert!(Iv::constant(5).leq(&x));
+        assert!(!x.leq(&Iv::constant(5)));
+    }
+
+    #[test]
+    fn widening_past_the_window() {
+        type Small = Interval<4>;
+        // hi beyond B widens to +∞ ...
+        let x = Small::constant(4).add1();
+        assert!(x.contains(5) && x.contains(1_000_000));
+        // ... and lo saturates soundly at B.
+        assert!(!x.contains(3));
+        // constants outside the window are still *contained*.
+        let big = Small::constant(100);
+        assert!(big.contains(100));
+        let neg = Small::constant(-77);
+        assert!(neg.contains(-77) && neg.contains(-1_000_000));
+    }
+
+    #[test]
+    fn finite_height_under_iteration() {
+        // Repeated add1 ⊔ join must stabilize (the §4.4 requirement).
+        type Small = Interval<8>;
+        let mut x = Small::constant(0);
+        let mut steps = 0;
+        loop {
+            let next = x.join(&x.add1());
+            if next == x {
+                break;
+            }
+            x = next;
+            steps += 1;
+            assert!(steps < 100, "interval chain did not stabilize");
+        }
+        assert!(x.contains(0) && x.contains(1_000));
+    }
+
+    #[test]
+    fn zero_tests() {
+        assert!(Iv::constant(0).is_exactly_zero());
+        assert!(Iv::range(-1, 1).may_be_zero());
+        assert!(!Iv::range(1, 9).may_be_zero());
+        assert_eq!(Iv::range(2, 2).as_const(), Some(2));
+        assert_eq!(Iv::range(1, 2).as_const(), None);
+    }
+
+    #[test]
+    fn interval_analysis_bounds_branch_results() {
+        use crate::direct::DirectAnalyzer;
+        use cpsdfa_anf::AnfProgram;
+        let p = AnfProgram::parse("(let (a (if0 z 1 5)) (add1 a))").unwrap();
+        let r = DirectAnalyzer::<Iv>::new(&p).analyze().unwrap();
+        let a = p.var_named("a").unwrap();
+        assert_eq!(r.store.get(a).num.to_string(), "[1,5]");
+        assert_eq!(r.value.num.to_string(), "[2,6]");
+    }
+
+    #[test]
+    fn recursive_programs_terminate_with_intervals() {
+        use crate::direct::DirectAnalyzer;
+        use crate::semcps::SemCpsAnalyzer;
+        use cpsdfa_anf::AnfProgram;
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (let (r (w w)) r))").unwrap();
+        assert!(DirectAnalyzer::<Iv>::new(&p).analyze().is_ok());
+        assert!(SemCpsAnalyzer::<Interval<8>>::new(&p).analyze().is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Iv::bot().to_string(), "⊥");
+        assert_eq!(Iv::top().to_string(), "⊤");
+        assert_eq!(Iv::range(-2, 9).to_string(), "[-2,9]");
+        let half = Iv::constant(60).add1().add1().add1().add1().add1();
+        assert_eq!(half.to_string(), "[64,+∞]");
+    }
+}

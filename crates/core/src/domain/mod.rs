@@ -1,0 +1,178 @@
+//! Abstract numeric domains (§4.2).
+//!
+//! The paper abstracts sets of numbers into the flat constant-propagation
+//! lattice `N⊤` of Kam & Ullman (`⊥ ⊑ n ⊑ ⊤`). All three abstract
+//! interpreters here are *generic* over the numeric domain via
+//! [`NumDomain`], which lets the repository exercise both clauses of
+//! Theorem 5.4:
+//!
+//! * [`Flat`] — the paper's lattice; **non-distributive** when combined
+//!   with `if0` branch pruning, so the semantic-CPS analyzer can be strictly
+//!   more precise than the direct analyzer.
+//! * [`PowerSet`] — k-bounded sets of constants; still non-distributive
+//!   (per-variable sets lose the correlations that continuation duplication
+//!   retains) but strictly more precise than `Flat`; useful for sensitivity
+//!   experiments.
+//! * [`AnyNum`] — the one-point "some number" domain. With it the analysis
+//!   degenerates to pure control-flow analysis (set-union joins, no branch
+//!   pruning), which *is* distributive; Theorem 5.4's equality clause is
+//!   observable with this domain.
+//! * [`Sign`] / [`Parity`] / [`Interval`] — classical richer instances,
+//!   used by the domain-sensitivity experiment (E11): they show that the
+//!   paper's comparisons are properties of the *analyzers*, not of the
+//!   constant-propagation lattice specifically. `Interval` clamps finite
+//!   bounds so the store lattice keeps the finite height that §4.4's
+//!   termination argument needs.
+
+mod anynum;
+mod flat;
+mod interval;
+mod parity;
+mod powerset;
+mod sign;
+
+pub use anynum::AnyNum;
+pub use flat::Flat;
+pub use interval::Interval;
+pub use parity::Parity;
+pub use powerset::PowerSet;
+pub use sign::Sign;
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// An abstract numeric lattice: the parameter of every analyzer in this
+/// crate.
+///
+/// Implementations must form a join-semilattice of *finite height* with
+/// bottom and top, ordered by [`leq`](NumDomain::leq), with monotone
+/// transfer functions [`add1`](NumDomain::add1) / [`sub1`](NumDomain::sub1)
+/// that soundly over-approximate `n+1` / `n−1`. Lattice laws are enforced by
+/// property tests in this crate.
+pub trait NumDomain: Clone + Eq + Hash + Debug + Display {
+    /// Whether joins distribute through this domain's transfer functions
+    /// *and* the domain prevents `if0` branch pruning — the conditions under
+    /// which Definition 5.3 holds for the derived analyses and Theorem 5.4
+    /// degenerates to equality.
+    const DISTRIBUTIVE: bool;
+
+    /// The least element (the empty set of numbers).
+    fn bot() -> Self;
+
+    /// The greatest element (all numbers).
+    fn top() -> Self;
+
+    /// The abstraction of the singleton `{n}`.
+    fn constant(n: i64) -> Self;
+
+    /// `self ⊔ other`.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+
+    /// `self ⊑ other`.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// `addle`: sound transfer for `n + 1`.
+    #[must_use]
+    fn add1(&self) -> Self;
+
+    /// `suble`: sound transfer for `n − 1`.
+    #[must_use]
+    fn sub1(&self) -> Self;
+
+    /// Membership in the concretization: `n ∈ γ(self)`.
+    fn contains(&self, n: i64) -> bool;
+
+    /// True for the least element.
+    fn is_bot(&self) -> bool {
+        *self == Self::bot()
+    }
+
+    /// True for the greatest element.
+    fn is_top(&self) -> bool {
+        *self == Self::top()
+    }
+
+    /// `Some(n)` iff the element denotes exactly the singleton `{n}`.
+    fn as_const(&self) -> Option<i64>;
+
+    /// `0 ∈ γ(self)` — drives `if0` branch selection.
+    fn may_be_zero(&self) -> bool {
+        self.contains(0)
+    }
+
+    /// True iff the element is exactly the constant `0` (the `u₀ = (0, ∅)`
+    /// test of Figures 4–6).
+    fn is_exactly_zero(&self) -> bool {
+        self.as_const() == Some(0)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod lattice_tests {
+    //! Shared lattice-law checks, instantiated per domain.
+    use super::NumDomain;
+
+    pub fn samples<D: NumDomain>() -> Vec<D> {
+        let mut v = vec![
+            D::bot(),
+            D::top(),
+            D::constant(0),
+            D::constant(1),
+            D::constant(-1),
+            D::constant(41),
+        ];
+        // A few derived points.
+        let d = D::constant(7).add1().join(&D::constant(-3).sub1());
+        v.push(d);
+        v
+    }
+
+    pub fn check_lattice_laws<D: NumDomain>() {
+        let pts = samples::<D>();
+        for a in &pts {
+            // reflexivity, idempotence, bounds
+            assert!(a.leq(a));
+            assert_eq!(&a.join(a), a);
+            assert!(D::bot().leq(a));
+            assert!(a.leq(&D::top()));
+            assert_eq!(&a.join(&D::bot()), a);
+            assert!(a.join(&D::top()).is_top());
+            for b in &pts {
+                let j = a.join(b);
+                // commutativity, upper bound
+                assert_eq!(j, b.join(a));
+                assert!(a.leq(&j) && b.leq(&j));
+                // leq agrees with join
+                assert_eq!(a.leq(b), &a.join(b) == b);
+                for c in &pts {
+                    // associativity
+                    assert_eq!(a.join(b).join(c), a.join(&b.join(c)));
+                }
+            }
+        }
+    }
+
+    pub fn check_transfer_soundness<D: NumDomain>() {
+        for n in [-2i64, -1, 0, 1, 5, 40] {
+            let a = D::constant(n);
+            assert!(a.contains(n));
+            assert!(a.add1().contains(n + 1), "add1 unsound at {n}");
+            assert!(a.sub1().contains(n - 1), "sub1 unsound at {n}");
+        }
+        // monotonicity of transfers on samples
+        let pts = samples::<D>();
+        for a in &pts {
+            for b in &pts {
+                if a.leq(b) {
+                    assert!(a.add1().leq(&b.add1()));
+                    assert!(a.sub1().leq(&b.sub1()));
+                }
+            }
+        }
+        assert!(D::top().add1().is_top());
+        assert!(D::top().sub1().is_top());
+        assert!(D::bot().add1().is_bot());
+        assert!(D::bot().sub1().is_bot());
+    }
+}

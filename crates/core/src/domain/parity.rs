@@ -1,0 +1,165 @@
+//! The parity domain: subsets of `{even, odd}`.
+//!
+//! A two-bit lattice whose transfers (`add1`/`sub1` *swap* the components)
+//! distribute over joins. It can never prove a value is exactly zero, but
+//! it *can* prove a value nonzero (odd ⇒ ≠ 0), so `if0` pruning is still
+//! possible and Definition 5.3 still fails — a finer point than the Flat
+//! case, exercised by the `distrib` tests.
+
+use super::NumDomain;
+use std::fmt;
+
+const EVEN: u8 = 0b10;
+const ODD: u8 = 0b01;
+
+/// A set of parities.
+///
+/// ```
+/// use cpsdfa_core::domain::{NumDomain, Parity};
+/// let e = Parity::constant(4);
+/// assert!(e.contains(0) && !e.contains(3));
+/// assert_eq!(e.add1().to_string(), "odd");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parity(u8);
+
+impl Parity {
+    /// The even numbers.
+    pub const EVEN: Parity = Parity(EVEN);
+    /// The odd numbers.
+    pub const ODD: Parity = Parity(ODD);
+
+    fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+}
+
+impl NumDomain for Parity {
+    const DISTRIBUTIVE: bool = false;
+
+    fn bot() -> Self {
+        Parity(0)
+    }
+
+    fn top() -> Self {
+        Parity(EVEN | ODD)
+    }
+
+    fn constant(n: i64) -> Self {
+        if n % 2 == 0 {
+            Parity(EVEN)
+        } else {
+            Parity(ODD)
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Parity(self.0 | other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    fn add1(&self) -> Self {
+        // adding one swaps parity components
+        let mut out = 0;
+        if self.has(EVEN) {
+            out |= ODD;
+        }
+        if self.has(ODD) {
+            out |= EVEN;
+        }
+        Parity(out)
+    }
+
+    fn sub1(&self) -> Self {
+        self.add1() // subtracting one also swaps parity
+    }
+
+    fn contains(&self, n: i64) -> bool {
+        if n % 2 == 0 {
+            self.has(EVEN)
+        } else {
+            self.has(ODD)
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        None // no parity class is a singleton
+    }
+}
+
+impl fmt::Display for Parity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("⊥"),
+            EVEN => f.write_str("even"),
+            ODD => f.write_str("odd"),
+            _ => f.write_str("⊤"),
+        }
+    }
+}
+
+impl fmt::Debug for Parity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<Parity>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<Parity>();
+    }
+
+    #[test]
+    fn parity_of_constants_and_negatives() {
+        assert_eq!(Parity::constant(4), Parity::EVEN);
+        assert_eq!(Parity::constant(-3), Parity::ODD);
+        assert_eq!(Parity::constant(0), Parity::EVEN);
+        assert!(Parity::EVEN.may_be_zero());
+        assert!(!Parity::ODD.may_be_zero());
+    }
+
+    #[test]
+    fn transfers_swap() {
+        assert_eq!(Parity::EVEN.add1(), Parity::ODD);
+        assert_eq!(Parity::ODD.sub1(), Parity::EVEN);
+        assert!(Parity::top().add1().is_top());
+    }
+
+    #[test]
+    fn can_prove_nonzero_but_not_zero() {
+        use crate::distrib;
+        assert!(!Parity::constant(0).is_exactly_zero());
+        assert!(!Parity::constant(1).may_be_zero()); // odd ⇒ nonzero
+        assert!(distrib::allows_branch_pruning::<Parity>());
+        assert!(distrib::transfers_distribute::<Parity>());
+        assert!(!distrib::is_distributive::<Parity>());
+    }
+
+    #[test]
+    fn parity_prunes_else_branches_in_analysis() {
+        // (if0 (add1 (add1 1)) 10 20): the test is odd ⇒ nonzero, so only
+        // the else branch is analyzed even though the exact value is
+        // unknown to the domain.
+        use crate::direct::DirectAnalyzer;
+        use cpsdfa_anf::AnfProgram;
+        let p = AnfProgram::parse("(let (a (if0 (add1 (add1 1)) 10 20)) a)").unwrap();
+        let r = DirectAnalyzer::<Parity>::new(&p).analyze().unwrap();
+        let a = p.var_named("a").unwrap();
+        assert_eq!(r.store.get(a).num, Parity::EVEN); // only 20 flows in
+        let b = r.flows.branches.values().next().unwrap();
+        assert!(!b.then_taken && b.else_taken);
+    }
+}

@@ -1,0 +1,186 @@
+//! A k-bounded power-set of constants: a finer alternative to [`Flat`]
+//! used in sensitivity experiments.
+//!
+//! [`Flat`]: super::Flat
+
+use super::NumDomain;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Sets of at most `CAP` concrete numbers; larger sets widen to `Top`.
+///
+/// Joins are unions and transfers map over elements, so the *domain
+/// operations* distribute over joins; the derived analysis is nevertheless
+/// non-distributive because per-variable sets cannot represent the
+/// correlations between variables that continuation duplication preserves
+/// (see the discussion in `DESIGN.md` and the `distrib` module).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum PowerSet<const CAP: usize = 8> {
+    /// A set of at most `CAP` numbers (possibly empty = ⊥).
+    Set(BTreeSet<i64>),
+    /// Any number (the widened element).
+    Top,
+}
+
+impl<const CAP: usize> PowerSet<CAP> {
+    /// Builds an element from an iterator of numbers, widening past `CAP`.
+    pub fn from_iter_widened(ns: impl IntoIterator<Item = i64>) -> Self {
+        let mut set = BTreeSet::new();
+        for n in ns {
+            set.insert(n);
+            if set.len() > CAP {
+                return PowerSet::Top;
+            }
+        }
+        PowerSet::Set(set)
+    }
+
+    /// The underlying set, if not widened.
+    pub fn as_set(&self) -> Option<&BTreeSet<i64>> {
+        match self {
+            PowerSet::Set(s) => Some(s),
+            PowerSet::Top => None,
+        }
+    }
+
+    fn map(&self, f: impl Fn(i64) -> i64) -> Self {
+        match self {
+            PowerSet::Set(s) => Self::from_iter_widened(s.iter().map(|&n| f(n))),
+            PowerSet::Top => PowerSet::Top,
+        }
+    }
+}
+
+impl<const CAP: usize> NumDomain for PowerSet<CAP> {
+    const DISTRIBUTIVE: bool = false;
+
+    fn bot() -> Self {
+        PowerSet::Set(BTreeSet::new())
+    }
+
+    fn top() -> Self {
+        PowerSet::Top
+    }
+
+    fn constant(n: i64) -> Self {
+        PowerSet::Set(BTreeSet::from([n]))
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (PowerSet::Top, _) | (_, PowerSet::Top) => PowerSet::Top,
+            (PowerSet::Set(a), PowerSet::Set(b)) => {
+                Self::from_iter_widened(a.iter().chain(b.iter()).copied())
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (_, PowerSet::Top) => true,
+            (PowerSet::Top, PowerSet::Set(_)) => false,
+            (PowerSet::Set(a), PowerSet::Set(b)) => a.is_subset(b),
+        }
+    }
+
+    fn add1(&self) -> Self {
+        self.map(|n| n + 1)
+    }
+
+    fn sub1(&self) -> Self {
+        self.map(|n| n - 1)
+    }
+
+    fn contains(&self, n: i64) -> bool {
+        match self {
+            PowerSet::Set(s) => s.contains(&n),
+            PowerSet::Top => true,
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        match self {
+            PowerSet::Set(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+}
+
+impl<const CAP: usize> fmt::Display for PowerSet<CAP> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerSet::Top => f.write_str("⊤"),
+            PowerSet::Set(s) if s.is_empty() => f.write_str("⊥"),
+            PowerSet::Set(s) => {
+                write!(f, "{{")?;
+                for (i, n) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl<const CAP: usize> fmt::Debug for PowerSet<CAP> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    type P4 = PowerSet<4>;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<P4>();
+        lattice_tests::check_lattice_laws::<PowerSet<1>>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<P4>();
+    }
+
+    #[test]
+    fn join_is_union_below_cap() {
+        let a = P4::constant(1).join(&P4::constant(2));
+        assert_eq!(a.to_string(), "{1,2}");
+        assert!(P4::constant(1).leq(&a));
+        assert_eq!(a.as_const(), None);
+    }
+
+    #[test]
+    fn widening_kicks_in_past_cap() {
+        let mut x = P4::bot();
+        for n in 0..4 {
+            x = x.join(&P4::constant(n));
+        }
+        assert!(!x.is_top());
+        x = x.join(&P4::constant(99));
+        assert!(x.is_top());
+    }
+
+    #[test]
+    fn transfers_map_over_elements() {
+        let a = P4::constant(1).join(&P4::constant(5));
+        assert_eq!(a.add1().to_string(), "{2,6}");
+        assert_eq!(a.sub1().to_string(), "{0,4}");
+        assert!(a.sub1().may_be_zero());
+        assert!(!a.may_be_zero());
+    }
+
+    #[test]
+    fn powerset_refines_flat() {
+        // {0,1} keeps both values where Flat would go ⊤.
+        let a = P4::constant(0).join(&P4::constant(1));
+        assert!(a.contains(0) && a.contains(1) && !a.contains(2));
+    }
+}

@@ -1,0 +1,194 @@
+//! The sign domain: subsets of `{negative, zero, positive}`.
+//!
+//! Represented as a 3-bit mask, so the lattice operations are bit
+//! operations and the transfer functions are unions of per-component
+//! images — a compact example of a domain whose *transfers* distribute
+//! while `if0` pruning still breaks Definition 5.3.
+
+use super::NumDomain;
+use std::fmt;
+
+const NEG: u8 = 0b100;
+const ZERO: u8 = 0b010;
+const POS: u8 = 0b001;
+
+/// A set of signs, e.g. `{zero, positive}` for "non-negative".
+///
+/// ```
+/// use cpsdfa_core::domain::{NumDomain, Sign};
+/// let nonneg = Sign::constant(0).join(&Sign::constant(5));
+/// assert!(nonneg.contains(0) && nonneg.contains(17) && !nonneg.contains(-1));
+/// assert_eq!(nonneg.to_string(), "{0,+}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sign(u8);
+
+impl Sign {
+    /// The set of strictly negative numbers.
+    pub const NEGATIVE: Sign = Sign(NEG);
+    /// Exactly zero.
+    pub const ZERO: Sign = Sign(ZERO);
+    /// The set of strictly positive numbers.
+    pub const POSITIVE: Sign = Sign(POS);
+
+    fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+}
+
+impl NumDomain for Sign {
+    const DISTRIBUTIVE: bool = false;
+
+    fn bot() -> Self {
+        Sign(0)
+    }
+
+    fn top() -> Self {
+        Sign(NEG | ZERO | POS)
+    }
+
+    fn constant(n: i64) -> Self {
+        Sign(match n {
+            0 => ZERO,
+            n if n > 0 => POS,
+            _ => NEG,
+        })
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Sign(self.0 | other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    fn add1(&self) -> Self {
+        let mut out = 0;
+        if self.has(NEG) {
+            out |= NEG | ZERO; // {n+1 : n < 0} = {m : m ≤ 0}
+        }
+        if self.has(ZERO) {
+            out |= POS;
+        }
+        if self.has(POS) {
+            out |= POS;
+        }
+        Sign(out)
+    }
+
+    fn sub1(&self) -> Self {
+        let mut out = 0;
+        if self.has(NEG) {
+            out |= NEG;
+        }
+        if self.has(ZERO) {
+            out |= NEG;
+        }
+        if self.has(POS) {
+            out |= ZERO | POS; // {n−1 : n > 0} = {m : m ≥ 0}
+        }
+        Sign(out)
+    }
+
+    fn contains(&self, n: i64) -> bool {
+        match n {
+            0 => self.has(ZERO),
+            n if n > 0 => self.has(POS),
+            _ => self.has(NEG),
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        // ZERO is the only singleton sign class.
+        if self.0 == ZERO {
+            Some(0)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return f.write_str("⊥");
+        }
+        if self.0 == (NEG | ZERO | POS) {
+            return f.write_str("⊤");
+        }
+        let mut parts = Vec::new();
+        if self.has(NEG) {
+            parts.push("-");
+        }
+        if self.has(ZERO) {
+            parts.push("0");
+        }
+        if self.has(POS) {
+            parts.push("+");
+        }
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+impl fmt::Debug for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::lattice_tests;
+
+    #[test]
+    fn lattice_laws() {
+        lattice_tests::check_lattice_laws::<Sign>();
+    }
+
+    #[test]
+    fn transfer_soundness() {
+        lattice_tests::check_transfer_soundness::<Sign>();
+    }
+
+    #[test]
+    fn signs_of_constants() {
+        assert_eq!(Sign::constant(-3), Sign::NEGATIVE);
+        assert_eq!(Sign::constant(0), Sign::ZERO);
+        assert_eq!(Sign::constant(9), Sign::POSITIVE);
+        assert_eq!(Sign::ZERO.as_const(), Some(0));
+        assert_eq!(Sign::POSITIVE.as_const(), None);
+    }
+
+    #[test]
+    fn transfers_track_boundaries() {
+        // neg + 1 may be zero: the crossing is captured.
+        assert!(Sign::NEGATIVE.add1().contains(0));
+        assert!(!Sign::NEGATIVE.add1().contains(1));
+        // pos − 1 may be zero.
+        assert!(Sign::POSITIVE.sub1().contains(0));
+        assert!(!Sign::POSITIVE.sub1().contains(-1));
+        // zero moves strictly.
+        assert_eq!(Sign::ZERO.add1(), Sign::POSITIVE);
+        assert_eq!(Sign::ZERO.sub1(), Sign::NEGATIVE);
+    }
+
+    #[test]
+    fn pruning_power() {
+        use crate::distrib;
+        // Sign can prove both "exactly zero" and "definitely nonzero".
+        assert!(Sign::constant(0).is_exactly_zero());
+        assert!(!Sign::constant(5).may_be_zero());
+        assert!(distrib::allows_branch_pruning::<Sign>());
+        assert!(distrib::transfers_distribute::<Sign>());
+        assert!(!distrib::is_distributive::<Sign>());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sign::bot().to_string(), "⊥");
+        assert_eq!(Sign::top().to_string(), "⊤");
+        assert_eq!(Sign::NEGATIVE.join(&Sign::ZERO).to_string(), "{-,0}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Control-flow facts gathered during analysis.
+//!
+//! The paper emphasizes that all three analyzers "compute the control flow
+//! graph of the source program", and §6.1 explains the *false return*
+//! phenomenon of CPS analyses: at a return site `(k W)` the analyzer applies
+//! *every* continuation bound to `k`, merging distinct procedure returns.
+//! The [`FlowLog`] records, per program point, which closures were applied
+//! at calls, which branches a conditional took, and which continuations a
+//! return site invoked — so false returns are measurable (experiment E5).
+
+use crate::absval::{AbsClo, AbsKont};
+use cpsdfa_syntax::Label;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Branch coverage of one `if0`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BranchCover {
+    /// The then-arm was analyzed.
+    pub then_taken: bool,
+    /// The else-arm was analyzed.
+    pub else_taken: bool,
+}
+
+/// The control-flow facts of one analysis run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FlowLog {
+    /// Call site (the `let`'s label, or the CPS call's label) → abstract
+    /// closures applied there.
+    pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
+    /// Conditional (the `let`'s label / CPS `if0`'s label) → branch cover.
+    pub branches: BTreeMap<Label, BranchCover>,
+    /// Return site `(k W)` → continuations invoked (syntactic-CPS only).
+    pub returns: BTreeMap<Label, BTreeSet<AbsKont>>,
+}
+
+impl FlowLog {
+    /// Records `clo` applied at `site`.
+    pub fn record_call(&mut self, site: Label, clo: AbsClo) {
+        self.calls.entry(site).or_default().insert(clo);
+    }
+
+    /// Records branch selection at `site`.
+    pub fn record_branch(&mut self, site: Label, then_taken: bool, else_taken: bool) {
+        let b = self.branches.entry(site).or_default();
+        b.then_taken |= then_taken;
+        b.else_taken |= else_taken;
+    }
+
+    /// Records `kont` invoked at the return site `site`.
+    pub fn record_return(&mut self, site: Label, kont: AbsKont) {
+        self.returns.entry(site).or_default().insert(kont);
+    }
+
+    /// Merges another log into this one (used when joining branch analyses).
+    pub fn absorb(&mut self, other: &FlowLog) {
+        for (site, clos) in &other.calls {
+            self.calls.entry(*site).or_default().extend(clos.iter().copied());
+        }
+        for (site, b) in &other.branches {
+            self.record_branch(*site, b.then_taken, b.else_taken);
+        }
+        for (site, ks) in &other.returns {
+            self.returns.entry(*site).or_default().extend(ks.iter().copied());
+        }
+    }
+
+    /// Total call edges (call site → callee pairs).
+    pub fn call_edge_count(&self) -> usize {
+        self.calls.values().map(BTreeSet::len).sum()
+    }
+
+    /// §6.1's measurable shadow: at each return site with `k` continuations,
+    /// `k − 1` of the invocations merge distinct procedure returns. A
+    /// direct-style analysis always scores 0 here.
+    pub fn false_return_edges(&self) -> usize {
+        self.returns
+            .values()
+            .map(|ks| ks.len().saturating_sub(1))
+            .sum()
+    }
+}
+
+impl fmt::Display for FlowLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "calls:")?;
+        for (site, clos) in &self.calls {
+            let cs: Vec<String> = clos.iter().map(AbsClo::to_string).collect();
+            writeln!(f, "  {site} → {{{}}}", cs.join(","))?;
+        }
+        writeln!(f, "branches:")?;
+        for (site, b) in &self.branches {
+            writeln!(
+                f,
+                "  {site} → then={} else={}",
+                b.then_taken, b.else_taken
+            )?;
+        }
+        writeln!(f, "returns:")?;
+        for (site, ks) in &self.returns {
+            let cs: Vec<String> = ks.iter().map(AbsKont::to_string).collect();
+            writeln!(f, "  {site} → {{{}}}", cs.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_edges_accumulate_per_site() {
+        let mut f = FlowLog::default();
+        f.record_call(Label::new(1), AbsClo::Lam(Label::new(9)));
+        f.record_call(Label::new(1), AbsClo::Inc);
+        f.record_call(Label::new(2), AbsClo::Inc);
+        assert_eq!(f.call_edge_count(), 3);
+        assert_eq!(f.calls[&Label::new(1)].len(), 2);
+    }
+
+    #[test]
+    fn false_returns_count_merged_continuations() {
+        let mut f = FlowLog::default();
+        f.record_return(Label::new(5), AbsKont::Stop);
+        assert_eq!(f.false_return_edges(), 0);
+        f.record_return(Label::new(5), AbsKont::Co(Label::new(7)));
+        f.record_return(Label::new(5), AbsKont::Co(Label::new(8)));
+        assert_eq!(f.false_return_edges(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_componentwise() {
+        let mut a = FlowLog::default();
+        a.record_branch(Label::new(1), true, false);
+        let mut b = FlowLog::default();
+        b.record_branch(Label::new(1), false, true);
+        b.record_call(Label::new(2), AbsClo::Dec);
+        a.absorb(&b);
+        assert_eq!(a.branches[&Label::new(1)], BranchCover { then_taken: true, else_taken: true });
+        assert_eq!(a.call_edge_count(), 1);
+    }
+
+    #[test]
+    fn display_sections_present() {
+        let f = FlowLog::default();
+        let s = f.to_string();
+        assert!(s.contains("calls:") && s.contains("branches:") && s.contains("returns:"));
+    }
+}

@@ -1,0 +1,662 @@
+//! The classical data-flow substrate for §6.2's MOP-vs-MFP discussion.
+//!
+//! Nielson \[13\] proved that a semantic-CPS analysis computes the **MOP**
+//! (meet/join over paths) solution while a direct analysis computes the
+//! weaker **MFP** (maximal fixed point) solution; Kam & Ullman \[9\] proved
+//! that MOP is not computable in general monotone frameworks and equals MFP
+//! for distributive ones. This module provides the textbook machinery to
+//! observe all of that:
+//!
+//! * a [`Cfg`] lowered from the *first-order* fragment of Λ (or hand-built
+//!   via [`Cfg::from_parts`]);
+//! * a worklist [MFP solver](Cfg::solve_mfp) — condition-blind, as in the
+//!   classical framework;
+//! * a path-enumerating [MOP solver](Cfg::solve_mop) with two modes
+//!   ([`PathMode`]): the classical *all graph paths*, and *feasible paths
+//!   only*, where a branch on a known-constant test follows one edge — the
+//!   path filtering that continuation duplication performs implicitly.
+//!
+//! Two observations matter for experiment E9:
+//!
+//! 1. With only unary transfers (`add1`/`sub1`, copies, constants) the flat
+//!    CP framework is distributive in the Kam–Ullman sense, so classical
+//!    MOP = MFP on programs lowered from Λ. The binary [`Stmt::Sum`]
+//!    statement (substrate-only; Λ has no binary primitive) restores the
+//!    textbook MOP ⊏ MFP separation.
+//! 2. The semantic-CPS analyzer `C_e` corresponds to **feasible-path MOP**:
+//!    its per-branch duplication carries each path's constants into the
+//!    branch decisions downstream. The direct analyzer `M_e` corresponds to
+//!    MFP (when tests are unknown). E9 checks both correspondences.
+
+use crate::domain::NumDomain;
+use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// A node index in the control-flow graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A first-order statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := n`.
+    Const(VarId, i64),
+    /// `x := y`.
+    Copy(VarId, VarId),
+    /// `x := y + 1`.
+    Add1(VarId, VarId),
+    /// `x := y − 1`.
+    Sub1(VarId, VarId),
+    /// `x := y + z` — substrate-only binary statement for the classical
+    /// non-distributive constant-propagation example (Λ cannot express it).
+    Sum(VarId, VarId, VarId),
+    /// `x := ⊤` (the `loop` construct, or an unknown input).
+    Havoc(VarId),
+    /// No effect (branch and join points).
+    Nop,
+}
+
+impl Stmt {
+    /// The variable this statement assigns, if any.
+    pub fn def(&self) -> Option<VarId> {
+        match self {
+            Stmt::Const(x, _)
+            | Stmt::Copy(x, _)
+            | Stmt::Add1(x, _)
+            | Stmt::Sub1(x, _)
+            | Stmt::Sum(x, _, _)
+            | Stmt::Havoc(x) => Some(*x),
+            Stmt::Nop => None,
+        }
+    }
+}
+
+/// What a two-way branch tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// `if0 x`.
+    Var(VarId),
+    /// `if0 n` (a literal test).
+    Num(i64),
+}
+
+/// A CFG node: one statement, successors, and (for branch nodes) the
+/// tested condition — `succs[0]` is the zero edge, `succs[1]` the nonzero
+/// edge.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The statement executed at this node.
+    pub stmt: Stmt,
+    /// Successor nodes (two for branch points).
+    pub succs: Vec<NodeId>,
+    /// The branch condition, for two-way nodes.
+    pub cond: Option<Cond>,
+}
+
+impl Node {
+    /// A straight-line node.
+    pub fn stmt(stmt: Stmt) -> Node {
+        Node { stmt, succs: Vec::new(), cond: None }
+    }
+}
+
+/// How the MOP solver treats branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMode {
+    /// All graph paths, as in Kam & Ullman's framework.
+    AllPaths,
+    /// Only paths consistent with the propagated constants — a branch whose
+    /// test is a known constant follows a single edge. This is the path set
+    /// the semantic-CPS analyzer effectively enumerates.
+    FeasiblePaths,
+}
+
+/// Errors lowering a program or enumerating paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// The program uses procedures (λ or a non-primitive call) and is out
+    /// of scope for the classical framework.
+    HigherOrder(String),
+    /// The MOP path enumeration exceeded its bound.
+    TooManyPaths {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+    /// `from_parts` received an inconsistent graph.
+    Malformed(String),
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::HigherOrder(what) => write!(f, "not a first-order program: {what}"),
+            CfgError::TooManyPaths { limit } => {
+                write!(f, "MOP enumeration exceeded {limit} paths")
+            }
+            CfgError::Malformed(why) => write!(f, "malformed CFG: {why}"),
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+/// A first-order control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    nodes: Vec<Node>,
+    entry: NodeId,
+    exit: NodeId,
+    num_vars: usize,
+}
+
+/// A data-flow environment: one lattice element per variable.
+pub type DfEnv<D> = Vec<D>;
+
+/// The per-variable summary of a data-flow solution: the join of the
+/// variable's value at each of its definition points — directly comparable
+/// to the analyzers' abstract stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfSummary<D> {
+    /// `summary[x]` = joined value of `x` at its definitions.
+    pub vars: Vec<D>,
+}
+
+impl<D: NumDomain> DfSummary<D> {
+    /// `self ⊑ other`, pointwise.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.vars.len() == other.vars.len()
+            && self.vars.iter().zip(&other.vars).all(|(a, b)| a.leq(b))
+    }
+
+    /// The summary value of `x`.
+    pub fn get(&self, x: VarId) -> &D {
+        &self.vars[x.index()]
+    }
+}
+
+impl Cfg {
+    /// Lowers a first-order ANF program: `let`s of numerals, copies,
+    /// `add1`/`sub1` applications, `loop`, and `if0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::HigherOrder`] if the program mentions λ or applies
+    /// anything but `add1`/`sub1`.
+    pub fn from_first_order(prog: &AnfProgram) -> Result<Cfg, CfgError> {
+        let mut b = Builder { nodes: Vec::new(), prog };
+        let entry = b.push(Node::stmt(Stmt::Nop));
+        let last = b.lower(prog.root(), entry)?;
+        let exit = b.push(Node::stmt(Stmt::Nop));
+        b.connect(last, exit);
+        Ok(Cfg { nodes: b.nodes, entry, exit, num_vars: prog.num_vars() })
+    }
+
+    /// Builds a CFG directly — used for the classical examples that need
+    /// [`Stmt::Sum`].
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::Malformed`] if edges or variable indices are out of
+    /// range, or a two-way node lacks a condition.
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        entry: NodeId,
+        exit: NodeId,
+        num_vars: usize,
+    ) -> Result<Cfg, CfgError> {
+        let n = nodes.len();
+        if entry.0 >= n || exit.0 >= n {
+            return Err(CfgError::Malformed("entry/exit out of range".to_owned()));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if node.succs.iter().any(|s| s.0 >= n) {
+                return Err(CfgError::Malformed(format!("edge out of range at n{i}")));
+            }
+            if node.succs.len() > 1 && node.cond.is_none() {
+                return Err(CfgError::Malformed(format!("two-way node n{i} lacks a condition")));
+            }
+            if let Some(x) = node.stmt.def() {
+                if x.index() >= num_vars {
+                    return Err(CfgError::Malformed(format!("variable out of range at n{i}")));
+                }
+            }
+        }
+        Ok(Cfg { nodes, entry, exit, num_vars })
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The unique entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The unique exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// The initial environment: free variables ⊤, everything else ⊥.
+    pub fn initial_env<D: NumDomain>(&self, prog: &AnfProgram) -> DfEnv<D> {
+        let mut env = vec![D::bot(); self.num_vars];
+        for &v in prog.free_vars() {
+            env[v.index()] = D::top();
+        }
+        env
+    }
+
+    /// An all-⊥ environment sized for this graph.
+    pub fn bottom_env<D: NumDomain>(&self) -> DfEnv<D> {
+        vec![D::bot(); self.num_vars]
+    }
+
+    fn transfer<D: NumDomain>(&self, stmt: Stmt, env: &DfEnv<D>) -> DfEnv<D> {
+        let mut out = env.clone();
+        match stmt {
+            Stmt::Const(x, n) => out[x.index()] = D::constant(n),
+            Stmt::Copy(x, y) => out[x.index()] = env[y.index()].clone(),
+            Stmt::Add1(x, y) => out[x.index()] = env[y.index()].add1(),
+            Stmt::Sub1(x, y) => out[x.index()] = env[y.index()].sub1(),
+            Stmt::Sum(x, y, z) => {
+                let a = &env[y.index()];
+                let b = &env[z.index()];
+                out[x.index()] = match (a.as_const(), b.as_const()) {
+                    (Some(p), Some(q)) => D::constant(p + q),
+                    _ if a.is_bot() || b.is_bot() => D::bot(),
+                    _ => D::top(),
+                };
+            }
+            Stmt::Havoc(x) => out[x.index()] = D::top(),
+            Stmt::Nop => {}
+        }
+        out
+    }
+
+    fn join_env<D: NumDomain>(a: &DfEnv<D>, b: &DfEnv<D>) -> DfEnv<D> {
+        a.iter().zip(b).map(|(x, y)| x.join(y)).collect()
+    }
+
+    fn env_leq<D: NumDomain>(a: &DfEnv<D>, b: &DfEnv<D>) -> bool {
+        a.iter().zip(b).all(|(x, y)| x.leq(y))
+    }
+
+    /// The **MFP** solution by the classical worklist algorithm
+    /// (condition-blind): `in[n] = ⊔ out[pred]`, `out[n] = f_n(in[n])`,
+    /// iterated to fixpoint. Returns the per-variable summary.
+    pub fn solve_mfp<D: NumDomain>(&self, init: DfEnv<D>) -> DfSummary<D> {
+        let n = self.nodes.len();
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &s in &node.succs {
+                preds[s.0].push(NodeId(i));
+            }
+        }
+        let mut outs: Vec<DfEnv<D>> = vec![vec![D::bot(); self.num_vars]; n];
+        let mut work: Vec<NodeId> = (0..n).map(NodeId).collect();
+        while let Some(id) = work.pop() {
+            let mut inn = if id == self.entry {
+                init.clone()
+            } else {
+                vec![D::bot(); self.num_vars]
+            };
+            for &p in &preds[id.0] {
+                inn = Self::join_env(&inn, &outs[p.0]);
+            }
+            let out = self.transfer(self.nodes[id.0].stmt, &inn);
+            if !Self::env_leq(&out, &outs[id.0]) {
+                outs[id.0] = Self::join_env(&outs[id.0], &out);
+                for &s in &self.nodes[id.0].succs {
+                    work.push(s);
+                }
+            }
+        }
+        self.summarize(&outs)
+    }
+
+    /// The **MOP** solution by explicit path enumeration, joining each
+    /// variable's value at its definitions *per path*. Exponential; bounded
+    /// by `max_paths`. Returns the summary and the number of paths.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::TooManyPaths`] past the bound.
+    pub fn solve_mop<D: NumDomain>(
+        &self,
+        init: DfEnv<D>,
+        max_paths: usize,
+        mode: PathMode,
+    ) -> Result<(DfSummary<D>, usize), CfgError> {
+        let mut summary = vec![D::bot(); self.num_vars];
+        let mut paths = 0usize;
+        let mut stack: Vec<(NodeId, DfEnv<D>, Vec<D>)> = Vec::new();
+        stack.push((self.entry, init, vec![D::bot(); self.num_vars]));
+        while let Some((id, env, mut defs)) = stack.pop() {
+            let node = &self.nodes[id.0];
+            let out = self.transfer(node.stmt, &env);
+            if let Some(x) = node.stmt.def() {
+                defs[x.index()] = defs[x.index()].join(&out[x.index()]);
+            }
+            if id == self.exit {
+                paths += 1;
+                if paths > max_paths {
+                    return Err(CfgError::TooManyPaths { limit: max_paths });
+                }
+                for (s, d) in summary.iter_mut().zip(&defs) {
+                    *s = s.join(d);
+                }
+                continue;
+            }
+            let succs = self.feasible_succs(node, &out, mode);
+            for s in succs {
+                stack.push((s, out.clone(), defs.clone()));
+            }
+        }
+        Ok((DfSummary { vars: summary }, paths))
+    }
+
+    fn feasible_succs<D: NumDomain>(
+        &self,
+        node: &Node,
+        env: &DfEnv<D>,
+        mode: PathMode,
+    ) -> Vec<NodeId> {
+        if node.succs.len() != 2 || mode == PathMode::AllPaths {
+            return node.succs.clone();
+        }
+        let test: D = match node.cond {
+            Some(Cond::Var(x)) => env[x.index()].clone(),
+            Some(Cond::Num(n)) => D::constant(n),
+            None => return node.succs.clone(),
+        };
+        if test.is_exactly_zero() {
+            vec![node.succs[0]]
+        } else if !test.may_be_zero() {
+            vec![node.succs[1]]
+        } else {
+            node.succs.clone()
+        }
+    }
+
+    fn summarize<D: NumDomain>(&self, outs: &[DfEnv<D>]) -> DfSummary<D> {
+        let mut vars = vec![D::bot(); self.num_vars];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(x) = node.stmt.def() {
+                vars[x.index()] = vars[x.index()].join(&outs[i][x.index()]);
+            }
+        }
+        DfSummary { vars }
+    }
+}
+
+struct Builder<'p> {
+    nodes: Vec<Node>,
+    prog: &'p AnfProgram,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn connect(&mut self, from: NodeId, to: NodeId) {
+        self.nodes[from.0].succs.push(to);
+    }
+
+    fn var(&self, x: &cpsdfa_syntax::Ident) -> VarId {
+        self.prog.var_id(x).expect("validated program variable")
+    }
+
+    /// Lowers `m` after node `pred`; returns the last node of the lowering.
+    fn lower(&mut self, m: &Anf, pred: NodeId) -> Result<NodeId, CfgError> {
+        match &m.kind {
+            AnfKind::Value(v) => {
+                Self::check_first_order_value(v)?;
+                Ok(pred)
+            }
+            AnfKind::Let { var, bind, body } => {
+                let x = self.var(var);
+                let after_bind = match bind {
+                    Bind::Value(v) => {
+                        let stmt = match &v.kind {
+                            AValKind::Num(n) => Stmt::Const(x, *n),
+                            AValKind::Var(y) => Stmt::Copy(x, self.var(y)),
+                            AValKind::Lam(..) | AValKind::Add1 | AValKind::Sub1 => {
+                                return Err(CfgError::HigherOrder(format!(
+                                    "procedure value bound to `{var}`"
+                                )))
+                            }
+                        };
+                        let n = self.push(Node::stmt(stmt));
+                        self.connect(pred, n);
+                        n
+                    }
+                    Bind::App(f, a) => {
+                        let stmt = match (&f.kind, &a.kind) {
+                            (AValKind::Add1, AValKind::Var(y)) => Stmt::Add1(x, self.var(y)),
+                            (AValKind::Sub1, AValKind::Var(y)) => Stmt::Sub1(x, self.var(y)),
+                            (AValKind::Add1, AValKind::Num(n)) => Stmt::Const(x, n + 1),
+                            (AValKind::Sub1, AValKind::Num(n)) => Stmt::Const(x, n - 1),
+                            _ => {
+                                return Err(CfgError::HigherOrder(format!(
+                                    "non-primitive application bound to `{var}`"
+                                )))
+                            }
+                        };
+                        let n = self.push(Node::stmt(stmt));
+                        self.connect(pred, n);
+                        n
+                    }
+                    Bind::If0(c, then_, else_) => {
+                        let cond = match &c.kind {
+                            AValKind::Var(y) => Cond::Var(self.var(y)),
+                            AValKind::Num(n) => Cond::Num(*n),
+                            _ => {
+                                return Err(CfgError::HigherOrder(
+                                    "procedure test in if0".to_owned(),
+                                ))
+                            }
+                        };
+                        let branch = self.push(Node {
+                            stmt: Stmt::Nop,
+                            succs: Vec::new(),
+                            cond: Some(cond),
+                        });
+                        self.connect(pred, branch);
+                        let t_end = self.lower_arm(then_, branch, x)?;
+                        let e_end = self.lower_arm(else_, branch, x)?;
+                        let join = self.push(Node::stmt(Stmt::Nop));
+                        self.connect(t_end, join);
+                        self.connect(e_end, join);
+                        join
+                    }
+                    Bind::Loop => {
+                        let n = self.push(Node::stmt(Stmt::Havoc(x)));
+                        self.connect(pred, n);
+                        n
+                    }
+                };
+                self.lower(body, after_bind)
+            }
+        }
+    }
+
+    /// Lowers a conditional arm and assigns its result value into `x`.
+    /// Crucially the arm is lowered behind an intermediate node so the
+    /// branch's two successor slots stay `[then, else]`.
+    fn lower_arm(&mut self, arm: &Anf, branch: NodeId, x: VarId) -> Result<NodeId, CfgError> {
+        let head = self.push(Node::stmt(Stmt::Nop));
+        self.connect(branch, head);
+        let end = self.lower(arm, head)?;
+        let result = Self::tail_value(arm);
+        let stmt = match &result.kind {
+            AValKind::Num(n) => Stmt::Const(x, *n),
+            AValKind::Var(y) => Stmt::Copy(x, self.var(y)),
+            _ => {
+                return Err(CfgError::HigherOrder(
+                    "procedure value in conditional arm".to_owned(),
+                ))
+            }
+        };
+        let n = self.push(Node::stmt(stmt));
+        self.connect(end, n);
+        Ok(n)
+    }
+
+    fn tail_value(m: &Anf) -> &cpsdfa_anf::AVal {
+        match &m.kind {
+            AnfKind::Value(v) => v,
+            AnfKind::Let { body, .. } => Self::tail_value(body),
+        }
+    }
+
+    fn check_first_order_value(v: &cpsdfa_anf::AVal) -> Result<(), CfgError> {
+        match &v.kind {
+            AValKind::Lam(..) => Err(CfgError::HigherOrder("λ value".to_owned())),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Flat;
+
+    fn cfg(src: &str) -> (AnfProgram, Cfg) {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = Cfg::from_first_order(&p).unwrap();
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_mfp_propagates_constants() {
+        let (p, c) = cfg("(let (a 1) (let (b (add1 a)) b))");
+        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p));
+        assert_eq!(mfp.get(p.var_named("a").unwrap()).as_const(), Some(1));
+        assert_eq!(mfp.get(p.var_named("b").unwrap()).as_const(), Some(2));
+    }
+
+    #[test]
+    fn unary_transfers_make_classical_mop_equal_mfp() {
+        // With only add1/sub1 the framework instance is distributive, so
+        // the Kam–Ullman all-paths MOP coincides with MFP even on diamonds.
+        let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
+        let (p, c) = cfg(src);
+        let init = c.initial_env::<Flat>(&p);
+        let mfp = c.solve_mfp::<Flat>(init.clone());
+        let (mop, _) = c.solve_mop::<Flat>(init, 100, PathMode::AllPaths).unwrap();
+        assert!(mop.leq(&mfp) && mfp.leq(&mop));
+        assert!(mfp.get(p.var_named("a2").unwrap()).is_top());
+    }
+
+    #[test]
+    fn feasible_path_mop_matches_semantic_cps_gain() {
+        // Feasible-path MOP prunes (a1=0, else) and (a1=1, then): only two
+        // paths remain and both give a2 = 3 — exactly C_e's answer.
+        let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
+        let (p, c) = cfg(src);
+        let init = c.initial_env::<Flat>(&p);
+        let (mop, paths) = c.solve_mop::<Flat>(init, 100, PathMode::FeasiblePaths).unwrap();
+        assert_eq!(paths, 2);
+        assert_eq!(mop.get(p.var_named("a2").unwrap()).as_const(), Some(3));
+    }
+
+    #[test]
+    fn sum_statement_restores_classical_separation() {
+        // The textbook example: {a:=1; b:=2} or {a:=2; b:=1}; c := a + b.
+        // MOP: c = 3 on both paths. MFP: a = b = ⊤ at the join, c = ⊤.
+        let a = VarId(0);
+        let b = VarId(1);
+        let cc = VarId(2);
+        let z = VarId(3);
+        let nodes = vec![
+            Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None }, // 0 entry
+            Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
+            Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
+            Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
+            Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
+            Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
+            Node { stmt: Stmt::Sum(cc, a, b), succs: vec![NodeId(7)], cond: None },
+            Node { stmt: Stmt::Nop, succs: vec![], cond: None }, // 7 exit
+        ];
+        let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
+        let init = g.bottom_env::<Flat>();
+        let mfp = g.solve_mfp::<Flat>(init.clone());
+        let (mop, paths) = g.solve_mop::<Flat>(init, 10, PathMode::AllPaths).unwrap();
+        assert_eq!(paths, 2);
+        assert!(mfp.get(cc).is_top(), "MFP merges early");
+        assert_eq!(mop.get(cc).as_const(), Some(3), "MOP keeps the correlation");
+        assert!(mop.leq(&mfp) && !mfp.leq(&mop));
+    }
+
+    #[test]
+    fn loop_construct_becomes_havoc() {
+        let (p, c) = cfg("(let (x (loop)) (let (y (add1 x)) y))");
+        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p));
+        assert!(mfp.get(p.var_named("x").unwrap()).is_top());
+        assert!(mfp.get(p.var_named("y").unwrap()).is_top());
+    }
+
+    #[test]
+    fn higher_order_programs_are_rejected() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        assert!(matches!(Cfg::from_first_order(&p), Err(CfgError::HigherOrder(_))));
+    }
+
+    #[test]
+    fn path_bound_is_enforced() {
+        let src = "(let (a (if0 z 0 1)) (let (b (if0 w 0 1)) (let (c (if0 v 0 1)) c)))";
+        let (p, c) = cfg(src);
+        let init = c.initial_env::<Flat>(&p);
+        let err = c.solve_mop::<Flat>(init.clone(), 7, PathMode::AllPaths).unwrap_err();
+        assert_eq!(err, CfgError::TooManyPaths { limit: 7 });
+        let (_, paths) = c.solve_mop::<Flat>(init, 8, PathMode::AllPaths).unwrap();
+        assert_eq!(paths, 8);
+    }
+
+    #[test]
+    fn mop_always_refines_mfp() {
+        for src in [
+            "(let (a (if0 z 1 2)) (let (b (add1 a)) b))",
+            "(let (a (if0 z 7 7)) a)",
+            "(let (a 3) (let (b (if0 z a (add1 a))) b))",
+            "(let (a (if0 0 1 2)) a)",
+        ] {
+            let (p, c) = cfg(src);
+            let init = c.initial_env::<Flat>(&p);
+            let mfp = c.solve_mfp::<Flat>(init.clone());
+            for mode in [PathMode::AllPaths, PathMode::FeasiblePaths] {
+                let (mop, _) = c.solve_mop::<Flat>(init.clone(), 1000, mode).unwrap();
+                assert!(mop.leq(&mfp), "MOP ⋢ MFP on {src} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let bad = vec![Node { stmt: Stmt::Nop, succs: vec![NodeId(5)], cond: None }];
+        assert!(matches!(
+            Cfg::from_parts(bad, NodeId(0), NodeId(0), 0),
+            Err(CfgError::Malformed(_))
+        ));
+        let two_way = vec![
+            Node { stmt: Stmt::Nop, succs: vec![NodeId(1), NodeId(1)], cond: None },
+            Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+        ];
+        assert!(matches!(
+            Cfg::from_parts(two_way, NodeId(0), NodeId(1), 0),
+            Err(CfgError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Precision comparison of abstract results (§4.1: "the relation *is more
+//! precise than* coincides with the lattice ordering").
+
+use crate::absval::{AbsStore, AbsVal, CAbsStore, CAbsVal};
+use crate::domain::NumDomain;
+use cpsdfa_anf::{AnfProgram, VarId};
+use std::fmt;
+
+/// The four possible relationships between two abstract results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionOrder {
+    /// Both sides carry the same information.
+    Equal,
+    /// The left result is strictly more precise (`left ⊏ right`).
+    LeftMorePrecise,
+    /// The right result is strictly more precise (`right ⊏ left`).
+    RightMorePrecise,
+    /// Neither refines the other — Theorem 5.1 + 5.2's "incomparable".
+    Incomparable,
+}
+
+impl PrecisionOrder {
+    /// Combines from `left ⊑ right` / `right ⊑ left` flags.
+    pub fn from_leq(left_leq_right: bool, right_leq_left: bool) -> Self {
+        match (left_leq_right, right_leq_left) {
+            (true, true) => PrecisionOrder::Equal,
+            (true, false) => PrecisionOrder::LeftMorePrecise,
+            (false, true) => PrecisionOrder::RightMorePrecise,
+            (false, false) => PrecisionOrder::Incomparable,
+        }
+    }
+}
+
+impl fmt::Display for PrecisionOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrecisionOrder::Equal => "equal",
+            PrecisionOrder::LeftMorePrecise => "left more precise",
+            PrecisionOrder::RightMorePrecise => "right more precise",
+            PrecisionOrder::Incomparable => "incomparable",
+        })
+    }
+}
+
+/// Compares two same-program abstract stores.
+pub fn compare_stores<D: NumDomain>(a: &AbsStore<D>, b: &AbsStore<D>) -> PrecisionOrder {
+    PrecisionOrder::from_leq(a.leq(b), b.leq(a))
+}
+
+/// Compares two same-program syntactic-CPS stores.
+pub fn compare_cstores<D: NumDomain>(a: &CAbsStore<D>, b: &CAbsStore<D>) -> PrecisionOrder {
+    PrecisionOrder::from_leq(a.leq(b), b.leq(a))
+}
+
+/// Compares two abstract values.
+pub fn compare_values<D: NumDomain>(a: &AbsVal<D>, b: &AbsVal<D>) -> PrecisionOrder {
+    PrecisionOrder::from_leq(a.leq(b), b.leq(a))
+}
+
+/// Compares two syntactic-CPS abstract values.
+pub fn compare_cvalues<D: NumDomain>(a: &CAbsVal<D>, b: &CAbsVal<D>) -> PrecisionOrder {
+    PrecisionOrder::from_leq(a.leq(b), b.leq(a))
+}
+
+/// One line of a per-variable precision report.
+#[derive(Debug, Clone)]
+pub struct VarComparison<D: NumDomain> {
+    /// The variable.
+    pub var: VarId,
+    /// Its name.
+    pub name: String,
+    /// The left analysis' value.
+    pub left: AbsVal<D>,
+    /// The right analysis' value.
+    pub right: AbsVal<D>,
+    /// How they relate.
+    pub order: PrecisionOrder,
+}
+
+/// Compares two stores variable by variable, for human-readable reports.
+pub fn compare_per_var<D: NumDomain>(
+    prog: &AnfProgram,
+    left: &AbsStore<D>,
+    right: &AbsStore<D>,
+) -> Vec<VarComparison<D>> {
+    prog.iter_vars()
+        .map(|(v, name)| {
+            let l = left.get(v).clone();
+            let r = right.get(v).clone();
+            let order = compare_values(&l, &r);
+            VarComparison { var: v, name: name.to_string(), left: l, right: r, order }
+        })
+        .collect()
+}
+
+/// Tallies of a corpus-level precision census (experiment E3/E4/E9).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Census {
+    /// Programs where both analyses agreed everywhere.
+    pub equal: usize,
+    /// Programs where the left analysis was strictly more precise.
+    pub left: usize,
+    /// Programs where the right analysis was strictly more precise.
+    pub right: usize,
+    /// Programs with incomparable results.
+    pub incomparable: usize,
+}
+
+impl Census {
+    /// Records one comparison.
+    pub fn record(&mut self, o: PrecisionOrder) {
+        match o {
+            PrecisionOrder::Equal => self.equal += 1,
+            PrecisionOrder::LeftMorePrecise => self.left += 1,
+            PrecisionOrder::RightMorePrecise => self.right += 1,
+            PrecisionOrder::Incomparable => self.incomparable += 1,
+        }
+    }
+
+    /// Total comparisons recorded.
+    pub fn total(&self) -> usize {
+        self.equal + self.left + self.right + self.incomparable
+    }
+}
+
+impl fmt::Display for Census {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "equal={} left={} right={} incomparable={} (n={})",
+            self.equal,
+            self.left,
+            self.right,
+            self.incomparable,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absval::AbsClo;
+    use crate::domain::Flat;
+    use cpsdfa_syntax::Label;
+
+    #[test]
+    fn order_from_leq_covers_all_cases() {
+        assert_eq!(PrecisionOrder::from_leq(true, true), PrecisionOrder::Equal);
+        assert_eq!(PrecisionOrder::from_leq(true, false), PrecisionOrder::LeftMorePrecise);
+        assert_eq!(PrecisionOrder::from_leq(false, true), PrecisionOrder::RightMorePrecise);
+        assert_eq!(PrecisionOrder::from_leq(false, false), PrecisionOrder::Incomparable);
+    }
+
+    #[test]
+    fn incomparable_values_detected() {
+        let a: AbsVal<Flat> = AbsVal::num(1);
+        let b: AbsVal<Flat> = AbsVal::closure(AbsClo::Lam(Label::new(0)));
+        assert_eq!(compare_values(&a, &b), PrecisionOrder::Incomparable);
+        assert_eq!(compare_values(&a, &a), PrecisionOrder::Equal);
+        let t = AbsVal::new(Flat::Top, Default::default());
+        assert_eq!(compare_values(&a, &t), PrecisionOrder::LeftMorePrecise);
+        assert_eq!(compare_values(&t, &a), PrecisionOrder::RightMorePrecise);
+    }
+
+    #[test]
+    fn census_tallies() {
+        let mut c = Census::default();
+        c.record(PrecisionOrder::Equal);
+        c.record(PrecisionOrder::Incomparable);
+        c.record(PrecisionOrder::Incomparable);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.incomparable, 2);
+        assert!(c.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn per_var_report_names_variables() {
+        let p = AnfProgram::parse("(let (a 1) a)").unwrap();
+        let s1: AbsStore<Flat> = AbsStore::bottom(p.num_vars());
+        let mut s2 = s1.clone();
+        s2.join_at(p.var_named("a").unwrap(), &AbsVal::num(1));
+        let rows = compare_per_var(&p, &s1, &s2);
+        let a_row = rows.iter().find(|r| r.name == "a").unwrap();
+        assert_eq!(a_row.order, PrecisionOrder::LeftMorePrecise);
+    }
+}

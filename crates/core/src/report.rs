@@ -1,0 +1,103 @@
+//! Human-readable rendering of analysis results, used by the examples and
+//! the experiment harness.
+
+use crate::absval::{AbsStore, CAbsStore};
+use crate::domain::NumDomain;
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::CpsProgram;
+use std::fmt::Write as _;
+
+/// Renders a direct/semantic-CPS store as one `x ↦ (n̂, {closures})` line
+/// per variable, in index order.
+pub fn render_store<D: NumDomain>(prog: &AnfProgram, store: &AbsStore<D>) -> String {
+    let mut out = String::new();
+    for (v, name) in prog.iter_vars() {
+        let _ = writeln!(out, "  {name:<10} ↦ {}", store.get(v));
+    }
+    out
+}
+
+/// Renders a syntactic-CPS store, both namespaces, in index order.
+pub fn render_cstore<D: NumDomain>(prog: &CpsProgram, store: &CAbsStore<D>) -> String {
+    let mut out = String::new();
+    for (v, key) in prog.iter_vars() {
+        let _ = writeln!(out, "  {:<10} ↦ {}", key.to_string(), store.get(v));
+    }
+    out
+}
+
+/// Renders a two-column side-by-side comparison of per-variable rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(0);
+            let pad = w.saturating_sub(cell.chars().count());
+            let _ = write!(line, "| {}{} ", cell, " ".repeat(pad));
+        }
+        line.push('|');
+        line
+    };
+    let hdr: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectAnalyzer;
+    use crate::domain::Flat;
+    use crate::syncps::SynCpsAnalyzer;
+
+    #[test]
+    fn store_rendering_lists_every_variable() {
+        let p = AnfProgram::parse("(let (a 1) (let (b (add1 a)) b))").unwrap();
+        let r = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let text = render_store(&p, &r.store);
+        assert!(text.contains("a "));
+        assert!(text.contains("b "));
+        assert!(text.contains("(2, ∅)"));
+    }
+
+    #[test]
+    fn cstore_rendering_includes_continuation_vars() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let r = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let text = render_cstore(&c, &r.store);
+        assert!(text.contains("k%"));
+        assert!(text.contains("stop"));
+    }
+
+    #[test]
+    fn tables_align_columns() {
+        let t = render_table(
+            &["var", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "⊤".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| var"));
+        assert!(lines[2].contains("| a"));
+    }
+}

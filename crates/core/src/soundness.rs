@@ -1,0 +1,153 @@
+//! Executable correctness criterion (§4.3): "if the variable x gets bound
+//! to 5 along any actual execution path, the abstract collecting
+//! interpreter should associate an abstract value u ⊒ (5, ⊥) with x."
+//!
+//! These helpers abstract the *concrete* stores produced by the
+//! interpreters of `cpsdfa-interp` and check containment in an abstract
+//! result; the workspace property tests run them over random programs for
+//! all three analyzer/interpreter pairs.
+
+use crate::absval::{AbsClo, AbsKont, AbsStore, CAbsStore};
+use crate::domain::NumDomain;
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::{CpsProgram, VarKey};
+use cpsdfa_interp::{CRVal, DVal, Store};
+
+/// A violation of the §4.3 criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsound {
+    /// The variable whose concrete binding escaped the abstract value.
+    pub var: String,
+    /// Description of the concrete value.
+    pub concrete: String,
+    /// Description of the abstract value that failed to contain it.
+    pub abstract_: String,
+}
+
+impl std::fmt::Display for Unsound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsound at `{}`: concrete {} ⋢ abstract {}",
+            self.var, self.concrete, self.abstract_
+        )
+    }
+}
+
+/// Checks a concrete run of the direct (or semantic-CPS) interpreter
+/// against a direct/semantic-CPS abstract store. Every location allocated
+/// for a variable `x` must hold a value abstracted by `σ̂(x)`.
+pub fn check_direct<D: NumDomain>(
+    prog: &AnfProgram,
+    concrete: &Store<DVal<'_>>,
+    abs: &AbsStore<D>,
+) -> Result<(), Unsound> {
+    for (x, v) in concrete.iter() {
+        let Some(id) = prog.var_id(x) else { continue };
+        let a = abs.get(id);
+        let ok = match v {
+            DVal::Num(n) => a.num.contains(*n),
+            DVal::Inc => a.clos.contains(&AbsClo::Inc),
+            DVal::Dec => a.clos.contains(&AbsClo::Dec),
+            DVal::Clo { label, .. } => a.clos.contains(&AbsClo::Lam(*label)),
+        };
+        if !ok {
+            return Err(Unsound {
+                var: x.to_string(),
+                concrete: v.to_string(),
+                abstract_: a.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a concrete run of the syntactic-CPS interpreter against a
+/// syntactic-CPS abstract store (both namespaces, including continuation
+/// values).
+pub fn check_syncps<D: NumDomain>(
+    prog: &CpsProgram,
+    concrete: &Store<CRVal<'_>, VarKey>,
+    abs: &CAbsStore<D>,
+) -> Result<(), Unsound> {
+    for (key, v) in concrete.iter() {
+        let Some(id) = prog.var_id(key) else { continue };
+        let a = abs.get(id);
+        let ok = match v {
+            CRVal::Num(n) => a.num.contains(*n),
+            CRVal::IncK => a.clos.contains(&AbsClo::Inc),
+            CRVal::DecK => a.clos.contains(&AbsClo::Dec),
+            CRVal::Clo { label, .. } => a.clos.contains(&AbsClo::Lam(*label)),
+            CRVal::Co { label, .. } => a.konts.contains(&AbsKont::Co(*label)),
+            CRVal::Stop => a.konts.contains(&AbsKont::Stop),
+        };
+        if !ok {
+            return Err(Unsound {
+                var: key.to_string(),
+                concrete: v.to_string(),
+                abstract_: a.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectAnalyzer;
+    use crate::domain::{Flat, PowerSet};
+    use crate::semcps::SemCpsAnalyzer;
+    use crate::syncps::SynCpsAnalyzer;
+    use cpsdfa_interp::{run_direct, run_semcps, run_syncps, Fuel};
+
+    const SAMPLES: &[&str] = &[
+        "(let (f (lambda (x) (add1 x))) (f (f 0)))",
+        "(let (a (if0 0 1 2)) (add1 a))",
+        "(let (f (lambda (x) (if0 x 10 20))) (let (a (f 0)) (let (b (f 3)) b)))",
+        "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+        "(lambda (x) x)",
+    ];
+
+    #[test]
+    fn direct_analysis_covers_direct_runs() {
+        for src in SAMPLES {
+            let p = AnfProgram::parse(src).unwrap();
+            let conc = run_direct(&p, &[], Fuel::default()).unwrap();
+            let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+            check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn semcps_analysis_covers_semcps_runs() {
+        for src in SAMPLES {
+            let p = AnfProgram::parse(src).unwrap();
+            let conc = run_semcps(&p, &[], Fuel::default()).unwrap();
+            let abs = SemCpsAnalyzer::<PowerSet<8>>::new(&p).analyze().unwrap();
+            check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn syncps_analysis_covers_syncps_runs() {
+        for src in SAMPLES {
+            let p = AnfProgram::parse(src).unwrap();
+            let c = CpsProgram::from_anf(&p);
+            let conc = run_syncps(&c, &[], Fuel::default()).unwrap();
+            let abs = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+            check_syncps(&c, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let p = AnfProgram::parse("(let (a 1) a)").unwrap();
+        let conc = run_direct(&p, &[], Fuel::default()).unwrap();
+        // An all-⊥ "abstract result" cannot cover the run.
+        let bogus: AbsStore<Flat> = AbsStore::bottom(p.num_vars());
+        let err = check_direct(&p, &conc.store, &bogus).unwrap_err();
+        assert_eq!(err.var, "a");
+        assert!(err.to_string().contains("unsound"));
+    }
+}

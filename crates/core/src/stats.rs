@@ -1,0 +1,65 @@
+//! Machine-independent cost accounting for the analyzers.
+//!
+//! §6.2 argues that CPS-style analyses duplicate the analysis of the
+//! continuation "at an overall exponential cost". Wall-clock time depends
+//! on the machine; *goals expanded* does not, so every analyzer counts its
+//! rule instantiations, cycle cuts (§4.4 loop detections), and maximum
+//! derivation depth. The cost experiments (E6–E8) report these.
+
+use std::fmt;
+
+/// Counters accumulated during one analysis run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Rule instantiations (term-evaluation goals).
+    pub goals: u64,
+    /// §4.4 loop detections: goals answered with the least-precise value
+    /// because `(M, σ)` repeated on the derivation path.
+    pub cycle_cuts: u64,
+    /// Deepest derivation path observed.
+    pub max_depth: usize,
+    /// Continuation applications (`appr`-style transitions), where the
+    /// duplication of §6.2 shows up directly.
+    pub returns: u64,
+}
+
+impl AnalysisStats {
+    /// Records entering a goal at depth `depth`.
+    pub(crate) fn enter_goal(&mut self, depth: usize) {
+        self.goals += 1;
+        self.max_depth = self.max_depth.max(depth);
+    }
+}
+
+impl fmt::Display for AnalysisStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "goals={} returns={} cuts={} depth={}",
+            self.goals, self.returns, self.cycle_cuts, self.max_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_goal_tracks_depth_high_water_mark() {
+        let mut s = AnalysisStats::default();
+        s.enter_goal(3);
+        s.enter_goal(1);
+        assert_eq!(s.goals, 2);
+        assert_eq!(s.max_depth, 3);
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = AnalysisStats { goals: 1, cycle_cuts: 2, max_depth: 3, returns: 4 };
+        let text = s.to_string();
+        for needle in ["goals=1", "cuts=2", "depth=3", "returns=4"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests for the abstract machinery: lattice laws on random
+//! elements for every stock domain, and structural properties of the three
+//! analyzers (determinism, monotonicity in the initial store, soundness of
+//! the δₑ mapping).
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::absval::{AbsClo, AbsVal};
+use cpsdfa_core::deltae::delta_val;
+use cpsdfa_core::domain::{AnyNum, Flat, Interval, NumDomain, Parity, PowerSet, Sign};
+use cpsdfa_core::{DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_syntax::Label;
+use cpsdfa_workloads::random::{generate, open_config};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Domain laws on random elements
+// ---------------------------------------------------------------------------
+
+/// A random element of `D`, built by joining random constants (plus ⊥/⊤).
+fn elem<D: NumDomain>(spec: &[i64], top: bool) -> D {
+    let mut x = if top { D::top() } else { D::bot() };
+    for &n in spec {
+        x = x.join(&D::constant(n));
+    }
+    x
+}
+
+macro_rules! domain_laws {
+    ($name:ident, $d:ty) => {
+        proptest! {
+            #[test]
+            fn $name(
+                a in proptest::collection::vec(-100i64..100, 0..4),
+                b in proptest::collection::vec(-100i64..100, 0..4),
+                c in proptest::collection::vec(-100i64..100, 0..4),
+                n in -100i64..100,
+            ) {
+                let (x, y, z): ($d, $d, $d) =
+                    (elem(&a, false), elem(&b, false), elem(&c, false));
+                // semilattice laws
+                prop_assert_eq!(x.join(&y), y.join(&x));
+                prop_assert_eq!(x.join(&y).join(&z), x.join(&y.join(&z)));
+                prop_assert_eq!(x.join(&x), x.clone());
+                // leq/join agreement
+                prop_assert_eq!(x.leq(&y), x.join(&y) == y);
+                // γ grows with ⊑
+                if x.leq(&y) && x.contains(n) {
+                    prop_assert!(y.contains(n));
+                }
+                // transfers: soundness and monotonicity
+                if x.contains(n) {
+                    prop_assert!(x.add1().contains(n + 1));
+                    prop_assert!(x.sub1().contains(n - 1));
+                }
+                if x.leq(&y) {
+                    prop_assert!(x.add1().leq(&y.add1()));
+                    prop_assert!(x.sub1().leq(&y.sub1()));
+                }
+                // constants are in their own abstraction
+                prop_assert!(<$d>::constant(n).contains(n));
+            }
+        }
+    };
+}
+
+domain_laws!(flat_laws, Flat);
+domain_laws!(powerset_laws, PowerSet<8>);
+domain_laws!(anynum_laws, AnyNum);
+domain_laws!(sign_laws, Sign);
+domain_laws!(parity_laws, Parity);
+domain_laws!(interval_laws, Interval<64>);
+domain_laws!(small_interval_laws, Interval<4>);
+
+// ---------------------------------------------------------------------------
+// AbsVal lattice + δe structure
+// ---------------------------------------------------------------------------
+
+fn absval_strategy() -> impl Strategy<Value = AbsVal<Flat>> {
+    (
+        prop_oneof![
+            Just(Flat::Bot),
+            any::<i8>().prop_map(|n| Flat::Const(n as i64)),
+            Just(Flat::Top),
+        ],
+        proptest::collection::btree_set(
+            prop_oneof![
+                Just(AbsClo::Inc),
+                Just(AbsClo::Dec),
+                (0u32..5).prop_map(|l| AbsClo::Lam(Label::new(l))),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(num, clos)| AbsVal::new(num, clos))
+}
+
+proptest! {
+    #[test]
+    fn absval_lattice_laws(a in absval_strategy(), b in absval_strategy(), c in absval_strategy()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.leq(&b), a.join(&b) == b);
+        prop_assert!(AbsVal::<Flat>::bot().leq(&a));
+    }
+
+    #[test]
+    fn delta_val_is_monotone_and_injective_on_labels(
+        a in absval_strategy(),
+        b in absval_strategy(),
+    ) {
+        // Build a CPS program with enough λs that labels 0..5 exist in the
+        // map... instead, restrict to primitive closures, which always map.
+        let strip = |v: &AbsVal<Flat>| {
+            let clos: BTreeSet<AbsClo> = v
+                .clos
+                .iter()
+                .copied()
+                .filter(|c| matches!(c, AbsClo::Inc | AbsClo::Dec))
+                .collect();
+            AbsVal::new(v.num, clos)
+        };
+        let p = AnfProgram::parse("(add1 (sub1 z))").unwrap();
+        let cps = CpsProgram::from_anf(&p);
+        let (a, b) = (strip(&a), strip(&b));
+        let da = delta_val(&a, &cps).expect("prims map");
+        let db = delta_val(&b, &cps).expect("prims map");
+        if a.leq(&b) {
+            prop_assert!(da.leq(&db));
+        }
+        prop_assert_eq!(da.num, a.num);
+        prop_assert_eq!(da.konts.len(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer structure on random programs
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analyzers_are_deterministic(seed in 0u64..10_000) {
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        let d1 = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let d2 = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        prop_assert!(d1.store.leq(&d2.store) && d2.store.leq(&d1.store));
+        prop_assert_eq!(d1.stats, d2.stats);
+        let s1 = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s2 = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        prop_assert!(s1.store.leq(&s2.store) && s2.store.leq(&s1.store));
+        let c = CpsProgram::from_anf(&p);
+        let m1 = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let m2 = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        prop_assert!(m1.store.leq(&m2.store) && m2.store.leq(&m1.store));
+    }
+
+    #[test]
+    fn direct_analyzer_is_monotone_in_seeds(seed in 0u64..10_000, z in -8i64..8) {
+        // Seeding the input with a constant must refine (⊑) the default ⊤
+        // seeding — monotonicity of M_e in the initial store.
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        let top = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let mut seeded = DirectAnalyzer::<Flat>::new(&p);
+        for &v in p.free_vars() {
+            seeded = seeded.with_seed(v, AbsVal::num(z));
+        }
+        let seeded = seeded.analyze().unwrap();
+        prop_assert!(
+            seeded.store.leq(&top.store),
+            "constant seeding failed to refine ⊤ seeding"
+        );
+        prop_assert!(seeded.value.leq(&top.value));
+    }
+
+    #[test]
+    fn semcps_analyzer_is_monotone_in_seeds(seed in 0u64..10_000, z in -8i64..8) {
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        let top = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let mut seeded = SemCpsAnalyzer::<Flat>::new(&p);
+        for &v in p.free_vars() {
+            seeded = seeded.with_seed(v, AbsVal::num(z));
+        }
+        let seeded = seeded.analyze().unwrap();
+        prop_assert!(seeded.store.leq(&top.store));
+    }
+
+    #[test]
+    fn dup_depth_is_monotone_in_precision(seed in 0u64..10_000) {
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        let mut prev = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap().store;
+        for d in 1..=3u32 {
+            let cur = DirectAnalyzer::<Flat>::new(&p)
+                .with_duplication_depth(d)
+                .analyze()
+                .unwrap()
+                .store;
+            prop_assert!(cur.leq(&prev), "depth {d} lost precision");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn powerset_refines_flat_on_programs(seed in 0u64..10_000) {
+        // γ(PowerSet result) ⊆ γ(Flat result), pointwise, on a sample of
+        // concrete values.
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        let flat = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let ps = DirectAnalyzer::<PowerSet<16>>::new(&p).analyze().unwrap();
+        for (v, _) in p.iter_vars() {
+            for n in -10..=10 {
+                if ps.store.get(v).num.contains(n) {
+                    prop_assert!(
+                        flat.store.get(v).num.contains(n),
+                        "PowerSet admits {n} that Flat excludes — Flat would be unsound"
+                    );
+                }
+            }
+            // PowerSet can prove nonzero-ness that Flat cannot (e.g. {1,2}
+            // vs ⊤), pruning more branches — so closure sets refine, they
+            // need not coincide.
+            prop_assert!(ps.store.get(v).clos.is_subset(&flat.store.get(v).clos));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Abstract syntax of the CPS language cps(Λ) (Definition 3.2):
+//!
+//! ```text
+//! P ::= (k W)
+//!     | (let (x W) P)
+//!     | (W W (λx.P))
+//!     | (let (k λx.P) (if0 W P P))
+//!     | (loop (λx.P))                 ; §6.2 extension
+//! W ::= n | x | add1k | sub1k | (λx k.P)
+//! ```
+//!
+//! with `x ∈ Vars`, `k ∈ KVars`, and `KVars ∩ Vars = ∅` (enforced by the
+//! [`Ident`]/[`KIdent`] types). Every node carries a [`Label`]; λ labels
+//! identify abstract closures `(cle xk, P)` and continuation-λ labels
+//! identify abstract continuations `(coe x, P)`.
+
+use cpsdfa_syntax::{Ident, KIdent, Label};
+use std::fmt;
+
+/// A CPS program term `P`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CTerm {
+    /// The label of this node.
+    pub label: Label,
+    /// The structure of the term.
+    pub kind: CTermKind,
+}
+
+/// The shape of a CPS term.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum CTermKind {
+    /// `(k W)` — return `W` to the continuation bound to `k`.
+    Ret(KIdent, CVal),
+    /// `(let (x W) P)` — bind a value.
+    Let {
+        /// The bound variable.
+        var: Ident,
+        /// The bound value.
+        val: CVal,
+        /// The rest of the program.
+        body: Box<CTerm>,
+    },
+    /// `(W₁ W₂ (λx.P))` — call `W₁` with argument `W₂` and the reified
+    /// continuation `(λx.P)`.
+    Call {
+        /// The operator.
+        f: CVal,
+        /// The operand.
+        arg: CVal,
+        /// The continuation receiving the result.
+        cont: ContLam,
+    },
+    /// `(let (k λx.P) (if0 W P₁ P₂))` — name the join continuation `k`, then
+    /// branch.
+    LetK {
+        /// The continuation variable naming the join point.
+        k: KIdent,
+        /// The join continuation `(λx.P)`.
+        cont: ContLam,
+        /// The tested value.
+        test: CVal,
+        /// Taken when `test` is `0`.
+        then_: Box<CTerm>,
+        /// Taken otherwise.
+        else_: Box<CTerm>,
+    },
+    /// `(loop (λx.P))` — §6.2 extension: pass each of `{0,1,2,…}` to the
+    /// continuation.
+    Loop {
+        /// The continuation receiving the loop's values.
+        cont: ContLam,
+    },
+}
+
+/// A continuation λ-abstraction `(λx.P)`; reifies an evaluation-context
+/// frame `(let (x []) M)` of the source program.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ContLam {
+    /// The label identifying the abstract continuation `(coe x, P)`.
+    pub label: Label,
+    /// The variable receiving the returned value.
+    pub var: Ident,
+    /// The rest of the program.
+    pub body: Box<CTerm>,
+}
+
+/// A CPS value `W`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CVal {
+    /// The label of this value; for λ it identifies the abstract closure.
+    pub label: Label,
+    /// The structure of the value.
+    pub kind: CValKind,
+}
+
+/// The shape of a CPS value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum CValKind {
+    /// A numeral.
+    Num(i64),
+    /// An ordinary variable occurrence.
+    Var(Ident),
+    /// The CPS successor primitive `add1k`.
+    Add1K,
+    /// The CPS predecessor primitive `sub1k`.
+    Sub1K,
+    /// A user procedure `(λx k.P)` taking an argument and a continuation.
+    Lam {
+        /// The ordinary parameter.
+        param: Ident,
+        /// The continuation parameter.
+        k: KIdent,
+        /// The body.
+        body: Box<CTerm>,
+    },
+}
+
+impl CTerm {
+    /// Creates an unlabeled node (labels are assigned by the transform or
+    /// the program builder).
+    pub fn new(kind: CTermKind) -> Self {
+        CTerm { label: Label::UNASSIGNED, kind }
+    }
+
+    /// The number of nodes (terms + values + continuation λs).
+    pub fn size(&self) -> usize {
+        match &self.kind {
+            CTermKind::Ret(_, w) => 1 + w.size(),
+            CTermKind::Let { val, body, .. } => 1 + val.size() + body.size(),
+            CTermKind::Call { f, arg, cont } => 1 + f.size() + arg.size() + cont.size(),
+            CTermKind::LetK { cont, test, then_, else_, .. } => {
+                1 + cont.size() + test.size() + then_.size() + else_.size()
+            }
+            CTermKind::Loop { cont } => 1 + cont.size(),
+        }
+    }
+
+    /// Visits every term node, outermost first (including λ and
+    /// continuation-λ bodies).
+    pub fn visit_terms<'a>(&'a self, f: &mut impl FnMut(&'a CTerm)) {
+        f(self);
+        match &self.kind {
+            CTermKind::Ret(_, w) => w.visit_inner(f),
+            CTermKind::Let { val, body, .. } => {
+                val.visit_inner(f);
+                body.visit_terms(f);
+            }
+            CTermKind::Call { f: fun, arg, cont } => {
+                fun.visit_inner(f);
+                arg.visit_inner(f);
+                cont.body.visit_terms(f);
+            }
+            CTermKind::LetK { cont, test, then_, else_, .. } => {
+                cont.body.visit_terms(f);
+                test.visit_inner(f);
+                then_.visit_terms(f);
+                else_.visit_terms(f);
+            }
+            CTermKind::Loop { cont } => cont.body.visit_terms(f),
+        }
+    }
+
+    /// Visits every value node, and every continuation λ, outermost first.
+    pub fn visit_parts<'a>(
+        &'a self,
+        on_val: &mut impl FnMut(&'a CVal),
+        on_cont: &mut impl FnMut(&'a ContLam),
+    ) {
+        match &self.kind {
+            CTermKind::Ret(_, w) => w.visit_values(on_val, on_cont),
+            CTermKind::Let { val, body, .. } => {
+                val.visit_values(on_val, on_cont);
+                body.visit_parts(on_val, on_cont);
+            }
+            CTermKind::Call { f, arg, cont } => {
+                f.visit_values(on_val, on_cont);
+                arg.visit_values(on_val, on_cont);
+                on_cont(cont);
+                cont.body.visit_parts(on_val, on_cont);
+            }
+            CTermKind::LetK { cont, test, then_, else_, .. } => {
+                on_cont(cont);
+                cont.body.visit_parts(on_val, on_cont);
+                test.visit_values(on_val, on_cont);
+                then_.visit_parts(on_val, on_cont);
+                else_.visit_parts(on_val, on_cont);
+            }
+            CTermKind::Loop { cont } => {
+                on_cont(cont);
+                cont.body.visit_parts(on_val, on_cont);
+            }
+        }
+    }
+}
+
+impl ContLam {
+    /// Creates an unlabeled continuation λ.
+    pub fn new(var: Ident, body: CTerm) -> Self {
+        ContLam { label: Label::UNASSIGNED, var, body: Box::new(body) }
+    }
+
+    /// The number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.body.size()
+    }
+}
+
+impl CVal {
+    /// Creates an unlabeled value node.
+    pub fn new(kind: CValKind) -> Self {
+        CVal { label: Label::UNASSIGNED, kind }
+    }
+
+    /// The number of nodes.
+    pub fn size(&self) -> usize {
+        match &self.kind {
+            CValKind::Lam { body, .. } => 1 + body.size(),
+            _ => 1,
+        }
+    }
+
+    /// True for user λ values.
+    pub fn is_lambda(&self) -> bool {
+        matches!(self.kind, CValKind::Lam { .. })
+    }
+
+    fn visit_inner<'a>(&'a self, f: &mut impl FnMut(&'a CTerm)) {
+        if let CValKind::Lam { body, .. } = &self.kind {
+            body.visit_terms(f);
+        }
+    }
+
+    fn visit_values<'a>(
+        &'a self,
+        on_val: &mut impl FnMut(&'a CVal),
+        on_cont: &mut impl FnMut(&'a ContLam),
+    ) {
+        on_val(self);
+        if let CValKind::Lam { body, .. } = &self.kind {
+            body.visit_parts(on_val, on_cont);
+        }
+    }
+}
+
+impl fmt::Display for CTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CTermKind::Ret(k, w) => write!(f, "({k} {w})"),
+            CTermKind::Let { var, val, body } => write!(f, "(let ({var} {val}) {body})"),
+            CTermKind::Call { f: fun, arg, cont } => write!(f, "({fun} {arg} {cont})"),
+            CTermKind::LetK { k, cont, test, then_, else_ } => {
+                write!(f, "(let ({k} {cont}) (if0 {test} {then_} {else_}))")
+            }
+            CTermKind::Loop { cont } => write!(f, "(loop {cont})"),
+        }
+    }
+}
+
+impl fmt::Display for ContLam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(lambda ({}) {})", self.var, self.body)
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CValKind::Num(n) => write!(f, "{n}"),
+            CValKind::Var(x) => write!(f, "{x}"),
+            CValKind::Add1K => f.write_str("add1k"),
+            CValKind::Sub1K => f.write_str("sub1k"),
+            CValKind::Lam { param, k, body } => write!(f, "(lambda ({param} {k}) {body})"),
+        }
+    }
+}
+
+impl fmt::Debug for CTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self, self.label)
+    }
+}
+
+impl fmt::Debug for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self, self.label)
+    }
+}
+
+impl fmt::Debug for ContLam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ret(k: &str, w: CVal) -> CTerm {
+        CTerm::new(CTermKind::Ret(KIdent::new(k), w))
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        // (f 1 (lambda (a) (k a)))
+        let t = CTerm::new(CTermKind::Call {
+            f: CVal::new(CValKind::Var(Ident::new("f"))),
+            arg: CVal::new(CValKind::Num(1)),
+            cont: ContLam::new(Ident::new("a"), ret("k", CVal::new(CValKind::Var(Ident::new("a"))))),
+        });
+        assert_eq!(t.to_string(), "(f 1 (lambda (a) (k a)))");
+    }
+
+    #[test]
+    fn letk_displays_as_let_then_if0() {
+        let t = CTerm::new(CTermKind::LetK {
+            k: KIdent::new("k1"),
+            cont: ContLam::new(Ident::new("x"), ret("k", CVal::new(CValKind::Var(Ident::new("x"))))),
+            test: CVal::new(CValKind::Var(Ident::new("z"))),
+            then_: Box::new(ret("k1", CVal::new(CValKind::Num(0)))),
+            else_: Box::new(ret("k1", CVal::new(CValKind::Num(1)))),
+        });
+        assert_eq!(
+            t.to_string(),
+            "(let (k1 (lambda (x) (k x))) (if0 z (k1 0) (k1 1)))"
+        );
+    }
+
+    #[test]
+    fn size_counts_conts_and_lambdas() {
+        let lam = CVal::new(CValKind::Lam {
+            param: Ident::new("x"),
+            k: KIdent::new("k"),
+            body: Box::new(ret("k", CVal::new(CValKind::Var(Ident::new("x"))))),
+        });
+        assert_eq!(lam.size(), 1 + 2); // λ + ret + var
+    }
+
+    #[test]
+    fn visit_parts_sees_every_cont() {
+        let t = CTerm::new(CTermKind::Call {
+            f: CVal::new(CValKind::Var(Ident::new("f"))),
+            arg: CVal::new(CValKind::Num(1)),
+            cont: ContLam::new(
+                Ident::new("a"),
+                CTerm::new(CTermKind::Loop {
+                    cont: ContLam::new(Ident::new("b"), ret("k", CVal::new(CValKind::Var(Ident::new("b"))))),
+                }),
+            ),
+        });
+        let mut conts = 0;
+        let mut vals = 0;
+        t.visit_parts(&mut |_| vals += 1, &mut |_| conts += 1);
+        assert_eq!(conts, 2);
+        assert_eq!(vals, 3); // f, 1, b
+    }
+}

@@ -1,0 +1,32 @@
+//! The CPS language cps(Λ) and the syntactic CPS transformation (§3.3,
+//! Definition 3.2) of Sabry & Felleisen (PLDI 1994).
+//!
+//! A CPS program never returns: every source-program "return" becomes an
+//! application of a reified continuation. The transformation `F`/`V` maps
+//! the restricted subset of Λ (see `cpsdfa-anf`) into cps(Λ); this crate
+//! also records the program-point correspondence ([`transform::LabelMap`])
+//! needed by the paper's δ function (§3.3) and its abstract version δₑ (§5).
+//!
+//! ```
+//! use cpsdfa_anf::AnfProgram;
+//! use cpsdfa_cps::CpsProgram;
+//!
+//! let p = AnfProgram::parse("(let (a1 (f 1)) (let (a2 (f 2)) a1))")?;
+//! let c = CpsProgram::from_anf(&p);
+//! // F_k[(let (a1 (f 1)) (let (a2 (f 2)) a1))] = (f 1 (λa1.(f 2 (λa2.(k a1)))))
+//! assert_eq!(
+//!     c.root().to_string(),
+//!     format!("(f 1 (lambda (a1) (f 2 (lambda (a2) ({} a1)))))", c.top_k())
+//! );
+//! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod program;
+pub mod transform;
+pub mod untransform;
+
+pub use ast::{CTerm, CTermKind, CVal, CValKind, ContLam};
+pub use program::{CLambdaRef, CVarId, ContRef, CpsProgram, VarKey};
+pub use transform::{cps_transform, LabelMap, Transformed};
+pub use untransform::{uncps, UntransformError};

@@ -1,0 +1,263 @@
+//! The syntactic CPS transformation `F`/`V` of Definition 3.2.
+//!
+//! ```text
+//! F_k[V]                          = (k V[V])
+//! F_k[(let (x V) M)]              = (let (x V[V]) F_k[M])
+//! F_k[(let (x (V₁ V₂)) M)]        = (V[V₁] V[V₂] (λx. F_k[M]))
+//! F_k[(let (x (if0 V₀ M₁ M₂)) M)] = (let (k′ λx.F_k[M]) (if0 V[V₀] F_k′[M₁] F_k′[M₂]))
+//! F_k[(let (x (loop)) M)]         = (loop (λx. F_k[M]))        ; extension
+//!
+//! V[n] = n   V[x] = x   V[add1] = add1k   V[sub1] = sub1k
+//! V[(λx.M)] = (λx k. F_k[M])
+//! ```
+//!
+//! The transformer also produces a [`LabelMap`] relating source program
+//! points to CPS program points — the computational content of the paper's
+//! function δ (§3.3) and its abstract version δₑ (§5): every source λ maps
+//! to its CPS λ, and every source frame-creating `let` (an application,
+//! conditional, or loop binding) maps to the continuation λ that reifies its
+//! frame `(let (x []) M)`.
+
+use crate::ast::{CTerm, CTermKind, CVal, CValKind, ContLam};
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, Bind};
+use cpsdfa_syntax::label::LabelGen;
+use cpsdfa_syntax::{FreshGen, KIdent, Label};
+use std::collections::HashMap;
+
+/// The correspondence between source and CPS program points.
+#[derive(Debug, Default, Clone)]
+pub struct LabelMap {
+    /// Source λ label → CPS λ label (`δ` on closures).
+    pub lam: HashMap<Label, Label>,
+    /// CPS λ label → source λ label.
+    pub lam_rev: HashMap<Label, Label>,
+    /// Source frame-creating `let` label → continuation-λ label (`δ` on
+    /// continuation frames).
+    pub cont_of_let: HashMap<Label, Label>,
+    /// Continuation-λ label → source `let` label.
+    pub cont_rev: HashMap<Label, Label>,
+}
+
+impl LabelMap {
+    fn record_lam(&mut self, src: Label, cps: Label) {
+        self.lam.insert(src, cps);
+        self.lam_rev.insert(cps, src);
+    }
+
+    fn record_cont(&mut self, src_let: Label, cps_cont: Label) {
+        self.cont_of_let.insert(src_let, cps_cont);
+        self.cont_rev.insert(cps_cont, src_let);
+    }
+}
+
+/// The output of the CPS transformation.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The CPS program `F_k₀[M]` with labels assigned.
+    pub root: CTerm,
+    /// The initial continuation variable `k₀` (bound to `stop` at startup).
+    pub top_k: KIdent,
+    /// Source ↔ CPS program-point correspondence.
+    pub labels: LabelMap,
+    /// Number of CPS labels assigned (`0..count`).
+    pub label_count: u32,
+}
+
+/// Transforms a (labeled) ANF term into CPS. `fresh` supplies continuation
+/// variable names; pass [`cpsdfa_anf::AnfProgram::fresh_gen`] so generated
+/// names cannot collide with program variables.
+pub fn cps_transform(root: &Anf, fresh: &mut FreshGen) -> Transformed {
+    let mut tx = Tx { labels: LabelGen::new(), map: LabelMap::default(), fresh };
+    let top_k = tx.fresh.fresh_k("k");
+    let root = tx.term(root, &top_k);
+    Transformed {
+        root,
+        top_k,
+        labels: tx.map,
+        label_count: tx.labels.count(),
+    }
+}
+
+struct Tx<'g> {
+    labels: LabelGen,
+    map: LabelMap,
+    fresh: &'g mut FreshGen,
+}
+
+impl Tx<'_> {
+    fn term(&mut self, m: &Anf, k: &KIdent) -> CTerm {
+        match &m.kind {
+            AnfKind::Value(v) => {
+                let w = self.value(v);
+                self.mk(CTermKind::Ret(k.clone(), w))
+            }
+            AnfKind::Let { var, bind, body } => match bind {
+                Bind::Value(v) => {
+                    let w = self.value(v);
+                    let body = self.term(body, k);
+                    self.mk(CTermKind::Let { var: var.clone(), val: w, body: Box::new(body) })
+                }
+                Bind::App(f, a) => {
+                    let wf = self.value(f);
+                    let wa = self.value(a);
+                    let cont = self.cont(m.label, var, body, k);
+                    self.mk(CTermKind::Call { f: wf, arg: wa, cont })
+                }
+                Bind::If0(c, then_, else_) => {
+                    let wc = self.value(c);
+                    let kp = self.fresh.fresh_k("k");
+                    let cont = self.cont(m.label, var, body, k);
+                    let then_ = self.term(then_, &kp);
+                    let else_ = self.term(else_, &kp);
+                    self.mk(CTermKind::LetK {
+                        k: kp,
+                        cont,
+                        test: wc,
+                        then_: Box::new(then_),
+                        else_: Box::new(else_),
+                    })
+                }
+                Bind::Loop => {
+                    let cont = self.cont(m.label, var, body, k);
+                    self.mk(CTermKind::Loop { cont })
+                }
+            },
+        }
+    }
+
+    /// Builds the continuation λ reifying the frame `(let (x []) M)` whose
+    /// source `let` has label `src_let`.
+    fn cont(&mut self, src_let: Label, var: &cpsdfa_syntax::Ident, body: &Anf, k: &KIdent) -> ContLam {
+        let label = self.labels.next();
+        self.map.record_cont(src_let, label);
+        let body = self.term(body, k);
+        ContLam { label, var: var.clone(), body: Box::new(body) }
+    }
+
+    fn value(&mut self, v: &AVal) -> CVal {
+        let label = self.labels.next();
+        let kind = match &v.kind {
+            AValKind::Num(n) => CValKind::Num(*n),
+            AValKind::Var(x) => CValKind::Var(x.clone()),
+            AValKind::Add1 => CValKind::Add1K,
+            AValKind::Sub1 => CValKind::Sub1K,
+            AValKind::Lam(x, body) => {
+                self.map.record_lam(v.label, label);
+                let k = self.fresh.fresh_k("k");
+                let body = self.term(body, &k);
+                CValKind::Lam { param: x.clone(), k, body: Box::new(body) }
+            }
+        };
+        CVal { label, kind }
+    }
+
+    fn mk(&mut self, kind: CTermKind) -> CTerm {
+        CTerm { label: self.labels.next(), kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_anf::AnfProgram;
+
+    fn tx(src: &str) -> (AnfProgram, Transformed) {
+        let p = AnfProgram::parse(src).unwrap();
+        let mut fresh = p.fresh_gen();
+        let t = cps_transform(p.root(), &mut fresh);
+        (p, t)
+    }
+
+    #[test]
+    fn value_returns_to_top_continuation() {
+        let (_, t) = tx("42");
+        assert_eq!(t.root.to_string(), format!("({} 42)", t.top_k));
+    }
+
+    #[test]
+    fn let_value_stays_a_let() {
+        let (_, t) = tx("(let (x 1) x)");
+        assert_eq!(t.root.to_string(), format!("(let (x 1) ({} x))", t.top_k));
+    }
+
+    #[test]
+    fn application_reifies_frame() {
+        let (_, t) = tx("(let (a (f 1)) a)");
+        assert_eq!(
+            t.root.to_string(),
+            format!("(f 1 (lambda (a) ({} a)))", t.top_k)
+        );
+    }
+
+    #[test]
+    fn theorem_51_shape() {
+        // F_k[(let (a1 (f 1)) (let (a2 (f 2)) a1))]
+        //   = (f 1 (λa1.(f 2 (λa2.(k a1)))))
+        let (_, t) = tx("(let (a1 (f 1)) (let (a2 (f 2)) a1))");
+        assert_eq!(
+            t.root.to_string(),
+            format!("(f 1 (lambda (a1) (f 2 (lambda (a2) ({} a1)))))", t.top_k)
+        );
+    }
+
+    #[test]
+    fn conditional_names_join_continuation() {
+        let (_, t) = tx("(let (a (if0 z 0 1)) a)");
+        let s = t.root.to_string();
+        // (let (k%N (lambda (a) (k%M a))) (if0 z (k%N 0) (k%N 1)))
+        assert!(s.starts_with("(let (k%"), "{s}");
+        assert!(s.contains("(if0 z (k%"), "{s}");
+    }
+
+    #[test]
+    fn lambda_gets_continuation_parameter() {
+        let (_, t) = tx("(lambda (x) x)");
+        let s = t.root.to_string();
+        assert!(s.contains("(lambda (x k%"), "{s}");
+    }
+
+    #[test]
+    fn label_map_covers_every_lambda_and_frame() {
+        let (p, t) = tx("(let (f (lambda (x) x)) (let (a (f 1)) (let (b (if0 a 0 1)) b)))");
+        // one λ
+        assert_eq!(t.labels.lam.len(), 1);
+        for l in p.lambda_labels() {
+            assert!(t.labels.lam.contains_key(l));
+        }
+        // two frames: the application let and the if0 let
+        assert_eq!(t.labels.cont_of_let.len(), 2);
+        // reverse maps are inverses
+        for (src, cps) in &t.labels.lam {
+            assert_eq!(t.labels.lam_rev[cps], *src);
+        }
+        for (src, cps) in &t.labels.cont_of_let {
+            assert_eq!(t.labels.cont_rev[cps], *src);
+        }
+    }
+
+    #[test]
+    fn loop_extension_transforms() {
+        let (_, t) = tx("(let (x (loop)) x)");
+        assert_eq!(t.root.to_string(), format!("(loop (lambda (x) ({} x)))", t.top_k));
+    }
+
+    #[test]
+    fn labels_are_assigned_everywhere() {
+        let (_, t) = tx("(let (f (lambda (x) (add1 x))) (let (a (f 1)) (let (b (if0 a 0 1)) b)))");
+        t.root.visit_terms(&mut |n| assert!(n.label.is_assigned()));
+        let mut all = std::collections::HashSet::new();
+        t.root.visit_terms(&mut |n| {
+            assert!(all.insert(n.label), "duplicate {}", n.label);
+        });
+        let (mut val_labels, mut cont_labels) = (Vec::new(), Vec::new());
+        t.root.visit_parts(
+            &mut |v| val_labels.push(v.label),
+            &mut |c| cont_labels.push(c.label),
+        );
+        for l in val_labels.into_iter().chain(cont_labels) {
+            assert!(l.is_assigned());
+            assert!(all.insert(l), "duplicate {l}");
+        }
+        assert_eq!(all.len() as u32, t.label_count);
+    }
+}

@@ -1,0 +1,191 @@
+//! The inverse of the CPS transformation, on its image.
+//!
+//! The companion paper ("The Essence of Compiling with Continuations",
+//! Flanagan et al. 1993 — reference \[7\]) showed that compiling with CPS
+//! is equivalent to compiling with A-normal forms because the CPS
+//! translation is *invertible* on administratively-normalized programs.
+//! This module implements that inverse for the images of
+//! [`cps_transform`](crate::transform::cps_transform):
+//!
+//! ```text
+//! U_k[(k W)]                        = U[W]                (return to the named k)
+//! U_k[(let (x W) P)]                = (let (x U[W]) U_k[P])
+//! U_k[(W₁ W₂ (λx.P))]              = (let (x (U[W₁] U[W₂])) U_k[P])
+//! U_k[(let (k′ λx.P) (if0 W P₁ P₂))] = (let (x (if0 U[W] U_k′[P₁] U_k′[P₂])) U_k[P])
+//! U_k[(loop (λx.P))]                = (let (x (loop)) U_k[P])
+//! U[(λx k.P)]                      = (λx. U_k[P])
+//! ```
+//!
+//! On arbitrary cps(Λ) terms the shape conditions can fail (e.g. a branch
+//! that does not return through its join continuation); those cases report
+//! a structured [`UntransformError`]. The round-trip property
+//! `uncps(F_k[M]) = M` (exactly, including variable names) is checked by
+//! property tests.
+
+use crate::ast::{CTerm, CTermKind, CVal, CValKind};
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, Bind};
+use cpsdfa_syntax::KIdent;
+use std::error::Error;
+use std::fmt;
+
+/// Errors recovering a direct-style program from a CPS term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UntransformError {
+    /// A `(k W)` return names a continuation other than the current one —
+    /// the term is not an image of the transformation.
+    WrongContinuation {
+        /// The continuation that was expected.
+        expected: String,
+        /// The continuation that was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for UntransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UntransformError::WrongContinuation { expected, found } => write!(
+                f,
+                "return through `{found}` where `{expected}` was expected: not a CPS image"
+            ),
+        }
+    }
+}
+
+impl Error for UntransformError {}
+
+/// Recovers the A-normal-form source of a CPS term produced by
+/// [`cps_transform`](crate::transform::cps_transform) with top continuation
+/// `top_k`. The result is unlabeled; rebuild an
+/// [`AnfProgram`](cpsdfa_anf::AnfProgram) with
+/// [`AnfProgram::from_root`](cpsdfa_anf::AnfProgram::from_root) if labels
+/// are needed.
+///
+/// # Errors
+///
+/// [`UntransformError`] if the term is not in the image of the
+/// transformation.
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_cps::{cps_transform, untransform::uncps};
+///
+/// let p = AnfProgram::parse("(let (a1 (f 1)) (let (a2 (if0 a1 0 1)) a2))")?;
+/// let mut gen = p.fresh_gen();
+/// let t = cps_transform(p.root(), &mut gen);
+/// let back = uncps(&t.root, &t.top_k)?;
+/// assert_eq!(back.to_string(), p.root().to_string());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn uncps(term: &CTerm, top_k: &KIdent) -> Result<Anf, UntransformError> {
+    term_back(term, top_k)
+}
+
+fn term_back(p: &CTerm, k: &KIdent) -> Result<Anf, UntransformError> {
+    match &p.kind {
+        CTermKind::Ret(k2, w) => {
+            if k2 != k {
+                return Err(UntransformError::WrongContinuation {
+                    expected: k.to_string(),
+                    found: k2.to_string(),
+                });
+            }
+            Ok(Anf::new(AnfKind::Value(value_back(w)?)))
+        }
+        CTermKind::Let { var, val, body } => {
+            let v = value_back(val)?;
+            let body = term_back(body, k)?;
+            Ok(Anf::new(AnfKind::Let {
+                var: var.clone(),
+                bind: Bind::Value(v),
+                body: Box::new(body),
+            }))
+        }
+        CTermKind::Call { f, arg, cont } => {
+            let fv = value_back(f)?;
+            let av = value_back(arg)?;
+            let body = term_back(&cont.body, k)?;
+            Ok(Anf::new(AnfKind::Let {
+                var: cont.var.clone(),
+                bind: Bind::App(fv, av),
+                body: Box::new(body),
+            }))
+        }
+        CTermKind::LetK { k: kp, cont, test, then_, else_ } => {
+            let c = value_back(test)?;
+            let t = term_back(then_, kp)?;
+            let e = term_back(else_, kp)?;
+            let body = term_back(&cont.body, k)?;
+            Ok(Anf::new(AnfKind::Let {
+                var: cont.var.clone(),
+                bind: Bind::If0(c, Box::new(t), Box::new(e)),
+                body: Box::new(body),
+            }))
+        }
+        CTermKind::Loop { cont } => {
+            let body = term_back(&cont.body, k)?;
+            Ok(Anf::new(AnfKind::Let {
+                var: cont.var.clone(),
+                bind: Bind::Loop,
+                body: Box::new(body),
+            }))
+        }
+    }
+}
+
+fn value_back(w: &CVal) -> Result<AVal, UntransformError> {
+    Ok(AVal::new(match &w.kind {
+        CValKind::Num(n) => AValKind::Num(*n),
+        CValKind::Var(x) => AValKind::Var(x.clone()),
+        CValKind::Add1K => AValKind::Add1,
+        CValKind::Sub1K => AValKind::Sub1,
+        CValKind::Lam { param, k, body } => {
+            let body = term_back(body, k)?;
+            AValKind::Lam(param.clone(), Box::new(body))
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::cps_transform;
+    use cpsdfa_anf::AnfProgram;
+
+    fn roundtrip(src: &str) -> (String, String) {
+        let p = AnfProgram::parse(src).unwrap();
+        let mut gen = p.fresh_gen();
+        let t = cps_transform(p.root(), &mut gen);
+        let back = uncps(&t.root, &t.top_k).unwrap();
+        (p.root().to_string(), back.to_string())
+    }
+
+    #[test]
+    fn roundtrips_exactly_on_samples() {
+        for src in [
+            "42",
+            "(let (x 1) x)",
+            "(let (a (f 1)) a)",
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (a (if0 z 0 1)) (add1 a))",
+            "(let (x (loop)) x)",
+            "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+        ] {
+            let (orig, back) = roundtrip(src);
+            assert_eq!(orig, back, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_images() {
+        // (k1 x) under expected continuation k0: a "wrong" return.
+        use cpsdfa_syntax::{Ident, KIdent};
+        let bad = CTerm::new(CTermKind::Ret(
+            KIdent::new("k1"),
+            CVal::new(CValKind::Var(Ident::new("x"))),
+        ));
+        let err = uncps(&bad, &KIdent::new("k0")).unwrap_err();
+        assert!(matches!(err, UntransformError::WrongContinuation { .. }));
+        assert!(err.to_string().contains("k1"));
+    }
+}

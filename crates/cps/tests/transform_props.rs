@@ -1,0 +1,154 @@
+//! Property tests for the CPS transformation: size linearity, label-map
+//! completeness, variable preservation, and the cps(Λ) grammar invariants
+//! of Definition 3.2.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::untransform::uncps;
+use cpsdfa_cps::{cps_transform, CTermKind, CValKind, CpsProgram, VarKey};
+use cpsdfa_syntax::ast::{Term, Value};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "f", "g", "x", "y"]).prop_map(str::to_owned)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|n| Term::Value(Value::Num(n))),
+        ident_strategy().prop_map(|x| Term::Value(Value::Var(x.into()))),
+        Just(Term::Value(Value::Add1)),
+        Just(Term::Value(Value::Sub1)),
+        Just(Term::Loop),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (ident_strategy(), inner.clone())
+                .prop_map(|(x, b)| Term::Value(Value::Lam(x.into(), Box::new(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
+            (ident_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(x, r, b)| Term::Let(x.into(), Box::new(r), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Term::If0(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn transform_size_is_linear(t in term_strategy()) {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let anf_size = p.root().size();
+        let cps_size = c.root().size();
+        // F adds one continuation λ per frame and one (k W) per return:
+        // strictly bounded by a small constant factor.
+        prop_assert!(cps_size <= 3 * anf_size + 2, "{anf_size} → {cps_size}");
+        prop_assert!(cps_size >= anf_size / 2);
+    }
+
+    #[test]
+    fn label_map_is_total_on_lambdas_and_frames(t in term_strategy()) {
+        use cpsdfa_anf::{AnfKind, Bind};
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        // every source λ has a CPS image
+        for l in p.lambda_labels() {
+            prop_assert!(c.label_map().lam.contains_key(l));
+        }
+        // every frame-creating let has a continuation image
+        let mut frame_lets = Vec::new();
+        p.root().visit_terms(&mut |m| {
+            if let AnfKind::Let { bind, .. } = &m.kind {
+                if matches!(bind, Bind::App(..) | Bind::If0(..) | Bind::Loop) {
+                    frame_lets.push(m.label);
+                }
+            }
+        });
+        for l in &frame_lets {
+            prop_assert!(c.label_map().cont_of_let.contains_key(l), "no cont for {l}");
+        }
+        prop_assert_eq!(frame_lets.len(), c.label_map().cont_of_let.len());
+        // and the images are exactly the program's λ/continuation universes
+        prop_assert_eq!(c.label_map().lam.len(), c.lambda_labels().len());
+        prop_assert_eq!(c.label_map().cont_of_let.len(), c.cont_labels().len());
+    }
+
+    #[test]
+    fn uncps_inverts_the_transform_exactly(t in term_strategy()) {
+        // Reference [7]'s equivalence, executable: U_k ∘ F_k = id on ANF,
+        // down to variable names.
+        let p = AnfProgram::from_term(&t);
+        let mut gen = p.fresh_gen();
+        let tx = cps_transform(p.root(), &mut gen);
+        let back = uncps(&tx.root, &tx.top_k).expect("transform images invert");
+        prop_assert_eq!(back.to_string(), p.root().to_string());
+    }
+
+    #[test]
+    fn user_variables_survive_the_transform(t in term_strategy()) {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        for (_, name) in p.iter_vars() {
+            prop_assert!(
+                c.user_var_id(name).is_some(),
+                "source variable {name} lost by the transform"
+            );
+        }
+    }
+
+    #[test]
+    fn cps_grammar_invariants(t in term_strategy()) {
+        // Definition 3.2: user λs take exactly (x, k); every Ret names a
+        // bound or top continuation variable; binders are unique.
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let mut binders = std::collections::HashSet::new();
+        let mut dup = false;
+        let mut record = |key: VarKey| {
+            dup |= !binders.insert(key);
+        };
+        fn walk(
+            t: &cpsdfa_cps::CTerm,
+            record: &mut impl FnMut(VarKey),
+        ) {
+            match &t.kind {
+                CTermKind::Ret(_, w) => walk_val(w, record),
+                CTermKind::Let { var, val, body } => {
+                    record(VarKey::User(var.clone()));
+                    walk_val(val, record);
+                    walk(body, record);
+                }
+                CTermKind::Call { f, arg, cont } => {
+                    walk_val(f, record);
+                    walk_val(arg, record);
+                    record(VarKey::User(cont.var.clone()));
+                    walk(&cont.body, record);
+                }
+                CTermKind::LetK { k, cont, test, then_, else_ } => {
+                    record(VarKey::Kont(k.clone()));
+                    record(VarKey::User(cont.var.clone()));
+                    walk(&cont.body, record);
+                    walk_val(test, record);
+                    walk(then_, record);
+                    walk(else_, record);
+                }
+                CTermKind::Loop { cont } => {
+                    record(VarKey::User(cont.var.clone()));
+                    walk(&cont.body, record);
+                }
+            }
+        }
+        fn walk_val(v: &cpsdfa_cps::CVal, record: &mut impl FnMut(VarKey)) {
+            if let CValKind::Lam { param, k, body } = &v.kind {
+                record(VarKey::User(param.clone()));
+                record(VarKey::Kont(k.clone()));
+                walk(body, record);
+            }
+        }
+        walk(c.root(), &mut record);
+        prop_assert!(!dup, "duplicate binder in CPS output of {t}");
+    }
+}

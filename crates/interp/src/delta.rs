@@ -1,0 +1,138 @@
+//! The function δ of §3.3, relating direct run-time values to their CPS
+//! counterparts:
+//!
+//! ```text
+//! δ(n) = n      δ(inc) = inck      δ(dec) = deck
+//! δ((cl x, M, ρ)) = (cl xk, F_k[M], ρ)
+//! ```
+//!
+//! extended pointwise to stores and component-wise to answers. Lemma 3.3
+//! states that the syntactic-CPS interpreter computes δ of the direct
+//! answer, with the CPS store containing *additional* entries for
+//! continuations. These predicates make the lemma executable.
+
+use crate::runtime::Store;
+use crate::value::{CRVal, DVal};
+use cpsdfa_cps::{LabelMap, VarKey};
+use std::collections::BTreeMap;
+
+/// `δ(d) = c`? Closures are compared through the transform's λ
+/// correspondence; continuation values can never be δ-images.
+pub fn value_delta_eq(d: &DVal<'_>, c: &CRVal<'_>, map: &LabelMap) -> bool {
+    match (d, c) {
+        (DVal::Num(a), CRVal::Num(b)) => a == b,
+        (DVal::Inc, CRVal::IncK) => true,
+        (DVal::Dec, CRVal::DecK) => true,
+        (DVal::Clo { label, .. }, CRVal::Clo { label: cl, .. }) => {
+            map.lam.get(label) == Some(cl)
+        }
+        _ => false,
+    }
+}
+
+/// A store entry shape for multiset comparison: the variable's base name and
+/// the δ-image of its value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Shape {
+    Num(i64),
+    Inc,
+    Dec,
+    Clo(u32),
+}
+
+fn direct_shape(v: &DVal<'_>, map: &LabelMap) -> Option<Shape> {
+    Some(match v {
+        DVal::Num(n) => Shape::Num(*n),
+        DVal::Inc => Shape::Inc,
+        DVal::Dec => Shape::Dec,
+        DVal::Clo { label, .. } => Shape::Clo(map.lam.get(label)?.index()),
+    })
+}
+
+fn cps_shape(v: &CRVal<'_>) -> Option<Shape> {
+    Some(match v {
+        CRVal::Num(n) => Shape::Num(*n),
+        CRVal::IncK => Shape::Inc,
+        CRVal::DecK => Shape::Dec,
+        CRVal::Clo { label, .. } => Shape::Clo(label.index()),
+        CRVal::Co { .. } | CRVal::Stop => return None,
+    })
+}
+
+/// Lemma 3.3's store relation: the CPS store restricted to *user* variables
+/// must be exactly δ of the direct store (as a multiset of
+/// `(variable, value)` bindings — locations are allocation-order artifacts).
+/// The continuation entries the CPS store additionally contains are ignored.
+pub fn stores_delta_related(
+    direct: &Store<DVal<'_>>,
+    cps: &Store<CRVal<'_>, VarKey>,
+    map: &LabelMap,
+) -> bool {
+    let mut want: BTreeMap<(String, Shape), isize> = BTreeMap::new();
+    for (x, v) in direct.iter() {
+        match direct_shape(v, map) {
+            Some(s) => *want.entry((x.to_string(), s)).or_default() += 1,
+            None => return false, // a closure with no CPS image
+        }
+    }
+    for (key, v) in cps.iter() {
+        let VarKey::User(x) = key else { continue };
+        let Some(s) = cps_shape(v) else {
+            // A continuation value bound to a user variable would break δ;
+            // the machine never produces one.
+            return false;
+        };
+        *want.entry((x.to_string(), s)).or_default() -= 1;
+    }
+    want.values().all(|&n| n == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_direct, run_syncps, Fuel};
+    use cpsdfa_anf::AnfProgram;
+    use cpsdfa_cps::CpsProgram;
+
+    fn check(src: &str) {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let da = run_direct(&p, &[], Fuel::default()).unwrap();
+        let ca = run_syncps(&c, &[], Fuel::default()).unwrap();
+        assert!(
+            value_delta_eq(&da.value, &ca.value, c.label_map()),
+            "answers of {src} not δ-related: {} vs {}",
+            da.value,
+            ca.value
+        );
+        assert!(
+            stores_delta_related(&da.store, &ca.store, c.label_map()),
+            "stores of {src} not δ-related"
+        );
+    }
+
+    #[test]
+    fn lemma_33_on_samples() {
+        for src in [
+            "42",
+            "(add1 1)",
+            "(let (f (lambda (x) (add1 x))) (f (f 40)))",
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(if0 0 1 2)",
+            "(let (a (if0 1 (add1 0) (sub1 0))) (add1 a))",
+            "(lambda (x) x)",
+            "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+        ] {
+            check(src);
+        }
+    }
+
+    #[test]
+    fn delta_rejects_mismatched_values() {
+        let map = LabelMap::default();
+        assert!(!value_delta_eq(&DVal::Num(1), &CRVal::Num(2), &map));
+        assert!(!value_delta_eq(&DVal::Inc, &CRVal::DecK, &map));
+        assert!(!value_delta_eq(&DVal::Num(0), &CRVal::Stop, &map));
+        assert!(value_delta_eq(&DVal::Dec, &CRVal::DecK, &map));
+    }
+}

@@ -1,0 +1,245 @@
+//! The direct (store) interpreter `M` of Figure 1.
+//!
+//! A big-step evaluator over the restricted subset: environments map
+//! variables to locations, stores map locations to values, and every `let`
+//! (and every procedure application) allocates a fresh location for its
+//! bound variable.
+
+use crate::runtime::{Env, Fuel, InterpError, Store};
+use crate::value::DVal;
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind};
+use cpsdfa_syntax::Ident;
+
+/// The answer of the direct interpreter: a value and the final store
+/// (Figure 1: `Ans = Val × Sto`), plus the number of transitions consumed.
+#[derive(Debug, Clone)]
+pub struct DirectAnswer<'p> {
+    /// The result value.
+    pub value: DVal<'p>,
+    /// The final store.
+    pub store: Store<DVal<'p>>,
+    /// Transitions consumed (for cost experiments).
+    pub steps: u64,
+}
+
+/// Runs the direct interpreter `M` on a program.
+///
+/// `inputs` supplies numbers for free variables; a free variable without an
+/// input is reported as unbound when (and only when) it is actually used.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] on unbound variables, application of
+/// non-procedures, `add1`/`sub1` of non-numbers, divergence via `loop`, or
+/// fuel exhaustion.
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_interp::{run_direct, Fuel};
+/// let p = AnfProgram::parse("(let (f (lambda (x) (add1 x))) (f 41))").unwrap();
+/// let a = run_direct(&p, &[], Fuel::default())?;
+/// assert_eq!(a.value.as_num(), Some(42));
+/// # Ok::<(), cpsdfa_interp::InterpError>(())
+/// ```
+pub fn run_direct<'p>(
+    prog: &'p AnfProgram,
+    inputs: &[(Ident, i64)],
+    fuel: Fuel,
+) -> Result<DirectAnswer<'p>, InterpError> {
+    let mut m = Machine { fuel, store: Store::new() };
+    let mut env = Env::empty();
+    for (x, n) in inputs {
+        let loc = m.store.alloc(x.clone(), DVal::Num(*n));
+        env = env.extend(x.clone(), loc);
+    }
+    let value = m.eval(prog.root(), &env)?;
+    Ok(DirectAnswer { value, store: m.store, steps: m.fuel.used() })
+}
+
+struct Machine<'p> {
+    fuel: Fuel,
+    store: Store<DVal<'p>>,
+}
+
+impl<'p> Machine<'p> {
+    /// `φ : Λ(V) × Env × Sto → Val`.
+    fn phi(&self, v: &'p AVal, env: &Env) -> Result<DVal<'p>, InterpError> {
+        match &v.kind {
+            AValKind::Num(n) => Ok(DVal::Num(*n)),
+            AValKind::Var(x) => match env.lookup(x) {
+                Some(loc) => Ok(self.store.get(loc).clone()),
+                None => Err(InterpError::UnboundVariable(x.to_string())),
+            },
+            AValKind::Add1 => Ok(DVal::Inc),
+            AValKind::Sub1 => Ok(DVal::Dec),
+            AValKind::Lam(x, body) => Ok(DVal::Clo {
+                label: v.label,
+                param: x,
+                body,
+                env: env.clone(),
+            }),
+        }
+    }
+
+    /// The relation `(M, ρ, s) ⊢M A`.
+    fn eval(&mut self, m: &'p Anf, env: &Env) -> Result<DVal<'p>, InterpError> {
+        self.fuel.tick()?;
+        match &m.kind {
+            AnfKind::Value(v) => self.phi(v, env),
+            AnfKind::Let { var, bind, body } => {
+                let u = match bind {
+                    Bind::Value(v) => self.phi(v, env)?,
+                    Bind::App(vf, va) => {
+                        let u1 = self.phi(vf, env)?;
+                        let u2 = self.phi(va, env)?;
+                        self.app(u1, u2)?
+                    }
+                    Bind::If0(vc, then_, else_) => {
+                        let u0 = self.phi(vc, env)?;
+                        // i = 1 if u0 = 0, i = 2 otherwise (procedures are
+                        // "otherwise").
+                        if u0.as_num() == Some(0) {
+                            self.eval(then_, env)?
+                        } else {
+                            self.eval(else_, env)?
+                        }
+                    }
+                    Bind::Loop => return Err(InterpError::Diverged),
+                };
+                let loc = self.store.alloc(var.clone(), u);
+                let env = env.extend(var.clone(), loc);
+                self.eval(body, &env)
+            }
+        }
+    }
+
+    /// The relation `app : Val × Val × Sto → Ans`.
+    fn app(&mut self, u1: DVal<'p>, u2: DVal<'p>) -> Result<DVal<'p>, InterpError> {
+        self.fuel.tick()?;
+        match u1 {
+            DVal::Inc => match u2 {
+                DVal::Num(n) => Ok(DVal::Num(n + 1)),
+                other => Err(InterpError::NotANumber(other.to_string())),
+            },
+            DVal::Dec => match u2 {
+                DVal::Num(n) => Ok(DVal::Num(n - 1)),
+                other => Err(InterpError::NotANumber(other.to_string())),
+            },
+            DVal::Clo { param, body, env, .. } => {
+                let loc = self.store.alloc(param.clone(), u2);
+                let env = env.extend(param.clone(), loc);
+                self.eval(body, &env)
+            }
+            DVal::Num(n) => Err(InterpError::NotAProcedure(n.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Result<i64, InterpError> {
+        let p = AnfProgram::parse(src).unwrap();
+        run_direct(&p, &[], Fuel::default()).map(|a| a.value.as_num().expect("numeric result"))
+    }
+
+    fn run_with(src: &str, inputs: &[(&str, i64)]) -> Result<i64, InterpError> {
+        let p = AnfProgram::parse(src).unwrap();
+        let inputs: Vec<_> = inputs.iter().map(|(x, n)| (Ident::new(x), *n)).collect();
+        run_direct(&p, &inputs, Fuel::default()).map(|a| a.value.as_num().expect("numeric"))
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("(add1 1)"), Ok(2));
+        assert_eq!(run("(sub1 0)"), Ok(-1));
+        assert_eq!(run("(add1 (sub1 7))"), Ok(7));
+    }
+
+    #[test]
+    fn lets_and_applications() {
+        assert_eq!(run("(let (x 1) (add1 x))"), Ok(2));
+        assert_eq!(run("((lambda (x) (add1 x)) 41)"), Ok(42));
+        assert_eq!(run("(let (f (lambda (x) x)) (f (f 9)))"), Ok(9));
+    }
+
+    #[test]
+    fn conditionals_branch_on_zero() {
+        assert_eq!(run("(if0 0 10 20)"), Ok(10));
+        assert_eq!(run("(if0 1 10 20)"), Ok(20));
+        assert_eq!(run("(if0 -1 10 20)"), Ok(20));
+        // procedures are non-zero
+        assert_eq!(run("(if0 (lambda (x) x) 10 20)"), Ok(20));
+    }
+
+    #[test]
+    fn higher_order_and_shadowed_locations() {
+        // each invocation gets a fresh location for the parameter
+        assert_eq!(
+            run("(let (f (lambda (x) (add1 x))) (let (a (f 1)) (let (b (f 10)) (add1 b))))"),
+            Ok(12)
+        );
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        assert_eq!(
+            run("(let (y 10) (let (f (lambda (x) (add1 y))) (let (y2 99) (f 0))))"),
+            Ok(11)
+        );
+    }
+
+    #[test]
+    fn inputs_seed_free_variables() {
+        assert_eq!(run_with("(add1 z)", &[("z", 4)]), Ok(5));
+        assert!(matches!(
+            run_with("(add1 z)", &[]),
+            Err(InterpError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn dynamic_errors_are_reported() {
+        assert!(matches!(run("(1 2)"), Err(InterpError::NotAProcedure(_))));
+        assert!(matches!(
+            run("(add1 (lambda (x) x))"),
+            Err(InterpError::NotANumber(_))
+        ));
+    }
+
+    #[test]
+    fn loop_diverges() {
+        assert_eq!(run("(loop)"), Err(InterpError::Diverged));
+    }
+
+    #[test]
+    fn omega_exhausts_fuel() {
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (w w))").unwrap();
+        let r = run_direct(&p, &[], Fuel::new(1_000));
+        assert!(matches!(r, Err(InterpError::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn store_records_every_binding() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a (f 1)) (let (b (f 2)) b)))")
+            .unwrap();
+        let a = run_direct(&p, &[], Fuel::default()).unwrap();
+        // x is allocated twice, once per invocation
+        let xs = a
+            .store
+            .iter()
+            .filter(|(x, _)| x.as_str() == "x")
+            .filter_map(|(_, v)| v.as_num())
+            .collect::<Vec<_>>();
+        assert_eq!(xs, [1, 2]);
+    }
+
+    #[test]
+    fn lambda_result_is_a_closure() {
+        let p = AnfProgram::parse("(lambda (x) x)").unwrap();
+        let a = run_direct(&p, &[], Fuel::default()).unwrap();
+        assert!(a.value.is_procedure());
+        assert!(a.steps > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The three concrete interpreters of Sabry & Felleisen (PLDI 1994), §2–3:
+//!
+//! * [`run_direct`] — the direct (store) interpreter `M` of **Figure 1**;
+//! * [`run_semcps`] — the semantic-CPS interpreter `C` of **Figure 2**,
+//!   which reifies the evaluator's control state as a list of frames;
+//! * [`run_syncps`] — the syntactic-CPS interpreter `M_c` of **Figure 3**,
+//!   a specialized direct interpreter for CPS programs whose run-time values
+//!   include reified continuations;
+//!
+//! plus the [δ relation](delta) of §3.3 connecting them (Lemmas 3.1 and
+//! 3.3), and a [reference evaluator](mod@reference) for the full language used
+//! to validate A-normalization.
+//!
+//! All interpreters are fuel-limited and return structured
+//! [errors](runtime::InterpError), so differential testing over random
+//! programs is total.
+//!
+//! ```
+//! use cpsdfa_anf::AnfProgram;
+//! use cpsdfa_cps::CpsProgram;
+//! use cpsdfa_interp::{delta, run_direct, run_semcps, run_syncps, Fuel};
+//!
+//! let p = AnfProgram::parse("(let (f (lambda (x) (add1 x))) (f 41))").unwrap();
+//! let c = CpsProgram::from_anf(&p);
+//! let d = run_direct(&p, &[], Fuel::default())?;
+//! let s = run_semcps(&p, &[], Fuel::default())?;
+//! let m = run_syncps(&c, &[], Fuel::default())?;
+//! assert_eq!(d.value.as_num(), Some(42));            // Figure 1
+//! assert_eq!(s.value.as_num(), Some(42));            // Lemma 3.1
+//! assert!(delta::value_delta_eq(&d.value, &m.value, c.label_map())); // Lemma 3.3
+//! # Ok::<(), cpsdfa_interp::InterpError>(())
+//! ```
+
+pub mod delta;
+pub mod direct;
+pub mod reference;
+pub mod runtime;
+pub mod semcps;
+pub mod syncps;
+pub mod value;
+
+pub use delta::{stores_delta_related, value_delta_eq};
+pub use direct::{run_direct, DirectAnswer};
+pub use reference::{run_reference, RVal};
+pub use runtime::{Env, Fuel, InterpError, Loc, Store};
+pub use semcps::{run_semcps, Frame, SemCpsAnswer};
+pub use syncps::{run_syncps, SynCpsAnswer};
+pub use value::{CRVal, DVal};

@@ -1,0 +1,220 @@
+//! A reference big-step evaluator for the *full* language Λ (before
+//! A-normalization).
+//!
+//! The paper's interpreters work on the restricted subset; this evaluator
+//! exists only to check that A-normalization preserves the informal
+//! semantics of §2 (footnote 2 claims the normalization is transparent to
+//! the interpreters). It is deliberately simple: environments map variables
+//! directly to values, no store.
+
+use crate::runtime::{Fuel, InterpError};
+use cpsdfa_syntax::ast::{Term, Value};
+use cpsdfa_syntax::Ident;
+use std::fmt;
+use std::rc::Rc;
+
+/// A value of the reference evaluator.
+#[derive(Clone)]
+pub enum RVal {
+    /// A number.
+    Num(i64),
+    /// The successor primitive.
+    Inc,
+    /// The predecessor primitive.
+    Dec,
+    /// A closure over the full language.
+    Clo {
+        /// The parameter.
+        param: Ident,
+        /// The body (shared, since closures are copied freely).
+        body: Rc<Term>,
+        /// The captured environment.
+        env: REnv,
+    },
+}
+
+impl RVal {
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            RVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True for procedures.
+    pub fn is_procedure(&self) -> bool {
+        !matches!(self, RVal::Num(_))
+    }
+}
+
+impl fmt::Display for RVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RVal::Num(n) => write!(f, "{n}"),
+            RVal::Inc => f.write_str("inc"),
+            RVal::Dec => f.write_str("dec"),
+            RVal::Clo { param, .. } => write!(f, "(cl {param}, …)"),
+        }
+    }
+}
+
+impl fmt::Debug for RVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A persistent environment mapping variables to values.
+#[derive(Clone, Default)]
+pub struct REnv {
+    node: Option<Rc<RNode>>,
+}
+
+struct RNode {
+    var: Ident,
+    val: RVal,
+    rest: Option<Rc<RNode>>,
+}
+
+impl REnv {
+    fn extend(&self, var: Ident, val: RVal) -> REnv {
+        REnv { node: Some(Rc::new(RNode { var, val, rest: self.node.clone() })) }
+    }
+
+    fn lookup(&self, var: &Ident) -> Option<&RVal> {
+        let mut cur = self.node.as_deref();
+        while let Some(n) = cur {
+            if &n.var == var {
+                return Some(&n.val);
+            }
+            cur = n.rest.as_deref();
+        }
+        None
+    }
+}
+
+/// Evaluates a full-Λ term with the informal semantics of §2.
+///
+/// # Errors
+///
+/// As for [`crate::run_direct`].
+///
+/// ```
+/// use cpsdfa_interp::{run_reference, Fuel};
+/// use cpsdfa_syntax::parse::parse_term;
+/// let t = parse_term("((lambda (x) (add1 x)) 41)").unwrap();
+/// assert_eq!(run_reference(&t, &[], Fuel::default())?.as_num(), Some(42));
+/// # Ok::<(), cpsdfa_interp::InterpError>(())
+/// ```
+pub fn run_reference(
+    term: &Term,
+    inputs: &[(Ident, i64)],
+    mut fuel: Fuel,
+) -> Result<RVal, InterpError> {
+    let mut env = REnv::default();
+    for (x, n) in inputs {
+        env = env.extend(x.clone(), RVal::Num(*n));
+    }
+    eval(term, &env, &mut fuel)
+}
+
+fn eval(term: &Term, env: &REnv, fuel: &mut Fuel) -> Result<RVal, InterpError> {
+    fuel.tick()?;
+    match term {
+        Term::Value(v) => eval_value(v, env),
+        Term::App(f, a) => {
+            let fv = eval(f, env, fuel)?;
+            let av = eval(a, env, fuel)?;
+            apply(fv, av, fuel)
+        }
+        Term::Let(x, rhs, body) => {
+            let rv = eval(rhs, env, fuel)?;
+            eval(body, &env.extend(x.clone(), rv), fuel)
+        }
+        Term::If0(c, t, e) => {
+            let cv = eval(c, env, fuel)?;
+            if cv.as_num() == Some(0) {
+                eval(t, env, fuel)
+            } else {
+                eval(e, env, fuel)
+            }
+        }
+        Term::Loop => Err(InterpError::Diverged),
+    }
+}
+
+fn eval_value(v: &Value, env: &REnv) -> Result<RVal, InterpError> {
+    match v {
+        Value::Num(n) => Ok(RVal::Num(*n)),
+        Value::Var(x) => env
+            .lookup(x)
+            .cloned()
+            .ok_or_else(|| InterpError::UnboundVariable(x.to_string())),
+        Value::Add1 => Ok(RVal::Inc),
+        Value::Sub1 => Ok(RVal::Dec),
+        Value::Lam(x, body) => Ok(RVal::Clo {
+            param: x.clone(),
+            body: Rc::new((**body).clone()),
+            env: env.clone(),
+        }),
+    }
+}
+
+fn apply(f: RVal, a: RVal, fuel: &mut Fuel) -> Result<RVal, InterpError> {
+    match f {
+        RVal::Inc => match a {
+            RVal::Num(n) => Ok(RVal::Num(n + 1)),
+            other => Err(InterpError::NotANumber(other.to_string())),
+        },
+        RVal::Dec => match a {
+            RVal::Num(n) => Ok(RVal::Num(n - 1)),
+            other => Err(InterpError::NotANumber(other.to_string())),
+        },
+        RVal::Clo { param, body, env } => eval(&body, &env.extend(param, a), fuel),
+        RVal::Num(n) => Err(InterpError::NotAProcedure(n.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_syntax::parse::parse_term;
+
+    fn run(src: &str) -> Result<Option<i64>, InterpError> {
+        run_reference(&parse_term(src).unwrap(), &[], Fuel::default()).map(|v| v.as_num())
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        assert_eq!(run("(add1 (sub1 5))"), Ok(Some(5)));
+        assert_eq!(run("(let (x 3) (if0 x 1 (add1 x)))"), Ok(Some(4)));
+        assert_eq!(run("((lambda (f) (f (f 1))) add1)"), Ok(Some(3)));
+    }
+
+    #[test]
+    fn full_language_features_anf_lacks() {
+        // operands can be arbitrary terms
+        assert_eq!(run("((if0 0 add1 sub1) 10)"), Ok(Some(11)));
+        assert_eq!(run("(add1 (let (x 1) (add1 x)))"), Ok(Some(3)));
+    }
+
+    #[test]
+    fn shadowing_respects_lexical_scope() {
+        assert_eq!(
+            run("(let (x 1) (let (f (lambda (y) x)) (let (x 2) (f 0))))"),
+            Ok(Some(1))
+        );
+    }
+
+    #[test]
+    fn errors_and_divergence() {
+        assert!(matches!(run("(0 1)"), Err(InterpError::NotAProcedure(_))));
+        assert_eq!(run("(loop)"), Err(InterpError::Diverged));
+        let omega = parse_term("((lambda (x) (x x)) (lambda (x) (x x)))").unwrap();
+        assert!(matches!(
+            run_reference(&omega, &[], Fuel::new(500)),
+            Err(InterpError::OutOfFuel { .. })
+        ));
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared runtime machinery for the three concrete interpreters:
+//! locations, environments, stores, fuel, and errors.
+//!
+//! Following Figure 1, an *environment* is a finite table mapping variables
+//! to locations and a *store* maps locations to run-time values. The
+//! function `new` allocates a fresh location per binding ("the bound
+//! variable of a procedure or a block is related to different locations, one
+//! for each invocation"), and the variable is recoverable from the location
+//! (`new⁻¹`), which we model by storing the variable alongside the value.
+
+use cpsdfa_syntax::Ident;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// A store location.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A persistent environment `ρ : Var ⇀ Loc`, generic in the variable type
+/// so the syntactic-CPS machine can key it by both namespaces.
+///
+/// Closures capture environments, so extension must not disturb other
+/// holders: the environment is a persistent linked list with O(1) extension
+/// and sharing.
+#[derive(Clone)]
+pub struct Env<K = Ident> {
+    node: Option<Rc<EnvNode<K>>>,
+}
+
+impl<K> Default for Env<K> {
+    fn default() -> Self {
+        Env { node: None }
+    }
+}
+
+struct EnvNode<K> {
+    var: K,
+    loc: Loc,
+    rest: Option<Rc<EnvNode<K>>>,
+}
+
+impl<K: Clone + PartialEq> Env<K> {
+    /// The empty environment.
+    pub fn empty() -> Env<K> {
+        Env::default()
+    }
+
+    /// `ρ[x := ℓ]` — extends without mutating `self`'s other holders.
+    #[must_use]
+    pub fn extend(&self, var: K, loc: Loc) -> Env<K> {
+        Env {
+            node: Some(Rc::new(EnvNode { var, loc, rest: self.node.clone() })),
+        }
+    }
+
+    /// `ρ(x)` — innermost binding wins.
+    pub fn lookup(&self, var: &K) -> Option<Loc> {
+        let mut cur = self.node.as_deref();
+        while let Some(n) = cur {
+            if &n.var == var {
+                return Some(n.loc);
+            }
+            cur = n.rest.as_deref();
+        }
+        None
+    }
+
+    /// Number of bindings (including shadowed ones).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.node.as_deref();
+        while let Some(e) = cur {
+            n += 1;
+            cur = e.rest.as_deref();
+        }
+        n
+    }
+
+    /// True if no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_none()
+    }
+}
+
+impl<K: fmt::Display> fmt::Debug for Env<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Env[")?;
+        let mut cur = self.node.as_deref();
+        let mut first = true;
+        while let Some(n) = cur {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}↦{}", n.var, n.loc)?;
+            first = false;
+            cur = n.rest.as_deref();
+        }
+        write!(f, "]")
+    }
+}
+
+/// A store `s : Loc ⇀ Val`, with `new⁻¹` information: each location records
+/// the variable it was allocated for.
+#[derive(Debug, Clone)]
+pub struct Store<V, K = Ident> {
+    cells: Vec<(K, V)>,
+}
+
+impl<V, K> Store<V, K> {
+    /// The empty store.
+    pub fn new() -> Store<V, K> {
+        Store { cells: Vec::new() }
+    }
+
+    /// `new(x, s)`: allocates a fresh location holding `v`, tagged with the
+    /// variable `x` so that `x = new⁻¹(ℓ)`.
+    pub fn alloc(&mut self, var: K, v: V) -> Loc {
+        self.cells.push((var, v));
+        Loc(self.cells.len() - 1)
+    }
+
+    /// `s(ℓ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` was not allocated in this store.
+    pub fn get(&self, loc: Loc) -> &V {
+        &self.cells[loc.0].1
+    }
+
+    /// `new⁻¹(ℓ)` — the variable the location was allocated for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` was not allocated in this store.
+    pub fn var_of(&self, loc: Loc) -> &K {
+        &self.cells[loc.0].0
+    }
+
+    /// Number of allocated locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.cells.iter().map(|(x, v)| (x, v))
+    }
+
+    /// Mutable access to a cell's value (used by set-style updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` was not allocated in this store.
+    pub fn get_mut(&mut self, loc: Loc) -> &mut V {
+        &mut self.cells[loc.0].1
+    }
+}
+
+impl<V, K> Default for Store<V, K> {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+/// An evaluation budget. Each interpreter transition consumes one unit;
+/// exhausting the budget aborts evaluation with
+/// [`InterpError::OutOfFuel`], making differential testing of possibly
+/// divergent programs total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fuel {
+    remaining: u64,
+    initial: u64,
+}
+
+impl Fuel {
+    /// A budget of `steps` transitions.
+    pub fn new(steps: u64) -> Fuel {
+        Fuel { remaining: steps, initial: steps }
+    }
+
+    /// Consumes one unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::OutOfFuel`] when the budget is exhausted.
+    pub fn tick(&mut self) -> Result<(), InterpError> {
+        if self.remaining == 0 {
+            return Err(InterpError::OutOfFuel { budget: self.initial });
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+
+    /// Steps consumed so far.
+    pub fn used(&self) -> u64 {
+        self.initial - self.remaining
+    }
+}
+
+impl Default for Fuel {
+    /// A generous default budget (10⁶ transitions).
+    fn default() -> Self {
+        Fuel::new(1_000_000)
+    }
+}
+
+/// Errors produced by the concrete interpreters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The fuel budget was exhausted (possibly a divergent program).
+    OutOfFuel {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A variable had no binding at lookup time.
+    UnboundVariable(String),
+    /// A non-procedure value appeared in operator position.
+    NotAProcedure(String),
+    /// `add1`/`sub1` was applied to a non-number.
+    NotANumber(String),
+    /// The `loop` construct was evaluated; its concrete semantics diverges
+    /// (`x := 0; while true x := x + 1`).
+    Diverged,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfFuel { budget } => {
+                write!(f, "evaluation exceeded the fuel budget of {budget} steps")
+            }
+            InterpError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            InterpError::NotAProcedure(v) => write!(f, "cannot apply non-procedure {v}"),
+            InterpError::NotANumber(v) => write!(f, "primitive applied to non-number {v}"),
+            InterpError::Diverged => f.write_str("program diverges (loop construct)"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_innermost_binding_wins() {
+        let e = Env::empty()
+            .extend(Ident::new("x"), Loc(0))
+            .extend(Ident::new("x"), Loc(1));
+        assert_eq!(e.lookup(&Ident::new("x")), Some(Loc(1)));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn env_extension_is_persistent() {
+        let base = Env::empty().extend(Ident::new("x"), Loc(0));
+        let child = base.extend(Ident::new("y"), Loc(1));
+        assert_eq!(base.lookup(&Ident::new("y")), None);
+        assert_eq!(child.lookup(&Ident::new("y")), Some(Loc(1)));
+        assert_eq!(child.lookup(&Ident::new("x")), Some(Loc(0)));
+    }
+
+    #[test]
+    fn store_allocates_fresh_locations_and_recovers_vars() {
+        let mut s: Store<i64> = Store::new();
+        let l0 = s.alloc(Ident::new("x"), 10);
+        let l1 = s.alloc(Ident::new("x"), 20);
+        assert_ne!(l0, l1);
+        assert_eq!(*s.get(l0), 10);
+        assert_eq!(*s.get(l1), 20);
+        assert_eq!(s.var_of(l1).as_str(), "x");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn fuel_runs_out_exactly() {
+        let mut f = Fuel::new(2);
+        assert!(f.tick().is_ok());
+        assert!(f.tick().is_ok());
+        assert_eq!(f.tick(), Err(InterpError::OutOfFuel { budget: 2 }));
+        assert_eq!(f.used(), 2);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let msgs = [
+            InterpError::OutOfFuel { budget: 5 }.to_string(),
+            InterpError::UnboundVariable("x".into()).to_string(),
+            InterpError::NotAProcedure("3".into()).to_string(),
+            InterpError::NotANumber("(lambda (x) x)".into()).to_string(),
+            InterpError::Diverged.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn env_debug_is_nonempty() {
+        let e = Env::empty().extend(Ident::new("x"), Loc(0));
+        assert!(format!("{e:?}").contains("x↦@0"));
+        assert!(!format!("{:?}", Env::<Ident>::empty()).is_empty());
+    }
+}

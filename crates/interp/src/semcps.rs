@@ -1,0 +1,251 @@
+//! The semantic-CPS interpreter `C` of Figure 2.
+//!
+//! The continuation is the reified control state of the evaluator: a list of
+//! frames `(Eᵢ, ρᵢ)` where each `Eᵢ = (let (xᵢ [ ]) Mᵢ)` (§3.1). The machine
+//! is tail-recursive, so it runs as a flat loop with three kinds of
+//! transitions mirroring the paper's `C`, `appk`, and `appr` relations.
+//!
+//! Lemma 3.1 — `C` computes the same answers as the direct interpreter `M`
+//! — is checked by unit tests here and by differential property tests in the
+//! workspace test-suite.
+
+use crate::runtime::{Env, Fuel, InterpError, Store};
+use crate::value::DVal;
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind};
+use cpsdfa_syntax::{Ident, Label};
+
+/// One continuation frame `((let (x [ ]) M), ρ)`.
+#[derive(Clone)]
+pub struct Frame<'p> {
+    /// Label of the frame-creating `let` (identifies the abstract frame).
+    pub label: Label,
+    /// The variable `x` awaiting the value.
+    pub var: &'p Ident,
+    /// The rest of the computation `M`.
+    pub body: &'p Anf,
+    /// The saved environment `ρ`.
+    pub env: Env,
+}
+
+impl std::fmt::Debug for Frame<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(let ({} []) …)@{}", self.var, self.label)
+    }
+}
+
+/// The answer of the semantic-CPS interpreter, with step and continuation
+/// depth statistics.
+#[derive(Debug, Clone)]
+pub struct SemCpsAnswer<'p> {
+    /// The result value.
+    pub value: DVal<'p>,
+    /// The final store.
+    pub store: Store<DVal<'p>>,
+    /// Transitions consumed.
+    pub steps: u64,
+    /// The deepest control stack observed (frames).
+    pub max_kont_depth: usize,
+}
+
+enum Control<'p> {
+    /// `(M, ρ, κ, s) ⊢C A`
+    Eval(&'p Anf, Env),
+    /// `(u₁, u₂, κ, s) ⊢appk A`
+    Apply(DVal<'p>, DVal<'p>),
+    /// `(κ, (u, s)) ⊢appr A`
+    Return(DVal<'p>),
+}
+
+/// Runs the semantic-CPS interpreter `C` on a program. Arguments and errors
+/// are as for [`crate::run_direct`]; by Lemma 3.1 the two interpreters
+/// produce identical answers.
+///
+/// # Errors
+///
+/// See [`crate::run_direct`].
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_interp::{run_semcps, Fuel};
+/// let p = AnfProgram::parse("(let (f (lambda (x) (add1 x))) (f 41))").unwrap();
+/// let a = run_semcps(&p, &[], Fuel::default())?;
+/// assert_eq!(a.value.as_num(), Some(42));
+/// # Ok::<(), cpsdfa_interp::InterpError>(())
+/// ```
+pub fn run_semcps<'p>(
+    prog: &'p AnfProgram,
+    inputs: &[(Ident, i64)],
+    fuel: Fuel,
+) -> Result<SemCpsAnswer<'p>, InterpError> {
+    let mut store: Store<DVal<'p>> = Store::new();
+    let mut env = Env::empty();
+    for (x, n) in inputs {
+        let loc = store.alloc(x.clone(), DVal::Num(*n));
+        env = env.extend(x.clone(), loc);
+    }
+
+    let mut fuel = fuel;
+    // κ = nil initially.
+    let mut kont: Vec<Frame<'p>> = Vec::new();
+    let mut max_depth = 0usize;
+    let mut control = Control::Eval(prog.root(), env);
+
+    loop {
+        fuel.tick()?;
+        max_depth = max_depth.max(kont.len());
+        control = match control {
+            Control::Eval(m, env) => match &m.kind {
+                AnfKind::Value(v) => Control::Return(phi(v, &env, &store)?),
+                AnfKind::Let { var, bind, body } => match bind {
+                    Bind::Value(v) => {
+                        let u = phi(v, &env, &store)?;
+                        let loc = store.alloc(var.clone(), u);
+                        Control::Eval(body, env.extend(var.clone(), loc))
+                    }
+                    Bind::App(vf, va) => {
+                        let u1 = phi(vf, &env, &store)?;
+                        let u2 = phi(va, &env, &store)?;
+                        kont.push(Frame { label: m.label, var, body, env });
+                        Control::Apply(u1, u2)
+                    }
+                    Bind::If0(vc, then_, else_) => {
+                        let u0 = phi(vc, &env, &store)?;
+                        kont.push(Frame { label: m.label, var, body, env: env.clone() });
+                        if u0.as_num() == Some(0) {
+                            Control::Eval(then_, env)
+                        } else {
+                            Control::Eval(else_, env)
+                        }
+                    }
+                    Bind::Loop => return Err(InterpError::Diverged),
+                },
+            },
+            Control::Apply(u1, u2) => match u1 {
+                DVal::Inc => match u2 {
+                    DVal::Num(n) => Control::Return(DVal::Num(n + 1)),
+                    other => return Err(InterpError::NotANumber(other.to_string())),
+                },
+                DVal::Dec => match u2 {
+                    DVal::Num(n) => Control::Return(DVal::Num(n - 1)),
+                    other => return Err(InterpError::NotANumber(other.to_string())),
+                },
+                DVal::Clo { param, body, env, .. } => {
+                    let loc = store.alloc(param.clone(), u2);
+                    Control::Eval(body, env.extend(param.clone(), loc))
+                }
+                DVal::Num(n) => return Err(InterpError::NotAProcedure(n.to_string())),
+            },
+            Control::Return(u) => match kont.pop() {
+                None => {
+                    // (nil, A) ⊢appr A
+                    return Ok(SemCpsAnswer {
+                        value: u,
+                        store,
+                        steps: fuel.used(),
+                        max_kont_depth: max_depth,
+                    });
+                }
+                Some(frame) => {
+                    let loc = store.alloc(frame.var.clone(), u);
+                    Control::Eval(frame.body, frame.env.extend(frame.var.clone(), loc))
+                }
+            },
+        };
+    }
+}
+
+/// `φ`, shared with Figure 1 but needing access to this machine's store.
+fn phi<'p>(v: &'p AVal, env: &Env, store: &Store<DVal<'p>>) -> Result<DVal<'p>, InterpError> {
+    match &v.kind {
+        AValKind::Num(n) => Ok(DVal::Num(*n)),
+        AValKind::Var(x) => match env.lookup(x) {
+            Some(loc) => Ok(store.get(loc).clone()),
+            None => Err(InterpError::UnboundVariable(x.to_string())),
+        },
+        AValKind::Add1 => Ok(DVal::Inc),
+        AValKind::Sub1 => Ok(DVal::Dec),
+        AValKind::Lam(x, body) => Ok(DVal::Clo { label: v.label, param: x, body, env: env.clone() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::run_direct;
+
+    fn both(src: &str) -> (Option<i64>, Option<i64>) {
+        let p = AnfProgram::parse(src).unwrap();
+        let d = run_direct(&p, &[], Fuel::default()).unwrap();
+        let c = run_semcps(&p, &[], Fuel::default()).unwrap();
+        (d.value.as_num(), c.value.as_num())
+    }
+
+    #[test]
+    fn lemma_31_on_samples() {
+        for src in [
+            "42",
+            "(add1 (sub1 5))",
+            "(let (f (lambda (x) (add1 x))) (f (f 0)))",
+            "(if0 0 1 2)",
+            "(if0 3 1 2)",
+            "(let (f (lambda (x) (if0 x 10 20))) (let (a (f 0)) (let (b (f 1)) (add1 b))))",
+            "((lambda (f) (f 5)) (lambda (y) (add1 y)))",
+        ] {
+            let (d, c) = both(src);
+            assert_eq!(d, c, "direct and semantic-CPS disagree on {src}");
+        }
+    }
+
+    #[test]
+    fn continuation_depth_tracks_nesting() {
+        let p = AnfProgram::parse("(add1 (add1 (add1 0)))").unwrap();
+        let a = run_semcps(&p, &[], Fuel::default()).unwrap();
+        assert_eq!(a.value.as_num(), Some(3));
+        assert!(a.max_kont_depth >= 1);
+    }
+
+    #[test]
+    fn omega_exhausts_fuel_without_overflowing() {
+        // Ω loops forever; the machine is iterative, so it burns fuel
+        // instead of overflowing the Rust call stack.
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (w w))").unwrap();
+        let r = run_semcps(&p, &[], Fuel::new(10_000));
+        match r {
+            Err(InterpError::OutOfFuel { .. }) => {}
+            other => panic!("expected fuel exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_diverges() {
+        let p = AnfProgram::parse("(let (x (loop)) x)").unwrap();
+        assert_eq!(
+            run_semcps(&p, &[], Fuel::default()).unwrap_err(),
+            InterpError::Diverged
+        );
+    }
+
+    #[test]
+    fn errors_match_direct_interpreter() {
+        for src in ["(1 2)", "(add1 (lambda (x) x))", "(add1 z)"] {
+            let p = AnfProgram::parse(src).unwrap();
+            let d = run_direct(&p, &[], Fuel::default()).unwrap_err();
+            let c = run_semcps(&p, &[], Fuel::default()).unwrap_err();
+            assert_eq!(d, c, "error mismatch on {src}");
+        }
+    }
+
+    #[test]
+    fn stores_match_direct_interpreter() {
+        let src = "(let (f (lambda (x) (add1 x))) (let (a (f 1)) (let (b (f 10)) b)))";
+        let p = AnfProgram::parse(src).unwrap();
+        let d = run_direct(&p, &[], Fuel::default()).unwrap();
+        let c = run_semcps(&p, &[], Fuel::default()).unwrap();
+        let dump = |s: &Store<DVal>| {
+            let mut v: Vec<String> = s.iter().map(|(x, u)| format!("{x}={u}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(dump(&d.store), dump(&c.store));
+    }
+}

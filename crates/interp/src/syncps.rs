@@ -1,0 +1,309 @@
+//! The syntactic-CPS interpreter `M_c` of Figure 3.
+//!
+//! Evaluates programs of cps(Λ). The salient feature of the CPS
+//! representation shows up directly in the machine: continuations are
+//! ordinary run-time values `(co x, P, ρ)` stored in the store and looked
+//! up through continuation variables — there is no control stack at all.
+//!
+//! Lemma 3.3 relates this machine to the semantic-CPS interpreter through
+//! the function δ (see [`crate::delta`]).
+
+use crate::runtime::{Env, Fuel, InterpError, Store};
+use crate::value::CRVal;
+use cpsdfa_cps::{CTerm, CTermKind, CVal, CValKind, ContLam, CpsProgram, VarKey};
+use cpsdfa_syntax::Ident;
+
+/// The answer of the syntactic-CPS interpreter.
+#[derive(Debug, Clone)]
+pub struct SynCpsAnswer<'p> {
+    /// The value handed to `stop`.
+    pub value: CRVal<'p>,
+    /// The final store (contains extra continuation entries relative to the
+    /// direct interpreters — Lemma 3.3).
+    pub store: Store<CRVal<'p>, VarKey>,
+    /// Transitions consumed.
+    pub steps: u64,
+}
+
+/// Runs the syntactic-CPS interpreter `M_c` on a CPS program.
+///
+/// The initial environment binds the program's top continuation variable
+/// `k₀` to a fresh location holding `stop` (Lemma 3.3), and `inputs`
+/// seed free user variables with numbers.
+///
+/// # Errors
+///
+/// As for [`crate::run_direct`]; additionally a continuation applied where a
+/// procedure is expected (or vice versa) reports
+/// [`InterpError::NotAProcedure`].
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_cps::CpsProgram;
+/// use cpsdfa_interp::{run_syncps, Fuel};
+/// let p = AnfProgram::parse("(let (f (lambda (x) (add1 x))) (f 41))").unwrap();
+/// let c = CpsProgram::from_anf(&p);
+/// let a = run_syncps(&c, &[], Fuel::default())?;
+/// assert_eq!(a.value.as_num(), Some(42));
+/// # Ok::<(), cpsdfa_interp::InterpError>(())
+/// ```
+pub fn run_syncps<'p>(
+    prog: &'p CpsProgram,
+    inputs: &[(Ident, i64)],
+    fuel: Fuel,
+) -> Result<SynCpsAnswer<'p>, InterpError> {
+    let mut store: Store<CRVal<'p>, VarKey> = Store::new();
+    let mut env: Env<VarKey> = Env::empty();
+    for (x, n) in inputs {
+        let key = VarKey::User(x.clone());
+        let loc = store.alloc(key.clone(), CRVal::Num(*n));
+        env = env.extend(key, loc);
+    }
+    // ρ[k₀ := new(k₀)], s[new(k₀) := stop]
+    let k0 = VarKey::Kont(prog.top_k().clone());
+    let loc = store.alloc(k0.clone(), CRVal::Stop);
+    env = env.extend(k0, loc);
+
+    let mut m = Machine { fuel, store };
+    let mut control = Control::Eval(prog.root(), env);
+    loop {
+        m.fuel.tick()?;
+        control = match control {
+            Control::Eval(p, env) => match m.step(p, env)? {
+                Step::Continue(c) => c,
+                Step::Done(v) => {
+                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                }
+            },
+            Control::ApplyProc { f, arg, kont } => match m.apply_proc(f, arg, kont)? {
+                Step::Continue(c) => c,
+                Step::Done(v) => {
+                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                }
+            },
+            Control::ApplyCont { kont, value } => match m.apply_cont(kont, value)? {
+                Step::Continue(c) => c,
+                Step::Done(v) => {
+                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                }
+            },
+        };
+    }
+}
+
+enum Control<'p> {
+    /// `(P, ρ, s) ⊢Mc A`
+    Eval(&'p CTerm, Env<VarKey>),
+    /// `(u₁, u₂, κ, s) ⊢appc A`
+    ApplyProc { f: CRVal<'p>, arg: CRVal<'p>, kont: CRVal<'p> },
+    /// `(κ, (u, s)) ⊢apprc A`
+    ApplyCont { kont: CRVal<'p>, value: CRVal<'p> },
+}
+
+enum Step<'p> {
+    Continue(Control<'p>),
+    Done(CRVal<'p>),
+}
+
+struct Machine<'p> {
+    fuel: Fuel,
+    store: Store<CRVal<'p>, VarKey>,
+}
+
+impl<'p> Machine<'p> {
+    /// `φ_c : cps(Λ)(W) × Env × Sto → Val`.
+    fn phi(&self, w: &'p CVal, env: &Env<VarKey>) -> Result<CRVal<'p>, InterpError> {
+        match &w.kind {
+            CValKind::Num(n) => Ok(CRVal::Num(*n)),
+            CValKind::Var(x) => match env.lookup(&VarKey::User(x.clone())) {
+                Some(loc) => Ok(self.store.get(loc).clone()),
+                None => Err(InterpError::UnboundVariable(x.to_string())),
+            },
+            CValKind::Add1K => Ok(CRVal::IncK),
+            CValKind::Sub1K => Ok(CRVal::DecK),
+            CValKind::Lam { param, k, body } => Ok(CRVal::Clo {
+                label: w.label,
+                param,
+                k,
+                body,
+                env: env.clone(),
+            }),
+        }
+    }
+
+    fn reify(&self, cont: &'p ContLam, env: &Env<VarKey>) -> CRVal<'p> {
+        CRVal::Co { label: cont.label, var: &cont.var, body: &cont.body, env: env.clone() }
+    }
+
+    fn step(&mut self, p: &'p CTerm, env: Env<VarKey>) -> Result<Step<'p>, InterpError> {
+        match &p.kind {
+            // (k W): κ = s(ρ(k)); return φc(W) to κ.
+            CTermKind::Ret(k, w) => {
+                let key = VarKey::Kont(k.clone());
+                let kont = match env.lookup(&key) {
+                    Some(loc) => self.store.get(loc).clone(),
+                    None => return Err(InterpError::UnboundVariable(k.to_string())),
+                };
+                let value = self.phi(w, &env)?;
+                Ok(Step::Continue(Control::ApplyCont { kont, value }))
+            }
+            CTermKind::Let { var, val, body } => {
+                let u = self.phi(val, &env)?;
+                let key = VarKey::User(var.clone());
+                let loc = self.store.alloc(key.clone(), u);
+                Ok(Step::Continue(Control::Eval(body, env.extend(key, loc))))
+            }
+            CTermKind::Call { f, arg, cont } => {
+                let u1 = self.phi(f, &env)?;
+                let u2 = self.phi(arg, &env)?;
+                let kont = self.reify(cont, &env);
+                Ok(Step::Continue(Control::ApplyProc { f: u1, arg: u2, kont }))
+            }
+            // (let (k λx.P) (if0 W P₁ P₂))
+            CTermKind::LetK { k, cont, test, then_, else_ } => {
+                let kval = self.reify(cont, &env);
+                let key = VarKey::Kont(k.clone());
+                let loc = self.store.alloc(key.clone(), kval);
+                let env = env.extend(key, loc);
+                let u0 = self.phi(test, &env)?;
+                let branch = if u0.as_num() == Some(0) { then_ } else { else_ };
+                Ok(Step::Continue(Control::Eval(branch, env)))
+            }
+            CTermKind::Loop { .. } => Err(InterpError::Diverged),
+        }
+    }
+
+    /// `appc`.
+    fn apply_proc(
+        &mut self,
+        f: CRVal<'p>,
+        arg: CRVal<'p>,
+        kont: CRVal<'p>,
+    ) -> Result<Step<'p>, InterpError> {
+        self.fuel.tick()?;
+        match f {
+            CRVal::IncK => match arg {
+                CRVal::Num(n) => Ok(Step::Continue(Control::ApplyCont {
+                    kont,
+                    value: CRVal::Num(n + 1),
+                })),
+                other => Err(InterpError::NotANumber(other.to_string())),
+            },
+            CRVal::DecK => match arg {
+                CRVal::Num(n) => Ok(Step::Continue(Control::ApplyCont {
+                    kont,
+                    value: CRVal::Num(n - 1),
+                })),
+                other => Err(InterpError::NotANumber(other.to_string())),
+            },
+            CRVal::Clo { param, k, body, env, .. } => {
+                let pkey = VarKey::User(param.clone());
+                let ploc = self.store.alloc(pkey.clone(), arg);
+                let kkey = VarKey::Kont(k.clone());
+                let kloc = self.store.alloc(kkey.clone(), kont);
+                let env = env.extend(pkey, ploc).extend(kkey, kloc);
+                Ok(Step::Continue(Control::Eval(body, env)))
+            }
+            other => Err(InterpError::NotAProcedure(other.to_string())),
+        }
+    }
+
+    /// `apprc`.
+    fn apply_cont(&mut self, kont: CRVal<'p>, value: CRVal<'p>) -> Result<Step<'p>, InterpError> {
+        self.fuel.tick()?;
+        match kont {
+            CRVal::Stop => Ok(Step::Done(value)),
+            CRVal::Co { var, body, env, .. } => {
+                let key = VarKey::User(var.clone());
+                let loc = self.store.alloc(key.clone(), value);
+                Ok(Step::Continue(Control::Eval(body, env.extend(key, loc))))
+            }
+            other => Err(InterpError::NotAProcedure(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_anf::AnfProgram;
+
+    fn run(src: &str) -> Result<Option<i64>, InterpError> {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        run_syncps(&c, &[], Fuel::default()).map(|a| a.value.as_num())
+    }
+
+    #[test]
+    fn arithmetic_through_cps() {
+        assert_eq!(run("(add1 1)"), Ok(Some(2)));
+        assert_eq!(run("(sub1 (add1 0))"), Ok(Some(0)));
+    }
+
+    #[test]
+    fn calls_thread_the_continuation() {
+        assert_eq!(run("(let (f (lambda (x) (add1 x))) (f (f 40)))"), Ok(Some(42)));
+    }
+
+    #[test]
+    fn conditionals_use_named_join_continuation() {
+        assert_eq!(run("(if0 0 10 20)"), Ok(Some(10)));
+        assert_eq!(run("(if0 7 10 20)"), Ok(Some(20)));
+        assert_eq!(
+            run("(let (a (if0 0 1 2)) (add1 a))"),
+            Ok(Some(2))
+        );
+    }
+
+    #[test]
+    fn theorem_51_program_evaluates() {
+        assert_eq!(
+            run("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))"),
+            Ok(Some(1))
+        );
+    }
+
+    #[test]
+    fn store_contains_continuation_entries() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let a = run_syncps(&c, &[], Fuel::default()).unwrap();
+        let konts = a
+            .store
+            .iter()
+            .filter(|(k, _)| matches!(k, VarKey::Kont(_)))
+            .count();
+        assert!(konts >= 2, "expected k0 and the λ's k, found {konts}");
+    }
+
+    #[test]
+    fn inputs_seed_free_variables() {
+        let p = AnfProgram::parse("(add1 z)").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let a = run_syncps(&c, &[(Ident::new("z"), 9)], Fuel::default()).unwrap();
+        assert_eq!(a.value.as_num(), Some(10));
+    }
+
+    #[test]
+    fn omega_exhausts_fuel() {
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (w w))").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        assert!(matches!(
+            run_syncps(&c, &[], Fuel::new(5_000)),
+            Err(InterpError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_diverges() {
+        let p = AnfProgram::parse("(let (x (loop)) x)").unwrap();
+        let c = CpsProgram::from_anf(&p);
+        assert_eq!(run_syncps(&c, &[], Fuel::default()).unwrap_err(), InterpError::Diverged);
+    }
+
+    #[test]
+    fn dynamic_errors_surface() {
+        assert!(matches!(run("(1 2)"), Err(InterpError::NotAProcedure(_))));
+        assert!(matches!(run("(add1 (lambda (x) x))"), Err(InterpError::NotANumber(_))));
+    }
+}

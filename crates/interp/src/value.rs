@@ -1,0 +1,177 @@
+//! Run-time values of the direct and semantic-CPS interpreters (Figures
+//! 1–2) and of the syntactic-CPS interpreter (Figure 3).
+
+use crate::runtime::Env;
+use cpsdfa_anf::Anf;
+use cpsdfa_cps::{CTerm, VarKey};
+use cpsdfa_syntax::{Ident, KIdent, Label};
+use std::fmt;
+
+/// A run-time value of the direct / semantic-CPS interpreters:
+///
+/// ```text
+/// Val = Num + Clo      Clo = (Var × Λ × Env) + inc + dec
+/// ```
+///
+/// Closures borrow the program's AST (`'p`), so values are cheap to move
+/// around and the program stays the single source of truth.
+#[derive(Clone)]
+pub enum DVal<'p> {
+    /// A number.
+    Num(i64),
+    /// The successor procedure tag `inc`.
+    Inc,
+    /// The predecessor procedure tag `dec`.
+    Dec,
+    /// A user closure `(cl x, M, ρ)`.
+    Clo {
+        /// Label of the λ that was closed over (the abstract closure id).
+        label: Label,
+        /// The parameter `x`.
+        param: &'p Ident,
+        /// The body `M`.
+        body: &'p Anf,
+        /// The captured environment `ρ`.
+        env: Env,
+    },
+}
+
+impl<'p> DVal<'p> {
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            DVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True for procedures (closures and primitive tags).
+    pub fn is_procedure(&self) -> bool {
+        !matches!(self, DVal::Num(_))
+    }
+}
+
+impl fmt::Display for DVal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DVal::Num(n) => write!(f, "{n}"),
+            DVal::Inc => f.write_str("inc"),
+            DVal::Dec => f.write_str("dec"),
+            DVal::Clo { label, param, .. } => write!(f, "(cl {param}, …)@{label}"),
+        }
+    }
+}
+
+impl fmt::Debug for DVal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A run-time value of the syntactic-CPS interpreter:
+///
+/// ```text
+/// Val = Num + Clo + Con
+/// Clo = (Var × KVar × cps(Λ) × Env) + inck + deck
+/// Con = (Var × cps(Λ) × Env) + stop
+/// ```
+#[derive(Clone)]
+pub enum CRVal<'p> {
+    /// A number.
+    Num(i64),
+    /// The CPS successor tag `inck`.
+    IncK,
+    /// The CPS predecessor tag `deck`.
+    DecK,
+    /// A user closure `(cl xk, P, ρ)`.
+    Clo {
+        /// Label of the CPS λ.
+        label: Label,
+        /// The ordinary parameter `x`.
+        param: &'p Ident,
+        /// The continuation parameter `k`.
+        k: &'p KIdent,
+        /// The body `P`.
+        body: &'p CTerm,
+        /// The captured environment.
+        env: Env<VarKey>,
+    },
+    /// A reified continuation `(co x, P, ρ)`.
+    Co {
+        /// Label of the continuation λ.
+        label: Label,
+        /// The variable receiving the return value.
+        var: &'p Ident,
+        /// The rest of the program `P`.
+        body: &'p CTerm,
+        /// The captured environment.
+        env: Env<VarKey>,
+    },
+    /// The initial continuation `stop`.
+    Stop,
+}
+
+impl CRVal<'_> {
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            CRVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True for continuations (`co` or `stop`).
+    pub fn is_continuation(&self) -> bool {
+        matches!(self, CRVal::Co { .. } | CRVal::Stop)
+    }
+}
+
+impl fmt::Display for CRVal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CRVal::Num(n) => write!(f, "{n}"),
+            CRVal::IncK => f.write_str("inck"),
+            CRVal::DecK => f.write_str("deck"),
+            CRVal::Clo { label, param, k, .. } => write!(f, "(cl {param} {k}, …)@{label}"),
+            CRVal::Co { label, var, .. } => write!(f, "(co {var}, …)@{label}"),
+            CRVal::Stop => f.write_str("stop"),
+        }
+    }
+}
+
+impl fmt::Debug for CRVal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nums_expose_their_value() {
+        assert_eq!(DVal::Num(5).as_num(), Some(5));
+        assert_eq!(DVal::Inc.as_num(), None);
+        assert_eq!(CRVal::Num(-2).as_num(), Some(-2));
+        assert_eq!(CRVal::Stop.as_num(), None);
+    }
+
+    #[test]
+    fn procedure_and_continuation_predicates() {
+        assert!(DVal::Inc.is_procedure());
+        assert!(!DVal::Num(0).is_procedure());
+        assert!(CRVal::Stop.is_continuation());
+        assert!(!CRVal::IncK.is_continuation());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for v in [DVal::Num(1), DVal::Inc, DVal::Dec] {
+            assert!(!v.to_string().is_empty());
+        }
+        for v in [CRVal::Num(1), CRVal::IncK, CRVal::DecK, CRVal::Stop] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The analysis-driven rewrites.
+
+use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind};
+use cpsdfa_core::absval::AbsStore;
+use cpsdfa_core::domain::{Flat, NumDomain};
+use cpsdfa_core::{AnalysisError, DirectAnalyzer, SemCpsAnalyzer};
+use cpsdfa_syntax::free::free_vars;
+use cpsdfa_syntax::Ident;
+use std::fmt;
+
+/// Which analyzer supplies the facts for the rewrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactSource {
+    /// `M_e`, Figure 4.
+    Direct,
+    /// `M_e` with §6.3 bounded duplication at the given depth.
+    DirectDup(u32),
+    /// `C_e`, Figure 5.
+    SemCps,
+}
+
+impl fmt::Display for FactSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactSource::Direct => f.write_str("direct"),
+            FactSource::DirectDup(d) => write!(f, "direct+dup{d}"),
+            FactSource::SemCps => f.write_str("semantic-cps"),
+        }
+    }
+}
+
+/// Counters for enabled optimizations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptStats {
+    /// Bindings replaced by literals.
+    pub folds: usize,
+    /// Conditionals resolved to one arm.
+    pub branches_eliminated: usize,
+    /// Pure, unused bindings removed.
+    pub dead_bindings: usize,
+    /// Call sites with a singleton callee set (devirtualizable).
+    pub devirtualized: usize,
+    /// Rewrite rounds until fixpoint.
+    pub rounds: usize,
+}
+
+impl OptStats {
+    /// Total enabled rewrites (excluding the devirtualization census).
+    pub fn total_rewrites(&self) -> usize {
+        self.folds + self.branches_eliminated + self.dead_bindings
+    }
+
+    fn absorb(&mut self, other: &OptStats) {
+        self.folds += other.folds;
+        self.branches_eliminated += other.branches_eliminated;
+        self.dead_bindings += other.dead_bindings;
+        // `devirtualized` is a census of the final program, not a running
+        // sum; the driver overwrites it after the last round.
+    }
+}
+
+impl fmt::Display for OptStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "folds={} branches={} dead={} devirt={} rounds={}",
+            self.folds, self.branches_eliminated, self.dead_bindings, self.devirtualized, self.rounds
+        )
+    }
+}
+
+/// Runs analyze-rewrite rounds to a fixpoint (bounded at 10 rounds) and
+/// returns the optimized program plus cumulative statistics.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the fact-supplying analyzer.
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_opt::{optimize, FactSource};
+///
+/// // Theorem 5.2 case 1: duplication-based facts fold a2 to the constant 3.
+/// let p = AnfProgram::parse(
+///     "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))",
+/// )?;
+/// let (direct, _) = optimize(&p, FactSource::Direct)?;
+/// let (semcps, _) = optimize(&p, FactSource::SemCps)?;
+/// assert!(direct.root().to_string().contains("if0"));   // direct facts cannot decide
+/// assert_eq!(semcps.root().to_string(), "3");           // C_e facts fold everything
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize(
+    prog: &AnfProgram,
+    source: FactSource,
+) -> Result<(AnfProgram, OptStats), AnalysisError> {
+    let mut current = prog.clone();
+    let mut stats = OptStats::default();
+    for round in 1..=10 {
+        let (next, round_stats) = optimize_once(&current, source)?;
+        stats.absorb(&round_stats);
+        stats.rounds = round;
+        let stable = next.root().to_string() == current.root().to_string();
+        current = next;
+        if stable {
+            break;
+        }
+    }
+    // Devirtualization census on the final program.
+    stats.devirtualized = devirt_census(&current, source)?;
+    Ok((current, stats))
+}
+
+/// One analyze-rewrite round.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the fact-supplying analyzer.
+pub fn optimize_once(
+    prog: &AnfProgram,
+    source: FactSource,
+) -> Result<(AnfProgram, OptStats), AnalysisError> {
+    let facts = facts_of(prog, source)?;
+    let mut stats = OptStats::default();
+    let rewritten = rewrite_term(prog.root(), prog, &facts, &mut stats);
+    let next = AnfProgram::from_root(rewritten)
+        .expect("rewrites preserve unique binders");
+    Ok((next, stats))
+}
+
+fn facts_of(prog: &AnfProgram, source: FactSource) -> Result<AbsStore<Flat>, AnalysisError> {
+    Ok(match source {
+        FactSource::Direct => DirectAnalyzer::<Flat>::new(prog).analyze()?.store,
+        FactSource::DirectDup(d) => DirectAnalyzer::<Flat>::new(prog)
+            .with_duplication_depth(d)
+            .analyze()?
+            .store,
+        FactSource::SemCps => SemCpsAnalyzer::<Flat>::new(prog).analyze()?.store,
+    })
+}
+
+fn devirt_census(prog: &AnfProgram, source: FactSource) -> Result<usize, AnalysisError> {
+    let flows = match source {
+        FactSource::Direct => DirectAnalyzer::<Flat>::new(prog).analyze()?.flows,
+        FactSource::DirectDup(d) => DirectAnalyzer::<Flat>::new(prog)
+            .with_duplication_depth(d)
+            .analyze()?
+            .flows,
+        FactSource::SemCps => SemCpsAnalyzer::<Flat>::new(prog).analyze()?.flows,
+    };
+    Ok(flows.calls.values().filter(|cs| cs.len() == 1).count())
+}
+
+/// A right-hand side is *pure* if evaluating it cannot diverge or go wrong:
+/// values always; `add1`/`sub1` applied to a numeral or a variable the
+/// analysis knows is a number.
+fn bind_is_pure(bind: &Bind, prog: &AnfProgram, facts: &AbsStore<Flat>) -> bool {
+    match bind {
+        Bind::Value(_) => true,
+        Bind::App(f, a) => {
+            matches!(f.kind, AValKind::Add1 | AValKind::Sub1) && operand_is_number(a, prog, facts)
+        }
+        Bind::If0(c, t, e) => {
+            operand_is_number(c, prog, facts)
+                && term_is_pure(t, prog, facts)
+                && term_is_pure(e, prog, facts)
+        }
+        Bind::Loop => false,
+    }
+}
+
+fn term_is_pure(m: &Anf, prog: &AnfProgram, facts: &AbsStore<Flat>) -> bool {
+    match &m.kind {
+        AnfKind::Value(_) => true,
+        AnfKind::Let { bind, body, .. } => {
+            bind_is_pure(bind, prog, facts) && term_is_pure(body, prog, facts)
+        }
+    }
+}
+
+fn operand_is_number(v: &AVal, prog: &AnfProgram, facts: &AbsStore<Flat>) -> bool {
+    match &v.kind {
+        AValKind::Num(_) => true,
+        AValKind::Var(x) => {
+            let id = prog.var_id(x).expect("indexed variable");
+            // ⊥ is allowed: γ(⊥) = ∅ means the use is unreachable, and an
+            // unreachable primitive application is vacuously pure.
+            facts.get(id).clos.is_empty()
+        }
+        _ => false,
+    }
+}
+
+fn known_const(v: &AVal, prog: &AnfProgram, facts: &AbsStore<Flat>) -> Option<i64> {
+    match &v.kind {
+        AValKind::Num(n) => Some(*n),
+        AValKind::Var(x) => {
+            let id = prog.var_id(x).expect("indexed variable");
+            let av = facts.get(id);
+            if !av.clos.is_empty() {
+                return None;
+            }
+            if av.num.is_bot() {
+                // Unreachable binding: γ(⊥) = ∅, so no execution observes
+                // the value — any literal is a sound replacement.
+                return Some(0);
+            }
+            av.num.as_const()
+        }
+        _ => None,
+    }
+}
+
+fn rewrite_term(
+    m: &Anf,
+    prog: &AnfProgram,
+    facts: &AbsStore<Flat>,
+    stats: &mut OptStats,
+) -> Anf {
+    match &m.kind {
+        AnfKind::Value(v) => Anf::new(AnfKind::Value(rewrite_value(v, prog, facts, stats))),
+        AnfKind::Let { var, bind, body } => {
+            let body_r = rewrite_term(body, prog, facts, stats);
+
+            // Branch elimination first (so a decidable conditional is
+            // reported as such even when later rounds would also find the
+            // binding dead): decidable `if0`.
+            if let Bind::If0(c, t, e) = bind {
+                let id = known_const(c, prog, facts);
+                let arm = match &c.kind {
+                    _ if id == Some(0) => Some(t),
+                    _ if id.is_some() => Some(e),
+                    AValKind::Var(x) => {
+                        let vid = prog.var_id(x).expect("indexed variable");
+                        let av = facts.get(vid);
+                        if av.is_exactly_zero() {
+                            Some(t)
+                        } else if !av.may_be_zero() && !av.num.is_bot() {
+                            Some(e)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(arm) = arm {
+                    stats.branches_eliminated += 1;
+                    let arm_r = rewrite_term(arm, prog, facts, stats);
+                    return splice(arm_r, var.clone(), body_r);
+                }
+            }
+
+            // Dead-binding elimination: pure rhs, variable unused.
+            let body_free = free_vars(&body_r.to_term());
+            if bind_is_pure(bind, prog, facts) && !body_free.contains(var) {
+                stats.dead_bindings += 1;
+                return body_r;
+            }
+
+            // Constant folding: pure rhs whose fact is a known constant.
+            let new_bind = {
+                let folded = match bind {
+                    Bind::Value(AVal { kind: AValKind::Num(_), .. }) => None, // already a literal
+                    _ if bind_is_pure(bind, prog, facts) => {
+                        let id = prog.var_id(var).expect("indexed variable");
+                        let av = facts.get(id);
+                        if !av.clos.is_empty() {
+                            None
+                        } else if av.num.is_bot() {
+                            Some(0) // unreachable binding (see known_const)
+                        } else {
+                            av.num.as_const()
+                        }
+                    }
+                    _ => None,
+                };
+                match folded {
+                    Some(n) => {
+                        stats.folds += 1;
+                        Bind::Value(AVal::new(AValKind::Num(n)))
+                    }
+                    None => rewrite_bind(bind, prog, facts, stats),
+                }
+            };
+            // Copy propagation at the tail: `(let (x V) x)` is `V`.
+            if let (Bind::Value(v), AnfKind::Value(AVal { kind: AValKind::Var(y), .. })) =
+                (&new_bind, &body_r.kind)
+            {
+                if y == var {
+                    stats.folds += 1;
+                    return Anf::new(AnfKind::Value(v.clone()));
+                }
+            }
+            Anf::new(AnfKind::Let {
+                var: var.clone(),
+                bind: new_bind,
+                body: Box::new(body_r),
+            })
+        }
+    }
+}
+
+fn rewrite_bind(
+    bind: &Bind,
+    prog: &AnfProgram,
+    facts: &AbsStore<Flat>,
+    stats: &mut OptStats,
+) -> Bind {
+    match bind {
+        Bind::Value(v) => Bind::Value(rewrite_value(v, prog, facts, stats)),
+        Bind::App(f, a) => Bind::App(
+            rewrite_value(f, prog, facts, stats),
+            rewrite_value(a, prog, facts, stats),
+        ),
+        Bind::If0(c, t, e) => Bind::If0(
+            rewrite_value(c, prog, facts, stats),
+            Box::new(rewrite_term(t, prog, facts, stats)),
+            Box::new(rewrite_term(e, prog, facts, stats)),
+        ),
+        Bind::Loop => Bind::Loop,
+    }
+}
+
+fn rewrite_value(
+    v: &AVal,
+    prog: &AnfProgram,
+    facts: &AbsStore<Flat>,
+    stats: &mut OptStats,
+) -> AVal {
+    match &v.kind {
+        AValKind::Lam(x, body) => AVal::new(AValKind::Lam(
+            x.clone(),
+            Box::new(rewrite_term(body, prog, facts, stats)),
+        )),
+        other => AVal::new(other.clone()),
+    }
+}
+
+/// Splices an arm's bindings in front of `(let (x tail) body)`, preserving
+/// the restricted grammar (binders are globally unique, so no capture).
+fn splice(arm: Anf, x: Ident, body: Anf) -> Anf {
+    let mut bindings: Vec<(Ident, Bind)> = Vec::new();
+    let mut cur = arm;
+    let tail = loop {
+        match cur.kind {
+            AnfKind::Value(v) => break v,
+            AnfKind::Let { var, bind, body } => {
+                bindings.push((var, bind));
+                cur = *body;
+            }
+        }
+    };
+    let mut out = Anf::new(AnfKind::Let {
+        var: x,
+        bind: Bind::Value(tail),
+        body: Box::new(body),
+    });
+    for (var, bind) in bindings.into_iter().rev() {
+        out = Anf::new(AnfKind::Let { var, bind, body: Box::new(out) });
+    }
+    out
+}
+
+/// Counts the conditionals remaining in a program — a small census used by
+/// reports to show how much dynamic control flow the facts resolved.
+pub fn residual_conditionals(prog: &AnfProgram) -> usize {
+    let mut n = 0;
+    prog.root().visit_terms(&mut |m| {
+        if let AnfKind::Let { bind: Bind::If0(..), .. } = &m.kind {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(src: &str, source: FactSource) -> (String, OptStats) {
+        let p = AnfProgram::parse(src).unwrap();
+        let (q, stats) = optimize(&p, source).unwrap();
+        (q.root().to_string(), stats)
+    }
+
+    #[test]
+    fn folds_constant_chains_to_a_literal() {
+        let (out, stats) = opt("(let (a 1) (let (b (add1 a)) (add1 b)))", FactSource::Direct);
+        assert_eq!(out, "3");
+        assert!(stats.folds >= 1);
+        assert!(stats.dead_bindings >= 1);
+    }
+
+    #[test]
+    fn eliminates_decidable_branches() {
+        let (out, stats) = opt("(let (a (if0 0 10 20)) (add1 a))", FactSource::Direct);
+        assert_eq!(out, "11");
+        assert_eq!(stats.branches_eliminated, 1);
+    }
+
+    #[test]
+    fn keeps_undecidable_branches() {
+        let (out, stats) = opt("(let (a (if0 z 10 20)) a)", FactSource::Direct);
+        assert!(out.contains("if0"), "{out}");
+        assert_eq!(stats.branches_eliminated, 0);
+    }
+
+    #[test]
+    fn theorem_5_2_case_1_needs_duplication_facts() {
+        let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
+        let (direct, ds) = opt(src, FactSource::Direct);
+        assert!(direct.contains("if0"));
+        assert_eq!(ds.folds, 0);
+        let (semcps, ss) = opt(src, FactSource::SemCps);
+        assert_eq!(semcps, "3");
+        assert!(ss.folds >= 1);
+        // §6.3: bounded duplication recovers the same optimization.
+        let (dup, _) = opt(src, FactSource::DirectDup(1));
+        assert_eq!(dup, "3");
+    }
+
+    #[test]
+    fn impure_bindings_are_never_dropped() {
+        // the call to the unknown f may diverge: must stay.
+        let (out, _) = opt("(let (a (f 1)) 5)", FactSource::Direct);
+        assert!(out.contains("(f 1)"), "{out}");
+        // loop definitely diverges: must stay.
+        let (out, _) = opt("(let (a (loop)) 5)", FactSource::Direct);
+        assert!(out.contains("loop"), "{out}");
+    }
+
+    #[test]
+    fn dead_pure_bindings_are_dropped() {
+        let (out, stats) = opt("(let (a 1) (let (b 2) a))", FactSource::Direct);
+        assert_eq!(out, "1");
+        assert!(stats.dead_bindings >= 1);
+        assert!(stats.folds >= 1);
+    }
+
+    #[test]
+    fn devirtualization_census_counts_singleton_call_sites() {
+        let (_, stats) = opt(
+            "(let (f (lambda (x) x)) (let (a (f 1)) (f a)))",
+            FactSource::Direct,
+        );
+        assert_eq!(stats.devirtualized, 2);
+    }
+
+    #[test]
+    fn splice_preserves_arm_bindings() {
+        // the surviving arm has its own lets
+        let src = "(let (a (if0 0 (let (u 5) (add1 u)) 9)) (sub1 a))";
+        let (out, stats) = opt(src, FactSource::Direct);
+        assert_eq!(out, "5");
+        assert_eq!(stats.branches_eliminated, 1);
+    }
+
+    #[test]
+    fn lambda_bodies_are_optimized_too() {
+        let (out, _) = opt("(lambda (x) (let (a (if0 0 1 2)) a))", FactSource::Direct);
+        assert_eq!(out, "(lambda (x) 1)");
+    }
+
+    #[test]
+    fn residual_census() {
+        let p = AnfProgram::parse("(let (a (if0 z 1 2)) a)").unwrap();
+        assert_eq!(residual_conditionals(&p), 1);
+    }
+}

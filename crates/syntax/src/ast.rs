@@ -1,0 +1,184 @@
+//! Abstract syntax of the source language Λ (§2 of the paper).
+
+use crate::ident::Ident;
+use std::fmt;
+
+/// A term of Λ:
+///
+/// ```text
+/// M ::= V | (M M) | (let (x M) M) | (if0 M M M) | (loop)
+/// ```
+///
+/// `loop` is the §6.2 extension: a construct whose exact collecting semantics
+/// is the infinite set `{0, 1, 2, …}`; it is used to demonstrate that the
+/// semantic-CPS analysis becomes non-computable.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A syntactic value `V`.
+    Value(Value),
+    /// A call-by-value application `(M M)`.
+    App(Box<Term>, Box<Term>),
+    /// `(let (x M₁) M₂)`: evaluate `M₁`, bind to `x`, evaluate `M₂`.
+    Let(Ident, Box<Term>, Box<Term>),
+    /// `(if0 M₀ M₁ M₂)`: branch to `M₁` if `M₀` evaluates to `0`, else `M₂`.
+    If0(Box<Term>, Box<Term>, Box<Term>),
+    /// `(loop)`: the §6.2 infinite-value construct.
+    Loop,
+}
+
+/// A syntactic value of Λ:
+///
+/// ```text
+/// V ::= n | x | add1 | sub1 | (λx.M)
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A numeral `n ∈ Z`.
+    Num(i64),
+    /// A variable `x ∈ Vars`.
+    Var(Ident),
+    /// The successor primitive.
+    Add1,
+    /// The predecessor primitive.
+    Sub1,
+    /// A user-defined procedure `(λx.M)`.
+    Lam(Ident, Box<Term>),
+}
+
+impl Term {
+    /// The number of AST nodes in the term (terms and values both count).
+    ///
+    /// ```
+    /// use cpsdfa_syntax::parse::parse_term;
+    /// let t = parse_term("(let (x 1) (add1 x))").unwrap();
+    /// assert_eq!(t.size(), 5); // let, 1, app, add1, x
+    /// ```
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Value(v) => v.size(),
+            Term::App(f, a) => 1 + f.size() + a.size(),
+            Term::Let(_, rhs, body) => 1 + rhs.size() + body.size(),
+            Term::If0(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Term::Loop => 1,
+        }
+    }
+
+    /// The maximum nesting depth of the term.
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Value(v) => v.depth(),
+            Term::App(f, a) => 1 + f.depth().max(a.depth()),
+            Term::Let(_, rhs, body) => 1 + rhs.depth().max(body.depth()),
+            Term::If0(c, t, e) => 1 + c.depth().max(t.depth()).max(e.depth()),
+            Term::Loop => 1,
+        }
+    }
+
+    /// True if the term is a syntactic value.
+    pub fn is_value(&self) -> bool {
+        matches!(self, Term::Value(_))
+    }
+
+    /// Counts the user-defined λ-abstractions in the term.
+    pub fn lambda_count(&self) -> usize {
+        match self {
+            Term::Value(Value::Lam(_, body)) => 1 + body.lambda_count(),
+            Term::Value(_) => 0,
+            Term::App(f, a) => f.lambda_count() + a.lambda_count(),
+            Term::Let(_, rhs, body) => rhs.lambda_count() + body.lambda_count(),
+            Term::If0(c, t, e) => c.lambda_count() + t.lambda_count() + e.lambda_count(),
+            Term::Loop => 0,
+        }
+    }
+
+    /// True if the term contains the `loop` extension anywhere.
+    pub fn uses_loop(&self) -> bool {
+        match self {
+            Term::Loop => true,
+            Term::Value(Value::Lam(_, body)) => body.uses_loop(),
+            Term::Value(_) => false,
+            Term::App(f, a) => f.uses_loop() || a.uses_loop(),
+            Term::Let(_, rhs, body) => rhs.uses_loop() || body.uses_loop(),
+            Term::If0(c, t, e) => c.uses_loop() || t.uses_loop() || e.uses_loop(),
+        }
+    }
+}
+
+impl Value {
+    /// The number of AST nodes in the value.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Lam(_, body) => 1 + body.size(),
+            _ => 1,
+        }
+    }
+
+    /// The maximum nesting depth of the value.
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Lam(_, body) => 1 + body.depth(),
+            _ => 1,
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Value(v)
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The printer produces concrete syntax; that is the most useful Debug.
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn size_counts_every_node() {
+        let t = if0(num(0), num(1), num(2));
+        assert_eq!(t.size(), 4);
+        assert_eq!(num(5).size(), 1);
+        assert_eq!(lam("x", var("x")).size(), 2);
+    }
+
+    #[test]
+    fn depth_of_nested_lets() {
+        let t = let_("a", num(1), let_("b", num(2), var("b")));
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn lambda_count_sees_nested_lambdas() {
+        let t = app(lam("f", app(var("f"), num(1))), lam("x", var("x")));
+        assert_eq!(t.lambda_count(), 2);
+        let nested = lam("x", lam("y", var("x")));
+        assert_eq!(nested.lambda_count(), 2);
+    }
+
+    #[test]
+    fn uses_loop_detects_extension() {
+        assert!(Term::Loop.uses_loop());
+        assert!(let_("x", Term::Loop, var("x")).uses_loop());
+        assert!(!num(0).uses_loop());
+        assert!(app(lam("x", Term::Loop), num(1)).uses_loop());
+    }
+
+    #[test]
+    fn value_into_term() {
+        let t: Term = Value::Num(3).into();
+        assert_eq!(t, num(3));
+    }
+}

@@ -1,0 +1,144 @@
+//! Combinators for building Λ terms programmatically.
+//!
+//! Every combinator returns a [`Term`] so they compose directly; value-level
+//! constructors wrap themselves in [`Term::Value`]. Tests and workload
+//! generators use these instead of the parser when the program is computed.
+//!
+//! ```
+//! use cpsdfa_syntax::build::*;
+//! // (let (x 1) (if0 x 0 (add1 x)))
+//! let t = let_("x", num(1), if0(var("x"), num(0), app(add1(), var("x"))));
+//! assert_eq!(t.to_string(), "(let (x 1) (if0 x 0 (add1 x)))");
+//! ```
+
+use crate::ast::{Term, Value};
+use crate::ident::Ident;
+
+/// A numeral value `n`.
+pub fn num(n: i64) -> Term {
+    Term::Value(Value::Num(n))
+}
+
+/// A variable reference `x`.
+pub fn var(name: impl Into<Ident>) -> Term {
+    Term::Value(Value::Var(name.into()))
+}
+
+/// The `add1` primitive as a value.
+pub fn add1() -> Term {
+    Term::Value(Value::Add1)
+}
+
+/// The `sub1` primitive as a value.
+pub fn sub1() -> Term {
+    Term::Value(Value::Sub1)
+}
+
+/// A λ-abstraction `(λx.M)`.
+pub fn lam(param: impl Into<Ident>, body: Term) -> Term {
+    Term::Value(Value::Lam(param.into(), Box::new(body)))
+}
+
+/// A λ-abstraction as a [`Value`], for contexts that need one.
+pub fn lam_v(param: impl Into<Ident>, body: Term) -> Value {
+    Value::Lam(param.into(), Box::new(body))
+}
+
+/// An application `(M N)`.
+pub fn app(f: Term, arg: Term) -> Term {
+    Term::App(Box::new(f), Box::new(arg))
+}
+
+/// A curried application `(M N₁ N₂ …)` = `((M N₁) N₂) …`.
+///
+/// # Panics
+///
+/// Panics if `args` is empty; a nullary application is not a Λ term.
+pub fn apps(f: Term, args: impl IntoIterator<Item = Term>) -> Term {
+    let mut it = args.into_iter();
+    let first = it
+        .next()
+        .expect("apps requires at least one argument: Λ applications are unary");
+    it.fold(app(f, first), app)
+}
+
+/// A let binding `(let (x M₁) M₂)`.
+pub fn let_(x: impl Into<Ident>, rhs: Term, body: Term) -> Term {
+    Term::Let(x.into(), Box::new(rhs), Box::new(body))
+}
+
+/// A conditional `(if0 M₀ M₁ M₂)`.
+pub fn if0(cond: Term, then_: Term, else_: Term) -> Term {
+    Term::If0(Box::new(cond), Box::new(then_), Box::new(else_))
+}
+
+/// The `loop` construct of §6.2.
+pub fn loop_() -> Term {
+    Term::Loop
+}
+
+/// The paper's `(+ M n)` abbreviation (proof of Theorem 5.2): `n` applications
+/// of `add1` (or `sub1` for negative `n`) to `M`.
+///
+/// ```
+/// use cpsdfa_syntax::build::*;
+/// assert_eq!(plus_const(var("a"), 2).to_string(), "(add1 (add1 a))");
+/// assert_eq!(plus_const(var("a"), -1).to_string(), "(sub1 a)");
+/// assert_eq!(plus_const(var("a"), 0).to_string(), "a");
+/// ```
+pub fn plus_const(m: Term, n: i64) -> Term {
+    let (prim, count): (fn() -> Term, i64) =
+        if n >= 0 { (add1, n) } else { (sub1, -n) };
+    (0..count).fold(m, |acc, _| app(prim(), acc))
+}
+
+/// Chains `(let (x₁ M₁) (let (x₂ M₂) … body))` from a list of bindings.
+pub fn lets(bindings: impl IntoIterator<Item = (Ident, Term)>, body: Term) -> Term {
+    let bindings: Vec<_> = bindings.into_iter().collect();
+    bindings
+        .into_iter()
+        .rev()
+        .fold(body, |acc, (x, rhs)| let_(x, rhs, acc))
+}
+
+/// The identity function `(λx.x)` with a chosen parameter name.
+pub fn identity(param: impl Into<Ident>) -> Term {
+    let p = param.into();
+    lam(p.clone(), var(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apps_curries_left() {
+        let t = apps(var("f"), [num(1), num(2)]);
+        assert_eq!(t, app(app(var("f"), num(1)), num(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one argument")]
+    fn apps_rejects_empty() {
+        let _ = apps(var("f"), []);
+    }
+
+    #[test]
+    fn lets_binds_in_order() {
+        let t = lets(
+            [(Ident::new("a"), num(1)), (Ident::new("b"), var("a"))],
+            var("b"),
+        );
+        assert_eq!(t, let_("a", num(1), let_("b", var("a"), var("b"))));
+    }
+
+    #[test]
+    fn plus_const_zero_is_identity() {
+        assert_eq!(plus_const(var("x"), 0), var("x"));
+    }
+
+    #[test]
+    fn identity_uses_given_name() {
+        assert_eq!(identity("z"), lam("z", var("z")));
+    }
+}

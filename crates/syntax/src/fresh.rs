@@ -1,0 +1,163 @@
+//! α-freshening: rename binders so that *all bound variables are unique* and
+//! distinct from every free variable — the hygiene precondition the paper's
+//! analyses place on programs (§2).
+//!
+//! The original name is kept as a prefix (`x` becomes `x%7`), so reports stay
+//! readable.
+
+use crate::ast::{Term, Value};
+use crate::free::free_vars;
+use crate::ident::{FreshGen, Ident};
+use std::collections::HashMap;
+
+/// Renames every binder in `term` to a globally fresh name, consistently
+/// updating bound occurrences. Free variables are left untouched.
+///
+/// The result satisfies [`crate::free::has_unique_binders`] and is
+/// α-equivalent to the input.
+///
+/// ```
+/// use cpsdfa_syntax::{fresh::freshen, free::has_unique_binders, parse::parse_term};
+/// let t = parse_term("(let (x 1) (let (x (add1 x)) x))").unwrap();
+/// let (u, _) = freshen(&t);
+/// assert!(has_unique_binders(&u));
+/// ```
+pub fn freshen(term: &Term) -> (Term, FreshGen) {
+    let mut gen = FreshGen::new();
+    let out = freshen_with(term, &mut gen);
+    (out, gen)
+}
+
+/// Like [`freshen`] but threads an existing [`FreshGen`], so later passes
+/// (A-normalization, CPS) can keep allocating non-colliding names.
+pub fn freshen_with(term: &Term, gen: &mut FreshGen) -> Term {
+    // Free variables must never be renamed, so scope maps only binders.
+    let _fv = free_vars(term);
+    let mut scope: HashMap<Ident, Vec<Ident>> = HashMap::new();
+    rename_term(term, &mut scope, gen)
+}
+
+fn rename_term(term: &Term, scope: &mut HashMap<Ident, Vec<Ident>>, gen: &mut FreshGen) -> Term {
+    match term {
+        Term::Value(v) => Term::Value(rename_value(v, scope, gen)),
+        Term::App(f, a) => Term::App(
+            Box::new(rename_term(f, scope, gen)),
+            Box::new(rename_term(a, scope, gen)),
+        ),
+        Term::Let(x, rhs, body) => {
+            let rhs = rename_term(rhs, scope, gen);
+            let fresh = gen.fresh(base_name(x));
+            scope.entry(x.clone()).or_default().push(fresh.clone());
+            let body = rename_term(body, scope, gen);
+            scope.get_mut(x).expect("binder was pushed").pop();
+            Term::Let(fresh, Box::new(rhs), Box::new(body))
+        }
+        Term::If0(c, t, e) => Term::If0(
+            Box::new(rename_term(c, scope, gen)),
+            Box::new(rename_term(t, scope, gen)),
+            Box::new(rename_term(e, scope, gen)),
+        ),
+        Term::Loop => Term::Loop,
+    }
+}
+
+fn rename_value(value: &Value, scope: &mut HashMap<Ident, Vec<Ident>>, gen: &mut FreshGen) -> Value {
+    match value {
+        Value::Var(x) => match scope.get(x).and_then(|v| v.last()) {
+            Some(fresh) => Value::Var(fresh.clone()),
+            None => Value::Var(x.clone()),
+        },
+        Value::Lam(x, body) => {
+            let fresh = gen.fresh(base_name(x));
+            scope.entry(x.clone()).or_default().push(fresh.clone());
+            let body = rename_term(body, scope, gen);
+            scope.get_mut(x).expect("binder was pushed").pop();
+            Value::Lam(fresh, Box::new(body))
+        }
+        Value::Num(n) => Value::Num(*n),
+        Value::Add1 => Value::Add1,
+        Value::Sub1 => Value::Sub1,
+    }
+}
+
+/// Strips a previous freshening suffix so repeated freshening does not grow
+/// names (`x%3` freshens to `x%17`, not `x%3%17`).
+fn base_name(x: &Ident) -> &str {
+    match x.as_str().split_once('%') {
+        Some((base, _)) if !base.is_empty() => base,
+        _ => x.as_str(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::free::{free_vars, has_unique_binders};
+
+    #[test]
+    fn shadowed_binders_become_distinct() {
+        let t = let_("x", num(1), let_("x", num(2), var("x")));
+        let (u, _) = freshen(&t);
+        assert!(has_unique_binders(&u));
+        // The body variable refers to the inner binder.
+        if let Term::Let(_, _, body) = &u {
+            if let Term::Let(inner, _, innermost) = &**body {
+                assert_eq!(**innermost, Term::Value(Value::Var(inner.clone())));
+                return;
+            }
+        }
+        panic!("shape changed by freshening");
+    }
+
+    #[test]
+    fn free_variables_survive() {
+        let t = app(var("f"), let_("x", num(1), app(var("f"), var("x"))));
+        let (u, _) = freshen(&t);
+        assert!(free_vars(&u).contains(&Ident::new("f")));
+        assert_eq!(free_vars(&u).len(), 1);
+    }
+
+    #[test]
+    fn lambda_parameters_are_renamed_consistently() {
+        let t = lam("x", app(var("x"), lam("x", var("x"))));
+        let (u, _) = freshen(&t);
+        assert!(has_unique_binders(&u));
+        match &u {
+            Term::Value(Value::Lam(outer, body)) => match &**body {
+                Term::App(f, a) => {
+                    assert_eq!(**f, Term::Value(Value::Var(outer.clone())));
+                    match &**a {
+                        Term::Value(Value::Lam(inner, ib)) => {
+                            assert_ne!(inner, outer);
+                            assert_eq!(**ib, Term::Value(Value::Var(inner.clone())));
+                        }
+                        other => panic!("unexpected {other}"),
+                    }
+                }
+                other => panic!("unexpected {other}"),
+            },
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn base_names_do_not_accumulate_suffixes() {
+        let t = let_("x", num(1), var("x"));
+        let (u, _) = freshen(&t);
+        let (w, _) = freshen(&u);
+        if let Term::Let(x, _, _) = &w {
+            assert_eq!(x.as_str().matches('%').count(), 1);
+        } else {
+            panic!("shape changed");
+        }
+    }
+
+    #[test]
+    fn idempotent_on_structure() {
+        let t = if0(var("a"), lam("b", var("b")), loop_());
+        let (u, _) = freshen(&t);
+        assert_eq!(u.size(), t.size());
+        assert_eq!(u.depth(), t.depth());
+    }
+}

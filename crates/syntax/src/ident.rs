@@ -1,0 +1,213 @@
+//! Identifiers for the two disjoint variable namespaces of the paper.
+//!
+//! §3.3 requires `KVars ∩ Vars = ∅`: continuation variables introduced by the
+//! CPS transformation live in their own namespace. We enforce the disjointness
+//! statically with two newtypes, [`Ident`] for ordinary variables and
+//! [`KIdent`] for continuation variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordinary (user) variable `x ∈ Vars`.
+///
+/// Backed by a shared string, so clones are reference-count bumps; terms and
+/// analysis tables clone identifiers freely.
+///
+/// ```
+/// use cpsdfa_syntax::Ident;
+/// let x = Ident::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ident(Arc<str>);
+
+impl Ident {
+    /// Creates an identifier from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Ident(Arc::from(name.as_ref()))
+    }
+
+    /// The textual name of the identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({})", self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A continuation variable `k ∈ KVars` (disjoint from [`Ident`]).
+///
+/// Only the CPS language of Definition 3.2 binds these.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KIdent(Arc<str>);
+
+impl KIdent {
+    /// Creates a continuation identifier from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        KIdent(Arc::from(name.as_ref()))
+    }
+
+    /// The textual name of the identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for KIdent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for KIdent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KIdent({})", self.0)
+    }
+}
+
+impl From<&str> for KIdent {
+    fn from(s: &str) -> Self {
+        KIdent::new(s)
+    }
+}
+
+/// A generator of fresh names, used by α-freshening, A-normalization, and the
+/// CPS transform.
+///
+/// Generated names embed a `%` which the parser rejects in source programs,
+/// so fresh names can never capture user-written ones.
+///
+/// ```
+/// use cpsdfa_syntax::FreshGen;
+/// let mut g = FreshGen::new();
+/// let a = g.fresh("x");
+/// let b = g.fresh("x");
+/// assert_ne!(a, b);
+/// assert!(a.as_str().starts_with("x%"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FreshGen {
+    counter: u64,
+}
+
+impl FreshGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a generator whose counter starts at `start`; useful when
+    /// several passes must not collide.
+    pub fn starting_at(start: u64) -> Self {
+        FreshGen { counter: start }
+    }
+
+    /// Returns a fresh ordinary variable whose name begins with `hint`.
+    pub fn fresh(&mut self, hint: &str) -> Ident {
+        let n = self.next_id();
+        Ident::new(format!("{hint}%{n}"))
+    }
+
+    /// Returns a fresh continuation variable whose name begins with `hint`.
+    pub fn fresh_k(&mut self, hint: &str) -> KIdent {
+        let n = self.next_id();
+        KIdent::new(format!("{hint}%{n}"))
+    }
+
+    /// The number of names generated so far.
+    pub fn generated(&self) -> u64 {
+        self.counter
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let n = self.counter;
+        self.counter += 1;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ident_equality_is_by_content() {
+        assert_eq!(Ident::new("x"), Ident::new("x"));
+        assert_ne!(Ident::new("x"), Ident::new("y"));
+    }
+
+    #[test]
+    fn ident_orders_lexicographically() {
+        assert!(Ident::new("a") < Ident::new("b"));
+        assert!(Ident::new("a") < Ident::new("aa"));
+    }
+
+    #[test]
+    fn kident_is_distinct_type_with_same_behavior() {
+        assert_eq!(KIdent::new("k"), KIdent::new("k"));
+        assert_ne!(KIdent::new("k"), KIdent::new("k2"));
+    }
+
+    #[test]
+    fn fresh_names_never_repeat() {
+        let mut g = FreshGen::new();
+        let names: HashSet<_> = (0..100).map(|_| g.fresh("t")).collect();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn fresh_interleaves_user_and_k_counters() {
+        let mut g = FreshGen::new();
+        let a = g.fresh("x");
+        let k = g.fresh_k("k");
+        let b = g.fresh("x");
+        assert_eq!(a.as_str(), "x%0");
+        assert_eq!(k.as_str(), "k%1");
+        assert_eq!(b.as_str(), "x%2");
+    }
+
+    #[test]
+    fn starting_at_skips_prefix() {
+        let mut g = FreshGen::starting_at(7);
+        assert_eq!(g.fresh("v").as_str(), "v%7");
+        assert_eq!(g.generated(), 8);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(Ident::new("x").to_string(), "x");
+        assert!(!format!("{:?}", Ident::new("x")).is_empty());
+        assert_eq!(KIdent::new("k").to_string(), "k");
+        assert!(!format!("{:?}", KIdent::new("k")).is_empty());
+    }
+}

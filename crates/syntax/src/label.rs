@@ -1,0 +1,116 @@
+//! Program-point labels.
+//!
+//! The analyses of §4 need a finite, per-program identification of
+//! subexpressions: abstract closures are "the λ at label ℓ", abstract
+//! continuations are "the frame/continuation created at label ℓ". A
+//! [`Label`] is a dense `u32` assigned by the labeling passes in
+//! `cpsdfa-anf` and `cpsdfa-cps`.
+
+use std::fmt;
+
+/// A dense program-point label.
+///
+/// ```
+/// use cpsdfa_syntax::Label;
+/// let l = Label::new(3);
+/// assert_eq!(l.index(), 3);
+/// assert_eq!(l.to_string(), "ℓ3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    /// A placeholder label used before a labeling pass runs.
+    pub const UNASSIGNED: Label = Label(u32::MAX);
+
+    /// Creates a label with the given index.
+    pub fn new(index: u32) -> Self {
+        Label(index)
+    }
+
+    /// The dense index of this label.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this label has been assigned by a labeling pass.
+    pub fn is_assigned(self) -> bool {
+        self != Label::UNASSIGNED
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_assigned() {
+            write!(f, "ℓ{}", self.0)
+        } else {
+            f.write_str("ℓ?")
+        }
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An allocator of dense labels.
+///
+/// ```
+/// use cpsdfa_syntax::label::LabelGen;
+/// let mut g = LabelGen::new();
+/// assert_eq!(g.next().index(), 0);
+/// assert_eq!(g.next().index(), 1);
+/// assert_eq!(g.count(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LabelGen {
+    next: u32,
+}
+
+impl LabelGen {
+    /// Creates an allocator starting at label 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next label.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Label {
+        let l = Label(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// The number of labels allocated so far.
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_dense_and_ordered() {
+        let mut g = LabelGen::new();
+        let a = g.next();
+        let b = g.next();
+        assert!(a < b);
+        assert_eq!(b.index(), a.index() + 1);
+    }
+
+    #[test]
+    fn unassigned_is_distinguishable() {
+        assert!(!Label::UNASSIGNED.is_assigned());
+        assert!(Label::new(0).is_assigned());
+        assert_eq!(Label::UNASSIGNED.to_string(), "ℓ?");
+    }
+
+    #[test]
+    fn display_shows_index() {
+        assert_eq!(Label::new(12).to_string(), "ℓ12");
+    }
+}

@@ -1,0 +1,47 @@
+//! The source language Λ of Sabry & Felleisen, *"Is Continuation-Passing
+//! Useful for Data Flow Analysis?"* (PLDI 1994), §2.
+//!
+//! Λ is the core of a call-by-value higher-order language (Scheme, ML, Lisp):
+//!
+//! ```text
+//! M ::= V | (M M) | (let (x M) M) | (if0 M M M)
+//! V ::= n | x | add1 | sub1 | (λx.M)
+//! ```
+//!
+//! plus the `loop` extension of §6.2 whose collecting semantics is the
+//! infinite value set `{0, 1, 2, …}`.
+//!
+//! This crate provides:
+//!
+//! * the abstract syntax ([`Term`], [`Value`], [`Ident`], [`KIdent`]);
+//! * an s-expression [parser](parse) and a round-tripping pretty
+//!   [printer](mod@print);
+//! * [builder](build) combinators for constructing terms in tests and
+//!   workload generators;
+//! * [free-variable computation](free) and
+//!   [α-freshening](fresh) (the analyses of the paper assume all bound
+//!   variables in a program are unique).
+//!
+//! # Example
+//!
+//! ```
+//! use cpsdfa_syntax::{parse::parse_term, build};
+//!
+//! let t = parse_term("(let (x 1) (add1 x))")?;
+//! let u = build::let_("x", build::num(1), build::app(build::add1(), build::var("x")));
+//! assert_eq!(t, u);
+//! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod free;
+pub mod fresh;
+pub mod ident;
+pub mod label;
+pub mod parse;
+pub mod print;
+
+pub use ast::{Term, Value};
+pub use ident::{FreshGen, Ident, KIdent};
+pub use label::Label;

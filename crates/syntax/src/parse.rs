@@ -1,0 +1,401 @@
+//! An s-expression parser for Λ.
+//!
+//! Accepted grammar (a superset of the paper's concrete syntax, with the
+//! conveniences used in the paper's own examples):
+//!
+//! ```text
+//! M ::= n | x | add1 | sub1
+//!     | (lambda (x) M)            ; also (λ (x) M)
+//!     | (let (x M) M)
+//!     | (if0 M M M)
+//!     | (loop)
+//!     | (+ M n)                   ; paper's abbreviation: n × add1/sub1
+//!     | (M M M ...)               ; curried application, left associative
+//! ```
+//!
+//! Identifiers may not contain `%` (reserved for machine-generated fresh
+//! names) and may not be keywords.
+
+use crate::ast::{Term, Value};
+use crate::build;
+use crate::ident::Ident;
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with a byte position into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a single Λ term; trailing whitespace and `;` line comments are
+/// allowed, any other trailing input is an error.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, reserved identifiers, or
+/// trailing tokens.
+///
+/// ```
+/// use cpsdfa_syntax::parse::parse_term;
+/// let t = parse_term("(let (x 1) x) ; comment")?;
+/// assert_eq!(t.to_string(), "(let (x 1) x)");
+/// # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
+/// ```
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(input);
+    let sexp = p.sexp()?;
+    p.skip_trivia();
+    if !p.at_end() {
+        return Err(ParseError::new(p.pos, "unexpected trailing input"));
+    }
+    term_of_sexp(&sexp)
+}
+
+const KEYWORDS: &[&str] = &["lambda", "λ", "let", "if0", "loop", "add1", "sub1", "+"];
+
+/// Checks whether `name` is usable as a source-program variable.
+pub fn is_valid_ident(name: &str) -> bool {
+    let not_number_like = !name.starts_with(|c: char| c.is_ascii_digit())
+        && name != "-"
+        && !(name.starts_with('-') && name[1..].starts_with(|c: char| c.is_ascii_digit()));
+    !name.is_empty()
+        && !KEYWORDS.contains(&name)
+        && !name.contains('%')
+        && not_number_like
+        && name.chars().all(is_ident_char)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || "-_!?*/<>=+.".contains(c)
+}
+
+// ---------------------------------------------------------------------------
+// S-expression layer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(usize, String),
+    List(usize, Vec<Sexp>),
+}
+
+impl Sexp {
+    fn pos(&self) -> usize {
+        match self {
+            Sexp::Atom(p, _) | Sexp::List(p, _) => *p,
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some(';') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn sexp(&mut self) -> Result<Sexp, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        match self.peek() {
+            None => Err(ParseError::new(start, "unexpected end of input")),
+            Some('(') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    match self.peek() {
+                        None => {
+                            return Err(ParseError::new(self.pos, "unclosed parenthesis"));
+                        }
+                        Some(')') => {
+                            self.bump();
+                            return Ok(Sexp::List(start, items));
+                        }
+                        Some(_) => items.push(self.sexp()?),
+                    }
+                }
+            }
+            Some(')') => Err(ParseError::new(start, "unexpected `)`")),
+            Some(_) => {
+                let mut atom = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                        break;
+                    }
+                    atom.push(c);
+                    self.bump();
+                }
+                Ok(Sexp::Atom(start, atom))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term layer
+// ---------------------------------------------------------------------------
+
+fn term_of_sexp(s: &Sexp) -> Result<Term, ParseError> {
+    match s {
+        Sexp::Atom(pos, a) => atom_term(*pos, a),
+        Sexp::List(pos, items) => list_term(*pos, items),
+    }
+}
+
+fn atom_term(pos: usize, a: &str) -> Result<Term, ParseError> {
+    if let Ok(n) = a.parse::<i64>() {
+        return Ok(Term::Value(Value::Num(n)));
+    }
+    match a {
+        "add1" => Ok(Term::Value(Value::Add1)),
+        "sub1" => Ok(Term::Value(Value::Sub1)),
+        _ if is_valid_ident(a) => Ok(Term::Value(Value::Var(Ident::new(a)))),
+        _ => Err(ParseError::new(pos, format!("invalid identifier `{a}`"))),
+    }
+}
+
+fn head(items: &[Sexp]) -> Option<&str> {
+    match items.first() {
+        Some(Sexp::Atom(_, a)) => Some(a.as_str()),
+        _ => None,
+    }
+}
+
+fn list_term(pos: usize, items: &[Sexp]) -> Result<Term, ParseError> {
+    match head(items) {
+        Some("lambda") | Some("λ") => {
+            if items.len() != 3 {
+                return Err(ParseError::new(pos, "lambda expects (lambda (x) M)"));
+            }
+            let param = match &items[1] {
+                Sexp::List(_, ps) if ps.len() == 1 => binder_ident(&ps[0])?,
+                other => {
+                    return Err(ParseError::new(
+                        other.pos(),
+                        "lambda expects a single-parameter list (x)",
+                    ))
+                }
+            };
+            let body = term_of_sexp(&items[2])?;
+            Ok(build::lam(param, body))
+        }
+        Some("let") => {
+            if items.len() != 3 {
+                return Err(ParseError::new(pos, "let expects (let (x M) M)"));
+            }
+            let (x, rhs) = match &items[1] {
+                Sexp::List(_, b) if b.len() == 2 => (binder_ident(&b[0])?, term_of_sexp(&b[1])?),
+                other => {
+                    return Err(ParseError::new(other.pos(), "let expects a binding (x M)"))
+                }
+            };
+            let body = term_of_sexp(&items[2])?;
+            Ok(build::let_(x, rhs, body))
+        }
+        Some("if0") => {
+            if items.len() != 4 {
+                return Err(ParseError::new(pos, "if0 expects (if0 M M M)"));
+            }
+            Ok(build::if0(
+                term_of_sexp(&items[1])?,
+                term_of_sexp(&items[2])?,
+                term_of_sexp(&items[3])?,
+            ))
+        }
+        Some("loop") => {
+            if items.len() != 1 {
+                return Err(ParseError::new(pos, "loop expects no arguments: (loop)"));
+            }
+            Ok(Term::Loop)
+        }
+        Some("+") => {
+            // Paper abbreviation (+ M n): n applications of add1/sub1.
+            if items.len() != 3 {
+                return Err(ParseError::new(pos, "+ expects (+ M n) with literal n"));
+            }
+            let m = term_of_sexp(&items[1])?;
+            let n = match &items[2] {
+                Sexp::Atom(_, a) => a.parse::<i64>().map_err(|_| {
+                    ParseError::new(items[2].pos(), "+ expects a literal integer offset")
+                })?,
+                other => {
+                    return Err(ParseError::new(other.pos(), "+ expects a literal integer offset"))
+                }
+            };
+            Ok(build::plus_const(m, n))
+        }
+        _ => {
+            // Application, possibly curried.
+            if items.len() < 2 {
+                return Err(ParseError::new(
+                    pos,
+                    "application expects an operator and at least one operand",
+                ));
+            }
+            let f = term_of_sexp(&items[0])?;
+            let args = items[1..]
+                .iter()
+                .map(term_of_sexp)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(build::apps(f, args))
+        }
+    }
+}
+
+fn binder_ident(s: &Sexp) -> Result<Ident, ParseError> {
+    match s {
+        Sexp::Atom(pos, a) if is_valid_ident(a) => {
+            let _ = pos;
+            Ok(Ident::new(a))
+        }
+        other => Err(ParseError::new(other.pos(), "expected a variable name")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn ok(s: &str) -> Term {
+        parse_term(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(ok("42"), num(42));
+        assert_eq!(ok("-7"), num(-7));
+        assert_eq!(ok("x"), var("x"));
+        assert_eq!(ok("add1"), add1());
+        assert_eq!(ok("sub1"), sub1());
+    }
+
+    #[test]
+    fn parses_compound_forms() {
+        assert_eq!(ok("(f x)"), app(var("f"), var("x")));
+        assert_eq!(ok("(lambda (x) x)"), lam("x", var("x")));
+        assert_eq!(ok("(λ (x) x)"), lam("x", var("x")));
+        assert_eq!(ok("(let (x 1) x)"), let_("x", num(1), var("x")));
+        assert_eq!(ok("(if0 x 1 2)"), if0(var("x"), num(1), num(2)));
+        assert_eq!(ok("(loop)"), loop_());
+    }
+
+    #[test]
+    fn curried_application_associates_left() {
+        assert_eq!(ok("(f x y)"), app(app(var("f"), var("x")), var("y")));
+    }
+
+    #[test]
+    fn plus_abbreviation_expands() {
+        assert_eq!(ok("(+ a 3)"), app(add1(), app(add1(), app(add1(), var("a")))));
+        assert_eq!(ok("(+ a -2)"), app(sub1(), app(sub1(), var("a"))));
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        assert_eq!(ok("  ( let ; binding\n (x 1) x )  "), let_("x", num(1), var("x")));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "(",
+            ")",
+            "(let x 1)",
+            "(lambda x x)",
+            "(lambda (x y) x)",
+            "(if0 1 2)",
+            "(loop 1)",
+            "(f)",
+            "(let (x 1) x) trailing",
+            "(+ a b)",
+            "bad%name",
+            "(let (let 1) 2)",
+        ] {
+            assert!(parse_term(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_not_variables() {
+        assert!(parse_term("(let (lambda 1) 2)").is_err());
+        assert!(parse_term("(lambda (if0) 1)").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_into_source() {
+        let err = parse_term("(let (x 1) ").unwrap_err();
+        assert_eq!(err.position, 11);
+        let err = parse_term("abc)").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn display_roundtrip_on_samples() {
+        for s in [
+            "(let (x 1) (add1 x))",
+            "(lambda (f) (f (f 0)))",
+            "(if0 (sub1 n) 1 ((fact (sub1 n)) n))",
+            "(loop)",
+            "-3",
+        ] {
+            let t = ok(s);
+            assert_eq!(ok(&t.to_string()), t, "roundtrip failed for {s}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Parametric program families for the cost and precision experiments
+//! (E5–E10 in `DESIGN.md`).
+//!
+//! Each generator returns a [`Term`]; normalize with
+//! [`cpsdfa_anf::AnfProgram::from_term`]. The families are designed so the
+//! *shape* claims of §6.2 are observable:
+//!
+//! * [`cond_chain`] — `n` sequential unknown conditionals: `2ⁿ` execution
+//!   paths. Direct analysis cost grows linearly in `n`; CPS-style analyses
+//!   re-analyze the tail per path — exponential.
+//! * [`dispatch`] — one call site with `n` possible callees (closure-set
+//!   duplication at calls).
+//! * [`repeated_calls`] — `n` calls to one procedure: `n` continuations
+//!   collect at the procedure's `k`, driving §6.1 false returns.
+//! * plus assorted pipelines/towers for interpreter and transform benches.
+
+use cpsdfa_syntax::build::*;
+use cpsdfa_syntax::{Ident, Term};
+
+/// `n` sequential conditionals on the free variable `z`, each binding
+/// `cᵢ = (if0 z 0 1)`, followed by a use of the last one:
+///
+/// ```text
+/// (let (c1 (if0 z 0 1)) … (let (cn (if0 z 0 1)) (add1 cn)) …)
+/// ```
+pub fn cond_chain(n: usize) -> Term {
+    let body = app(add1(), var(format!("c{n}")));
+    (1..=n).rev().fold(body, |acc, i| {
+        let_(format!("c{i}"), if0(var("z"), num(0), num(1)), acc)
+    })
+}
+
+/// A chain of `n` unknown conditionals whose arms *agree* (`7` on both
+/// sides); the direct analysis keeps every constant, so precision matches
+/// the CPS analyses while cost still differs — isolating the cost effect.
+pub fn agreeing_cond_chain(n: usize) -> Term {
+    let body = app(add1(), var(format!("c{n}")));
+    (1..=n).rev().fold(body, |acc, i| {
+        let_(format!("c{i}"), if0(var("z"), num(7), num(7)), acc)
+    })
+}
+
+/// One call site applying a variable `f` bound (via a tower of unknown
+/// conditionals) to one of `n` distinct closures `(λdᵢ. i)`.
+pub fn dispatch(n: usize) -> Term {
+    assert!(n >= 1, "dispatch requires at least one closure");
+    // Build the rhs of f: nested if0s selecting among n lambdas.
+    let mut rhs = lam(format!("d{n}"), num((n - 1) as i64));
+    for i in (1..n).rev() {
+        rhs = if0(var("z"), lam(format!("d{i}"), num((i - 1) as i64)), rhs);
+    }
+    let_(
+        "f",
+        rhs,
+        let_("r", app(var("f"), num(0)), app(add1(), var("r"))),
+    )
+}
+
+/// `m` sequential calls to one identity procedure: the §6.1 scenario at
+/// scale. With `m ≥ 2` the syntactic-CPS analysis accumulates `m`
+/// continuations at the procedure's `k`.
+pub fn repeated_calls(m: usize) -> Term {
+    assert!(m >= 1, "repeated_calls requires at least one call");
+    let mut body: Term = var(format!("a{m}"));
+    for i in (1..=m).rev() {
+        body = let_(format!("a{i}"), app(var("id"), num(i as i64)), body);
+    }
+    let_("id", identity("x"), body)
+}
+
+/// A pipeline `x₁ = add1 z; x₂ = add1 x₁; …; xₙ` — pure straight-line
+/// arithmetic for interpreter/transform throughput baselines.
+pub fn adder_pipeline(n: usize) -> Term {
+    assert!(n >= 1);
+    let mut body: Term = var(format!("x{n}"));
+    for i in (2..=n).rev() {
+        body = let_(format!("x{i}"), app(add1(), var(format!("x{}", i - 1))), body);
+    }
+    let_("x1", app(add1(), var("z")), body)
+}
+
+/// A tower of `n` nested non-tail calls `(add1 (add1 … (add1 0)))` —
+/// maximizes continuation depth in the semantic-CPS interpreter.
+pub fn add_tower(n: usize) -> Term {
+    (0..n).fold(num(0), |acc, _| app(add1(), acc))
+}
+
+/// The Church numeral `n` applied to `add1` and `0` — a classic
+/// higher-order interpreter workload: `(λf.λx. fⁿ x) add1 0`.
+pub fn church(n: usize) -> Term {
+    let mut body: Term = var("x");
+    for _ in 0..n {
+        body = app(var("f"), body);
+    }
+    apps(lam("f", lam("x", body)), [add1(), num(0)])
+}
+
+/// `cond_chain(n)` ending with a `loop`-bound branch — the E8 program
+/// family whose semantic-CPS analysis is non-computable.
+pub fn loop_then_branch(n: usize) -> Term {
+    let tail = let_(
+        "l",
+        loop_(),
+        let_("b", if0(var("l"), num(1), num(2)), app(add1(), var("b"))),
+    );
+    (1..=n).rev().fold(tail, |acc, i| {
+        let_(format!("c{i}"), if0(var("z"), num(0), num(1)), acc)
+    })
+}
+
+/// A first-order diamond chain for the MFP/MOP experiment (E9): `n`
+/// sequential two-armed conditionals with *distinct* constants, each
+/// followed by a unary use.
+pub fn diamond_chain(n: usize) -> Term {
+    let body = var(format!("u{n}"));
+    (1..=n).rev().fold(body, |acc, i| {
+        let_(
+            format!("d{i}"),
+            if0(var("z"), num(0), num(1)),
+            let_(format!("u{i}"), app(add1(), var(format!("d{i}"))), acc),
+        )
+    })
+}
+
+/// The Y-combinator specialized to a counting-down recursion: the
+/// (untyped) fixpoint `Z` applied to `λrec.λn. (if0 n 0 (rec (sub1 n)))`,
+/// applied to `n`. Terminates concretely; exercises the §4.4 cycle cuts of
+/// every analyzer (self-application flows a closure into its own parameter).
+pub fn y_countdown(n: i64) -> Term {
+    // Z = λf.((λx. f (λv. x x v)) (λx. f (λv. x x v)))
+    let inner = |x: &str, v: &str| {
+        lam(
+            x,
+            app(
+                var("fy"),
+                lam(v, apps(var(x), [var(x), var(v)])),
+            ),
+        )
+    };
+    let z = lam("fy", app(inner("xa", "va"), inner("xb", "vb")));
+    let step = lam(
+        "rec",
+        lam("n", if0(var("n"), num(0), app(var("rec"), app(sub1(), var("n"))))),
+    );
+    apps(z, [step, num(n)])
+}
+
+/// Mutual recursion via a dispatcher closure: `even?`/`odd?` encoded with a
+/// selector argument — a second §4.4 stress shape with two λs flowing
+/// through one call site.
+pub fn even_odd(n: i64) -> Term {
+    // self-passing dispatcher: d = λself.λtag.λn. if0 n tag-dependent …
+    // encoded compactly: f = λself.λn. (if0 n 1 (λk. ((self self) (sub1 n))) …)
+    // We keep it first-order in the tags: parity via double-step recursion.
+    let body = if0(
+        var("m"),
+        num(1),
+        if0(
+            app(sub1(), var("m")),
+            num(0),
+            apps(var("self2"), [var("self2"), app(sub1(), app(sub1(), var("m")))]),
+        ),
+    );
+    let f = lam("self2", lam("m", body));
+    let_("evenp", f, apps(var("evenp"), [var("evenp"), num(n)]))
+}
+
+/// The free variables every family may mention, with suggested concrete
+/// inputs for differential interpreter runs.
+pub fn default_inputs() -> Vec<(Ident, i64)> {
+    vec![(Ident::new("z"), 0), (Ident::new("w"), 1), (Ident::new("v"), 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_anf::AnfProgram;
+    use cpsdfa_interp::{run_direct, Fuel};
+    use cpsdfa_syntax::free::free_vars;
+
+    #[test]
+    fn cond_chain_scales_linearly_in_size() {
+        let s3 = cond_chain(3).size();
+        let s6 = cond_chain(6).size();
+        assert!(s6 > s3);
+        assert!(s6 < 2 * s3 + 10, "size should be linear in n");
+    }
+
+    #[test]
+    fn families_normalize_and_run() {
+        let inputs = default_inputs();
+        for (name, t) in [
+            ("cond_chain", cond_chain(4)),
+            ("agreeing", agreeing_cond_chain(4)),
+            ("dispatch", dispatch(3)),
+            ("repeated_calls", repeated_calls(3)),
+            ("adder_pipeline", adder_pipeline(5)),
+            ("add_tower", add_tower(5)),
+            ("church", church(6)),
+            ("diamond_chain", diamond_chain(3)),
+        ] {
+            let p = AnfProgram::from_term(&t);
+            let r = run_direct(&p, &inputs, Fuel::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.value.as_num().is_some() || name == "dispatch", "{name}");
+        }
+    }
+
+    #[test]
+    fn church_computes_n() {
+        for n in [0, 1, 5, 10] {
+            let p = AnfProgram::from_term(&church(n));
+            let r = run_direct(&p, &[], Fuel::default()).unwrap();
+            assert_eq!(r.value.as_num(), Some(n as i64));
+        }
+    }
+
+    #[test]
+    fn dispatch_builds_n_lambdas() {
+        for n in [1, 2, 5] {
+            let p = AnfProgram::from_term(&dispatch(n));
+            assert_eq!(p.lambda_labels().len(), n);
+        }
+    }
+
+    #[test]
+    fn families_only_use_known_free_variables() {
+        let allowed = ["z", "w", "v"];
+        for t in [cond_chain(3), dispatch(2), repeated_calls(2), diamond_chain(2), loop_then_branch(2)] {
+            for x in free_vars(&t) {
+                assert!(allowed.contains(&x.as_str()), "unexpected free var {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_family_uses_loop() {
+        assert!(loop_then_branch(2).uses_loop());
+    }
+}

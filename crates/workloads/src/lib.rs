@@ -1,0 +1,21 @@
+//! Workloads for the cpsdfa reproduction: the paper's worked
+//! [examples](paper), parametric [program families](families) for the cost
+//! experiments, a seeded, typed [random program generator](random) for
+//! differential and property testing, and a bounded-exhaustive [enumerator](exhaustive) for small-scope verification.
+//!
+//! ```
+//! use cpsdfa_anf::AnfProgram;
+//! use cpsdfa_workloads::{families, paper};
+//!
+//! let pi1 = AnfProgram::parse(paper::THEOREM_5_1)?;
+//! assert!(pi1.var_named("a1").is_some());
+//!
+//! let chain = AnfProgram::from_term(&families::cond_chain(8));
+//! assert!(chain.num_vars() > 8);
+//! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
+//! ```
+
+pub mod exhaustive;
+pub mod families;
+pub mod paper;
+pub mod random;

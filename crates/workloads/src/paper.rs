@@ -1,0 +1,102 @@
+//! The paper's worked examples, verbatim (modulo the encoding of initial
+//! abstract stores as `let` bindings — see `DESIGN.md`).
+//!
+//! Each function returns concrete syntax; pair with
+//! [`cpsdfa_anf::AnfProgram::parse`]. The free variable `z` plays the role
+//! of the paper's "unknown input" entries (`z ↦ (⊤, ∅)`), which is exactly
+//! the analyzers' default seeding for free variables.
+
+/// Theorem 5.1's program Π1 — `(let (a1 (f 1)) (let (a2 (f 2)) a1))` with
+/// `f` bound to the identity `(λx.x)`, as in the theorem's initial store
+/// `f ↦ (⊥, {(cle x, x)})`.
+///
+/// *Expected*: the direct analysis proves `a1 = 1`; the syntactic-CPS
+/// analysis confuses the two returns of `f` and yields `a1 = ⊤`.
+pub const THEOREM_5_1: &str =
+    "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))";
+
+/// Theorem 5.2, first case — branch correlation:
+/// `(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))`.
+///
+/// *Expected*: the direct analysis merges `a1 ∈ {0,1}` to ⊤ and loses
+/// `a2`; both CPS analyses analyze the second conditional once per path
+/// and prove `a2 = 3`.
+pub const THEOREM_5_2_CASE_1: &str =
+    "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
+
+/// Theorem 5.2, second case — callee-result correlation. The paper's
+/// initial store binds `f` to the two closures `(λd0.0)` and `(λd1.1)`;
+/// we bind it with an unknown conditional:
+/// `a2 = (if0 a1 5 (if0 (sub1 a1) 5 6))` is `5` on every path.
+///
+/// *Expected*: direct analysis joins the two call results (`a1 = ⊤`) and
+/// loses `a2`; CPS analyses duplicate the continuation per callee and
+/// prove `a2 = 5`.
+pub const THEOREM_5_2_CASE_2: &str = "(let (f (if0 z (lambda (d0) 0) (lambda (d1) 1))) \
+     (let (a1 (f 3)) \
+       (let (a2 (if0 a1 5 (let (s (sub1 a1)) (if0 s 5 6)))) a2)))";
+
+/// Shivers' 0CFA false-return example (§6.1, citing [16, p.33]): the same
+/// shape as Theorem 5.1 — two calls to one procedure whose returns a CPS
+/// analysis merges.
+pub const SHIVERS_FALSE_RETURN: &str =
+    "(let (id (lambda (x) x)) (let (a (id 10)) (let (b (id 20)) (add1 a))))";
+
+/// §2's normalization example: `(f (let (x 1) (g x)))`.
+pub const SECTION_2_NORMALIZATION: &str = "(f (let (x 1) (g x)))";
+
+/// §6.2's loop program: binds a `loop` value and then branches on it — the
+/// semantic-CPS analysis must apply the continuation to every natural
+/// number.
+pub const SECTION_6_2_LOOP: &str =
+    "(let (x (loop)) (let (a (if0 x 1 2)) (add1 a)))";
+
+/// Ω — self-application; exercises the §4.4 loop-detection rule of all
+/// three analyzers.
+pub const OMEGA: &str = "(let (w (lambda (x) (x x))) (let (r (w w)) r))";
+
+/// All named paper examples with identifiers, for harness iteration.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("theorem-5.1", THEOREM_5_1),
+        ("theorem-5.2-case-1", THEOREM_5_2_CASE_1),
+        ("theorem-5.2-case-2", THEOREM_5_2_CASE_2),
+        ("shivers-false-return", SHIVERS_FALSE_RETURN),
+        ("section-2-normalization", SECTION_2_NORMALIZATION),
+        ("section-6.2-loop", SECTION_6_2_LOOP),
+        ("omega", OMEGA),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsdfa_anf::AnfProgram;
+    use cpsdfa_cps::CpsProgram;
+
+    #[test]
+    fn every_example_parses_and_normalizes() {
+        for (name, src) in all() {
+            let p = AnfProgram::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.num_vars() > 0, "{name} has no variables");
+            // and transforms
+            let c = CpsProgram::from_anf(&p);
+            assert!(c.num_vars() >= p.num_vars() - p.free_vars().len());
+        }
+    }
+
+    #[test]
+    fn theorem_examples_have_expected_variables() {
+        let p = AnfProgram::parse(THEOREM_5_1).unwrap();
+        assert!(p.var_named("a1").is_some() && p.var_named("a2").is_some());
+        let p = AnfProgram::parse(THEOREM_5_2_CASE_2).unwrap();
+        assert!(p.var_named("a1").is_some() && p.var_named("a2").is_some());
+        assert_eq!(p.lambda_labels().len(), 2);
+    }
+
+    #[test]
+    fn loop_example_uses_extension() {
+        let p = AnfProgram::parse(SECTION_6_2_LOOP).unwrap();
+        assert!(p.root().to_term().uses_loop());
+    }
+}

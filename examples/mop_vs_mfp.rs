@@ -1,0 +1,75 @@
+//! §6.2's connection to classical data-flow theory (Nielson; Kam & Ullman):
+//! the direct analyzer computes an MFP-like solution, the semantic-CPS
+//! analyzer a (feasible-path) MOP-like solution.
+//!
+//! ```sh
+//! cargo run --example mop_vs_mfp
+//! ```
+
+use cpsdfa::analysis::mfp::{Cfg, Cond, Node, NodeId, PathMode, Stmt};
+use cpsdfa::analysis::report::render_table;
+use cpsdfa::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== The paper's diamond (Theorem 5.2 case 1) as a classical flow graph ==");
+    let src = paper::THEOREM_5_2_CASE_1;
+    println!("  {src}\n");
+    let prog = AnfProgram::parse(src)?;
+    let cfg = Cfg::from_first_order(&prog)?;
+    let init = cfg.initial_env::<Flat>(&prog);
+
+    let mfp = cfg.solve_mfp::<Flat>(init.clone());
+    let (mop_all, paths_all) = cfg.solve_mop::<Flat>(init.clone(), 10_000, PathMode::AllPaths)?;
+    let (mop_feas, paths_feas) = cfg.solve_mop::<Flat>(init, 10_000, PathMode::FeasiblePaths)?;
+    let direct = DirectAnalyzer::<Flat>::new(&prog).analyze()?;
+    let sem = SemCpsAnalyzer::<Flat>::new(&prog).analyze()?;
+
+    let mut rows = Vec::new();
+    for (v, name) in prog.iter_vars() {
+        rows.push(vec![
+            name.to_string(),
+            mfp.get(v).to_string(),
+            mop_all.get(v).to_string(),
+            mop_feas.get(v).to_string(),
+            direct.store.get(v).num.to_string(),
+            sem.store.get(v).num.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["var", "MFP", "MOP (all paths)", "MOP (feasible)", "direct M_e", "semantic-CPS C_e"],
+            &rows
+        )
+    );
+    println!(
+        "paths: {paths_all} graph paths, {paths_feas} feasible — M_e matches MFP, \
+         C_e matches feasible-path MOP.\n"
+    );
+
+    println!("== Kam–Ullman's classical MOP ⊏ MFP separation needs a binary transfer ==");
+    println!("  {{a:=1; b:=2}} or {{a:=2; b:=1}}; c := a + b   (hand-built CFG: Λ has no `+`)\n");
+    let (a, b, c, z) = (VarId(0), VarId(1), VarId(2), VarId(3));
+    let nodes = vec![
+        Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None },
+        Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
+        Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
+        Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
+        Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
+        Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
+        Node { stmt: Stmt::Sum(c, a, b), succs: vec![NodeId(7)], cond: None },
+        Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+    ];
+    let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4)?;
+    let mfp = g.solve_mfp::<Flat>(g.bottom_env());
+    let (mop, _) = g.solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths)?;
+    let rows = vec![
+        vec!["a".into(), mfp.get(a).to_string(), mop.get(a).to_string()],
+        vec!["b".into(), mfp.get(b).to_string(), mop.get(b).to_string()],
+        vec!["c = a+b".into(), mfp.get(c).to_string(), mop.get(c).to_string()],
+    ];
+    println!("{}", render_table(&["var", "MFP", "MOP"], &rows));
+    println!("MOP proves c = 3; MFP merges a and b first and reports ⊤ — computing MOP in");
+    println!("general is undecidable (Kam & Ullman), which is §6.2's non-computability claim.");
+    Ok(())
+}

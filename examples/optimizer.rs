@@ -1,0 +1,40 @@
+//! What analyzer precision buys a compiler: the same optimizer, driven by
+//! each of the paper's analyzers, applied to the theorem programs and a
+//! small higher-order pipeline.
+//!
+//! ```sh
+//! cargo run --example optimizer
+//! ```
+
+use cpsdfa::analysis::report::render_table;
+use cpsdfa::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, src) in [
+        ("Theorem 5.2 case 1", paper::THEOREM_5_2_CASE_1),
+        ("Theorem 5.2 case 2", paper::THEOREM_5_2_CASE_2),
+        (
+            "pipeline with a known branch",
+            "(let (step (lambda (x) (if0 x 10 (add1 x)))) \
+               (let (a (step 0)) (let (b (if0 a 1 (sub1 a))) (add1 b))))",
+        ),
+    ] {
+        println!("== {name} ==\n  {src}\n");
+        let prog = AnfProgram::parse(src)?;
+        let mut rows = Vec::new();
+        for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+            let (opt, stats) = optimize(&prog, source)?;
+            rows.push(vec![
+                source.to_string(),
+                opt.root().to_string(),
+                stats.to_string(),
+            ]);
+        }
+        println!("{}", render_table(&["facts from", "residual program", "stats"], &rows));
+    }
+
+    println!("The direct analysis (Figure 4) merges at joins, so the correlated");
+    println!("conditionals of Theorem 5.2 survive optimization; one level of §6.3");
+    println!("duplication — or the full semantic-CPS analysis — folds them away.");
+    Ok(())
+}

@@ -1,0 +1,287 @@
+//! `cpsdfa` — command-line front end for the Sabry–Felleisen analyzers.
+//!
+//! ```text
+//! USAGE:
+//!   cpsdfa anf      <program|->           print the A-normal form (§2)
+//!   cpsdfa cps      <program|->           print the CPS transform (Definition 3.2)
+//!   cpsdfa run      <program|-> [z=N ..]  run the three interpreters (Figures 1–3)
+//!   cpsdfa analyze  <program|-> [opts]    run the three analyzers (Figures 4–6)
+//!   cpsdfa compare  <program|-> [opts]    per-variable δe precision comparison (§5)
+//!   cpsdfa optimize <program|-> [opts]    analysis-driven rewriting, per fact source
+//!
+//! OPTIONS (analyze / compare):
+//!   --domain flat|powerset|anynum   numeric lattice (default flat)
+//!   --dup N                         §6.3 duplication depth for the direct analyzer
+//!   --budget N                      goal budget (default 10^7)
+//!   z=N (repeatable)                concrete/seeded input for a free variable
+//! ```
+//!
+//! `<program>` is either an inline s-expression or `-` to read stdin.
+
+use cpsdfa::analysis::deltae::compare_via_delta;
+use cpsdfa::analysis::report::{render_cstore, render_store, render_table};
+use cpsdfa::prelude::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cpsdfa: {msg}");
+            eprintln!("run `cpsdfa help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        print_help();
+        return Ok(());
+    }
+    let src = read_program(args.get(1).ok_or("missing <program> argument")?)?;
+    let term = parse_term(&src).map_err(|e| e.to_string())?;
+    let prog = AnfProgram::from_term(&term);
+    let rest = &args[2..];
+    match cmd {
+        "anf" => {
+            println!("{}", prog.pretty());
+            Ok(())
+        }
+        "cps" => {
+            let cps = CpsProgram::from_anf(&prog);
+            println!("{cps}");
+            Ok(())
+        }
+        "run" => cmd_run(&prog, rest),
+        "analyze" => cmd_analyze(&prog, rest),
+        "compare" => cmd_compare(&prog, rest),
+        "optimize" => cmd_optimize(&prog),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "cpsdfa — data flow analyzers from Sabry & Felleisen (PLDI 1994)\n\n\
+         USAGE:\n\
+         \x20 cpsdfa anf      <program|->           print the A-normal form\n\
+         \x20 cpsdfa cps      <program|->           print the CPS transform\n\
+         \x20 cpsdfa run      <program|-> [z=N ..]  run the three interpreters\n\
+         \x20 cpsdfa analyze  <program|-> [opts]    run the three analyzers\n\
+         \x20 cpsdfa compare  <program|-> [opts]    per-variable precision comparison\n\
+         \x20 cpsdfa optimize <program|->           analysis-driven rewriting\n\n\
+         OPTIONS:\n\
+         \x20 --domain flat|powerset|anynum   numeric lattice (default flat)\n\
+         \x20 --dup N                         duplication depth for the direct analyzer\n\
+         \x20 --budget N                      analysis goal budget\n\
+         \x20 z=N                             input for free variable z (repeatable)\n\n\
+         EXAMPLE:\n\
+         \x20 cpsdfa compare '(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))'"
+    );
+}
+
+fn read_program(arg: &str) -> Result<String, String> {
+    if arg == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        Ok(arg.to_owned())
+    }
+}
+
+struct Opts {
+    domain: String,
+    dup: u32,
+    budget: u64,
+    inputs: Vec<(Ident, i64)>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts { domain: "flat".into(), dup: 0, budget: 10_000_000, inputs: Vec::new() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--domain" => {
+                opts.domain = it.next().ok_or("--domain needs a value")?.clone();
+                if !["flat", "powerset", "anynum"].contains(&opts.domain.as_str()) {
+                    return Err(format!("unknown domain `{}`", opts.domain));
+                }
+            }
+            "--dup" => {
+                opts.dup = it
+                    .next()
+                    .ok_or("--dup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--dup: {e}"))?;
+            }
+            "--budget" => {
+                opts.budget = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            kv if kv.contains('=') => {
+                let (name, val) = kv.split_once('=').expect("checked");
+                let n: i64 = val.parse().map_err(|e| format!("{kv}: {e}"))?;
+                opts.inputs.push((Ident::new(name), n));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_run(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let fuel = Fuel::new(10_000_000);
+    let cps = CpsProgram::from_anf(prog);
+    let show = |name: &str, r: Result<String, String>| match r {
+        Ok(v) => println!("{name:<22} {v}"),
+        Err(e) => println!("{name:<22} error: {e}"),
+    };
+    show(
+        "direct (Fig 1):",
+        run_direct(prog, &opts.inputs, fuel)
+            .map(|a| format!("{} ({} steps)", a.value, a.steps))
+            .map_err(|e| e.to_string()),
+    );
+    show(
+        "semantic-CPS (Fig 2):",
+        run_semcps(prog, &opts.inputs, fuel)
+            .map(|a| format!("{} ({} steps, max κ depth {})", a.value, a.steps, a.max_kont_depth))
+            .map_err(|e| e.to_string()),
+    );
+    show(
+        "syntactic-CPS (Fig 3):",
+        run_syncps(&cps, &opts.inputs, fuel)
+            .map(|a| format!("{} ({} steps)", a.value, a.steps))
+            .map_err(|e| e.to_string()),
+    );
+    Ok(())
+}
+
+fn with_domain<R>(
+    domain: &str,
+    f: impl FnOnce(DomainTag) -> Result<R, String>,
+) -> Result<R, String> {
+    match domain {
+        "flat" => f(DomainTag::Flat),
+        "powerset" => f(DomainTag::PowerSet),
+        "anynum" => f(DomainTag::AnyNum),
+        other => Err(format!("unknown domain `{other}`")),
+    }
+}
+
+enum DomainTag {
+    Flat,
+    PowerSet,
+    AnyNum,
+}
+
+fn cmd_analyze(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    with_domain(&opts.domain, |tag| match tag {
+        DomainTag::Flat => analyze_with::<Flat>(prog, &opts),
+        DomainTag::PowerSet => analyze_with::<PowerSet<8>>(prog, &opts),
+        DomainTag::AnyNum => analyze_with::<AnyNum>(prog, &opts),
+    })
+}
+
+fn seed_analyzers<'p, D: NumDomain>(
+    prog: &'p AnfProgram,
+    opts: &Opts,
+) -> (DirectAnalyzer<'p, D>, SemCpsAnalyzer<'p, D>) {
+    let budget = AnalysisBudget::new(opts.budget);
+    let mut d = DirectAnalyzer::<D>::new(prog)
+        .with_budget(budget)
+        .with_duplication_depth(opts.dup);
+    let mut s = SemCpsAnalyzer::<D>::new(prog).with_budget(budget);
+    for (x, n) in &opts.inputs {
+        if let Some(v) = prog.var_id(x) {
+            d = d.with_seed(v, AbsVal::num(*n));
+            s = s.with_seed(v, AbsVal::num(*n));
+        }
+    }
+    (d, s)
+}
+
+fn analyze_with<D: NumDomain>(prog: &AnfProgram, opts: &Opts) -> Result<(), String> {
+    let (d, s) = seed_analyzers::<D>(prog, opts);
+    let cps = CpsProgram::from_anf(prog);
+    let mut syn = SynCpsAnalyzer::<D>::new(&cps).with_budget(AnalysisBudget::new(opts.budget));
+    for (x, n) in &opts.inputs {
+        if let Some(v) = cps.user_var_id(x) {
+            syn = syn.with_seed(v, CAbsVal::num(*n));
+        }
+    }
+
+    let direct = d.analyze().map_err(|e| e.to_string())?;
+    println!("== direct M_e (Figure 4): {} ==", direct.stats);
+    print!("{}", render_store(prog, &direct.store));
+    let sem = s.analyze().map_err(|e| e.to_string())?;
+    println!("== semantic-CPS C_e (Figure 5): {} ==", sem.stats);
+    print!("{}", render_store(prog, &sem.store));
+    match syn.analyze() {
+        Ok(r) => {
+            println!(
+                "== syntactic-CPS M_s (Figure 6): {} | false returns: {} ==",
+                r.stats,
+                r.flows.false_return_edges()
+            );
+            print!("{}", render_cstore(&cps, &r.store));
+        }
+        Err(e) => println!("== syntactic-CPS M_s (Figure 6): {e} =="),
+    }
+    Ok(())
+}
+
+fn cmd_compare(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    if opts.domain != "flat" {
+        return Err("compare currently supports --domain flat only".into());
+    }
+    let (d, _) = seed_analyzers::<Flat>(prog, &opts);
+    let cps = CpsProgram::from_anf(prog);
+    let direct = d.analyze().map_err(|e| e.to_string())?;
+    let syn = SynCpsAnalyzer::<Flat>::new(&cps)
+        .with_budget(AnalysisBudget::new(opts.budget))
+        .analyze()
+        .map_err(|e| e.to_string())?;
+    let rows = compare_via_delta(prog, &cps, &direct.store, &syn.store);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.direct_image.to_string(),
+                r.cps_value.to_string(),
+                r.order.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["variable", "δe(direct)", "syntactic-CPS", "order"], &table)
+    );
+    println!("overall: {}", cpsdfa::analysis::deltae::overall(&rows));
+    Ok(())
+}
+
+fn cmd_optimize(prog: &AnfProgram) -> Result<(), String> {
+    println!("original:\n  {}\n", prog.root());
+    for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+        let (opt, stats) = optimize(prog, source).map_err(|e| e.to_string())?;
+        println!("facts from {source}:");
+        println!("  {}", opt.root());
+        println!("  [{stats}]\n");
+    }
+    Ok(())
+}

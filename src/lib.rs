@@ -1,0 +1,69 @@
+//! # cpsdfa — Is Continuation-Passing Useful for Data Flow Analysis?
+//!
+//! A Rust reproduction of **Sabry & Felleisen, PLDI 1994**. This facade crate
+//! re-exports the whole workspace so downstream users can depend on a single
+//! crate:
+//!
+//! * [`syntax`] — the source language Λ (§2): AST, parser, printer.
+//! * [`anf`] — A-normalization into the paper's restricted subset (§2).
+//! * [`cps`] — the CPS language cps(Λ) and the syntactic CPS transform (§3.3).
+//! * [`interp`] — the three concrete interpreters: direct `M` (Figure 1),
+//!   semantic-CPS `C` (Figure 2), syntactic-CPS `M_c` (Figure 3), plus the
+//!   relating function δ.
+//! * [`analysis`] — the three abstract collecting interpreters `M_e`, `C_e`,
+//!   `M_s` (Figures 4–6), abstract domains, precision comparison, flow
+//!   graphs, and the MFP/MOP substrate for the §6.2 discussion.
+//! * [`opt`] — an optimizer client (constant folding, branch elimination,
+//!   dead-code removal) that turns analyzer precision into enabled
+//!   rewrites.
+//! * [`workloads`] — the paper's worked examples and parametric program
+//!   families used by the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpsdfa::prelude::*;
+//!
+//! // Theorem 5.1's program: (let (a1 (f 1)) (let (a2 (f 2)) a1))
+//! let term = parse_term("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")?;
+//! let prog = AnfProgram::from_term(&term);
+//!
+//! // Direct analysis (Figure 4) proves a1 = 1 ...
+//! let direct = DirectAnalyzer::<Flat>::new(&prog).analyze()?;
+//! let a1 = prog.var_named("a1").unwrap();
+//! assert_eq!(direct.store.get(a1).num.as_const(), Some(1));
+//!
+//! // ... while the analysis of the CPS-transformed program (Figure 6) loses it.
+//! let cps = CpsProgram::from_anf(&prog);
+//! let syn = SynCpsAnalyzer::<Flat>::new(&cps).analyze()?;
+//! let a1c = cps.var_named("a1").unwrap();
+//! assert!(syn.store.get(a1c).num.is_top());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use cpsdfa_anf as anf;
+pub use cpsdfa_core as analysis;
+pub use cpsdfa_cps as cps;
+pub use cpsdfa_interp as interp;
+pub use cpsdfa_opt as opt;
+pub use cpsdfa_syntax as syntax;
+pub use cpsdfa_workloads as workloads;
+
+/// Convenient glob-import surface covering the common pipeline:
+/// parse → A-normalize → (CPS-transform) → analyze → compare.
+pub mod prelude {
+    pub use cpsdfa_anf::{AnfProgram, VarId};
+    pub use cpsdfa_core::deltae::{compare_via_delta, overall};
+    pub use cpsdfa_core::domain::{AnyNum, Flat, NumDomain, PowerSet};
+    pub use cpsdfa_core::precision::{compare_stores, Census, PrecisionOrder};
+    pub use cpsdfa_core::{
+        AbsVal, AnalysisBudget, AnalysisError, CAbsVal, DirectAnalyzer, SemCpsAnalyzer,
+        SynCpsAnalyzer,
+    };
+    pub use cpsdfa_cps::CpsProgram;
+    pub use cpsdfa_interp::{run_direct, run_reference, run_semcps, run_syncps, Fuel};
+    pub use cpsdfa_opt::{optimize, FactSource, OptStats};
+    pub use cpsdfa_syntax::parse::parse_term;
+    pub use cpsdfa_syntax::{build, Ident, Term};
+    pub use cpsdfa_workloads::{families, paper, random};
+}

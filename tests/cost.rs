@@ -1,0 +1,126 @@
+//! Machine-independent checks of §6.2's cost claims (the criterion benches
+//! measure wall time; these tests pin the *shape*).
+
+use cpsdfa::prelude::*;
+
+fn goals_direct(prog: &AnfProgram) -> u64 {
+    DirectAnalyzer::<Flat>::new(prog).analyze().unwrap().stats.goals
+}
+
+fn goals_semcps(prog: &AnfProgram) -> u64 {
+    SemCpsAnalyzer::<Flat>::new(prog).analyze().unwrap().stats.goals
+}
+
+fn goals_syncps(prog: &AnfProgram) -> u64 {
+    let cps = CpsProgram::from_anf(prog);
+    SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap().stats.goals
+}
+
+#[test]
+fn direct_cost_is_linear_in_conditional_count() {
+    let g4 = goals_direct(&AnfProgram::from_term(&families::cond_chain(4)));
+    let g8 = goals_direct(&AnfProgram::from_term(&families::cond_chain(8)));
+    let g12 = goals_direct(&AnfProgram::from_term(&families::cond_chain(12)));
+    assert_eq!(g8 - g4, g12 - g8, "direct growth is not linear: {g4} {g8} {g12}");
+}
+
+#[test]
+fn cps_style_cost_doubles_per_conditional() {
+    for goals in [goals_semcps as fn(&AnfProgram) -> u64, goals_syncps] {
+        let g: Vec<u64> = (4..=8)
+            .map(|n| goals(&AnfProgram::from_term(&families::cond_chain(n))))
+            .collect();
+        for w in g.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.8..=2.2).contains(&ratio),
+                "expected ~2x growth per conditional, got {ratio} in {g:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplication_cost_is_paid_even_without_precision_gain() {
+    // Arms agree (both 7): identical precision, still exponential cost.
+    let n = 8;
+    let prog = AnfProgram::from_term(&families::agreeing_cond_chain(n));
+    let d = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap();
+    let s = SemCpsAnalyzer::<Flat>::new(&prog).analyze().unwrap();
+    assert_eq!(compare_stores(&d.store, &s.store), PrecisionOrder::Equal);
+    assert!(
+        s.stats.goals > 20 * d.stats.goals,
+        "no duplication cost visible: direct {} vs semantic {}",
+        d.stats.goals,
+        s.stats.goals
+    );
+}
+
+#[test]
+fn false_return_edges_scale_with_call_sites() {
+    let mut last = 0;
+    for m in 2..=6 {
+        let prog = AnfProgram::from_term(&families::repeated_calls(m));
+        let cps = CpsProgram::from_anf(&prog);
+        let syn = SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap();
+        let edges = syn.flows.false_return_edges();
+        assert!(edges > last, "false returns did not grow at m={m}");
+        last = edges;
+    }
+}
+
+#[test]
+fn single_call_sites_produce_no_false_returns() {
+    let prog = AnfProgram::from_term(&families::repeated_calls(1));
+    let cps = CpsProgram::from_anf(&prog);
+    let syn = SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap();
+    assert_eq!(syn.flows.false_return_edges(), 0);
+}
+
+#[test]
+fn bounded_duplication_cost_is_bounded() {
+    // dup depth d on cond_chain(n) costs at most ~2^d extra, not 2^n.
+    let n = 12;
+    let prog = AnfProgram::from_term(&families::cond_chain(n));
+    let d0 = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap().stats.goals;
+    let d3 = DirectAnalyzer::<Flat>::new(&prog)
+        .with_duplication_depth(3)
+        .analyze()
+        .unwrap()
+        .stats
+        .goals;
+    let sem = goals_semcps(&prog);
+    assert!(d3 < sem / 4, "bounded duplication should be far below full duplication");
+    assert!(d3 >= d0, "duplication cannot be cheaper than merging");
+}
+
+#[test]
+fn semcps_loop_exhausts_any_budget_but_direct_terminates() {
+    let prog = AnfProgram::from_term(&families::loop_then_branch(2));
+    assert!(goals_direct(&prog) < 100);
+    for budget in [1_000, 50_000] {
+        let r = SemCpsAnalyzer::<Flat>::new(&prog)
+            .with_budget(AnalysisBudget::new(budget))
+            .analyze();
+        assert!(matches!(r, Err(AnalysisError::BudgetExhausted { .. })));
+    }
+    // The syntactic-CPS analyzer hits the same wall.
+    let cps = CpsProgram::from_anf(&prog);
+    let r = SynCpsAnalyzer::<Flat>::new(&cps)
+        .with_budget(AnalysisBudget::new(50_000))
+        .analyze();
+    assert!(matches!(r, Err(AnalysisError::BudgetExhausted { .. })));
+}
+
+#[test]
+fn widened_loop_rule_restores_termination_and_matches_direct() {
+    let prog = AnfProgram::from_term(&families::loop_then_branch(2));
+    let d = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap();
+    let w = SemCpsAnalyzer::<Flat>::new(&prog)
+        .with_loop_widening(true)
+        .analyze()
+        .unwrap();
+    // Widening loses exactly the per-path constants the faithful rule would
+    // have kept; what remains must still refine the direct result.
+    assert!(w.store.leq(&d.store));
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests: parse → normalize → transform → interpret →
+//! analyze → compare, plus failure-injection for every stage.
+
+use cpsdfa::prelude::*;
+use cpsdfa_core::mfp::{Cfg, PathMode};
+
+#[test]
+fn full_pipeline_on_a_realistic_program() {
+    // A small "max of two branches" routine with higher-order plumbing.
+    let src = "(let (twice (lambda (f) (lambda (x) (f (f x))))) \
+                 (let (inc2 (twice add1)) \
+                   (let (a (inc2 5)) \
+                     (let (b (if0 z a (inc2 a))) (add1 b)))))";
+    let prog = AnfProgram::parse(src).unwrap();
+    let cps = CpsProgram::from_anf(&prog);
+
+    // Concrete: z = 0 takes the then-branch.
+    let r0 = run_direct(&prog, &[(Ident::new("z"), 0)], Fuel::default()).unwrap();
+    assert_eq!(r0.value.as_num(), Some(8));
+    let r1 = run_direct(&prog, &[(Ident::new("z"), 1)], Fuel::default()).unwrap();
+    assert_eq!(r1.value.as_num(), Some(10));
+
+    // Abstract: a = 7 exactly; b merges 7 and 9.
+    let d = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap();
+    assert_eq!(d.store.get(prog.var_named("a").unwrap()).num.as_const(), Some(7));
+    assert!(d.store.get(prog.var_named("b").unwrap()).num.is_top());
+
+    // PowerSet keeps both values of b.
+    let ps = DirectAnalyzer::<PowerSet<8>>::new(&prog).analyze().unwrap();
+    let b = ps.store.get(prog.var_named("b").unwrap());
+    assert!(b.num.contains(7) && b.num.contains(9) && !b.num.contains(8));
+
+    // CPS path agrees through δe on the call structure.
+    let s = SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap();
+    assert!(s.stats.goals > 0);
+    assert!(run_syncps(&cps, &[(Ident::new("z"), 0)], Fuel::default())
+        .unwrap()
+        .value
+        .as_num()
+        .is_some());
+}
+
+#[test]
+fn budgets_degrade_gracefully_everywhere() {
+    let prog = AnfProgram::from_term(&families::cond_chain(12));
+    let tiny = AnalysisBudget::new(50);
+    assert!(matches!(
+        SemCpsAnalyzer::<Flat>::new(&prog).with_budget(tiny).analyze(),
+        Err(AnalysisError::BudgetExhausted { .. })
+    ));
+    // Direct fits easily in the same budget.
+    assert!(DirectAnalyzer::<Flat>::new(&prog).with_budget(tiny).analyze().is_ok());
+}
+
+#[test]
+fn stuck_programs_error_identically_across_interpreters() {
+    for src in ["(1 2)", "(add1 (lambda (x) x))", "(z 1)"] {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let inputs = [(Ident::new("z"), 3)];
+        let d = run_direct(&p, &inputs, Fuel::default()).unwrap_err();
+        let s = run_semcps(&p, &inputs, Fuel::default()).unwrap_err();
+        let m = run_syncps(&c, &inputs, Fuel::default()).unwrap_err();
+        assert_eq!(d, s, "{src}");
+        // The CPS machine renders values differently; compare error kinds.
+        assert_eq!(
+            std::mem::discriminant(&d),
+            std::mem::discriminant(&m),
+            "{src}: {d} vs {m}"
+        );
+    }
+}
+
+#[test]
+fn analyzers_tolerate_stuck_programs() {
+    // Abstract interpretation of dynamically-wrong programs must not panic:
+    // applying a number yields the empty closure set (dead continuation).
+    for src in ["(1 2)", "(let (a (z 1)) (add1 a))"] {
+        let p = AnfProgram::parse(src).unwrap();
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let _ = d.value;
+        let s = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let _ = s.value;
+        let c = CpsProgram::from_anf(&p);
+        let m = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        let _ = m.value;
+    }
+}
+
+#[test]
+fn first_order_programs_flow_into_the_mfp_substrate() {
+    let prog = AnfProgram::from_term(&families::diamond_chain(4));
+    let cfg = Cfg::from_first_order(&prog).unwrap();
+    let mfp = cfg.solve_mfp::<Flat>(cfg.initial_env(&prog));
+    let (mop, paths) = cfg
+        .solve_mop::<Flat>(cfg.initial_env(&prog), 1_000, PathMode::AllPaths)
+        .unwrap();
+    assert_eq!(paths, 16);
+    assert!(mop.leq(&mfp));
+
+    // The analyzers see the same per-variable information as MFP here
+    // (unknown conditions: no pruning). Free variables are excluded: the
+    // MFP summary only covers *defined* variables, while the analyzers
+    // seed free ones with ⊤.
+    let d = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap();
+    for (v, _name) in prog.iter_vars() {
+        if prog.free_vars().contains(&v) {
+            continue;
+        }
+        assert_eq!(
+            d.store.get(v).num,
+            *mfp.get(v),
+            "direct and MFP disagree at {_name}"
+        );
+    }
+}
+
+#[test]
+fn var_lookup_api_is_consistent_across_programs() {
+    let prog = AnfProgram::parse(paper::THEOREM_5_2_CASE_2).unwrap();
+    let cps = CpsProgram::from_anf(&prog);
+    for name in ["f", "a1", "a2", "s", "z"] {
+        let pv = prog.var_named(name).unwrap_or_else(|| panic!("anf: {name}"));
+        let cv = cps.var_named(name).unwrap_or_else(|| panic!("cps: {name}"));
+        assert_eq!(prog.ident(pv).as_str(), name);
+        assert_eq!(cps.key(cv).to_string(), name);
+    }
+}
+
+#[test]
+fn pretty_printers_round_trip_through_the_parser() {
+    for (_, src) in paper::all() {
+        let t1 = parse_term(src).unwrap();
+        let t2 = parse_term(&t1.to_string()).unwrap();
+        assert_eq!(t1, t2, "{src}");
+    }
+}

@@ -1,0 +1,113 @@
+//! §4.3's correctness criterion over random corpora: every concrete run is
+//! covered by every matching abstract analysis, for all three analyzers and
+//! multiple numeric domains.
+
+use cpsdfa::analysis::soundness::{check_direct, check_syncps};
+use cpsdfa::prelude::*;
+use cpsdfa_workloads::random::{corpus, GenConfig};
+
+const N: usize = 200;
+const SEED: u64 = 0x50_DA;
+
+fn big_fuel() -> Fuel {
+    Fuel::new(500_000)
+}
+
+#[test]
+fn direct_analyzer_covers_direct_runs_flat() {
+    for (i, t) in corpus(SEED, N, &GenConfig::default()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let conc = run_direct(&p, &[], big_fuel()).unwrap();
+        let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("#{i}: {e}\n{t}"));
+    }
+}
+
+#[test]
+fn direct_analyzer_covers_direct_runs_powerset() {
+    for (i, t) in corpus(SEED + 1, N, &GenConfig::default()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let conc = run_direct(&p, &[], big_fuel()).unwrap();
+        let abs = DirectAnalyzer::<PowerSet<16>>::new(&p).analyze().unwrap();
+        check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("#{i}: {e}\n{t}"));
+    }
+}
+
+#[test]
+fn semcps_analyzer_covers_concrete_runs() {
+    for (i, t) in corpus(SEED + 2, N, &GenConfig::default()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let conc = run_semcps(&p, &[], big_fuel()).unwrap();
+        let abs = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("#{i}: {e}\n{t}"));
+    }
+}
+
+#[test]
+fn syncps_analyzer_covers_concrete_runs() {
+    for (i, t) in corpus(SEED + 3, N, &GenConfig::default()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let conc = run_syncps(&c, &[], big_fuel()).unwrap();
+        let abs = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        check_syncps(&c, &conc.store, &abs.store).unwrap_or_else(|e| panic!("#{i}: {e}\n{t}"));
+    }
+}
+
+#[test]
+fn analyses_cover_runs_with_arbitrary_inputs() {
+    // Free variables default to ⊤, so any concrete input must be covered.
+    for z in [-7i64, 0, 1, 100] {
+        let inputs = [(Ident::new("z"), z)];
+        for t in [
+            families::cond_chain(4),
+            families::diamond_chain(3),
+            families::dispatch(3),
+        ] {
+            let p = AnfProgram::from_term(&t);
+            let conc = run_direct(&p, &inputs, big_fuel()).unwrap();
+            let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+            check_direct(&p, &conc.store, &abs.store)
+                .unwrap_or_else(|e| panic!("z={z}: {e}\n{t}"));
+            let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+            check_direct(&p, &conc.store, &sem.store)
+                .unwrap_or_else(|e| panic!("sem z={z}: {e}\n{t}"));
+        }
+    }
+}
+
+#[test]
+fn duplicating_direct_analyzer_remains_sound() {
+    for (i, t) in corpus(SEED + 4, 120, &GenConfig::default()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let conc = run_direct(&p, &[], big_fuel()).unwrap();
+        for depth in [1, 2, 4] {
+            let abs = DirectAnalyzer::<Flat>::new(&p)
+                .with_duplication_depth(depth)
+                .analyze()
+                .unwrap();
+            check_direct(&p, &conc.store, &abs.store)
+                .unwrap_or_else(|e| panic!("#{i} depth {depth}: {e}\n{t}"));
+        }
+    }
+}
+
+#[test]
+fn cycle_cut_results_still_cover_terminating_prefixes() {
+    // Ω-style programs diverge concretely, but recursive programs that
+    // *do* terminate must still be covered after §4.4 cuts fire.
+    // Build: (let (f (λx. (if0 x 0 (f-free x)))) (f 1)) is open; instead
+    // use self-application on a terminating path.
+    let src = "(let (w (lambda (x) (if0 x 7 (x x)))) (let (r (w 0)) r))";
+    let p = AnfProgram::parse(src).unwrap();
+    let conc = run_direct(&p, &[], big_fuel()).unwrap();
+    assert_eq!(conc.value.as_num(), Some(7));
+    let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    check_direct(&p, &conc.store, &abs.store).unwrap();
+    let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    check_direct(&p, &conc.store, &sem.store).unwrap();
+    let c = CpsProgram::from_anf(&p);
+    let cc = run_syncps(&c, &[], big_fuel()).unwrap();
+    let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+    check_syncps(&c, &cc.store, &syn.store).unwrap();
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the formal results of §5, on both the paper's own
+//! examples and seeded random corpora (experiments E1–E4).
+
+use cpsdfa::analysis::deltae::{compare_via_delta, overall};
+use cpsdfa::analysis::distrib;
+use cpsdfa::prelude::*;
+use cpsdfa_workloads::random::{corpus, open_config};
+
+const N: usize = 200;
+const SEED: u64 = 0x5AB27;
+
+/// Theorem 5.1: there exists a program where the direct analysis is
+/// strictly more precise than the syntactic-CPS analysis.
+#[test]
+fn theorem_5_1_direct_beats_syncps_on_pi1() {
+    let p = AnfProgram::parse(paper::THEOREM_5_1).unwrap();
+    let c = CpsProgram::from_anf(&p);
+    let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+    let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+
+    // The paper's literal claim: direct proves a1 = 1 ...
+    assert_eq!(d.store.get(p.var_named("a1").unwrap()).num.as_const(), Some(1));
+    assert_eq!(d.value.num.as_const(), Some(1));
+    // ... the CPS analysis does not.
+    assert!(s.store.get(c.var_named("a1").unwrap()).num.is_top());
+    assert!(s.value.num.is_top());
+
+    let rows = compare_via_delta(&p, &c, &d.store, &s.store);
+    assert_eq!(overall(&rows), PrecisionOrder::LeftMorePrecise);
+}
+
+/// Theorem 5.2: there exist programs where the syntactic-CPS analysis is
+/// strictly more precise than the direct analysis (both of the paper's
+/// cases).
+#[test]
+fn theorem_5_2_syncps_beats_direct_on_both_cases() {
+    for (src, expected) in [(paper::THEOREM_5_2_CASE_1, 3), (paper::THEOREM_5_2_CASE_2, 5)] {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        assert!(d.store.get(p.var_named("a2").unwrap()).num.is_top(), "{src}");
+        assert_eq!(
+            s.store.get(c.var_named("a2").unwrap()).num.as_const(),
+            Some(expected),
+            "{src}"
+        );
+        let rows = compare_via_delta(&p, &c, &d.store, &s.store);
+        assert_eq!(overall(&rows), PrecisionOrder::RightMorePrecise, "{src}");
+    }
+}
+
+/// Theorems 5.1 + 5.2 together: the two analyses are *incomparable* — the
+/// corpus census must find strict winners in both directions (and the union
+/// of the paper's two examples is itself incomparable).
+#[test]
+fn incomparability_census_on_corpus() {
+    let mut census = Census::default();
+    for t in corpus(SEED, N, &open_config()) {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        census.record(overall(&compare_via_delta(&p, &c, &d.store, &s.store)));
+    }
+    // Paper examples supply guaranteed strict instances in each direction.
+    for (src, dir) in [
+        (paper::THEOREM_5_1, PrecisionOrder::LeftMorePrecise),
+        (paper::THEOREM_5_2_CASE_1, PrecisionOrder::RightMorePrecise),
+    ] {
+        let p = AnfProgram::parse(src).unwrap();
+        let c = CpsProgram::from_anf(&p);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        assert_eq!(overall(&compare_via_delta(&p, &c, &d.store, &s.store)), dir);
+        census.record(dir);
+    }
+    assert!(census.left > 0, "no direct-wins instance: {census}");
+    assert!(census.right > 0, "no CPS-wins instance: {census}");
+    assert_eq!(census.total(), N + 2);
+}
+
+/// Theorem 5.4, ordering clause: the semantic-CPS analysis refines the
+/// direct analysis, always.
+#[test]
+fn theorem_5_4_semcps_refines_direct_on_corpus() {
+    for (i, t) in corpus(SEED + 1, N, &open_config()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let c = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        assert!(
+            c.store.leq(&d.store),
+            "#{i}: semantic-CPS store not ⊑ direct store for {t}"
+        );
+        assert!(c.value.leq(&d.value), "#{i}: value ordering violated for {t}");
+    }
+}
+
+/// Theorem 5.4, equality clause: for a distributive analysis the two
+/// results coincide.
+#[test]
+fn theorem_5_4_equality_for_distributive_domain_on_corpus() {
+    assert!(distrib::is_distributive::<AnyNum>());
+    for (i, t) in corpus(SEED + 2, N, &open_config()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        let c = SemCpsAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
+        assert_eq!(
+            compare_stores(&d.store, &c.store),
+            PrecisionOrder::Equal,
+            "#{i}: distributive analyses differ on {t}"
+        );
+        assert_eq!(d.value, c.value, "#{i}");
+    }
+}
+
+/// Theorem 5.5: the semantic-CPS analysis refines the syntactic-CPS
+/// analysis through δₑ.
+#[test]
+fn theorem_5_5_semcps_refines_syncps_on_corpus() {
+    for (i, t) in corpus(SEED + 3, N, &open_config()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let c = CpsProgram::from_anf(&p);
+        let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+        for r in compare_via_delta(&p, &c, &sem.store, &syn.store) {
+            assert!(
+                matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise),
+                "#{i}: theorem 5.5 violated at {} for {t}: {r}",
+                r.name
+            );
+        }
+    }
+}
+
+/// The §6.3 conclusion, quantified: bounded duplication moves the direct
+/// analysis monotonically toward the semantic-CPS result.
+#[test]
+fn bounded_duplication_interpolates_on_corpus() {
+    for (i, t) in corpus(SEED + 4, 100, &open_config()).into_iter().enumerate() {
+        let p = AnfProgram::from_term(&t);
+        let d0 = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        let d2 = DirectAnalyzer::<Flat>::new(&p).with_duplication_depth(2).analyze().unwrap();
+        let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
+        assert!(d2.store.leq(&d0.store), "#{i}: duplication lost precision on {t}");
+        assert!(sem.store.leq(&d2.store), "#{i}: semantic-CPS not ⊑ dup-2 on {t}");
+    }
+}
+
+/// Theorem 5.2's gains are reproduced by the §6.3 bounded-duplication
+/// *direct* analyzer — the paper's final recommendation.
+#[test]
+fn section_6_3_duplicating_direct_matches_cps_gains() {
+    for (src, expected) in [(paper::THEOREM_5_2_CASE_1, 3), (paper::THEOREM_5_2_CASE_2, 5)] {
+        let p = AnfProgram::parse(src).unwrap();
+        let d = DirectAnalyzer::<Flat>::new(&p)
+            .with_duplication_depth(1)
+            .analyze()
+            .unwrap();
+        assert_eq!(
+            d.store.get(p.var_named("a2").unwrap()).num.as_const(),
+            Some(expected),
+            "{src}"
+        );
+    }
+}
