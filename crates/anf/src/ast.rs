@@ -83,7 +83,10 @@ pub enum AValKind {
 impl Anf {
     /// Creates an unlabeled node; labels are assigned by the program builder.
     pub fn new(kind: AnfKind) -> Self {
-        Anf { label: Label::UNASSIGNED, kind }
+        Anf {
+            label: Label::UNASSIGNED,
+            kind,
+        }
     }
 
     /// The number of nodes (terms + values) in the term.
@@ -159,7 +162,10 @@ impl Anf {
 impl AVal {
     /// Creates an unlabeled value node.
     pub fn new(kind: AValKind) -> Self {
-        AVal { label: Label::UNASSIGNED, kind }
+        AVal {
+            label: Label::UNASSIGNED,
+            kind,
+        }
     }
 
     /// The number of nodes in the value.

@@ -44,7 +44,11 @@ fn norm_term<'a>(term: &'a Term, gen: &mut FreshGen, k: K<'a>) -> Anf {
             gen,
             Box::new(move |gen, bind| {
                 let body = norm_term(body, gen, k);
-                Anf::new(AnfKind::Let { var: x.clone(), bind, body: Box::new(body) })
+                Anf::new(AnfKind::Let {
+                    var: x.clone(),
+                    bind,
+                    body: Box::new(body),
+                })
             }),
         ),
         // Unnamed serious terms: name the result and continue with the name.
@@ -55,7 +59,11 @@ fn norm_term<'a>(term: &'a Term, gen: &mut FreshGen, k: K<'a>) -> Anf {
                 let t = gen.fresh("t");
                 let var_ref = AVal::new(AValKind::Var(t.clone()));
                 let body = k(gen, var_ref);
-                Anf::new(AnfKind::Let { var: t, bind, body: Box::new(body) })
+                Anf::new(AnfKind::Let {
+                    var: t,
+                    bind,
+                    body: Box::new(body),
+                })
             }),
         ),
     }
@@ -73,11 +81,7 @@ fn norm_bind<'a>(term: &'a Term, gen: &mut FreshGen, kb: KB<'a>) -> Anf {
             f,
             gen,
             Box::new(move |gen, vf| {
-                norm_term(
-                    a,
-                    gen,
-                    Box::new(move |gen, va| kb(gen, Bind::App(vf, va))),
-                )
+                norm_term(a, gen, Box::new(move |gen, va| kb(gen, Bind::App(vf, va))))
             }),
         ),
         Term::If0(c, t, e) => norm_term(
@@ -95,7 +99,11 @@ fn norm_bind<'a>(term: &'a Term, gen: &mut FreshGen, kb: KB<'a>) -> Anf {
             gen,
             Box::new(move |gen, bind_rhs| {
                 let rest = norm_bind(body, gen, kb);
-                Anf::new(AnfKind::Let { var: y.clone(), bind: bind_rhs, body: Box::new(rest) })
+                Anf::new(AnfKind::Let {
+                    var: y.clone(),
+                    bind: bind_rhs,
+                    body: Box::new(rest),
+                })
             }),
         ),
         Term::Loop => kb(gen, Bind::Loop),

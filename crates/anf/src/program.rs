@@ -56,7 +56,10 @@ impl fmt::Display for AnfError {
         match self {
             AnfError::DuplicateBinder(x) => write!(f, "duplicate binder `{x}`"),
             AnfError::BinderShadowsFree(x) => {
-                write!(f, "binder `{x}` collides with a free variable of the program")
+                write!(
+                    f,
+                    "binder `{x}` collides with a free variable of the program"
+                )
             }
         }
     }
@@ -260,7 +263,10 @@ impl AnfProgram {
 
     /// Iterates over `(VarId, name)` pairs in index order.
     pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &Ident)> {
-        self.vars.iter().enumerate().map(|(i, x)| (VarId(i as u32), x))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (VarId(i as u32), x))
     }
 
     /// The free variables of the program (their ids precede all binders).
@@ -283,7 +289,12 @@ impl AnfProgram {
                 let param_id = self.var_id(x).expect("lambda parameter is indexed");
                 out.insert(
                     v.label,
-                    LambdaRef { label: v.label, param: x, param_id, body },
+                    LambdaRef {
+                        label: v.label,
+                        param: x,
+                        param_id,
+                        body,
+                    },
                 );
             }
         });

@@ -18,11 +18,9 @@ fn bench_cond_chain(c: &mut Criterion) {
     for n in [2usize, 4, 6, 8, 10] {
         let prog = AnfProgram::from_term(&families::cond_chain(n));
         for analyzer in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
-            group.bench_with_input(
-                BenchmarkId::new(analyzer.label(), n),
-                &prog,
-                |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
-            );
+            group.bench_with_input(BenchmarkId::new(analyzer.label(), n), &prog, |b, prog| {
+                b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog)))
+            });
         }
     }
     group.finish();

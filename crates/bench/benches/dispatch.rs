@@ -18,11 +18,9 @@ fn bench_dispatch(c: &mut Criterion) {
     for k in [1usize, 2, 4, 8] {
         let prog = AnfProgram::from_term(&families::dispatch(k));
         for analyzer in [Analyzer::Direct, Analyzer::SemCps, Analyzer::SynCps] {
-            group.bench_with_input(
-                BenchmarkId::new(analyzer.label(), k),
-                &prog,
-                |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
-            );
+            group.bench_with_input(BenchmarkId::new(analyzer.label(), k), &prog, |b, prog| {
+                b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog)))
+            });
         }
     }
     group.finish();

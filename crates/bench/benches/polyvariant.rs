@@ -22,11 +22,9 @@ fn bench_polyvariant(c: &mut Criterion) {
         Analyzer::DirectDup(4),
         Analyzer::SemCps,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new(analyzer.label(), 10),
-            &prog,
-            |b, prog| b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog))),
-        );
+        group.bench_with_input(BenchmarkId::new(analyzer.label(), 10), &prog, |b, prog| {
+            b.iter(|| black_box(run_blackbox::<Flat>(analyzer, prog)))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,67 @@
+//! Tentpole measurement: the sparse worklist engine (hash-consed set pool,
+//! dependency-driven firing) against the original dense formulations of
+//! the same three fixpoints — source 0CFA, CPS 0CFA, and MFP — on the
+//! families ladder at three sizes each.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps, zero_cfa_cps_dense, zero_cfa_dense};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_core::mfp::Cfg;
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+type Family = (&'static str, fn(usize) -> cpsdfa_syntax::Term);
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+
+    let ladder: [Family; 3] = [
+        ("cond-chain", families::cond_chain),
+        ("dispatch", families::dispatch),
+        ("polyvariant", families::repeated_calls),
+    ];
+    for (family, build) in ladder {
+        for size in [8usize, 32, 128] {
+            let prog = AnfProgram::from_term(&build(size));
+            let cps = CpsProgram::from_anf(&prog);
+            let id = format!("{family}-{size}");
+            group.bench_with_input(BenchmarkId::new("0cfa-sparse", &id), &prog, |b, p| {
+                b.iter(|| black_box(zero_cfa(p).iterations))
+            });
+            group.bench_with_input(BenchmarkId::new("0cfa-dense", &id), &prog, |b, p| {
+                b.iter(|| black_box(zero_cfa_dense(p).iterations))
+            });
+            group.bench_with_input(BenchmarkId::new("0cfa-cps-sparse", &id), &cps, |b, p| {
+                b.iter(|| black_box(zero_cfa_cps(p).iterations))
+            });
+            group.bench_with_input(BenchmarkId::new("0cfa-cps-dense", &id), &cps, |b, p| {
+                b.iter(|| black_box(zero_cfa_cps_dense(p).iterations))
+            });
+        }
+    }
+
+    // MFP needs the first-order fragment: the diamond chain is the ladder's
+    // first-order member.
+    for size in [8usize, 32, 128] {
+        let prog = AnfProgram::from_term(&families::diamond_chain(size));
+        let cfg = Cfg::from_first_order(&prog).unwrap();
+        let init = cfg.initial_env::<Flat>(&prog);
+        let id = format!("diamond-{size}");
+        group.bench_with_input(BenchmarkId::new("mfp-sparse", &id), &cfg, |b, g| {
+            b.iter(|| black_box(g.solve_mfp::<Flat>(init.clone()).vars.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("mfp-dense", &id), &cfg, |b, g| {
+            b.iter(|| black_box(g.solve_mfp_dense::<Flat>(init.clone()).vars.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -9,20 +9,19 @@
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_bench::{run_goals, Analyzer};
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps};
 use cpsdfa_core::deltae::{compare_via_delta, overall};
 use cpsdfa_core::distrib;
-use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps};
 use cpsdfa_core::domain::{AnyNum, Flat, Interval, NumDomain, Parity, PowerSet, Sign};
 use cpsdfa_core::mfp::{Cfg, Cond, Node, NodeId, PathMode, Stmt};
 use cpsdfa_core::precision::{compare_stores, Census};
 use cpsdfa_core::report::render_table;
-use cpsdfa_core::{
-    AnalysisBudget, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer,
-};
+use cpsdfa_core::{AnalysisBudget, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
 use cpsdfa_cps::CpsProgram;
 use cpsdfa_interp::{
     run_direct, run_semcps, run_syncps, stores_delta_related, value_delta_eq, Fuel,
 };
+use cpsdfa_workloads::par::par_map;
 use cpsdfa_workloads::random::{corpus, open_config, GenConfig};
 use cpsdfa_workloads::{families, paper};
 
@@ -82,6 +81,9 @@ fn main() {
     if want("E15") {
         e15_optimizer();
     }
+    if want("E16") {
+        e16_solver_cost();
+    }
 }
 
 fn section(id: &str, title: &str) {
@@ -94,39 +96,48 @@ fn fuel() -> Fuel {
 
 /// E0: Lemmas 3.1 and 3.3 over a 500-program random corpus.
 fn e0_lemmas() {
-    section("E0", "Lemmas 3.1 / 3.3: the three interpreters agree (500 random programs)");
+    section(
+        "E0",
+        "Lemmas 3.1 / 3.3: the three interpreters agree (500 random programs)",
+    );
     let cfg = GenConfig::default();
     let n = 500;
-    let mut ok31 = 0;
-    let mut ok33_val = 0;
-    let mut ok33_sto = 0;
-    for t in corpus(0xE0, n, &cfg) {
-        let p = AnfProgram::from_term(&t);
+    let progs = corpus(0xE0, n, &cfg);
+    let checks = par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
         let c = CpsProgram::from_anf(&p);
         let d = run_direct(&p, &[], fuel()).expect("typed corpus runs");
         let s = run_semcps(&p, &[], fuel()).expect("typed corpus runs");
         let m = run_syncps(&c, &[], fuel()).expect("typed corpus runs");
-        if d.value.as_num() == s.value.as_num() {
-            ok31 += 1;
-        }
-        if value_delta_eq(&d.value, &m.value, c.label_map()) {
-            ok33_val += 1;
-        }
-        if stores_delta_related(&d.store, &m.store, c.label_map()) {
-            ok33_sto += 1;
-        }
-    }
+        (
+            d.value.as_num() == s.value.as_num(),
+            value_delta_eq(&d.value, &m.value, c.label_map()),
+            stores_delta_related(&d.store, &m.store, c.label_map()),
+        )
+    });
+    let ok31 = checks.iter().filter(|r| r.0).count();
+    let ok33_val = checks.iter().filter(|r| r.1).count();
+    let ok33_sto = checks.iter().filter(|r| r.2).count();
     let rows = vec![
         vec!["Lemma 3.1: M ≡ C (answers)".into(), format!("{ok31}/{n}")],
-        vec!["Lemma 3.3: M_c ≡ δ(M) (answers)".into(), format!("{ok33_val}/{n}")],
-        vec!["Lemma 3.3: stores δ-related".into(), format!("{ok33_sto}/{n}")],
+        vec![
+            "Lemma 3.3: M_c ≡ δ(M) (answers)".into(),
+            format!("{ok33_val}/{n}"),
+        ],
+        vec![
+            "Lemma 3.3: stores δ-related".into(),
+            format!("{ok33_sto}/{n}"),
+        ],
     ];
     println!("{}", render_table(&["claim", "holds"], &rows));
 }
 
 /// E1: Theorem 5.1 — the worked example, all three analyzers.
 fn e1_theorem_5_1() {
-    section("E1", "Theorem 5.1: direct analysis strictly beats syntactic-CPS on Π1");
+    section(
+        "E1",
+        "Theorem 5.1: direct analysis strictly beats syntactic-CPS on Π1",
+    );
     println!("program: {}\n", paper::THEOREM_5_1);
     let p = AnfProgram::parse(paper::THEOREM_5_1).unwrap();
     let c = CpsProgram::from_anf(&p);
@@ -149,7 +160,15 @@ fn e1_theorem_5_1() {
     }
     println!(
         "{}",
-        render_table(&["variable", "direct M_e", "semantic-CPS C_e", "syntactic-CPS M_s"], &rows)
+        render_table(
+            &[
+                "variable",
+                "direct M_e",
+                "semantic-CPS C_e",
+                "syntactic-CPS M_s"
+            ],
+            &rows
+        )
     );
     let cross = compare_via_delta(&p, &c, &d.store, &syn.store);
     println!("δe comparison (Theorem 5.1 statement): {}", overall(&cross));
@@ -158,10 +177,21 @@ fn e1_theorem_5_1() {
 
 /// E2: Theorem 5.2 — both worked examples.
 fn e2_theorem_5_2() {
-    section("E2", "Theorem 5.2: syntactic-CPS strictly beats direct (duplication)");
+    section(
+        "E2",
+        "Theorem 5.2: syntactic-CPS strictly beats direct (duplication)",
+    );
     for (case, src, expect) in [
-        ("case 1 (branch correlation)", paper::THEOREM_5_2_CASE_1, 3i64),
-        ("case 2 (callee correlation)", paper::THEOREM_5_2_CASE_2, 5i64),
+        (
+            "case 1 (branch correlation)",
+            paper::THEOREM_5_2_CASE_1,
+            3i64,
+        ),
+        (
+            "case 2 (callee correlation)",
+            paper::THEOREM_5_2_CASE_2,
+            5i64,
+        ),
     ] {
         println!("-- {case}: {src}\n");
         let p = AnfProgram::parse(src).unwrap();
@@ -184,18 +214,28 @@ fn e2_theorem_5_2() {
 
 /// E3: Theorem 5.4 over a corpus, both clauses.
 fn e3_theorem_5_4() {
-    section("E3", "Theorem 5.4: C_e refines M_e; equal iff the analysis is distributive");
+    section(
+        "E3",
+        "Theorem 5.4: C_e refines M_e; equal iff the analysis is distributive",
+    );
     let n = 300;
     let mut flat = Census::default();
     let mut any = Census::default();
-    for t in corpus(0xE3, n, &open_config()) {
-        let p = AnfProgram::from_term(&t);
+    let progs = corpus(0xE3, n, &open_config());
+    let orders = par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
         let df = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
         let cf = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
-        flat.record(compare_stores(&cf.store, &df.store));
         let da = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
         let ca = SemCpsAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
-        any.record(compare_stores(&ca.store, &da.store));
+        (
+            compare_stores(&cf.store, &df.store),
+            compare_stores(&ca.store, &da.store),
+        )
+    });
+    for (flat_ord, any_ord) in orders {
+        flat.record(flat_ord);
+        any.record(any_ord);
     }
     let rows = vec![
         vec![
@@ -218,7 +258,14 @@ fn e3_theorem_5_4() {
     println!(
         "{}",
         render_table(
-            &["domain", "Def 5.3 holds", "equal", "C_e strictly better", "M_e better (!)", "incomparable (!)"],
+            &[
+                "domain",
+                "Def 5.3 holds",
+                "equal",
+                "C_e strictly better",
+                "M_e better (!)",
+                "incomparable (!)"
+            ],
             &rows
         )
     );
@@ -228,15 +275,21 @@ fn e3_theorem_5_4() {
 
 /// E4: Theorem 5.5 over a corpus.
 fn e4_theorem_5_5() {
-    section("E4", "Theorem 5.5: δe(C_e) refines M_s (semantic- vs syntactic-CPS)");
+    section(
+        "E4",
+        "Theorem 5.5: δe(C_e) refines M_s (semantic- vs syntactic-CPS)",
+    );
     let n = 300;
     let mut census = Census::default();
-    for t in corpus(0xE4, n, &open_config()) {
-        let p = AnfProgram::from_term(&t);
+    let progs = corpus(0xE4, n, &open_config());
+    for order in par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
         let c = CpsProgram::from_anf(&p);
         let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
         let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
-        census.record(overall(&compare_via_delta(&p, &c, &sem.store, &syn.store)));
+        overall(&compare_via_delta(&p, &c, &sem.store, &syn.store))
+    }) {
+        census.record(order);
     }
     // Random programs rarely call one procedure twice, so add the family
     // that drives false returns (strict instances of the theorem).
@@ -267,7 +320,13 @@ fn e4_theorem_5_5() {
     println!(
         "{}",
         render_table(
-            &["corpus", "equal", "C_e strictly better", "M_s better (!)", "incomparable (!)"],
+            &[
+                "corpus",
+                "equal",
+                "C_e strictly better",
+                "M_s better (!)",
+                "incomparable (!)"
+            ],
             &rows
         )
     );
@@ -277,7 +336,10 @@ fn e4_theorem_5_5() {
 
 /// E5: §6.1 false-return census on repeated calls and dispatch.
 fn e5_false_returns() {
-    section("E5", "§6.1 false returns: merged continuation edges, CPS analysis only");
+    section(
+        "E5",
+        "§6.1 false returns: merged continuation edges, CPS analysis only",
+    );
     let mut rows = Vec::new();
     for m in 1..=8 {
         let p = AnfProgram::from_term(&families::repeated_calls(m));
@@ -298,7 +360,13 @@ fn e5_false_returns() {
     println!(
         "{}",
         render_table(
-            &["calls m", "direct false returns", "CPS false returns", "direct σ(a1)", "CPS σ(a1)"],
+            &[
+                "calls m",
+                "direct false returns",
+                "CPS false returns",
+                "direct σ(a1)",
+                "CPS σ(a1)"
+            ],
             &rows
         )
     );
@@ -308,7 +376,10 @@ fn e5_false_returns() {
 
 /// E6: §6.2 cost on cond_chain.
 fn e6_cond_chain_cost() {
-    section("E6", "§6.2 duplication cost: goals on cond_chain(n) (2^n paths)");
+    section(
+        "E6",
+        "§6.2 duplication cost: goals on cond_chain(n) (2^n paths)",
+    );
     let budget = AnalysisBudget::new(3_000_000);
     let mut rows = Vec::new();
     for n in 1..=14 {
@@ -331,7 +402,10 @@ fn e6_cond_chain_cost() {
 
 /// E7: §6.2 cost at call sites: dispatch(k) × repeated conditionals.
 fn e7_dispatch_cost() {
-    section("E7", "§6.2 duplication cost at call sites: dispatch(k) goals");
+    section(
+        "E7",
+        "§6.2 duplication cost at call sites: dispatch(k) goals",
+    );
     let budget = AnalysisBudget::new(3_000_000);
     let mut rows = Vec::new();
     for k in 1..=8 {
@@ -347,7 +421,10 @@ fn e7_dispatch_cost() {
     }
     println!(
         "{}",
-        render_table(&["closures k", "direct", "semantic-cps", "syntactic-cps"], &rows)
+        render_table(
+            &["closures k", "direct", "semantic-cps", "syntactic-cps"],
+            &rows
+        )
     );
     println!("paper expectation: at a call site the continuation is analyzed once per");
     println!("abstract closure — CPS-style cost grows with k while direct joins first.");
@@ -355,7 +432,10 @@ fn e7_dispatch_cost() {
 
 /// E8: §6.2 non-computability with the loop construct.
 fn e8_loop_noncomputability() {
-    section("E8", "§6.2 loop: the semantic-CPS analysis is not computable");
+    section(
+        "E8",
+        "§6.2 loop: the semantic-CPS analysis is not computable",
+    );
     let p = AnfProgram::from_term(&families::loop_then_branch(1));
     println!("program: {}\n", p.root());
     let mut rows = Vec::new();
@@ -412,13 +492,17 @@ fn e9_mop_vs_mfp() {
         let cfg = Cfg::from_first_order(&p).unwrap();
         let init = cfg.initial_env::<Flat>(&p);
         let mfp = cfg.solve_mfp::<Flat>(init.clone());
-        let (mop, paths) = cfg.solve_mop::<Flat>(init, 100_000, PathMode::AllPaths).unwrap();
+        let (mop, paths) = cfg
+            .solve_mop::<Flat>(init, 100_000, PathMode::AllPaths)
+            .unwrap();
         let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
         let bound_vars: Vec<_> = p
             .iter_vars()
             .filter(|(v, _)| !p.free_vars().contains(v))
             .collect();
-        let direct_eq_mfp = bound_vars.iter().all(|(v, _)| d.store.get(*v).num == *mfp.get(*v));
+        let direct_eq_mfp = bound_vars
+            .iter()
+            .all(|(v, _)| d.store.get(*v).num == *mfp.get(*v));
         let mop_eq_mfp = mop.leq(&mfp) && mfp.leq(&mop);
         rows.push(vec![
             n.to_string(),
@@ -430,7 +514,12 @@ fn e9_mop_vs_mfp() {
     println!(
         "{}",
         render_table(
-            &["diamonds n", "graph paths", "M_e = MFP", "MOP(all) = MFP (unary ⇒ distributive)"],
+            &[
+                "diamonds n",
+                "graph paths",
+                "M_e = MFP",
+                "MOP(all) = MFP (unary ⇒ distributive)"
+            ],
             &rows
         )
     );
@@ -442,7 +531,9 @@ fn e9_mop_vs_mfp() {
     let (mop_f, paths_f) = cfg
         .solve_mop::<Flat>(init.clone(), 100_000, PathMode::FeasiblePaths)
         .unwrap();
-    let (mop_a, paths_a) = cfg.solve_mop::<Flat>(init, 100_000, PathMode::AllPaths).unwrap();
+    let (mop_a, paths_a) = cfg
+        .solve_mop::<Flat>(init, 100_000, PathMode::AllPaths)
+        .unwrap();
     let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
     let a2 = p.var_named("a2").unwrap();
     let rows = vec![vec![
@@ -454,7 +545,12 @@ fn e9_mop_vs_mfp() {
     println!(
         "{}",
         render_table(
-            &["paths all/feasible", "MOP(all) σ(a2)", "MOP(feasible) σ(a2)", "C_e σ(a2)"],
+            &[
+                "paths all/feasible",
+                "MOP(all) σ(a2)",
+                "MOP(feasible) σ(a2)",
+                "C_e σ(a2)"
+            ],
             &rows
         )
     );
@@ -463,31 +559,71 @@ fn e9_mop_vs_mfp() {
     use cpsdfa_anf::VarId;
     let (a, b, c, z) = (VarId(0), VarId(1), VarId(2), VarId(3));
     let nodes = vec![
-        Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None },
-        Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
-        Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
-        Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
-        Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
-        Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
-        Node { stmt: Stmt::Sum(c, a, b), succs: vec![NodeId(7)], cond: None },
-        Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+        Node {
+            stmt: Stmt::Havoc(z),
+            succs: vec![NodeId(1)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Nop,
+            succs: vec![NodeId(2), NodeId(4)],
+            cond: Some(Cond::Var(z)),
+        },
+        Node {
+            stmt: Stmt::Const(a, 1),
+            succs: vec![NodeId(3)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(b, 2),
+            succs: vec![NodeId(6)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(a, 2),
+            succs: vec![NodeId(5)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(b, 1),
+            succs: vec![NodeId(6)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Sum(c, a, b),
+            succs: vec![NodeId(7)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Nop,
+            succs: vec![],
+            cond: None,
+        },
     ];
     let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
     let mfp = g.solve_mfp::<Flat>(g.bottom_env());
-    let (mop, _) = g.solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths).unwrap();
+    let (mop, _) = g
+        .solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths)
+        .unwrap();
     let rows = vec![vec![
         "c := a + b (hand-built)".into(),
         mfp.get(c).to_string(),
         mop.get(c).to_string(),
     ]];
-    println!("{}", render_table(&["Kam–Ullman classic", "MFP", "MOP"], &rows));
+    println!(
+        "{}",
+        render_table(&["Kam–Ullman classic", "MFP", "MOP"], &rows)
+    );
     println!("paper expectation: MOP proves c = 3 where MFP reports ⊤ — and MOP is not");
     println!("computable in general, which is why the loop rule of E8 cannot be fixed.");
 }
 
 /// E10: §6.3 — bounded duplication as the practical alternative.
 fn e10_bounded_duplication() {
-    section("E10", "§6.3 ablation: direct analysis + bounded duplication");
+    section(
+        "E10",
+        "§6.3 ablation: direct analysis + bounded duplication",
+    );
     // Precision on the paper's examples, cost on cond_chain(12).
     let chain = AnfProgram::from_term(&families::cond_chain(12));
     let mut rows = Vec::new();
@@ -536,7 +672,12 @@ fn e10_bounded_duplication() {
     println!(
         "{}",
         render_table(
-            &["analyzer", "Thm5.2c1 σ(a2)", "Thm5.2c2 σ(a2)", "goals on cond_chain(12)"],
+            &[
+                "analyzer",
+                "Thm5.2c1 σ(a2)",
+                "Thm5.2c2 σ(a2)",
+                "goals on cond_chain(12)"
+            ],
             &rows
         )
     );
@@ -570,17 +711,21 @@ fn e11_domain_sensitivity() {
         let s = SemCpsAnalyzer::<D>::new(&p).analyze().unwrap();
         let strict = s.store.leq(&d.store) && !d.store.leq(&s.store);
         // corpus census of C_e ⊑ M_e strictness
-        let mut strict_count = 0usize;
         let n = 120;
-        for t in corpus(0xE11, n, &open_config()) {
-            let prog = AnfProgram::from_term(&t);
+        let progs = corpus(0xE11, n, &open_config());
+        let strict_count = par_map(&progs, |t| {
+            let prog = AnfProgram::from_term(t);
             let dd = DirectAnalyzer::<D>::new(&prog).analyze().unwrap();
             let cc = SemCpsAnalyzer::<D>::new(&prog).analyze().unwrap();
-            assert!(cc.store.leq(&dd.store), "Theorem 5.4 ordering violated for {name}");
-            if !dd.store.leq(&cc.store) {
-                strict_count += 1;
-            }
-        }
+            assert!(
+                cc.store.leq(&dd.store),
+                "Theorem 5.4 ordering violated for {name}"
+            );
+            !dd.store.leq(&cc.store)
+        })
+        .into_iter()
+        .filter(|&strict| strict)
+        .count();
         vec![
             name.to_owned(),
             distrib::is_distributive::<D>().to_string(),
@@ -641,22 +786,32 @@ fn e12_zero_cfa() {
     println!(
         "{}",
         render_table(
-            &["calls m", "0CFA false returns", "M_s false returns", "0CFA iterations"],
+            &[
+                "calls m",
+                "0CFA false returns",
+                "M_s false returns",
+                "0CFA iterations"
+            ],
             &rows
         )
     );
 
     // Part 2: source-level 0CFA vs M_e closure sets on a corpus.
     let n = 200;
-    let mut agree = 0;
-    for t in corpus(0xE12, n, &open_config()) {
-        let p = AnfProgram::from_term(&t);
+    let progs = corpus(0xE12, n, &open_config());
+    let agree = par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
         let cfa = zero_cfa(&p);
         let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
-        if p.iter_vars().all(|(v, _)| cfa.get(v) == &d.store.get(v).clos) {
-            agree += 1;
+        let mut same = true;
+        for (v, _) in p.iter_vars() {
+            same &= cfa.get(v) == &d.store.get(v).clos;
         }
-    }
+        same
+    })
+    .into_iter()
+    .filter(|&same| same)
+    .count();
     println!("source-level 0CFA = M_e closure sets on {agree}/{n} random programs.");
 
     // Part 3: the documented divergence — least fixpoints beat §4.4 cuts.
@@ -681,10 +836,7 @@ fn e13_small_scope() {
     );
     let size = 7;
     let all = enumerate_terms(size);
-    let mut checked = 0usize;
-    let mut strict_54 = 0usize;
-    let mut strict_55 = 0usize;
-    for t in &all {
+    let strictness = par_map(&all, |t| {
         let p = AnfProgram::from_term(t);
         let c = CpsProgram::from_anf(&p);
         let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
@@ -694,9 +846,6 @@ fn e13_small_scope() {
             sem.store.leq(&d.store),
             "Theorem 5.4 ordering violated on {t}"
         );
-        if !d.store.leq(&sem.store) {
-            strict_54 += 1;
-        }
         let rows = compare_via_delta(&p, &c, &sem.store, &syn.store);
         let mut any_strict = false;
         for r in &rows {
@@ -711,17 +860,26 @@ fn e13_small_scope() {
             );
             any_strict |= r.order == cpsdfa_core::PrecisionOrder::LeftMorePrecise;
         }
-        if any_strict {
-            strict_55 += 1;
-        }
-        checked += 1;
-    }
+        (!d.store.leq(&sem.store), any_strict)
+    });
+    let checked = strictness.len();
+    let strict_54 = strictness.iter().filter(|s| s.0).count();
+    let strict_55 = strictness.iter().filter(|s| s.1).count();
     let rows = vec![
-        vec!["programs checked (size ≤ 7, exhaustive)".into(), checked.to_string()],
+        vec![
+            "programs checked (size ≤ 7, exhaustive)".into(),
+            checked.to_string(),
+        ],
         vec!["Theorem 5.4 violations".into(), "0".into()],
         vec!["Theorem 5.5 violations".into(), "0".into()],
-        vec!["strict C_e-over-M_e instances".into(), strict_54.to_string()],
-        vec!["strict C_e-over-M_s instances".into(), strict_55.to_string()],
+        vec![
+            "strict C_e-over-M_e instances".into(),
+            strict_54.to_string(),
+        ],
+        vec![
+            "strict C_e-over-M_s instances".into(),
+            strict_55.to_string(),
+        ],
     ];
     println!("{}", render_table(&["small-scope census", "count"], &rows));
     println!("every well-scoped program with ≤ {size} nodes over the small vocabulary");
@@ -753,7 +911,12 @@ fn e14_context_sensitivity() {
     println!(
         "{}",
         render_table(
-            &["calls m", "0CFA false returns", "cont-polyvariant false returns", "states"],
+            &[
+                "calls m",
+                "0CFA false returns",
+                "cont-polyvariant false returns",
+                "states"
+            ],
             &rows
         )
     );
@@ -779,16 +942,30 @@ fn e15_optimizer() {
     ] {
         let p = AnfProgram::parse(src).unwrap();
         let mut row = vec![name.to_owned(), p.root().size().to_string()];
-        for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+        for source in [
+            FactSource::Direct,
+            FactSource::DirectDup(1),
+            FactSource::SemCps,
+        ] {
             let (q, stats) = optimize(&p, source).unwrap();
-            row.push(format!("{} ({} rw)", q.root().size(), stats.total_rewrites()));
+            row.push(format!(
+                "{} ({} rw)",
+                q.root().size(),
+                stats.total_rewrites()
+            ));
         }
         rows.push(row);
     }
     println!(
         "{}",
         render_table(
-            &["program", "size", "direct: residue", "direct+dup1", "semantic-cps"],
+            &[
+                "program",
+                "size",
+                "direct: residue",
+                "direct+dup1",
+                "semantic-cps"
+            ],
             &rows
         )
     );
@@ -798,16 +975,28 @@ fn e15_optimizer() {
     let mut sums = [0usize; 3];
     let mut rewrites = [0usize; 3];
     let mut original = 0usize;
-    for t in corpus(0xE15, n, &open_config()) {
-        let p = AnfProgram::from_term(&t);
-        original += p.root().size();
-        for (i, source) in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps]
-            .into_iter()
-            .enumerate()
+    let progs = corpus(0xE15, n, &open_config());
+    let per_prog = par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
+        let mut residues = [(0usize, 0usize); 3];
+        for (i, source) in [
+            FactSource::Direct,
+            FactSource::DirectDup(1),
+            FactSource::SemCps,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let (q, stats) = optimize(&p, source).unwrap();
-            sums[i] += q.root().size();
-            rewrites[i] += stats.total_rewrites();
+            residues[i] = (q.root().size(), stats.total_rewrites());
+        }
+        (p.root().size(), residues)
+    });
+    for (size, residues) in per_prog {
+        original += size;
+        for (i, (residue, rw)) in residues.into_iter().enumerate() {
+            sums[i] += residue;
+            rewrites[i] += rw;
         }
     }
     let rows = vec![vec![
@@ -830,4 +1019,209 @@ fn e15_optimizer() {
     );
     println!("expected shape: residual size shrinks monotonically with fact precision;");
     println!("§6.3's bounded duplication captures most of the semantic-CPS gain. (n = {n})");
+}
+
+/// A named program family on its size ladder.
+type Family = (&'static str, fn(usize) -> cpsdfa_syntax::Term);
+
+/// Median wall time of `reps` runs of `run`, in milliseconds, plus the
+/// last result (all runs compute the same fixpoint).
+fn median_ms<R>(reps: usize, mut run: impl FnMut() -> R) -> (f64, R) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        last = Some(run());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[reps / 2], last.expect("reps >= 1"))
+}
+
+/// E16: tentpole — the sparse worklist engine against the dense sweeps it
+/// replaced, on the cost-experiment families. Also writes the measurements
+/// to `BENCH_solver.json` for machine consumption.
+fn e16_solver_cost() {
+    use cpsdfa_core::cfa::{
+        zero_cfa_cps_dense, zero_cfa_cps_instrumented, zero_cfa_dense, zero_cfa_instrumented,
+    };
+    use cpsdfa_core::report::render_solver_stats;
+
+    section(
+        "E16",
+        "tentpole: sparse worklist fixpoints vs the dense sweeps they replaced",
+    );
+    let reps = 5;
+    let mut json: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut largest: Vec<(String, f64)> = Vec::new();
+    let record = |family: &str,
+                  n: usize,
+                  program_size: usize,
+                  analyzer: &str,
+                  variant: &str,
+                  wall_ms: f64,
+                  iterations: u64,
+                  posts: u64,
+                  json: &mut Vec<String>| {
+        json.push(format!(
+            "  {{\"family\": \"{family}\", \"n\": {n}, \"program_size\": {program_size}, \
+             \"analyzer\": \"{analyzer}\", \"impl\": \"{variant}\", \"wall_ms\": {wall_ms:.4}, \
+             \"iterations\": {iterations}, \"posts\": {posts}}}"
+        ));
+    };
+
+    let ladder: [Family; 3] = [
+        ("cond-chain", families::cond_chain),
+        ("dispatch", families::dispatch),
+        ("polyvariant", families::repeated_calls),
+    ];
+    let sizes = [32usize, 128, 320];
+    let mut last_stats: Option<(String, cpsdfa_core::SolverStats)> = None;
+    for (family, build) in ladder {
+        for n in sizes {
+            let prog = AnfProgram::from_term(&build(n));
+            let cps = CpsProgram::from_anf(&prog);
+            let psize = prog.root().size();
+
+            let (sparse_ms, (sres, sstats)) = median_ms(reps, || zero_cfa_instrumented(&prog));
+            let (dense_ms, dres) = median_ms(reps, || zero_cfa_dense(&prog));
+            assert!(
+                sres.same_solution(&dres),
+                "sparse/dense 0CFA disagree on {family}({n})"
+            );
+            record(
+                family,
+                n,
+                psize,
+                "0cfa",
+                "sparse",
+                sparse_ms,
+                sstats.fired,
+                sstats.posted,
+                &mut json,
+            );
+            record(
+                family,
+                n,
+                psize,
+                "0cfa",
+                "dense",
+                dense_ms,
+                dres.iterations,
+                0,
+                &mut json,
+            );
+            rows.push(vec![
+                format!("{family}({n})"),
+                "0CFA".into(),
+                format!("{dense_ms:.2}"),
+                format!("{sparse_ms:.2}"),
+                format!("{:.1}x", dense_ms / sparse_ms),
+            ]);
+            if n == *sizes.last().unwrap() {
+                largest.push((format!("0CFA on {family}({n})"), dense_ms / sparse_ms));
+            }
+
+            let (csparse_ms, (cres, cstats)) = median_ms(reps, || zero_cfa_cps_instrumented(&cps));
+            let (cdense_ms, cdres) = median_ms(reps, || zero_cfa_cps_dense(&cps));
+            assert!(
+                cres.same_solution(&cdres),
+                "sparse/dense CPS 0CFA disagree on {family}({n})"
+            );
+            record(
+                family,
+                n,
+                psize,
+                "0cfa-cps",
+                "sparse",
+                csparse_ms,
+                cstats.fired,
+                cstats.posted,
+                &mut json,
+            );
+            record(
+                family,
+                n,
+                psize,
+                "0cfa-cps",
+                "dense",
+                cdense_ms,
+                cdres.iterations,
+                0,
+                &mut json,
+            );
+            rows.push(vec![
+                format!("{family}({n})"),
+                "0CFA-CPS".into(),
+                format!("{cdense_ms:.2}"),
+                format!("{csparse_ms:.2}"),
+                format!("{:.1}x", cdense_ms / csparse_ms),
+            ]);
+            if n == *sizes.last().unwrap() {
+                largest.push((format!("0CFA-CPS on {family}({n})"), cdense_ms / csparse_ms));
+                last_stats = Some((format!("0CFA-CPS {family}({n})"), cstats));
+            }
+        }
+    }
+
+    // MFP needs the first-order fragment: diamond chains, where the dense
+    // LIFO worklist cascades over the suffix and the RPO-ranked sparse
+    // solver settles each node once.
+    let mfp_sizes = [16usize, 64, 160];
+    for n in mfp_sizes {
+        let prog = AnfProgram::from_term(&families::diamond_chain(n));
+        let cfg = Cfg::from_first_order(&prog).unwrap();
+        let init = cfg.initial_env::<Flat>(&prog);
+        let psize = prog.root().size();
+        let (sparse_ms, (ssum, sstats)) =
+            median_ms(reps, || cfg.solve_mfp_instrumented::<Flat>(init.clone()));
+        let (dense_ms, dsum) = median_ms(reps, || cfg.solve_mfp_dense::<Flat>(init.clone()));
+        assert!(ssum == dsum, "sparse/dense MFP disagree on diamond({n})");
+        record(
+            "diamond",
+            n,
+            psize,
+            "mfp",
+            "sparse",
+            sparse_ms,
+            sstats.fired,
+            sstats.posted,
+            &mut json,
+        );
+        record(
+            "diamond", n, psize, "mfp", "dense", dense_ms, 0, 0, &mut json,
+        );
+        rows.push(vec![
+            format!("diamond({n})"),
+            "MFP".into(),
+            format!("{dense_ms:.2}"),
+            format!("{sparse_ms:.2}"),
+            format!("{:.1}x", dense_ms / sparse_ms),
+        ]);
+        if n == *mfp_sizes.last().unwrap() {
+            largest.push((format!("MFP on diamond({n})"), dense_ms / sparse_ms));
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["workload", "analyzer", "dense ms", "sparse ms", "speedup"],
+            &rows
+        )
+    );
+    for (what, ratio) in &largest {
+        println!("largest workload: {what} — {ratio:.1}x over the dense sweep");
+    }
+    if let Some((label, stats)) = &last_stats {
+        println!("\nsparse-engine counters, {label}:");
+        print!("{}", render_solver_stats(label, stats));
+    }
+
+    let payload = format!("[\n{}\n]\n", json.join(",\n"));
+    match std::fs::write("BENCH_solver.json", &payload) {
+        Ok(()) => println!("\nwrote {} measurements to BENCH_solver.json", json.len()),
+        Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
+    }
 }

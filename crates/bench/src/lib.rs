@@ -6,9 +6,7 @@
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_core::domain::NumDomain;
-use cpsdfa_core::{
-    AnalysisBudget, AnalysisError, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer,
-};
+use cpsdfa_core::{AnalysisBudget, AnalysisError, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
 use cpsdfa_cps::CpsProgram;
 
 /// Which of the paper's three analyzers to run.

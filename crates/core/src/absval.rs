@@ -14,6 +14,7 @@ use cpsdfa_cps::CVarId;
 use cpsdfa_syntax::Label;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// An element of the abstract closure set
 /// `Clô = (Var × Λ) + inc + dec` (Figure 4's domains).
@@ -81,17 +82,26 @@ pub struct AbsVal<D> {
 impl<D: NumDomain> AbsVal<D> {
     /// `(⊥, ∅)`.
     pub fn bot() -> Self {
-        AbsVal { num: D::bot(), clos: BTreeSet::new() }
+        AbsVal {
+            num: D::bot(),
+            clos: BTreeSet::new(),
+        }
     }
 
     /// `(n̂, ∅)` for a numeral.
     pub fn num(n: i64) -> Self {
-        AbsVal { num: D::constant(n), clos: BTreeSet::new() }
+        AbsVal {
+            num: D::constant(n),
+            clos: BTreeSet::new(),
+        }
     }
 
     /// `(⊥, {c})` for a single closure element.
     pub fn closure(c: AbsClo) -> Self {
-        AbsVal { num: D::bot(), clos: BTreeSet::from([c]) }
+        AbsVal {
+            num: D::bot(),
+            clos: BTreeSet::from([c]),
+        }
     }
 
     /// An arbitrary pair.
@@ -162,22 +172,35 @@ pub struct CAbsVal<D> {
 impl<D: NumDomain> CAbsVal<D> {
     /// `(⊥, ∅, ∅)`.
     pub fn bot() -> Self {
-        CAbsVal { num: D::bot(), clos: BTreeSet::new(), konts: BTreeSet::new() }
+        CAbsVal {
+            num: D::bot(),
+            clos: BTreeSet::new(),
+            konts: BTreeSet::new(),
+        }
     }
 
     /// `(n̂, ∅, ∅)` for a numeral.
     pub fn num(n: i64) -> Self {
-        CAbsVal { num: D::constant(n), ..Self::bot() }
+        CAbsVal {
+            num: D::constant(n),
+            ..Self::bot()
+        }
     }
 
     /// `(⊥, {c}, ∅)` for a closure element.
     pub fn closure(c: AbsClo) -> Self {
-        CAbsVal { clos: BTreeSet::from([c]), ..Self::bot() }
+        CAbsVal {
+            clos: BTreeSet::from([c]),
+            ..Self::bot()
+        }
     }
 
     /// `(⊥, ∅, {κ})` for a continuation element.
     pub fn kont(k: AbsKont) -> Self {
-        CAbsVal { konts: BTreeSet::from([k]), ..Self::bot() }
+        CAbsVal {
+            konts: BTreeSet::from([k]),
+            ..Self::bot()
+        }
     }
 
     /// An arbitrary triple.
@@ -226,7 +249,13 @@ impl<D: NumDomain> Default for CAbsVal<D> {
 
 impl<D: NumDomain> fmt::Display for CAbsVal<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.num, fmt_set(&self.clos), fmt_set(&self.konts))
+        write!(
+            f,
+            "({}, {}, {})",
+            self.num,
+            fmt_set(&self.clos),
+            fmt_set(&self.konts)
+        )
     }
 }
 
@@ -246,15 +275,23 @@ fn fmt_set<T: fmt::Display>(s: &BTreeSet<T>) -> String {
 
 /// An abstract store `σ̂`, one cell per program variable (§4.1), for the
 /// direct and semantic-CPS analyzers.
+///
+/// The cell vector is shared copy-on-write ([`Arc`]): the derived analyzers
+/// clone stores at every branch split, cycle-cut key, and memo entry, and
+/// almost all of those clones are never written again. A clone is therefore
+/// one reference-count bump, and the cells are copied only when a
+/// [`join_at`](AbsStore::join_at) actually changes a value.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct AbsStore<D> {
-    cells: Vec<AbsVal<D>>,
+    cells: Arc<Vec<AbsVal<D>>>,
 }
 
 impl<D: NumDomain> AbsStore<D> {
     /// All-⊥ store for `n` variables.
     pub fn bottom(n: usize) -> Self {
-        AbsStore { cells: vec![AbsVal::bot(); n] }
+        AbsStore {
+            cells: Arc::new(vec![AbsVal::bot(); n]),
+        }
     }
 
     /// `σ(x)`.
@@ -267,14 +304,15 @@ impl<D: NumDomain> AbsStore<D> {
         &self.cells[x.index()]
     }
 
-    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed.
+    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed. The cells
+    /// are copied (if shared) only on an actual change.
     pub fn join_at(&mut self, x: VarId, u: &AbsVal<D>) -> bool {
-        let cell = &mut self.cells[x.index()];
+        let cell = &self.cells[x.index()];
         let joined = cell.join(u);
         if &joined == cell {
             false
         } else {
-            *cell = joined;
+            Arc::make_mut(&mut self.cells)[x.index()] = joined;
             true
         }
     }
@@ -282,21 +320,30 @@ impl<D: NumDomain> AbsStore<D> {
     /// `σ₁ ⊔ σ₂`, pointwise.
     #[must_use]
     pub fn join(&self, other: &Self) -> Self {
+        if Arc::ptr_eq(&self.cells, &other.cells) {
+            return self.clone();
+        }
         debug_assert_eq!(self.cells.len(), other.cells.len());
         AbsStore {
-            cells: self
-                .cells
-                .iter()
-                .zip(&other.cells)
-                .map(|(a, b)| a.join(b))
-                .collect(),
+            cells: Arc::new(
+                self.cells
+                    .iter()
+                    .zip(other.cells.iter())
+                    .map(|(a, b)| a.join(b))
+                    .collect(),
+            ),
         }
     }
 
     /// `σ₁ ⊑ σ₂`, pointwise.
     pub fn leq(&self, other: &Self) -> bool {
-        self.cells.len() == other.cells.len()
-            && self.cells.iter().zip(&other.cells).all(|(a, b)| a.leq(b))
+        Arc::ptr_eq(&self.cells, &other.cells)
+            || (self.cells.len() == other.cells.len()
+                && self
+                    .cells
+                    .iter()
+                    .zip(other.cells.iter())
+                    .all(|(a, b)| a.leq(b)))
     }
 
     /// Number of cells.
@@ -325,16 +372,18 @@ impl<D: NumDomain> fmt::Debug for AbsStore<D> {
 }
 
 /// An abstract store for the syntactic-CPS analyzer (cells for both
-/// namespaces).
+/// namespaces). Copy-on-write like [`AbsStore`].
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct CAbsStore<D> {
-    cells: Vec<CAbsVal<D>>,
+    cells: Arc<Vec<CAbsVal<D>>>,
 }
 
 impl<D: NumDomain> CAbsStore<D> {
     /// All-⊥ store for `n` variables.
     pub fn bottom(n: usize) -> Self {
-        CAbsStore { cells: vec![CAbsVal::bot(); n] }
+        CAbsStore {
+            cells: Arc::new(vec![CAbsVal::bot(); n]),
+        }
     }
 
     /// `σ(x)`.
@@ -347,14 +396,15 @@ impl<D: NumDomain> CAbsStore<D> {
         &self.cells[x.index()]
     }
 
-    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed.
+    /// `σ[x := σ(x) ⊔ u]`; returns `true` if the store changed. The cells
+    /// are copied (if shared) only on an actual change.
     pub fn join_at(&mut self, x: CVarId, u: &CAbsVal<D>) -> bool {
-        let cell = &mut self.cells[x.index()];
+        let cell = &self.cells[x.index()];
         let joined = cell.join(u);
         if &joined == cell {
             false
         } else {
-            *cell = joined;
+            Arc::make_mut(&mut self.cells)[x.index()] = joined;
             true
         }
     }
@@ -362,21 +412,30 @@ impl<D: NumDomain> CAbsStore<D> {
     /// `σ₁ ⊔ σ₂`, pointwise.
     #[must_use]
     pub fn join(&self, other: &Self) -> Self {
+        if Arc::ptr_eq(&self.cells, &other.cells) {
+            return self.clone();
+        }
         debug_assert_eq!(self.cells.len(), other.cells.len());
         CAbsStore {
-            cells: self
-                .cells
-                .iter()
-                .zip(&other.cells)
-                .map(|(a, b)| a.join(b))
-                .collect(),
+            cells: Arc::new(
+                self.cells
+                    .iter()
+                    .zip(other.cells.iter())
+                    .map(|(a, b)| a.join(b))
+                    .collect(),
+            ),
         }
     }
 
     /// `σ₁ ⊑ σ₂`, pointwise.
     pub fn leq(&self, other: &Self) -> bool {
-        self.cells.len() == other.cells.len()
-            && self.cells.iter().zip(&other.cells).all(|(a, b)| a.leq(b))
+        Arc::ptr_eq(&self.cells, &other.cells)
+            || (self.cells.len() == other.cells.len()
+                && self
+                    .cells
+                    .iter()
+                    .zip(other.cells.iter())
+                    .all(|(a, b)| a.leq(b)))
     }
 
     /// Number of cells.
@@ -502,8 +561,14 @@ mod tests {
         let mut s: AbsStore<Flat> = AbsStore::bottom(2);
         let v = AbsVal::num(5);
         assert!(s.join_at(VarId(0), &v));
-        assert!(!s.join_at(VarId(0), &v), "idempotent join reports no change");
-        assert!(s.join_at(VarId(0), &AbsVal::num(6)), "widening to ⊤ is a change");
+        assert!(
+            !s.join_at(VarId(0), &v),
+            "idempotent join reports no change"
+        );
+        assert!(
+            s.join_at(VarId(0), &AbsVal::num(6)),
+            "widening to ⊤ is a change"
+        );
         assert!(s.get(VarId(0)).num.is_top());
         assert!(s.get(VarId(1)).is_bot());
     }
@@ -516,6 +581,21 @@ mod tests {
         assert!(b.leq(&a));
         assert!(!a.leq(&b));
         assert_eq!(a.join(&b), a);
+    }
+
+    #[test]
+    fn store_clones_share_until_written() {
+        let mut a: AbsStore<Flat> = AbsStore::bottom(3);
+        a.join_at(VarId(0), &AbsVal::num(1));
+        let b = a.clone();
+        // A no-op join keeps the cells shared…
+        let mut c = a.clone();
+        assert!(!c.join_at(VarId(0), &AbsVal::num(1)));
+        assert_eq!(c, a);
+        // …and a real write detaches only the written clone.
+        assert!(c.join_at(VarId(1), &AbsVal::num(2)));
+        assert_eq!(a, b, "original must be unaffected by the CoW write");
+        assert!(a.leq(&c) && !c.leq(&a));
     }
 
     #[test]
@@ -533,8 +613,14 @@ mod tests {
     #[test]
     fn answers_join_componentwise() {
         let s: AbsStore<Flat> = AbsStore::bottom(1);
-        let a = AbsAnswer { value: AbsVal::num(1), store: s.clone() };
-        let b = AbsAnswer { value: AbsVal::num(2), store: s };
+        let a = AbsAnswer {
+            value: AbsVal::num(1),
+            store: s.clone(),
+        };
+        let b = AbsAnswer {
+            value: AbsVal::num(2),
+            store: s,
+        };
         let j = a.join(&b);
         assert!(j.value.num.is_top());
         assert!(a.leq(&j));

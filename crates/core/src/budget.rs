@@ -36,7 +36,9 @@ impl AnalysisBudget {
     /// budget.
     pub fn check(&self, goals: u64) -> Result<(), AnalysisError> {
         if goals > self.max_goals {
-            Err(AnalysisError::BudgetExhausted { budget: self.max_goals })
+            Err(AnalysisError::BudgetExhausted {
+                budget: self.max_goals,
+            })
         } else {
             Ok(())
         }

@@ -14,6 +14,15 @@
 //!   are values; corresponds to the closure/continuation components of
 //!   `M_s` (Figure 6), including its false returns.
 //!
+//! Both run on the shared sparse [`WorklistSolver`]: constraints re-fire
+//! only when a watched flow node grows, and closure/continuation sets live
+//! in a hash-consed [`SetPool`] so propagation copies handles, not sets.
+//! The original dense formulations — full re-sweeps over the constraint
+//! list with `BTreeSet` clones on every propagation — are retained as
+//! [`zero_cfa_dense`] / [`zero_cfa_cps_dense`]: they are the measured
+//! baseline for the solver benchmarks, and differential tests assert the
+//! two formulations produce bit-identical results.
+//!
 //! Two deliberate differences from the derivation-style analyzers, checked
 //! by tests because they are findings, not bugs:
 //!
@@ -27,8 +36,11 @@
 //! [`AnyNum`]: crate::domain::AnyNum
 
 use crate::absval::{AbsClo, AbsKont};
+use crate::setpool::{SetId, SetPool};
+use crate::solver::WorklistSolver;
+use crate::stats::SolverStats;
 use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
-use cpsdfa_cps::{CTermKind, CVarId, CValKind, CpsProgram};
+use cpsdfa_cps::{CTermKind, CValKind, CVarId, CpsProgram};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -41,7 +53,8 @@ pub struct CfaResult {
     pub terms: HashMap<Label, BTreeSet<AbsClo>>,
     /// Call graph: call-site `let` label → applicable closures.
     pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
-    /// Fixpoint iterations until convergence.
+    /// Fixpoint work performed: constraint firings (sparse solver) or full
+    /// sweeps (dense baseline). Always ≥ 1.
     pub iterations: u64,
 }
 
@@ -50,43 +63,40 @@ impl CfaResult {
     pub fn get(&self, v: VarId) -> &BTreeSet<AbsClo> {
         &self.vars[v.index()]
     }
+
+    /// True if the analysis solutions (not the work counters) coincide.
+    pub fn same_solution(&self, other: &CfaResult) -> bool {
+        self.vars == other.vars && self.terms == other.terms && self.calls == other.calls
+    }
 }
 
-/// Constraint-based 0CFA over an ANF program.
-///
-/// ```
-/// use cpsdfa_anf::AnfProgram;
-/// use cpsdfa_core::cfa::zero_cfa;
-///
-/// let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
-/// let r = zero_cfa(&p);
-/// // the identity flows to f, and (via the self-application) to x
-/// let f = p.var_named("f").unwrap();
-/// let x = p.var_named("x").unwrap();
-/// assert_eq!(r.get(f).len(), 1);
-/// assert_eq!(r.get(f), r.get(x));
-/// ```
-pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
-    let lambdas = prog.lambdas();
-    let mut vars: Vec<BTreeSet<AbsClo>> = vec![BTreeSet::new(); prog.num_vars()];
-    let mut terms: HashMap<Label, BTreeSet<AbsClo>> = HashMap::new();
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+// ---------------------------------------------------------------------------
+// Source-level constraint generation (shared by sparse and dense solvers)
+// ---------------------------------------------------------------------------
 
-    // Collect the static flow edges once.
-    #[derive(Clone, Copy)]
-    enum Node {
-        Var(VarId),
-        Term(Label),
-    }
-    enum Edge {
-        /// constant ⊆ node
-        Seed(BTreeSet<AbsClo>, Node),
-        /// src ⊆ dst
-        Sub(Node, Node),
-        /// application: callees from `f`, argument flow + return flow
-        Call { f: Node, arg: Node, bind: VarId, site: Label },
-    }
+/// A flow node of the source-level constraint graph.
+#[derive(Clone, Copy)]
+enum Node {
+    Var(VarId),
+    Term(Label),
+}
 
+/// A static constraint of the source-level graph.
+enum Edge {
+    /// constant ⊆ node
+    Seed(BTreeSet<AbsClo>, Node),
+    /// src ⊆ dst
+    Sub(Node, Node),
+    /// application: callees from `f`, argument flow + return flow
+    Call {
+        f: Node,
+        arg: Node,
+        bind: VarId,
+        site: Label,
+    },
+}
+
+fn collect_edges(prog: &AnfProgram) -> Vec<Edge> {
     let mut edges: Vec<Edge> = Vec::new();
     let flow_of = |v: &cpsdfa_anf::AVal| -> Result<BTreeSet<AbsClo>, VarId> {
         match &v.kind {
@@ -161,56 +171,289 @@ pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
         }
     }
     gen(prog.root(), prog, &mut edges, &val_node);
+    edges
+}
 
-    // Naive fixpoint iteration (programs are small; clarity over speed).
+/// Dense indexing of the flow nodes: variables first, then term labels.
+/// Also records which term labels are propagation *targets* — exactly the
+/// key set of [`CfaResult::terms`].
+struct NodeIndex {
+    num_vars: usize,
+    term_ids: HashMap<Label, usize>,
+    num_terms: usize,
+    dst_terms: BTreeSet<Label>,
+}
+
+impl NodeIndex {
+    fn build(prog: &AnfProgram, edges: &[Edge]) -> NodeIndex {
+        let mut idx = NodeIndex {
+            num_vars: prog.num_vars(),
+            term_ids: HashMap::new(),
+            num_terms: 0,
+            dst_terms: BTreeSet::new(),
+        };
+        for e in edges {
+            match e {
+                Edge::Seed(_, dst) => idx.touch_dst(*dst),
+                Edge::Sub(src, dst) => {
+                    idx.touch(*src);
+                    idx.touch_dst(*dst);
+                }
+                Edge::Call { f, arg, .. } => {
+                    idx.touch(*f);
+                    idx.touch(*arg);
+                }
+            }
+        }
+        // Lambda bodies are sources of dynamically-discovered return edges;
+        // a constant body never appears in the static edges, so index them
+        // all up front.
+        for lam in prog.lambdas().values() {
+            idx.touch(Node::Term(lam.body.label));
+        }
+        idx
+    }
+
+    fn touch(&mut self, n: Node) {
+        if let Node::Term(l) = n {
+            if !self.term_ids.contains_key(&l) {
+                self.term_ids.insert(l, self.num_terms);
+                self.num_terms += 1;
+            }
+        }
+    }
+
+    fn touch_dst(&mut self, n: Node) {
+        self.touch(n);
+        if let Node::Term(l) = n {
+            self.dst_terms.insert(l);
+        }
+    }
+
+    fn node(&self, n: Node) -> usize {
+        match n {
+            Node::Var(v) => v.index(),
+            Node::Term(l) => self.num_vars + self.term_ids[&l],
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.num_vars + self.num_terms
+    }
+}
+
+/// A source-level constraint over indexed flow nodes.
+#[derive(Clone, Copy)]
+enum SrcConstraint {
+    Seed(SetId, usize),
+    Sub(usize, usize),
+    Call {
+        f: usize,
+        arg: usize,
+        bind: usize,
+        site: Label,
+    },
+}
+
+/// Constraint-based 0CFA over an ANF program (sparse worklist solver).
+///
+/// ```
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_core::cfa::zero_cfa;
+///
+/// let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+/// let r = zero_cfa(&p);
+/// // the identity flows to f, and (via the self-application) to x
+/// let f = p.var_named("f").unwrap();
+/// let x = p.var_named("x").unwrap();
+/// assert_eq!(r.get(f).len(), 1);
+/// assert_eq!(r.get(f), r.get(x));
+/// ```
+pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
+    zero_cfa_instrumented(prog).0
+}
+
+/// [`zero_cfa`] plus the solver/pool counters of the run.
+pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
+    let lambdas = prog.lambdas();
+    let edges = collect_edges(prog);
+    let idx = NodeIndex::build(prog, &edges);
+
+    let mut pool: SetPool<AbsClo> = SetPool::new();
+    let mut solver = WorklistSolver::new();
+    solver.add_nodes(idx.total());
+    let mut values: Vec<SetId> = vec![SetPool::<AbsClo>::EMPTY; idx.total()];
+    let mut constraints: Vec<SrcConstraint> = Vec::with_capacity(edges.len());
+
+    for e in &edges {
+        let c = solver.add_constraint(constraints.len() as u32);
+        match e {
+            Edge::Seed(set, dst) => {
+                constraints.push(SrcConstraint::Seed(
+                    pool.intern(set.clone()),
+                    idx.node(*dst),
+                ));
+            }
+            Edge::Sub(src, dst) => {
+                let s = idx.node(*src);
+                solver.watch(s, c);
+                constraints.push(SrcConstraint::Sub(s, idx.node(*dst)));
+            }
+            Edge::Call { f, arg, bind, site } => {
+                let fi = idx.node(*f);
+                solver.watch(fi, c);
+                constraints.push(SrcConstraint::Call {
+                    f: fi,
+                    arg: idx.node(*arg),
+                    bind: bind.index(),
+                    site: *site,
+                });
+            }
+        }
+        solver.post(c);
+    }
+
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+    while let Some(ci) = solver.pop() {
+        match constraints[ci] {
+            SrcConstraint::Seed(set, dst) => {
+                let joined = pool.join(values[dst], set);
+                if joined != values[dst] {
+                    values[dst] = joined;
+                    solver.node_changed(dst);
+                }
+            }
+            SrcConstraint::Sub(src, dst) => {
+                let joined = pool.join(values[dst], values[src]);
+                if joined != values[dst] {
+                    values[dst] = joined;
+                    solver.node_changed(dst);
+                }
+            }
+            SrcConstraint::Call { f, arg, bind, site } => {
+                // O(1) handle: lets the pool keep interning while we scan.
+                let callees = pool.get_rc(values[f]);
+                for &clo in callees.iter() {
+                    if !calls.entry(site).or_default().insert(clo) {
+                        continue; // already wired
+                    }
+                    if let AbsClo::Lam(l) = clo {
+                        let lam = lambdas[&l];
+                        // Newly-discovered callee: wire the argument flow
+                        // into the parameter and the body result into the
+                        // binder as persistent sparse edges, firing each
+                        // immediately so current values propagate.
+                        let param = lam.param_id.index();
+                        let body = idx.node(Node::Term(lam.body.label));
+                        for (src, dst) in [(arg, param), (body, bind)] {
+                            let c = solver.add_constraint(constraints.len() as u32);
+                            solver.watch(src, c);
+                            constraints.push(SrcConstraint::Sub(src, dst));
+                            solver.post(c);
+                        }
+                    }
+                    // Inc/Dec return numbers: no closure flow.
+                }
+            }
+        }
+    }
+
+    let vars: Vec<BTreeSet<AbsClo>> = (0..idx.num_vars)
+        .map(|i| (*pool.get(values[i])).clone())
+        .collect();
+    let terms: HashMap<Label, BTreeSet<AbsClo>> = idx
+        .dst_terms
+        .iter()
+        .map(|&l| (l, (*pool.get(values[idx.node(Node::Term(l))])).clone()))
+        .collect();
+    let stats = solver.stats().with_pool(pool.stats());
+    let iterations = stats.fired.max(1);
+    (
+        CfaResult {
+            vars,
+            terms,
+            calls,
+            iterations,
+        },
+        stats,
+    )
+}
+
+/// The original dense formulation: every constraint re-evaluated per sweep,
+/// sets cloned on every propagation. Kept as the measured baseline for the
+/// solver benchmarks and as a differential oracle for the sparse solver.
+pub fn zero_cfa_dense(prog: &AnfProgram) -> CfaResult {
+    let lambdas = prog.lambdas();
+    let edges = collect_edges(prog);
+    let idx = NodeIndex::build(prog, &edges);
+
+    /// The dense constraint form: `Seed` points into the parallel `seeds`
+    /// table so the whole list stays `Copy`.
+    #[derive(Clone, Copy)]
+    enum Dense {
+        Seed(usize, usize),
+        Sub(usize, usize),
+        Call {
+            f: usize,
+            arg: usize,
+            bind: usize,
+            site: Label,
+        },
+    }
+
+    let mut seeds: Vec<BTreeSet<AbsClo>> = Vec::new();
+    let mut constraints: Vec<Dense> = edges
+        .iter()
+        .map(|e| match e {
+            Edge::Seed(set, dst) => {
+                seeds.push(set.clone());
+                Dense::Seed(seeds.len() - 1, idx.node(*dst))
+            }
+            Edge::Sub(src, dst) => Dense::Sub(idx.node(*src), idx.node(*dst)),
+            Edge::Call { f, arg, bind, site } => Dense::Call {
+                f: idx.node(*f),
+                arg: idx.node(*arg),
+                bind: bind.index(),
+                site: *site,
+            },
+        })
+        .collect();
+
+    let mut values: Vec<BTreeSet<AbsClo>> = vec![BTreeSet::new(); idx.total()];
+    fn extend(values: &mut [BTreeSet<AbsClo>], dst: usize, set: BTreeSet<AbsClo>) -> bool {
+        let target = &mut values[dst];
+        let before = target.len();
+        target.extend(set);
+        target.len() != before
+    }
+
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
     let mut iterations = 0u64;
     loop {
         iterations += 1;
         let mut changed = false;
-        let get = |n: Node, vars: &Vec<BTreeSet<AbsClo>>, terms: &HashMap<Label, BTreeSet<AbsClo>>| {
-            match n {
-                Node::Var(v) => vars[v.index()].clone(),
-                Node::Term(l) => terms.get(&l).cloned().unwrap_or_default(),
-            }
-        };
-        let add = |n: Node,
-                       set: BTreeSet<AbsClo>,
-                       vars: &mut Vec<BTreeSet<AbsClo>>,
-                       terms: &mut HashMap<Label, BTreeSet<AbsClo>>|
-         -> bool {
-            let target = match n {
-                Node::Var(v) => &mut vars[v.index()],
-                Node::Term(l) => terms.entry(l).or_default(),
-            };
-            let before = target.len();
-            target.extend(set);
-            target.len() != before
-        };
-        let mut new_edges: Vec<Edge> = Vec::new();
-        for e in &edges {
-            match e {
-                Edge::Seed(set, dst) => {
-                    changed |= add(*dst, set.clone(), &mut vars, &mut terms);
+        let mut new_edges: Vec<Dense> = Vec::new();
+        for e in &constraints {
+            match *e {
+                Dense::Seed(s, dst) => {
+                    changed |= extend(&mut values, dst, seeds[s].clone());
                 }
-                Edge::Sub(src, dst) => {
-                    let s = get(*src, &vars, &terms);
-                    changed |= add(*dst, s, &mut vars, &mut terms);
+                Dense::Sub(src, dst) => {
+                    let s = values[src].clone();
+                    changed |= extend(&mut values, dst, s);
                 }
-                Edge::Call { f, arg, bind, site } => {
-                    let callees = get(*f, &vars, &terms);
+                Dense::Call { f, arg, bind, site } => {
+                    let callees = values[f].clone();
                     for clo in callees {
-                        let newly = calls.entry(*site).or_default().insert(clo);
+                        let newly = calls.entry(site).or_default().insert(clo);
                         changed |= newly;
                         if let AbsClo::Lam(l) = clo {
                             let lam = lambdas[&l];
                             // argument flows into the parameter
-                            let s = get(*arg, &vars, &terms);
-                            changed |= add(Node::Var(lam.param_id), s, &mut vars, &mut terms);
+                            let s = values[arg].clone();
+                            changed |= extend(&mut values, lam.param_id.index(), s);
                             // body result flows into the binder
-                            new_edges.push(Edge::Sub(
-                                Node::Term(lam.body.label),
-                                Node::Var(*bind),
-                            ));
+                            new_edges.push(Dense::Sub(idx.node(Node::Term(lam.body.label)), bind));
                         }
                         // Inc/Dec return numbers: no closure flow.
                     }
@@ -218,19 +461,31 @@ pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
             }
         }
         for e in new_edges {
-            // Persist dynamically discovered return edges.
-            if let Edge::Sub(src, dst) = &e {
-                let s = get(*src, &vars, &terms);
-                changed |= add(*dst, s, &mut vars, &mut terms);
+            // Persist dynamically discovered return edges (duplicates and
+            // all — this is the dense baseline's documented inefficiency).
+            if let Dense::Sub(src, dst) = e {
+                let s = values[src].clone();
+                changed |= extend(&mut values, dst, s);
             }
-            edges.push(e);
+            constraints.push(e);
         }
         if !changed {
             break;
         }
     }
 
-    CfaResult { vars, terms, calls, iterations }
+    let vars: Vec<BTreeSet<AbsClo>> = values[..idx.num_vars].to_vec();
+    let terms: HashMap<Label, BTreeSet<AbsClo>> = idx
+        .dst_terms
+        .iter()
+        .map(|&l| (l, values[idx.node(Node::Term(l))].clone()))
+        .collect();
+    CfaResult {
+        vars,
+        terms,
+        calls,
+        iterations,
+    }
 }
 
 /// A flow value of CPS-level 0CFA: a closure or a reified continuation.
@@ -251,7 +506,8 @@ pub struct CpsCfaResult {
     pub returns: BTreeMap<Label, BTreeSet<AbsKont>>,
     /// Call sites → applicable closures.
     pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
-    /// Fixpoint iterations until convergence.
+    /// Fixpoint work performed: constraint firings (sparse solver) or full
+    /// sweeps (dense baseline). Always ≥ 1.
     pub iterations: u64,
 }
 
@@ -261,41 +517,53 @@ impl CpsCfaResult {
         &self.vars[v.index()]
     }
 
+    /// True if the analysis solutions (not the work counters) coincide.
+    pub fn same_solution(&self, other: &CpsCfaResult) -> bool {
+        self.vars == other.vars && self.returns == other.returns && self.calls == other.calls
+    }
+
     /// §6.1's measurable shadow, as in
     /// [`FlowLog::false_return_edges`](crate::flow::FlowLog::false_return_edges).
     pub fn false_return_edges(&self) -> usize {
-        self.returns.values().map(|ks| ks.len().saturating_sub(1)).sum()
+        self.returns
+            .values()
+            .map(|ks| ks.len().saturating_sub(1))
+            .sum()
     }
 }
 
-/// Constraint-based 0CFA over a CPS program — Shivers' original setting.
-/// Continuations are ordinary flow values, so the analysis collects
-/// continuation *sets* at `k` variables and merges returns exactly as
-/// Figure 6 does.
-pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
-    let lambdas = prog.lambdas();
-    let conts = prog.conts();
-    let mut vars: Vec<BTreeSet<CpsFlow>> = vec![BTreeSet::new(); prog.num_vars()];
-    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+// ---------------------------------------------------------------------------
+// CPS-level constraint generation (shared by sparse and dense solvers)
+// ---------------------------------------------------------------------------
 
-    enum Edge {
-        Seed(CpsFlow, CVarId),
-        Sub(CVarId, CVarId),
-        /// `(k W)`: for each continuation in `k`, `W` flows to its binder.
-        Ret { k: CVarId, w: Flow, site: Label },
-        /// `(W₁ W₂ (λx.P))`.
-        Call { f: Flow, arg: Flow, cont: Label, site: Label },
-    }
+/// A CPS operand: either a constant flow or a variable.
+#[derive(Clone, Copy)]
+enum Flow {
+    None,
+    Const(CpsFlow),
+    Var(CVarId),
+}
 
-    /// A CPS operand: either a constant flow or a variable.
-    #[derive(Clone, Copy)]
-    enum Flow {
-        None,
-        Const(CpsFlow),
-        Var(CVarId),
-    }
+/// A static constraint of the CPS-level graph.
+enum CpsEdge {
+    Seed(CpsFlow, CVarId),
+    Sub(CVarId, CVarId),
+    /// `(k W)`: for each continuation in `k`, `W` flows to its binder.
+    Ret {
+        k: CVarId,
+        w: Flow,
+        site: Label,
+    },
+    /// `(W₁ W₂ (λx.P))`.
+    Call {
+        f: Flow,
+        arg: Flow,
+        cont: Label,
+        site: Label,
+    },
+}
 
+fn collect_cps_edges(prog: &CpsProgram) -> Vec<CpsEdge> {
     let flow_of = |w: &cpsdfa_cps::CVal| -> Flow {
         match &w.kind {
             CValKind::Num(_) => Flow::None,
@@ -306,17 +574,21 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
         }
     };
 
-    let mut edges: Vec<Edge> = Vec::new();
+    let mut edges: Vec<CpsEdge> = Vec::new();
     fn gen<'p>(
         t: &'p cpsdfa_cps::CTerm,
         prog: &CpsProgram,
-        edges: &mut Vec<Edge>,
+        edges: &mut Vec<CpsEdge>,
         flow_of: &impl Fn(&'p cpsdfa_cps::CVal) -> Flow,
     ) {
         match &t.kind {
             CTermKind::Ret(k, w) => {
                 let kid = prog.kont_var_id(k).expect("indexed k");
-                edges.push(Edge::Ret { k: kid, w: flow_of(w), site: t.label });
+                edges.push(CpsEdge::Ret {
+                    k: kid,
+                    w: flow_of(w),
+                    site: t.label,
+                });
                 if let CValKind::Lam { body, .. } = &w.kind {
                     gen(body, prog, edges, flow_of);
                 }
@@ -325,8 +597,8 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
                 let x = prog.user_var_id(var).expect("indexed variable");
                 match flow_of(val) {
                     Flow::None => {}
-                    Flow::Const(c) => edges.push(Edge::Seed(c, x)),
-                    Flow::Var(y) => edges.push(Edge::Sub(y, x)),
+                    Flow::Const(c) => edges.push(CpsEdge::Seed(c, x)),
+                    Flow::Var(y) => edges.push(CpsEdge::Sub(y, x)),
                 }
                 if let CValKind::Lam { body: b, .. } = &val.kind {
                     gen(b, prog, edges, flow_of);
@@ -334,7 +606,7 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
                 gen(body, prog, edges, flow_of);
             }
             CTermKind::Call { f, arg, cont } => {
-                edges.push(Edge::Call {
+                edges.push(CpsEdge::Call {
                     f: flow_of(f),
                     arg: flow_of(arg),
                     cont: cont.label,
@@ -348,9 +620,15 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
                 }
                 gen(&cont.body, prog, edges, flow_of);
             }
-            CTermKind::LetK { k, cont, then_, else_, .. } => {
+            CTermKind::LetK {
+                k,
+                cont,
+                then_,
+                else_,
+                ..
+            } => {
                 let kid = prog.kont_var_id(k).expect("indexed k");
-                edges.push(Edge::Seed(CpsFlow::Kont(AbsKont::Co(cont.label)), kid));
+                edges.push(CpsEdge::Seed(CpsFlow::Kont(AbsKont::Co(cont.label)), kid));
                 gen(&cont.body, prog, edges, flow_of);
                 gen(then_, prog, edges, flow_of);
                 gen(else_, prog, edges, flow_of);
@@ -362,9 +640,192 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
 
     // The top continuation holds `stop`.
     let k0 = prog.kont_var_id(prog.top_k()).expect("top k indexed");
-    edges.push(Edge::Seed(CpsFlow::Kont(AbsKont::Stop), k0));
+    edges.push(CpsEdge::Seed(CpsFlow::Kont(AbsKont::Stop), k0));
+    edges
+}
 
-    let read = |f: Flow, vars: &Vec<BTreeSet<CpsFlow>>| -> BTreeSet<CpsFlow> {
+/// A CPS-level constraint over indexed flow nodes.
+#[derive(Clone, Copy)]
+enum CpsConstraint {
+    Seed(SetId, usize),
+    Sub(usize, usize),
+    Ret {
+        k: usize,
+        w: Flow,
+        site: Label,
+    },
+    Call {
+        f: Flow,
+        arg: Flow,
+        cont: Label,
+        site: Label,
+    },
+}
+
+/// Constraint-based 0CFA over a CPS program — Shivers' original setting.
+/// Continuations are ordinary flow values, so the analysis collects
+/// continuation *sets* at `k` variables and merges returns exactly as
+/// Figure 6 does. Runs on the sparse worklist solver.
+pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
+    zero_cfa_cps_instrumented(prog).0
+}
+
+/// [`zero_cfa_cps`] plus the solver/pool counters of the run.
+pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStats) {
+    let lambdas = prog.lambdas();
+    let conts = prog.conts();
+    let edges = collect_cps_edges(prog);
+    let n = prog.num_vars();
+
+    let mut pool: SetPool<CpsFlow> = SetPool::new();
+    let mut solver = WorklistSolver::new();
+    solver.add_nodes(n);
+    let mut values: Vec<SetId> = vec![SetPool::<CpsFlow>::EMPTY; n];
+    let mut constraints: Vec<CpsConstraint> = Vec::with_capacity(edges.len());
+
+    for e in &edges {
+        let c = solver.add_constraint(constraints.len() as u32);
+        match e {
+            CpsEdge::Seed(flow, dst) => {
+                constraints.push(CpsConstraint::Seed(pool.singleton(*flow), dst.index()));
+            }
+            CpsEdge::Sub(src, dst) => {
+                solver.watch(src.index(), c);
+                constraints.push(CpsConstraint::Sub(src.index(), dst.index()));
+            }
+            CpsEdge::Ret { k, w, site } => {
+                solver.watch(k.index(), c);
+                constraints.push(CpsConstraint::Ret {
+                    k: k.index(),
+                    w: *w,
+                    site: *site,
+                });
+            }
+            CpsEdge::Call { f, arg, cont, site } => {
+                if let Flow::Var(v) = f {
+                    solver.watch(v.index(), c);
+                }
+                constraints.push(CpsConstraint::Call {
+                    f: *f,
+                    arg: *arg,
+                    cont: *cont,
+                    site: *site,
+                });
+            }
+        }
+        solver.post(c);
+    }
+
+    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+
+    // Joins `src_flow` into node `dst`, as a persistent sparse edge when the
+    // flow is a variable and as a one-time join otherwise.
+    macro_rules! wire_flow {
+        ($flow:expr, $dst:expr) => {{
+            let dst: usize = $dst;
+            match $flow {
+                Flow::None => {}
+                Flow::Const(cflow) => {
+                    let s = pool.singleton(cflow);
+                    let joined = pool.join(values[dst], s);
+                    if joined != values[dst] {
+                        values[dst] = joined;
+                        solver.node_changed(dst);
+                    }
+                }
+                Flow::Var(v) => {
+                    let src = v.index();
+                    let c = solver.add_constraint(constraints.len() as u32);
+                    solver.watch(src, c);
+                    constraints.push(CpsConstraint::Sub(src, dst));
+                    solver.post(c);
+                }
+            }
+        }};
+    }
+
+    while let Some(ci) = solver.pop() {
+        match constraints[ci] {
+            CpsConstraint::Seed(set, dst) => {
+                let joined = pool.join(values[dst], set);
+                if joined != values[dst] {
+                    values[dst] = joined;
+                    solver.node_changed(dst);
+                }
+            }
+            CpsConstraint::Sub(src, dst) => {
+                let joined = pool.join(values[dst], values[src]);
+                if joined != values[dst] {
+                    values[dst] = joined;
+                    solver.node_changed(dst);
+                }
+            }
+            CpsConstraint::Ret { k, w, site } => {
+                let kset = pool.get_rc(values[k]);
+                for flow in kset.iter() {
+                    let CpsFlow::Kont(kk) = flow else { continue };
+                    if !returns.entry(site).or_default().insert(*kk) {
+                        continue; // already wired
+                    }
+                    if let AbsKont::Co(l) = kk {
+                        let cont = conts[l];
+                        wire_flow!(w, cont.var_id.index());
+                    }
+                }
+            }
+            CpsConstraint::Call { f, arg, cont, site } => {
+                let fid = match f {
+                    Flow::None => SetPool::<CpsFlow>::EMPTY,
+                    Flow::Const(c) => pool.singleton(c),
+                    Flow::Var(v) => values[v.index()],
+                };
+                let fset = pool.get_rc(fid);
+                for flow in fset.iter() {
+                    let CpsFlow::Clo(clo) = flow else { continue };
+                    if !calls.entry(site).or_default().insert(*clo) {
+                        continue; // already wired
+                    }
+                    if let AbsClo::Lam(l) = clo {
+                        let lam = lambdas[l];
+                        wire_flow!(arg, lam.param_id.index());
+                        wire_flow!(
+                            Flow::Const(CpsFlow::Kont(AbsKont::Co(cont))),
+                            lam.k_id.index()
+                        );
+                    }
+                    // Primitives return numbers directly to the
+                    // continuation: no closure flow.
+                }
+            }
+        }
+    }
+
+    let vars: Vec<BTreeSet<CpsFlow>> = values.iter().map(|&id| (*pool.get(id)).clone()).collect();
+    let stats = solver.stats().with_pool(pool.stats());
+    let iterations = stats.fired.max(1);
+    (
+        CpsCfaResult {
+            vars,
+            returns,
+            calls,
+            iterations,
+        },
+        stats,
+    )
+}
+
+/// The original dense CPS formulation (full re-sweeps, per-propagation set
+/// clones) — the measured baseline and differential oracle.
+pub fn zero_cfa_cps_dense(prog: &CpsProgram) -> CpsCfaResult {
+    let lambdas = prog.lambdas();
+    let conts = prog.conts();
+    let edges = collect_cps_edges(prog);
+    let mut vars: Vec<BTreeSet<CpsFlow>> = vec![BTreeSet::new(); prog.num_vars()];
+    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
+    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+
+    let read = |f: Flow, vars: &[BTreeSet<CpsFlow>]| -> BTreeSet<CpsFlow> {
         match f {
             Flow::None => BTreeSet::new(),
             Flow::Const(c) => BTreeSet::from([c]),
@@ -376,7 +837,7 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
     loop {
         iterations += 1;
         let mut changed = false;
-        let add = |v: CVarId, set: BTreeSet<CpsFlow>, vars: &mut Vec<BTreeSet<CpsFlow>>| {
+        let add = |v: CVarId, set: BTreeSet<CpsFlow>, vars: &mut [BTreeSet<CpsFlow>]| {
             let target = &mut vars[v.index()];
             let before = target.len();
             target.extend(set);
@@ -384,14 +845,14 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
         };
         for e in &edges {
             match e {
-                Edge::Seed(c, dst) => {
+                CpsEdge::Seed(c, dst) => {
                     changed |= add(*dst, BTreeSet::from([*c]), &mut vars);
                 }
-                Edge::Sub(src, dst) => {
+                CpsEdge::Sub(src, dst) => {
                     let s = vars[src.index()].clone();
                     changed |= add(*dst, s, &mut vars);
                 }
-                Edge::Ret { k, w, site } => {
+                CpsEdge::Ret { k, w, site } => {
                     let konts: Vec<AbsKont> = vars[k.index()]
                         .iter()
                         .filter_map(|f| match f {
@@ -408,7 +869,7 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
                         }
                     }
                 }
-                Edge::Call { f, arg, cont, site } => {
+                CpsEdge::Call { f, arg, cont, site } => {
                     let callees: Vec<AbsClo> = read(*f, &vars)
                         .into_iter()
                         .filter_map(|fl| match fl {
@@ -440,7 +901,12 @@ pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
         }
     }
 
-    CpsCfaResult { vars, returns, calls, iterations }
+    CpsCfaResult {
+        vars,
+        returns,
+        calls,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -500,10 +966,8 @@ mod tests {
 
     #[test]
     fn cps_cfa_reproduces_false_returns() {
-        let p = AnfProgram::parse(
-            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
-        )
-        .unwrap();
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")
+            .unwrap();
         let c = CpsProgram::from_anf(&p);
         let r = zero_cfa_cps(&c);
         assert!(r.false_return_edges() > 0, "Shivers' merge must be visible");
@@ -549,5 +1013,51 @@ mod tests {
         let g = p.var_named("g").unwrap();
         assert!(r.get(g).contains(&AbsClo::Inc));
         assert!(r.calls.values().next().unwrap().contains(&AbsClo::Inc));
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_sample_programs() {
+        for src in [
+            "(let (f (lambda (x) x)) (f f))",
+            "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))",
+            "(let (f (if0 z (lambda (d0) 0) (lambda (d1) 1))) (let (a (f 9)) a))",
+            "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
+            "(let (w (lambda (x) (x x))) (let (r (w w)) r))",
+            "(let (g add1) (g 1))",
+            "(let (a (if0 z 0 1)) (add1 a))",
+            "5",
+        ] {
+            let p = AnfProgram::parse(src).unwrap();
+            let sparse = zero_cfa(&p);
+            let dense = zero_cfa_dense(&p);
+            assert!(sparse.same_solution(&dense), "src 0CFA diverges on {src}");
+            assert_eq!(
+                sparse.terms.len(),
+                dense.terms.len(),
+                "terms key set on {src}"
+            );
+            let c = CpsProgram::from_anf(&p);
+            let sparse_c = zero_cfa_cps(&c);
+            let dense_c = zero_cfa_cps_dense(&c);
+            assert!(
+                sparse_c.same_solution(&dense_c),
+                "CPS 0CFA diverges on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_run_reports_sparse_counters() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")
+            .unwrap();
+        let (r, stats) = zero_cfa_instrumented(&p);
+        assert!(r.iterations >= 1);
+        assert!(stats.constraints > 0);
+        assert!(
+            stats.fired >= stats.constraints,
+            "every constraint fires at least once"
+        );
+        assert!(stats.pool_interned >= 1);
+        assert!(stats.pool_hit_rate() >= 0.0);
     }
 }

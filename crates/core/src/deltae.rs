@@ -101,10 +101,16 @@ pub fn compare_via_delta<D: NumDomain>(
 /// (the conjunction over variables, as in the theorem statements).
 pub fn overall(rows: &[CrossComparison<impl NumDomain>]) -> PrecisionOrder {
     let all_left = rows.iter().all(|r| {
-        matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise)
+        matches!(
+            r.order,
+            PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise
+        )
     });
     let all_right = rows.iter().all(|r| {
-        matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::RightMorePrecise)
+        matches!(
+            r.order,
+            PrecisionOrder::Equal | PrecisionOrder::RightMorePrecise
+        )
     });
     PrecisionOrder::from_leq(all_left, all_right)
 }
@@ -187,7 +193,10 @@ mod tests {
             let rows = compare_via_delta(&p, &c, &sem.store, &syn.store);
             for r in &rows {
                 assert!(
-                    matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise),
+                    matches!(
+                        r.order,
+                        PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise
+                    ),
                     "theorem 5.5 violated at {} on {src}: {r}",
                     r.name
                 );

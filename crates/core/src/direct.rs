@@ -153,7 +153,12 @@ impl<'p, D: NumDomain> DirectAnalyzer<'p, D> {
             flows: FlowLog::default(),
         };
         let AbsAnswer { value, store } = run.eval(self.prog.root(), store, self.dup_depth)?;
-        Ok(DirectResult { value, store, stats: run.stats, flows: run.flows })
+        Ok(DirectResult {
+            value,
+            store,
+            stats: run.stats,
+            flows: run.flows,
+        })
     }
 
     /// The least precise value `(⊤, CL⊤)` used by the §4.4 loop rule.
@@ -165,7 +170,11 @@ impl<'p, D: NumDomain> DirectAnalyzer<'p, D> {
 /// `CL⊤`: every λ of the program, plus `inc` / `dec` if the corresponding
 /// primitive occurs.
 pub(crate) fn clo_top_of(prog: &AnfProgram) -> BTreeSet<AbsClo> {
-    let mut set: BTreeSet<AbsClo> = prog.lambda_labels().iter().map(|&l| AbsClo::Lam(l)).collect();
+    let mut set: BTreeSet<AbsClo> = prog
+        .lambda_labels()
+        .iter()
+        .map(|&l| AbsClo::Lam(l))
+        .collect();
     prog.root().visit_values(&mut |v| match v.kind {
         AValKind::Add1 => {
             set.insert(AbsClo::Inc);
@@ -223,7 +232,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
             // current store (§4.4).
             self.stats.cycle_cuts += 1;
             self.depth -= 1;
-            return Ok(AbsAnswer { value: self.a.top_value(), store });
+            return Ok(AbsAnswer {
+                value: self.a.top_value(),
+                store,
+            });
         }
         self.path.insert(key.clone());
         let out = self.eval_inner(m, store, dup);
@@ -317,7 +329,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
         let elems: Vec<AbsClo> = u1.clos.iter().copied().collect();
         if elems.is_empty() {
             // Nothing applicable: the empty join. The continuation is dead.
-            return Ok(AbsAnswer { value: AbsVal::bot(), store });
+            return Ok(AbsAnswer {
+                value: AbsVal::bot(),
+                store,
+            });
         }
         if dup > 0 && elems.len() > 1 {
             // §6.3 bounded duplication: continuation analyzed per callee.
@@ -343,7 +358,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
                 Some(prev) => prev.join(&a),
             });
         }
-        let AbsAnswer { value: u3, store: mut s3 } = acc.expect("non-empty callee set");
+        let AbsAnswer {
+            value: u3,
+            store: mut s3,
+        } = acc.expect("non-empty callee set");
         s3.join_at(x, &u3);
         self.eval(body, s3, dup)
     }
@@ -366,14 +384,20 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
         if exactly_zero {
             // i = 1: u₀ = (0, ∅).
             self.flows.record_branch(site, true, false);
-            let AbsAnswer { value: u1, store: mut s1 } = self.eval(then_, store, dup)?;
+            let AbsAnswer {
+                value: u1,
+                store: mut s1,
+            } = self.eval(then_, store, dup)?;
             s1.join_at(x, &u1);
             return self.eval(body, s1, dup);
         }
         if !may_zero {
             // i = 2: (0, ∅) ⋢ u₀.
             self.flows.record_branch(site, false, true);
-            let AbsAnswer { value: u2, store: mut s2 } = self.eval(else_, store, dup)?;
+            let AbsAnswer {
+                value: u2,
+                store: mut s2,
+            } = self.eval(else_, store, dup)?;
             s2.join_at(x, &u2);
             return self.eval(body, s2, dup);
         }
@@ -382,21 +406,32 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
         if dup > 0 {
             // §6.3 bounded duplication: continuation analyzed per arm.
             let a1 = {
-                let AbsAnswer { value: u1, store: mut s1 } =
-                    self.eval(then_, store.clone(), dup)?;
+                let AbsAnswer {
+                    value: u1,
+                    store: mut s1,
+                } = self.eval(then_, store.clone(), dup)?;
                 s1.join_at(x, &u1);
                 self.eval(body, s1, dup - 1)?
             };
             let a2 = {
-                let AbsAnswer { value: u2, store: mut s2 } = self.eval(else_, store, dup)?;
+                let AbsAnswer {
+                    value: u2,
+                    store: mut s2,
+                } = self.eval(else_, store, dup)?;
                 s2.join_at(x, &u2);
                 self.eval(body, s2, dup - 1)?
             };
             return Ok(a1.join(&a2));
         }
         // Figure 4: join stores and arm values, continue once.
-        let AbsAnswer { value: u1, store: s1 } = self.eval(then_, store.clone(), dup)?;
-        let AbsAnswer { value: u2, store: s2 } = self.eval(else_, store, dup)?;
+        let AbsAnswer {
+            value: u1,
+            store: s1,
+        } = self.eval(then_, store.clone(), dup)?;
+        let AbsAnswer {
+            value: u2,
+            store: s2,
+        } = self.eval(else_, store, dup)?;
         let mut sj = s1.join(&s2);
         sj.join_at(x, &u1.join(&u2));
         self.eval(body, sj, dup)
@@ -464,8 +499,7 @@ mod tests {
         // applies each closure to the *current* store; after (f 1) the
         // store has x = 1, the application returns 1, a1 = 1. Then (f 2)
         // joins 2 at x (⊤) and returns ⊤ — a2 = ⊤.
-        let (p, r) =
-            analyze("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))");
+        let (p, r) = analyze("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))");
         assert_eq!(num_of(&p, &r, "a1").as_const(), Some(1));
         assert!(num_of(&p, &r, "x").is_top());
         assert!(num_of(&p, &r, "a2").is_top());
@@ -478,7 +512,10 @@ mod tests {
         let f = p.var_named("f").unwrap();
         assert!(r.store.get(f).clos.contains(&AbsClo::Lam(lam)));
         assert_eq!(r.flows.call_edge_count(), 1);
-        assert!(r.flows.returns.is_empty(), "direct analysis has no return sites");
+        assert!(
+            r.flows.returns.is_empty(),
+            "direct analysis has no return sites"
+        );
     }
 
     #[test]
@@ -523,7 +560,10 @@ mod tests {
             .with_seed(z, AbsVal::num(4))
             .analyze()
             .unwrap();
-        assert_eq!(r.store.get(p.var_named("a").unwrap()).num.as_const(), Some(5));
+        assert_eq!(
+            r.store.get(p.var_named("a").unwrap()).num.as_const(),
+            Some(5)
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ mod tests {
         assert!(allows_branch_pruning::<PowerSet<8>>());
         assert!(transfers_distribute::<PowerSet<8>>());
         assert!(!is_distributive::<PowerSet<8>>());
-        assert_eq!(PowerSet::<8>::DISTRIBUTIVE, is_distributive::<PowerSet<8>>());
+        assert_eq!(
+            PowerSet::<8>::DISTRIBUTIVE,
+            is_distributive::<PowerSet<8>>()
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl<const BOUND: i64> Interval<BOUND> {
             Bound::Fin(v) if v > BOUND => Bound::PosInf,
             b => b,
         };
-        Interval { range: Some((lo, hi)) }
+        Interval {
+            range: Some((lo, hi)),
+        }
     }
 }
 
@@ -98,7 +100,9 @@ impl<const BOUND: i64> NumDomain for Interval<BOUND> {
     }
 
     fn top() -> Self {
-        Interval { range: Some((Bound::NegInf, Bound::PosInf)) }
+        Interval {
+            range: Some((Bound::NegInf, Bound::PosInf)),
+        }
     }
 
     fn constant(n: i64) -> Self {

@@ -55,13 +55,19 @@ impl FlowLog {
     /// Merges another log into this one (used when joining branch analyses).
     pub fn absorb(&mut self, other: &FlowLog) {
         for (site, clos) in &other.calls {
-            self.calls.entry(*site).or_default().extend(clos.iter().copied());
+            self.calls
+                .entry(*site)
+                .or_default()
+                .extend(clos.iter().copied());
         }
         for (site, b) in &other.branches {
             self.record_branch(*site, b.then_taken, b.else_taken);
         }
         for (site, ks) in &other.returns {
-            self.returns.entry(*site).or_default().extend(ks.iter().copied());
+            self.returns
+                .entry(*site)
+                .or_default()
+                .extend(ks.iter().copied());
         }
     }
 
@@ -90,11 +96,7 @@ impl fmt::Display for FlowLog {
         }
         writeln!(f, "branches:")?;
         for (site, b) in &self.branches {
-            writeln!(
-                f,
-                "  {site} → then={} else={}",
-                b.then_taken, b.else_taken
-            )?;
+            writeln!(f, "  {site} → then={} else={}", b.then_taken, b.else_taken)?;
         }
         writeln!(f, "returns:")?;
         for (site, ks) in &self.returns {
@@ -137,7 +139,13 @@ mod tests {
         b.record_branch(Label::new(1), false, true);
         b.record_call(Label::new(2), AbsClo::Dec);
         a.absorb(&b);
-        assert_eq!(a.branches[&Label::new(1)], BranchCover { then_taken: true, else_taken: true });
+        assert_eq!(
+            a.branches[&Label::new(1)],
+            BranchCover {
+                then_taken: true,
+                else_taken: true
+            }
+        );
         assert_eq!(a.call_edge_count(), 1);
     }
 

@@ -18,7 +18,7 @@
 //! analysis-side version of inlining the return path.
 
 use crate::absval::{AbsClo, AbsKont};
-use cpsdfa_cps::{CTerm, CTermKind, CVarId, CValKind, CpsProgram};
+use cpsdfa_cps::{CTerm, CTermKind, CValKind, CVarId, CpsProgram};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -69,7 +69,10 @@ impl ContCfaResult {
     /// return site, `|konts| − 1` returns are confused. Context sensitivity
     /// drives this to 0 where 0CFA reports `m − 1`.
     pub fn false_return_edges(&self) -> usize {
-        self.returns.values().map(|ks| ks.len().saturating_sub(1)).sum()
+        self.returns
+            .values()
+            .map(|ks| ks.len().saturating_sub(1))
+            .sum()
     }
 
     /// The context-*erased* continuation set of a continuation variable,
@@ -238,7 +241,13 @@ fn step<'p>(
                 }
             }
         }
-        CTermKind::LetK { k, cont, then_, else_, .. } => {
+        CTermKind::LetK {
+            k,
+            cont,
+            then_,
+            else_,
+            ..
+        } => {
             let kid = prog.kont_var_id(k).expect("indexed continuation variable");
             let cell = r.konts.entry((kid, ctx)).or_default();
             let before = cell.len();
@@ -347,9 +356,7 @@ mod tests {
 
     #[test]
     fn conditionals_keep_contexts_apart() {
-        let c = cps(
-            "(let (f (lambda (x) (if0 x 0 1))) (let (a (f 0)) (let (b (f 5)) b)))",
-        );
+        let c = cps("(let (f (lambda (x) (if0 x 0 1))) (let (a (f 0)) (let (b (f 5)) b)))");
         let poly = cont_sensitive_cfa(&c);
         // two separate activations, each with a single caller continuation
         assert_eq!(poly.false_return_edges(), 0);

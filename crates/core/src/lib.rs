@@ -20,8 +20,10 @@
 //! mapping and [`precision`] comparisons (§5), an executable
 //! [soundness criterion](soundness) (§4.3), [distributivity](distrib)
 //! checks (Definition 5.3), machine-independent [cost counters](stats) and
-//! [flow logs](flow) (§6.1–6.2), and the classical [MFP/MOP
-//! substrate](mfp) for the Nielson / Kam–Ullman discussion (§6.2).
+//! [flow logs](flow) (§6.1–6.2), the classical [MFP/MOP
+//! substrate](mfp) for the Nielson / Kam–Ullman discussion (§6.2), and the
+//! shared sparse [worklist fixpoint engine](solver) with its
+//! [hash-consed set arena](setpool) that the 0CFA and MFP solvers run on.
 //!
 //! # Quick tour: Theorem 5.1 in five lines
 //!
@@ -52,6 +54,8 @@ pub mod mfp;
 pub mod precision;
 pub mod report;
 pub mod semcps;
+pub mod setpool;
+pub mod solver;
 pub mod soundness;
 pub mod stats;
 pub mod syncps;
@@ -62,5 +66,7 @@ pub use direct::{DirectAnalyzer, DirectResult};
 pub use flow::FlowLog;
 pub use precision::PrecisionOrder;
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};
-pub use stats::AnalysisStats;
+pub use setpool::{PoolStats, SetId, SetPool};
+pub use solver::WorklistSolver;
+pub use stats::{AnalysisStats, SolverStats};
 pub use syncps::{SynCpsAnalyzer, SynCpsResult};

@@ -29,6 +29,8 @@
 //!    MFP (when tests are unknown). E9 checks both correspondences.
 
 use crate::domain::NumDomain;
+use crate::solver::WorklistSolver;
+use crate::stats::SolverStats;
 use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
 use std::error::Error;
 use std::fmt;
@@ -103,7 +105,11 @@ pub struct Node {
 impl Node {
     /// A straight-line node.
     pub fn stmt(stmt: Stmt) -> Node {
-        Node { stmt, succs: Vec::new(), cond: None }
+        Node {
+            stmt,
+            succs: Vec::new(),
+            cond: None,
+        }
     }
 }
 
@@ -190,12 +196,20 @@ impl Cfg {
     /// [`CfgError::HigherOrder`] if the program mentions λ or applies
     /// anything but `add1`/`sub1`.
     pub fn from_first_order(prog: &AnfProgram) -> Result<Cfg, CfgError> {
-        let mut b = Builder { nodes: Vec::new(), prog };
+        let mut b = Builder {
+            nodes: Vec::new(),
+            prog,
+        };
         let entry = b.push(Node::stmt(Stmt::Nop));
         let last = b.lower(prog.root(), entry)?;
         let exit = b.push(Node::stmt(Stmt::Nop));
         b.connect(last, exit);
-        Ok(Cfg { nodes: b.nodes, entry, exit, num_vars: prog.num_vars() })
+        Ok(Cfg {
+            nodes: b.nodes,
+            entry,
+            exit,
+            num_vars: prog.num_vars(),
+        })
     }
 
     /// Builds a CFG directly — used for the classical examples that need
@@ -220,15 +234,24 @@ impl Cfg {
                 return Err(CfgError::Malformed(format!("edge out of range at n{i}")));
             }
             if node.succs.len() > 1 && node.cond.is_none() {
-                return Err(CfgError::Malformed(format!("two-way node n{i} lacks a condition")));
+                return Err(CfgError::Malformed(format!(
+                    "two-way node n{i} lacks a condition"
+                )));
             }
             if let Some(x) = node.stmt.def() {
                 if x.index() >= num_vars {
-                    return Err(CfgError::Malformed(format!("variable out of range at n{i}")));
+                    return Err(CfgError::Malformed(format!(
+                        "variable out of range at n{i}"
+                    )));
                 }
             }
         }
-        Ok(Cfg { nodes, entry, exit, num_vars })
+        Ok(Cfg {
+            nodes,
+            entry,
+            exit,
+            num_vars,
+        })
     }
 
     /// The nodes of the graph.
@@ -290,10 +313,102 @@ impl Cfg {
         a.iter().zip(b).all(|(x, y)| x.leq(y))
     }
 
-    /// The **MFP** solution by the classical worklist algorithm
-    /// (condition-blind): `in[n] = ⊔ out[pred]`, `out[n] = f_n(in[n])`,
-    /// iterated to fixpoint. Returns the per-variable summary.
+    /// The **MFP** solution — `in[n] = ⊔ out[pred]`, `out[n] = f_n(in[n])`,
+    /// iterated to fixpoint — computed on the sparse
+    /// [`WorklistSolver`]: one constraint per CFG node, re-evaluated only
+    /// when a predecessor's `out` grows, popped in reverse-postorder so
+    /// forward flow settles in near-linear firings on reducible graphs.
+    /// Returns the per-variable summary.
     pub fn solve_mfp<D: NumDomain>(&self, init: DfEnv<D>) -> DfSummary<D> {
+        self.solve_mfp_instrumented(init).0
+    }
+
+    /// [`solve_mfp`](Cfg::solve_mfp) plus the solver counters of the run.
+    pub fn solve_mfp_instrumented<D: NumDomain>(
+        &self,
+        init: DfEnv<D>,
+    ) -> (DfSummary<D>, SolverStats) {
+        let n = self.nodes.len();
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &s in &node.succs {
+                preds[s.0].push(NodeId(i));
+            }
+        }
+        let rank = self.rpo_ranks();
+        let mut solver = WorklistSolver::new();
+        solver.add_nodes(n);
+        // Constraint `i` evaluates node `i` and watches its predecessors.
+        // Every constraint is posted once up front: like the dense solver,
+        // MFP is condition- and reachability-blind, so unreachable nodes
+        // still contribute their (entry-free) outs to the summary.
+        for (i, ps) in preds.iter().enumerate() {
+            let c = solver.add_constraint(rank[i]);
+            debug_assert_eq!(c, i);
+            for &p in ps {
+                solver.watch(p.0, c);
+            }
+            solver.post(c);
+        }
+        let mut outs: Vec<DfEnv<D>> = vec![vec![D::bot(); self.num_vars]; n];
+        while let Some(id) = solver.pop() {
+            let mut inn = if NodeId(id) == self.entry {
+                init.clone()
+            } else {
+                vec![D::bot(); self.num_vars]
+            };
+            for &p in &preds[id] {
+                inn = Self::join_env(&inn, &outs[p.0]);
+            }
+            let out = self.transfer(self.nodes[id].stmt, &inn);
+            if !Self::env_leq(&out, &outs[id]) {
+                outs[id] = Self::join_env(&outs[id], &out);
+                solver.node_changed(id);
+            }
+        }
+        (self.summarize(&outs), solver.stats())
+    }
+
+    /// Reverse-postorder pop priorities from the entry; nodes unreachable
+    /// from the entry are ranked after all reachable ones, in index order.
+    fn rpo_ranks(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut postorder: Vec<usize> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        // Iterative DFS: (node, next successor slot to visit).
+        let mut stack: Vec<(usize, usize)> = vec![(self.entry.0, 0)];
+        seen[self.entry.0] = true;
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            if let Some(&s) = self.nodes[id].succs.get(*next) {
+                *next += 1;
+                if !seen[s.0] {
+                    seen[s.0] = true;
+                    stack.push((s.0, 0));
+                }
+            } else {
+                postorder.push(id);
+                stack.pop();
+            }
+        }
+        let mut rank = vec![0u32; n];
+        let reachable = postorder.len() as u32;
+        for (i, &id) in postorder.iter().rev().enumerate() {
+            rank[id] = i as u32;
+        }
+        let mut next = reachable;
+        for (id, r) in rank.iter_mut().enumerate() {
+            if !seen[id] {
+                *r = next;
+                next += 1;
+            }
+        }
+        rank
+    }
+
+    /// The original dense MFP worklist (LIFO over node ids, no dependency
+    /// tracking) — the measured baseline and differential oracle for
+    /// [`solve_mfp`](Cfg::solve_mfp).
+    pub fn solve_mfp_dense<D: NumDomain>(&self, init: DfEnv<D>) -> DfSummary<D> {
         let n = self.nodes.len();
         let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (i, node) in self.nodes.iter().enumerate() {
@@ -567,7 +682,9 @@ mod tests {
         let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
         let (p, c) = cfg(src);
         let init = c.initial_env::<Flat>(&p);
-        let (mop, paths) = c.solve_mop::<Flat>(init, 100, PathMode::FeasiblePaths).unwrap();
+        let (mop, paths) = c
+            .solve_mop::<Flat>(init, 100, PathMode::FeasiblePaths)
+            .unwrap();
         assert_eq!(paths, 2);
         assert_eq!(mop.get(p.var_named("a2").unwrap()).as_const(), Some(3));
     }
@@ -581,14 +698,46 @@ mod tests {
         let cc = VarId(2);
         let z = VarId(3);
         let nodes = vec![
-            Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None }, // 0 entry
-            Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
-            Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
-            Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
-            Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
-            Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
-            Node { stmt: Stmt::Sum(cc, a, b), succs: vec![NodeId(7)], cond: None },
-            Node { stmt: Stmt::Nop, succs: vec![], cond: None }, // 7 exit
+            Node {
+                stmt: Stmt::Havoc(z),
+                succs: vec![NodeId(1)],
+                cond: None,
+            }, // 0 entry
+            Node {
+                stmt: Stmt::Nop,
+                succs: vec![NodeId(2), NodeId(4)],
+                cond: Some(Cond::Var(z)),
+            },
+            Node {
+                stmt: Stmt::Const(a, 1),
+                succs: vec![NodeId(3)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Const(b, 2),
+                succs: vec![NodeId(6)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Const(a, 2),
+                succs: vec![NodeId(5)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Const(b, 1),
+                succs: vec![NodeId(6)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Sum(cc, a, b),
+                succs: vec![NodeId(7)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Nop,
+                succs: vec![],
+                cond: None,
+            }, // 7 exit
         ];
         let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
         let init = g.bottom_env::<Flat>();
@@ -611,7 +760,10 @@ mod tests {
     #[test]
     fn higher_order_programs_are_rejected() {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
-        assert!(matches!(Cfg::from_first_order(&p), Err(CfgError::HigherOrder(_))));
+        assert!(matches!(
+            Cfg::from_first_order(&p),
+            Err(CfgError::HigherOrder(_))
+        ));
     }
 
     #[test]
@@ -619,7 +771,9 @@ mod tests {
         let src = "(let (a (if0 z 0 1)) (let (b (if0 w 0 1)) (let (c (if0 v 0 1)) c)))";
         let (p, c) = cfg(src);
         let init = c.initial_env::<Flat>(&p);
-        let err = c.solve_mop::<Flat>(init.clone(), 7, PathMode::AllPaths).unwrap_err();
+        let err = c
+            .solve_mop::<Flat>(init.clone(), 7, PathMode::AllPaths)
+            .unwrap_err();
         assert_eq!(err, CfgError::TooManyPaths { limit: 7 });
         let (_, paths) = c.solve_mop::<Flat>(init, 8, PathMode::AllPaths).unwrap();
         assert_eq!(paths, 8);
@@ -644,15 +798,58 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_mfp_agree() {
+        for src in [
+            "(let (a 1) (let (b (add1 a)) b))",
+            "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))",
+            "(let (x (loop)) (let (y (add1 x)) y))",
+            "(let (a (if0 z 1 2)) (let (b (add1 a)) b))",
+            "(let (a (if0 z 0 1)) (let (b (if0 w 0 1)) (let (c (if0 v 0 1)) c)))",
+        ] {
+            let (p, c) = cfg(src);
+            let init = c.initial_env::<Flat>(&p);
+            let (sparse, stats) = c.solve_mfp_instrumented::<Flat>(init.clone());
+            let dense = c.solve_mfp_dense::<Flat>(init);
+            assert_eq!(sparse, dense, "MFP solutions diverge on {src}");
+            assert_eq!(stats.constraints, c.nodes().len() as u64);
+            assert!(stats.fired >= stats.constraints);
+        }
+    }
+
+    #[test]
+    fn rpo_pops_forward_graphs_in_one_pass_each() {
+        // On an acyclic diamond the RPO rank order means every node fires
+        // exactly once with no re-posts surviving coalescing.
+        let (p, c) = cfg("(let (a1 (if0 z 0 1)) (let (a2 (add1 a1)) a2))");
+        let (_, stats) = c.solve_mfp_instrumented::<Flat>(c.initial_env::<Flat>(&p));
+        assert_eq!(
+            stats.fired, stats.constraints,
+            "acyclic CFG should settle in one RPO pass"
+        );
+    }
+
+    #[test]
     fn from_parts_validates() {
-        let bad = vec![Node { stmt: Stmt::Nop, succs: vec![NodeId(5)], cond: None }];
+        let bad = vec![Node {
+            stmt: Stmt::Nop,
+            succs: vec![NodeId(5)],
+            cond: None,
+        }];
         assert!(matches!(
             Cfg::from_parts(bad, NodeId(0), NodeId(0), 0),
             Err(CfgError::Malformed(_))
         ));
         let two_way = vec![
-            Node { stmt: Stmt::Nop, succs: vec![NodeId(1), NodeId(1)], cond: None },
-            Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+            Node {
+                stmt: Stmt::Nop,
+                succs: vec![NodeId(1), NodeId(1)],
+                cond: None,
+            },
+            Node {
+                stmt: Stmt::Nop,
+                succs: vec![],
+                cond: None,
+            },
         ];
         assert!(matches!(
             Cfg::from_parts(two_way, NodeId(0), NodeId(1), 0),

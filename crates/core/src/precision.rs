@@ -88,7 +88,13 @@ pub fn compare_per_var<D: NumDomain>(
             let l = left.get(v).clone();
             let r = right.get(v).clone();
             let order = compare_values(&l, &r);
-            VarComparison { var: v, name: name.to_string(), left: l, right: r, order }
+            VarComparison {
+                var: v,
+                name: name.to_string(),
+                left: l,
+                right: r,
+                order,
+            }
         })
         .collect()
 }
@@ -147,9 +153,18 @@ mod tests {
     #[test]
     fn order_from_leq_covers_all_cases() {
         assert_eq!(PrecisionOrder::from_leq(true, true), PrecisionOrder::Equal);
-        assert_eq!(PrecisionOrder::from_leq(true, false), PrecisionOrder::LeftMorePrecise);
-        assert_eq!(PrecisionOrder::from_leq(false, true), PrecisionOrder::RightMorePrecise);
-        assert_eq!(PrecisionOrder::from_leq(false, false), PrecisionOrder::Incomparable);
+        assert_eq!(
+            PrecisionOrder::from_leq(true, false),
+            PrecisionOrder::LeftMorePrecise
+        );
+        assert_eq!(
+            PrecisionOrder::from_leq(false, true),
+            PrecisionOrder::RightMorePrecise
+        );
+        assert_eq!(
+            PrecisionOrder::from_leq(false, false),
+            PrecisionOrder::Incomparable
+        );
     }
 
     #[test]

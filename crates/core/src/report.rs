@@ -3,6 +3,7 @@
 
 use crate::absval::{AbsStore, CAbsStore};
 use crate::domain::NumDomain;
+use crate::stats::SolverStats;
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_cps::CpsProgram;
 use std::fmt::Write as _;
@@ -23,6 +24,28 @@ pub fn render_cstore<D: NumDomain>(prog: &CpsProgram, store: &CAbsStore<D>) -> S
     for (v, key) in prog.iter_vars() {
         let _ = writeln!(out, "  {:<10} ↦ {}", key.to_string(), store.get(v));
     }
+    out
+}
+
+/// Renders the sparse-engine counters of one analysis run as an indented
+/// block: scheduling work on the first line, savings relative to a dense
+/// sweep on the second. `coalesced` posts and memoized pool joins are the
+/// two quantities a dense formulation pays for and the sparse one does not.
+pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {label:<10} {} nodes, {} constraints, {} fired ({} posts, {} coalesced)",
+        stats.nodes, stats.constraints, stats.fired, stats.posted, stats.coalesced
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {} node updates, {} pooled sets, join hit-rate {:.0}%",
+        "",
+        stats.node_updates,
+        stats.pool_interned,
+        stats.pool_hit_rate() * 100.0
+    );
     out
 }
 
@@ -84,6 +107,16 @@ mod tests {
         let text = render_cstore(&c, &r.store);
         assert!(text.contains("k%"));
         assert!(text.contains("stop"));
+    }
+
+    #[test]
+    fn solver_stats_rendering_names_the_savings() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let (_, stats) = crate::cfa::zero_cfa_instrumented(&p);
+        let text = render_solver_stats("0CFA", &stats);
+        assert!(text.contains("0CFA"));
+        assert!(text.contains("coalesced"));
+        assert!(text.contains("hit-rate"));
     }
 
     #[test]

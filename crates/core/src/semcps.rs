@@ -158,7 +158,12 @@ impl<'p, D: NumDomain> SemCpsAnalyzer<'p, D> {
             flows: FlowLog::default(),
         };
         let AbsAnswer { value, store } = run.eval(self.prog.root(), &KList::nil(), store)?;
-        Ok(SemCpsResult { value, store, stats: run.stats, flows: run.flows })
+        Ok(SemCpsResult {
+            value,
+            store,
+            stats: run.stats,
+            flows: run.flows,
+        })
     }
 
     /// `(⊤, CL⊤)` for the §4.4 loop rule.
@@ -189,7 +194,10 @@ impl<'p> KList<'p> {
     }
 
     fn push(&self, frame: KFrame<'p>) -> Self {
-        KList(Some(Rc::new(KNode { frame, rest: self.clone() })))
+        KList(Some(Rc::new(KNode {
+            frame,
+            rest: self.clone(),
+        })))
     }
 
     fn pop(&self) -> Option<(KFrame<'p>, KList<'p>)> {
@@ -335,7 +343,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
     ) -> Result<AbsAnswer<D>, AnalysisError> {
         let elems: Vec<AbsClo> = u1.clos.iter().copied().collect();
         if elems.is_empty() {
-            return Ok(AbsAnswer { value: AbsVal::bot(), store });
+            return Ok(AbsAnswer {
+                value: AbsVal::bot(),
+                store,
+            });
         }
         let mut acc: Option<AbsAnswer<D>> = None;
         for clo in elems {

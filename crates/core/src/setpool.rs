@@ -1,0 +1,270 @@
+//! Hash-consed set arena: interns `BTreeSet<T>` values into small [`SetId`]
+//! handles with O(1) equality, memoized pairwise joins, and copy-free
+//! propagation.
+//!
+//! The dense fixpoint loops (pre-solver `zero_cfa`/`zero_cfa_cps`) cloned
+//! `BTreeSet<AbsClo>` values on every propagation step. A pool turns those
+//! clones into handle copies: a set is built at most once, `join(a, b)` is
+//! computed at most once per (unordered) pair of handles, and repeated
+//! no-op joins (`a ⊔ b = a`) cost one hash lookup. Equality of handles is
+//! equality of sets, so convergence checks are integer compares.
+//!
+//! Pools are deliberately *not* shared across threads: each analysis task
+//! owns its pool (see the corpus driver in `cpsdfa-workloads`), which keeps
+//! the arena lock-free.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// A handle to an interned set. Two handles from the *same pool* are equal
+/// iff the sets they denote are equal. [`SetPool::EMPTY`] is always the
+/// empty set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The dense index of this handle (for side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Counters describing pool effectiveness; folded into
+/// [`SolverStats`](crate::stats::SolverStats) by the sparse analyzers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Distinct sets interned (arena size).
+    pub interned: u64,
+    /// Joins answered from the memo table or by a trivial identity.
+    pub join_hits: u64,
+    /// Joins that had to materialize a union.
+    pub join_misses: u64,
+}
+
+impl PoolStats {
+    /// Fraction of joins that avoided building a set, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.join_hits + self.join_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.join_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The arena. `T` is the set element (e.g. `AbsClo`, `AbsKont`, or the CPS
+/// mixed flow value).
+pub struct SetPool<T> {
+    sets: Vec<Rc<BTreeSet<T>>>,
+    intern: HashMap<Rc<BTreeSet<T>>, SetId>,
+    join_memo: HashMap<(SetId, SetId), SetId>,
+    insert_memo: HashMap<(SetId, T), SetId>,
+    stats: PoolStats,
+}
+
+impl<T: Ord + Clone + Hash> SetPool<T> {
+    /// The empty set's handle, valid in every pool.
+    pub const EMPTY: SetId = SetId(0);
+
+    /// A fresh pool containing only the empty set.
+    pub fn new() -> Self {
+        let empty = Rc::new(BTreeSet::new());
+        let mut intern = HashMap::new();
+        intern.insert(Rc::clone(&empty), SetId(0));
+        SetPool {
+            sets: vec![empty],
+            intern,
+            join_memo: HashMap::new(),
+            insert_memo: HashMap::new(),
+            stats: PoolStats {
+                interned: 1,
+                ..PoolStats::default()
+            },
+        }
+    }
+
+    /// Interns `set`, returning its canonical handle.
+    pub fn intern(&mut self, set: BTreeSet<T>) -> SetId {
+        if let Some(&id) = self.intern.get(&set) {
+            return id;
+        }
+        let id = SetId(self.sets.len() as u32);
+        let rc = Rc::new(set);
+        self.sets.push(Rc::clone(&rc));
+        self.intern.insert(rc, id);
+        self.stats.interned += 1;
+        id
+    }
+
+    /// The handle of `{v}`.
+    pub fn singleton(&mut self, v: T) -> SetId {
+        self.intern(BTreeSet::from([v]))
+    }
+
+    /// The set behind a handle.
+    pub fn get(&self, id: SetId) -> &BTreeSet<T> {
+        &self.sets[id.index()]
+    }
+
+    /// An O(1) shared handle to the set — lets callers iterate a set while
+    /// continuing to mutate the pool (the propagation loops need this).
+    pub fn get_rc(&self, id: SetId) -> Rc<BTreeSet<T>> {
+        Rc::clone(&self.sets[id.index()])
+    }
+
+    /// Cardinality of the set behind `id`.
+    pub fn len(&self, id: SetId) -> usize {
+        self.sets[id.index()].len()
+    }
+
+    /// True iff `id` denotes the empty set.
+    pub fn is_empty(&self, id: SetId) -> bool {
+        id == Self::EMPTY
+    }
+
+    /// `a ∪ b`, memoized. Identity and absorption cases (`a = b`, either
+    /// side empty, one side a superset) never materialize a new set.
+    pub fn join(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b || b == Self::EMPTY {
+            self.stats.join_hits += 1;
+            return a;
+        }
+        if a == Self::EMPTY {
+            self.stats.join_hits += 1;
+            return b;
+        }
+        // Union is commutative: normalize the memo key.
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.join_memo.get(&key) {
+            self.stats.join_hits += 1;
+            return id;
+        }
+        self.stats.join_misses += 1;
+        let (sa, sb) = (&self.sets[a.index()], &self.sets[b.index()]);
+        let id = if sb.is_subset(sa) {
+            a
+        } else if sa.is_subset(sb) {
+            b
+        } else {
+            let union: BTreeSet<T> = sa.union(sb).cloned().collect();
+            self.intern(union)
+        };
+        self.join_memo.insert(key, id);
+        id
+    }
+
+    /// `a ∪ {v}`, memoized.
+    pub fn insert(&mut self, a: SetId, v: T) -> SetId {
+        if self.sets[a.index()].contains(&v) {
+            self.stats.join_hits += 1;
+            return a;
+        }
+        let key = (a, v.clone());
+        if let Some(&id) = self.insert_memo.get(&key) {
+            self.stats.join_hits += 1;
+            return id;
+        }
+        self.stats.join_misses += 1;
+        let mut set = (*self.sets[a.index()]).clone();
+        set.insert(v);
+        let id = self.intern(set);
+        self.insert_memo.insert(key, id);
+        id
+    }
+
+    /// Pool effectiveness counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+impl<T: Ord + Clone + Hash> Default for SetPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_equality_is_set_equality() {
+        let mut p = SetPool::new();
+        let a = p.intern(BTreeSet::from([1, 2, 3]));
+        let b = p.intern(BTreeSet::from([3, 2, 1]));
+        let c = p.intern(BTreeSet::from([1, 2]));
+        assert_eq!(a, b, "same set must intern to the same handle");
+        assert_ne!(a, c);
+        assert_eq!(p.get(a), &BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_is_the_join_identity() {
+        let mut p = SetPool::new();
+        let a = p.intern(BTreeSet::from([7]));
+        let empty = SetPool::<i32>::EMPTY;
+        assert_eq!(p.join(a, empty), a);
+        assert_eq!(p.join(empty, a), a);
+        assert_eq!(p.join(empty, empty), empty);
+        assert!(p.is_empty(empty));
+    }
+
+    #[test]
+    fn join_is_memoized_and_commutative() {
+        let mut p = SetPool::new();
+        let a = p.intern(BTreeSet::from([1]));
+        let b = p.intern(BTreeSet::from([2]));
+        let ab1 = p.join(a, b);
+        let misses_after_first = p.stats().join_misses;
+        let ab2 = p.join(b, a);
+        assert_eq!(ab1, ab2);
+        assert_eq!(
+            p.stats().join_misses,
+            misses_after_first,
+            "second join must hit the memo"
+        );
+        assert_eq!(p.get(ab1), &BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn subset_joins_reuse_the_larger_handle() {
+        let mut p = SetPool::new();
+        let big = p.intern(BTreeSet::from([1, 2, 3]));
+        let small = p.intern(BTreeSet::from([2]));
+        assert_eq!(p.join(big, small), big);
+        assert_eq!(p.join(small, big), big);
+    }
+
+    #[test]
+    fn insert_dedups_and_memoizes() {
+        let mut p = SetPool::new();
+        let a = p.intern(BTreeSet::from([1]));
+        let a1 = p.insert(a, 2);
+        let a2 = p.insert(a, 2);
+        assert_eq!(a1, a2);
+        assert_eq!(
+            p.insert(a1, 2),
+            a1,
+            "inserting a present element is the identity"
+        );
+        let direct = p.intern(BTreeSet::from([1, 2]));
+        assert_eq!(a1, direct);
+    }
+
+    #[test]
+    fn hit_rate_reflects_memo_effectiveness() {
+        let mut p = SetPool::new();
+        let a = p.intern(BTreeSet::from([1]));
+        let b = p.intern(BTreeSet::from([2]));
+        for _ in 0..10 {
+            p.join(a, b);
+        }
+        let s = p.stats();
+        assert_eq!(s.join_misses, 1);
+        assert_eq!(s.join_hits, 9);
+        assert!(s.hit_rate() > 0.8);
+    }
+}

@@ -41,6 +41,74 @@ impl fmt::Display for AnalysisStats {
     }
 }
 
+/// Counters from one run of the sparse worklist engine
+/// ([`WorklistSolver`](crate::solver::WorklistSolver)), optionally folded
+/// together with the set-pool counters of the same run. The interesting
+/// quantity for §6-style cost arguments is `coalesced`: every coalesced
+/// post is a constraint evaluation the dense formulation would have paid
+/// for and the sparse one did not.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Flow nodes registered.
+    pub nodes: u64,
+    /// Constraints registered.
+    pub constraints: u64,
+    /// Constraint activations requested (initial posts + change posts).
+    pub posted: u64,
+    /// Activations absorbed by an already-pending constraint — re-visits
+    /// the sparse engine saved.
+    pub coalesced: u64,
+    /// Constraint evaluations actually performed.
+    pub fired: u64,
+    /// Node-value growth events observed.
+    pub node_updates: u64,
+    /// Distinct sets interned by the run's set pool (0 for non-pooled
+    /// instances such as MFP).
+    pub pool_interned: u64,
+    /// Set-pool joins answered without building a set.
+    pub pool_join_hits: u64,
+    /// Set-pool joins that materialized a union.
+    pub pool_join_misses: u64,
+}
+
+impl SolverStats {
+    /// Folds a set pool's counters into these solver counters.
+    #[must_use]
+    pub fn with_pool(mut self, pool: crate::setpool::PoolStats) -> Self {
+        self.pool_interned += pool.interned;
+        self.pool_join_hits += pool.join_hits;
+        self.pool_join_misses += pool.join_misses;
+        self
+    }
+
+    /// Fraction of set joins answered without building a set, in `[0, 1]`.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_join_hits + self.pool_join_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_join_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} constraints={} posted={} coalesced={} fired={} updates={} pool(sets={} hit-rate={:.2})",
+            self.nodes,
+            self.constraints,
+            self.posted,
+            self.coalesced,
+            self.fired,
+            self.node_updates,
+            self.pool_interned,
+            self.pool_hit_rate(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,10 +124,42 @@ mod tests {
 
     #[test]
     fn display_lists_all_counters() {
-        let s = AnalysisStats { goals: 1, cycle_cuts: 2, max_depth: 3, returns: 4 };
+        let s = AnalysisStats {
+            goals: 1,
+            cycle_cuts: 2,
+            max_depth: 3,
+            returns: 4,
+        };
         let text = s.to_string();
         for needle in ["goals=1", "cuts=2", "depth=3", "returns=4"] {
             assert!(text.contains(needle));
         }
+    }
+
+    #[test]
+    fn solver_stats_fold_pool_counters_and_rate() {
+        let pool = crate::setpool::PoolStats {
+            interned: 5,
+            join_hits: 3,
+            join_misses: 1,
+        };
+        let s = SolverStats {
+            posted: 10,
+            coalesced: 4,
+            fired: 6,
+            ..SolverStats::default()
+        }
+        .with_pool(pool);
+        assert_eq!(s.pool_interned, 5);
+        assert!((s.pool_hit_rate() - 0.75).abs() < 1e-9);
+        let text = s.to_string();
+        for needle in ["posted=10", "coalesced=4", "fired=6", "hit-rate=0.75"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_has_perfect_hit_rate() {
+        assert!((SolverStats::default().pool_hit_rate() - 1.0).abs() < 1e-9);
     }
 }

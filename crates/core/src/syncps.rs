@@ -15,9 +15,9 @@ use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
 use crate::stats::AnalysisStats;
-use cpsdfa_cps::{CLambdaRef, CTerm, CTermKind, CVal, CValKind, CVarId, ContRef, CpsProgram};
 #[cfg(test)]
 use cpsdfa_cps::VarKey;
+use cpsdfa_cps::{CLambdaRef, CTerm, CTermKind, CVal, CValKind, CVarId, ContRef, CpsProgram};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -68,8 +68,11 @@ impl<'p, D: NumDomain> SynCpsAnalyzer<'p, D> {
     /// Creates an analyzer for a CPS program; free user variables default
     /// to `(⊤, ∅, ∅)` and the top continuation variable to `{stop}`.
     pub fn new(prog: &'p CpsProgram) -> Self {
-        let mut clo_top: BTreeSet<AbsClo> =
-            prog.lambda_labels().iter().map(|&l| AbsClo::Lam(l)).collect();
+        let mut clo_top: BTreeSet<AbsClo> = prog
+            .lambda_labels()
+            .iter()
+            .map(|&l| AbsClo::Lam(l))
+            .collect();
         prog.root().visit_parts(
             &mut |v| match v.kind {
                 CValKind::Add1K => {
@@ -166,7 +169,12 @@ impl<'p, D: NumDomain> SynCpsAnalyzer<'p, D> {
             flows: FlowLog::default(),
         };
         let CAbsAnswer { value, store } = run.eval(self.prog.root(), store)?;
-        Ok(SynCpsResult { value, store, stats: run.stats, flows: run.flows })
+        Ok(SynCpsResult {
+            value,
+            store,
+            stats: run.stats,
+            flows: run.flows,
+        })
     }
 
     /// `(⊤, CL⊤, K⊤)` for the §4.4 loop rule.
@@ -208,7 +216,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
         if self.path.contains(&key) {
             self.stats.cycle_cuts += 1;
             self.depth -= 1;
-            return Ok(CAbsAnswer { value: self.a.top_value(), store });
+            return Ok(CAbsAnswer {
+                value: self.a.top_value(),
+                store,
+            });
         }
         self.path.insert(key.clone());
         let out = self.eval_inner(p, store);
@@ -226,7 +237,11 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
             // (k W): apply every continuation in σ(k) — false returns live
             // here.
             CTermKind::Ret(k, w) => {
-                let kid = self.a.prog.kont_var_id(k).expect("indexed continuation variable");
+                let kid = self
+                    .a
+                    .prog
+                    .kont_var_id(k)
+                    .expect("indexed continuation variable");
                 let konts: Vec<AbsKont> = store.get(kid).konts.iter().copied().collect();
                 let u = self.phi(w, &store);
                 for &kk in &konts {
@@ -240,7 +255,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
                         Some(prev) => prev.join(&a),
                     });
                 }
-                Ok(acc.unwrap_or(CAbsAnswer { value: CAbsVal::bot(), store }))
+                Ok(acc.unwrap_or(CAbsAnswer {
+                    value: CAbsVal::bot(),
+                    store,
+                }))
             }
             CTermKind::Let { var, val, body } => {
                 let u = self.phi(val, &store);
@@ -256,7 +274,10 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
                 let kv = CAbsVal::kont(AbsKont::Co(cont.label));
                 let elems: Vec<AbsClo> = u1.clos.iter().copied().collect();
                 if elems.is_empty() {
-                    return Ok(CAbsAnswer { value: CAbsVal::bot(), store });
+                    return Ok(CAbsAnswer {
+                        value: CAbsVal::bot(),
+                        store,
+                    });
                 }
                 let mut acc: Option<CAbsAnswer<D>> = None;
                 for clo in elems {
@@ -286,8 +307,18 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
                 Ok(acc.expect("non-empty callee set"))
             }
             // (let (k λx.P) (if0 W P₁ P₂)).
-            CTermKind::LetK { k, cont, test, then_, else_ } => {
-                let kid = self.a.prog.kont_var_id(k).expect("indexed continuation variable");
+            CTermKind::LetK {
+                k,
+                cont,
+                test,
+                then_,
+                else_,
+            } => {
+                let kid = self
+                    .a
+                    .prog
+                    .kont_var_id(k)
+                    .expect("indexed continuation variable");
                 let mut store = store;
                 store.join_at(kid, &CAbsVal::kont(AbsKont::Co(cont.label)));
                 let u0 = self.phi(test, &store);
@@ -391,8 +422,7 @@ mod tests {
 
     #[test]
     fn theorem_52_case_1_duplication_gain_survives_cps() {
-        let (c, r) =
-            analyze("(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))");
+        let (c, r) = analyze("(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))");
         assert_eq!(num_of(&c, &r, "a2").as_const(), Some(3));
         assert_eq!(r.value.num.as_const(), Some(3));
     }
@@ -452,7 +482,10 @@ mod tests {
             .filter(|(id, _)| matches!(c.key(*id), VarKey::Kont(_)))
             .map(|(_, v)| v.konts.len())
             .collect();
-        assert!(konts.iter().any(|&n| n >= 2), "some k holds ≥ 2 continuations: {konts:?}");
+        assert!(
+            konts.iter().any(|&n| n >= 2),
+            "some k holds ≥ 2 continuations: {konts:?}"
+        );
     }
 
     #[test]

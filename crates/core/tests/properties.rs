@@ -5,12 +5,16 @@
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_core::absval::{AbsClo, AbsVal};
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps, zero_cfa_cps_dense, zero_cfa_dense};
 use cpsdfa_core::deltae::delta_val;
 use cpsdfa_core::domain::{AnyNum, Flat, Interval, NumDomain, Parity, PowerSet, Sign};
+use cpsdfa_core::mfp::Cfg;
 use cpsdfa_core::{DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
 use cpsdfa_cps::CpsProgram;
 use cpsdfa_syntax::Label;
-use cpsdfa_workloads::random::{generate, open_config};
+use cpsdfa_workloads::families;
+use cpsdfa_workloads::par::par_map;
+use cpsdfa_workloads::random::{corpus, generate, open_config};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -208,6 +212,25 @@ proptest! {
     }
 
     #[test]
+    fn sparse_solvers_match_their_dense_oracles(seed in 0u64..10_000) {
+        // The sparse worklist engine and the dense sweeps are two chaotic
+        // iteration orders over the same monotone constraint system, so
+        // they must reach the same least fixpoint on every program.
+        let t = generate(seed, &open_config());
+        let p = AnfProgram::from_term(&t);
+        prop_assert!(zero_cfa(&p).same_solution(&zero_cfa_dense(&p)));
+        let c = CpsProgram::from_anf(&p);
+        prop_assert!(zero_cfa_cps(&c).same_solution(&zero_cfa_cps_dense(&c)));
+        if let Ok(cfg) = Cfg::from_first_order(&p) {
+            let init = cfg.initial_env::<Flat>(&p);
+            prop_assert_eq!(
+                cfg.solve_mfp::<Flat>(init.clone()),
+                cfg.solve_mfp_dense::<Flat>(init)
+            );
+        }
+    }
+
+    #[test]
     fn powerset_refines_flat_on_programs(seed in 0u64..10_000) {
         // γ(PowerSet result) ⊆ γ(Flat result), pointwise, on a sample of
         // concrete values.
@@ -229,5 +252,49 @@ proptest! {
             // need not coincide.
             prop_assert!(ps.store.get(v).clos.is_subset(&flat.store.get(v).clos));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-vs-dense differential sweep (the tentpole's acceptance corpus)
+// ---------------------------------------------------------------------------
+
+/// Both 0CFA formulations agree bit-for-bit with their dense oracles on a
+/// 500-program seeded corpus, and MFP agrees on every first-order member
+/// plus the diamond family. One corpus-sized check (driven in parallel)
+/// rather than a proptest so the acceptance corpus is fixed and exact.
+#[test]
+fn sparse_matches_dense_on_500_program_corpus() {
+    let progs = corpus(0x5_0CFA, 500, &open_config());
+    let verdicts = par_map(&progs, |t| {
+        let p = AnfProgram::from_term(t);
+        if !zero_cfa(&p).same_solution(&zero_cfa_dense(&p)) {
+            return false;
+        }
+        let c = CpsProgram::from_anf(&p);
+        if !zero_cfa_cps(&c).same_solution(&zero_cfa_cps_dense(&c)) {
+            return false;
+        }
+        match Cfg::from_first_order(&p) {
+            Ok(cfg) => {
+                let init = cfg.initial_env::<Flat>(&p);
+                cfg.solve_mfp::<Flat>(init.clone()) == cfg.solve_mfp_dense::<Flat>(init)
+            }
+            Err(_) => true, // higher-order: MFP out of scope
+        }
+    });
+    let agree = verdicts.iter().filter(|&&ok| ok).count();
+    assert_eq!(agree, progs.len(), "sparse/dense divergence in the corpus");
+
+    // First-order MFP coverage on the family the random corpus underserves.
+    for n in 1..=16 {
+        let p = AnfProgram::from_term(&families::diamond_chain(n));
+        let cfg = Cfg::from_first_order(&p).unwrap();
+        let init = cfg.initial_env::<Flat>(&p);
+        assert_eq!(
+            cfg.solve_mfp::<Flat>(init.clone()),
+            cfg.solve_mfp_dense::<Flat>(init),
+            "MFP sparse/dense divergence on diamond_chain({n})"
+        );
     }
 }

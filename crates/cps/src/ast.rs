@@ -119,7 +119,10 @@ impl CTerm {
     /// Creates an unlabeled node (labels are assigned by the transform or
     /// the program builder).
     pub fn new(kind: CTermKind) -> Self {
-        CTerm { label: Label::UNASSIGNED, kind }
+        CTerm {
+            label: Label::UNASSIGNED,
+            kind,
+        }
     }
 
     /// The number of nodes (terms + values + continuation λs).
@@ -128,9 +131,13 @@ impl CTerm {
             CTermKind::Ret(_, w) => 1 + w.size(),
             CTermKind::Let { val, body, .. } => 1 + val.size() + body.size(),
             CTermKind::Call { f, arg, cont } => 1 + f.size() + arg.size() + cont.size(),
-            CTermKind::LetK { cont, test, then_, else_, .. } => {
-                1 + cont.size() + test.size() + then_.size() + else_.size()
-            }
+            CTermKind::LetK {
+                cont,
+                test,
+                then_,
+                else_,
+                ..
+            } => 1 + cont.size() + test.size() + then_.size() + else_.size(),
             CTermKind::Loop { cont } => 1 + cont.size(),
         }
     }
@@ -150,7 +157,13 @@ impl CTerm {
                 arg.visit_inner(f);
                 cont.body.visit_terms(f);
             }
-            CTermKind::LetK { cont, test, then_, else_, .. } => {
+            CTermKind::LetK {
+                cont,
+                test,
+                then_,
+                else_,
+                ..
+            } => {
                 cont.body.visit_terms(f);
                 test.visit_inner(f);
                 then_.visit_terms(f);
@@ -178,7 +191,13 @@ impl CTerm {
                 on_cont(cont);
                 cont.body.visit_parts(on_val, on_cont);
             }
-            CTermKind::LetK { cont, test, then_, else_, .. } => {
+            CTermKind::LetK {
+                cont,
+                test,
+                then_,
+                else_,
+                ..
+            } => {
                 on_cont(cont);
                 cont.body.visit_parts(on_val, on_cont);
                 test.visit_values(on_val, on_cont);
@@ -196,7 +215,11 @@ impl CTerm {
 impl ContLam {
     /// Creates an unlabeled continuation λ.
     pub fn new(var: Ident, body: CTerm) -> Self {
-        ContLam { label: Label::UNASSIGNED, var, body: Box::new(body) }
+        ContLam {
+            label: Label::UNASSIGNED,
+            var,
+            body: Box::new(body),
+        }
     }
 
     /// The number of nodes.
@@ -208,7 +231,10 @@ impl ContLam {
 impl CVal {
     /// Creates an unlabeled value node.
     pub fn new(kind: CValKind) -> Self {
-        CVal { label: Label::UNASSIGNED, kind }
+        CVal {
+            label: Label::UNASSIGNED,
+            kind,
+        }
     }
 
     /// The number of nodes.
@@ -248,7 +274,13 @@ impl fmt::Display for CTerm {
             CTermKind::Ret(k, w) => write!(f, "({k} {w})"),
             CTermKind::Let { var, val, body } => write!(f, "(let ({var} {val}) {body})"),
             CTermKind::Call { f: fun, arg, cont } => write!(f, "({fun} {arg} {cont})"),
-            CTermKind::LetK { k, cont, test, then_, else_ } => {
+            CTermKind::LetK {
+                k,
+                cont,
+                test,
+                then_,
+                else_,
+            } => {
                 write!(f, "(let ({k} {cont}) (if0 {test} {then_} {else_}))")
             }
             CTermKind::Loop { cont } => write!(f, "(loop {cont})"),
@@ -306,7 +338,10 @@ mod tests {
         let t = CTerm::new(CTermKind::Call {
             f: CVal::new(CValKind::Var(Ident::new("f"))),
             arg: CVal::new(CValKind::Num(1)),
-            cont: ContLam::new(Ident::new("a"), ret("k", CVal::new(CValKind::Var(Ident::new("a"))))),
+            cont: ContLam::new(
+                Ident::new("a"),
+                ret("k", CVal::new(CValKind::Var(Ident::new("a")))),
+            ),
         });
         assert_eq!(t.to_string(), "(f 1 (lambda (a) (k a)))");
     }
@@ -315,7 +350,10 @@ mod tests {
     fn letk_displays_as_let_then_if0() {
         let t = CTerm::new(CTermKind::LetK {
             k: KIdent::new("k1"),
-            cont: ContLam::new(Ident::new("x"), ret("k", CVal::new(CValKind::Var(Ident::new("x"))))),
+            cont: ContLam::new(
+                Ident::new("x"),
+                ret("k", CVal::new(CValKind::Var(Ident::new("x")))),
+            ),
             test: CVal::new(CValKind::Var(Ident::new("z"))),
             then_: Box::new(ret("k1", CVal::new(CValKind::Num(0)))),
             else_: Box::new(ret("k1", CVal::new(CValKind::Num(1)))),
@@ -344,7 +382,10 @@ mod tests {
             cont: ContLam::new(
                 Ident::new("a"),
                 CTerm::new(CTermKind::Loop {
-                    cont: ContLam::new(Ident::new("b"), ret("k", CVal::new(CValKind::Var(Ident::new("b"))))),
+                    cont: ContLam::new(
+                        Ident::new("b"),
+                        ret("k", CVal::new(CValKind::Var(Ident::new("b")))),
+                    ),
                 }),
             ),
         });

@@ -239,7 +239,10 @@ impl CpsProgram {
 
     /// Iterates over `(CVarId, key)` pairs in index order.
     pub fn iter_vars(&self) -> impl Iterator<Item = (CVarId, &VarKey)> {
-        self.vars.iter().enumerate().map(|(i, k)| (CVarId(i as u32), k))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (CVarId(i as u32), k))
     }
 
     /// Ids of the free (user) variables.
@@ -369,7 +372,13 @@ fn walk_term(t: &CTerm, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
             walk_val(arg, bound, out);
             walk_cont(cont, bound, out);
         }
-        CTermKind::LetK { cont, test, then_, else_, .. } => {
+        CTermKind::LetK {
+            cont,
+            test,
+            then_,
+            else_,
+            ..
+        } => {
             walk_cont(cont, bound, out);
             walk_val(test, bound, out);
             walk_term(then_, bound, out);
@@ -393,7 +402,13 @@ fn collect_binders(t: &CTerm, add: &mut impl FnMut(VarKey)) {
             binders_val(arg, add);
             binders_cont(cont, add);
         }
-        CTermKind::LetK { k, cont, test, then_, else_ } => {
+        CTermKind::LetK {
+            k,
+            cont,
+            test,
+            then_,
+            else_,
+        } => {
             add(VarKey::Kont(k.clone()));
             binders_cont(cont, add);
             binders_val(test, add);
@@ -430,8 +445,14 @@ mod tests {
     fn indexes_both_namespaces() {
         let c = cps("(let (f (lambda (x) x)) (let (a (f 1)) a))");
         // user vars: f, x, a; k vars: top k and the λ's k
-        let users = c.iter_vars().filter(|(_, k)| matches!(k, VarKey::User(_))).count();
-        let konts = c.iter_vars().filter(|(_, k)| matches!(k, VarKey::Kont(_))).count();
+        let users = c
+            .iter_vars()
+            .filter(|(_, k)| matches!(k, VarKey::User(_)))
+            .count();
+        let konts = c
+            .iter_vars()
+            .filter(|(_, k)| matches!(k, VarKey::Kont(_)))
+            .count();
         assert_eq!(users, 3);
         assert_eq!(konts, 2);
         assert!(c.kont_var_id(c.top_k()).is_some());

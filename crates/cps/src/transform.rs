@@ -67,7 +67,11 @@ pub struct Transformed {
 /// variable names; pass [`cpsdfa_anf::AnfProgram::fresh_gen`] so generated
 /// names cannot collide with program variables.
 pub fn cps_transform(root: &Anf, fresh: &mut FreshGen) -> Transformed {
-    let mut tx = Tx { labels: LabelGen::new(), map: LabelMap::default(), fresh };
+    let mut tx = Tx {
+        labels: LabelGen::new(),
+        map: LabelMap::default(),
+        fresh,
+    };
     let top_k = tx.fresh.fresh_k("k");
     let root = tx.term(root, &top_k);
     Transformed {
@@ -95,13 +99,21 @@ impl Tx<'_> {
                 Bind::Value(v) => {
                     let w = self.value(v);
                     let body = self.term(body, k);
-                    self.mk(CTermKind::Let { var: var.clone(), val: w, body: Box::new(body) })
+                    self.mk(CTermKind::Let {
+                        var: var.clone(),
+                        val: w,
+                        body: Box::new(body),
+                    })
                 }
                 Bind::App(f, a) => {
                     let wf = self.value(f);
                     let wa = self.value(a);
                     let cont = self.cont(m.label, var, body, k);
-                    self.mk(CTermKind::Call { f: wf, arg: wa, cont })
+                    self.mk(CTermKind::Call {
+                        f: wf,
+                        arg: wa,
+                        cont,
+                    })
                 }
                 Bind::If0(c, then_, else_) => {
                     let wc = self.value(c);
@@ -127,11 +139,21 @@ impl Tx<'_> {
 
     /// Builds the continuation λ reifying the frame `(let (x []) M)` whose
     /// source `let` has label `src_let`.
-    fn cont(&mut self, src_let: Label, var: &cpsdfa_syntax::Ident, body: &Anf, k: &KIdent) -> ContLam {
+    fn cont(
+        &mut self,
+        src_let: Label,
+        var: &cpsdfa_syntax::Ident,
+        body: &Anf,
+        k: &KIdent,
+    ) -> ContLam {
         let label = self.labels.next();
         self.map.record_cont(src_let, label);
         let body = self.term(body, k);
-        ContLam { label, var: var.clone(), body: Box::new(body) }
+        ContLam {
+            label,
+            var: var.clone(),
+            body: Box::new(body),
+        }
     }
 
     fn value(&mut self, v: &AVal) -> CVal {
@@ -145,14 +167,21 @@ impl Tx<'_> {
                 self.map.record_lam(v.label, label);
                 let k = self.fresh.fresh_k("k");
                 let body = self.term(body, &k);
-                CValKind::Lam { param: x.clone(), k, body: Box::new(body) }
+                CValKind::Lam {
+                    param: x.clone(),
+                    k,
+                    body: Box::new(body),
+                }
             }
         };
         CVal { label, kind }
     }
 
     fn mk(&mut self, kind: CTermKind) -> CTerm {
-        CTerm { label: self.labels.next(), kind }
+        CTerm {
+            label: self.labels.next(),
+            kind,
+        }
     }
 }
 
@@ -238,7 +267,10 @@ mod tests {
     #[test]
     fn loop_extension_transforms() {
         let (_, t) = tx("(let (x (loop)) x)");
-        assert_eq!(t.root.to_string(), format!("(loop (lambda (x) ({} x)))", t.top_k));
+        assert_eq!(
+            t.root.to_string(),
+            format!("(loop (lambda (x) ({} x)))", t.top_k)
+        );
     }
 
     #[test]
@@ -250,10 +282,10 @@ mod tests {
             assert!(all.insert(n.label), "duplicate {}", n.label);
         });
         let (mut val_labels, mut cont_labels) = (Vec::new(), Vec::new());
-        t.root.visit_parts(
-            &mut |v| val_labels.push(v.label),
-            &mut |c| cont_labels.push(c.label),
-        );
+        t.root
+            .visit_parts(&mut |v| val_labels.push(v.label), &mut |c| {
+                cont_labels.push(c.label)
+            });
         for l in val_labels.into_iter().chain(cont_labels) {
             assert!(l.is_assigned());
             assert!(all.insert(l), "duplicate {l}");

@@ -111,7 +111,13 @@ fn term_back(p: &CTerm, k: &KIdent) -> Result<Anf, UntransformError> {
                 body: Box::new(body),
             }))
         }
-        CTermKind::LetK { k: kp, cont, test, then_, else_ } => {
+        CTermKind::LetK {
+            k: kp,
+            cont,
+            test,
+            then_,
+            else_,
+        } => {
             let c = value_back(test)?;
             let t = term_back(then_, kp)?;
             let e = term_back(else_, kp)?;

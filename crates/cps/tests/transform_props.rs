@@ -24,12 +24,17 @@ fn term_strategy() -> impl Strategy<Value = Term> {
         prop_oneof![
             (ident_strategy(), inner.clone())
                 .prop_map(|(x, b)| Term::Value(Value::Lam(x.into(), Box::new(b)))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
-            (ident_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(x, r, b)| Term::Let(x.into(), Box::new(r), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Term::If0(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
+            (ident_strategy(), inner.clone(), inner.clone()).prop_map(|(x, r, b)| Term::Let(
+                x.into(),
+                Box::new(r),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Term::If0(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

@@ -1,0 +1,289 @@
+//! A minimal, dependency-free, offline stand-in for the subset of the
+//! `criterion` 0.5 API this workspace uses: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, warm_up_time, measurement_time,
+//! throughput, bench_with_input, bench_function, finish}`, `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; the workspace points the `criterion` dependency at this path
+//! crate instead. Reporting is text-only (median ns/iter over the collected
+//! samples, printed to stdout); there are no plots, no statistics beyond
+//! median, and no baseline persistence. `--bench`-style CLI filters narrow
+//! which benchmarks run, matching `cargo bench -- <filter>` usage.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager: owns defaults and the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (e.g. `--bench` that cargo passes); the first free
+        // argument is a substring filter, as with real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 100,
+            default_warm_up: Duration::from_millis(500),
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: `function-name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units-of-work declaration, folded into the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    // Ties the group's lifetime to `&mut Criterion` like the real API, so
+    // groups cannot outlive the manager.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// How long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total time spent collecting timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares units of work per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filt) = &self.filter {
+            if !full.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&full, b.median_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (a no-op here; report lines were already printed).
+    pub fn finish(&mut self) {}
+}
+
+fn report(full: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let time = human_time(median_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+            let per_sec = n as f64 / (median_ns * 1e-9);
+            println!("{full:<48} time: [{time}]  thrpt: [{per_sec:.3e} elem/s]");
+        }
+        Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+            let per_sec = n as f64 / (median_ns * 1e-9);
+            println!("{full:<48} time: [{time}]  thrpt: [{per_sec:.3e} B/s]");
+        }
+        _ => println!("{full:<48} time: [{time}]"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times a closure: warm-up, then `sample_size` samples inside the
+/// measurement budget; the median per-iteration time is reported.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its output alive so the optimizer cannot
+    /// delete the work (callers additionally use `std::hint::black_box`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, counting runs to
+        // size the measured batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Size batches so all samples fit the measurement budget.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let batch =
+            ((budget_ns / self.sample_size as f64 / per_iter.max(1.0)).floor() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// The benchmark binary's `main`: runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_cheap_closure() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 5,
+            default_warm_up: Duration::from_millis(5),
+            default_measurement: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            default_sample_size: 5,
+            default_warm_up: Duration::from_millis(1),
+            default_measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 0), &(), |b, ()| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(!ran, "filter failed to skip");
+    }
+}

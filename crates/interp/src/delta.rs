@@ -23,9 +23,7 @@ pub fn value_delta_eq(d: &DVal<'_>, c: &CRVal<'_>, map: &LabelMap) -> bool {
         (DVal::Num(a), CRVal::Num(b)) => a == b,
         (DVal::Inc, CRVal::IncK) => true,
         (DVal::Dec, CRVal::DecK) => true,
-        (DVal::Clo { label, .. }, CRVal::Clo { label: cl, .. }) => {
-            map.lam.get(label) == Some(cl)
-        }
+        (DVal::Clo { label, .. }, CRVal::Clo { label: cl, .. }) => map.lam.get(label) == Some(cl),
         _ => false,
     }
 }

@@ -46,14 +46,21 @@ pub fn run_direct<'p>(
     inputs: &[(Ident, i64)],
     fuel: Fuel,
 ) -> Result<DirectAnswer<'p>, InterpError> {
-    let mut m = Machine { fuel, store: Store::new() };
+    let mut m = Machine {
+        fuel,
+        store: Store::new(),
+    };
     let mut env = Env::empty();
     for (x, n) in inputs {
         let loc = m.store.alloc(x.clone(), DVal::Num(*n));
         env = env.extend(x.clone(), loc);
     }
     let value = m.eval(prog.root(), &env)?;
-    Ok(DirectAnswer { value, store: m.store, steps: m.fuel.used() })
+    Ok(DirectAnswer {
+        value,
+        store: m.store,
+        steps: m.fuel.used(),
+    })
 }
 
 struct Machine<'p> {
@@ -125,7 +132,9 @@ impl<'p> Machine<'p> {
                 DVal::Num(n) => Ok(DVal::Num(n - 1)),
                 other => Err(InterpError::NotANumber(other.to_string())),
             },
-            DVal::Clo { param, body, env, .. } => {
+            DVal::Clo {
+                param, body, env, ..
+            } => {
                 let loc = self.store.alloc(param.clone(), u2);
                 let env = env.extend(param.clone(), loc);
                 self.eval(body, &env)

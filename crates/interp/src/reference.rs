@@ -79,7 +79,13 @@ struct RNode {
 
 impl REnv {
     fn extend(&self, var: Ident, val: RVal) -> REnv {
-        REnv { node: Some(Rc::new(RNode { var, val, rest: self.node.clone() })) }
+        REnv {
+            node: Some(Rc::new(RNode {
+                var,
+                val,
+                rest: self.node.clone(),
+            })),
+        }
     }
 
     fn lookup(&self, var: &Ident) -> Option<&RVal> {

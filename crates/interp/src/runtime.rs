@@ -62,7 +62,11 @@ impl<K: Clone + PartialEq> Env<K> {
     #[must_use]
     pub fn extend(&self, var: K, loc: Loc) -> Env<K> {
         Env {
-            node: Some(Rc::new(EnvNode { var, loc, rest: self.node.clone() })),
+            node: Some(Rc::new(EnvNode {
+                var,
+                loc,
+                rest: self.node.clone(),
+            })),
         }
     }
 
@@ -194,7 +198,10 @@ pub struct Fuel {
 impl Fuel {
     /// A budget of `steps` transitions.
     pub fn new(steps: u64) -> Fuel {
-        Fuel { remaining: steps, initial: steps }
+        Fuel {
+            remaining: steps,
+            initial: steps,
+        }
     }
 
     /// Consumes one unit.
@@ -204,7 +211,9 @@ impl Fuel {
     /// Returns [`InterpError::OutOfFuel`] when the budget is exhausted.
     pub fn tick(&mut self) -> Result<(), InterpError> {
         if self.remaining == 0 {
-            return Err(InterpError::OutOfFuel { budget: self.initial });
+            return Err(InterpError::OutOfFuel {
+                budget: self.initial,
+            });
         }
         self.remaining -= 1;
         Ok(())

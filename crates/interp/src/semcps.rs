@@ -105,12 +105,22 @@ pub fn run_semcps<'p>(
                     Bind::App(vf, va) => {
                         let u1 = phi(vf, &env, &store)?;
                         let u2 = phi(va, &env, &store)?;
-                        kont.push(Frame { label: m.label, var, body, env });
+                        kont.push(Frame {
+                            label: m.label,
+                            var,
+                            body,
+                            env,
+                        });
                         Control::Apply(u1, u2)
                     }
                     Bind::If0(vc, then_, else_) => {
                         let u0 = phi(vc, &env, &store)?;
-                        kont.push(Frame { label: m.label, var, body, env: env.clone() });
+                        kont.push(Frame {
+                            label: m.label,
+                            var,
+                            body,
+                            env: env.clone(),
+                        });
                         if u0.as_num() == Some(0) {
                             Control::Eval(then_, env)
                         } else {
@@ -129,7 +139,9 @@ pub fn run_semcps<'p>(
                     DVal::Num(n) => Control::Return(DVal::Num(n - 1)),
                     other => return Err(InterpError::NotANumber(other.to_string())),
                 },
-                DVal::Clo { param, body, env, .. } => {
+                DVal::Clo {
+                    param, body, env, ..
+                } => {
                     let loc = store.alloc(param.clone(), u2);
                     Control::Eval(body, env.extend(param.clone(), loc))
                 }
@@ -164,7 +176,12 @@ fn phi<'p>(v: &'p AVal, env: &Env, store: &Store<DVal<'p>>) -> Result<DVal<'p>, 
         },
         AValKind::Add1 => Ok(DVal::Inc),
         AValKind::Sub1 => Ok(DVal::Dec),
-        AValKind::Lam(x, body) => Ok(DVal::Clo { label: v.label, param: x, body, env: env.clone() }),
+        AValKind::Lam(x, body) => Ok(DVal::Clo {
+            label: v.label,
+            param: x,
+            body,
+            env: env.clone(),
+        }),
     }
 }
 

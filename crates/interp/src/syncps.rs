@@ -72,19 +72,31 @@ pub fn run_syncps<'p>(
             Control::Eval(p, env) => match m.step(p, env)? {
                 Step::Continue(c) => c,
                 Step::Done(v) => {
-                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                    return Ok(SynCpsAnswer {
+                        value: v,
+                        store: m.store,
+                        steps: m.fuel.used(),
+                    })
                 }
             },
             Control::ApplyProc { f, arg, kont } => match m.apply_proc(f, arg, kont)? {
                 Step::Continue(c) => c,
                 Step::Done(v) => {
-                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                    return Ok(SynCpsAnswer {
+                        value: v,
+                        store: m.store,
+                        steps: m.fuel.used(),
+                    })
                 }
             },
             Control::ApplyCont { kont, value } => match m.apply_cont(kont, value)? {
                 Step::Continue(c) => c,
                 Step::Done(v) => {
-                    return Ok(SynCpsAnswer { value: v, store: m.store, steps: m.fuel.used() })
+                    return Ok(SynCpsAnswer {
+                        value: v,
+                        store: m.store,
+                        steps: m.fuel.used(),
+                    })
                 }
             },
         };
@@ -95,7 +107,11 @@ enum Control<'p> {
     /// `(P, ρ, s) ⊢Mc A`
     Eval(&'p CTerm, Env<VarKey>),
     /// `(u₁, u₂, κ, s) ⊢appc A`
-    ApplyProc { f: CRVal<'p>, arg: CRVal<'p>, kont: CRVal<'p> },
+    ApplyProc {
+        f: CRVal<'p>,
+        arg: CRVal<'p>,
+        kont: CRVal<'p>,
+    },
     /// `(κ, (u, s)) ⊢apprc A`
     ApplyCont { kont: CRVal<'p>, value: CRVal<'p> },
 }
@@ -132,7 +148,12 @@ impl<'p> Machine<'p> {
     }
 
     fn reify(&self, cont: &'p ContLam, env: &Env<VarKey>) -> CRVal<'p> {
-        CRVal::Co { label: cont.label, var: &cont.var, body: &cont.body, env: env.clone() }
+        CRVal::Co {
+            label: cont.label,
+            var: &cont.var,
+            body: &cont.body,
+            env: env.clone(),
+        }
     }
 
     fn step(&mut self, p: &'p CTerm, env: Env<VarKey>) -> Result<Step<'p>, InterpError> {
@@ -157,10 +178,20 @@ impl<'p> Machine<'p> {
                 let u1 = self.phi(f, &env)?;
                 let u2 = self.phi(arg, &env)?;
                 let kont = self.reify(cont, &env);
-                Ok(Step::Continue(Control::ApplyProc { f: u1, arg: u2, kont }))
+                Ok(Step::Continue(Control::ApplyProc {
+                    f: u1,
+                    arg: u2,
+                    kont,
+                }))
             }
             // (let (k λx.P) (if0 W P₁ P₂))
-            CTermKind::LetK { k, cont, test, then_, else_ } => {
+            CTermKind::LetK {
+                k,
+                cont,
+                test,
+                then_,
+                else_,
+            } => {
                 let kval = self.reify(cont, &env);
                 let key = VarKey::Kont(k.clone());
                 let loc = self.store.alloc(key.clone(), kval);
@@ -196,7 +227,13 @@ impl<'p> Machine<'p> {
                 })),
                 other => Err(InterpError::NotANumber(other.to_string())),
             },
-            CRVal::Clo { param, k, body, env, .. } => {
+            CRVal::Clo {
+                param,
+                k,
+                body,
+                env,
+                ..
+            } => {
                 let pkey = VarKey::User(param.clone());
                 let ploc = self.store.alloc(pkey.clone(), arg);
                 let kkey = VarKey::Kont(k.clone());
@@ -242,17 +279,17 @@ mod tests {
 
     #[test]
     fn calls_thread_the_continuation() {
-        assert_eq!(run("(let (f (lambda (x) (add1 x))) (f (f 40)))"), Ok(Some(42)));
+        assert_eq!(
+            run("(let (f (lambda (x) (add1 x))) (f (f 40)))"),
+            Ok(Some(42))
+        );
     }
 
     #[test]
     fn conditionals_use_named_join_continuation() {
         assert_eq!(run("(if0 0 10 20)"), Ok(Some(10)));
         assert_eq!(run("(if0 7 10 20)"), Ok(Some(20)));
-        assert_eq!(
-            run("(let (a (if0 0 1 2)) (add1 a))"),
-            Ok(Some(2))
-        );
+        assert_eq!(run("(let (a (if0 0 1 2)) (add1 a))"), Ok(Some(2)));
     }
 
     #[test]
@@ -298,12 +335,18 @@ mod tests {
     fn loop_diverges() {
         let p = AnfProgram::parse("(let (x (loop)) x)").unwrap();
         let c = CpsProgram::from_anf(&p);
-        assert_eq!(run_syncps(&c, &[], Fuel::default()).unwrap_err(), InterpError::Diverged);
+        assert_eq!(
+            run_syncps(&c, &[], Fuel::default()).unwrap_err(),
+            InterpError::Diverged
+        );
     }
 
     #[test]
     fn dynamic_errors_surface() {
         assert!(matches!(run("(1 2)"), Err(InterpError::NotAProcedure(_))));
-        assert!(matches!(run("(add1 (lambda (x) x))"), Err(InterpError::NotANumber(_))));
+        assert!(matches!(
+            run("(add1 (lambda (x) x))"),
+            Err(InterpError::NotANumber(_))
+        ));
     }
 }

@@ -132,7 +132,9 @@ impl fmt::Display for CRVal<'_> {
             CRVal::Num(n) => write!(f, "{n}"),
             CRVal::IncK => f.write_str("inck"),
             CRVal::DecK => f.write_str("deck"),
-            CRVal::Clo { label, param, k, .. } => write!(f, "(cl {param} {k}, …)@{label}"),
+            CRVal::Clo {
+                label, param, k, ..
+            } => write!(f, "(cl {param} {k}, …)@{label}"),
             CRVal::Co { label, var, .. } => write!(f, "(co {var}, …)@{label}"),
             CRVal::Stop => f.write_str("stop"),
         }

@@ -64,7 +64,11 @@ impl fmt::Display for OptStats {
         write!(
             f,
             "folds={} branches={} dead={} devirt={} rounds={}",
-            self.folds, self.branches_eliminated, self.dead_bindings, self.devirtualized, self.rounds
+            self.folds,
+            self.branches_eliminated,
+            self.dead_bindings,
+            self.devirtualized,
+            self.rounds
         )
     }
 }
@@ -123,18 +127,19 @@ pub fn optimize_once(
     let facts = facts_of(prog, source)?;
     let mut stats = OptStats::default();
     let rewritten = rewrite_term(prog.root(), prog, &facts, &mut stats);
-    let next = AnfProgram::from_root(rewritten)
-        .expect("rewrites preserve unique binders");
+    let next = AnfProgram::from_root(rewritten).expect("rewrites preserve unique binders");
     Ok((next, stats))
 }
 
 fn facts_of(prog: &AnfProgram, source: FactSource) -> Result<AbsStore<Flat>, AnalysisError> {
     Ok(match source {
         FactSource::Direct => DirectAnalyzer::<Flat>::new(prog).analyze()?.store,
-        FactSource::DirectDup(d) => DirectAnalyzer::<Flat>::new(prog)
-            .with_duplication_depth(d)
-            .analyze()?
-            .store,
+        FactSource::DirectDup(d) => {
+            DirectAnalyzer::<Flat>::new(prog)
+                .with_duplication_depth(d)
+                .analyze()?
+                .store
+        }
         FactSource::SemCps => SemCpsAnalyzer::<Flat>::new(prog).analyze()?.store,
     })
 }
@@ -142,10 +147,12 @@ fn facts_of(prog: &AnfProgram, source: FactSource) -> Result<AbsStore<Flat>, Ana
 fn devirt_census(prog: &AnfProgram, source: FactSource) -> Result<usize, AnalysisError> {
     let flows = match source {
         FactSource::Direct => DirectAnalyzer::<Flat>::new(prog).analyze()?.flows,
-        FactSource::DirectDup(d) => DirectAnalyzer::<Flat>::new(prog)
-            .with_duplication_depth(d)
-            .analyze()?
-            .flows,
+        FactSource::DirectDup(d) => {
+            DirectAnalyzer::<Flat>::new(prog)
+                .with_duplication_depth(d)
+                .analyze()?
+                .flows
+        }
         FactSource::SemCps => SemCpsAnalyzer::<Flat>::new(prog).analyze()?.flows,
     };
     Ok(flows.calls.values().filter(|cs| cs.len() == 1).count())
@@ -211,12 +218,7 @@ fn known_const(v: &AVal, prog: &AnfProgram, facts: &AbsStore<Flat>) -> Option<i6
     }
 }
 
-fn rewrite_term(
-    m: &Anf,
-    prog: &AnfProgram,
-    facts: &AbsStore<Flat>,
-    stats: &mut OptStats,
-) -> Anf {
+fn rewrite_term(m: &Anf, prog: &AnfProgram, facts: &AbsStore<Flat>, stats: &mut OptStats) -> Anf {
     match &m.kind {
         AnfKind::Value(v) => Anf::new(AnfKind::Value(rewrite_value(v, prog, facts, stats))),
         AnfKind::Let { var, bind, body } => {
@@ -260,7 +262,10 @@ fn rewrite_term(
             // Constant folding: pure rhs whose fact is a known constant.
             let new_bind = {
                 let folded = match bind {
-                    Bind::Value(AVal { kind: AValKind::Num(_), .. }) => None, // already a literal
+                    Bind::Value(AVal {
+                        kind: AValKind::Num(_),
+                        ..
+                    }) => None, // already a literal
                     _ if bind_is_pure(bind, prog, facts) => {
                         let id = prog.var_id(var).expect("indexed variable");
                         let av = facts.get(id);
@@ -283,8 +288,13 @@ fn rewrite_term(
                 }
             };
             // Copy propagation at the tail: `(let (x V) x)` is `V`.
-            if let (Bind::Value(v), AnfKind::Value(AVal { kind: AValKind::Var(y), .. })) =
-                (&new_bind, &body_r.kind)
+            if let (
+                Bind::Value(v),
+                AnfKind::Value(AVal {
+                    kind: AValKind::Var(y),
+                    ..
+                }),
+            ) = (&new_bind, &body_r.kind)
             {
                 if y == var {
                     stats.folds += 1;
@@ -356,7 +366,11 @@ fn splice(arm: Anf, x: Ident, body: Anf) -> Anf {
         body: Box::new(body),
     });
     for (var, bind) in bindings.into_iter().rev() {
-        out = Anf::new(AnfKind::Let { var, bind, body: Box::new(out) });
+        out = Anf::new(AnfKind::Let {
+            var,
+            bind,
+            body: Box::new(out),
+        });
     }
     out
 }
@@ -366,7 +380,11 @@ fn splice(arm: Anf, x: Ident, body: Anf) -> Anf {
 pub fn residual_conditionals(prog: &AnfProgram) -> usize {
     let mut n = 0;
     prog.root().visit_terms(&mut |m| {
-        if let AnfKind::Let { bind: Bind::If0(..), .. } = &m.kind {
+        if let AnfKind::Let {
+            bind: Bind::If0(..),
+            ..
+        } = &m.kind
+        {
             n += 1;
         }
     });
@@ -385,7 +403,10 @@ mod tests {
 
     #[test]
     fn folds_constant_chains_to_a_literal() {
-        let (out, stats) = opt("(let (a 1) (let (b (add1 a)) (add1 b)))", FactSource::Direct);
+        let (out, stats) = opt(
+            "(let (a 1) (let (b (add1 a)) (add1 b)))",
+            FactSource::Direct,
+        );
         assert_eq!(out, "3");
         assert!(stats.folds >= 1);
         assert!(stats.dead_bindings >= 1);

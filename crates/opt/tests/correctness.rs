@@ -25,7 +25,10 @@ fn outcomes(p: &AnfProgram, z: i64) -> (Option<Option<i64>>, u64) {
 
 #[test]
 fn optimization_preserves_evaluation_on_closed_corpus() {
-    for (i, t) in corpus(0x09717, 150, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(0x09717, 150, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let (expected, _) = outcomes(&p, 0);
         for source in SOURCES {
@@ -61,7 +64,11 @@ fn optimization_never_slows_programs_down() {
         }
         let (q, _) = optimize(&p, FactSource::SemCps).unwrap();
         let (_, after) = outcomes(&q, 1);
-        assert!(after <= before, "optimized program got slower: {t}\n→ {}", q.root());
+        assert!(
+            after <= before,
+            "optimized program got slower: {t}\n→ {}",
+            q.root()
+        );
     }
 }
 
@@ -95,7 +102,10 @@ fn paper_examples_optimize_as_the_theorems_predict() {
     let p = AnfProgram::parse(src).unwrap();
     let (d, _) = optimize(&p, FactSource::Direct).unwrap();
     let d_text = d.root().to_string();
-    assert!(d_text.contains("(if0 a1"), "direct facts must not decide a2: {d_text}");
+    assert!(
+        d_text.contains("(if0 a1"),
+        "direct facts must not decide a2: {d_text}"
+    );
     // Duplication-based facts fold a2 to 5; the call to the unknown-shaped f
     // stays (it is impure for the conservative purity test), but the
     // conditional on its result is gone.

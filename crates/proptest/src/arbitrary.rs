@@ -1,0 +1,66 @@
+//! `any::<T>()` for the primitive types the workspace uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-width draws for a primitive type.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+impl<T> Clone for AnyPrim<T> {
+    fn clone(&self) -> Self {
+        AnyPrim(PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(PhantomData)
+    }
+}

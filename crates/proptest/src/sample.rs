@@ -1,0 +1,36 @@
+//! `sample::select`: uniform choice from a fixed list of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A uniform pick from `options`; must be nonempty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select {
+        options: Rc::new(options),
+    }
+}
+
+/// The result of [`select`].
+#[derive(Debug)]
+pub struct Select<T> {
+    options: Rc<Vec<T>>,
+}
+
+impl<T> Clone for Select<T> {
+    fn clone(&self) -> Self {
+        Select {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}

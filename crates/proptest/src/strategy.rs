@@ -1,0 +1,275 @@
+//! The `Strategy` trait and the stock combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value-tree/shrinking machinery: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// One generated value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive generation: `self` is the leaf strategy, `recurse` builds a
+    /// branch strategy from an `inner` handle for subterms. `depth` bounds
+    /// nesting; the size/branch hints are accepted for API compatibility but
+    /// unused (depth alone bounds output size here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(Recursive<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: Rc::new(self),
+            grow: Rc::new(move |inner| Rc::new(recurse(inner)) as Rc<dyn DynStrategy<Self::Value>>),
+            depth,
+        }
+    }
+}
+
+/// Object-safe face of [`Strategy`], for heterogeneous collections
+/// (`prop_oneof!`, recursion).
+pub trait DynStrategy<T> {
+    /// One generated value.
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just
+// ---------------------------------------------------------------------------
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// A uniform choice among strategies with a common value type.
+pub struct Union<T> {
+    options: Vec<Rc<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; must be nonempty.
+    pub fn new(options: Vec<Rc<dyn DynStrategy<T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].dyn_generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recursive
+// ---------------------------------------------------------------------------
+
+/// The result of [`Strategy::prop_recursive`]; also the `inner` handle passed
+/// to the recursion closure.
+pub struct Recursive<T> {
+    leaf: Rc<dyn DynStrategy<T>>,
+    grow: Rc<dyn Fn(Recursive<T>) -> Rc<dyn DynStrategy<T>>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            leaf: self.leaf.clone(),
+            grow: self.grow.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Branch with probability 3/4 while depth remains; the exponential
+        // depth cut-off keeps expected sizes close to real proptest's.
+        if self.depth == 0 || rng.below(4) == 0 {
+            self.leaf.dyn_generate(rng)
+        } else {
+            let inner = Recursive {
+                leaf: self.leaf.clone(),
+                grow: self.grow.clone(),
+                depth: self.depth - 1,
+            };
+            (self.grow)(inner).dyn_generate(rng)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn union_map_and_ranges_compose() {
+        let s = Union::new(vec![
+            Rc::new(Just(0i64)) as Rc<dyn DynStrategy<i64>>,
+            Rc::new((10i64..20).prop_map(|n| n * 2)) as Rc<dyn DynStrategy<i64>>,
+        ]);
+        let mut rng = TestRng::from_name("union");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 0 || (20..40).contains(&v), "unexpected {v}");
+        }
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_name("recursive");
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = s.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= t != T::Leaf;
+        }
+        assert!(saw_node, "recursion never branched");
+    }
+}

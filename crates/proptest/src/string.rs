@@ -1,0 +1,134 @@
+//! Regex-lite generation behind the `&str` strategy.
+//!
+//! Supports exactly the pattern shape the workspace's tests use: one atom —
+//! `.` (any printable char) or a character class `[...]` with ranges and
+//! backslash escapes — followed by an optional `{m,n}` repetition. Anything
+//! else is treated as a literal string (each char generated verbatim).
+
+use crate::test_runner::TestRng;
+
+/// Characters `.` draws from: printable ASCII plus a few multibyte
+/// characters so byte-position handling in parsers gets exercised.
+fn dot_charset() -> Vec<char> {
+    let mut cs: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    cs.extend(['λ', 'é', '→', '∅']);
+    cs
+}
+
+/// Parses `[...]` starting after the `[`; returns (charset, index after `]`).
+fn parse_class(pat: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut cs = Vec::new();
+    while i < pat.len() && pat[i] != ']' {
+        if pat[i] == '\\' && i + 1 < pat.len() {
+            cs.push(pat[i + 1]);
+            i += 2;
+        } else if i + 2 < pat.len() && pat[i + 1] == '-' && pat[i + 2] != ']' {
+            let (lo, hi) = (pat[i] as u32, pat[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    cs.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            cs.push(pat[i]);
+            i += 1;
+        }
+    }
+    (cs, i + 1)
+}
+
+/// Parses `{m,n}` or `{m}` starting after the `{`; returns ((m, n), index
+/// after `}`). Falls back to (1, 1) on malformed input.
+fn parse_repeat(pat: &[char], mut i: usize) -> ((usize, usize), usize) {
+    let mut nums = vec![String::new()];
+    while i < pat.len() && pat[i] != '}' {
+        if pat[i] == ',' {
+            nums.push(String::new());
+        } else {
+            nums.last_mut().unwrap().push(pat[i]);
+        }
+        i += 1;
+    }
+    let lo = nums[0].parse().unwrap_or(1);
+    let hi = if nums.len() > 1 {
+        nums[1].parse().unwrap_or(lo)
+    } else {
+        lo
+    };
+    ((lo, hi.max(lo)), i + 1)
+}
+
+/// A string matching `pattern` under the regex-lite subset described in the
+/// module docs.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pat: Vec<char> = pattern.chars().collect();
+    let (charset, mut i) = match pat.first() {
+        Some('.') => (dot_charset(), 1),
+        Some('[') => parse_class(&pat, 1),
+        _ => {
+            // Literal pattern: emit it verbatim (enough for API parity; the
+            // workspace never relies on this arm).
+            return pattern.to_string();
+        }
+    };
+    let (lo, hi) = if i < pat.len() && pat[i] == '{' {
+        let (bounds, next) = parse_repeat(&pat, i + 1);
+        i = next;
+        bounds
+    } else {
+        (1, 1)
+    };
+    debug_assert_eq!(i, pat.len(), "trailing junk in pattern {pattern:?}");
+    if charset.is_empty() {
+        return String::new();
+    }
+    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+    (0..len)
+        .map(|_| charset[rng.below(charset.len() as u64) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut rng = TestRng::from_name("class");
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9%+\\-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "bad len {s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "%+-".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_respects_length_bounds() {
+        let mut rng = TestRng::from_name("dot");
+        let mut empties = 0;
+        for _ in 0..300 {
+            let s = generate_matching(".{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+            empties += usize::from(s.is_empty());
+        }
+        assert!(empties > 0, "length 0 never drawn");
+    }
+
+    #[test]
+    fn paren_soup_class_includes_lambda_and_dash() {
+        let mut rng = TestRng::from_name("soup");
+        let mut joined = String::new();
+        for _ in 0..100 {
+            joined.push_str(&generate_matching("[()λa-z0-9 +.%;\\-]{0,200}", &mut rng));
+        }
+        assert!(joined.contains('λ'));
+        assert!(joined.contains('-'));
+        assert!(!joined.contains(']'));
+    }
+}

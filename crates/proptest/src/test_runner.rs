@@ -1,0 +1,109 @@
+//! The deterministic case RNG and the error type `prop_assert!` returns.
+
+use std::fmt;
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An assertion-failure error carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The generator driving all strategies: xorshift64* seeded (via
+/// splitmix64) from a hash of the test's fully-qualified name, so each test
+/// sees its own reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `name`.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then splitmix64 finalization.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TestRng {
+            state: if z == 0 { 0x4d59_5df4_d0f3_3173 } else { z },
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[lo, hi)` over i128 arithmetic (covers every integer
+    /// width the strategies need).
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range");
+        let width = (hi - lo) as u128;
+        lo + (self.next_u64() as u128 % width) as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn named_streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_name("mod::test_a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = TestRng::from_name("mod::test_a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_name("mod::test_b");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn in_range_is_in_bounds() {
+        let mut r = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let x = r.in_range(-100, 100);
+            assert!((-100..100).contains(&x));
+        }
+    }
+}

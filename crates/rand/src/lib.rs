@@ -1,0 +1,187 @@
+//! A minimal, dependency-free, offline stand-in for the subset of the
+//! `rand` 0.8 API this workspace uses: `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; the workspace points the `rand` dependency at this path crate
+//! instead. Determinism is the only contract the workspace relies on
+//! (seeded corpora must be reproducible across runs and machines), and this
+//! implementation — splitmix64 seeding into xorshift64* — provides it.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only constructor the workspace
+/// uses; the real trait's `from_seed`/`Seed` machinery is omitted).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 high bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce a uniform sample, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// One uniform sample. Panics on an empty range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniform ranges can sample (all fit in i128). A single
+/// generic `SampleRange` impl over this trait keeps type inference open the
+/// way the real crate's `SampleUniform` does — `gen_range(0..100)` unifies
+/// with whatever integer type the surrounding code demands.
+pub trait UniformInt: Copy {
+    /// Widens to i128.
+    fn to_i128(self) -> i128;
+    /// Narrows from i128 (caller guarantees the value fits).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        let width = (hi - lo) as u128;
+        T::from_i128(lo + (rng.next_u64() as u128 % width) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        let width = (hi - lo) as u128 + 1;
+        T::from_i128(lo + (rng.next_u64() as u128 % width) as i128)
+    }
+}
+
+pub mod rngs {
+    //! Stock generators (just [`StdRng`]).
+
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic 64-bit PRNG (xorshift64* over a splitmix64-mixed
+    /// seed). Not cryptographic — neither is the workspace's use of it.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scrambles consecutive seeds into decorrelated
+            // starting states (and maps 0 away from the xorshift fixpoint).
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x4d59_5df4_d0f3_3173 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..16)
+            .map(|_| StdRng::seed_from_u64(7).gen_range(0..100))
+            .collect();
+        let diff: Vec<i64> = (0..16).map(|_| c.gen_range(0..100)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&x));
+            let y = r.gen_range(0..3i32);
+            assert!((0..3).contains(&y));
+            let z = r.gen_range(0..7usize);
+            assert!(z < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -87,8 +87,7 @@ pub fn loop_() -> Term {
 /// assert_eq!(plus_const(var("a"), 0).to_string(), "a");
 /// ```
 pub fn plus_const(m: Term, n: i64) -> Term {
-    let (prim, count): (fn() -> Term, i64) =
-        if n >= 0 { (add1, n) } else { (sub1, -n) };
+    let (prim, count): (fn() -> Term, i64) = if n >= 0 { (add1, n) } else { (sub1, -n) };
     (0..count).fold(m, |acc, _| app(prim(), acc))
 }
 

@@ -61,7 +61,11 @@ fn rename_term(term: &Term, scope: &mut HashMap<Ident, Vec<Ident>>, gen: &mut Fr
     }
 }
 
-fn rename_value(value: &Value, scope: &mut HashMap<Ident, Vec<Ident>>, gen: &mut FreshGen) -> Value {
+fn rename_value(
+    value: &Value,
+    scope: &mut HashMap<Ident, Vec<Ident>>,
+    gen: &mut FreshGen,
+) -> Value {
     match value {
         Value::Var(x) => match scope.get(x).and_then(|v| v.last()) {
             Some(fresh) => Value::Var(fresh.clone()),

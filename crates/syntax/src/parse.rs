@@ -33,7 +33,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(position: usize, message: impl Into<String>) -> Self {
-        ParseError { position, message: message.into() }
+        ParseError {
+            position,
+            message: message.into(),
+        }
     }
 }
 
@@ -239,9 +242,7 @@ fn list_term(pos: usize, items: &[Sexp]) -> Result<Term, ParseError> {
             }
             let (x, rhs) = match &items[1] {
                 Sexp::List(_, b) if b.len() == 2 => (binder_ident(&b[0])?, term_of_sexp(&b[1])?),
-                other => {
-                    return Err(ParseError::new(other.pos(), "let expects a binding (x M)"))
-                }
+                other => return Err(ParseError::new(other.pos(), "let expects a binding (x M)")),
             };
             let body = term_of_sexp(&items[2])?;
             Ok(build::let_(x, rhs, body))
@@ -273,7 +274,10 @@ fn list_term(pos: usize, items: &[Sexp]) -> Result<Term, ParseError> {
                     ParseError::new(items[2].pos(), "+ expects a literal integer offset")
                 })?,
                 other => {
-                    return Err(ParseError::new(other.pos(), "+ expects a literal integer offset"))
+                    return Err(ParseError::new(
+                        other.pos(),
+                        "+ expects a literal integer offset",
+                    ))
                 }
             };
             Ok(build::plus_const(m, n))
@@ -341,13 +345,19 @@ mod tests {
 
     #[test]
     fn plus_abbreviation_expands() {
-        assert_eq!(ok("(+ a 3)"), app(add1(), app(add1(), app(add1(), var("a")))));
+        assert_eq!(
+            ok("(+ a 3)"),
+            app(add1(), app(add1(), app(add1(), var("a"))))
+        );
         assert_eq!(ok("(+ a -2)"), app(sub1(), app(sub1(), var("a"))));
     }
 
     #[test]
     fn comments_and_whitespace_ignored() {
-        assert_eq!(ok("  ( let ; binding\n (x 1) x )  "), let_("x", num(1), var("x")));
+        assert_eq!(
+            ok("  ( let ; binding\n (x 1) x )  "),
+            let_("x", num(1), var("x"))
+        );
     }
 
     #[test]

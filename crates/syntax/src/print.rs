@@ -73,7 +73,11 @@ fn pretty_into(term: &Term, level: usize, out: &mut String) {
             out.push_str(")\n");
             // Keep let chains at the same indentation so ANF reads as a
             // sequence of bindings rather than a staircase.
-            let body_level = if matches!(**body, Term::Let(..)) { level } else { level + 1 };
+            let body_level = if matches!(**body, Term::Let(..)) {
+                level
+            } else {
+                level + 1
+            };
             indent(body_level, out);
             pretty_into(body, body_level, out);
             out.push(')');

@@ -74,7 +74,11 @@ pub fn adder_pipeline(n: usize) -> Term {
     assert!(n >= 1);
     let mut body: Term = var(format!("x{n}"));
     for i in (2..=n).rev() {
-        body = let_(format!("x{i}"), app(add1(), var(format!("x{}", i - 1))), body);
+        body = let_(
+            format!("x{i}"),
+            app(add1(), var(format!("x{}", i - 1))),
+            body,
+        );
     }
     let_("x1", app(add1(), var("z")), body)
 }
@@ -128,19 +132,14 @@ pub fn diamond_chain(n: usize) -> Term {
 /// every analyzer (self-application flows a closure into its own parameter).
 pub fn y_countdown(n: i64) -> Term {
     // Z = λf.((λx. f (λv. x x v)) (λx. f (λv. x x v)))
-    let inner = |x: &str, v: &str| {
-        lam(
-            x,
-            app(
-                var("fy"),
-                lam(v, apps(var(x), [var(x), var(v)])),
-            ),
-        )
-    };
+    let inner = |x: &str, v: &str| lam(x, app(var("fy"), lam(v, apps(var(x), [var(x), var(v)]))));
     let z = lam("fy", app(inner("xa", "va"), inner("xb", "vb")));
     let step = lam(
         "rec",
-        lam("n", if0(var("n"), num(0), app(var("rec"), app(sub1(), var("n"))))),
+        lam(
+            "n",
+            if0(var("n"), num(0), app(var("rec"), app(sub1(), var("n")))),
+        ),
     );
     apps(z, [step, num(n)])
 }
@@ -158,7 +157,10 @@ pub fn even_odd(n: i64) -> Term {
         if0(
             app(sub1(), var("m")),
             num(0),
-            apps(var("self2"), [var("self2"), app(sub1(), app(sub1(), var("m")))]),
+            apps(
+                var("self2"),
+                [var("self2"), app(sub1(), app(sub1(), var("m")))],
+            ),
         ),
     );
     let f = lam("self2", lam("m", body));
@@ -168,7 +170,11 @@ pub fn even_odd(n: i64) -> Term {
 /// The free variables every family may mention, with suggested concrete
 /// inputs for differential interpreter runs.
 pub fn default_inputs() -> Vec<(Ident, i64)> {
-    vec![(Ident::new("z"), 0), (Ident::new("w"), 1), (Ident::new("v"), 2)]
+    vec![
+        (Ident::new("z"), 0),
+        (Ident::new("w"), 1),
+        (Ident::new("v"), 2),
+    ]
 }
 
 #[cfg(test)]
@@ -200,8 +206,8 @@ mod tests {
             ("diamond_chain", diamond_chain(3)),
         ] {
             let p = AnfProgram::from_term(&t);
-            let r = run_direct(&p, &inputs, Fuel::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r =
+                run_direct(&p, &inputs, Fuel::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(r.value.as_num().is_some() || name == "dispatch", "{name}");
         }
     }
@@ -226,7 +232,13 @@ mod tests {
     #[test]
     fn families_only_use_known_free_variables() {
         let allowed = ["z", "w", "v"];
-        for t in [cond_chain(3), dispatch(2), repeated_calls(2), diamond_chain(2), loop_then_branch(2)] {
+        for t in [
+            cond_chain(3),
+            dispatch(2),
+            repeated_calls(2),
+            diamond_chain(2),
+            loop_then_branch(2),
+        ] {
             for x in free_vars(&t) {
                 assert!(allowed.contains(&x.as_str()), "unexpected free var {x}");
             }

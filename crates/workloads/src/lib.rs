@@ -1,7 +1,10 @@
 //! Workloads for the cpsdfa reproduction: the paper's worked
 //! [examples](paper), parametric [program families](families) for the cost
 //! experiments, a seeded, typed [random program generator](random) for
-//! differential and property testing, and a bounded-exhaustive [enumerator](exhaustive) for small-scope verification.
+//! differential and property testing, a bounded-exhaustive
+//! [enumerator](exhaustive) for small-scope verification, and a
+//! scoped-thread [parallel map](par) for driving the analyzers over whole
+//! corpora.
 //!
 //! ```
 //! use cpsdfa_anf::AnfProgram;
@@ -18,4 +21,5 @@
 pub mod exhaustive;
 pub mod families;
 pub mod paper;
+pub mod par;
 pub mod random;

@@ -12,8 +12,7 @@
 ///
 /// *Expected*: the direct analysis proves `a1 = 1`; the syntactic-CPS
 /// analysis confuses the two returns of `f` and yields `a1 = ⊤`.
-pub const THEOREM_5_1: &str =
-    "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))";
+pub const THEOREM_5_1: &str = "(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))";
 
 /// Theorem 5.2, first case — branch correlation:
 /// `(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))`.
@@ -48,8 +47,7 @@ pub const SECTION_2_NORMALIZATION: &str = "(f (let (x 1) (g x)))";
 /// §6.2's loop program: binds a `loop` value and then branches on it — the
 /// semantic-CPS analysis must apply the continuation to every natural
 /// number.
-pub const SECTION_6_2_LOOP: &str =
-    "(let (x (loop)) (let (a (if0 x 1 2)) (add1 a)))";
+pub const SECTION_6_2_LOOP: &str = "(let (x (loop)) (let (a (if0 x 1 2)) (add1 a)))";
 
 /// Ω — self-application; exercises the §4.4 loop-detection rule of all
 /// three analyzers.

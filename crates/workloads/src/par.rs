@@ -1,0 +1,94 @@
+//! A minimal data-parallel map for corpus-scale driving of the analyzers.
+//!
+//! The experiment harness and benches analyze hundreds of generated
+//! programs that are completely independent of each other, so corpus loops
+//! are embarrassingly parallel. The build environment has no network access
+//! to crates.io, so instead of `rayon` this module provides the one
+//! primitive the drivers need — an order-preserving [`par_map`] over
+//! [`std::thread::scope`] — behind the same call shape, chunking the input
+//! into one contiguous slice per worker.
+//!
+//! Each worker runs whole analyses and owns all of its mutable state; in
+//! particular every sparse 0CFA run builds its own
+//! `cpsdfa_core::SetPool`, so pools stay single-threaded and lock-free by
+//! construction (they are `!Sync` — built on `Rc` — which the compiler
+//! enforces here).
+
+use std::num::NonZeroUsize;
+
+/// The worker count used by [`par_map`]: the available hardware
+/// parallelism, or 1 if it cannot be determined.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Applies `f` to every element of `items` across [`worker_count`] scoped
+/// threads, preserving input order in the result. Falls back to a plain
+/// sequential map for trivially small inputs, so calls are cheap to leave
+/// unconditional.
+///
+/// `f` must be `Sync` (shared by reference across workers) and is handed
+/// `&T`; results are returned by value.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (slots, chunk_items) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_every_item() {
+        let items: Vec<u64> = (0..997).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out.len(), items.len());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert_eq!(par_map::<u8, u8, _>(&[], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn runs_real_analyses_per_worker() {
+        // Each worker builds its own programs and (inside zero_cfa) its own
+        // set pool; results must match the sequential run exactly.
+        let sizes: Vec<usize> = (1..=8).collect();
+        let par: Vec<usize> = par_map(&sizes, |&n| {
+            let p = cpsdfa_anf::AnfProgram::from_term(&crate::families::dispatch(n));
+            p.lambda_labels().len()
+        });
+        assert_eq!(par, sizes);
+    }
+}

@@ -96,7 +96,9 @@ pub fn generate(seed: u64, config: &GenConfig) -> Term {
 
 /// Generates a corpus of `n` programs from consecutive seeds.
 pub fn corpus(base_seed: u64, n: usize, config: &GenConfig) -> Vec<Term> {
-    (0..n as u64).map(|i| generate(base_seed + i, config)).collect()
+    (0..n as u64)
+        .map(|i| generate(base_seed + i, config))
+        .collect()
 }
 
 /// A configuration for *open* programs with unknown inputs and correlated
@@ -104,7 +106,11 @@ pub fn corpus(base_seed: u64, n: usize, config: &GenConfig) -> Vec<Term> {
 /// programs are analyzed exactly by every analyzer, so precision
 /// differences require unknowns.
 pub fn open_config() -> GenConfig {
-    GenConfig { diamond_bias: 30, free_inputs: 35, ..GenConfig::default() }
+    GenConfig {
+        diamond_bias: 30,
+        free_inputs: 35,
+        ..GenConfig::default()
+    }
 }
 
 struct Gen {
@@ -131,7 +137,10 @@ impl Gen {
     }
 
     fn vars_of<'e>(env: &'e [(Ident, Ty)], ty: &Ty) -> Vec<&'e Ident> {
-        env.iter().filter(|(_, t)| t == ty).map(|(x, _)| x).collect()
+        env.iter()
+            .filter(|(_, t)| t == ty)
+            .map(|(x, _)| x)
+            .collect()
     }
 
     /// Generates a term of type `ty` under `env`.
@@ -167,7 +176,11 @@ impl Gen {
                 // add1/sub1 are the only primitive num → num functions;
                 // prefer them for num → num to keep programs arithmetic.
                 if aty == Ty::Num && *ty == Ty::Num && self.rng.gen_bool(0.5) {
-                    let prim = if self.rng.gen_bool(0.5) { build::add1() } else { build::sub1() };
+                    let prim = if self.rng.gen_bool(0.5) {
+                        build::add1()
+                    } else {
+                        build::sub1()
+                    };
                     let arg = self.term(&Ty::Num, env, depth - 1);
                     return build::app(prim, arg);
                 }
@@ -183,8 +196,12 @@ impl Gen {
     /// `n₁ ≠ n₂` and arms that mention `a` — the Theorem 5.2 shape.
     fn correlated_diamond(&mut self, env: &mut Vec<(Ident, Ty)>, depth: usize) -> Term {
         let c = self.term(&Ty::Num, env, depth - 2);
-        let n1 = self.rng.gen_range(-self.config.lit_range..=self.config.lit_range);
-        let mut n2 = self.rng.gen_range(-self.config.lit_range..=self.config.lit_range);
+        let n1 = self
+            .rng
+            .gen_range(-self.config.lit_range..=self.config.lit_range);
+        let mut n2 = self
+            .rng
+            .gen_range(-self.config.lit_range..=self.config.lit_range);
         if n2 == n1 {
             n2 += 1;
         }
@@ -213,12 +230,18 @@ impl Gen {
                 if self.rng.gen_range(0..100) < self.config.free_inputs {
                     return build::var("z");
                 }
-                let n = self.rng.gen_range(-self.config.lit_range..=self.config.lit_range);
+                let n = self
+                    .rng
+                    .gen_range(-self.config.lit_range..=self.config.lit_range);
                 build::num(n)
             }
             Ty::Fun(a, b) => {
                 if **a == Ty::Num && **b == Ty::Num && self.rng.gen_bool(0.25) {
-                    return if self.rng.gen_bool(0.5) { build::add1() } else { build::sub1() };
+                    return if self.rng.gen_bool(0.5) {
+                        build::add1()
+                    } else {
+                        build::sub1()
+                    };
                 }
                 let x = self.fresh_var("p");
                 env.push((x.clone(), (**a).clone()));
@@ -255,18 +278,28 @@ mod tests {
     #[test]
     fn open_config_produces_programs_with_inputs() {
         let open = corpus(0, 50, &open_config());
-        assert!(open.iter().any(|t| !is_closed(t)), "no open programs generated");
+        assert!(
+            open.iter().any(|t| !is_closed(t)),
+            "no open programs generated"
+        );
         // and they still run with z supplied
         for t in &open {
             let p = AnfProgram::from_term(t);
-            let r = run_direct(&p, &[(cpsdfa_syntax::Ident::new("z"), 1)], Fuel::new(200_000));
+            let r = run_direct(
+                &p,
+                &[(cpsdfa_syntax::Ident::new("z"), 1)],
+                Fuel::new(200_000),
+            );
             assert!(r.is_ok(), "open program stuck: {t}: {r:?}");
         }
     }
 
     #[test]
     fn generated_programs_run_on_all_three_interpreters() {
-        for (i, t) in corpus(100, 60, &GenConfig::default()).into_iter().enumerate() {
+        for (i, t) in corpus(100, 60, &GenConfig::default())
+            .into_iter()
+            .enumerate()
+        {
             let p = AnfProgram::from_term(&t);
             let fuel = Fuel::new(200_000);
             let d = run_direct(&p, &[], fuel).unwrap_or_else(|e| panic!("direct #{i}: {e}\n{t}"));
@@ -281,8 +314,10 @@ mod tests {
 
     #[test]
     fn corpus_has_varied_sizes() {
-        let sizes: Vec<usize> =
-            corpus(0, 30, &GenConfig::default()).iter().map(Term::size).collect();
+        let sizes: Vec<usize> = corpus(0, 30, &GenConfig::default())
+            .iter()
+            .map(Term::size)
+            .collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         assert!(max > min, "all programs identical in size");
@@ -290,8 +325,14 @@ mod tests {
 
     #[test]
     fn deeper_configs_make_bigger_programs() {
-        let small = GenConfig { max_depth: 3, ..GenConfig::default() };
-        let large = GenConfig { max_depth: 9, ..GenConfig::default() };
+        let small = GenConfig {
+            max_depth: 3,
+            ..GenConfig::default()
+        };
+        let large = GenConfig {
+            max_depth: 9,
+            ..GenConfig::default()
+        };
         let avg = |cfg: &GenConfig| -> f64 {
             let c = corpus(0, 40, cfg);
             c.iter().map(|t| t.size() as f64).sum::<f64>() / c.len() as f64

@@ -21,9 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let prog = AnfProgram::from_term(&term);
         let cps = CpsProgram::from_anf(&prog);
 
-        let d = DirectAnalyzer::<Flat>::new(&prog).with_budget(budget).analyze()?;
-        let s = SemCpsAnalyzer::<Flat>::new(&prog).with_budget(budget).analyze();
-        let m = SynCpsAnalyzer::<Flat>::new(&cps).with_budget(budget).analyze();
+        let d = DirectAnalyzer::<Flat>::new(&prog)
+            .with_budget(budget)
+            .analyze()?;
+        let s = SemCpsAnalyzer::<Flat>::new(&prog)
+            .with_budget(budget)
+            .analyze();
+        let m = SynCpsAnalyzer::<Flat>::new(&cps)
+            .with_budget(budget)
+            .analyze();
         let fmt = |g: Option<u64>| match g {
             Some(n) => n.to_string(),
             None => "budget!".to_owned(),
@@ -60,10 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ]);
     }
-    println!("{}", render_table(&["budget (goals)", "semantic-CPS outcome"], &rows));
+    println!(
+        "{}",
+        render_table(&["budget (goals)", "semantic-CPS outcome"], &rows)
+    );
 
     let d = DirectAnalyzer::<Flat>::new(&prog).analyze()?;
-    let widened = SemCpsAnalyzer::<Flat>::new(&prog).with_loop_widening(true).analyze()?;
+    let widened = SemCpsAnalyzer::<Flat>::new(&prog)
+        .with_loop_widening(true)
+        .analyze()?;
     println!(
         "direct M_e terminates in {} goals; the widened (non-paper) semantic-CPS repair \
          terminates in {} goals and agrees with it: {}",

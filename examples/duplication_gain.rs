@@ -15,8 +15,16 @@ use cpsdfa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, src, var) in [
-        ("Theorem 5.2 case 1 (branch correlation)", paper::THEOREM_5_2_CASE_1, "a2"),
-        ("Theorem 5.2 case 2 (callee correlation)", paper::THEOREM_5_2_CASE_2, "a2"),
+        (
+            "Theorem 5.2 case 1 (branch correlation)",
+            paper::THEOREM_5_2_CASE_1,
+            "a2",
+        ),
+        (
+            "Theorem 5.2 case 2 (callee correlation)",
+            paper::THEOREM_5_2_CASE_2,
+            "a2",
+        ),
     ] {
         println!("== {name} ==\n  {src}\n");
         let prog = AnfProgram::parse(src)?;
@@ -35,13 +43,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let syn_v = cps.var_named(var).expect("paper variable");
 
         let rows = vec![
-            vec!["direct M_e (Fig 4)".into(), direct.store.get(v).to_string(), direct.stats.goals.to_string()],
-            vec!["direct + dup depth 1 (§6.3)".into(), dup1.store.get(v).to_string(), dup1.stats.goals.to_string()],
-            vec!["direct + dup depth 2 (§6.3)".into(), dup2.store.get(v).to_string(), dup2.stats.goals.to_string()],
-            vec!["semantic-CPS C_e (Fig 5)".into(), sem.store.get(v).to_string(), sem.stats.goals.to_string()],
-            vec!["syntactic-CPS M_s (Fig 6)".into(), syn.store.get(syn_v).to_string(), syn.stats.goals.to_string()],
+            vec![
+                "direct M_e (Fig 4)".into(),
+                direct.store.get(v).to_string(),
+                direct.stats.goals.to_string(),
+            ],
+            vec![
+                "direct + dup depth 1 (§6.3)".into(),
+                dup1.store.get(v).to_string(),
+                dup1.stats.goals.to_string(),
+            ],
+            vec![
+                "direct + dup depth 2 (§6.3)".into(),
+                dup2.store.get(v).to_string(),
+                dup2.stats.goals.to_string(),
+            ],
+            vec![
+                "semantic-CPS C_e (Fig 5)".into(),
+                sem.store.get(v).to_string(),
+                sem.stats.goals.to_string(),
+            ],
+            vec![
+                "syntactic-CPS M_s (Fig 6)".into(),
+                syn.store.get(syn_v).to_string(),
+                syn.stats.goals.to_string(),
+            ],
         ];
-        println!("{}", render_table(&["analyzer", &format!("σ({var})"), "goals"], &rows));
+        println!(
+            "{}",
+            render_table(&["analyzer", &format!("σ({var})"), "goals"], &rows)
+        );
     }
 
     println!("== Theorem 5.4: the gain exists only in non-distributive analyses ==");

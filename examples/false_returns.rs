@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!(
             "{}",
-            render_table(&["variable", "δe(direct)", "syntactic-CPS", "order"], &table)
+            render_table(
+                &["variable", "δe(direct)", "syntactic-CPS", "order"],
+                &table
+            )
         );
         println!("overall: {}", overall(&rows));
         println!(

@@ -38,7 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["var", "MFP", "MOP (all paths)", "MOP (feasible)", "direct M_e", "semantic-CPS C_e"],
+            &[
+                "var",
+                "MFP",
+                "MOP (all paths)",
+                "MOP (feasible)",
+                "direct M_e",
+                "semantic-CPS C_e"
+            ],
             &rows
         )
     );
@@ -51,14 +58,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {{a:=1; b:=2}} or {{a:=2; b:=1}}; c := a + b   (hand-built CFG: Λ has no `+`)\n");
     let (a, b, c, z) = (VarId(0), VarId(1), VarId(2), VarId(3));
     let nodes = vec![
-        Node { stmt: Stmt::Havoc(z), succs: vec![NodeId(1)], cond: None },
-        Node { stmt: Stmt::Nop, succs: vec![NodeId(2), NodeId(4)], cond: Some(Cond::Var(z)) },
-        Node { stmt: Stmt::Const(a, 1), succs: vec![NodeId(3)], cond: None },
-        Node { stmt: Stmt::Const(b, 2), succs: vec![NodeId(6)], cond: None },
-        Node { stmt: Stmt::Const(a, 2), succs: vec![NodeId(5)], cond: None },
-        Node { stmt: Stmt::Const(b, 1), succs: vec![NodeId(6)], cond: None },
-        Node { stmt: Stmt::Sum(c, a, b), succs: vec![NodeId(7)], cond: None },
-        Node { stmt: Stmt::Nop, succs: vec![], cond: None },
+        Node {
+            stmt: Stmt::Havoc(z),
+            succs: vec![NodeId(1)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Nop,
+            succs: vec![NodeId(2), NodeId(4)],
+            cond: Some(Cond::Var(z)),
+        },
+        Node {
+            stmt: Stmt::Const(a, 1),
+            succs: vec![NodeId(3)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(b, 2),
+            succs: vec![NodeId(6)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(a, 2),
+            succs: vec![NodeId(5)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Const(b, 1),
+            succs: vec![NodeId(6)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Sum(c, a, b),
+            succs: vec![NodeId(7)],
+            cond: None,
+        },
+        Node {
+            stmt: Stmt::Nop,
+            succs: vec![],
+            cond: None,
+        },
     ];
     let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4)?;
     let mfp = g.solve_mfp::<Flat>(g.bottom_env());
@@ -66,7 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = vec![
         vec!["a".into(), mfp.get(a).to_string(), mop.get(a).to_string()],
         vec!["b".into(), mfp.get(b).to_string(), mop.get(b).to_string()],
-        vec!["c = a+b".into(), mfp.get(c).to_string(), mop.get(c).to_string()],
+        vec![
+            "c = a+b".into(),
+            mfp.get(c).to_string(),
+            mop.get(c).to_string(),
+        ],
     ];
     println!("{}", render_table(&["var", "MFP", "MOP"], &rows));
     println!("MOP proves c = 3; MFP merges a and b first and reports ⊤ — computing MOP in");

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("== {name} ==\n  {src}\n");
         let prog = AnfProgram::parse(src)?;
         let mut rows = Vec::new();
-        for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+        for source in [
+            FactSource::Direct,
+            FactSource::DirectDup(1),
+            FactSource::SemCps,
+        ] {
             let (opt, stats) = optimize(&prog, source)?;
             rows.push(vec![
                 source.to_string(),
@@ -30,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 stats.to_string(),
             ]);
         }
-        println!("{}", render_table(&["facts from", "residual program", "stats"], &rows));
+        println!(
+            "{}",
+            render_table(&["facts from", "residual program", "stats"], &rows)
+        );
     }
 
     println!("The direct analysis (Figure 4) merges at joins, so the correlated");

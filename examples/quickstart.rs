@@ -53,18 +53,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["variable", "direct M_e (Fig 4)", "semantic-CPS C_e (Fig 5)", "syntactic-CPS M_s (Fig 6)"],
+            &[
+                "variable",
+                "direct M_e (Fig 4)",
+                "semantic-CPS C_e (Fig 5)",
+                "syntactic-CPS M_s (Fig 6)"
+            ],
             &rows
         )
     );
 
-    println!("cost: direct {} | semantic-CPS {} | syntactic-CPS {}",
-        direct.stats, sem.stats, syn.stats);
-    println!("false-return edges in the CPS analysis (§6.1): {}",
-        syn.flows.false_return_edges());
+    println!(
+        "cost: direct {} | semantic-CPS {} | syntactic-CPS {}",
+        direct.stats, sem.stats, syn.stats
+    );
+    println!(
+        "false-return edges in the CPS analysis (§6.1): {}",
+        syn.flows.false_return_edges()
+    );
     Ok(())
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

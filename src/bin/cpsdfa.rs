@@ -104,7 +104,12 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts { domain: "flat".into(), dup: 0, budget: 10_000_000, inputs: Vec::new() };
+    let mut opts = Opts {
+        domain: "flat".into(),
+        dup: 0,
+        budget: 10_000_000,
+        inputs: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -156,7 +161,12 @@ fn cmd_run(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
     show(
         "semantic-CPS (Fig 2):",
         run_semcps(prog, &opts.inputs, fuel)
-            .map(|a| format!("{} ({} steps, max κ depth {})", a.value, a.steps, a.max_kont_depth))
+            .map(|a| {
+                format!(
+                    "{} ({} steps, max κ depth {})",
+                    a.value, a.steps, a.max_kont_depth
+                )
+            })
             .map_err(|e| e.to_string()),
     );
     show(
@@ -269,7 +279,10 @@ fn cmd_compare(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
         .collect();
     println!(
         "{}",
-        render_table(&["variable", "δe(direct)", "syntactic-CPS", "order"], &table)
+        render_table(
+            &["variable", "δe(direct)", "syntactic-CPS", "order"],
+            &table
+        )
     );
     println!("overall: {}", cpsdfa::analysis::deltae::overall(&rows));
     Ok(())
@@ -277,7 +290,11 @@ fn cmd_compare(prog: &AnfProgram, args: &[String]) -> Result<(), String> {
 
 fn cmd_optimize(prog: &AnfProgram) -> Result<(), String> {
     println!("original:\n  {}\n", prog.root());
-    for source in [FactSource::Direct, FactSource::DirectDup(1), FactSource::SemCps] {
+    for source in [
+        FactSource::Direct,
+        FactSource::DirectDup(1),
+        FactSource::SemCps,
+    ] {
         let (opt, stats) = optimize(prog, source).map_err(|e| e.to_string())?;
         println!("facts from {source}:");
         println!("  {}", opt.root());

@@ -4,16 +4,28 @@
 use cpsdfa::prelude::*;
 
 fn goals_direct(prog: &AnfProgram) -> u64 {
-    DirectAnalyzer::<Flat>::new(prog).analyze().unwrap().stats.goals
+    DirectAnalyzer::<Flat>::new(prog)
+        .analyze()
+        .unwrap()
+        .stats
+        .goals
 }
 
 fn goals_semcps(prog: &AnfProgram) -> u64 {
-    SemCpsAnalyzer::<Flat>::new(prog).analyze().unwrap().stats.goals
+    SemCpsAnalyzer::<Flat>::new(prog)
+        .analyze()
+        .unwrap()
+        .stats
+        .goals
 }
 
 fn goals_syncps(prog: &AnfProgram) -> u64 {
     let cps = CpsProgram::from_anf(prog);
-    SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap().stats.goals
+    SynCpsAnalyzer::<Flat>::new(&cps)
+        .analyze()
+        .unwrap()
+        .stats
+        .goals
 }
 
 #[test]
@@ -21,7 +33,11 @@ fn direct_cost_is_linear_in_conditional_count() {
     let g4 = goals_direct(&AnfProgram::from_term(&families::cond_chain(4)));
     let g8 = goals_direct(&AnfProgram::from_term(&families::cond_chain(8)));
     let g12 = goals_direct(&AnfProgram::from_term(&families::cond_chain(12)));
-    assert_eq!(g8 - g4, g12 - g8, "direct growth is not linear: {g4} {g8} {g12}");
+    assert_eq!(
+        g8 - g4,
+        g12 - g8,
+        "direct growth is not linear: {g4} {g8} {g12}"
+    );
 }
 
 #[test]
@@ -82,7 +98,11 @@ fn bounded_duplication_cost_is_bounded() {
     // dup depth d on cond_chain(n) costs at most ~2^d extra, not 2^n.
     let n = 12;
     let prog = AnfProgram::from_term(&families::cond_chain(n));
-    let d0 = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap().stats.goals;
+    let d0 = DirectAnalyzer::<Flat>::new(&prog)
+        .analyze()
+        .unwrap()
+        .stats
+        .goals;
     let d3 = DirectAnalyzer::<Flat>::new(&prog)
         .with_duplication_depth(3)
         .analyze()
@@ -90,7 +110,10 @@ fn bounded_duplication_cost_is_bounded() {
         .stats
         .goals;
     let sem = goals_semcps(&prog);
-    assert!(d3 < sem / 4, "bounded duplication should be far below full duplication");
+    assert!(
+        d3 < sem / 4,
+        "bounded duplication should be far below full duplication"
+    );
     assert!(d3 >= d0, "duplication cannot be cheaper than merging");
 }
 

@@ -22,7 +22,10 @@ fn big_fuel() -> Fuel {
 
 #[test]
 fn lemma_3_1_direct_equals_semcps_on_corpus() {
-    for (i, t) in corpus(SEED, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let d = run_direct(&p, &[], big_fuel()).unwrap_or_else(|e| panic!("#{i}: {e}"));
         let c = run_semcps(&p, &[], big_fuel()).unwrap_or_else(|e| panic!("#{i}: {e}"));
@@ -39,7 +42,10 @@ fn lemma_3_1_direct_equals_semcps_on_corpus() {
 
 #[test]
 fn lemma_3_3_syncps_computes_delta_of_direct_on_corpus() {
-    for (i, t) in corpus(SEED + 1, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 1, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let c = CpsProgram::from_anf(&p);
         let d = run_direct(&p, &[], big_fuel()).unwrap_or_else(|e| panic!("#{i}: {e}"));
@@ -57,7 +63,10 @@ fn lemma_3_3_syncps_computes_delta_of_direct_on_corpus() {
 
 #[test]
 fn a_normalization_preserves_evaluation_on_corpus() {
-    for (i, t) in corpus(SEED + 2, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 2, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let reference = run_reference(&t, &[], big_fuel()).unwrap_or_else(|e| panic!("#{i}: {e}"));
         let p = AnfProgram::from_term(&t);
         let direct = run_direct(&p, &[], big_fuel()).unwrap_or_else(|e| panic!("#{i}: {e}"));
@@ -78,7 +87,10 @@ fn a_normalization_preserves_evaluation_on_corpus() {
 fn lemmas_hold_with_inputs_on_open_programs() {
     // Open variants: wrap corpus programs with a free-variable use.
     let inputs = [(Ident::new("z"), 5)];
-    for (i, inner) in corpus(SEED + 3, 60, &GenConfig::default()).into_iter().enumerate() {
+    for (i, inner) in corpus(SEED + 3, 60, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let t = build::let_("seed", build::app(build::add1(), build::var("z")), inner);
         let p = AnfProgram::from_term(&t);
         let c = CpsProgram::from_anf(&p);
@@ -98,7 +110,11 @@ fn interpreters_agree_on_paper_examples() {
         }
         let p = AnfProgram::parse(src).unwrap();
         let c = CpsProgram::from_anf(&p);
-        let inputs = [(Ident::new("z"), 1), (Ident::new("f"), 0), (Ident::new("g"), 0)];
+        let inputs = [
+            (Ident::new("z"), 1),
+            (Ident::new("f"), 0),
+            (Ident::new("g"), 0),
+        ];
         // Some examples apply free variables as functions; those runs fail
         // uniformly across interpreters.
         let d = run_direct(&p, &inputs, big_fuel());

@@ -22,7 +22,10 @@ fn full_pipeline_on_a_realistic_program() {
 
     // Abstract: a = 7 exactly; b merges 7 and 9.
     let d = DirectAnalyzer::<Flat>::new(&prog).analyze().unwrap();
-    assert_eq!(d.store.get(prog.var_named("a").unwrap()).num.as_const(), Some(7));
+    assert_eq!(
+        d.store.get(prog.var_named("a").unwrap()).num.as_const(),
+        Some(7)
+    );
     assert!(d.store.get(prog.var_named("b").unwrap()).num.is_top());
 
     // PowerSet keeps both values of b.
@@ -45,11 +48,16 @@ fn budgets_degrade_gracefully_everywhere() {
     let prog = AnfProgram::from_term(&families::cond_chain(12));
     let tiny = AnalysisBudget::new(50);
     assert!(matches!(
-        SemCpsAnalyzer::<Flat>::new(&prog).with_budget(tiny).analyze(),
+        SemCpsAnalyzer::<Flat>::new(&prog)
+            .with_budget(tiny)
+            .analyze(),
         Err(AnalysisError::BudgetExhausted { .. })
     ));
     // Direct fits easily in the same budget.
-    assert!(DirectAnalyzer::<Flat>::new(&prog).with_budget(tiny).analyze().is_ok());
+    assert!(DirectAnalyzer::<Flat>::new(&prog)
+        .with_budget(tiny)
+        .analyze()
+        .is_ok());
 }
 
 #[test]
@@ -120,7 +128,9 @@ fn var_lookup_api_is_consistent_across_programs() {
     let prog = AnfProgram::parse(paper::THEOREM_5_2_CASE_2).unwrap();
     let cps = CpsProgram::from_anf(&prog);
     for name in ["f", "a1", "a2", "s", "z"] {
-        let pv = prog.var_named(name).unwrap_or_else(|| panic!("anf: {name}"));
+        let pv = prog
+            .var_named(name)
+            .unwrap_or_else(|| panic!("anf: {name}"));
         let cv = cps.var_named(name).unwrap_or_else(|| panic!("cps: {name}"));
         assert_eq!(prog.ident(pv).as_str(), name);
         assert_eq!(cps.key(cv).to_string(), name);

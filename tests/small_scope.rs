@@ -34,7 +34,10 @@ fn theorem_5_5_ordering_holds_on_every_small_program() {
         let syn = SynCpsAnalyzer::<Flat>::new(&cps).analyze().unwrap();
         for r in compare_via_delta(&p, &cps, &sem.store, &syn.store) {
             assert!(
-                matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise),
+                matches!(
+                    r.order,
+                    PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise
+                ),
                 "Theorem 5.5 violated at {} on {t}: {r}",
                 r.name
             );
@@ -54,8 +57,7 @@ fn soundness_holds_on_every_small_program_that_runs() {
             };
             ran += 1;
             let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
-            check_direct(&p, &conc.store, &abs.store)
-                .unwrap_or_else(|e| panic!("z={z}: {e}\n{t}"));
+            check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("z={z}: {e}\n{t}"));
         }
     }
     assert!(ran > 5_000, "too few programs ran concretely: {ran}");

@@ -15,7 +15,10 @@ fn big_fuel() -> Fuel {
 
 #[test]
 fn direct_analyzer_covers_direct_runs_flat() {
-    for (i, t) in corpus(SEED, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let conc = run_direct(&p, &[], big_fuel()).unwrap();
         let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
@@ -25,7 +28,10 @@ fn direct_analyzer_covers_direct_runs_flat() {
 
 #[test]
 fn direct_analyzer_covers_direct_runs_powerset() {
-    for (i, t) in corpus(SEED + 1, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 1, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let conc = run_direct(&p, &[], big_fuel()).unwrap();
         let abs = DirectAnalyzer::<PowerSet<16>>::new(&p).analyze().unwrap();
@@ -35,7 +41,10 @@ fn direct_analyzer_covers_direct_runs_powerset() {
 
 #[test]
 fn semcps_analyzer_covers_concrete_runs() {
-    for (i, t) in corpus(SEED + 2, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 2, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let conc = run_semcps(&p, &[], big_fuel()).unwrap();
         let abs = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
@@ -45,7 +54,10 @@ fn semcps_analyzer_covers_concrete_runs() {
 
 #[test]
 fn syncps_analyzer_covers_concrete_runs() {
-    for (i, t) in corpus(SEED + 3, N, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 3, N, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let c = CpsProgram::from_anf(&p);
         let conc = run_syncps(&c, &[], big_fuel()).unwrap();
@@ -67,8 +79,7 @@ fn analyses_cover_runs_with_arbitrary_inputs() {
             let p = AnfProgram::from_term(&t);
             let conc = run_direct(&p, &inputs, big_fuel()).unwrap();
             let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
-            check_direct(&p, &conc.store, &abs.store)
-                .unwrap_or_else(|e| panic!("z={z}: {e}\n{t}"));
+            check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("z={z}: {e}\n{t}"));
             let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
             check_direct(&p, &conc.store, &sem.store)
                 .unwrap_or_else(|e| panic!("sem z={z}: {e}\n{t}"));
@@ -78,7 +89,10 @@ fn analyses_cover_runs_with_arbitrary_inputs() {
 
 #[test]
 fn duplicating_direct_analyzer_remains_sound() {
-    for (i, t) in corpus(SEED + 4, 120, &GenConfig::default()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 4, 120, &GenConfig::default())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let conc = run_direct(&p, &[], big_fuel()).unwrap();
         for depth in [1, 2, 4] {

@@ -19,7 +19,10 @@ fn theorem_5_1_direct_beats_syncps_on_pi1() {
     let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
 
     // The paper's literal claim: direct proves a1 = 1 ...
-    assert_eq!(d.store.get(p.var_named("a1").unwrap()).num.as_const(), Some(1));
+    assert_eq!(
+        d.store.get(p.var_named("a1").unwrap()).num.as_const(),
+        Some(1)
+    );
     assert_eq!(d.value.num.as_const(), Some(1));
     // ... the CPS analysis does not.
     assert!(s.store.get(c.var_named("a1").unwrap()).num.is_top());
@@ -34,12 +37,18 @@ fn theorem_5_1_direct_beats_syncps_on_pi1() {
 /// cases).
 #[test]
 fn theorem_5_2_syncps_beats_direct_on_both_cases() {
-    for (src, expected) in [(paper::THEOREM_5_2_CASE_1, 3), (paper::THEOREM_5_2_CASE_2, 5)] {
+    for (src, expected) in [
+        (paper::THEOREM_5_2_CASE_1, 3),
+        (paper::THEOREM_5_2_CASE_2, 5),
+    ] {
         let p = AnfProgram::parse(src).unwrap();
         let c = CpsProgram::from_anf(&p);
         let d = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
         let s = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
-        assert!(d.store.get(p.var_named("a2").unwrap()).num.is_top(), "{src}");
+        assert!(
+            d.store.get(p.var_named("a2").unwrap()).num.is_top(),
+            "{src}"
+        );
         assert_eq!(
             s.store.get(c.var_named("a2").unwrap()).num.as_const(),
             Some(expected),
@@ -92,7 +101,10 @@ fn theorem_5_4_semcps_refines_direct_on_corpus() {
             c.store.leq(&d.store),
             "#{i}: semantic-CPS store not ⊑ direct store for {t}"
         );
-        assert!(c.value.leq(&d.value), "#{i}: value ordering violated for {t}");
+        assert!(
+            c.value.leq(&d.value),
+            "#{i}: value ordering violated for {t}"
+        );
     }
 }
 
@@ -125,7 +137,10 @@ fn theorem_5_5_semcps_refines_syncps_on_corpus() {
         let syn = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
         for r in compare_via_delta(&p, &c, &sem.store, &syn.store) {
             assert!(
-                matches!(r.order, PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise),
+                matches!(
+                    r.order,
+                    PrecisionOrder::Equal | PrecisionOrder::LeftMorePrecise
+                ),
                 "#{i}: theorem 5.5 violated at {} for {t}: {r}",
                 r.name
             );
@@ -137,13 +152,25 @@ fn theorem_5_5_semcps_refines_syncps_on_corpus() {
 /// analysis monotonically toward the semantic-CPS result.
 #[test]
 fn bounded_duplication_interpolates_on_corpus() {
-    for (i, t) in corpus(SEED + 4, 100, &open_config()).into_iter().enumerate() {
+    for (i, t) in corpus(SEED + 4, 100, &open_config())
+        .into_iter()
+        .enumerate()
+    {
         let p = AnfProgram::from_term(&t);
         let d0 = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
-        let d2 = DirectAnalyzer::<Flat>::new(&p).with_duplication_depth(2).analyze().unwrap();
+        let d2 = DirectAnalyzer::<Flat>::new(&p)
+            .with_duplication_depth(2)
+            .analyze()
+            .unwrap();
         let sem = SemCpsAnalyzer::<Flat>::new(&p).analyze().unwrap();
-        assert!(d2.store.leq(&d0.store), "#{i}: duplication lost precision on {t}");
-        assert!(sem.store.leq(&d2.store), "#{i}: semantic-CPS not ⊑ dup-2 on {t}");
+        assert!(
+            d2.store.leq(&d0.store),
+            "#{i}: duplication lost precision on {t}"
+        );
+        assert!(
+            sem.store.leq(&d2.store),
+            "#{i}: semantic-CPS not ⊑ dup-2 on {t}"
+        );
     }
 }
 
@@ -151,7 +178,10 @@ fn bounded_duplication_interpolates_on_corpus() {
 /// *direct* analyzer — the paper's final recommendation.
 #[test]
 fn section_6_3_duplicating_direct_matches_cps_gains() {
-    for (src, expected) in [(paper::THEOREM_5_2_CASE_1, 3), (paper::THEOREM_5_2_CASE_2, 5)] {
+    for (src, expected) in [
+        (paper::THEOREM_5_2_CASE_1, 3),
+        (paper::THEOREM_5_2_CASE_2, 5),
+    ] {
         let p = AnfProgram::parse(src).unwrap();
         let d = DirectAnalyzer::<Flat>::new(&p)
             .with_duplication_depth(1)
