@@ -1024,18 +1024,54 @@ fn e15_optimizer() {
 /// A named program family on its size ladder.
 type Family = (&'static str, fn(usize) -> cpsdfa_syntax::Term);
 
-/// Median wall time of `reps` runs of `run`, in milliseconds, plus the
-/// last result (all runs compute the same fixpoint).
-fn median_ms<R>(reps: usize, mut run: impl FnMut() -> R) -> (f64, R) {
-    let mut samples = Vec::with_capacity(reps);
-    let mut last = None;
-    for _ in 0..reps {
+/// Interleaved paired medians, in milliseconds, plus the last result of
+/// each closure (all runs compute the same fixpoint). The two sides
+/// alternate inside one sampling loop so slow machine-state drift
+/// (frequency scaling, cache temperature) lands on both columns equally
+/// instead of on whichever side happened to be timed second — at the
+/// tens-of-µs scale that drift otherwise dominates the ratio. Runs at
+/// least `min_reps` pairs and keeps sampling until the *cheaper* side
+/// has accumulated ~2 ms of measured time (capped at 301 pairs): a
+/// 5-rep median of a 30 µs workload is scheduler jitter, not a
+/// measurement.
+fn paired_median_ms<A, B>(
+    min_reps: usize,
+    mut run_a: impl FnMut() -> A,
+    mut run_b: impl FnMut() -> B,
+) -> ((f64, A), (f64, B)) {
+    const TARGET_MS: f64 = 2.0;
+    const MAX_REPS: usize = 301;
+    let mut samples_a = Vec::with_capacity(min_reps);
+    let mut samples_b = Vec::with_capacity(min_reps);
+    let (mut last_a, mut last_b) = (None, None);
+    let (mut total_a, mut total_b) = (0.0f64, 0.0f64);
+    while samples_a.len() < min_reps
+        || (total_a.min(total_b) < TARGET_MS && samples_a.len() < MAX_REPS)
+    {
         let t0 = std::time::Instant::now();
-        last = Some(run());
-        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        last_a = Some(run_a());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        total_a += ms;
+        samples_a.push(ms);
+
+        let t0 = std::time::Instant::now();
+        last_b = Some(run_b());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        total_b += ms;
+        samples_b.push(ms);
     }
-    samples.sort_by(f64::total_cmp);
-    (samples[reps / 2], last.expect("reps >= 1"))
+    samples_a.sort_by(f64::total_cmp);
+    samples_b.sort_by(f64::total_cmp);
+    (
+        (
+            samples_a[samples_a.len() / 2],
+            last_a.expect("min_reps >= 1"),
+        ),
+        (
+            samples_b[samples_b.len() / 2],
+            last_b.expect("min_reps >= 1"),
+        ),
+    )
 }
 
 /// E16: tentpole — the sparse worklist engine against the dense sweeps it
@@ -1049,7 +1085,7 @@ fn e16_solver_cost() {
 
     section(
         "E16",
-        "tentpole: sparse worklist fixpoints vs the dense sweeps they replaced",
+        "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
     );
     let reps = 5;
     let mut json: Vec<String> = Vec::new();
@@ -1063,11 +1099,14 @@ fn e16_solver_cost() {
                   wall_ms: f64,
                   iterations: u64,
                   posts: u64,
+                  delta_elems: u64,
+                  mean_delta: f64,
                   json: &mut Vec<String>| {
         json.push(format!(
             "  {{\"family\": \"{family}\", \"n\": {n}, \"program_size\": {program_size}, \
              \"analyzer\": \"{analyzer}\", \"impl\": \"{variant}\", \"wall_ms\": {wall_ms:.4}, \
-             \"iterations\": {iterations}, \"posts\": {posts}}}"
+             \"iterations\": {iterations}, \"posts\": {posts}, \
+             \"delta_elems\": {delta_elems}, \"mean_delta\": {mean_delta:.3}}}"
         ));
     };
 
@@ -1084,8 +1123,11 @@ fn e16_solver_cost() {
             let cps = CpsProgram::from_anf(&prog);
             let psize = prog.root().size();
 
-            let (sparse_ms, (sres, sstats)) = median_ms(reps, || zero_cfa_instrumented(&prog));
-            let (dense_ms, dres) = median_ms(reps, || zero_cfa_dense(&prog));
+            let ((sparse_ms, (sres, sstats)), (dense_ms, dres)) = paired_median_ms(
+                reps,
+                || zero_cfa_instrumented(&prog),
+                || zero_cfa_dense(&prog),
+            );
             assert!(
                 sres.same_solution(&dres),
                 "sparse/dense 0CFA disagree on {family}({n})"
@@ -1095,10 +1137,12 @@ fn e16_solver_cost() {
                 n,
                 psize,
                 "0cfa",
-                "sparse",
+                "sparse-delta",
                 sparse_ms,
                 sstats.fired,
                 sstats.posted,
+                sstats.delta_elems,
+                sstats.mean_delta(),
                 &mut json,
             );
             record(
@@ -1110,6 +1154,8 @@ fn e16_solver_cost() {
                 dense_ms,
                 dres.iterations,
                 0,
+                0,
+                0.0,
                 &mut json,
             );
             rows.push(vec![
@@ -1118,13 +1164,17 @@ fn e16_solver_cost() {
                 format!("{dense_ms:.2}"),
                 format!("{sparse_ms:.2}"),
                 format!("{:.1}x", dense_ms / sparse_ms),
+                format!("{} × {:.2}", sstats.fired, sstats.mean_delta()),
             ]);
             if n == *sizes.last().unwrap() {
                 largest.push((format!("0CFA on {family}({n})"), dense_ms / sparse_ms));
             }
 
-            let (csparse_ms, (cres, cstats)) = median_ms(reps, || zero_cfa_cps_instrumented(&cps));
-            let (cdense_ms, cdres) = median_ms(reps, || zero_cfa_cps_dense(&cps));
+            let ((csparse_ms, (cres, cstats)), (cdense_ms, cdres)) = paired_median_ms(
+                reps,
+                || zero_cfa_cps_instrumented(&cps),
+                || zero_cfa_cps_dense(&cps),
+            );
             assert!(
                 cres.same_solution(&cdres),
                 "sparse/dense CPS 0CFA disagree on {family}({n})"
@@ -1134,10 +1184,12 @@ fn e16_solver_cost() {
                 n,
                 psize,
                 "0cfa-cps",
-                "sparse",
+                "sparse-delta",
                 csparse_ms,
                 cstats.fired,
                 cstats.posted,
+                cstats.delta_elems,
+                cstats.mean_delta(),
                 &mut json,
             );
             record(
@@ -1149,6 +1201,8 @@ fn e16_solver_cost() {
                 cdense_ms,
                 cdres.iterations,
                 0,
+                0,
+                0.0,
                 &mut json,
             );
             rows.push(vec![
@@ -1157,6 +1211,7 @@ fn e16_solver_cost() {
                 format!("{cdense_ms:.2}"),
                 format!("{csparse_ms:.2}"),
                 format!("{:.1}x", cdense_ms / csparse_ms),
+                format!("{} × {:.2}", cstats.fired, cstats.mean_delta()),
             ]);
             if n == *sizes.last().unwrap() {
                 largest.push((format!("0CFA-CPS on {family}({n})"), cdense_ms / csparse_ms));
@@ -1174,23 +1229,27 @@ fn e16_solver_cost() {
         let cfg = Cfg::from_first_order(&prog).unwrap();
         let init = cfg.initial_env::<Flat>(&prog);
         let psize = prog.root().size();
-        let (sparse_ms, (ssum, sstats)) =
-            median_ms(reps, || cfg.solve_mfp_instrumented::<Flat>(init.clone()));
-        let (dense_ms, dsum) = median_ms(reps, || cfg.solve_mfp_dense::<Flat>(init.clone()));
+        let ((sparse_ms, (ssum, sstats)), (dense_ms, dsum)) = paired_median_ms(
+            reps,
+            || cfg.solve_mfp_instrumented::<Flat>(init.clone()),
+            || cfg.solve_mfp_dense::<Flat>(init.clone()),
+        );
         assert!(ssum == dsum, "sparse/dense MFP disagree on diamond({n})");
         record(
             "diamond",
             n,
             psize,
             "mfp",
-            "sparse",
+            "sparse-delta",
             sparse_ms,
             sstats.fired,
             sstats.posted,
+            sstats.delta_elems,
+            sstats.mean_delta(),
             &mut json,
         );
         record(
-            "diamond", n, psize, "mfp", "dense", dense_ms, 0, 0, &mut json,
+            "diamond", n, psize, "mfp", "dense", dense_ms, 0, 0, 0, 0.0, &mut json,
         );
         rows.push(vec![
             format!("diamond({n})"),
@@ -1198,6 +1257,7 @@ fn e16_solver_cost() {
             format!("{dense_ms:.2}"),
             format!("{sparse_ms:.2}"),
             format!("{:.1}x", dense_ms / sparse_ms),
+            format!("{} × {:.2}", sstats.fired, sstats.mean_delta()),
         ]);
         if n == *mfp_sizes.last().unwrap() {
             largest.push((format!("MFP on diamond({n})"), dense_ms / sparse_ms));
@@ -1207,7 +1267,14 @@ fn e16_solver_cost() {
     println!(
         "{}",
         render_table(
-            &["workload", "analyzer", "dense ms", "sparse ms", "speedup"],
+            &[
+                "workload",
+                "analyzer",
+                "dense ms",
+                "sparse ms",
+                "speedup",
+                "firings × mean Δ",
+            ],
             &rows
         )
     );

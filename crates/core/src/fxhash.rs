@@ -1,0 +1,134 @@
+//! A tiny multiply-rotate hasher for the analysis hot paths.
+//!
+//! The semi-naïve solvers do one hash-set membership probe per delta
+//! element ([`DeltaNodes::add`](crate::setpool::DeltaNodes::add)), and the
+//! keys are small `Copy` enums a word or two wide. SipHash — the std
+//! default, keyed and DoS-resistant — costs more than the rest of the probe
+//! combined on such keys. Nothing in the analyzers hashes attacker-chosen
+//! data (the keys are labels and variable ids of the program under
+//! analysis), so we trade the DoS resistance for throughput with the
+//! classic `Fx` scheme used by self-hosted compilers: fold each input word
+//! into the state with a rotate, xor, and multiply by a mid-density odd
+//! constant.
+//!
+//! Not a general-purpose hasher: quality degrades on long byte strings and
+//! there is no seeding, so keep it to the small-key interior tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plug for `HashMap`/`HashSet` type parameters.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// 64-bit Fx state. `Default` starts at zero, as `BuildHasherDefault`
+/// requires.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd, no obvious bit patterns: `2^64 / φ` rounded to odd.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+        assert_eq!(hash_of("abcdefghij"), hash_of("abcdefghij"));
+    }
+
+    #[test]
+    fn small_key_changes_change_the_hash() {
+        // Not a collision-resistance claim — just a smoke check that the
+        // fold mixes every word on the key shapes the solvers use.
+        assert_ne!(hash_of(1u32), hash_of(2u32));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+        assert_ne!(hash_of(0u64), hash_of(1u64 << 63));
+    }
+
+    #[test]
+    fn byte_tails_are_not_ignored() {
+        assert_ne!(hash_of("abcdefgh"), hash_of("abcdefghX"));
+        assert_ne!(hash_of("a"), hash_of("b"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&1998));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+    }
+}

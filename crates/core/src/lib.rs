@@ -22,8 +22,10 @@
 //! checks (Definition 5.3), machine-independent [cost counters](stats) and
 //! [flow logs](flow) (§6.1–6.2), the classical [MFP/MOP
 //! substrate](mfp) for the Nielson / Kam–Ullman discussion (§6.2), and the
-//! shared sparse [worklist fixpoint engine](solver) with its
-//! [hash-consed set arena](setpool) that the 0CFA and MFP solvers run on.
+//! shared sparse [worklist fixpoint engine](solver) — semi-naïve: firings
+//! consume per-watch *deltas*, not whole sets — with its [hash-consed set
+//! arena and in-place set builders](setpool) that the 0CFA and MFP solvers
+//! run on.
 //!
 //! # Quick tour: Theorem 5.1 in five lines
 //!
@@ -49,6 +51,7 @@ pub mod direct;
 pub mod distrib;
 pub mod domain;
 pub mod flow;
+pub mod fxhash;
 pub mod kcfa;
 pub mod mfp;
 pub mod precision;
@@ -64,9 +67,10 @@ pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsS
 pub use budget::{AnalysisBudget, AnalysisError};
 pub use direct::{DirectAnalyzer, DirectResult};
 pub use flow::FlowLog;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use precision::PrecisionOrder;
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};
-pub use setpool::{PoolStats, SetId, SetPool};
-pub use solver::WorklistSolver;
+pub use setpool::{DeltaNodes, PoolStats, SetBuilder, SetId, SetPool};
+pub use solver::{DeltaRange, WorklistSolver};
 pub use stats::{AnalysisStats, SolverStats};
 pub use syncps::{SynCpsAnalyzer, SynCpsResult};

@@ -29,8 +29,10 @@ pub fn render_cstore<D: NumDomain>(prog: &CpsProgram, store: &CAbsStore<D>) -> S
 
 /// Renders the sparse-engine counters of one analysis run as an indented
 /// block: scheduling work on the first line, savings relative to a dense
-/// sweep on the second. `coalesced` posts and memoized pool joins are the
-/// two quantities a dense formulation pays for and the sparse one does not.
+/// sweep on the second, semi-naïve delta sizes on the third. `coalesced`
+/// posts and memoized pool joins are quantities a dense formulation pays
+/// for and the sparse one does not; `mean delta` is how little of each
+/// watched set a firing actually re-reads.
 pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -45,6 +47,19 @@ pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
         stats.node_updates,
         stats.pool_interned,
         stats.pool_hit_rate() * 100.0
+    );
+    let hist = stats
+        .delta_hist
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let _ = writeln!(
+        out,
+        "  {:<10} {} delta elems, mean delta {:.2}, size hist [{hist}]",
+        "",
+        stats.delta_elems,
+        stats.mean_delta()
     );
     out
 }
@@ -117,6 +132,8 @@ mod tests {
         assert!(text.contains("0CFA"));
         assert!(text.contains("coalesced"));
         assert!(text.contains("hit-rate"));
+        assert!(text.contains("mean delta"));
+        assert!(text.contains("size hist ["));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Hash-consed set arena: interns `BTreeSet<T>` values into small [`SetId`]
 //! handles with O(1) equality, memoized pairwise joins, and copy-free
-//! propagation.
+//! propagation — plus the mutable **builder growth path** the semi-naïve
+//! solvers use while a fixpoint is still moving.
 //!
 //! The dense fixpoint loops (pre-solver `zero_cfa`/`zero_cfa_cps`) cloned
 //! `BTreeSet<AbsClo>` values on every propagation step. A pool turns those
@@ -9,11 +10,31 @@
 //! no-op joins (`a ⊔ b = a`) cost one hash lookup. Equality of handles is
 //! equality of sets, so convergence checks are integer compares.
 //!
+//! Interning every intermediate set has a failure mode, though: a node that
+//! grows one element at a time pays an O(|set|) clone + hash per growth
+//! step, so workloads dominated by incremental growth (CPS 0CFA on wide
+//! dispatch) regress below the dense in-place `extend`. The cure is to keep
+//! *growing* sets out of the arena entirely: [`DeltaNodes`] stores every
+//! flow node as an append-only growth log (the delta source the
+//! [`WorklistSolver`](crate::solver::WorklistSolver) cursors index) plus a
+//! bitset over a store-wide dense value universe, so a value is hashed once
+//! at first sight and forwarded between nodes with pure bit ops. Nodes
+//! intern into the pool only at commit points
+//! ([`DeltaNodes::commit_into`]) — after convergence, when handle equality
+//! and the memoized joins become useful again — and the commit walks the
+//! bitset in universe-index order, memoizing on the canonical index run, so
+//! no comparison sort or re-hash happens at extraction either. The
+//! clone-per-element regime is gone while the `SetId`-equality property is
+//! preserved for the report/comparison layers. ([`SetBuilder`], a plain
+//! sorted-vec set that unions in place, remains for callers that want
+//! in-place growth without the log/delta machinery.)
+//!
 //! Pools are deliberately *not* shared across threads: each analysis task
 //! owns its pool (see the corpus driver in `cpsdfa-workloads`), which keeps
 //! the arena lock-free.
 
-use std::collections::{BTreeSet, HashMap};
+use crate::fxhash::FxHashMap;
+use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::rc::Rc;
 
@@ -58,9 +79,16 @@ impl PoolStats {
 /// mixed flow value).
 pub struct SetPool<T> {
     sets: Vec<Rc<BTreeSet<T>>>,
-    intern: HashMap<Rc<BTreeSet<T>>, SetId>,
-    join_memo: HashMap<(SetId, SetId), SetId>,
-    insert_memo: HashMap<(SetId, T), SetId>,
+    intern: FxHashMap<Rc<BTreeSet<T>>, SetId>,
+    join_memo: FxHashMap<(SetId, SetId), SetId>,
+    insert_memo: FxHashMap<(SetId, T), SetId>,
+    /// Sorted-distinct element runs → handle: lets [`SetPool::commit`]
+    /// answer duplicate commits from a contiguous-slice hash without
+    /// building (or hashing) a `BTreeSet` at all.
+    commit_memo: FxHashMap<Box<[T]>, SetId>,
+    /// Reused by [`SetPool::commit`] so per-node extraction commits don't
+    /// each pay a heap allocation (a solver run commits every node once).
+    commit_scratch: Vec<T>,
     stats: PoolStats,
 }
 
@@ -71,13 +99,15 @@ impl<T: Ord + Clone + Hash> SetPool<T> {
     /// A fresh pool containing only the empty set.
     pub fn new() -> Self {
         let empty = Rc::new(BTreeSet::new());
-        let mut intern = HashMap::new();
+        let mut intern = FxHashMap::default();
         intern.insert(Rc::clone(&empty), SetId(0));
         SetPool {
             sets: vec![empty],
             intern,
-            join_memo: HashMap::new(),
-            insert_memo: HashMap::new(),
+            join_memo: FxHashMap::default(),
+            insert_memo: FxHashMap::default(),
+            commit_memo: FxHashMap::default(),
+            commit_scratch: Vec::new(),
             stats: PoolStats {
                 interned: 1,
                 ..PoolStats::default()
@@ -178,6 +208,244 @@ impl<T: Ord + Clone + Hash> SetPool<T> {
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
+
+    /// Interns a finished growing set — the commit point of the builder
+    /// growth path. Accepts anything yielding the distinct elements (a
+    /// [`SetBuilder`], a [`DeltaNodes`] growth log, a slice). Identical
+    /// node sets (common: every call site of a function converges to the
+    /// same callee set) dedup to one handle.
+    pub fn commit<'a>(&mut self, elems: impl IntoIterator<Item = &'a T>) -> SetId
+    where
+        T: 'a,
+    {
+        // Sort first: the sorted-distinct run is the memo key (one
+        // contiguous hash, no tree walk), and — on a miss — the cheap
+        // right-edge insert order for building the `BTreeSet`. The scratch
+        // buffer is pool-owned: memo hits (the common case — most nodes
+        // converge to one of a handful of sets) allocate nothing.
+        let mut scratch = std::mem::take(&mut self.commit_scratch);
+        scratch.clear();
+        scratch.extend(elems.into_iter().cloned());
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.is_empty() {
+            self.commit_scratch = scratch;
+            return Self::EMPTY;
+        }
+        if let Some(&id) = self.commit_memo.get(scratch.as_slice()) {
+            self.commit_scratch = scratch;
+            return id;
+        }
+        let set: BTreeSet<T> = scratch.iter().cloned().collect();
+        let id = self.intern(set);
+        self.commit_memo
+            .insert(scratch.as_slice().to_vec().into_boxed_slice(), id);
+        self.commit_scratch = scratch;
+        id
+    }
+}
+
+/// A mutable sorted-vec set: the *builder* representation growing flow
+/// nodes use between commit points. Inserts union in place (binary search
+/// plus shift) instead of the intern path's clone + hash per element, which
+/// is what makes one-element-at-a-time growth cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetBuilder<T> {
+    elems: Vec<T>,
+}
+
+impl<T: Ord> SetBuilder<T> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        SetBuilder { elems: Vec::new() }
+    }
+
+    /// Inserts `v`; returns whether it was new.
+    pub fn insert(&mut self, v: T) -> bool {
+        match self.elems.binary_search(&v) {
+            Ok(_) => false,
+            Err(at) => {
+                self.elems.insert(at, v);
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &T) -> bool {
+        self.elems.binary_search(v).is_ok()
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The elements in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elems.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SetBuilder<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+/// The value store of a semi-naïve CFA solver: per flow node, an append-only
+/// **growth log** in insertion order plus a **bitset** membership filter
+/// over a store-wide dense value universe. The log is what
+/// [`WorklistSolver::take_deltas`](crate::solver::WorklistSolver::take_deltas)
+/// ranges index: `log(n)[lo..hi]` is exactly the delta a firing consumes,
+/// and the log as a whole holds the node's distinct elements — the commit
+/// input. Because adds dedup through the filter, the log never repeats an
+/// element, so delivering disjoint log ranges can never double-count — the
+/// delta-merge idempotence the solvers rely on.
+///
+/// The universe trick is what makes propagation cheap: a value is hashed
+/// *once*, when it first enters the store ([`add`](DeltaNodes::add)
+/// assigns it the next dense index), and the index rides along in the log
+/// entries. Forwarding an element from one node's log into another node
+/// ([`add_indexed`](DeltaNodes::add_indexed)) is then a bit test and two
+/// pushes — no hashing at all — which matters because flow-heavy workloads
+/// (wide dispatch) forward each element across many edges but introduce it
+/// only once. A sorted [`SetBuilder`] per node would also work, but its
+/// O(|set|) shift per insert re-creates the clone-per-element regime this
+/// engine exists to kill.
+pub struct DeltaNodes<T> {
+    /// value → dense universe index, assigned at first sight.
+    universe: FxHashMap<T, u32>,
+    /// universe index → value (the inverse of `universe`), for
+    /// [`commit_into`](DeltaNodes::commit_into)'s index-order walk.
+    rev: Vec<T>,
+    /// Per node: insertion-ordered distinct `(value, universe index)`.
+    logs: Vec<Vec<(T, u32)>>,
+    /// Per node: membership bits over universe indices, grown on demand.
+    bits: Vec<Vec<u64>>,
+    /// Canonical index runs already committed → their pool handle.
+    commit_memo: FxHashMap<Box<[u32]>, SetId>,
+    /// Reused index buffer for [`commit_into`](DeltaNodes::commit_into).
+    commit_scratch: Vec<u32>,
+}
+
+impl<T: Eq + Hash + Clone> DeltaNodes<T> {
+    /// `n` empty nodes. Logs and bitsets allocate lazily on first growth.
+    pub fn new(n: usize) -> Self {
+        DeltaNodes {
+            universe: FxHashMap::default(),
+            rev: Vec::new(),
+            logs: vec![Vec::new(); n],
+            bits: vec![Vec::new(); n],
+            commit_memo: FxHashMap::default(),
+            commit_scratch: Vec::new(),
+        }
+    }
+
+    /// Adds `v` to `node`; on growth returns `Some(new_log_len)` — the
+    /// value to hand to
+    /// [`WorklistSolver::node_grew`](crate::solver::WorklistSolver::node_grew)
+    /// — and `None` if the element was already present (idempotent).
+    /// Hashes `v` to find (or mint) its universe index; when forwarding an
+    /// element already carrying its index, use
+    /// [`add_indexed`](DeltaNodes::add_indexed) instead.
+    pub fn add(&mut self, node: usize, v: T) -> Option<usize> {
+        let vi = match self.universe.get(&v) {
+            Some(&vi) => vi,
+            None => {
+                let vi = self.universe.len() as u32;
+                self.universe.insert(v.clone(), vi);
+                self.rev.push(v.clone());
+                vi
+            }
+        };
+        self.add_indexed(node, v, vi)
+    }
+
+    /// [`add`](DeltaNodes::add) for a `(value, index)` pair read from one of
+    /// *this store's* log entries — the no-hash propagation path. `vi` must
+    /// be the index paired with `v` in a log of this `DeltaNodes`.
+    pub fn add_indexed(&mut self, node: usize, v: T, vi: u32) -> Option<usize> {
+        let (word, bit) = (vi as usize / 64, vi % 64);
+        let bits = &mut self.bits[node];
+        if word >= bits.len() {
+            bits.resize(word + 1, 0);
+        }
+        if bits[word] & (1 << bit) != 0 {
+            return None;
+        }
+        bits[word] |= 1 << bit;
+        self.logs[node].push((v, vi));
+        Some(self.logs[node].len())
+    }
+
+    /// The growth log of `node`: its distinct elements in insertion order,
+    /// each paired with its universe index.
+    pub fn log(&self, node: usize) -> &[(T, u32)] {
+        &self.logs[node]
+    }
+
+    /// The values of `node`'s growth log, in insertion order (the commit
+    /// iterator).
+    pub fn values(&self, node: usize) -> impl Iterator<Item = &T> {
+        self.logs[node].iter().map(|(v, _)| v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: usize, v: &T) -> bool {
+        let Some(&vi) = self.universe.get(v) else {
+            return false;
+        };
+        self.bits[node]
+            .get(vi as usize / 64)
+            .is_some_and(|w| w & (1 << (vi % 64)) != 0)
+    }
+
+    /// Interns `node`'s converged set into `pool` — the extraction commit
+    /// point. The node's bitset already holds its elements as
+    /// sorted-distinct universe indices, so the canonical form costs a word
+    /// walk, not a comparison sort, and duplicate sets (every call site of
+    /// a function converging to the same callee set) dedup through one
+    /// `u32`-run hash before any `BTreeSet` is built. Handles are memoized
+    /// per store: always pass the same `pool` for the lifetime of `self`.
+    pub fn commit_into(&mut self, node: usize, pool: &mut SetPool<T>) -> SetId
+    where
+        T: Ord,
+    {
+        self.commit_scratch.clear();
+        for (w, &word) in self.bits[node].iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                self.commit_scratch
+                    .push((w as u32) * 64 + m.trailing_zeros());
+                m &= m - 1;
+            }
+        }
+        if self.commit_scratch.is_empty() {
+            return SetPool::<T>::EMPTY;
+        }
+        if let Some(&id) = self.commit_memo.get(self.commit_scratch.as_slice()) {
+            return id;
+        }
+        let set: BTreeSet<T> = self
+            .commit_scratch
+            .iter()
+            .map(|&vi| self.rev[vi as usize].clone())
+            .collect();
+        let id = pool.intern(set);
+        self.commit_memo.insert(
+            self.commit_scratch.as_slice().to_vec().into_boxed_slice(),
+            id,
+        );
+        id
+    }
 }
 
 impl<T: Ord + Clone + Hash> Default for SetPool<T> {
@@ -252,6 +520,83 @@ mod tests {
         );
         let direct = p.intern(BTreeSet::from([1, 2]));
         assert_eq!(a1, direct);
+    }
+
+    #[test]
+    fn builder_insert_dedups_and_sorts() {
+        let mut b = SetBuilder::new();
+        assert!(b.insert(3));
+        assert!(b.insert(1));
+        assert!(!b.insert(3), "re-insert must report not-new");
+        assert!(b.contains(&1) && !b.contains(&2));
+        assert_eq!(b.len(), 2);
+        let elems: Vec<i32> = b.iter().copied().collect();
+        assert_eq!(elems, vec![1, 3]);
+    }
+
+    #[test]
+    fn commit_interns_builders_canonically() {
+        let mut p = SetPool::new();
+        let mut b1 = SetBuilder::new();
+        let mut b2 = SetBuilder::new();
+        for v in [1, 2, 3] {
+            b1.insert(v);
+        }
+        for v in [3, 1, 2] {
+            b2.insert(v);
+        }
+        let id1 = p.commit(&b1);
+        let id2 = p.commit(&b2);
+        assert_eq!(id1, id2, "insertion order must not matter at commit");
+        assert_eq!(p.get(id1), &BTreeSet::from([1, 2, 3]));
+        assert_eq!(
+            p.commit(&SetBuilder::<i32>::new()),
+            SetPool::<i32>::EMPTY,
+            "empty builders commit to the canonical empty handle"
+        );
+        // A committed builder also unifies with independently interned sets.
+        assert_eq!(p.intern(BTreeSet::from([1, 2, 3])), id1);
+    }
+
+    #[test]
+    fn delta_nodes_log_never_repeats_an_element() {
+        let mut nodes: DeltaNodes<u32> = DeltaNodes::new(2);
+        assert_eq!(nodes.add(0, 7), Some(1));
+        assert_eq!(nodes.add(0, 9), Some(2));
+        assert_eq!(nodes.add(0, 7), None, "overlapping add must be a no-op");
+        assert_eq!(
+            nodes.log(0),
+            &[(7, 0), (9, 1)],
+            "log keeps insertion order, deduped, with dense universe indices"
+        );
+        assert_eq!(nodes.log(1), &[] as &[(u32, u32)]);
+        assert!(nodes.contains(0, &9));
+        assert!(!nodes.contains(1, &9));
+        assert!(!nodes.contains(0, &8), "unseen value is nowhere");
+    }
+
+    #[test]
+    fn delta_nodes_indexed_forwarding_matches_hashed_adds() {
+        let mut nodes: DeltaNodes<u32> = DeltaNodes::new(2);
+        for v in [5, 6, 7] {
+            nodes.add(0, v);
+        }
+        // Forward node 0's log into node 1 via the carried indices — the
+        // propagation path the solvers use.
+        for i in 0..nodes.log(0).len() {
+            let (v, vi) = nodes.log(0)[i];
+            assert!(nodes.add_indexed(1, v, vi).is_some());
+            assert!(
+                nodes.add_indexed(1, v, vi).is_none(),
+                "re-forwarding must be a no-op"
+            );
+        }
+        let a: Vec<u32> = nodes.values(0).copied().collect();
+        let b: Vec<u32> = nodes.values(1).copied().collect();
+        assert_eq!(a, b);
+        // Values minted after the forwarding get fresh universe indices.
+        assert_eq!(nodes.add(1, 99), Some(4));
+        assert!(nodes.contains(1, &99) && !nodes.contains(0, &99));
     }
 
     #[test]

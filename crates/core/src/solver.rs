@@ -1,4 +1,5 @@
-//! The shared sparse, dependency-driven worklist fixpoint engine.
+//! The shared sparse, dependency-driven worklist fixpoint engine, with
+//! **semi-naïve (delta) propagation**.
 //!
 //! Every fixpoint computation in this crate — source and CPS 0CFA
 //! ([`cfa`](crate::cfa)) and the classical MFP solver
@@ -10,13 +11,25 @@
 //! O(iterations × constraints) sweeps into O(total firings) — the standard
 //! sparse worklist discipline of constraint-based CFA solvers.
 //!
+//! On top of the sparse discipline the engine supports **difference
+//! propagation**, the semi-naïve evaluation strategy of Datalog-based CFA
+//! engines: a constraint firing receives only the *delta* of each watched
+//! node — the elements appended since this watcher last fired — rather
+//! than re-reading whole sets. Each `watch` edge carries a cursor into the
+//! watched node's append-only growth log; [`WorklistSolver::take_deltas`]
+//! hands the un-consumed `(node, lo, hi)` ranges to the firing and
+//! advances the cursors, so posts that coalesce while a constraint is
+//! pending merge into one delta and nothing is ever delivered twice.
+//!
 //! The engine is deliberately value-agnostic: it schedules constraint ids
-//! and tracks dependencies, while the client owns the node values (interned
-//! [`SetId`](crate::setpool::SetId)s for the CFA solvers, data-flow
-//! environments for MFP) and calls [`WorklistSolver::node_changed`] when a
-//! value grows. A priority `rank` per constraint fixes the pop order —
-//! clients pass reverse-postorder ranks (MFP) or source order (CFA) — so
-//! solving is fully deterministic.
+//! and tracks per-watch cursors, while the client owns the node values
+//! (append-only element logs with [`DeltaNodes`](crate::setpool::DeltaNodes)
+//! for the CFA solvers, data-flow environments for MFP) and calls
+//! [`WorklistSolver::node_grew`] (log clients) or
+//! [`WorklistSolver::node_changed`] (version-counter clients) when a value
+//! grows. A priority `rank` per constraint fixes the pop order — clients
+//! pass reverse-postorder ranks (MFP) or source order (CFA) — so solving
+//! is fully deterministic.
 
 use crate::stats::SolverStats;
 use std::cmp::Reverse;
@@ -28,16 +41,53 @@ pub type ConstraintId = usize;
 /// A flow-node index handed out by [`WorklistSolver::add_node`].
 pub type FlowNodeId = usize;
 
-/// The scheduling core: dependency lists plus a deduplicating priority
-/// worklist.
+/// One consumed-delta range: the watched `node` grew from `lo` to `hi`
+/// elements since the owning constraint last fired. For version-counter
+/// clients (MFP) only `node` is meaningful.
+pub type DeltaRange = (FlowNodeId, usize, usize);
+
+/// Chain terminator for the intrusive watch lists.
+const NIL: u32 = u32::MAX;
+
+/// The scheduling core: dependency lists with per-watch delta cursors plus
+/// a deduplicating priority worklist.
+///
+/// Watch edges live in flat parallel arrays; the two lists that index them
+/// (watchers-of-a-node, watches-of-a-constraint) are intrusive singly
+/// linked chains threaded through those arrays, head+tail per owner. A
+/// `Vec<Vec<u32>>` would pay one heap allocation per edge — on small
+/// workloads those ~2·edges allocations rival the whole fixpoint.
 pub struct WorklistSolver {
-    /// `watchers[n]` = constraints to re-fire when node `n` changes.
-    watchers: Vec<Vec<ConstraintId>>,
+    /// `watcher_head[n]`/`watcher_tail[n]` = chain of watch-edge ids
+    /// triggered when node `n` grows (`NIL` when empty).
+    watcher_head: Vec<u32>,
+    watcher_tail: Vec<u32>,
+    /// `cwatch_head[c]`/`cwatch_tail[c]` = chain of watch-edge ids owned by
+    /// constraint `c`, in registration order (tail appends keep the order —
+    /// it drives deterministic delta delivery).
+    cwatch_head: Vec<u32>,
+    cwatch_tail: Vec<u32>,
+    /// Per watch edge: the constraint it re-fires.
+    watch_constraint: Vec<ConstraintId>,
+    /// Per watch edge: the node it observes.
+    watch_node: Vec<FlowNodeId>,
+    /// Per watch edge: elements of the node's growth log already delivered.
+    /// A fresh watch starts at 0, so its first delta is the node's full
+    /// history — exactly what dynamically discovered edges need.
+    watch_cursor: Vec<usize>,
+    /// Per watch edge: next watch of the same node (`NIL` ends the chain).
+    watch_next_of_node: Vec<u32>,
+    /// Per watch edge: next watch of the same constraint.
+    watch_next_of_constraint: Vec<u32>,
+    /// `node_len[n]` = committed growth-log length (or version counter).
+    node_len: Vec<usize>,
     /// `rank[c]` = pop priority (lower pops first).
     rank: Vec<u32>,
     /// `pending[c]` = already queued (posts coalesce into one firing).
     pending: Vec<bool>,
-    queue: BinaryHeap<Reverse<(u32, ConstraintId)>>,
+    /// Entries are `rank << 32 | constraint id`, so ordering is (rank, id)
+    /// — same as a `(u32, ConstraintId)` tuple at half the width.
+    queue: BinaryHeap<Reverse<u64>>,
     stats: SolverStats,
 }
 
@@ -45,7 +95,16 @@ impl WorklistSolver {
     /// An empty engine.
     pub fn new() -> Self {
         WorklistSolver {
-            watchers: Vec::new(),
+            watcher_head: Vec::new(),
+            watcher_tail: Vec::new(),
+            cwatch_head: Vec::new(),
+            cwatch_tail: Vec::new(),
+            watch_constraint: Vec::new(),
+            watch_node: Vec::new(),
+            watch_cursor: Vec::new(),
+            watch_next_of_node: Vec::new(),
+            watch_next_of_constraint: Vec::new(),
+            node_len: Vec::new(),
             rank: Vec::new(),
             pending: Vec::new(),
             queue: BinaryHeap::new(),
@@ -53,64 +112,165 @@ impl WorklistSolver {
         }
     }
 
-    /// Registers a flow node; returns its id (dense, starting at 0).
+    /// Registers a flow node; returns its id (dense, appended after any
+    /// existing nodes).
     pub fn add_node(&mut self) -> FlowNodeId {
-        self.watchers.push(Vec::new());
+        self.watcher_head.push(NIL);
+        self.watcher_tail.push(NIL);
+        self.node_len.push(0);
         self.stats.nodes += 1;
-        self.watchers.len() - 1
+        self.watcher_head.len() - 1
     }
 
-    /// Registers `n` flow nodes at once (ids `0..n` for a fresh engine).
+    /// Registers `n` flow nodes at once; they receive the `n` contiguous
+    /// ids starting at the current node count (so `0..n` only on a fresh
+    /// engine).
     pub fn add_nodes(&mut self, n: usize) {
-        self.watchers.resize_with(self.watchers.len() + n, Vec::new);
+        self.watcher_head.resize(self.watcher_head.len() + n, NIL);
+        self.watcher_tail.resize(self.watcher_tail.len() + n, NIL);
+        self.node_len.resize(self.node_len.len() + n, 0);
         self.stats.nodes += n as u64;
+    }
+
+    /// Pre-sizes the constraint and watch arenas for `constraints`
+    /// registrations of one watch each (the CFA shape) — callers know the
+    /// edge count up front, so setup need not grow the arrays piecemeal.
+    pub fn reserve(&mut self, constraints: usize) {
+        self.rank.reserve(constraints);
+        self.pending.reserve(constraints);
+        self.cwatch_head.reserve(constraints);
+        self.cwatch_tail.reserve(constraints);
+        self.watch_constraint.reserve(constraints);
+        self.watch_node.reserve(constraints);
+        self.watch_cursor.reserve(constraints);
+        self.watch_next_of_node.reserve(constraints);
+        self.watch_next_of_constraint.reserve(constraints);
     }
 
     /// Registers a constraint with pop priority `rank`; returns its id.
     pub fn add_constraint(&mut self, rank: u32) -> ConstraintId {
+        debug_assert!(
+            self.rank.len() < u32::MAX as usize,
+            "constraint ids must fit in 32 bits (queue packing)"
+        );
         self.rank.push(rank);
         self.pending.push(false);
+        self.cwatch_head.push(NIL);
+        self.cwatch_tail.push(NIL);
         self.stats.constraints += 1;
         self.rank.len() - 1
     }
 
-    /// Makes `constraint` re-fire whenever `node` changes.
+    /// Makes `constraint` re-fire whenever `node` grows, delivering the
+    /// growth as a delta via [`take_deltas`](Self::take_deltas). The new
+    /// watch's cursor starts at 0: its first delta covers the node's whole
+    /// current log.
     pub fn watch(&mut self, node: FlowNodeId, constraint: ConstraintId) {
-        self.watchers[node].push(constraint);
+        debug_assert!(
+            node < self.watcher_head.len(),
+            "watch: node {node} out of range"
+        );
+        debug_assert!(
+            constraint < self.rank.len(),
+            "watch: constraint {constraint} out of range"
+        );
+        let w = self.watch_constraint.len() as u32;
+        self.watch_constraint.push(constraint);
+        self.watch_node.push(node);
+        self.watch_cursor.push(0);
+        self.watch_next_of_node.push(NIL);
+        self.watch_next_of_constraint.push(NIL);
+        // Tail-append into both chains.
+        match self.watcher_tail[node] {
+            NIL => self.watcher_head[node] = w,
+            t => self.watch_next_of_node[t as usize] = w,
+        }
+        self.watcher_tail[node] = w;
+        match self.cwatch_tail[constraint] {
+            NIL => self.cwatch_head[constraint] = w,
+            t => self.watch_next_of_constraint[t as usize] = w,
+        }
+        self.cwatch_tail[constraint] = w;
     }
 
     /// Schedules `constraint` (coalescing with an already-pending post).
     pub fn post(&mut self, constraint: ConstraintId) {
         self.stats.posted += 1;
         if self.pending[constraint] {
-            // A pending constraint will see the newest values when it fires:
-            // this post is a re-visit the sparse engine saved.
+            // A pending constraint will see the merged delta when it fires:
+            // this post is a re-visit the semi-naïve engine saved.
             self.stats.coalesced += 1;
             return;
         }
         self.pending[constraint] = true;
-        self.queue
-            .push(Reverse((self.rank[constraint], constraint)));
+        self.queue.push(Reverse(
+            (self.rank[constraint] as u64) << 32 | constraint as u64,
+        ));
     }
 
-    /// Reports that a node's value grew: schedules every watcher.
-    pub fn node_changed(&mut self, node: FlowNodeId) {
+    /// Reports that a node's growth log extended to `new_len` elements:
+    /// schedules every watcher (each necessarily has a pending delta).
+    /// Log clients call this with the log's new length after appending.
+    pub fn node_grew(&mut self, node: FlowNodeId, new_len: usize) {
+        debug_assert!(
+            new_len >= self.node_len[node],
+            "node {node} growth log shrank ({} -> {new_len})",
+            self.node_len[node]
+        );
         self.stats.node_updates += 1;
-        // The watcher list is append-only, so indices stay stable; split
-        // borrow via index loop because `post` needs `&mut self`.
-        for i in 0..self.watchers[node].len() {
-            let c = self.watchers[node][i];
+        self.node_len[node] = new_len;
+        // The chains are append-only, so walking by index while `post`
+        // borrows `&mut self` is safe.
+        let mut w = self.watcher_head[node];
+        while w != NIL {
+            let c = self.watch_constraint[w as usize];
             self.post(c);
+            w = self.watch_next_of_node[w as usize];
         }
+    }
+
+    /// Reports that a node's value grew, for clients whose values are not
+    /// element logs (MFP's data-flow environments): bumps the node's
+    /// version counter and schedules every watcher. Deltas then carry
+    /// *which* nodes changed; the range endpoints are version numbers.
+    pub fn node_changed(&mut self, node: FlowNodeId) {
+        self.node_grew(node, self.node_len[node] + 1);
     }
 
     /// The next constraint to evaluate, lowest rank first; `None` at
     /// fixpoint.
     pub fn pop(&mut self) -> Option<ConstraintId> {
-        let Reverse((_, c)) = self.queue.pop()?;
+        let Reverse(packed) = self.queue.pop()?;
+        let c = (packed & u32::MAX as u64) as ConstraintId;
         self.pending[c] = false;
         self.stats.fired += 1;
         Some(c)
+    }
+
+    /// Collects into `out` the un-consumed delta of every node `constraint`
+    /// watches — one `(node, lo, hi)` range per watched node that grew
+    /// since this constraint last consumed it — and advances the cursors,
+    /// so consecutive calls never overlap. Ranges appear in watch
+    /// registration order; `out` is cleared first (pass a reused buffer).
+    pub fn take_deltas(&mut self, constraint: ConstraintId, out: &mut Vec<DeltaRange>) {
+        out.clear();
+        let mut total = 0usize;
+        let mut w = self.cwatch_head[constraint];
+        while w != NIL {
+            let wi = w as usize;
+            let node = self.watch_node[wi];
+            let lo = self.watch_cursor[wi];
+            let hi = self.node_len[node];
+            if lo < hi {
+                self.watch_cursor[wi] = hi;
+                out.push((node, lo, hi));
+                total += hi - lo;
+                self.stats.delta_batches += 1;
+            }
+            w = self.watch_next_of_constraint[wi];
+        }
+        self.stats.delta_elems += total as u64;
+        self.stats.record_delta(total);
     }
 
     /// Scheduling counters for this run.
@@ -129,40 +289,61 @@ impl Default for WorklistSolver {
 mod tests {
     use super::*;
 
-    /// A toy transitive-closure instance: nodes hold u32 bitsets, Sub
-    /// constraints propagate src → dst.
-    fn run_reachability(edges: &[(usize, usize)], seeds: &[(usize, u32)], n: usize) -> Vec<u32> {
+    /// A toy transitive-closure instance on the delta API: nodes hold
+    /// append-only logs of u32 tokens, Sub constraints propagate the
+    /// *delta* of src into dst.
+    fn run_reachability(
+        edges: &[(usize, usize)],
+        seeds: &[(usize, u32)],
+        n: usize,
+    ) -> Vec<Vec<u32>> {
         let mut s = WorklistSolver::new();
         s.add_nodes(n);
-        let mut values = vec![0u32; n];
+        let mut logs: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, &(src, _)) in edges.iter().enumerate() {
             let c = s.add_constraint(i as u32);
             s.watch(src, c);
             s.post(c);
         }
         for &(node, bits) in seeds {
-            values[node] |= bits;
-        }
-        while let Some(c) = s.pop() {
-            let (src, dst) = edges[c];
-            let merged = values[dst] | values[src];
-            if merged != values[dst] {
-                values[dst] = merged;
-                s.node_changed(dst);
+            if !logs[node].contains(&bits) {
+                logs[node].push(bits);
+                s.node_grew(node, logs[node].len());
             }
         }
-        values
+        let mut deltas = Vec::new();
+        while let Some(c) = s.pop() {
+            let (_, dst) = edges[c];
+            s.take_deltas(c, &mut deltas);
+            for &(node, lo, hi) in &deltas {
+                for i in lo..hi {
+                    let v = logs[node][i];
+                    if !logs[dst].contains(&v) {
+                        logs[dst].push(v);
+                        s.node_grew(dst, logs[dst].len());
+                    }
+                }
+            }
+        }
+        logs
+    }
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
     }
 
     #[test]
     fn propagates_through_chains_and_cycles() {
         // 0 → 1 → 2 → 0 cycle plus 2 → 3 tail.
-        let values = run_reachability(
+        let logs = run_reachability(
             &[(0, 1), (1, 2), (2, 0), (2, 3)],
             &[(0, 0b01), (1, 0b10)],
             4,
         );
-        assert_eq!(values, vec![0b11, 0b11, 0b11, 0b11]);
+        for log in logs {
+            assert_eq!(sorted(log), vec![0b01, 0b10]);
+        }
     }
 
     #[test]
@@ -173,27 +354,36 @@ mod tests {
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let mut s = WorklistSolver::new();
         s.add_nodes(n);
-        let mut values = vec![0u32; n];
+        let mut logs: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, &(src, _)) in edges.iter().enumerate() {
             let c = s.add_constraint(i as u32);
             s.watch(src, c);
             s.post(c);
         }
-        values[0] = 1;
+        logs[0].push(1);
+        s.node_grew(0, 1);
+        let mut deltas = Vec::new();
         while let Some(c) = s.pop() {
-            let (src, dst) = edges[c];
-            let merged = values[dst] | values[src];
-            if merged != values[dst] {
-                values[dst] = merged;
-                s.node_changed(dst);
+            let (_, dst) = edges[c];
+            s.take_deltas(c, &mut deltas);
+            for &(node, lo, hi) in &deltas {
+                for i in lo..hi {
+                    let v = logs[node][i];
+                    if !logs[dst].contains(&v) {
+                        logs[dst].push(v);
+                        s.node_grew(dst, logs[dst].len());
+                    }
+                }
             }
         }
-        assert!(values.iter().all(|&v| v == 1));
+        assert!(logs.iter().all(|l| l == &vec![1]));
         let fired = s.stats().fired;
         assert!(
             fired <= 2 * (n as u64),
             "chain of {n} fired {fired} times — not sparse"
         );
+        // Semi-naïve accounting: exactly one element crossed each edge.
+        assert_eq!(s.stats().delta_elems, (n as u64) - 1);
     }
 
     #[test]
@@ -223,5 +413,72 @@ mod tests {
         assert_eq!(s.pop(), Some(c_lo));
         assert_eq!(s.pop(), Some(c_mid));
         assert_eq!(s.pop(), Some(c_hi));
+    }
+
+    #[test]
+    fn coalesced_posts_merge_into_one_delta_without_double_counting() {
+        // Delta-merge idempotence: a constraint posted three times while
+        // pending (its watched node grew 0→1, 1→2, 2→3) fires *once* and
+        // receives the merged range exactly once; a second firing sees an
+        // empty delta — no element is ever delivered twice.
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        let c = s.add_constraint(0);
+        s.watch(0, c);
+        for len in 1..=3 {
+            s.node_grew(0, len);
+        }
+        let mut deltas = Vec::new();
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert_eq!(deltas, vec![(0, 0, 3)], "merged delta covers all growth");
+        // Re-fire with no intervening growth: nothing left to deliver.
+        s.post(c);
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert!(deltas.is_empty(), "overlapping firing must not re-deliver");
+        assert_eq!(s.stats().delta_elems, 3);
+    }
+
+    #[test]
+    fn fresh_watch_sees_full_history_as_first_delta() {
+        // Dynamically discovered edges (CFA call wiring) watch a node that
+        // already grew; their first delta must cover the whole log.
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        s.node_grew(0, 5);
+        let c = s.add_constraint(0);
+        s.watch(0, c);
+        s.post(c);
+        let mut deltas = Vec::new();
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert_eq!(deltas, vec![(0, 0, 5)]);
+    }
+
+    #[test]
+    fn two_watchers_consume_independent_cursors() {
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        let c1 = s.add_constraint(0);
+        let c2 = s.add_constraint(1);
+        s.watch(0, c1);
+        s.watch(0, c2);
+        s.node_grew(0, 2);
+        let mut deltas = Vec::new();
+        s.take_deltas(c1, &mut deltas);
+        assert_eq!(deltas, vec![(0, 0, 2)]);
+        s.node_grew(0, 3);
+        s.take_deltas(c1, &mut deltas);
+        assert_eq!(deltas, vec![(0, 2, 3)], "c1 resumes where it left off");
+        s.take_deltas(c2, &mut deltas);
+        assert_eq!(deltas, vec![(0, 0, 3)], "c2's cursor is independent");
+    }
+
+    #[test]
+    fn default_is_an_empty_engine() {
+        let mut s = WorklistSolver::default();
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.stats().nodes, 0);
     }
 }

@@ -69,7 +69,22 @@ pub struct SolverStats {
     pub pool_join_hits: u64,
     /// Set-pool joins that materialized a union.
     pub pool_join_misses: u64,
+    /// Non-empty per-watch delta deliveries
+    /// ([`take_deltas`](crate::solver::WorklistSolver::take_deltas) ranges).
+    pub delta_batches: u64,
+    /// Total delta elements delivered across all firings (for
+    /// version-counter clients such as MFP: change events observed).
+    pub delta_elems: u64,
+    /// Histogram of per-firing delta sizes in log₂ buckets:
+    /// `[0, 1, 2, 3–4, 5–8, 9–16, 17–32, >32]`. The shape distinguishes
+    /// semi-naïve regimes (many small deltas) from full re-reads (few huge
+    /// ones); E16 renders it alongside firings × mean-delta.
+    pub delta_hist: [u64; 8],
 }
+
+/// Upper bounds of the [`SolverStats::delta_hist`] buckets (the last bucket
+/// is unbounded).
+pub const DELTA_HIST_BOUNDS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
 
 impl SolverStats {
     /// Folds a set pool's counters into these solver counters.
@@ -90,19 +105,44 @@ impl SolverStats {
             self.pool_join_hits as f64 / total as f64
         }
     }
+
+    /// Buckets one firing's total delta size into [`delta_hist`]
+    /// (`[0, 1, 2, 3–4, 5–8, 9–16, 17–32, >32]`).
+    ///
+    /// [`delta_hist`]: SolverStats::delta_hist
+    pub fn record_delta(&mut self, size: usize) {
+        let bucket = DELTA_HIST_BOUNDS
+            .iter()
+            .position(|&hi| size as u64 <= hi)
+            .unwrap_or(DELTA_HIST_BOUNDS.len());
+        self.delta_hist[bucket] += 1;
+    }
+
+    /// Mean delta elements per constraint firing — the semi-naïve payoff
+    /// metric E16 reports as `firings × mean-delta`.
+    pub fn mean_delta(&self) -> f64 {
+        if self.fired == 0 {
+            0.0
+        } else {
+            self.delta_elems as f64 / self.fired as f64
+        }
+    }
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} constraints={} posted={} coalesced={} fired={} updates={} pool(sets={} hit-rate={:.2})",
+            "nodes={} constraints={} posted={} coalesced={} fired={} updates={} \
+             delta(elems={} mean={:.2}) pool(sets={} hit-rate={:.2})",
             self.nodes,
             self.constraints,
             self.posted,
             self.coalesced,
             self.fired,
             self.node_updates,
+            self.delta_elems,
+            self.mean_delta(),
             self.pool_interned,
             self.pool_hit_rate(),
         )
@@ -161,5 +201,27 @@ mod tests {
     #[test]
     fn empty_pool_has_perfect_hit_rate() {
         assert!((SolverStats::default().pool_hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_histogram_buckets_by_size() {
+        let mut s = SolverStats::default();
+        for size in [0usize, 1, 2, 3, 4, 5, 8, 9, 16, 17, 32, 33, 1000] {
+            s.record_delta(size);
+        }
+        assert_eq!(s.delta_hist, [1, 1, 1, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn mean_delta_divides_elems_by_firings() {
+        let s = SolverStats {
+            fired: 4,
+            delta_elems: 10,
+            ..SolverStats::default()
+        };
+        assert!((s.mean_delta() - 2.5).abs() < 1e-9);
+        assert_eq!(SolverStats::default().mean_delta(), 0.0);
+        let text = s.to_string();
+        assert!(text.contains("delta(elems=10 mean=2.50)"), "got {text}");
     }
 }

@@ -213,9 +213,10 @@ proptest! {
 
     #[test]
     fn sparse_solvers_match_their_dense_oracles(seed in 0u64..10_000) {
-        // The sparse worklist engine and the dense sweeps are two chaotic
-        // iteration orders over the same monotone constraint system, so
-        // they must reach the same least fixpoint on every program.
+        // The semi-naïve sparse engine (delta firings over growth logs) and
+        // the dense sweeps are two chaotic iteration orders over the same
+        // monotone constraint system, so all three delta solvers must reach
+        // the same least fixpoint as their dense oracles on every program.
         let t = generate(seed, &open_config());
         let p = AnfProgram::from_term(&t);
         prop_assert!(zero_cfa(&p).same_solution(&zero_cfa_dense(&p)));
@@ -259,13 +260,15 @@ proptest! {
 // Sparse-vs-dense differential sweep (the tentpole's acceptance corpus)
 // ---------------------------------------------------------------------------
 
-/// Both 0CFA formulations agree bit-for-bit with their dense oracles on a
-/// 500-program seeded corpus, and MFP agrees on every first-order member
-/// plus the diamond family. One corpus-sized check (driven in parallel)
-/// rather than a proptest so the acceptance corpus is fixed and exact.
+/// Both delta-driven 0CFA formulations agree bit-for-bit with their dense
+/// oracles on an 800-program seeded corpus (the first 500 reproduce PR 1's
+/// acceptance corpus; the extension covers the delta engine), and MFP
+/// agrees on every first-order member plus the diamond family. One
+/// corpus-sized check (driven in parallel) rather than a proptest so the
+/// acceptance corpus is fixed and exact.
 #[test]
-fn sparse_matches_dense_on_500_program_corpus() {
-    let progs = corpus(0x5_0CFA, 500, &open_config());
+fn sparse_delta_matches_dense_on_800_program_corpus() {
+    let progs = corpus(0x5_0CFA, 800, &open_config());
     let verdicts = par_map(&progs, |t| {
         let p = AnfProgram::from_term(t);
         if !zero_cfa(&p).same_solution(&zero_cfa_dense(&p)) {

@@ -10,26 +10,57 @@
 //! crate instead. Reporting is text-only (median ns/iter over the collected
 //! samples, printed to stdout); there are no plots, no statistics beyond
 //! median, and no baseline persistence. `--bench`-style CLI filters narrow
-//! which benchmarks run, matching `cargo bench -- <filter>` usage.
+//! which benchmarks run, matching `cargo bench -- <filter>` usage. Two more
+//! real-criterion flags are honoured for CI smoke runs: `--test` executes
+//! each benchmark routine exactly once with no warm-up or timing, and
+//! `--sample-size N` overrides every group's sample count.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// The benchmark manager: owns defaults and the CLI filter.
+/// The benchmark manager: owns defaults and the parsed CLI options.
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
+    sample_size_override: Option<usize>,
     default_sample_size: usize,
     default_warm_up: Duration,
     default_measurement: Duration,
 }
 
+/// Parses the subset of criterion's CLI this stub honours: flags are
+/// skipped (cargo passes `--bench`), `--test` and `--sample-size N` (or
+/// `--sample-size=N`) are recognized, and the first free argument is a
+/// substring filter.
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> (Option<String>, bool, Option<usize>) {
+    let mut filter = None;
+    let mut test_mode = false;
+    let mut sample_size = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--test" => test_mode = true,
+            "--sample-size" => sample_size = args.next().and_then(|v| v.parse().ok()),
+            _ if a.starts_with("--sample-size=") => {
+                sample_size = a["--sample-size=".len()..].parse().ok();
+            }
+            _ if a.starts_with('-') => {}
+            _ => {
+                if filter.is_none() {
+                    filter = Some(a);
+                }
+            }
+        }
+    }
+    (filter, test_mode, sample_size)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        // Skip flags (e.g. `--bench` that cargo passes); the first free
-        // argument is a substring filter, as with real criterion.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let (filter, test_mode, sample_size_override) = parse_cli(std::env::args().skip(1));
         Criterion {
             filter,
+            test_mode,
+            sample_size_override,
             default_sample_size: 100,
             default_warm_up: Duration::from_millis(500),
             default_measurement: Duration::from_secs(1),
@@ -43,6 +74,8 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             filter: self.filter.clone(),
+            test_mode: self.test_mode,
+            sample_size_override: self.sample_size_override,
             sample_size: self.default_sample_size,
             warm_up: self.default_warm_up,
             measurement: self.default_measurement,
@@ -86,6 +119,8 @@ pub enum Throughput {
 pub struct BenchmarkGroup<'a> {
     name: String,
     filter: Option<String>,
+    test_mode: bool,
+    sample_size_override: Option<usize>,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
@@ -137,13 +172,18 @@ impl<'a> BenchmarkGroup<'a> {
             }
         }
         let mut b = Bencher {
+            test_mode: self.test_mode,
             warm_up: self.warm_up,
             measurement: self.measurement,
-            sample_size: self.sample_size,
+            sample_size: self.sample_size_override.unwrap_or(self.sample_size),
             median_ns: 0.0,
         };
         f(&mut b, input);
-        report(&full, b.median_ns, self.throughput);
+        if self.test_mode {
+            println!("Testing {full} ... ok");
+        } else {
+            report(&full, b.median_ns, self.throughput);
+        }
         self
     }
 
@@ -187,8 +227,10 @@ fn human_time(ns: f64) -> String {
 }
 
 /// Times a closure: warm-up, then `sample_size` samples inside the
-/// measurement budget; the median per-iteration time is reported.
+/// measurement budget; the median per-iteration time is reported. In
+/// `--test` mode the closure runs exactly once, untimed.
 pub struct Bencher {
+    test_mode: bool,
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
@@ -199,6 +241,10 @@ impl Bencher {
     /// Measures `f`, keeping its output alive so the optimizer cannot
     /// delete the work (callers additionally use `std::hint::black_box`).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
         // Warm-up: run until the warm-up budget elapses, counting runs to
         // size the measured batches.
         let warm_start = Instant::now();
@@ -252,14 +298,20 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bencher_times_a_cheap_closure() {
-        let mut c = Criterion {
-            filter: None,
+    fn manual(filter: Option<&str>, test_mode: bool) -> Criterion {
+        Criterion {
+            filter: filter.map(str::to_owned),
+            test_mode,
+            sample_size_override: None,
             default_sample_size: 5,
             default_warm_up: Duration::from_millis(5),
             default_measurement: Duration::from_millis(20),
-        };
+        }
+    }
+
+    #[test]
+    fn bencher_times_a_cheap_closure() {
+        let mut c = manual(None, false);
         let mut group = c.benchmark_group("smoke");
         let mut ran = false;
         group.bench_with_input(BenchmarkId::new("noop", 1), &7u64, |b, &x| {
@@ -272,12 +324,7 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_benchmarks() {
-        let mut c = Criterion {
-            filter: Some("nomatch".into()),
-            default_sample_size: 5,
-            default_warm_up: Duration::from_millis(1),
-            default_measurement: Duration::from_millis(5),
-        };
+        let mut c = manual(Some("nomatch"), false);
         let mut group = c.benchmark_group("g");
         let mut ran = false;
         group.bench_with_input(BenchmarkId::new("f", 0), &(), |b, ()| {
@@ -285,5 +332,49 @@ mod tests {
             ran = true;
         });
         assert!(!ran, "filter failed to skip");
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = manual(None, true);
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::new("f", 0), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 1, "--test must run the routine once, untimed");
+    }
+
+    #[test]
+    fn cli_parsing_recognizes_test_sample_size_and_filter() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_cli(args(&["--bench", "--test", "0cfa"]).into_iter()),
+            (Some("0cfa".into()), true, None)
+        );
+        assert_eq!(
+            parse_cli(args(&["--sample-size", "10"]).into_iter()),
+            (None, false, Some(10))
+        );
+        assert_eq!(
+            parse_cli(args(&["--sample-size=25", "mfp"]).into_iter()),
+            (Some("mfp".into()), false, Some(25))
+        );
+        assert_eq!(parse_cli(args(&[]).into_iter()), (None, false, None));
+    }
+
+    #[test]
+    fn sample_size_override_beats_group_settings() {
+        let mut c = manual(None, false);
+        c.sample_size_override = Some(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut observed = 0usize;
+        group.bench_function(BenchmarkId::new("f", 0), |b| {
+            observed = b.sample_size;
+            b.iter(|| 1);
+        });
+        assert_eq!(observed, 3);
     }
 }
