@@ -22,10 +22,10 @@ fn bench_cfa(c: &mut Criterion) {
         let prog = AnfProgram::from_term(&families::repeated_calls(m));
         let cps = CpsProgram::from_anf(&prog);
         group.bench_with_input(BenchmarkId::new("zero-cfa-src", m), &prog, |b, p| {
-            b.iter(|| black_box(zero_cfa(p).iterations))
+            b.iter(|| black_box(zero_cfa(p).unwrap().iterations))
         });
         group.bench_with_input(BenchmarkId::new("zero-cfa-cps", m), &cps, |b, p| {
-            b.iter(|| black_box(zero_cfa_cps(p).iterations))
+            b.iter(|| black_box(zero_cfa_cps(p).unwrap().iterations))
         });
         group.bench_with_input(BenchmarkId::new("cont-polyvariant", m), &cps, |b, p| {
             b.iter(|| black_box(cont_sensitive_cfa(p).states))

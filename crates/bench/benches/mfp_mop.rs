@@ -21,7 +21,7 @@ fn bench_mfp_mop(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mfp", n), &cfg, |b, g| {
             b.iter(|| {
                 let init = g.initial_env::<Flat>(&prog);
-                black_box(g.solve_mfp::<Flat>(init).vars.len())
+                black_box(g.solve_mfp::<Flat>(init).unwrap().vars.len())
             })
         });
         group.bench_with_input(BenchmarkId::new("mop-all-paths", n), &cfg, |b, g| {

@@ -5,7 +5,14 @@
 //! ```sh
 //! cargo run --release -p cpsdfa-bench --bin experiments            # all
 //! cargo run --release -p cpsdfa-bench --bin experiments -- E1 E6  # subset
+//! cargo run --release -p cpsdfa-bench --bin experiments -- E16 --trace e16.jsonl
+//! cargo run --release -p cpsdfa-bench --bin experiments -- --regen-e16 e16.jsonl
 //! ```
+//!
+//! `--trace <path>` records structured JSONL trace events (per-experiment
+//! spans, solver counters, wall times) to `<path>` while the experiments
+//! run. `--regen-e16 <path>` reads such a file back and reprints the E16
+//! table from the recorded events alone — no re-measurement.
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_bench::{run_goals, Analyzer};
@@ -16,7 +23,8 @@ use cpsdfa_core::domain::{AnyNum, Flat, Interval, NumDomain, Parity, PowerSet, S
 use cpsdfa_core::mfp::{Cfg, Cond, Node, NodeId, PathMode, Stmt};
 use cpsdfa_core::precision::{compare_stores, Census};
 use cpsdfa_core::report::render_table;
-use cpsdfa_core::{AnalysisBudget, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
+use cpsdfa_core::trace::{self, AggSink, JsonlSink, NoopSink, TraceSink};
+use cpsdfa_core::{AnalysisBudget, DirectAnalyzer, SemCpsAnalyzer, SolverStats, SynCpsAnalyzer};
 use cpsdfa_cps::CpsProgram;
 use cpsdfa_interp::{
     run_direct, run_semcps, run_syncps, stores_delta_related, value_delta_eq, Fuel,
@@ -25,64 +33,100 @@ use cpsdfa_workloads::par::par_map;
 use cpsdfa_workloads::random::{corpus, open_config, GenConfig};
 use cpsdfa_workloads::{families, paper};
 
+/// Removes `flag` and its value from `args`, returning the value. Both
+/// `--flag path` and `--flag=path` spellings are accepted.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 < args.len() {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            return Some(v);
+        }
+        args.remove(i);
+        return None;
+    }
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let v = args.remove(i)[prefix.len()..].to_owned();
+        return Some(v);
+    }
+    None
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_flag_value(&mut args, "--trace");
+    if let Some(path) = take_flag_value(&mut args, "--regen-e16") {
+        e16_regen(&path);
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    // One sink for the whole run: JSONL when --trace is given, otherwise a
+    // statically-dispatched no-op whose calls compile to nothing.
+    let mut sink: Box<dyn TraceSink> = match &trace_path {
+        Some(p) => Box::new(JsonlSink::create(p).expect("create --trace output file")),
+        None => Box::new(NoopSink),
+    };
+    let sink = &mut sink;
 
     println!("# cpsdfa experiment harness");
     println!("# Sabry & Felleisen, \"Is Continuation-Passing Useful for Data Flow Analysis?\", PLDI 1994");
+    let workers = cpsdfa_workloads::par::worker_count();
+    println!("# worker threads: {workers} (override with CPSDFA_WORKERS)");
     println!();
+    sink.gauge("harness.workers", workers as u64);
 
     if want("E0") {
-        e0_lemmas();
+        trace::with_span(sink, "e0", e0_lemmas);
     }
     if want("E1") {
-        e1_theorem_5_1();
+        trace::with_span(sink, "e1", |_| e1_theorem_5_1());
     }
     if want("E2") {
-        e2_theorem_5_2();
+        trace::with_span(sink, "e2", |_| e2_theorem_5_2());
     }
     if want("E3") {
-        e3_theorem_5_4();
+        trace::with_span(sink, "e3", |_| e3_theorem_5_4());
     }
     if want("E4") {
-        e4_theorem_5_5();
+        trace::with_span(sink, "e4", |_| e4_theorem_5_5());
     }
     if want("E5") {
-        e5_false_returns();
+        trace::with_span(sink, "e5", |_| e5_false_returns());
     }
     if want("E6") {
-        e6_cond_chain_cost();
+        trace::with_span(sink, "e6", |_| e6_cond_chain_cost());
     }
     if want("E7") {
-        e7_dispatch_cost();
+        trace::with_span(sink, "e7", |_| e7_dispatch_cost());
     }
     if want("E8") {
-        e8_loop_noncomputability();
+        trace::with_span(sink, "e8", |_| e8_loop_noncomputability());
     }
     if want("E9") {
-        e9_mop_vs_mfp();
+        trace::with_span(sink, "e9", |_| e9_mop_vs_mfp());
     }
     if want("E10") {
-        e10_bounded_duplication();
+        trace::with_span(sink, "e10", |_| e10_bounded_duplication());
     }
     if want("E11") {
-        e11_domain_sensitivity();
+        trace::with_span(sink, "e11", |_| e11_domain_sensitivity());
     }
     if want("E12") {
-        e12_zero_cfa();
+        trace::with_span(sink, "e12", |_| e12_zero_cfa());
     }
     if want("E13") {
-        e13_small_scope();
+        trace::with_span(sink, "e13", |_| e13_small_scope());
     }
     if want("E14") {
-        e14_context_sensitivity();
+        trace::with_span(sink, "e14", |_| e14_context_sensitivity());
     }
     if want("E15") {
-        e15_optimizer();
+        trace::with_span(sink, "e15", |_| e15_optimizer());
     }
     if want("E16") {
-        e16_solver_cost();
+        trace::with_span(sink, "e16", e16_solver_cost);
     }
 }
 
@@ -95,7 +139,7 @@ fn fuel() -> Fuel {
 }
 
 /// E0: Lemmas 3.1 and 3.3 over a 500-program random corpus.
-fn e0_lemmas() {
+fn e0_lemmas(sink: &mut impl TraceSink) {
     section(
         "E0",
         "Lemmas 3.1 / 3.3: the three interpreters agree (500 random programs)",
@@ -113,8 +157,15 @@ fn e0_lemmas() {
             d.value.as_num() == s.value.as_num(),
             value_delta_eq(&d.value, &m.value, c.label_map()),
             stores_delta_related(&d.store, &m.store, c.label_map()),
+            d.steps + s.steps + m.steps,
         )
     });
+    // Fuel accounting: total interpreter transitions across the corpus (the
+    // interp crate sits below core, so its fuel counters are surfaced here,
+    // at the call site).
+    let steps: u64 = checks.iter().map(|r| r.3).sum();
+    sink.counter("e0.interp.steps", steps);
+    sink.counter("e0.interp.runs", 3 * n as u64);
     let ok31 = checks.iter().filter(|r| r.0).count();
     let ok33_val = checks.iter().filter(|r| r.1).count();
     let ok33_sto = checks.iter().filter(|r| r.2).count();
@@ -491,7 +542,7 @@ fn e9_mop_vs_mfp() {
         let p = AnfProgram::from_term(&families::diamond_chain(n));
         let cfg = Cfg::from_first_order(&p).unwrap();
         let init = cfg.initial_env::<Flat>(&p);
-        let mfp = cfg.solve_mfp::<Flat>(init.clone());
+        let mfp = cfg.solve_mfp::<Flat>(init.clone()).unwrap();
         let (mop, paths) = cfg
             .solve_mop::<Flat>(init, 100_000, PathMode::AllPaths)
             .unwrap();
@@ -601,7 +652,7 @@ fn e9_mop_vs_mfp() {
         },
     ];
     let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
-    let mfp = g.solve_mfp::<Flat>(g.bottom_env());
+    let mfp = g.solve_mfp::<Flat>(g.bottom_env()).unwrap();
     let (mop, _) = g
         .solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths)
         .unwrap();
@@ -774,7 +825,7 @@ fn e12_zero_cfa() {
     for m in 1..=6 {
         let p = AnfProgram::from_term(&families::repeated_calls(m));
         let c = CpsProgram::from_anf(&p);
-        let cfa = zero_cfa_cps(&c);
+        let cfa = zero_cfa_cps(&c).unwrap();
         let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
         rows.push(vec![
             m.to_string(),
@@ -801,7 +852,7 @@ fn e12_zero_cfa() {
     let progs = corpus(0xE12, n, &open_config());
     let agree = par_map(&progs, |t| {
         let p = AnfProgram::from_term(t);
-        let cfa = zero_cfa(&p);
+        let cfa = zero_cfa(&p).unwrap();
         let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
         let mut same = true;
         for (v, _) in p.iter_vars() {
@@ -816,7 +867,7 @@ fn e12_zero_cfa() {
 
     // Part 3: the documented divergence — least fixpoints beat §4.4 cuts.
     let p = AnfProgram::parse(paper::OMEGA).unwrap();
-    let cfa = zero_cfa(&p);
+    let cfa = zero_cfa(&p).unwrap();
     let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
     let r = p.var_named("r").unwrap();
     println!(
@@ -899,7 +950,7 @@ fn e14_context_sensitivity() {
     for m in 1..=8 {
         let p = AnfProgram::from_term(&families::repeated_calls(m));
         let c = CpsProgram::from_anf(&p);
-        let mono = zero_cfa_cps(&c);
+        let mono = zero_cfa_cps(&c).unwrap();
         let poly = cont_sensitive_cfa(&c);
         rows.push(vec![
             m.to_string(),
@@ -1074,194 +1125,136 @@ fn paired_median_ms<A, B>(
     )
 }
 
-/// E16: tentpole — the sparse worklist engine against the dense sweeps it
-/// replaced, on the cost-experiment families. Also writes the measurements
-/// to `BENCH_solver.json` for machine consumption.
-fn e16_solver_cost() {
-    use cpsdfa_core::cfa::{
-        zero_cfa_cps_dense, zero_cfa_cps_instrumented, zero_cfa_dense, zero_cfa_instrumented,
-    };
-    use cpsdfa_core::report::render_solver_stats;
+/// The E16 measurement grid: the cost-experiment families ladder for the
+/// two 0CFA analyzers, and the first-order diamond chain for MFP. The grid
+/// is shared by the live measurement path and [`e16_regen`], so a recorded
+/// trace addresses exactly the cells a fresh run would produce.
+const E16_LADDER: [Family; 3] = [
+    ("cond-chain", families::cond_chain),
+    ("dispatch", families::dispatch),
+    ("polyvariant", families::repeated_calls),
+];
+const E16_SIZES: [usize; 3] = [32, 128, 320];
+const E16_MFP_SIZES: [usize; 3] = [16, 64, 160];
 
-    section(
-        "E16",
-        "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
-    );
-    let reps = 5;
-    let mut json: Vec<String> = Vec::new();
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut largest: Vec<(String, f64)> = Vec::new();
-    let record = |family: &str,
-                  n: usize,
-                  program_size: usize,
-                  analyzer: &str,
-                  variant: &str,
-                  wall_ms: f64,
-                  iterations: u64,
-                  posts: u64,
-                  delta_elems: u64,
-                  mean_delta: f64,
-                  json: &mut Vec<String>| {
-        json.push(format!(
-            "  {{\"family\": \"{family}\", \"n\": {n}, \"program_size\": {program_size}, \
-             \"analyzer\": \"{analyzer}\", \"impl\": \"{variant}\", \"wall_ms\": {wall_ms:.4}, \
-             \"iterations\": {iterations}, \"posts\": {posts}, \
-             \"delta_elems\": {delta_elems}, \"mean_delta\": {mean_delta:.3}}}"
-        ));
-    };
+/// One measured (or trace-reconstructed) E16 cell: a workload × analyzer
+/// pair with its paired dense/sparse medians and the sparse run's counters.
+struct E16Cell {
+    family: &'static str,
+    n: usize,
+    program_size: usize,
+    /// JSON key: `0cfa`, `0cfa-cps`, or `mfp`.
+    analyzer: &'static str,
+    /// Table label: `0CFA`, `0CFA-CPS`, or `MFP`.
+    label: &'static str,
+    dense_ms: f64,
+    sparse_ms: f64,
+    dense_iters: u64,
+    stats: SolverStats,
+}
 
-    let ladder: [Family; 3] = [
-        ("cond-chain", families::cond_chain),
-        ("dispatch", families::dispatch),
-        ("polyvariant", families::repeated_calls),
-    ];
-    let sizes = [32usize, 128, 320];
-    let mut last_stats: Option<(String, cpsdfa_core::SolverStats)> = None;
-    for (family, build) in ladder {
-        for n in sizes {
-            let prog = AnfProgram::from_term(&build(n));
-            let cps = CpsProgram::from_anf(&prog);
-            let psize = prog.root().size();
+impl E16Cell {
+    /// The trace-event prefix all of this cell's events share.
+    fn prefix(&self) -> String {
+        format!("e16.{}.{}.{}", self.analyzer, self.family, self.n)
+    }
 
-            let ((sparse_ms, (sres, sstats)), (dense_ms, dres)) = paired_median_ms(
-                reps,
-                || zero_cfa_instrumented(&prog),
-                || zero_cfa_dense(&prog),
-            );
-            assert!(
-                sres.same_solution(&dres),
-                "sparse/dense 0CFA disagree on {family}({n})"
-            );
-            record(
-                family,
-                n,
-                psize,
-                "0cfa",
-                "sparse-delta",
-                sparse_ms,
-                sstats.fired,
-                sstats.posted,
-                sstats.delta_elems,
-                sstats.mean_delta(),
-                &mut json,
-            );
-            record(
-                family,
-                n,
-                psize,
-                "0cfa",
-                "dense",
-                dense_ms,
-                dres.iterations,
-                0,
-                0,
-                0.0,
-                &mut json,
-            );
-            rows.push(vec![
-                format!("{family}({n})"),
-                "0CFA".into(),
-                format!("{dense_ms:.2}"),
-                format!("{sparse_ms:.2}"),
-                format!("{:.1}x", dense_ms / sparse_ms),
-                format!("{} × {:.2}", sstats.fired, sstats.mean_delta()),
-            ]);
-            if n == *sizes.last().unwrap() {
-                largest.push((format!("0CFA on {family}({n})"), dense_ms / sparse_ms));
-            }
-
-            let ((csparse_ms, (cres, cstats)), (cdense_ms, cdres)) = paired_median_ms(
-                reps,
-                || zero_cfa_cps_instrumented(&cps),
-                || zero_cfa_cps_dense(&cps),
-            );
-            assert!(
-                cres.same_solution(&cdres),
-                "sparse/dense CPS 0CFA disagree on {family}({n})"
-            );
-            record(
-                family,
-                n,
-                psize,
-                "0cfa-cps",
-                "sparse-delta",
-                csparse_ms,
-                cstats.fired,
-                cstats.posted,
-                cstats.delta_elems,
-                cstats.mean_delta(),
-                &mut json,
-            );
-            record(
-                family,
-                n,
-                psize,
-                "0cfa-cps",
-                "dense",
-                cdense_ms,
-                cdres.iterations,
-                0,
-                0,
-                0.0,
-                &mut json,
-            );
-            rows.push(vec![
-                format!("{family}({n})"),
-                "0CFA-CPS".into(),
-                format!("{cdense_ms:.2}"),
-                format!("{csparse_ms:.2}"),
-                format!("{:.1}x", cdense_ms / csparse_ms),
-                format!("{} × {:.2}", cstats.fired, cstats.mean_delta()),
-            ]);
-            if n == *sizes.last().unwrap() {
-                largest.push((format!("0CFA-CPS on {family}({n})"), cdense_ms / csparse_ms));
-                last_stats = Some((format!("0CFA-CPS {family}({n})"), cstats));
-            }
+    /// Whether this cell is its analyzer's largest workload (the rows the
+    /// harness calls out beneath the table).
+    fn is_largest(&self) -> bool {
+        if self.analyzer == "mfp" {
+            self.n == *E16_MFP_SIZES.last().unwrap()
+        } else {
+            self.n == *E16_SIZES.last().unwrap()
         }
     }
 
-    // MFP needs the first-order fragment: diamond chains, where the dense
-    // LIFO worklist cascades over the suffix and the RPO-ranked sparse
-    // solver settles each node once.
-    let mfp_sizes = [16usize, 64, 160];
-    for n in mfp_sizes {
-        let prog = AnfProgram::from_term(&families::diamond_chain(n));
-        let cfg = Cfg::from_first_order(&prog).unwrap();
-        let init = cfg.initial_env::<Flat>(&prog);
-        let psize = prog.root().size();
-        let ((sparse_ms, (ssum, sstats)), (dense_ms, dsum)) = paired_median_ms(
-            reps,
-            || cfg.solve_mfp_instrumented::<Flat>(init.clone()),
-            || cfg.solve_mfp_dense::<Flat>(init.clone()),
-        );
-        assert!(ssum == dsum, "sparse/dense MFP disagree on diamond({n})");
-        record(
-            "diamond",
-            n,
-            psize,
-            "mfp",
-            "sparse-delta",
-            sparse_ms,
-            sstats.fired,
-            sstats.posted,
-            sstats.delta_elems,
-            sstats.mean_delta(),
-            &mut json,
-        );
-        record(
-            "diamond", n, psize, "mfp", "dense", dense_ms, 0, 0, 0, 0.0, &mut json,
-        );
-        rows.push(vec![
-            format!("diamond({n})"),
-            "MFP".into(),
-            format!("{dense_ms:.2}"),
-            format!("{sparse_ms:.2}"),
-            format!("{:.1}x", dense_ms / sparse_ms),
-            format!("{} × {:.2}", sstats.fired, sstats.mean_delta()),
-        ]);
-        if n == *mfp_sizes.last().unwrap() {
-            largest.push((format!("MFP on diamond({n})"), dense_ms / sparse_ms));
+    /// Emits the cell into a trace sink: wall times as timers, dense
+    /// iterations as a counter, program size as a gauge, and the sparse
+    /// solver counters under `<prefix>.sparse`. [`from_agg`](E16Cell::from_agg)
+    /// inverts this, which is what makes the E16 table reproducible from a
+    /// JSONL artifact alone.
+    fn emit_into(&self, sink: &mut impl TraceSink) {
+        if !sink.enabled() {
+            return;
         }
+        let p = self.prefix();
+        sink.gauge(&format!("{p}.program_size"), self.program_size as u64);
+        sink.time_ns(&format!("{p}.dense_ns"), (self.dense_ms * 1e6) as u64);
+        sink.time_ns(&format!("{p}.sparse_ns"), (self.sparse_ms * 1e6) as u64);
+        sink.counter(&format!("{p}.dense_iters"), self.dense_iters);
+        self.stats.emit_into(sink, &format!("{p}.sparse"));
+    }
+
+    /// Reconstructs the cell from an aggregated trace; `None` if the trace
+    /// has no measurement for it (e.g. a partial or foreign file).
+    fn from_agg(
+        agg: &AggSink,
+        family: &'static str,
+        n: usize,
+        analyzer: &'static str,
+        label: &'static str,
+    ) -> Option<Self> {
+        let p = format!("e16.{analyzer}.{family}.{n}");
+        let ms = |name: &str| {
+            agg.timer_agg(&format!("{p}.{name}"))
+                .filter(|t| t.count > 0)
+                .map(|t| t.total_ns as f64 / t.count as f64 / 1e6)
+        };
+        Some(E16Cell {
+            family,
+            n,
+            program_size: agg.gauge_value(&format!("{p}.program_size")) as usize,
+            analyzer,
+            label,
+            dense_ms: ms("dense_ns")?,
+            sparse_ms: ms("sparse_ns")?,
+            dense_iters: agg.counter_value(&format!("{p}.dense_iters")),
+            stats: SolverStats::from_agg(agg, &format!("{p}.sparse")),
+        })
+    }
+}
+
+/// Renders the E16 table, per-analyzer largest-workload speedups, and the
+/// final CPS counter block from a set of cells, and writes the same rows to
+/// `BENCH_solver.json`. Shared by the live measurement path and
+/// [`e16_regen`], so both produce the identical report for identical cells.
+fn e16_render(cells: &[E16Cell]) {
+    use cpsdfa_core::report::render_solver_stats;
+
+    let mut json: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in cells {
+        json.push(format!(
+            "  {{\"family\": \"{}\", \"n\": {}, \"program_size\": {}, \
+             \"analyzer\": \"{}\", \"impl\": \"sparse-delta\", \"wall_ms\": {:.4}, \
+             \"iterations\": {}, \"posts\": {}, \
+             \"delta_elems\": {}, \"mean_delta\": {:.3}}}",
+            c.family,
+            c.n,
+            c.program_size,
+            c.analyzer,
+            c.sparse_ms,
+            c.stats.fired,
+            c.stats.posted,
+            c.stats.delta_elems,
+            c.stats.mean_delta(),
+        ));
+        json.push(format!(
+            "  {{\"family\": \"{}\", \"n\": {}, \"program_size\": {}, \
+             \"analyzer\": \"{}\", \"impl\": \"dense\", \"wall_ms\": {:.4}, \
+             \"iterations\": {}, \"posts\": 0, \
+             \"delta_elems\": 0, \"mean_delta\": 0.000}}",
+            c.family, c.n, c.program_size, c.analyzer, c.dense_ms, c.dense_iters,
+        ));
+        rows.push(vec![
+            format!("{}({})", c.family, c.n),
+            c.label.into(),
+            format!("{:.2}", c.dense_ms),
+            format!("{:.2}", c.sparse_ms),
+            format!("{:.1}x", c.dense_ms / c.sparse_ms),
+            format!("{} × {:.2}", c.stats.fired, c.stats.mean_delta()),
+        ]);
     }
 
     println!(
@@ -1278,12 +1271,22 @@ fn e16_solver_cost() {
             &rows
         )
     );
-    for (what, ratio) in &largest {
-        println!("largest workload: {what} — {ratio:.1}x over the dense sweep");
+    for c in cells.iter().filter(|c| c.is_largest()) {
+        println!(
+            "largest workload: {} on {}({}) — {:.1}x over the dense sweep",
+            c.label,
+            c.family,
+            c.n,
+            c.dense_ms / c.sparse_ms
+        );
     }
-    if let Some((label, stats)) = &last_stats {
+    if let Some(c) = cells
+        .iter()
+        .rfind(|c| c.analyzer == "0cfa-cps" && c.is_largest())
+    {
+        let label = format!("{} {}({})", c.label, c.family, c.n);
         println!("\nsparse-engine counters, {label}:");
-        print!("{}", render_solver_stats(label, stats));
+        print!("{}", render_solver_stats(&label, &c.stats));
     }
 
     let payload = format!("[\n{}\n]\n", json.join(",\n"));
@@ -1291,4 +1294,131 @@ fn e16_solver_cost() {
         Ok(()) => println!("\nwrote {} measurements to BENCH_solver.json", json.len()),
         Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
     }
+}
+
+/// `--regen-e16 <path>`: rebuild the E16 report from a recorded JSONL trace
+/// — no analyzers run; every number comes from the artifact.
+fn e16_regen(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read trace file {path}: {e}"));
+    let agg = AggSink::from_jsonl(&text);
+    section(
+        "E16",
+        "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
+    );
+    println!("(regenerated from {path}; nothing re-measured)\n");
+    let mut cells = Vec::new();
+    for (family, _) in E16_LADDER {
+        for n in E16_SIZES {
+            cells.extend(E16Cell::from_agg(&agg, family, n, "0cfa", "0CFA"));
+            cells.extend(E16Cell::from_agg(&agg, family, n, "0cfa-cps", "0CFA-CPS"));
+        }
+    }
+    for n in E16_MFP_SIZES {
+        cells.extend(E16Cell::from_agg(&agg, "diamond", n, "mfp", "MFP"));
+    }
+    assert!(
+        !cells.is_empty(),
+        "{path} holds no e16.* events; record one with `experiments -- E16 --trace {path}`"
+    );
+    e16_render(&cells);
+}
+
+/// E16: tentpole — the sparse worklist engine against the dense sweeps it
+/// replaced, on the cost-experiment families. Writes the measurements to
+/// `BENCH_solver.json` and, when tracing, emits every cell into the sink so
+/// `--regen-e16` can rebuild this table from the artifact alone.
+fn e16_solver_cost(sink: &mut impl TraceSink) {
+    use cpsdfa_core::cfa::{
+        zero_cfa_cps_dense, zero_cfa_cps_instrumented, zero_cfa_dense, zero_cfa_instrumented,
+    };
+
+    section(
+        "E16",
+        "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
+    );
+    let reps = 5;
+    let mut cells: Vec<E16Cell> = Vec::new();
+    for (family, build) in E16_LADDER {
+        for n in E16_SIZES {
+            let prog = AnfProgram::from_term(&build(n));
+            let cps = CpsProgram::from_anf(&prog);
+            let psize = prog.root().size();
+
+            let ((sparse_ms, (sres, sstats)), (dense_ms, dres)) = paired_median_ms(
+                reps,
+                || zero_cfa_instrumented(&prog).unwrap(),
+                || zero_cfa_dense(&prog),
+            );
+            assert!(
+                sres.same_solution(&dres),
+                "sparse/dense 0CFA disagree on {family}({n})"
+            );
+            cells.push(E16Cell {
+                family,
+                n,
+                program_size: psize,
+                analyzer: "0cfa",
+                label: "0CFA",
+                dense_ms,
+                sparse_ms,
+                dense_iters: dres.iterations,
+                stats: sstats,
+            });
+
+            let ((csparse_ms, (cres, cstats)), (cdense_ms, cdres)) = paired_median_ms(
+                reps,
+                || zero_cfa_cps_instrumented(&cps).unwrap(),
+                || zero_cfa_cps_dense(&cps),
+            );
+            assert!(
+                cres.same_solution(&cdres),
+                "sparse/dense CPS 0CFA disagree on {family}({n})"
+            );
+            cells.push(E16Cell {
+                family,
+                n,
+                program_size: psize,
+                analyzer: "0cfa-cps",
+                label: "0CFA-CPS",
+                dense_ms: cdense_ms,
+                sparse_ms: csparse_ms,
+                dense_iters: cdres.iterations,
+                stats: cstats,
+            });
+        }
+    }
+
+    // MFP needs the first-order fragment: diamond chains, where the dense
+    // LIFO worklist cascades over the suffix and the RPO-ranked sparse
+    // solver settles each node once.
+    for n in E16_MFP_SIZES {
+        let prog = AnfProgram::from_term(&families::diamond_chain(n));
+        let cfg = Cfg::from_first_order(&prog).unwrap();
+        let init = cfg.initial_env::<Flat>(&prog);
+        let psize = prog.root().size();
+        let ((sparse_ms, (ssum, sstats)), (dense_ms, dsum)) = paired_median_ms(
+            reps,
+            || cfg.solve_mfp_instrumented::<Flat>(init.clone()).unwrap(),
+            || cfg.solve_mfp_dense::<Flat>(init.clone()),
+        );
+        assert!(ssum == dsum, "sparse/dense MFP disagree on diamond({n})");
+        cells.push(E16Cell {
+            family: "diamond",
+            n,
+            program_size: psize,
+            analyzer: "mfp",
+            label: "MFP",
+            dense_ms,
+            sparse_ms,
+            // The dense MFP sweep reports no iteration counter.
+            dense_iters: 0,
+            stats: sstats,
+        });
+    }
+
+    for c in &cells {
+        c.emit_into(sink);
+    }
+    e16_render(&cells);
 }

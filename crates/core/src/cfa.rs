@@ -48,9 +48,11 @@
 //! [`AnyNum`]: crate::domain::AnyNum
 
 use crate::absval::{AbsClo, AbsKont};
+use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::setpool::{DeltaNodes, SetPool};
 use crate::solver::{DeltaRange, WorklistSolver};
 use crate::stats::SolverStats;
+use crate::trace::{self, NoopSink, TraceSink};
 use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
 use cpsdfa_cps::{CTermKind, CValKind, CVarId, CpsProgram};
 use cpsdfa_syntax::Label;
@@ -273,26 +275,48 @@ enum SrcConstraint {
     },
 }
 
-/// Constraint-based 0CFA over an ANF program (sparse worklist solver).
+/// Constraint-based 0CFA over an ANF program (sparse worklist solver),
+/// under the default [`AnalysisBudget`] — the same §6.2 safety bound the
+/// abstract interpreters enforce, charged per constraint firing.
 ///
 /// ```
 /// use cpsdfa_anf::AnfProgram;
 /// use cpsdfa_core::cfa::zero_cfa;
 ///
 /// let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
-/// let r = zero_cfa(&p);
+/// let r = zero_cfa(&p).unwrap();
 /// // the identity flows to f, and (via the self-application) to x
 /// let f = p.var_named("f").unwrap();
 /// let x = p.var_named("x").unwrap();
 /// assert_eq!(r.get(f).len(), 1);
 /// assert_eq!(r.get(f), r.get(x));
 /// ```
-pub fn zero_cfa(prog: &AnfProgram) -> CfaResult {
-    zero_cfa_instrumented(prog).0
+pub fn zero_cfa(prog: &AnfProgram) -> Result<CfaResult, AnalysisError> {
+    Ok(zero_cfa_instrumented(prog)?.0)
 }
 
 /// [`zero_cfa`] plus the solver/pool counters of the run.
-pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
+pub fn zero_cfa_instrumented(prog: &AnfProgram) -> Result<(CfaResult, SolverStats), AnalysisError> {
+    zero_cfa_traced(prog, AnalysisBudget::default(), &mut NoopSink)
+}
+
+/// [`zero_cfa`] with an explicit budget and a trace sink: the run executes
+/// inside a `cfa.src` span and flushes its solver/pool counters into the
+/// sink at the commit point (prefix `cfa.src`). Pass
+/// [`NoopSink`](crate::trace::NoopSink) for the zero-overhead path.
+pub fn zero_cfa_traced(
+    prog: &AnfProgram,
+    budget: AnalysisBudget,
+    sink: &mut impl TraceSink,
+) -> Result<(CfaResult, SolverStats), AnalysisError> {
+    trace::with_span(sink, "cfa.src", |sink| zero_cfa_impl(prog, budget, sink))
+}
+
+fn zero_cfa_impl(
+    prog: &AnfProgram,
+    budget: AnalysisBudget,
+    sink: &mut impl TraceSink,
+) -> Result<(CfaResult, SolverStats), AnalysisError> {
     let lambdas = prog.lambdas();
     let edges = collect_edges(prog);
     let idx = NodeIndex::build(prog, &edges);
@@ -346,7 +370,7 @@ pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
     // Reused delta buffer: each firing consumes only what its watched
     // nodes gained since it last fired.
     let mut deltas: Vec<DeltaRange> = Vec::new();
-    while let Some(ci) = solver.pop() {
+    solver.run(budget, |solver, ci| {
         match constraints[ci] {
             SrcConstraint::Sub(dst) => {
                 solver.take_deltas(ci, &mut deltas);
@@ -399,7 +423,8 @@ pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
                 }
             }
         }
-    }
+        Ok(())
+    })?;
 
     // Commit point: intern each converged node set (deduping identical
     // ones); the result holds the shared pool handles directly. The store
@@ -416,8 +441,9 @@ pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
         .map(|&l| (l, commit(idx.node(Node::Term(l)), &mut pool)))
         .collect();
     let stats = solver.stats().with_pool(pool.stats());
+    stats.emit_into(sink, "cfa.src");
     let iterations = stats.fired.max(1);
-    (
+    Ok((
         CfaResult {
             vars,
             terms,
@@ -425,7 +451,7 @@ pub fn zero_cfa_instrumented(prog: &AnfProgram) -> (CfaResult, SolverStats) {
             iterations,
         },
         stats,
-    )
+    ))
 }
 
 /// The original dense formulation: every constraint re-evaluated per sweep,
@@ -719,13 +745,38 @@ enum CpsConstraint {
 /// Constraint-based 0CFA over a CPS program — Shivers' original setting.
 /// Continuations are ordinary flow values, so the analysis collects
 /// continuation *sets* at `k` variables and merges returns exactly as
-/// Figure 6 does. Runs on the sparse worklist solver.
-pub fn zero_cfa_cps(prog: &CpsProgram) -> CpsCfaResult {
-    zero_cfa_cps_instrumented(prog).0
+/// Figure 6 does. Runs on the sparse worklist solver under the default
+/// [`AnalysisBudget`] — this is the path where unbounded exponential CPS
+/// workloads used to loop; they now stop with
+/// [`AnalysisError::BudgetExhausted`].
+pub fn zero_cfa_cps(prog: &CpsProgram) -> Result<CpsCfaResult, AnalysisError> {
+    Ok(zero_cfa_cps_instrumented(prog)?.0)
 }
 
 /// [`zero_cfa_cps`] plus the solver/pool counters of the run.
-pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStats) {
+pub fn zero_cfa_cps_instrumented(
+    prog: &CpsProgram,
+) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
+    zero_cfa_cps_traced(prog, AnalysisBudget::default(), &mut NoopSink)
+}
+
+/// [`zero_cfa_cps`] with an explicit budget and a trace sink (span and
+/// counter prefix `cfa.cps`).
+pub fn zero_cfa_cps_traced(
+    prog: &CpsProgram,
+    budget: AnalysisBudget,
+    sink: &mut impl TraceSink,
+) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
+    trace::with_span(sink, "cfa.cps", |sink| {
+        zero_cfa_cps_impl(prog, budget, sink)
+    })
+}
+
+fn zero_cfa_cps_impl(
+    prog: &CpsProgram,
+    budget: AnalysisBudget,
+    sink: &mut impl TraceSink,
+) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
     let lambdas = prog.lambdas();
     let conts = prog.conts();
     let edges = collect_cps_edges(prog);
@@ -786,34 +837,36 @@ pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStat
     let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
     let mut deltas: Vec<DeltaRange> = Vec::new();
 
-    // Joins `flow` into node `dst`: a constant grows the node's log directly,
-    // a variable becomes a persistent delta-watched `Sub` edge whose fresh
-    // cursor replays the source's full history on its first firing.
-    macro_rules! wire_flow {
-        ($flow:expr, $dst:expr) => {{
-            let dst: usize = $dst;
-            match $flow {
-                Flow::None => {}
-                Flow::Const(cflow) => {
-                    if let Some(len) = nodes.add(dst, cflow) {
-                        solver.node_grew(dst, len);
+    solver.run(budget, |solver, ci| {
+        // Joins `flow` into node `dst`: a constant grows the node's log
+        // directly, a variable becomes a persistent delta-watched `Sub`
+        // edge whose fresh cursor replays the source's full history on its
+        // first firing. Defined inside the step closure so the unhygienic
+        // `solver` below resolves to the closure's re-borrowed engine.
+        macro_rules! wire_flow {
+            ($flow:expr, $dst:expr) => {{
+                let dst: usize = $dst;
+                match $flow {
+                    Flow::None => {}
+                    Flow::Const(cflow) => {
+                        if let Some(len) = nodes.add(dst, cflow) {
+                            solver.node_grew(dst, len);
+                        }
+                    }
+                    Flow::Var(v) => {
+                        let c = solver.add_constraint(constraints.len() as u32);
+                        solver.watch(v.index(), c);
+                        constraints.push(CpsConstraint::Sub(dst));
+                        // Replay the source's existing log (fresh cursor =
+                        // 0); an empty source needs no first firing.
+                        if !nodes.log(v.index()).is_empty() {
+                            solver.post(c);
+                        }
                     }
                 }
-                Flow::Var(v) => {
-                    let c = solver.add_constraint(constraints.len() as u32);
-                    solver.watch(v.index(), c);
-                    constraints.push(CpsConstraint::Sub(dst));
-                    // Replay the source's existing log (fresh cursor = 0);
-                    // an empty source needs no first firing.
-                    if !nodes.log(v.index()).is_empty() {
-                        solver.post(c);
-                    }
-                }
-            }
-        }};
-    }
+            }};
+        }
 
-    while let Some(ci) = solver.pop() {
         match constraints[ci] {
             CpsConstraint::Sub(dst) => {
                 solver.take_deltas(ci, &mut deltas);
@@ -884,7 +937,8 @@ pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStat
                 }
             }
         }
-    }
+        Ok(())
+    })?;
 
     // Commit point: intern each converged node set (deduping identical
     // ones); the result holds the shared pool handles directly. The store
@@ -897,8 +951,9 @@ pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStat
         })
         .collect();
     let stats = solver.stats().with_pool(pool.stats());
+    stats.emit_into(sink, "cfa.cps");
     let iterations = stats.fired.max(1);
-    (
+    Ok((
         CpsCfaResult {
             vars,
             returns,
@@ -906,7 +961,7 @@ pub fn zero_cfa_cps_instrumented(prog: &CpsProgram) -> (CpsCfaResult, SolverStat
             iterations,
         },
         stats,
-    )
+    ))
 }
 
 /// The original dense CPS formulation (full re-sweeps, per-propagation set
@@ -1013,7 +1068,7 @@ mod tests {
     #[test]
     fn identity_flows_through_self_application() {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
-        let r = zero_cfa(&p);
+        let r = zero_cfa(&p).unwrap();
         let f = p.var_named("f").unwrap();
         let x = p.var_named("x").unwrap();
         let lam = AbsClo::Lam(p.lambda_labels()[0]);
@@ -1030,7 +1085,7 @@ mod tests {
             "(let (g (lambda (h) (h 3))) (g (lambda (y) (add1 y))))",
         ] {
             let p = AnfProgram::parse(src).unwrap();
-            let cfa = zero_cfa(&p);
+            let cfa = zero_cfa(&p).unwrap();
             let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
             for (v, name) in p.iter_vars() {
                 assert_eq!(
@@ -1048,7 +1103,7 @@ mod tests {
         // the least fixpoint and keeps the set exact — a strictly more
         // precise closure result (documented divergence, see module docs).
         let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (let (r (w w)) r))").unwrap();
-        let cfa = zero_cfa(&p);
+        let cfa = zero_cfa(&p).unwrap();
         let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
         let x = p.var_named("x").unwrap();
         let lam = AbsClo::Lam(p.lambda_labels()[0]);
@@ -1063,7 +1118,7 @@ mod tests {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")
             .unwrap();
         let c = CpsProgram::from_anf(&p);
-        let r = zero_cfa_cps(&c);
+        let r = zero_cfa_cps(&c).unwrap();
         assert!(r.false_return_edges() > 0, "Shivers' merge must be visible");
         // and it is the same count the Figure 6 analyzer reports
         let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
@@ -1079,7 +1134,7 @@ mod tests {
         ] {
             let p = AnfProgram::parse(src).unwrap();
             let c = CpsProgram::from_anf(&p);
-            let cfa = zero_cfa_cps(&c);
+            let cfa = zero_cfa_cps(&c).unwrap();
             let syn = SynCpsAnalyzer::<AnyNum>::new(&c).analyze().unwrap();
             for (v, key) in c.iter_vars() {
                 let mut expect: BTreeSet<CpsFlow> = BTreeSet::new();
@@ -1095,7 +1150,7 @@ mod tests {
     fn single_call_has_no_false_returns() {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (f 1))").unwrap();
         let c = CpsProgram::from_anf(&p);
-        let r = zero_cfa_cps(&c);
+        let r = zero_cfa_cps(&c).unwrap();
         assert_eq!(r.false_return_edges(), 0);
         assert!(r.iterations >= 1);
     }
@@ -1103,7 +1158,7 @@ mod tests {
     #[test]
     fn prims_contribute_inc_dec_flow() {
         let p = AnfProgram::parse("(let (g add1) (g 1))").unwrap();
-        let r = zero_cfa(&p);
+        let r = zero_cfa(&p).unwrap();
         let g = p.var_named("g").unwrap();
         assert!(r.get(g).contains(&AbsClo::Inc));
         assert!(r.calls.values().next().unwrap().contains(&AbsClo::Inc));
@@ -1122,7 +1177,7 @@ mod tests {
             "5",
         ] {
             let p = AnfProgram::parse(src).unwrap();
-            let sparse = zero_cfa(&p);
+            let sparse = zero_cfa(&p).unwrap();
             let dense = zero_cfa_dense(&p);
             assert!(sparse.same_solution(&dense), "src 0CFA diverges on {src}");
             assert_eq!(
@@ -1131,7 +1186,7 @@ mod tests {
                 "terms key set on {src}"
             );
             let c = CpsProgram::from_anf(&p);
-            let sparse_c = zero_cfa_cps(&c);
+            let sparse_c = zero_cfa_cps(&c).unwrap();
             let dense_c = zero_cfa_cps_dense(&c);
             assert!(
                 sparse_c.same_solution(&dense_c),
@@ -1144,7 +1199,7 @@ mod tests {
     fn instrumented_run_reports_sparse_counters() {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")
             .unwrap();
-        let (r, stats) = zero_cfa_instrumented(&p);
+        let (r, stats) = zero_cfa_instrumented(&p).unwrap();
         assert!(r.iterations >= 1);
         assert!(stats.constraints > 0);
         // Initial posts are elided for watching constraints (they would
@@ -1157,5 +1212,46 @@ mod tests {
         );
         assert!(stats.pool_interned >= 1);
         assert!(stats.pool_hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_counters() {
+        use crate::trace::AggSink;
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")
+            .unwrap();
+        let plain = zero_cfa(&p).unwrap();
+        let mut agg = AggSink::new();
+        let (traced, stats) = zero_cfa_traced(&p, AnalysisBudget::default(), &mut agg).unwrap();
+        assert!(
+            plain.same_solution(&traced),
+            "tracing must not change flows"
+        );
+        assert_eq!(agg.counter_value("cfa.src.fired"), stats.fired);
+        assert_eq!(agg.gauge_value("cfa.src.queue_peak"), stats.queue_peak);
+        assert_eq!(agg.span_agg("cfa.src").unwrap().count, 1);
+
+        let c = CpsProgram::from_anf(&p);
+        let plain_c = zero_cfa_cps(&c).unwrap();
+        let mut agg_c = AggSink::new();
+        let (traced_c, stats_c) =
+            zero_cfa_cps_traced(&c, AnalysisBudget::default(), &mut agg_c).unwrap();
+        assert!(plain_c.same_solution(&traced_c));
+        assert_eq!(agg_c.counter_value("cfa.cps.fired"), stats_c.fired);
+        assert_eq!(SolverStats::from_agg(&agg_c, "cfa.cps"), stats_c);
+    }
+
+    #[test]
+    fn tiny_budgets_stop_both_sparse_solvers() {
+        let p = AnfProgram::parse("(let (w (lambda (x) (x x))) (let (r (w w)) r))").unwrap();
+        let err = zero_cfa_traced(&p, AnalysisBudget::new(1), &mut NoopSink)
+            .expect_err("one firing cannot solve omega");
+        assert!(matches!(err, AnalysisError::BudgetExhausted { budget: 1 }));
+        let c = CpsProgram::from_anf(&p);
+        let err = zero_cfa_cps_traced(&c, AnalysisBudget::new(1), &mut NoopSink)
+            .expect_err("one firing cannot solve CPS omega");
+        assert!(matches!(err, AnalysisError::BudgetExhausted { budget: 1 }));
+        // The dense oracles take no budget and still converge.
+        assert!(zero_cfa_dense(&p).iterations >= 1);
+        assert!(zero_cfa_cps_dense(&c).iterations >= 1);
     }
 }

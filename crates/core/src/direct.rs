@@ -27,6 +27,7 @@ use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
 use crate::stats::AnalysisStats;
+use crate::trace::{self, TraceSink};
 use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind, LambdaRef, VarId};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -136,6 +137,23 @@ impl<'p, D: NumDomain> DirectAnalyzer<'p, D> {
     /// [`AnalysisError::BudgetExhausted`] if the goal budget runs out.
     pub fn analyze(&self) -> Result<DirectResult<D>, AnalysisError> {
         self.analyze_from(self.initial_store())
+    }
+
+    /// [`analyze`](DirectAnalyzer::analyze) under a `direct` span, with the
+    /// cost counters flushed into `sink` when the run completes.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the goal budget runs out.
+    pub fn analyze_traced(
+        &self,
+        sink: &mut impl TraceSink,
+    ) -> Result<DirectResult<D>, AnalysisError> {
+        trace::with_span(sink, "direct", |sink| {
+            let res = self.analyze()?;
+            res.stats.emit_into(sink, "direct");
+            Ok(res)
+        })
     }
 
     /// Runs the analysis from an explicit initial store (used by the

@@ -98,7 +98,7 @@ impl ContCfaResult {
 /// // Theorem 5.1's program: two calls to one procedure.
 /// let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))")?;
 /// let c = CpsProgram::from_anf(&p);
-/// assert!(zero_cfa_cps(&c).false_return_edges() > 0);   // 0CFA merges returns
+/// assert!(zero_cfa_cps(&c)?.false_return_edges() > 0);   // 0CFA merges returns
 /// assert_eq!(cont_sensitive_cfa(&c).false_return_edges(), 0); // 1-deep contexts do not
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn theorem_5_1_false_return_is_repaired() {
         let c = cps("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))");
-        let mono = zero_cfa_cps(&c);
+        let mono = zero_cfa_cps(&c).unwrap();
         let poly = cont_sensitive_cfa(&c);
         assert_eq!(mono.false_return_edges(), 1);
         assert_eq!(poly.false_return_edges(), 0);
@@ -289,7 +289,7 @@ mod tests {
         for m in 1..=8 {
             let p = AnfProgram::from_term(&families::repeated_calls(m));
             let c = CpsProgram::from_anf(&p);
-            let mono = zero_cfa_cps(&c);
+            let mono = zero_cfa_cps(&c).unwrap();
             let poly = cont_sensitive_cfa(&c);
             assert_eq!(mono.false_return_edges(), m.saturating_sub(1));
             assert_eq!(poly.false_return_edges(), 0, "m = {m}");
@@ -306,7 +306,7 @@ mod tests {
             "(let (a (if0 z 0 1)) (add1 a))",
         ] {
             let c = cps(src);
-            let mono = zero_cfa_cps(&c);
+            let mono = zero_cfa_cps(&c).unwrap();
             let poly = cont_sensitive_cfa(&c);
             for (v, key) in c.iter_vars() {
                 if matches!(key, cpsdfa_cps::VarKey::User(_)) {
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn erased_continuation_sets_refine_monovariant_sets() {
         let c = cps("(let (f (lambda (x) x)) (let (a1 (f 1)) (let (a2 (f 2)) a1)))");
-        let mono = zero_cfa_cps(&c);
+        let mono = zero_cfa_cps(&c).unwrap();
         let poly = cont_sensitive_cfa(&c);
         for (v, key) in c.iter_vars() {
             if matches!(key, cpsdfa_cps::VarKey::Kont(_)) {

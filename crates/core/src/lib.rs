@@ -20,7 +20,10 @@
 //! mapping and [`precision`] comparisons (§5), an executable
 //! [soundness criterion](soundness) (§4.3), [distributivity](distrib)
 //! checks (Definition 5.3), machine-independent [cost counters](stats) and
-//! [flow logs](flow) (§6.1–6.2), the classical [MFP/MOP
+//! [flow logs](flow) (§6.1–6.2), a structured [trace/metrics layer](trace)
+//! (spans, counters, timers; no-op / aggregating / JSONL sinks) that the
+//! solvers and analyzers flush their counters into at phase boundaries,
+//! the classical [MFP/MOP
 //! substrate](mfp) for the Nielson / Kam–Ullman discussion (§6.2), and the
 //! shared sparse [worklist fixpoint engine](solver) — semi-naïve: firings
 //! consume per-watch *deltas*, not whole sets — with its [hash-consed set
@@ -62,6 +65,7 @@ pub mod solver;
 pub mod soundness;
 pub mod stats;
 pub mod syncps;
+pub mod trace;
 
 pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsStore, CAbsVal};
 pub use budget::{AnalysisBudget, AnalysisError};
@@ -74,3 +78,4 @@ pub use setpool::{DeltaNodes, PoolStats, SetBuilder, SetId, SetPool};
 pub use solver::{DeltaRange, WorklistSolver};
 pub use stats::{AnalysisStats, SolverStats};
 pub use syncps::{SynCpsAnalyzer, SynCpsResult};
+pub use trace::{AggSink, JsonlSink, NoopSink, TraceSink};

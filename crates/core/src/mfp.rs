@@ -28,9 +28,11 @@
 //!    branch decisions downstream. The direct analyzer `M_e` corresponds to
 //!    MFP (when tests are unknown). E9 checks both correspondences.
 
+use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::solver::WorklistSolver;
 use crate::stats::SolverStats;
+use crate::trace::{self, NoopSink, TraceSink};
 use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
 use std::error::Error;
 use std::fmt;
@@ -320,17 +322,38 @@ impl Cfg {
     /// each firing re-joins only the *changed* predecessors (reported by
     /// [`WorklistSolver::take_deltas`]) into a monotonically accumulated
     /// `in[n]`, popped in reverse-postorder so forward flow settles in
-    /// near-linear firings on reducible graphs. Returns the per-variable
-    /// summary.
-    pub fn solve_mfp<D: NumDomain>(&self, init: DfEnv<D>) -> DfSummary<D> {
-        self.solve_mfp_instrumented(init).0
+    /// near-linear firings on reducible graphs. Runs under the default
+    /// [`AnalysisBudget`], charged per constraint firing. Returns the
+    /// per-variable summary.
+    pub fn solve_mfp<D: NumDomain>(&self, init: DfEnv<D>) -> Result<DfSummary<D>, AnalysisError> {
+        Ok(self.solve_mfp_instrumented(init)?.0)
     }
 
     /// [`solve_mfp`](Cfg::solve_mfp) plus the solver counters of the run.
     pub fn solve_mfp_instrumented<D: NumDomain>(
         &self,
         init: DfEnv<D>,
-    ) -> (DfSummary<D>, SolverStats) {
+    ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
+        self.solve_mfp_traced(init, AnalysisBudget::default(), &mut NoopSink)
+    }
+
+    /// [`solve_mfp`](Cfg::solve_mfp) with an explicit budget and a trace
+    /// sink (span and counter prefix `mfp`).
+    pub fn solve_mfp_traced<D: NumDomain>(
+        &self,
+        init: DfEnv<D>,
+        budget: AnalysisBudget,
+        sink: &mut impl TraceSink,
+    ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
+        trace::with_span(sink, "mfp", |sink| self.solve_mfp_impl(init, budget, sink))
+    }
+
+    fn solve_mfp_impl<D: NumDomain>(
+        &self,
+        init: DfEnv<D>,
+        budget: AnalysisBudget,
+        sink: &mut impl TraceSink,
+    ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
         let n = self.nodes.len();
         let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (i, node) in self.nodes.iter().enumerate() {
@@ -372,7 +395,7 @@ impl Cfg {
             })
             .collect();
         let mut deltas: Vec<crate::solver::DeltaRange> = Vec::new();
-        while let Some(id) = solver.pop() {
+        solver.run(budget, |solver, id| {
             solver.take_deltas(id, &mut deltas);
             for &(p, _, _) in &deltas {
                 ins[id] = Self::join_env(&ins[id], &outs[p]);
@@ -382,8 +405,11 @@ impl Cfg {
                 outs[id] = Self::join_env(&outs[id], &out);
                 solver.node_changed(id);
             }
-        }
-        (self.summarize(&outs), solver.stats())
+            Ok(())
+        })?;
+        let stats = solver.stats();
+        stats.emit_into(sink, "mfp");
+        Ok((self.summarize(&outs), stats))
     }
 
     /// Reverse-postorder pop priorities from the entry; nodes unreachable
@@ -674,7 +700,7 @@ mod tests {
     #[test]
     fn straight_line_mfp_propagates_constants() {
         let (p, c) = cfg("(let (a 1) (let (b (add1 a)) b))");
-        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p));
+        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p)).unwrap();
         assert_eq!(mfp.get(p.var_named("a").unwrap()).as_const(), Some(1));
         assert_eq!(mfp.get(p.var_named("b").unwrap()).as_const(), Some(2));
     }
@@ -686,7 +712,7 @@ mod tests {
         let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
         let (p, c) = cfg(src);
         let init = c.initial_env::<Flat>(&p);
-        let mfp = c.solve_mfp::<Flat>(init.clone());
+        let mfp = c.solve_mfp::<Flat>(init.clone()).unwrap();
         let (mop, _) = c.solve_mop::<Flat>(init, 100, PathMode::AllPaths).unwrap();
         assert!(mop.leq(&mfp) && mfp.leq(&mop));
         assert!(mfp.get(p.var_named("a2").unwrap()).is_top());
@@ -758,7 +784,7 @@ mod tests {
         ];
         let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
         let init = g.bottom_env::<Flat>();
-        let mfp = g.solve_mfp::<Flat>(init.clone());
+        let mfp = g.solve_mfp::<Flat>(init.clone()).unwrap();
         let (mop, paths) = g.solve_mop::<Flat>(init, 10, PathMode::AllPaths).unwrap();
         assert_eq!(paths, 2);
         assert!(mfp.get(cc).is_top(), "MFP merges early");
@@ -769,7 +795,7 @@ mod tests {
     #[test]
     fn loop_construct_becomes_havoc() {
         let (p, c) = cfg("(let (x (loop)) (let (y (add1 x)) y))");
-        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p));
+        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p)).unwrap();
         assert!(mfp.get(p.var_named("x").unwrap()).is_top());
         assert!(mfp.get(p.var_named("y").unwrap()).is_top());
     }
@@ -806,7 +832,7 @@ mod tests {
         ] {
             let (p, c) = cfg(src);
             let init = c.initial_env::<Flat>(&p);
-            let mfp = c.solve_mfp::<Flat>(init.clone());
+            let mfp = c.solve_mfp::<Flat>(init.clone()).unwrap();
             for mode in [PathMode::AllPaths, PathMode::FeasiblePaths] {
                 let (mop, _) = c.solve_mop::<Flat>(init.clone(), 1000, mode).unwrap();
                 assert!(mop.leq(&mfp), "MOP ⋢ MFP on {src} ({mode:?})");
@@ -825,7 +851,7 @@ mod tests {
         ] {
             let (p, c) = cfg(src);
             let init = c.initial_env::<Flat>(&p);
-            let (sparse, stats) = c.solve_mfp_instrumented::<Flat>(init.clone());
+            let (sparse, stats) = c.solve_mfp_instrumented::<Flat>(init.clone()).unwrap();
             let dense = c.solve_mfp_dense::<Flat>(init);
             assert_eq!(sparse, dense, "MFP solutions diverge on {src}");
             assert_eq!(stats.constraints, c.nodes().len() as u64);
@@ -838,11 +864,31 @@ mod tests {
         // On an acyclic diamond the RPO rank order means every node fires
         // exactly once with no re-posts surviving coalescing.
         let (p, c) = cfg("(let (a1 (if0 z 0 1)) (let (a2 (add1 a1)) a2))");
-        let (_, stats) = c.solve_mfp_instrumented::<Flat>(c.initial_env::<Flat>(&p));
+        let (_, stats) = c
+            .solve_mfp_instrumented::<Flat>(c.initial_env::<Flat>(&p))
+            .unwrap();
         assert_eq!(
             stats.fired, stats.constraints,
             "acyclic CFG should settle in one RPO pass"
         );
+    }
+
+    #[test]
+    fn traced_mfp_matches_and_tiny_budget_stops_it() {
+        let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
+        let (p, c) = cfg(src);
+        let init = c.initial_env::<Flat>(&p);
+        let mut agg = crate::trace::AggSink::new();
+        let (traced, stats) = c
+            .solve_mfp_traced::<Flat>(init.clone(), AnalysisBudget::default(), &mut agg)
+            .unwrap();
+        assert_eq!(traced, c.solve_mfp::<Flat>(init.clone()).unwrap());
+        assert_eq!(agg.counter_value("mfp.fired"), stats.fired);
+        assert_eq!(agg.span_agg("mfp").unwrap().count, 1);
+        let err = c
+            .solve_mfp_traced::<Flat>(init, AnalysisBudget::new(1), &mut NoopSink)
+            .expect_err("one firing cannot settle a diamond");
+        assert!(matches!(err, AnalysisError::BudgetExhausted { budget: 1 }));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::absval::{AbsStore, CAbsStore};
 use crate::domain::NumDomain;
 use crate::stats::SolverStats;
+use crate::trace::AggSink;
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_cps::CpsProgram;
 use std::fmt::Write as _;
@@ -42,9 +43,10 @@ pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<10} {} node updates, {} pooled sets, join hit-rate {:.0}%",
+        "  {:<10} {} node updates, queue peak {}, {} pooled sets, join hit-rate {:.0}%",
         "",
         stats.node_updates,
+        stats.queue_peak,
         stats.pool_interned,
         stats.pool_hit_rate() * 100.0
     );
@@ -62,6 +64,15 @@ pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
         stats.mean_delta()
     );
     out
+}
+
+/// [`render_solver_stats`] fed from an aggregated trace instead of a live
+/// `SolverStats` value: reconstructs the counters emitted under `prefix`
+/// (via [`SolverStats::from_agg`]) and renders the same block. This is the
+/// unification point between the hand-rolled counter plumbing and the trace
+/// layer — a recorded JSONL file reproduces the report byte-for-byte.
+pub fn render_solver_stats_from_agg(label: &str, agg: &AggSink, prefix: &str) -> String {
+    render_solver_stats(label, &SolverStats::from_agg(agg, prefix))
 }
 
 /// Renders a two-column side-by-side comparison of per-variable rows.
@@ -127,13 +138,28 @@ mod tests {
     #[test]
     fn solver_stats_rendering_names_the_savings() {
         let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
-        let (_, stats) = crate::cfa::zero_cfa_instrumented(&p);
+        let (_, stats) = crate::cfa::zero_cfa_instrumented(&p).unwrap();
         let text = render_solver_stats("0CFA", &stats);
         assert!(text.contains("0CFA"));
         assert!(text.contains("coalesced"));
+        assert!(text.contains("queue peak"));
         assert!(text.contains("hit-rate"));
         assert!(text.contains("mean delta"));
         assert!(text.contains("size hist ["));
+    }
+
+    #[test]
+    fn agg_rendering_reproduces_the_live_report() {
+        use crate::budget::AnalysisBudget;
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let mut agg = AggSink::new();
+        let (_, stats) =
+            crate::cfa::zero_cfa_traced(&p, AnalysisBudget::default(), &mut agg).unwrap();
+        assert_eq!(
+            render_solver_stats_from_agg("0CFA", &agg, "cfa.src"),
+            render_solver_stats("0CFA", &stats),
+            "trace-reconstructed report must match the live one"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::direct::clo_top_of;
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
 use crate::stats::AnalysisStats;
+use crate::trace::{self, TraceSink};
 use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind, LambdaRef, VarId};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -142,6 +143,23 @@ impl<'p, D: NumDomain> SemCpsAnalyzer<'p, D> {
     /// adversarially branchy programs (§6.2).
     pub fn analyze(&self) -> Result<SemCpsResult<D>, AnalysisError> {
         self.analyze_from(self.initial_store())
+    }
+
+    /// [`analyze`](SemCpsAnalyzer::analyze) under a `semcps` span, with the
+    /// cost counters flushed into `sink` when the run completes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze`](SemCpsAnalyzer::analyze).
+    pub fn analyze_traced(
+        &self,
+        sink: &mut impl TraceSink,
+    ) -> Result<SemCpsResult<D>, AnalysisError> {
+        trace::with_span(sink, "semcps", |sink| {
+            let res = self.analyze()?;
+            res.stats.emit_into(sink, "semcps");
+            Ok(res)
+        })
     }
 
     /// Runs the analysis from an explicit initial store.

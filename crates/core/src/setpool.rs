@@ -61,6 +61,12 @@ pub struct PoolStats {
     pub join_hits: u64,
     /// Joins that had to materialize a union.
     pub join_misses: u64,
+    /// Canonical-run commits answered from a commit memo (or trivially
+    /// empty) — [`SetPool::commit`] and [`DeltaNodes::commit_into`] both
+    /// count here.
+    pub commit_hits: u64,
+    /// Commits that had to intern a set.
+    pub commit_misses: u64,
 }
 
 impl PoolStats {
@@ -229,13 +235,16 @@ impl<T: Ord + Clone + Hash> SetPool<T> {
         scratch.sort_unstable();
         scratch.dedup();
         if scratch.is_empty() {
+            self.stats.commit_hits += 1;
             self.commit_scratch = scratch;
             return Self::EMPTY;
         }
         if let Some(&id) = self.commit_memo.get(scratch.as_slice()) {
+            self.stats.commit_hits += 1;
             self.commit_scratch = scratch;
             return id;
         }
+        self.stats.commit_misses += 1;
         let set: BTreeSet<T> = scratch.iter().cloned().collect();
         let id = self.intern(set);
         self.commit_memo
@@ -429,11 +438,14 @@ impl<T: Eq + Hash + Clone> DeltaNodes<T> {
             }
         }
         if self.commit_scratch.is_empty() {
+            pool.stats.commit_hits += 1;
             return SetPool::<T>::EMPTY;
         }
         if let Some(&id) = self.commit_memo.get(self.commit_scratch.as_slice()) {
+            pool.stats.commit_hits += 1;
             return id;
         }
+        pool.stats.commit_misses += 1;
         let set: BTreeSet<T> = self
             .commit_scratch
             .iter()
@@ -597,6 +609,28 @@ mod tests {
         // Values minted after the forwarding get fresh universe indices.
         assert_eq!(nodes.add(1, 99), Some(4));
         assert!(nodes.contains(1, &99) && !nodes.contains(0, &99));
+    }
+
+    #[test]
+    fn commit_memo_hits_are_counted_for_both_paths() {
+        let mut p = SetPool::new();
+        let mut b = SetBuilder::new();
+        b.insert(1);
+        b.insert(2);
+        p.commit(&b); // miss: first sight of {1, 2}
+        p.commit(&b); // hit: canonical-run memo
+        p.commit(&SetBuilder::<i32>::new()); // hit: trivially empty
+        assert_eq!(p.stats().commit_misses, 1);
+        assert_eq!(p.stats().commit_hits, 2);
+
+        let mut nodes: DeltaNodes<i32> = DeltaNodes::new(2);
+        nodes.add(0, 1);
+        nodes.add(0, 2);
+        let id = nodes.commit_into(0, &mut p); // miss in its own memo
+        assert_eq!(nodes.commit_into(0, &mut p), id); // hit
+        assert_eq!(nodes.commit_into(1, &mut p), SetPool::<i32>::EMPTY); // hit
+        assert_eq!(p.stats().commit_misses, 2);
+        assert_eq!(p.stats().commit_hits, 4);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! pass reverse-postorder ranks (MFP) or source order (CFA) — so solving
 //! is fully deterministic.
 
+use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::stats::SolverStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -206,6 +207,10 @@ impl WorklistSolver {
         self.queue.push(Reverse(
             (self.rank[constraint] as u64) << 32 | constraint as u64,
         ));
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_peak {
+            self.stats.queue_peak = depth;
+        }
     }
 
     /// Reports that a node's growth log extended to `new_len` elements:
@@ -271,6 +276,24 @@ impl WorklistSolver {
         }
         self.stats.delta_elems += total as u64;
         self.stats.record_delta(total);
+    }
+
+    /// Drives the engine to fixpoint, charging every firing against
+    /// `budget`: pops constraints in rank order and hands each to `step`
+    /// (which receives the solver back for `take_deltas`/`watch`/`post`
+    /// re-entry). Returns [`AnalysisError::BudgetExhausted`] as soon as the
+    /// cumulative firing count exceeds the budget — this is the §6.2 safety
+    /// property on the sparse path: exponential CPS workloads stop instead
+    /// of looping unbounded.
+    pub fn run<F>(&mut self, budget: AnalysisBudget, mut step: F) -> Result<(), AnalysisError>
+    where
+        F: FnMut(&mut Self, ConstraintId) -> Result<(), AnalysisError>,
+    {
+        while let Some(c) = self.pop() {
+            budget.check(self.stats.fired)?;
+            step(self, c)?;
+        }
+        Ok(())
     }
 
     /// Scheduling counters for this run.
@@ -480,5 +503,77 @@ mod tests {
         let mut s = WorklistSolver::default();
         assert_eq!(s.pop(), None);
         assert_eq!(s.stats().nodes, 0);
+    }
+
+    #[test]
+    fn run_drives_to_fixpoint_and_charges_the_budget() {
+        // Same 8-node chain as run_reachability, but through `run`.
+        let n = 8;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let mut s = WorklistSolver::new();
+        s.add_nodes(n);
+        let mut logs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &(src, _)) in edges.iter().enumerate() {
+            let c = s.add_constraint(i as u32);
+            s.watch(src, c);
+            s.post(c);
+        }
+        logs[0].push(1);
+        s.node_grew(0, 1);
+        let mut deltas = Vec::new();
+        s.run(AnalysisBudget::default(), |s, c| {
+            let (_, dst) = edges[c];
+            s.take_deltas(c, &mut deltas);
+            for &(node, lo, hi) in &deltas {
+                for i in lo..hi {
+                    let v = logs[node][i];
+                    if !logs[dst].contains(&v) {
+                        logs[dst].push(v);
+                        s.node_grew(dst, logs[dst].len());
+                    }
+                }
+            }
+            Ok(())
+        })
+        .expect("default budget is ample for an 8-node chain");
+        assert!(logs.iter().all(|l| l == &vec![1]));
+    }
+
+    #[test]
+    fn run_returns_budget_exhausted_on_a_livelock() {
+        // A self-loop constraint that re-posts itself forever: without the
+        // budget, `run` would never terminate.
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        let c = s.add_constraint(0);
+        s.watch(0, c);
+        s.post(c);
+        let err = s
+            .run(AnalysisBudget::new(100), |s, _c| {
+                s.node_changed(0);
+                Ok(())
+            })
+            .expect_err("a livelock must exhaust the budget");
+        assert!(matches!(
+            err,
+            AnalysisError::BudgetExhausted { budget: 100 }
+        ));
+        assert!(s.stats().fired <= 102, "stops right at the budget");
+    }
+
+    #[test]
+    fn queue_peak_tracks_the_high_water_mark() {
+        let mut s = WorklistSolver::new();
+        let a = s.add_constraint(0);
+        let b = s.add_constraint(1);
+        let c = s.add_constraint(2);
+        s.post(a);
+        s.post(b);
+        s.post(c);
+        s.pop();
+        s.pop();
+        s.pop();
+        s.post(a);
+        assert_eq!(s.stats().queue_peak, 3);
     }
 }

@@ -6,6 +6,7 @@
 //! rule instantiations, cycle cuts (§4.4 loop detections), and maximum
 //! derivation depth. The cost experiments (E6–E8) report these.
 
+use crate::trace::{AggSink, TraceSink};
 use std::fmt;
 
 /// Counters accumulated during one analysis run.
@@ -28,6 +29,19 @@ impl AnalysisStats {
     pub(crate) fn enter_goal(&mut self, depth: usize) {
         self.goals += 1;
         self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Flushes these counters into a trace sink under `prefix` (e.g.
+    /// `semcps.goals`, `semcps.max_depth`). One call per run — the per-goal
+    /// path never touches the sink.
+    pub fn emit_into(&self, sink: &mut impl TraceSink, prefix: &str) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter(&format!("{prefix}.goals"), self.goals);
+        sink.counter(&format!("{prefix}.cycle_cuts"), self.cycle_cuts);
+        sink.counter(&format!("{prefix}.returns"), self.returns);
+        sink.gauge(&format!("{prefix}.max_depth"), self.max_depth as u64);
     }
 }
 
@@ -62,6 +76,8 @@ pub struct SolverStats {
     pub fired: u64,
     /// Node-value growth events observed.
     pub node_updates: u64,
+    /// Worklist depth high-water mark (pending constraints).
+    pub queue_peak: u64,
     /// Distinct sets interned by the run's set pool (0 for non-pooled
     /// instances such as MFP).
     pub pool_interned: u64,
@@ -69,6 +85,11 @@ pub struct SolverStats {
     pub pool_join_hits: u64,
     /// Set-pool joins that materialized a union.
     pub pool_join_misses: u64,
+    /// Canonical-run commits answered from the commit memo (both
+    /// `SetPool::commit` and `DeltaNodes::commit_into`).
+    pub pool_commit_hits: u64,
+    /// Canonical-run commits that had to intern.
+    pub pool_commit_misses: u64,
     /// Non-empty per-watch delta deliveries
     /// ([`take_deltas`](crate::solver::WorklistSolver::take_deltas) ranges).
     pub delta_batches: u64,
@@ -93,7 +114,72 @@ impl SolverStats {
         self.pool_interned += pool.interned;
         self.pool_join_hits += pool.join_hits;
         self.pool_join_misses += pool.join_misses;
+        self.pool_commit_hits += pool.commit_hits;
+        self.pool_commit_misses += pool.commit_misses;
         self
+    }
+
+    /// Flushes these counters into a trace sink under `prefix` (e.g.
+    /// `solver.fired` for `prefix = "solver"`). Emission is a phase-boundary
+    /// operation: the solver hot loop keeps its plain field increments and
+    /// this method publishes them once per run. [`from_agg`] inverts it.
+    ///
+    /// [`from_agg`]: SolverStats::from_agg
+    pub fn emit_into(&self, sink: &mut impl TraceSink, prefix: &str) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter(&format!("{prefix}.nodes"), self.nodes);
+        sink.counter(&format!("{prefix}.constraints"), self.constraints);
+        sink.counter(&format!("{prefix}.posted"), self.posted);
+        sink.counter(&format!("{prefix}.coalesced"), self.coalesced);
+        sink.counter(&format!("{prefix}.fired"), self.fired);
+        sink.counter(&format!("{prefix}.node_updates"), self.node_updates);
+        sink.gauge(&format!("{prefix}.queue_peak"), self.queue_peak);
+        sink.counter(&format!("{prefix}.pool.interned"), self.pool_interned);
+        sink.counter(&format!("{prefix}.pool.join_hits"), self.pool_join_hits);
+        sink.counter(&format!("{prefix}.pool.join_misses"), self.pool_join_misses);
+        sink.counter(&format!("{prefix}.pool.commit_hits"), self.pool_commit_hits);
+        sink.counter(
+            &format!("{prefix}.pool.commit_misses"),
+            self.pool_commit_misses,
+        );
+        sink.counter(&format!("{prefix}.delta_batches"), self.delta_batches);
+        sink.counter(&format!("{prefix}.delta_elems"), self.delta_elems);
+        for (i, &n) in self.delta_hist.iter().enumerate() {
+            sink.counter(&format!("{prefix}.delta_hist.{i}"), n);
+        }
+    }
+
+    /// Reconstructs solver counters from an aggregated trace, inverting
+    /// [`emit_into`] — the mechanism by which `experiments -- E16` rebuilds
+    /// its table from a recorded JSONL file. Gauges (queue peak) come back
+    /// as the max across merged runs; counters as sums.
+    ///
+    /// [`emit_into`]: SolverStats::emit_into
+    pub fn from_agg(agg: &AggSink, prefix: &str) -> Self {
+        let c = |name: &str| agg.counter_value(&format!("{prefix}.{name}"));
+        let mut delta_hist = [0u64; 8];
+        for (i, slot) in delta_hist.iter_mut().enumerate() {
+            *slot = c(&format!("delta_hist.{i}"));
+        }
+        SolverStats {
+            nodes: c("nodes"),
+            constraints: c("constraints"),
+            posted: c("posted"),
+            coalesced: c("coalesced"),
+            fired: c("fired"),
+            node_updates: c("node_updates"),
+            queue_peak: agg.gauge_value(&format!("{prefix}.queue_peak")),
+            pool_interned: c("pool.interned"),
+            pool_join_hits: c("pool.join_hits"),
+            pool_join_misses: c("pool.join_misses"),
+            pool_commit_hits: c("pool.commit_hits"),
+            pool_commit_misses: c("pool.commit_misses"),
+            delta_batches: c("delta_batches"),
+            delta_elems: c("delta_elems"),
+            delta_hist,
+        }
     }
 
     /// Fraction of set joins answered without building a set, in `[0, 1]`.
@@ -182,6 +268,7 @@ mod tests {
             interned: 5,
             join_hits: 3,
             join_misses: 1,
+            ..Default::default()
         };
         let s = SolverStats {
             posted: 10,
@@ -210,6 +297,53 @@ mod tests {
             s.record_delta(size);
         }
         assert_eq!(s.delta_hist, [1, 1, 1, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn solver_stats_round_trip_through_the_agg_sink() {
+        let mut s = SolverStats {
+            nodes: 3,
+            constraints: 4,
+            posted: 10,
+            coalesced: 2,
+            fired: 8,
+            node_updates: 6,
+            queue_peak: 5,
+            pool_interned: 7,
+            pool_join_hits: 1,
+            pool_join_misses: 2,
+            pool_commit_hits: 3,
+            pool_commit_misses: 4,
+            delta_batches: 9,
+            delta_elems: 20,
+            delta_hist: [0; 8],
+        };
+        s.record_delta(3);
+        s.record_delta(40);
+        let mut agg = AggSink::new();
+        s.emit_into(&mut agg, "solver");
+        assert_eq!(SolverStats::from_agg(&agg, "solver"), s);
+        // Emitting a second run accumulates counters and maxes the gauge.
+        s.emit_into(&mut agg, "solver");
+        let doubled = SolverStats::from_agg(&agg, "solver");
+        assert_eq!(doubled.fired, 16);
+        assert_eq!(doubled.queue_peak, 5);
+    }
+
+    #[test]
+    fn analysis_stats_emit_under_a_prefix() {
+        let s = AnalysisStats {
+            goals: 11,
+            cycle_cuts: 2,
+            max_depth: 7,
+            returns: 3,
+        };
+        let mut agg = AggSink::new();
+        s.emit_into(&mut agg, "semcps");
+        assert_eq!(agg.counter_value("semcps.goals"), 11);
+        assert_eq!(agg.gauge_value("semcps.max_depth"), 7);
+        // The no-op sink takes the early-out and stays empty.
+        s.emit_into(&mut crate::trace::NoopSink, "semcps");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
 use crate::stats::AnalysisStats;
+use crate::trace::{self, TraceSink};
 #[cfg(test)]
 use cpsdfa_cps::VarKey;
 use cpsdfa_cps::{CLambdaRef, CTerm, CTermKind, CVal, CValKind, CVarId, ContRef, CpsProgram};
@@ -153,6 +154,23 @@ impl<'p, D: NumDomain> SynCpsAnalyzer<'p, D> {
     /// [`AnalysisError::BudgetExhausted`] if the goal budget runs out.
     pub fn analyze(&self) -> Result<SynCpsResult<D>, AnalysisError> {
         self.analyze_from(self.initial_store())
+    }
+
+    /// [`analyze`](SynCpsAnalyzer::analyze) under a `syncps` span, with the
+    /// cost counters flushed into `sink` when the run completes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`analyze`](SynCpsAnalyzer::analyze).
+    pub fn analyze_traced(
+        &self,
+        sink: &mut impl TraceSink,
+    ) -> Result<SynCpsResult<D>, AnalysisError> {
+        trace::with_span(sink, "syncps", |sink| {
+            let res = self.analyze()?;
+            res.stats.emit_into(sink, "syncps");
+            Ok(res)
+        })
     }
 
     /// Runs the analysis from an explicit initial store.

@@ -219,13 +219,13 @@ proptest! {
         // the same least fixpoint as their dense oracles on every program.
         let t = generate(seed, &open_config());
         let p = AnfProgram::from_term(&t);
-        prop_assert!(zero_cfa(&p).same_solution(&zero_cfa_dense(&p)));
+        prop_assert!(zero_cfa(&p).unwrap().same_solution(&zero_cfa_dense(&p)));
         let c = CpsProgram::from_anf(&p);
-        prop_assert!(zero_cfa_cps(&c).same_solution(&zero_cfa_cps_dense(&c)));
+        prop_assert!(zero_cfa_cps(&c).unwrap().same_solution(&zero_cfa_cps_dense(&c)));
         if let Ok(cfg) = Cfg::from_first_order(&p) {
             let init = cfg.initial_env::<Flat>(&p);
             prop_assert_eq!(
-                cfg.solve_mfp::<Flat>(init.clone()),
+                cfg.solve_mfp::<Flat>(init.clone()).unwrap(),
                 cfg.solve_mfp_dense::<Flat>(init)
             );
         }
@@ -271,17 +271,20 @@ fn sparse_delta_matches_dense_on_800_program_corpus() {
     let progs = corpus(0x5_0CFA, 800, &open_config());
     let verdicts = par_map(&progs, |t| {
         let p = AnfProgram::from_term(t);
-        if !zero_cfa(&p).same_solution(&zero_cfa_dense(&p)) {
+        if !zero_cfa(&p).unwrap().same_solution(&zero_cfa_dense(&p)) {
             return false;
         }
         let c = CpsProgram::from_anf(&p);
-        if !zero_cfa_cps(&c).same_solution(&zero_cfa_cps_dense(&c)) {
+        if !zero_cfa_cps(&c)
+            .unwrap()
+            .same_solution(&zero_cfa_cps_dense(&c))
+        {
             return false;
         }
         match Cfg::from_first_order(&p) {
             Ok(cfg) => {
                 let init = cfg.initial_env::<Flat>(&p);
-                cfg.solve_mfp::<Flat>(init.clone()) == cfg.solve_mfp_dense::<Flat>(init)
+                cfg.solve_mfp::<Flat>(init.clone()).unwrap() == cfg.solve_mfp_dense::<Flat>(init)
             }
             Err(_) => true, // higher-order: MFP out of scope
         }
@@ -295,7 +298,7 @@ fn sparse_delta_matches_dense_on_800_program_corpus() {
         let cfg = Cfg::from_first_order(&p).unwrap();
         let init = cfg.initial_env::<Flat>(&p);
         assert_eq!(
-            cfg.solve_mfp::<Flat>(init.clone()),
+            cfg.solve_mfp::<Flat>(init.clone()).unwrap(),
             cfg.solve_mfp_dense::<Flat>(init),
             "MFP sparse/dense divergence on diamond_chain({n})"
         );

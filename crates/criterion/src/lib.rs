@@ -23,44 +23,59 @@ pub struct Criterion {
     filter: Option<String>,
     test_mode: bool,
     sample_size_override: Option<usize>,
+    trace_path: Option<String>,
     default_sample_size: usize,
     default_warm_up: Duration,
     default_measurement: Duration,
 }
 
+/// The options `parse_cli` extracts from the benchmark binary's arguments.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct CliOptions {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: Option<usize>,
+    trace_path: Option<String>,
+}
+
 /// Parses the subset of criterion's CLI this stub honours: flags are
-/// skipped (cargo passes `--bench`), `--test` and `--sample-size N` (or
-/// `--sample-size=N`) are recognized, and the first free argument is a
-/// substring filter.
-fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> (Option<String>, bool, Option<usize>) {
-    let mut filter = None;
-    let mut test_mode = false;
-    let mut sample_size = None;
+/// skipped (cargo passes `--bench`), `--test`, `--sample-size N` (or
+/// `--sample-size=N`), and `--trace PATH` (or `--trace=PATH`, this
+/// workspace's extension for emitting JSONL trace events) are recognized,
+/// and the first free argument is a substring filter. `--trace`'s path is
+/// consumed by the flag, never mistaken for the filter.
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> CliOptions {
+    let mut opts = CliOptions::default();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--test" => test_mode = true,
-            "--sample-size" => sample_size = args.next().and_then(|v| v.parse().ok()),
+            "--test" => opts.test_mode = true,
+            "--sample-size" => opts.sample_size = args.next().and_then(|v| v.parse().ok()),
+            "--trace" => opts.trace_path = args.next(),
             _ if a.starts_with("--sample-size=") => {
-                sample_size = a["--sample-size=".len()..].parse().ok();
+                opts.sample_size = a["--sample-size=".len()..].parse().ok();
+            }
+            _ if a.starts_with("--trace=") => {
+                opts.trace_path = Some(a["--trace=".len()..].to_owned());
             }
             _ if a.starts_with('-') => {}
             _ => {
-                if filter.is_none() {
-                    filter = Some(a);
+                if opts.filter.is_none() {
+                    opts.filter = Some(a);
                 }
             }
         }
     }
-    (filter, test_mode, sample_size)
+    opts
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        let (filter, test_mode, sample_size_override) = parse_cli(std::env::args().skip(1));
+        let opts = parse_cli(std::env::args().skip(1));
         Criterion {
-            filter,
-            test_mode,
-            sample_size_override,
+            filter: opts.filter,
+            test_mode: opts.test_mode,
+            sample_size_override: opts.sample_size,
+            trace_path: opts.trace_path,
             default_sample_size: 100,
             default_warm_up: Duration::from_millis(500),
             default_measurement: Duration::from_secs(1),
@@ -69,6 +84,12 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// The path given with `--trace`, if any: benchmark binaries that
+    /// support structured tracing write per-benchmark JSONL events there.
+    pub fn trace_path(&self) -> Option<&str> {
+        self.trace_path.as_deref()
+    }
+
     /// Begins a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -303,6 +324,7 @@ mod tests {
             filter: filter.map(str::to_owned),
             test_mode,
             sample_size_override: None,
+            trace_path: None,
             default_sample_size: 5,
             default_warm_up: Duration::from_millis(5),
             default_measurement: Duration::from_millis(20),
@@ -351,17 +373,49 @@ mod tests {
         let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
         assert_eq!(
             parse_cli(args(&["--bench", "--test", "0cfa"]).into_iter()),
-            (Some("0cfa".into()), true, None)
+            CliOptions {
+                filter: Some("0cfa".into()),
+                test_mode: true,
+                ..CliOptions::default()
+            }
         );
         assert_eq!(
             parse_cli(args(&["--sample-size", "10"]).into_iter()),
-            (None, false, Some(10))
+            CliOptions {
+                sample_size: Some(10),
+                ..CliOptions::default()
+            }
         );
         assert_eq!(
             parse_cli(args(&["--sample-size=25", "mfp"]).into_iter()),
-            (Some("mfp".into()), false, Some(25))
+            CliOptions {
+                filter: Some("mfp".into()),
+                sample_size: Some(25),
+                ..CliOptions::default()
+            }
         );
-        assert_eq!(parse_cli(args(&[]).into_iter()), (None, false, None));
+        assert_eq!(parse_cli(args(&[]).into_iter()), CliOptions::default());
+    }
+
+    #[test]
+    fn cli_parsing_consumes_the_trace_path_without_eating_the_filter() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_cli(args(&["--trace", "out.jsonl", "solver"]).into_iter()),
+            CliOptions {
+                filter: Some("solver".into()),
+                trace_path: Some("out.jsonl".into()),
+                ..CliOptions::default()
+            }
+        );
+        assert_eq!(
+            parse_cli(args(&["--test", "--trace=t.jsonl"]).into_iter()),
+            CliOptions {
+                test_mode: true,
+                trace_path: Some("t.jsonl".into()),
+                ..CliOptions::default()
+            }
+        );
     }
 
     #[test]

@@ -223,6 +223,16 @@ impl Fuel {
     pub fn used(&self) -> u64 {
         self.initial - self.remaining
     }
+
+    /// Steps still available.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The budget this fuel counter started with.
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
 }
 
 impl Default for Fuel {

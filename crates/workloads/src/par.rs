@@ -16,9 +16,18 @@
 
 use std::num::NonZeroUsize;
 
-/// The worker count used by [`par_map`]: the available hardware
-/// parallelism, or 1 if it cannot be determined.
+/// The worker count used by [`par_map`]: the `CPSDFA_WORKERS` environment
+/// variable if set to a parseable integer (clamped to at least 1, so `0`
+/// means "sequential", not "panic"), otherwise the available hardware
+/// parallelism, or 1 if neither can be determined. The experiment harness
+/// records this value in its report header and trace output so runs on
+/// different machines stay comparable.
 pub fn worker_count() -> usize {
+    if let Ok(raw) = std::env::var("CPSDFA_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
@@ -78,6 +87,22 @@ mod tests {
     fn handles_empty_and_tiny_inputs() {
         assert_eq!(par_map::<u8, u8, _>(&[], |&x| x), Vec::<u8>::new());
         assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_honors_the_env_override() {
+        // Set/remove the variable in one test only: the test harness runs
+        // tests concurrently, and `worker_count` reads the environment, so
+        // sibling tests must not touch CPSDFA_WORKERS.
+        std::env::set_var("CPSDFA_WORKERS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("CPSDFA_WORKERS", "0");
+        assert_eq!(worker_count(), 1, "zero clamps to sequential");
+        std::env::set_var("CPSDFA_WORKERS", "not-a-number");
+        let fallback = worker_count();
+        assert!(fallback >= 1, "unparseable values fall back");
+        std::env::remove_var("CPSDFA_WORKERS");
+        assert!(worker_count() >= 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = Cfg::from_first_order(&prog)?;
     let init = cfg.initial_env::<Flat>(&prog);
 
-    let mfp = cfg.solve_mfp::<Flat>(init.clone());
+    let mfp = cfg.solve_mfp::<Flat>(init.clone()).unwrap();
     let (mop_all, paths_all) = cfg.solve_mop::<Flat>(init.clone(), 10_000, PathMode::AllPaths)?;
     let (mop_feas, paths_feas) = cfg.solve_mop::<Flat>(init, 10_000, PathMode::FeasiblePaths)?;
     let direct = DirectAnalyzer::<Flat>::new(&prog).analyze()?;
@@ -100,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     ];
     let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4)?;
-    let mfp = g.solve_mfp::<Flat>(g.bottom_env());
+    let mfp = g.solve_mfp::<Flat>(g.bottom_env()).unwrap();
     let (mop, _) = g.solve_mop::<Flat>(g.bottom_env(), 100, PathMode::AllPaths)?;
     let rows = vec![
         vec!["a".into(), mfp.get(a).to_string(), mop.get(a).to_string()],

@@ -99,7 +99,7 @@ fn analyzers_tolerate_stuck_programs() {
 fn first_order_programs_flow_into_the_mfp_substrate() {
     let prog = AnfProgram::from_term(&families::diamond_chain(4));
     let cfg = Cfg::from_first_order(&prog).unwrap();
-    let mfp = cfg.solve_mfp::<Flat>(cfg.initial_env(&prog));
+    let mfp = cfg.solve_mfp::<Flat>(cfg.initial_env(&prog)).unwrap();
     let (mop, paths) = cfg
         .solve_mop::<Flat>(cfg.initial_env(&prog), 1_000, PathMode::AllPaths)
         .unwrap();

@@ -7,6 +7,9 @@ use cpsdfa::prelude::*;
 use cpsdfa_workloads::random::{corpus, open_config};
 
 const N: usize = 200;
+/// Default term-size cap for the distributive-equality sweep (see
+/// [`check_theorem_5_4_equality`] for why it is capped in tier-1).
+const DISTRIB_SIZE_CAP: usize = 100;
 const SEED: u64 = 0x5AB27;
 
 /// Theorem 5.1: there exists a program where the direct analysis is
@@ -109,11 +112,19 @@ fn theorem_5_4_semcps_refines_direct_on_corpus() {
 }
 
 /// Theorem 5.4, equality clause: for a distributive analysis the two
-/// results coincide.
-#[test]
-fn theorem_5_4_equality_for_distributive_domain_on_corpus() {
+/// results coincide. The powerset-domain semantic-CPS analysis blows up
+/// super-linearly on the corpus's largest terms (a single 129-node program
+/// costs ~45 s of the full sweep's ~200 s on one core), so the default run
+/// checks every corpus program up to [`DISTRIB_SIZE_CAP`] nodes (184 of
+/// 200) and the uncapped sweep rides the nightly exhaustive CI job
+/// alongside `small_scope`'s (which also covers this property
+/// bounded-exhaustively).
+fn check_theorem_5_4_equality(size_cap: usize) {
     assert!(distrib::is_distributive::<AnyNum>());
     for (i, t) in corpus(SEED + 2, N, &open_config()).into_iter().enumerate() {
+        if t.size() > size_cap {
+            continue;
+        }
         let p = AnfProgram::from_term(&t);
         let d = DirectAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
         let c = SemCpsAnalyzer::<AnyNum>::new(&p).analyze().unwrap();
@@ -124,6 +135,17 @@ fn theorem_5_4_equality_for_distributive_domain_on_corpus() {
         );
         assert_eq!(d.value, c.value, "#{i}");
     }
+}
+
+#[test]
+fn theorem_5_4_equality_for_distributive_domain_on_corpus() {
+    check_theorem_5_4_equality(DISTRIB_SIZE_CAP);
+}
+
+#[test]
+#[ignore = "uncapped distributive corpus sweep; run with -- --ignored (nightly CI)"]
+fn full_sweep_theorem_5_4_equality_distributive() {
+    check_theorem_5_4_equality(usize::MAX);
 }
 
 /// Theorem 5.5: the semantic-CPS analysis refines the syntactic-CPS
