@@ -24,10 +24,12 @@
 //! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
 //! ```
 
+pub mod arena;
 pub mod ast;
 pub mod normalize;
 pub mod program;
 
+pub use arena::{normalize_arena, AValId, AnfArena, AnfId};
 pub use ast::{AVal, AValKind, Anf, AnfKind, Bind};
 pub use normalize::normalize;
-pub use program::{AnfError, AnfProgram, LambdaRef, VarId};
+pub use program::{label_anf, AnfError, AnfProgram, LambdaRef, VarId};

@@ -6,8 +6,10 @@
 //! stores can be flat vectors, and records the labels of all λ-abstractions
 //! (the finite universe `CL⊤` needed by the §4.4 loop rule).
 
+use crate::arena::{normalize_arena, AnfArena, AnfId};
 use crate::ast::{AVal, AValKind, Anf, AnfKind, Bind};
 use crate::normalize::normalize;
+use cpsdfa_syntax::arena::TermArena;
 use cpsdfa_syntax::ast::Term;
 use cpsdfa_syntax::free::{free_vars, has_unique_binders};
 use cpsdfa_syntax::fresh::freshen_with;
@@ -82,9 +84,17 @@ pub struct LambdaRef<'p> {
 }
 
 /// A labeled, validated program in the restricted subset.
+///
+/// The program owns two views of the same term: the flat [`AnfArena`]
+/// (what the arena normalizer produced — `Copy` ids, one `Vec` slot per
+/// node) and the boxed [`Anf`] tree materialized from it (the interchange
+/// form the interpreters and printers walk). Labels agree between the two
+/// by construction.
 #[derive(Clone)]
 pub struct AnfProgram {
     root: Anf,
+    arena: AnfArena,
+    root_id: AnfId,
     /// VarId → name.
     vars: Vec<Ident>,
     var_ids: HashMap<Ident, VarId>,
@@ -119,8 +129,35 @@ impl AnfProgram {
             hygienic = freshen_with(term, &mut gen);
             &hygienic
         };
-        let root = normalize(term, &mut gen);
-        Self::build(root, gen).expect("normalization of a hygienic term yields unique binders")
+        let mut ta = TermArena::new();
+        let tid = ta.from_term(term);
+        let (mut arena, root_id) = normalize_arena(&ta, tid, &mut gen);
+        let label_count = arena.assign_labels(root_id);
+        let root = arena.to_anf(root_id);
+        Self::index(root, arena, root_id, label_count, gen)
+            .expect("normalization of a hygienic term yields unique binders")
+    }
+
+    /// Like [`from_term`](Self::from_term) but through the legacy boxed
+    /// normalizer and labeling pass. Kept as the differential-testing
+    /// oracle: the interned pipeline's output must be byte-identical to
+    /// this one's on every input.
+    pub fn from_term_via_boxed(term: &Term) -> AnfProgram {
+        let mut gen = FreshGen::new();
+        let hygienic;
+        let term = if has_unique_binders(term) {
+            term
+        } else {
+            hygienic = freshen_with(term, &mut gen);
+            &hygienic
+        };
+        let mut root = normalize(term, &mut gen);
+        let mut labels = LabelGen::new();
+        label_term(&mut root, &mut labels);
+        let mut arena = AnfArena::new();
+        let root_id = arena.from_anf(&root);
+        Self::index(root, arena, root_id, labels.count(), gen)
+            .expect("normalization of a hygienic term yields unique binders")
     }
 
     /// Parses and normalizes in one step.
@@ -139,21 +176,32 @@ impl AnfProgram {
     /// Returns [`AnfError`] if binders are duplicated or collide with free
     /// variables.
     pub fn from_root(root: Anf) -> Result<AnfProgram, AnfError> {
-        Self::build(root, FreshGen::new())
-    }
-
-    fn build(mut root: Anf, fresh: FreshGen) -> Result<AnfProgram, AnfError> {
-        // Label every node.
+        let mut root = root;
         let mut labels = LabelGen::new();
         label_term(&mut root, &mut labels);
+        let mut arena = AnfArena::new();
+        let root_id = arena.from_anf(&root);
+        Self::index(root, arena, root_id, labels.count(), FreshGen::new())
+    }
 
+    fn index(
+        root: Anf,
+        arena: AnfArena,
+        root_id: AnfId,
+        label_count: u32,
+        fresh: FreshGen,
+    ) -> Result<AnfProgram, AnfError> {
         // Index variables: free variables first (so seeding them is easy),
-        // then binders in label order.
+        // then binders in label order. Free variables are sorted by *name*:
+        // `Ident`'s own order is by intern index, which depends on global
+        // interner state, and VarId assignment must be deterministic.
         let term = root.to_term();
         let mut vars = Vec::new();
         let mut var_ids: HashMap<Ident, VarId> = HashMap::new();
         let mut free = Vec::new();
-        for x in free_vars(&term) {
+        let mut free_sorted: Vec<Ident> = free_vars(&term).into_iter().collect();
+        free_sorted.sort_by_key(|x| x.as_str());
+        for x in free_sorted {
             let id = VarId(vars.len() as u32);
             vars.push(x.clone());
             var_ids.insert(x, id);
@@ -203,10 +251,12 @@ impl AnfProgram {
 
         Ok(AnfProgram {
             root,
+            arena,
+            root_id,
             vars,
             var_ids,
             free,
-            label_count: labels.count(),
+            label_count,
             lambda_labels,
             fresh,
         })
@@ -215,6 +265,16 @@ impl AnfProgram {
     /// The normalized, labeled term.
     pub fn root(&self) -> &Anf {
         &self.root
+    }
+
+    /// The flat arena backing the program.
+    pub fn arena(&self) -> &AnfArena {
+        &self.arena
+    }
+
+    /// The arena id of the root term.
+    pub fn root_id(&self) -> AnfId {
+        self.root_id
     }
 
     /// The number of labels assigned (labels are `0..label_count`).
@@ -327,6 +387,17 @@ impl fmt::Debug for AnfProgram {
             .field("labels", &self.label_count)
             .finish()
     }
+}
+
+/// Assigns dense labels to a boxed ANF tree in the canonical pre-order,
+/// returning the number of labels. This is the legacy labeling pass the
+/// arena pipeline's [`AnfArena::assign_labels`] mirrors; it is public so
+/// the differential corpus tests and the pipeline benchmark can drive the
+/// boxed oracle end to end.
+pub fn label_anf(root: &mut Anf) -> u32 {
+    let mut labels = LabelGen::new();
+    label_term(root, &mut labels);
+    labels.count()
 }
 
 fn label_term(t: &mut Anf, gen: &mut LabelGen) {

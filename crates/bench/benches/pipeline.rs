@@ -1,0 +1,87 @@
+//! E17 companion bench: front-end pipeline throughput (parse → A-normalize
+//! → label → CPS transform), legacy boxed trees vs the interned arena
+//! representation, on the families ladder at three sizes each.
+//!
+//! Throughput is in labeled nodes per second (every ANF and CPS node gets
+//! exactly one label, so `anf_labels + cps_labels` counts the nodes both
+//! pipelines materialize). With `--trace <path>` the bench additionally
+//! performs one run per cell and appends the interned pipeline's gauges
+//! (`pipeline.arena_bytes`, `pipeline.interned_syms`) plus wall times to
+//! `<path>` as JSONL trace events, mirroring the solver bench's artifact.
+
+use cpsdfa_bench::{pipeline_boxed, pipeline_interned};
+use cpsdfa_core::trace::{JsonlSink, TraceSink};
+use cpsdfa_syntax::intern::Symbol;
+use cpsdfa_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+type Family = (&'static str, fn(usize) -> cpsdfa_syntax::Term);
+
+const LADDER: [Family; 3] = [
+    ("cond-chain", families::cond_chain),
+    ("dispatch", families::dispatch),
+    ("polyvariant", families::repeated_calls),
+];
+const SIZES: [usize; 3] = [32, 128, 512];
+
+fn bench_pipeline(c: &mut Criterion) {
+    let trace_path = c.trace_path().map(str::to_owned);
+
+    let mut group = c.benchmark_group("pipeline");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+
+    for (family, build) in LADDER {
+        for size in SIZES {
+            let src = build(size).to_string();
+            let nodes = pipeline_interned(&src).nodes();
+            let id = format!("{family}-{size}");
+            group.throughput(Throughput::Elements(nodes));
+            group.bench_with_input(BenchmarkId::new("boxed", &id), &src, |b, s| {
+                b.iter(|| black_box(pipeline_boxed(s).nodes()))
+            });
+            group.bench_with_input(BenchmarkId::new("interned", &id), &src, |b, s| {
+                b.iter(|| black_box(pipeline_interned(s).nodes()))
+            });
+        }
+    }
+    group.finish();
+
+    if let Some(path) = trace_path {
+        write_trace(&path);
+        println!("pipeline: wrote JSONL trace events to {path}");
+    }
+}
+
+/// One instrumented run per cell, appending the interned pipeline's arena
+/// gauges and a single-run wall time — the same `pipeline.*` event names
+/// the experiments harness records into `BENCH_pipeline.json`.
+fn write_trace(path: &str) {
+    let mut sink = JsonlSink::create(path).expect("create --trace output file");
+    for (family, build) in LADDER {
+        for size in SIZES {
+            let src = build(size).to_string();
+            let id = format!("{family}-{size}");
+            let t0 = Instant::now();
+            let out = pipeline_interned(&src);
+            sink.time_ns(
+                &format!("pipeline.interned.{id}.wall"),
+                t0.elapsed().as_nanos() as u64,
+            );
+            sink.gauge(&format!("pipeline.interned.{id}.nodes"), out.nodes());
+            sink.gauge(
+                &format!("pipeline.interned.{id}.arena_bytes"),
+                out.arena_bytes as u64,
+            );
+        }
+    }
+    sink.gauge("pipeline.interned_syms", Symbol::interned_count());
+    sink.flush().expect("flush --trace output file");
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -128,6 +128,9 @@ fn main() {
     if want("E16") {
         trace::with_span(sink, "e16", e16_solver_cost);
     }
+    if want("E17") {
+        trace::with_span(sink, "e17", e17_pipeline_throughput);
+    }
 }
 
 fn section(id: &str, title: &str) {
@@ -1296,17 +1299,13 @@ fn e16_render(cells: &[E16Cell]) {
     }
 }
 
-/// `--regen-e16 <path>`: rebuild the E16 report from a recorded JSONL trace
-/// — no analyzers run; every number comes from the artifact.
+/// `--regen-e16 <path>`: rebuild the E16 (and, if recorded, E17) report
+/// from a JSONL trace — no analyzers run; every number comes from the
+/// artifact.
 fn e16_regen(path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read trace file {path}: {e}"));
     let agg = AggSink::from_jsonl(&text);
-    section(
-        "E16",
-        "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
-    );
-    println!("(regenerated from {path}; nothing re-measured)\n");
     let mut cells = Vec::new();
     for (family, _) in E16_LADDER {
         for n in E16_SIZES {
@@ -1317,11 +1316,33 @@ fn e16_regen(path: &str) {
     for n in E16_MFP_SIZES {
         cells.extend(E16Cell::from_agg(&agg, "diamond", n, "mfp", "MFP"));
     }
+    let mut pipeline_cells = Vec::new();
+    for (family, _) in E16_LADDER {
+        for n in E17_SIZES {
+            pipeline_cells.extend(E17Cell::from_agg(&agg, family, n));
+        }
+    }
     assert!(
-        !cells.is_empty(),
-        "{path} holds no e16.* events; record one with `experiments -- E16 --trace {path}`"
+        !cells.is_empty() || !pipeline_cells.is_empty(),
+        "{path} holds no e16.*/e17.* events; record one with \
+         `experiments -- E16 E17 --trace {path}`"
     );
-    e16_render(&cells);
+    if !cells.is_empty() {
+        section(
+            "E16",
+            "tentpole: semi-naïve (delta) sparse fixpoints vs the dense sweeps they replaced",
+        );
+        println!("(regenerated from {path}; nothing re-measured)\n");
+        e16_render(&cells);
+    }
+    if !pipeline_cells.is_empty() {
+        section(
+            "E17",
+            "tentpole: interned front-end pipeline (parse → ANF → CPS) vs the boxed trees it replaced",
+        );
+        println!("(regenerated from {path}; nothing re-measured)\n");
+        e17_render(&pipeline_cells);
+    }
 }
 
 /// E16: tentpole — the sparse worklist engine against the dense sweeps it
@@ -1421,4 +1442,192 @@ fn e16_solver_cost(sink: &mut impl TraceSink) {
         c.emit_into(sink);
     }
     e16_render(&cells);
+}
+
+/// The E17 measurement grid: the same families ladder as E16, pushed to
+/// larger sizes — the front end is linear in program size, so the pipeline
+/// comparison can afford workloads the fixpoint solvers cannot.
+const E17_SIZES: [usize; 3] = [32, 128, 512];
+
+/// One measured (or trace-reconstructed) E17 cell: a workload with its
+/// paired boxed/interned front-end medians and the interned run's arena
+/// footprint.
+struct E17Cell {
+    family: &'static str,
+    n: usize,
+    /// Labeled nodes produced per run (ANF + CPS) — the throughput unit.
+    nodes: u64,
+    boxed_ms: f64,
+    interned_ms: f64,
+    arena_bytes: u64,
+    interned_syms: u64,
+}
+
+impl E17Cell {
+    /// The trace-event prefix all of this cell's events share.
+    fn prefix(&self) -> String {
+        format!("e17.pipeline.{}.{}", self.family, self.n)
+    }
+
+    fn is_largest(&self) -> bool {
+        self.n == *E17_SIZES.last().unwrap()
+    }
+
+    /// Nodes/second through the interned pipeline.
+    fn interned_rate(&self) -> f64 {
+        self.nodes as f64 / (self.interned_ms / 1e3)
+    }
+
+    /// Emits the cell into a trace sink. Alongside the per-cell events,
+    /// the run-wide `pipeline.arena_bytes` / `pipeline.interned_syms`
+    /// gauges record the peak across cells (gauges aggregate by max), so a
+    /// trace consumer can read the front end's footprint without knowing
+    /// the grid. [`from_agg`](E17Cell::from_agg) inverts the per-cell
+    /// events, which is what makes the E17 table reproducible from a JSONL
+    /// artifact alone.
+    fn emit_into(&self, sink: &mut impl TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let p = self.prefix();
+        sink.gauge(&format!("{p}.nodes"), self.nodes);
+        sink.time_ns(&format!("{p}.boxed_ns"), (self.boxed_ms * 1e6) as u64);
+        sink.time_ns(&format!("{p}.interned_ns"), (self.interned_ms * 1e6) as u64);
+        sink.gauge(&format!("{p}.arena_bytes"), self.arena_bytes);
+        sink.gauge(&format!("{p}.interned_syms"), self.interned_syms);
+        sink.gauge("pipeline.arena_bytes", self.arena_bytes);
+        sink.gauge("pipeline.interned_syms", self.interned_syms);
+    }
+
+    /// Reconstructs the cell from an aggregated trace; `None` if the trace
+    /// has no measurement for it.
+    fn from_agg(agg: &AggSink, family: &'static str, n: usize) -> Option<Self> {
+        let p = format!("e17.pipeline.{family}.{n}");
+        let ms = |name: &str| {
+            agg.timer_agg(&format!("{p}.{name}"))
+                .filter(|t| t.count > 0)
+                .map(|t| t.total_ns as f64 / t.count as f64 / 1e6)
+        };
+        Some(E17Cell {
+            family,
+            n,
+            nodes: agg.gauge_value(&format!("{p}.nodes")),
+            boxed_ms: ms("boxed_ns")?,
+            interned_ms: ms("interned_ns")?,
+            arena_bytes: agg.gauge_value(&format!("{p}.arena_bytes")),
+            interned_syms: agg.gauge_value(&format!("{p}.interned_syms")),
+        })
+    }
+}
+
+/// Renders the E17 table and the largest-workload speedups, and writes the
+/// rows to `BENCH_pipeline.json`. Shared by the live measurement path and
+/// the `--regen-e16` replay, so both produce the identical report.
+fn e17_render(cells: &[E17Cell]) {
+    let mut json: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in cells {
+        for (impl_name, ms) in [("boxed", c.boxed_ms), ("interned", c.interned_ms)] {
+            json.push(format!(
+                "  {{\"family\": \"{}\", \"n\": {}, \"nodes\": {}, \
+                 \"impl\": \"{}\", \"wall_ms\": {:.4}, \
+                 \"nodes_per_sec\": {:.0}, \"arena_bytes\": {}, \
+                 \"interned_syms\": {}}}",
+                c.family,
+                c.n,
+                c.nodes,
+                impl_name,
+                ms,
+                c.nodes as f64 / (ms / 1e3),
+                if impl_name == "interned" {
+                    c.arena_bytes
+                } else {
+                    0
+                },
+                c.interned_syms,
+            ));
+        }
+        rows.push(vec![
+            format!("{}({})", c.family, c.n),
+            format!("{}", c.nodes),
+            format!("{:.3}", c.boxed_ms),
+            format!("{:.3}", c.interned_ms),
+            format!("{:.1}x", c.boxed_ms / c.interned_ms),
+            format!("{:.2e}", c.interned_rate()),
+            format!("{}", c.arena_bytes),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "nodes",
+                "boxed ms",
+                "interned ms",
+                "speedup",
+                "nodes/s",
+                "arena B",
+            ],
+            &rows
+        )
+    );
+    for c in cells.iter().filter(|c| c.is_largest()) {
+        println!(
+            "largest workload: {}({}) — {:.1}x over the boxed front end, \
+             {:.2e} nodes/s, {} arena bytes, {} interned symbols",
+            c.family,
+            c.n,
+            c.boxed_ms / c.interned_ms,
+            c.interned_rate(),
+            c.arena_bytes,
+            c.interned_syms,
+        );
+    }
+
+    let payload = format!("[\n{}\n]\n", json.join(",\n"));
+    match std::fs::write("BENCH_pipeline.json", &payload) {
+        Ok(()) => println!("\nwrote {} measurements to BENCH_pipeline.json", json.len()),
+        Err(e) => println!("\ncould not write BENCH_pipeline.json: {e}"),
+    }
+}
+
+/// E17: tentpole — the interned (hash-consed Λ arena + flat ANF/CPS
+/// arenas) front end against the boxed-tree front end it replaced, on the
+/// families ladder. Writes `BENCH_pipeline.json` and, when tracing, emits
+/// every cell so `--regen-e16` can rebuild the table from the artifact.
+fn e17_pipeline_throughput(sink: &mut impl TraceSink) {
+    use cpsdfa_bench::{pipeline_boxed, pipeline_interned};
+
+    section(
+        "E17",
+        "tentpole: interned front-end pipeline (parse → ANF → CPS) vs the boxed trees it replaced",
+    );
+    let reps = 5;
+    let mut cells: Vec<E17Cell> = Vec::new();
+    for (family, build) in E16_LADDER {
+        for n in E17_SIZES {
+            let src = build(n).to_string();
+            let ((interned_ms, iout), (boxed_ms, bout)) =
+                paired_median_ms(reps, || pipeline_interned(&src), || pipeline_boxed(&src));
+            assert_eq!(
+                (iout.anf_labels, iout.cps_labels),
+                (bout.anf_labels, bout.cps_labels),
+                "front ends disagree on {family}({n})"
+            );
+            cells.push(E17Cell {
+                family,
+                n,
+                nodes: iout.nodes(),
+                boxed_ms,
+                interned_ms,
+                arena_bytes: iout.arena_bytes as u64,
+                interned_syms: cpsdfa_syntax::intern::Symbol::interned_count(),
+            });
+        }
+    }
+    for c in &cells {
+        c.emit_into(sink);
+    }
+    e17_render(&cells);
 }

@@ -4,10 +4,13 @@
 //! index) live under `benches/`; the table-producing harness is the
 //! `experiments` binary.
 
-use cpsdfa_anf::AnfProgram;
+use cpsdfa_anf::{label_anf, normalize, normalize_arena, AnfProgram};
 use cpsdfa_core::domain::NumDomain;
 use cpsdfa_core::{AnalysisBudget, AnalysisError, DirectAnalyzer, SemCpsAnalyzer, SynCpsAnalyzer};
-use cpsdfa_cps::CpsProgram;
+use cpsdfa_cps::{cps_transform, cps_transform_arena, CpsProgram};
+use cpsdfa_syntax::arena::TermArena;
+use cpsdfa_syntax::parse::parse_term;
+use cpsdfa_syntax::FreshGen;
 
 /// Which of the paper's three analyzers to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +78,63 @@ pub fn run_blackbox<D: NumDomain>(analyzer: Analyzer, prog: &AnfProgram) -> u64 
     run_goals::<D>(analyzer, prog, AnalysisBudget::default()).unwrap_or(u64::MAX)
 }
 
+/// What one front-end pipeline run produced. The label counts are the
+/// "nodes processed" measure for throughput (every ANF and CPS node gets
+/// exactly one label); `arena_bytes` is the interned pipeline's peak arena
+/// footprint (0 for the boxed pipeline, whose allocations are scattered
+/// `Box`es with no single measurable pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOut {
+    /// Labels assigned by the A-normalizer.
+    pub anf_labels: u32,
+    /// Labels assigned by the CPS transform.
+    pub cps_labels: u32,
+    /// Bytes held by the Λ/ANF/CPS arenas after the run.
+    pub arena_bytes: usize,
+}
+
+impl PipelineOut {
+    /// Total labeled nodes produced — the unit of pipeline throughput.
+    pub fn nodes(&self) -> u64 {
+        u64::from(self.anf_labels) + u64::from(self.cps_labels)
+    }
+}
+
+/// The legacy boxed front end: parse → boxed A-normalize → label → boxed
+/// CPS transform. Assumes the source has unique binders (all workload
+/// families do), matching what `AnfProgram::from_term` skips freshening on.
+pub fn pipeline_boxed(src: &str) -> PipelineOut {
+    let t = parse_term(src).expect("pipeline source parses");
+    let mut gen = FreshGen::new();
+    let mut root = normalize(&t, &mut gen);
+    let anf_labels = label_anf(&mut root);
+    let tx = cps_transform(&root, &mut gen);
+    PipelineOut {
+        anf_labels,
+        cps_labels: tx.label_count,
+        arena_bytes: 0,
+    }
+}
+
+/// The interned front end: parse into the hash-consed Λ arena → arena
+/// A-normalize → label → arena CPS transform. Produces byte-identical
+/// printed output and identical label assignments to [`pipeline_boxed`]
+/// (asserted by the differential corpus tests), allocating flat arena nodes
+/// instead of boxed trees.
+pub fn pipeline_interned(src: &str) -> PipelineOut {
+    let mut ta = TermArena::new();
+    let tid = ta.parse(src).expect("pipeline source parses");
+    let mut gen = FreshGen::new();
+    let (mut anf, root) = normalize_arena(&ta, tid, &mut gen);
+    let anf_labels = anf.assign_labels(root);
+    let tx = cps_transform_arena(&anf, root, &mut gen);
+    PipelineOut {
+        anf_labels,
+        cps_labels: tx.label_count,
+        arena_bytes: ta.arena_bytes() + anf.arena_bytes() + tx.arena.arena_bytes(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +152,19 @@ mod tests {
         ] {
             let goals = run_goals::<Flat>(a, &prog, AnalysisBudget::default()).unwrap();
             assert!(goals > 0, "{}", a.label());
+        }
+    }
+
+    #[test]
+    fn pipelines_agree_on_label_counts() {
+        for n in [4, 16] {
+            let src = families::dispatch(n).to_string();
+            let boxed = pipeline_boxed(&src);
+            let interned = pipeline_interned(&src);
+            assert_eq!(boxed.anf_labels, interned.anf_labels, "n = {n}");
+            assert_eq!(boxed.cps_labels, interned.cps_labels, "n = {n}");
+            assert!(interned.nodes() > 0);
+            assert!(interned.arena_bytes > 0);
         }
     }
 

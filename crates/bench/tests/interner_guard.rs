@@ -1,0 +1,35 @@
+//! Guard against string traffic sneaking back into the hot loops: after a
+//! warm-up run has interned a workload's names, re-running the full
+//! interned pipeline must intern **zero** new symbols. The A-normalizer and
+//! CPS transform draw fresh names deterministically (`t%0`, `k%1`, …), so a
+//! repeat run re-derives exactly the names the warm-up already interned; any
+//! new symbol means a hot path started allocating per-run strings again.
+//!
+//! Lives in its own integration-test binary: the interner is process-global,
+//! and sibling test threads interning unrelated names would make the
+//! zero-delta assertion flaky.
+
+use cpsdfa_bench::pipeline_interned;
+use cpsdfa_syntax::intern::Symbol;
+use cpsdfa_workloads::families;
+
+#[test]
+fn warm_pipeline_interns_no_new_symbols() {
+    for (family, build) in [
+        ("cond-chain", families::cond_chain as fn(usize) -> _),
+        ("dispatch", families::dispatch),
+        ("polyvariant", families::repeated_calls),
+    ] {
+        let src = build(32).to_string();
+        // Warm-up: interns every program variable and fresh name once.
+        pipeline_interned(&src);
+        let before = Symbol::interned_count();
+        let out = pipeline_interned(&src);
+        assert!(out.nodes() > 0);
+        assert_eq!(
+            Symbol::interned_count(),
+            before,
+            "{family}: warm pipeline re-run interned new symbols"
+        );
+    }
+}

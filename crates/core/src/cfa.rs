@@ -49,6 +49,7 @@
 
 use crate::absval::{AbsClo, AbsKont};
 use crate::budget::{AnalysisBudget, AnalysisError};
+use crate::labtab::{LabelLookup, LabelTable};
 use crate::setpool::{DeltaNodes, SetPool};
 use crate::solver::{DeltaRange, WorklistSolver};
 use crate::stats::SolverStats;
@@ -56,7 +57,7 @@ use crate::trace::{self, NoopSink, TraceSink};
 use cpsdfa_anf::{AValKind, Anf, AnfKind, AnfProgram, Bind, VarId};
 use cpsdfa_cps::{CTermKind, CValKind, CVarId, CpsProgram};
 use cpsdfa_syntax::Label;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 /// The result of source-level 0CFA.
@@ -67,11 +68,11 @@ pub struct CfaResult {
     /// a function, say) share one allocation, and cloning a result is
     /// handle-copying, not set-copying.
     pub vars: Vec<Rc<BTreeSet<AbsClo>>>,
-    /// Closure set flowing out of each term (keyed by term label). Shared
-    /// commit handles, as in [`CfaResult::vars`].
-    pub terms: HashMap<Label, Rc<BTreeSet<AbsClo>>>,
-    /// Call graph: call-site `let` label → applicable closures.
-    pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
+    /// Closure set flowing out of each term (keyed by term label; dense).
+    /// Shared commit handles, as in [`CfaResult::vars`].
+    pub terms: LabelTable<Rc<BTreeSet<AbsClo>>>,
+    /// Call graph: call-site `let` label → applicable closures (dense).
+    pub calls: LabelTable<BTreeSet<AbsClo>>,
     /// Fixpoint work performed: constraint firings (sparse solver) or full
     /// sweeps (dense baseline). Always ≥ 1.
     pub iterations: u64,
@@ -194,22 +195,27 @@ fn collect_edges(prog: &AnfProgram) -> Vec<Edge> {
 }
 
 /// Dense indexing of the flow nodes: variables first, then term labels.
-/// Also records which term labels are propagation *targets* — exactly the
-/// key set of [`CfaResult::terms`].
+/// Labels are dense per program, so the label→node map is a flat `Vec`
+/// (sentinel `usize::MAX` = unindexed) instead of a `HashMap`, and the
+/// propagation-target set — exactly the key set of [`CfaResult::terms`] —
+/// is a flag per label.
 struct NodeIndex {
     num_vars: usize,
-    term_ids: HashMap<Label, usize>,
+    term_ids: Vec<usize>,
     num_terms: usize,
-    dst_terms: BTreeSet<Label>,
+    dst_flags: Vec<bool>,
 }
+
+const UNINDEXED: usize = usize::MAX;
 
 impl NodeIndex {
     fn build(prog: &AnfProgram, edges: &[Edge]) -> NodeIndex {
+        let n = prog.label_count() as usize;
         let mut idx = NodeIndex {
             num_vars: prog.num_vars(),
-            term_ids: HashMap::new(),
+            term_ids: vec![UNINDEXED; n],
             num_terms: 0,
-            dst_terms: BTreeSet::new(),
+            dst_flags: vec![false; n],
         };
         for e in edges {
             match e {
@@ -235,8 +241,13 @@ impl NodeIndex {
 
     fn touch(&mut self, n: Node) {
         if let Node::Term(l) = n {
-            if !self.term_ids.contains_key(&l) {
-                self.term_ids.insert(l, self.num_terms);
+            let i = l.index() as usize;
+            if i >= self.term_ids.len() {
+                self.term_ids.resize(i + 1, UNINDEXED);
+                self.dst_flags.resize(i + 1, false);
+            }
+            if self.term_ids[i] == UNINDEXED {
+                self.term_ids[i] = self.num_terms;
                 self.num_terms += 1;
             }
         }
@@ -245,19 +256,38 @@ impl NodeIndex {
     fn touch_dst(&mut self, n: Node) {
         self.touch(n);
         if let Node::Term(l) = n {
-            self.dst_terms.insert(l);
+            self.dst_flags[l.index() as usize] = true;
         }
     }
 
     fn node(&self, n: Node) -> usize {
         match n {
             Node::Var(v) => v.index(),
-            Node::Term(l) => self.num_vars + self.term_ids[&l],
+            Node::Term(l) => self.num_vars + self.term_ids[l.index() as usize],
         }
     }
 
     fn total(&self) -> usize {
         self.num_vars + self.num_terms
+    }
+
+    /// Builds [`CfaResult::terms`] by committing every propagation-target
+    /// term node through `commit` — the one cache-construction path shared
+    /// by the sparse solver (pool handles) and the dense baseline (cloned
+    /// sets), which previously duplicated this block. Iterates in label
+    /// order, matching the old `BTreeSet<Label>` walk.
+    fn commit_dst_terms(
+        &self,
+        mut commit: impl FnMut(usize) -> Rc<BTreeSet<AbsClo>>,
+    ) -> LabelTable<Rc<BTreeSet<AbsClo>>> {
+        let mut terms = LabelTable::new(self.dst_flags.len() as u32);
+        for (i, &is_dst) in self.dst_flags.iter().enumerate() {
+            if is_dst {
+                let l = Label::new(i as u32);
+                terms.insert(l, commit(self.node(Node::Term(l))));
+            }
+        }
+        terms
     }
 }
 
@@ -317,7 +347,7 @@ fn zero_cfa_impl(
     budget: AnalysisBudget,
     sink: &mut impl TraceSink,
 ) -> Result<(CfaResult, SolverStats), AnalysisError> {
-    let lambdas = prog.lambdas();
+    let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
     let edges = collect_edges(prog);
     let idx = NodeIndex::build(prog, &edges);
 
@@ -366,7 +396,7 @@ fn zero_cfa_impl(
         }
     }
 
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+    let mut calls: LabelTable<BTreeSet<AbsClo>> = LabelTable::new(prog.label_count());
     // Reused delta buffer: each firing consumes only what its watched
     // nodes gained since it last fired.
     let mut deltas: Vec<DeltaRange> = Vec::new();
@@ -393,11 +423,11 @@ fn zero_cfa_impl(
                 for &(f, lo, hi) in &deltas {
                     for i in lo..hi {
                         let clo = nodes.log(f)[i].0;
-                        if !calls.entry(site).or_default().insert(clo) {
+                        if !calls.entry_or_default(site).insert(clo) {
                             continue; // already wired
                         }
                         if let AbsClo::Lam(l) = clo {
-                            let lam = lambdas[&l];
+                            let lam = lambdas.expect(l);
                             // Newly-discovered callee: wire the argument
                             // flow into the parameter and the body result
                             // into the binder as persistent sparse edges.
@@ -435,11 +465,7 @@ fn zero_cfa_impl(
         pool.get_rc(id)
     };
     let vars: Vec<Rc<BTreeSet<AbsClo>>> = (0..idx.num_vars).map(|i| commit(i, &mut pool)).collect();
-    let terms: HashMap<Label, Rc<BTreeSet<AbsClo>>> = idx
-        .dst_terms
-        .iter()
-        .map(|&l| (l, commit(idx.node(Node::Term(l)), &mut pool)))
-        .collect();
+    let terms = idx.commit_dst_terms(|node| commit(node, &mut pool));
     let stats = solver.stats().with_pool(pool.stats());
     stats.emit_into(sink, "cfa.src");
     let iterations = stats.fired.max(1);
@@ -458,7 +484,7 @@ fn zero_cfa_impl(
 /// sets cloned on every propagation. Kept as the measured baseline for the
 /// solver benchmarks and as a differential oracle for the sparse solver.
 pub fn zero_cfa_dense(prog: &AnfProgram) -> CfaResult {
-    let lambdas = prog.lambdas();
+    let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
     let edges = collect_edges(prog);
     let idx = NodeIndex::build(prog, &edges);
 
@@ -502,7 +528,7 @@ pub fn zero_cfa_dense(prog: &AnfProgram) -> CfaResult {
         target.len() != before
     }
 
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+    let mut calls: LabelTable<BTreeSet<AbsClo>> = LabelTable::new(prog.label_count());
     let mut iterations = 0u64;
     loop {
         iterations += 1;
@@ -520,10 +546,10 @@ pub fn zero_cfa_dense(prog: &AnfProgram) -> CfaResult {
                 Dense::Call { f, arg, bind, site } => {
                     let callees = values[f].clone();
                     for clo in callees {
-                        let newly = calls.entry(site).or_default().insert(clo);
+                        let newly = calls.entry_or_default(site).insert(clo);
                         changed |= newly;
                         if let AbsClo::Lam(l) = clo {
-                            let lam = lambdas[&l];
+                            let lam = lambdas.expect(l);
                             // argument flows into the parameter
                             let s = values[arg].clone();
                             changed |= extend(&mut values, lam.param_id.index(), s);
@@ -553,11 +579,7 @@ pub fn zero_cfa_dense(prog: &AnfProgram) -> CfaResult {
         .iter()
         .map(|s| Rc::new(s.clone()))
         .collect();
-    let terms: HashMap<Label, Rc<BTreeSet<AbsClo>>> = idx
-        .dst_terms
-        .iter()
-        .map(|&l| (l, Rc::new(values[idx.node(Node::Term(l))].clone())))
-        .collect();
+    let terms = idx.commit_dst_terms(|node| Rc::new(values[node].clone()));
     CfaResult {
         vars,
         terms,
@@ -581,10 +603,10 @@ pub struct CpsCfaResult {
     /// Flow set per variable (both namespaces). Shared hash-consed commit
     /// handles, as in [`CfaResult::vars`].
     pub vars: Vec<Rc<BTreeSet<CpsFlow>>>,
-    /// Return sites `(k W)` → continuations invoked.
-    pub returns: BTreeMap<Label, BTreeSet<AbsKont>>,
-    /// Call sites → applicable closures.
-    pub calls: BTreeMap<Label, BTreeSet<AbsClo>>,
+    /// Return sites `(k W)` → continuations invoked (dense by site label).
+    pub returns: LabelTable<BTreeSet<AbsKont>>,
+    /// Call sites → applicable closures (dense by site label).
+    pub calls: LabelTable<BTreeSet<AbsClo>>,
     /// Fixpoint work performed: constraint firings (sparse solver) or full
     /// sweeps (dense baseline). Always ≥ 1.
     pub iterations: u64,
@@ -777,8 +799,8 @@ fn zero_cfa_cps_impl(
     budget: AnalysisBudget,
     sink: &mut impl TraceSink,
 ) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
-    let lambdas = prog.lambdas();
-    let conts = prog.conts();
+    let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
+    let conts = LabelLookup::build(prog.label_count(), prog.conts());
     let edges = collect_cps_edges(prog);
     let n = prog.num_vars();
 
@@ -833,8 +855,8 @@ fn zero_cfa_cps_impl(
         }
     }
 
-    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+    let mut returns: LabelTable<BTreeSet<AbsKont>> = LabelTable::new(prog.label_count());
+    let mut calls: LabelTable<BTreeSet<AbsClo>> = LabelTable::new(prog.label_count());
     let mut deltas: Vec<DeltaRange> = Vec::new();
 
     solver.run(budget, |solver, ci| {
@@ -890,11 +912,11 @@ fn zero_cfa_cps_impl(
                         let CpsFlow::Kont(kk) = nodes.log(k)[i].0 else {
                             continue;
                         };
-                        if !returns.entry(site).or_default().insert(kk) {
+                        if !returns.entry_or_default(site).insert(kk) {
                             continue; // already wired
                         }
                         if let AbsKont::Co(l) = kk {
-                            let cont = conts[&l];
+                            let cont = conts.expect(l);
                             wire_flow!(w, cont.var_id.index());
                         }
                     }
@@ -906,9 +928,9 @@ fn zero_cfa_cps_impl(
                 macro_rules! apply_clo {
                     ($flow:expr) => {{
                         if let CpsFlow::Clo(clo) = $flow {
-                            if calls.entry(site).or_default().insert(clo) {
+                            if calls.entry_or_default(site).insert(clo) {
                                 if let AbsClo::Lam(l) = clo {
-                                    let lam = lambdas[&l];
+                                    let lam = lambdas.expect(l);
                                     wire_flow!(arg, lam.param_id.index());
                                     wire_flow!(
                                         Flow::Const(CpsFlow::Kont(AbsKont::Co(cont))),
@@ -967,12 +989,12 @@ fn zero_cfa_cps_impl(
 /// The original dense CPS formulation (full re-sweeps, per-propagation set
 /// clones) — the measured baseline and differential oracle.
 pub fn zero_cfa_cps_dense(prog: &CpsProgram) -> CpsCfaResult {
-    let lambdas = prog.lambdas();
-    let conts = prog.conts();
+    let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
+    let conts = LabelLookup::build(prog.label_count(), prog.conts());
     let edges = collect_cps_edges(prog);
     let mut values: Vec<BTreeSet<CpsFlow>> = vec![BTreeSet::new(); prog.num_vars()];
-    let mut returns: BTreeMap<Label, BTreeSet<AbsKont>> = BTreeMap::new();
-    let mut calls: BTreeMap<Label, BTreeSet<AbsClo>> = BTreeMap::new();
+    let mut returns: LabelTable<BTreeSet<AbsKont>> = LabelTable::new(prog.label_count());
+    let mut calls: LabelTable<BTreeSet<AbsClo>> = LabelTable::new(prog.label_count());
 
     let read = |f: Flow, vars: &[BTreeSet<CpsFlow>]| -> BTreeSet<CpsFlow> {
         match f {
@@ -1010,9 +1032,9 @@ pub fn zero_cfa_cps_dense(prog: &CpsProgram) -> CpsCfaResult {
                         })
                         .collect();
                     for kk in konts {
-                        changed |= returns.entry(*site).or_default().insert(kk);
+                        changed |= returns.entry_or_default(*site).insert(kk);
                         if let AbsKont::Co(l) = kk {
-                            let cont = conts[&l];
+                            let cont = conts.expect(l);
                             let s = read(*w, &values);
                             changed |= add(cont.var_id, s, &mut values);
                         }
@@ -1027,9 +1049,9 @@ pub fn zero_cfa_cps_dense(prog: &CpsProgram) -> CpsCfaResult {
                         })
                         .collect();
                     for clo in callees {
-                        changed |= calls.entry(*site).or_default().insert(clo);
+                        changed |= calls.entry_or_default(*site).insert(clo);
                         if let AbsClo::Lam(l) = clo {
-                            let lam = lambdas[&l];
+                            let lam = lambdas.expect(l);
                             let s = read(*arg, &values);
                             changed |= add(lam.param_id, s, &mut values);
                             changed |= add(

@@ -18,6 +18,7 @@
 //! analysis-side version of inlining the return path.
 
 use crate::absval::{AbsClo, AbsKont};
+use crate::labtab::LabelLookup;
 use cpsdfa_cps::{CTerm, CTermKind, CValKind, CVarId, CpsProgram};
 use cpsdfa_syntax::Label;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
@@ -103,8 +104,8 @@ impl ContCfaResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn cont_sensitive_cfa(prog: &CpsProgram) -> ContCfaResult {
-    let lambdas = prog.lambdas();
-    let conts = prog.conts();
+    let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
+    let conts = LabelLookup::build(prog.label_count(), prog.conts());
     let mut r = ContCfaResult {
         users: vec![BTreeSet::new(); prog.num_vars()],
         konts: HashMap::new(),
@@ -165,8 +166,8 @@ fn step<'p>(
     t: &'p CTerm,
     ctx: Ctx,
     prog: &CpsProgram,
-    lambdas: &HashMap<Label, cpsdfa_cps::CLambdaRef<'p>>,
-    conts: &HashMap<Label, cpsdfa_cps::ContRef<'p>>,
+    lambdas: &LabelLookup<cpsdfa_cps::CLambdaRef<'p>>,
+    conts: &LabelLookup<cpsdfa_cps::ContRef<'p>>,
     r: &mut ContCfaResult,
     enqueue: &mut impl FnMut(&'p CTerm, Ctx),
 ) -> bool {
@@ -202,7 +203,7 @@ fn step<'p>(
             for kk in konts {
                 changed |= r.returns.entry((t.label, ctx)).or_default().insert(kk);
                 if let CtxKont::Co(l, cctx) = kk {
-                    let cont = conts[&l];
+                    let cont = conts.expect(l);
                     changed |= bind_user(cont.var_id, wf.clone(), r);
                     enqueue(cont.body, cctx);
                 }
@@ -223,7 +224,7 @@ fn step<'p>(
             for clo in callees {
                 match clo {
                     AbsClo::Lam(l) => {
-                        let lam = lambdas[&l];
+                        let lam = lambdas.expect(l);
                         changed |= bind_user(lam.param_id, argf.clone(), r);
                         let nctx = Some(t.label);
                         let cell = r.konts.entry((lam.k_id, nctx)).or_default();

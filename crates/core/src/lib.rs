@@ -56,6 +56,7 @@ pub mod domain;
 pub mod flow;
 pub mod fxhash;
 pub mod kcfa;
+pub mod labtab;
 pub mod mfp;
 pub mod precision;
 pub mod report;
@@ -72,6 +73,7 @@ pub use budget::{AnalysisBudget, AnalysisError};
 pub use direct::{DirectAnalyzer, DirectResult};
 pub use flow::FlowLog;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use labtab::{LabelLookup, LabelTable};
 pub use precision::PrecisionOrder;
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};
 pub use setpool::{DeltaNodes, PoolStats, SetBuilder, SetId, SetPool};

@@ -21,11 +21,13 @@
 //! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
 //! ```
 
+pub mod arena;
 pub mod ast;
 pub mod program;
 pub mod transform;
 pub mod untransform;
 
+pub use arena::{cps_transform_arena, CTermId, CpsArena, TransformedArena};
 pub use ast::{CTerm, CTermKind, CVal, CValKind, ContLam};
 pub use program::{CLambdaRef, CVarId, ContRef, CpsProgram, VarKey};
 pub use transform::{cps_transform, LabelMap, Transformed};

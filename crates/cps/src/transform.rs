@@ -20,31 +20,39 @@
 
 use crate::ast::{CTerm, CTermKind, CVal, CValKind, ContLam};
 use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, Bind};
+use cpsdfa_syntax::fxhash::FxHashMap;
 use cpsdfa_syntax::label::LabelGen;
 use cpsdfa_syntax::{FreshGen, KIdent, Label};
-use std::collections::HashMap;
 
 /// The correspondence between source and CPS program points.
 #[derive(Debug, Default, Clone)]
 pub struct LabelMap {
     /// Source λ label → CPS λ label (`δ` on closures).
-    pub lam: HashMap<Label, Label>,
+    pub lam: FxHashMap<Label, Label>,
     /// CPS λ label → source λ label.
-    pub lam_rev: HashMap<Label, Label>,
+    pub lam_rev: FxHashMap<Label, Label>,
     /// Source frame-creating `let` label → continuation-λ label (`δ` on
     /// continuation frames).
-    pub cont_of_let: HashMap<Label, Label>,
+    pub cont_of_let: FxHashMap<Label, Label>,
     /// Continuation-λ label → source `let` label.
-    pub cont_rev: HashMap<Label, Label>,
+    pub cont_rev: FxHashMap<Label, Label>,
 }
 
 impl LabelMap {
-    fn record_lam(&mut self, src: Label, cps: Label) {
+    /// Reserves room for about `n` entries in each direction.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.lam.reserve(n);
+        self.lam_rev.reserve(n);
+        self.cont_of_let.reserve(n);
+        self.cont_rev.reserve(n);
+    }
+
+    pub(crate) fn record_lam(&mut self, src: Label, cps: Label) {
         self.lam.insert(src, cps);
         self.lam_rev.insert(cps, src);
     }
 
-    fn record_cont(&mut self, src_let: Label, cps_cont: Label) {
+    pub(crate) fn record_cont(&mut self, src_let: Label, cps_cont: Label) {
         self.cont_of_let.insert(src_let, cps_cont);
         self.cont_rev.insert(cps_cont, src_let);
     }

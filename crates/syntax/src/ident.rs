@@ -4,14 +4,22 @@
 //! CPS transformation live in their own namespace. We enforce the disjointness
 //! statically with two newtypes, [`Ident`] for ordinary variables and
 //! [`KIdent`] for continuation variables.
+//!
+//! Both wrap an interned [`Symbol`], so clones, equality, hashing, and
+//! ordering are all `u32` operations. In particular `Ord` compares intern
+//! indices, **not** text: ordered collections keyed on identifiers (the
+//! analyzers' `BTreeSet`s) never pay for a string comparison. Code that
+//! needs a name-alphabetical order must sort by [`Ident::as_str`]
+//! explicitly.
 
+use crate::intern::Symbol;
 use std::fmt;
-use std::sync::Arc;
 
 /// An ordinary (user) variable `x ∈ Vars`.
 ///
-/// Backed by a shared string, so clones are reference-count bumps; terms and
-/// analysis tables clone identifiers freely.
+/// Backed by an interned symbol, so clones are `u32` copies and comparisons
+/// never touch the string; terms and analysis tables clone identifiers
+/// freely.
 ///
 /// ```
 /// use cpsdfa_syntax::Ident;
@@ -20,29 +28,34 @@ use std::sync::Arc;
 /// assert_eq!(x.to_string(), "x");
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Ident(Arc<str>);
+pub struct Ident(Symbol);
 
 impl Ident {
-    /// Creates an identifier from a name.
+    /// Creates an identifier from a name, interning it.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Ident(Arc::from(name.as_ref()))
+        Ident(Symbol::intern(name.as_ref()))
     }
 
     /// The textual name of the identifier.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying interned symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.0
     }
 }
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl fmt::Debug for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Ident({})", self.0)
+        write!(f, "Ident({})", self.as_str())
     }
 }
 
@@ -66,31 +79,37 @@ impl AsRef<str> for Ident {
 
 /// A continuation variable `k ∈ KVars` (disjoint from [`Ident`]).
 ///
-/// Only the CPS language of Definition 3.2 binds these.
+/// Only the CPS language of Definition 3.2 binds these. Same interned
+/// representation (and the same index-based `Ord`) as [`Ident`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct KIdent(Arc<str>);
+pub struct KIdent(Symbol);
 
 impl KIdent {
-    /// Creates a continuation identifier from a name.
+    /// Creates a continuation identifier from a name, interning it.
     pub fn new(name: impl AsRef<str>) -> Self {
-        KIdent(Arc::from(name.as_ref()))
+        KIdent(Symbol::intern(name.as_ref()))
     }
 
     /// The textual name of the identifier.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying interned symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.0
     }
 }
 
 impl fmt::Display for KIdent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl fmt::Debug for KIdent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KIdent({})", self.0)
+        write!(f, "KIdent({})", self.as_str())
     }
 }
 
@@ -104,7 +123,9 @@ impl From<&str> for KIdent {
 /// CPS transform.
 ///
 /// Generated names embed a `%` which the parser rejects in source programs,
-/// so fresh names can never capture user-written ones.
+/// so fresh names can never capture user-written ones. The counter is
+/// deterministic, so re-running a pass over the same input regenerates the
+/// *same* names — after a warm-up run, the interner allocates nothing.
 ///
 /// ```
 /// use cpsdfa_syntax::FreshGen;
@@ -134,13 +155,83 @@ impl FreshGen {
     /// Returns a fresh ordinary variable whose name begins with `hint`.
     pub fn fresh(&mut self, hint: &str) -> Ident {
         let n = self.next_id();
-        Ident::new(format!("{hint}%{n}"))
+        Ident(Self::intern_fresh(hint, n))
     }
 
     /// Returns a fresh continuation variable whose name begins with `hint`.
     pub fn fresh_k(&mut self, hint: &str) -> KIdent {
         let n = self.next_id();
-        KIdent::new(format!("{hint}%{n}"))
+        KIdent(Self::intern_fresh(hint, n))
+    }
+
+    /// Interns `"{hint}%{n}"`. Fresh names are drawn in every
+    /// normalization and CPS pass, so this is one of the hottest paths in
+    /// the front end; two layers keep it cheap:
+    ///
+    /// * a thread-local `(hint, n) → Symbol` cache — deterministic
+    ///   generators re-draw the same names on every pass over the same
+    ///   input, so warm draws skip both the string rendering and the global
+    ///   interner lock entirely;
+    /// * on a cache miss, the name is rendered into a stack buffer, never a
+    ///   heap-allocated intermediate.
+    fn intern_fresh(hint: &str, n: u64) -> Symbol {
+        use crate::fxhash::FxHashMap;
+        use std::cell::RefCell;
+        thread_local! {
+            static CACHE: RefCell<FxHashMap<String, FxHashMap<u64, Symbol>>> =
+                RefCell::new(FxHashMap::default());
+        }
+        CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(by_n) = cache.get_mut(hint) {
+                if let Some(&sym) = by_n.get(&n) {
+                    return sym;
+                }
+                let sym = Self::render_and_intern(hint, n);
+                by_n.insert(n, sym);
+                return sym;
+            }
+            let sym = Self::render_and_intern(hint, n);
+            let mut by_n = FxHashMap::default();
+            by_n.insert(n, sym);
+            cache.insert(hint.to_owned(), by_n);
+            sym
+        })
+    }
+
+    /// Renders `"{hint}%{n}"` into a stack buffer and interns it.
+    fn render_and_intern(hint: &str, n: u64) -> Symbol {
+        let mut buf = [0u8; 48];
+        if hint.len() + 21 <= buf.len() {
+            let mut len = hint.len();
+            buf[..len].copy_from_slice(hint.as_bytes());
+            buf[len] = b'%';
+            len += 1;
+            let digits = Self::render_u64(n, &mut buf[len..]);
+            len += digits;
+            let name = std::str::from_utf8(&buf[..len]).expect("hint is valid UTF-8");
+            Symbol::intern(name)
+        } else {
+            // Oversized hints are not worth a fast path.
+            Symbol::intern(&format!("{hint}%{n}"))
+        }
+    }
+
+    /// Writes the decimal digits of `n` into `out`, returning the count.
+    fn render_u64(mut n: u64, out: &mut [u8]) -> usize {
+        let mut tmp = [0u8; 20];
+        let mut i = tmp.len();
+        loop {
+            i -= 1;
+            tmp[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        let digits = tmp.len() - i;
+        out[..digits].copy_from_slice(&tmp[i..]);
+        digits
     }
 
     /// The number of names generated so far.
@@ -167,9 +258,21 @@ mod tests {
     }
 
     #[test]
-    fn ident_orders_lexicographically() {
-        assert!(Ident::new("a") < Ident::new("b"));
-        assert!(Ident::new("a") < Ident::new("aa"));
+    fn ident_ord_is_by_intern_index() {
+        // The total order is by intern index — cheap, total, and consistent
+        // with equality — but deliberately *not* lexicographic.
+        let a = Ident::new("ident-ord-a");
+        let b = Ident::new("ident-ord-b");
+        assert_eq!(a < b, a.symbol().index() < b.symbol().index());
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn ident_clone_is_same_symbol() {
+        let x = Ident::new("x");
+        let y = x.clone();
+        assert_eq!(x.symbol(), y.symbol());
+        assert!(std::ptr::eq(x.as_str(), y.as_str()));
     }
 
     #[test]
@@ -194,6 +297,24 @@ mod tests {
         assert_eq!(a.as_str(), "x%0");
         assert_eq!(k.as_str(), "k%1");
         assert_eq!(b.as_str(), "x%2");
+    }
+
+    #[test]
+    fn rerunning_a_fresh_sequence_interns_nothing_new() {
+        let mut g = FreshGen::new();
+        for _ in 0..20 {
+            g.fresh("warm");
+        }
+        let before = crate::intern::Symbol::interned_count();
+        let mut g2 = FreshGen::new();
+        for _ in 0..20 {
+            g2.fresh("warm");
+        }
+        assert_eq!(
+            crate::intern::Symbol::interned_count(),
+            before,
+            "deterministic fresh names must hit the interner cache"
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! A global string interner backing [`Symbol`], the `u32` handle that
+//! [`Ident`](crate::Ident) and [`KIdent`](crate::KIdent) wrap.
+//!
+//! Identifiers are compared, hashed, and cloned on every hot path of the
+//! pipeline (normalization environments, variable indexing, analysis
+//! stores). Interning collapses all of that to `u32` operations: two
+//! symbols are equal iff their indices are equal, hashing hashes one
+//! integer, and `Ord` compares indices — no string walk anywhere.
+//!
+//! The interner is process-global and append-only. Interned strings are
+//! leaked (`Box::leak`) so [`Symbol::as_str`] can hand out `&'static str`
+//! without holding the table lock; the set of distinct identifier names in
+//! a process is small and bounded by the programs it builds, so the leak is
+//! the classic interner trade-off, not a leak in the bug sense.
+//!
+//! [`Symbol::interned_count`] exposes the table size. The pipeline uses it
+//! twice: as the `pipeline.interned_syms` trace gauge, and in regression
+//! tests that assert the normalizer/CPS hot loops allocate **zero** new
+//! symbols on a warm second run (fresh names are drawn deterministically,
+//! so a repeated run re-uses every name it generated the first time).
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense `u32` handle into the process-global symbol
+/// table. Equality, hashing, and ordering are all by index — O(1), never a
+/// string comparison.
+///
+/// ```
+/// use cpsdfa_syntax::intern::Symbol;
+/// let a = Symbol::intern("x");
+/// let b = Symbol::intern("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning the canonical symbol for it. Interning the
+    /// same string twice returns the same symbol and allocates nothing the
+    /// second time — the hit path takes only a shared read lock.
+    pub fn intern(name: &str) -> Symbol {
+        if let Some(&id) = table().read().expect("symbol table poisoned").map.get(name) {
+            return Symbol(id);
+        }
+        let mut t = table().write().expect("symbol table poisoned");
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&id) = t.map.get(name) {
+            return Symbol(id);
+        }
+        let stored: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(t.strings.len()).expect("symbol table overflow");
+        t.strings.push(stored);
+        t.map.insert(stored, id);
+        Symbol(id)
+    }
+
+    /// The interned text. `'static` because the table is append-only.
+    pub fn as_str(self) -> &'static str {
+        table().read().expect("symbol table poisoned").strings[self.0 as usize]
+    }
+
+    /// The dense index of this symbol in the table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The number of distinct strings interned so far, process-wide.
+    ///
+    /// Monotone; the difference across a region of code counts the fresh
+    /// symbol allocations that region performed.
+    pub fn interned_count() -> u64 {
+        table().read().expect("symbol table poisoned").strings.len() as u64
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({}:{})", self.0, self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let before = Symbol::interned_count();
+        let a = Symbol::intern("interner-test-idempotent");
+        let mid = Symbol::interned_count();
+        let b = Symbol::intern("interner-test-idempotent");
+        let after = Symbol::interned_count();
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(mid, before + 1);
+        assert_eq!(after, mid, "re-interning must not allocate");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("interner-test-a");
+        let b = Symbol::intern("interner-test-b");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "interner-test-a");
+        assert_eq!(b.as_str(), "interner-test-b");
+    }
+
+    #[test]
+    fn as_str_is_static_and_stable() {
+        let a = Symbol::intern("interner-test-stable");
+        let s1: &'static str = a.as_str();
+        // Force table growth, then re-read.
+        for i in 0..64 {
+            Symbol::intern(&format!("interner-test-grow-{i}"));
+        }
+        let s2: &'static str = a.as_str();
+        assert_eq!(s1, s2);
+        assert!(std::ptr::eq(s1, s2), "leaked storage must not move");
+    }
+
+    #[test]
+    fn ord_is_by_intern_index_not_text() {
+        // Whichever of the two interns first gets the smaller index; the
+        // point is that Ord agrees with index order, so ordered collections
+        // of symbols never do string comparisons.
+        let a = Symbol::intern("interner-test-ord-zz");
+        let b = Symbol::intern("interner-test-ord-aa");
+        assert_eq!(a < b, a.index() < b.index());
+    }
+}

@@ -14,6 +14,10 @@
 //! This crate provides:
 //!
 //! * the abstract syntax ([`Term`], [`Value`], [`Ident`], [`KIdent`]);
+//! * a global [string interner](intern) — identifiers are `u32` symbols, so
+//!   comparison, hashing, and ordering never walk a string;
+//! * a [hash-consed term arena](arena) with `u32` node ids, the front end's
+//!   flat representation (O(1) subtree equality, shared substructure);
 //! * an s-expression [parser](parse) and a round-tripping pretty
 //!   [printer](mod@print);
 //! * [builder](build) combinators for constructing terms in tests and
@@ -33,15 +37,20 @@
 //! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
 //! ```
 
+pub mod arena;
 pub mod ast;
 pub mod build;
 pub mod free;
 pub mod fresh;
+pub mod fxhash;
 pub mod ident;
+pub mod intern;
 pub mod label;
 pub mod parse;
 pub mod print;
 
+pub use arena::{TermArena, TermId};
 pub use ast::{Term, Value};
 pub use ident::{FreshGen, Ident, KIdent};
+pub use intern::Symbol;
 pub use label::Label;

@@ -310,6 +310,351 @@ fn binder_ident(s: &Sexp) -> Result<Ident, ParseError> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Direct-to-arena layer
+// ---------------------------------------------------------------------------
+
+use crate::arena::{TermArena, TermId, TermNode, ValueNode};
+use crate::fxhash::FxHashMap;
+
+/// Parses `src` straight into `arena`, interning nodes as constructs
+/// complete — no intermediate s-expression tree, no boxed [`Term`], no
+/// per-atom `String`. Accepts exactly the grammar of [`parse_term`]; the
+/// differential tests pin the two parsers to structurally identical output.
+///
+/// This is the parser behind [`TermArena::parse`], the entry point of the
+/// interned front-end pipeline.
+pub(crate) fn parse_into(arena: &mut TermArena, src: &str) -> Result<TermId, ParseError> {
+    // S-expression sources run a handful of bytes per node; seeding the
+    // arena and the atom cache avoids mid-parse rehashes without
+    // over-reserving (Vec doubling would overshoot further than this).
+    let nodes_guess = src.len() / 4;
+    arena.reserve(nodes_guess, nodes_guess / 2);
+    let mut cache = FxHashMap::default();
+    cache.reserve(nodes_guess / 2);
+    let mut p = ArenaParser {
+        src,
+        pos: 0,
+        arena,
+        atom_cache: cache,
+    };
+    let id = p.term()?;
+    p.skip_trivia();
+    if !p.at_end() {
+        return Err(ParseError::new(p.pos, "unexpected trailing input"));
+    }
+    Ok(id)
+}
+
+/// What a byte means to the tokenizer; a 256-entry table beats per-byte
+/// char classification in the scanning loops.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ByteClass {
+    /// ASCII whitespace (what `char::is_whitespace` accepts below 0x80).
+    Space,
+    /// `(`, `)`, or `;` — always ends an atom.
+    Delim,
+    /// Any other ASCII byte: part of an atom.
+    Other,
+    /// Lead byte of a multi-byte char: needs a char decode.
+    NonAscii,
+}
+
+const BYTE_CLASS: [ByteClass; 256] = {
+    let mut t = [ByteClass::Other; 256];
+    let mut i = 0x80;
+    while i < 256 {
+        t[i] = ByteClass::NonAscii;
+        i += 1;
+    }
+    t[b' ' as usize] = ByteClass::Space;
+    t[b'\t' as usize] = ByteClass::Space;
+    t[b'\n' as usize] = ByteClass::Space;
+    t[b'\r' as usize] = ByteClass::Space;
+    t[0x0b] = ByteClass::Space; // vertical tab
+    t[0x0c] = ByteClass::Space; // form feed
+    t[b'(' as usize] = ByteClass::Delim;
+    t[b')' as usize] = ByteClass::Delim;
+    t[b';' as usize] = ByteClass::Delim;
+    t
+};
+
+struct ArenaParser<'s, 'a> {
+    src: &'s str,
+    pos: usize,
+    arena: &'a mut TermArena,
+    /// Atom text → interned term, so a repeated identifier or numeral costs
+    /// one local hash lookup instead of a global interner round-trip plus
+    /// two arena memo probes. Keys borrow from `src`.
+    atom_cache: FxHashMap<&'s str, TermId>,
+}
+
+impl<'s> ArenaParser<'s, '_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// The next byte; scanning is byte-oriented with an ASCII fast path
+    /// (the grammar's delimiters are all ASCII), falling back to char
+    /// decoding only for non-ASCII input like the `λ` keyword.
+    fn peek(&self) -> Option<u8> {
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            match bytes.get(self.pos) {
+                Some(&c) if BYTE_CLASS[c as usize] == ByteClass::Space => self.pos += 1,
+                Some(b';') => {
+                    self.pos += 1;
+                    while let Some(&c) = bytes.get(self.pos) {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(&c) if c >= 0x80 => {
+                    let ch = self.src[self.pos..].chars().next().expect("valid UTF-8");
+                    if ch.is_whitespace() {
+                        self.pos += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Reads one atom token as a borrowed slice (never allocates).
+    fn atom(&mut self) -> &'s str {
+        let bytes = self.src.as_bytes();
+        let start = self.pos;
+        while let Some(&c) = bytes.get(self.pos) {
+            match BYTE_CLASS[c as usize] {
+                ByteClass::Other => self.pos += 1,
+                ByteClass::Space | ByteClass::Delim => break,
+                ByteClass::NonAscii => {
+                    let ch = self.src[self.pos..].chars().next().expect("valid UTF-8");
+                    if ch.is_whitespace() {
+                        break;
+                    }
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        &self.src[start..self.pos]
+    }
+
+    fn term(&mut self) -> Result<TermId, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        match self.peek() {
+            None => Err(ParseError::new(start, "unexpected end of input")),
+            Some(b'(') => {
+                self.pos += 1;
+                self.list_term(start)
+            }
+            Some(b')') => Err(ParseError::new(start, "unexpected `)`")),
+            Some(_) => {
+                let a = self.atom();
+                self.atom_term(start, a)
+            }
+        }
+    }
+
+    fn atom_term(&mut self, pos: usize, a: &'s str) -> Result<TermId, ParseError> {
+        use std::collections::hash_map::Entry;
+        // Entry keeps the hash computed by the lookup alive for the insert,
+        // so a cache miss hashes the atom text once rather than twice.
+        let arena = &mut *self.arena;
+        let vacant = match self.atom_cache.entry(a) {
+            Entry::Occupied(e) => return Ok(*e.get()),
+            Entry::Vacant(e) => e,
+        };
+        let node = if let Ok(n) = a.parse::<i64>() {
+            ValueNode::Num(n)
+        } else {
+            match a {
+                "add1" => ValueNode::Add1,
+                "sub1" => ValueNode::Sub1,
+                _ if is_valid_ident(a) => ValueNode::Var(Ident::new(a)),
+                _ => return Err(ParseError::new(pos, format!("invalid identifier `{a}`"))),
+            }
+        };
+        let v = arena.intern_value(node);
+        let id = arena.intern_term(TermNode::Value(v));
+        vacant.insert(id);
+        Ok(id)
+    }
+
+    /// Parses a list body; the opening `(` at `start` is already consumed.
+    fn list_term(&mut self, start: usize) -> Result<TermId, ParseError> {
+        self.skip_trivia();
+        let head_pos = self.pos;
+        let operator = match self.peek() {
+            None => return Err(ParseError::new(self.pos, "unclosed parenthesis")),
+            Some(b')') => {
+                self.pos += 1;
+                return Err(ParseError::new(
+                    start,
+                    "application expects an operator and at least one operand",
+                ));
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                self.list_term(head_pos)?
+            }
+            Some(_) => {
+                let a = self.atom();
+                match a {
+                    "lambda" | "λ" => return self.lambda_tail(start),
+                    "let" => return self.let_tail(start),
+                    "if0" => return self.if0_tail(start),
+                    "loop" => return self.loop_tail(start),
+                    "+" => return self.plus_tail(start),
+                    _ => self.atom_term(head_pos, a)?,
+                }
+            }
+        };
+        self.apply_tail(start, operator)
+    }
+
+    /// Folds operands onto `f` left-associatively until the closing `)`.
+    fn apply_tail(&mut self, start: usize, mut f: TermId) -> Result<TermId, ParseError> {
+        let mut args = 0usize;
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Err(ParseError::new(self.pos, "unclosed parenthesis")),
+                Some(b')') => {
+                    self.pos += 1;
+                    if args == 0 {
+                        return Err(ParseError::new(
+                            start,
+                            "application expects an operator and at least one operand",
+                        ));
+                    }
+                    return Ok(f);
+                }
+                Some(_) => {
+                    let a = self.term()?;
+                    f = self.arena.intern_term(TermNode::App(f, a));
+                    args += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes a closing `)`; `err` describes the form whose arity is
+    /// violated when something else is found.
+    fn expect_close(&mut self, err: &str) -> Result<(), ParseError> {
+        self.skip_trivia();
+        match self.peek() {
+            None => Err(ParseError::new(self.pos, "unclosed parenthesis")),
+            Some(b')') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(ParseError::new(self.pos, err)),
+        }
+    }
+
+    fn binder(&mut self, err: &str) -> Result<Ident, ParseError> {
+        self.skip_trivia();
+        let pos = self.pos;
+        match self.peek() {
+            Some(c) if c != b'(' && c != b')' => {
+                let a = self.atom();
+                if is_valid_ident(a) {
+                    Ok(Ident::new(a))
+                } else {
+                    Err(ParseError::new(pos, "expected a variable name"))
+                }
+            }
+            _ => Err(ParseError::new(pos, err)),
+        }
+    }
+
+    fn lambda_tail(&mut self, start: usize) -> Result<TermId, ParseError> {
+        self.skip_trivia();
+        if self.peek() != Some(b'(') {
+            return Err(ParseError::new(
+                self.pos,
+                "lambda expects a single-parameter list (x)",
+            ));
+        }
+        self.pos += 1;
+        let param = self.binder("lambda expects a single-parameter list (x)")?;
+        self.expect_close("lambda expects a single-parameter list (x)")?;
+        let body = self.term()?;
+        self.expect_close("lambda expects (lambda (x) M)")?;
+        let _ = start;
+        let v = self.arena.intern_value(ValueNode::Lam(param, body));
+        Ok(self.arena.intern_term(TermNode::Value(v)))
+    }
+
+    fn let_tail(&mut self, start: usize) -> Result<TermId, ParseError> {
+        self.skip_trivia();
+        if self.peek() != Some(b'(') {
+            return Err(ParseError::new(self.pos, "let expects a binding (x M)"));
+        }
+        self.pos += 1;
+        let x = self.binder("let expects a binding (x M)")?;
+        let rhs = self.term()?;
+        self.expect_close("let expects a binding (x M)")?;
+        let body = self.term()?;
+        self.expect_close("let expects (let (x M) M)")?;
+        let _ = start;
+        Ok(self.arena.intern_term(TermNode::Let(x, rhs, body)))
+    }
+
+    fn if0_tail(&mut self, start: usize) -> Result<TermId, ParseError> {
+        let c = self.term()?;
+        let t = self.term()?;
+        let e = self.term()?;
+        self.expect_close("if0 expects (if0 M M M)")?;
+        let _ = start;
+        Ok(self.arena.intern_term(TermNode::If0(c, t, e)))
+    }
+
+    fn loop_tail(&mut self, start: usize) -> Result<TermId, ParseError> {
+        self.expect_close("loop expects no arguments: (loop)")?;
+        let _ = start;
+        Ok(self.arena.intern_term(TermNode::Loop))
+    }
+
+    fn plus_tail(&mut self, start: usize) -> Result<TermId, ParseError> {
+        let m = self.term()?;
+        self.skip_trivia();
+        let pos = self.pos;
+        let n = match self.peek() {
+            Some(c) if c != b'(' && c != b')' => self
+                .atom()
+                .parse::<i64>()
+                .map_err(|_| ParseError::new(pos, "+ expects a literal integer offset"))?,
+            _ => return Err(ParseError::new(pos, "+ expects a literal integer offset")),
+        };
+        self.expect_close("+ expects (+ M n) with literal n")?;
+        let _ = start;
+        // Paper abbreviation (+ M n): n applications of add1/sub1.
+        let prim = if n >= 0 {
+            ValueNode::Add1
+        } else {
+            ValueNode::Sub1
+        };
+        let pv = self.arena.intern_value(prim);
+        let pt = self.arena.intern_term(TermNode::Value(pv));
+        let mut acc = m;
+        for _ in 0..n.unsigned_abs() {
+            acc = self.arena.intern_term(TermNode::App(pt, acc));
+        }
+        Ok(acc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,18 @@ proptest! {
     }
 
     #[test]
+    fn interned_parse_of_print_is_identity(t in term_strategy()) {
+        // The direct-to-arena parser agrees with the boxed one: parsing a
+        // printed term into the hash-consed arena and materializing it back
+        // reproduces the term exactly.
+        let printed = t.to_string();
+        let mut arena = cpsdfa_syntax::arena::TermArena::new();
+        let tid = arena.parse(&printed)
+            .unwrap_or_else(|e| panic!("printed term failed arena parse: {printed}: {e}"));
+        prop_assert_eq!(arena.to_term(tid), t);
+    }
+
+    #[test]
     fn freshen_is_stable_under_reprinting(t in term_strategy()) {
         // freshening, printing and reparsing yields a structurally equal term
         let (u, _) = freshen(&t);
