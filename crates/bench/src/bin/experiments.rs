@@ -12,7 +12,9 @@
 //! `--trace <path>` records structured JSONL trace events (per-experiment
 //! spans, solver counters, wall times) to `<path>` while the experiments
 //! run. `--regen-e16 <path>` reads such a file back and reprints the E16
-//! table from the recorded events alone — no re-measurement.
+//! table from the recorded events alone — no re-measurement. `--test`
+//! shrinks the measurement grids (used by the CI fault-injection job to
+//! exercise E18 quickly).
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_bench::{run_goals, Analyzer};
@@ -53,9 +55,19 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     None
 }
 
+/// Removes a boolean `flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        return true;
+    }
+    false
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_path = take_flag_value(&mut args, "--trace");
+    let test_mode = take_flag(&mut args, "--test");
     if let Some(path) = take_flag_value(&mut args, "--regen-e16") {
         e16_regen(&path);
         return;
@@ -130,6 +142,9 @@ fn main() {
     }
     if want("E17") {
         trace::with_span(sink, "e17", e17_pipeline_throughput);
+    }
+    if want("E18") {
+        trace::with_span(sink, "e18", |sink| e18_degradation(sink, test_mode));
     }
 }
 
@@ -1630,4 +1645,296 @@ fn e17_pipeline_throughput(sink: &mut impl TraceSink) {
         c.emit_into(sink);
     }
     e17_render(&cells);
+}
+
+/// The E18 degradation grid sizes (shrunk under `--test` so the CI
+/// fault-injection job stays fast).
+fn e18_sizes(test_mode: bool) -> &'static [usize] {
+    if test_mode {
+        &[32]
+    } else {
+        &[32, 128, 320]
+    }
+}
+
+/// One row of the E18 degradation grid, also serialized to
+/// `BENCH_degrade.json`.
+struct E18Row {
+    family: &'static str,
+    n: usize,
+    budget_label: &'static str,
+    budget: u64,
+    answered_by: String,
+    rungs_tried: usize,
+    resource: String,
+    residual_budget: u64,
+    latency_ms: f64,
+}
+
+impl E18Row {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"family\": \"{}\", \"n\": {}, \"budget\": \"{}\", \
+             \"budget_goals\": {}, \"answer\": \"{}\", \"rungs\": {}, \
+             \"trip\": \"{}\", \"residual_budget\": {}, \"latency_ms\": {:.4}}}",
+            self.family,
+            self.n,
+            self.budget_label,
+            self.budget,
+            self.answered_by,
+            self.rungs_tried,
+            self.resource,
+            self.residual_budget,
+            self.latency_ms,
+        )
+    }
+}
+
+/// E18: the resource-governed driver — degradation ladders under budget
+/// starvation across the workload families, a seeded fault-injection sweep
+/// tabling fallback rates, and the panic-isolated / cancellable corpus
+/// sweep. Writes `BENCH_degrade.json`.
+fn e18_degradation(sink: &mut impl TraceSink, test_mode: bool) {
+    use cpsdfa_core::cfa::{zero_cfa_cps_instrumented, zero_cfa_instrumented};
+    use cpsdfa_core::faultinject::{FaultKind, FaultPlan, INJECTED_PANIC};
+    use cpsdfa_core::govern::{governed_zero_cfa_cps, CancelToken, CfaAnswer, GovernPolicy};
+    use cpsdfa_workloads::par::{par_map_isolated, ParOutcome};
+
+    section(
+        "E18",
+        "resource governance: degradation ladders, fault injection, panic isolation",
+    );
+    // Panics are injected on purpose below; silence their default report.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if msg.contains(INJECTED_PANIC) || msg.contains("e18: poisoned worker") {
+            return;
+        }
+        previous_hook(info);
+    }));
+
+    // -- Part 1: degradation grid -----------------------------------------
+    // Each workload runs the governed 0CFA ladder (cfa.cps -> cfa.src)
+    // under three budgets derived from its own un-governed firing costs:
+    // "ample" (default budget, no degradation), "starved" (exactly the
+    // direct rung's cost — the CPS rung trips, the ladder answers at
+    // cfa.src), and "tiny" (a quarter of that — every rung trips).
+    println!("### Degradation grid: governed 0CFA ladder under shrinking budgets\n");
+    let mut rows: Vec<E18Row> = Vec::new();
+    for (family, build) in E16_LADDER {
+        for &n in e18_sizes(test_mode) {
+            let prog = AnfProgram::from_term(&build(n));
+            let (_, src_stats) = zero_cfa_instrumented(&prog).unwrap();
+            let budgets: [(&'static str, u64); 3] = [
+                ("ample", AnalysisBudget::default().max_goals()),
+                ("starved", src_stats.fired),
+                ("tiny", (src_stats.fired / 4).max(1)),
+            ];
+            for (label, goals) in budgets {
+                let policy = GovernPolicy::new().with_budget(AnalysisBudget::new(goals));
+                let (answered_by, rungs_tried, resource, residual, latency_ns) =
+                    match governed_zero_cfa_cps(&prog, &policy, sink) {
+                        Ok(governed) => {
+                            let r = &governed.report;
+                            (
+                                r.answered_by().unwrap_or("-").to_owned(),
+                                r.rungs_tried(),
+                                r.resource.unwrap_or("-").to_owned(),
+                                r.residual_budget,
+                                r.elapsed_ns,
+                            )
+                        }
+                        Err(e) => ("(error)".to_owned(), 2, e.resource().to_owned(), 0, 0),
+                    };
+                sink.counter(
+                    &format!("e18.grid.{family}.{n}.{label}.rungs"),
+                    rungs_tried as u64,
+                );
+                rows.push(E18Row {
+                    family,
+                    n,
+                    budget_label: label,
+                    budget: goals,
+                    answered_by,
+                    rungs_tried,
+                    resource,
+                    residual_budget: residual,
+                    latency_ms: latency_ns as f64 / 1e6,
+                });
+            }
+        }
+    }
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}({})", r.family, r.n),
+                format!("{} ({})", r.budget_label, r.budget),
+                r.answered_by.clone(),
+                format!("{}", r.rungs_tried),
+                r.resource.clone(),
+                format!("{}", r.residual_budget),
+                format!("{:.3}", r.latency_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["workload", "budget", "answer", "rungs", "trip", "residual", "ms"],
+            &table_rows
+        )
+    );
+
+    // -- Part 2: seeded fault-injection sweep ------------------------------
+    // One deterministic recoverable fault per corpus program, injected at a
+    // seed-chosen firing inside (or just past) the un-faulted schedule.
+    let sweep_n = if test_mode { 60 } else { 300 };
+    println!("\n### Seeded fault sweep: {sweep_n}-program corpus, one recoverable fault each\n");
+    let progs = corpus(0xE18, sweep_n, &open_config());
+    let indexed: Vec<(u64, &cpsdfa_syntax::Term)> = progs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i as u64, t))
+        .collect();
+    // Per program: (fault kind, recovered?, degraded?, answer matches un-faulted rung?)
+    let outcomes = par_map(&indexed, |&(i, t)| {
+        let p = AnfProgram::from_term(t);
+        let c = CpsProgram::from_anf(&p);
+        let (cps_baseline, stats) = zero_cfa_cps_instrumented(&c).unwrap();
+        let fault = FaultPlan::from_seed_recoverable(0xE18 ^ i, stats.fired.max(1) + 8);
+        let kind = fault.kind();
+        let policy = GovernPolicy::new().with_fault(fault);
+        match governed_zero_cfa_cps(&p, &policy, &mut NoopSink) {
+            Ok(governed) => {
+                let degraded = governed.report.degraded();
+                let matches = match &governed.value {
+                    CfaAnswer::Cps(a) => a.same_solution(&cps_baseline),
+                    CfaAnswer::Direct(a) => a.same_solution(&zero_cfa(&p).unwrap()),
+                };
+                (kind, true, degraded, matches)
+            }
+            Err(_) => (kind, false, false, true),
+        }
+    });
+    let mut sweep_rows: Vec<Vec<String>> = Vec::new();
+    let mut sweep_json: Vec<String> = Vec::new();
+    for kind in FaultKind::RECOVERABLE {
+        let of_kind: Vec<_> = outcomes.iter().filter(|o| o.0 == kind).collect();
+        let injected = of_kind.len();
+        let recovered = of_kind.iter().filter(|o| o.1).count();
+        let degraded = of_kind.iter().filter(|o| o.2).count();
+        let mismatched = of_kind.iter().filter(|o| !o.3).count();
+        sink.counter(&format!("e18.sweep.{kind:?}.injected"), injected as u64);
+        sink.counter(&format!("e18.sweep.{kind:?}.recovered"), recovered as u64);
+        sink.counter(&format!("e18.sweep.{kind:?}.mismatched"), mismatched as u64);
+        sweep_rows.push(vec![
+            format!("{kind:?}"),
+            format!("{injected}"),
+            format!("{recovered}"),
+            format!("{degraded}"),
+            format!("{}", injected - recovered),
+            format!("{mismatched}"),
+        ]);
+        sweep_json.push(format!(
+            "  {{\"fault\": \"{kind:?}\", \"injected\": {injected}, \
+             \"recovered\": {recovered}, \"degraded\": {degraded}, \
+             \"failed\": {}, \"mismatched\": {mismatched}}}",
+            injected - recovered,
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "fault",
+                "injected",
+                "recovered",
+                "degraded",
+                "failed",
+                "mismatch"
+            ],
+            &sweep_rows
+        )
+    );
+    let total_mismatch: usize = outcomes.iter().filter(|o| !o.3).count();
+    println!(
+        "\nevery recovered run must match its un-faulted rung: {} mismatches",
+        total_mismatch
+    );
+    assert_eq!(total_mismatch, 0, "a recovered fault changed an answer");
+
+    // -- Part 3: panic isolation and cooperative cancellation --------------
+    println!("\n### Worker panic isolation and cancellation\n");
+    let demo = corpus(0xE18_0DD, if test_mode { 24 } else { 96 }, &open_config());
+    let poisoned = demo.len() / 2;
+    let indexed: Vec<(usize, &cpsdfa_syntax::Term)> = demo.iter().enumerate().collect();
+    let report = par_map_isolated(&indexed, None, |&(i, t)| {
+        assert!(i != poisoned, "e18: poisoned worker {i}");
+        let p = AnfProgram::from_term(t);
+        zero_cfa(&p).unwrap().iterations
+    });
+    println!(
+        "poisoned worker sweep: {} items, {} completed, {} panicked, interrupted: {}",
+        demo.len(),
+        report.completed,
+        report.panicked,
+        report.interrupted,
+    );
+    sink.counter("e18.par.completed", report.completed as u64);
+    sink.counter("e18.par.panicked", report.panicked as u64);
+    assert_eq!(report.panicked, 1, "exactly the poisoned item fails");
+    assert_eq!(
+        report.completed,
+        demo.len() - 1,
+        "every other worker's result is intact"
+    );
+
+    // A sweep cancelled from another thread: partial results come back with
+    // the explicit Interrupted marker and the skipped tail is logged as the
+    // harness.cancelled counter.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = par_map_isolated(&indexed, Some(token.as_flag()), |&(_, t)| {
+        let p = AnfProgram::from_term(t);
+        zero_cfa(&p).unwrap().iterations
+    });
+    let skipped = cancelled
+        .results
+        .iter()
+        .filter(|o| matches!(o, ParOutcome::Skipped))
+        .count();
+    sink.counter("harness.cancelled", skipped as u64);
+    println!(
+        "cancelled sweep: interrupted: {}, {} of {} items skipped (harness.cancelled)",
+        cancelled.interrupted,
+        skipped,
+        demo.len(),
+    );
+    assert!(
+        cancelled.interrupted,
+        "pre-cancelled sweep must be cut short"
+    );
+
+    // -- Artifact ----------------------------------------------------------
+    let grid_json: Vec<String> = rows.iter().map(E18Row::to_json).collect();
+    let payload = format!(
+        "{{\n\"grid\": [\n{}\n],\n\"fault_sweep\": [\n{}\n]\n}}\n",
+        grid_json.join(",\n"),
+        sweep_json.join(",\n"),
+    );
+    match std::fs::write("BENCH_degrade.json", &payload) {
+        Ok(()) => println!(
+            "\nwrote {} grid rows and {} sweep rows to BENCH_degrade.json",
+            rows.len(),
+            sweep_json.len()
+        ),
+        Err(e) => println!("\ncould not write BENCH_degrade.json: {e}"),
+    }
 }

@@ -53,8 +53,14 @@ impl Default for AnalysisBudget {
     }
 }
 
-/// Errors produced by the abstract analyzers.
+/// Errors produced by the abstract analyzers and the resource-governance
+/// layer ([`govern`](crate::govern)).
+///
+/// Marked `#[non_exhaustive]`: the governed driver grows new failure modes
+/// over time (the jump from one variant to five is exactly such a growth),
+/// so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AnalysisError {
     /// The goal budget ran out — for pure Λ programs this signals an
     /// exponential blow-up; with the `loop` extension it is the expected
@@ -63,6 +69,48 @@ pub enum AnalysisError {
         /// The exhausted budget.
         budget: u64,
     },
+    /// The wall-clock [`Deadline`](crate::govern::Deadline) of the
+    /// governing [`RunGuard`](crate::govern::RunGuard) passed mid-run.
+    DeadlineExceeded,
+    /// The arena/set-pool footprint crossed the guard's memory ceiling.
+    MemoryExhausted {
+        /// The configured ceiling, in bytes.
+        limit_bytes: u64,
+    },
+    /// A [`CancelToken`](crate::govern::CancelToken) was tripped — by
+    /// another thread, a supervising driver, or an injected fault.
+    Cancelled,
+    /// A solver step or parallel worker panicked and the panic was
+    /// isolated ([`catch_unwind`](std::panic::catch_unwind)) instead of
+    /// aborting the whole run.
+    WorkerPanicked {
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+}
+
+impl AnalysisError {
+    /// `true` for the errors a
+    /// [`DegradationLadder`](crate::govern::DegradationLadder) may answer
+    /// by retrying at a coarser rung: resource exhaustion and isolated
+    /// panics. [`Cancelled`](AnalysisError::Cancelled) is an explicit stop
+    /// request and is never retried.
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, AnalysisError::Cancelled)
+    }
+
+    /// The short machine-readable name of the resource (or failure) behind
+    /// this error, as used in `govern.*` trace events and the
+    /// [`DegradationReport`](crate::govern::DegradationReport).
+    pub fn resource(&self) -> &'static str {
+        match self {
+            AnalysisError::BudgetExhausted { .. } => "budget",
+            AnalysisError::DeadlineExceeded => "deadline",
+            AnalysisError::MemoryExhausted { .. } => "memory",
+            AnalysisError::Cancelled => "cancel",
+            AnalysisError::WorkerPanicked { .. } => "panic",
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -70,6 +118,19 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::BudgetExhausted { budget } => {
                 write!(f, "analysis exceeded its budget of {budget} goals")
+            }
+            AnalysisError::DeadlineExceeded => {
+                write!(f, "analysis exceeded its wall-clock deadline")
+            }
+            AnalysisError::MemoryExhausted { limit_bytes } => {
+                write!(
+                    f,
+                    "analysis exceeded its memory ceiling of {limit_bytes} bytes"
+                )
+            }
+            AnalysisError::Cancelled => write!(f, "analysis was cancelled"),
+            AnalysisError::WorkerPanicked { payload } => {
+                write!(f, "analysis worker panicked: {payload}")
             }
         }
     }
@@ -100,5 +161,61 @@ mod tests {
     fn error_displays() {
         let e = AnalysisError::BudgetExhausted { budget: 7 };
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn governance_errors_display() {
+        assert!(AnalysisError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let m = AnalysisError::MemoryExhausted { limit_bytes: 4096 };
+        assert!(m.to_string().contains("4096"));
+        assert!(AnalysisError::Cancelled.to_string().contains("cancelled"));
+        let p = AnalysisError::WorkerPanicked {
+            payload: "index out of bounds".to_owned(),
+        };
+        assert!(p.to_string().contains("index out of bounds"));
+    }
+
+    #[test]
+    fn errors_implement_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&AnalysisError::DeadlineExceeded);
+        takes_error(&AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn only_cancellation_is_unrecoverable() {
+        assert!(AnalysisError::BudgetExhausted { budget: 1 }.is_recoverable());
+        assert!(AnalysisError::DeadlineExceeded.is_recoverable());
+        assert!(AnalysisError::MemoryExhausted { limit_bytes: 1 }.is_recoverable());
+        assert!(AnalysisError::WorkerPanicked {
+            payload: String::new()
+        }
+        .is_recoverable());
+        assert!(!AnalysisError::Cancelled.is_recoverable());
+    }
+
+    #[test]
+    fn resource_names_are_stable() {
+        // The names feed `govern.trip.*` trace events; renaming one breaks
+        // recorded JSONL artifacts.
+        assert_eq!(
+            AnalysisError::BudgetExhausted { budget: 1 }.resource(),
+            "budget"
+        );
+        assert_eq!(AnalysisError::DeadlineExceeded.resource(), "deadline");
+        assert_eq!(
+            AnalysisError::MemoryExhausted { limit_bytes: 1 }.resource(),
+            "memory"
+        );
+        assert_eq!(AnalysisError::Cancelled.resource(), "cancel");
+        assert_eq!(
+            AnalysisError::WorkerPanicked {
+                payload: String::new()
+            }
+            .resource(),
+            "panic"
+        );
     }
 }

@@ -49,6 +49,7 @@
 
 use crate::absval::{AbsClo, AbsKont};
 use crate::budget::{AnalysisBudget, AnalysisError};
+use crate::govern::RunGuard;
 use crate::labtab::{LabelLookup, LabelTable};
 use crate::setpool::{DeltaNodes, SetPool};
 use crate::solver::{DeltaRange, WorklistSolver};
@@ -339,12 +340,25 @@ pub fn zero_cfa_traced(
     budget: AnalysisBudget,
     sink: &mut impl TraceSink,
 ) -> Result<(CfaResult, SolverStats), AnalysisError> {
-    trace::with_span(sink, "cfa.src", |sink| zero_cfa_impl(prog, budget, sink))
+    zero_cfa_guarded(prog, &RunGuard::new(budget), sink)
+}
+
+/// [`zero_cfa`] under a full [`RunGuard`]: firings are charged through the
+/// guard (budget + deadline + cancellation + injected faults) and the
+/// delta store's footprint is checked against the guard's memory ceiling
+/// once per firing. This is the rung the governed drivers in
+/// [`govern`](crate::govern) call.
+pub fn zero_cfa_guarded(
+    prog: &AnfProgram,
+    guard: &RunGuard,
+    sink: &mut impl TraceSink,
+) -> Result<(CfaResult, SolverStats), AnalysisError> {
+    trace::with_span(sink, "cfa.src", |sink| zero_cfa_impl(prog, guard, sink))
 }
 
 fn zero_cfa_impl(
     prog: &AnfProgram,
-    budget: AnalysisBudget,
+    guard: &RunGuard,
     sink: &mut impl TraceSink,
 ) -> Result<(CfaResult, SolverStats), AnalysisError> {
     let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
@@ -400,7 +414,8 @@ fn zero_cfa_impl(
     // Reused delta buffer: each firing consumes only what its watched
     // nodes gained since it last fired.
     let mut deltas: Vec<DeltaRange> = Vec::new();
-    solver.run(budget, |solver, ci| {
+    solver.run_guarded(guard, |solver, ci| {
+        guard.charge_memory(nodes.approx_bytes() as u64)?;
         match constraints[ci] {
             SrcConstraint::Sub(dst) => {
                 solver.take_deltas(ci, &mut deltas);
@@ -789,14 +804,24 @@ pub fn zero_cfa_cps_traced(
     budget: AnalysisBudget,
     sink: &mut impl TraceSink,
 ) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
-    trace::with_span(sink, "cfa.cps", |sink| {
-        zero_cfa_cps_impl(prog, budget, sink)
-    })
+    zero_cfa_cps_guarded(prog, &RunGuard::new(budget), sink)
+}
+
+/// [`zero_cfa_cps`] under a full [`RunGuard`] — the finest rung of the
+/// governed 0CFA ladder
+/// ([`governed_zero_cfa_cps`](crate::govern::governed_zero_cfa_cps)); see
+/// [`zero_cfa_guarded`] for the guard semantics.
+pub fn zero_cfa_cps_guarded(
+    prog: &CpsProgram,
+    guard: &RunGuard,
+    sink: &mut impl TraceSink,
+) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
+    trace::with_span(sink, "cfa.cps", |sink| zero_cfa_cps_impl(prog, guard, sink))
 }
 
 fn zero_cfa_cps_impl(
     prog: &CpsProgram,
-    budget: AnalysisBudget,
+    guard: &RunGuard,
     sink: &mut impl TraceSink,
 ) -> Result<(CpsCfaResult, SolverStats), AnalysisError> {
     let lambdas = LabelLookup::build(prog.label_count(), prog.lambdas());
@@ -859,7 +884,8 @@ fn zero_cfa_cps_impl(
     let mut calls: LabelTable<BTreeSet<AbsClo>> = LabelTable::new(prog.label_count());
     let mut deltas: Vec<DeltaRange> = Vec::new();
 
-    solver.run(budget, |solver, ci| {
+    solver.run_guarded(guard, |solver, ci| {
+        guard.charge_memory(nodes.approx_bytes() as u64)?;
         // Joins `flow` into node `dst`: a constant grows the node's log
         // directly, a variable becomes a persistent delta-watched `Sub`
         // edge whose fresh cursor replays the source's full history on its

@@ -26,6 +26,7 @@ use crate::absval::{AbsAnswer, AbsClo, AbsStore, AbsVal};
 use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
+use crate::govern::RunGuard;
 use crate::stats::AnalysisStats;
 use crate::trace::{self, TraceSink};
 use cpsdfa_anf::{AVal, AValKind, Anf, AnfKind, AnfProgram, Bind, LambdaRef, VarId};
@@ -71,6 +72,7 @@ pub struct DirectAnalyzer<'p, D: NumDomain> {
     lambdas: HashMap<Label, LambdaRef<'p>>,
     clo_top: BTreeSet<AbsClo>,
     budget: AnalysisBudget,
+    guard: Option<RunGuard>,
     seeds: Vec<(VarId, AbsVal<D>)>,
     dup_depth: u32,
 }
@@ -86,6 +88,7 @@ impl<'p, D: NumDomain> DirectAnalyzer<'p, D> {
             lambdas: prog.lambdas(),
             clo_top: clo_top_of(prog),
             budget: AnalysisBudget::default(),
+            guard: None,
             seeds: Vec::new(),
             dup_depth: 0,
         }
@@ -96,6 +99,24 @@ impl<'p, D: NumDomain> DirectAnalyzer<'p, D> {
     pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches a [`RunGuard`]: goal charges flow through the guard (which
+    /// also enforces deadlines, memory ceilings, and cancellation) instead
+    /// of the plain goal budget.
+    #[must_use]
+    pub fn with_guard(mut self, guard: &RunGuard) -> Self {
+        self.guard = Some(guard.clone());
+        self
+    }
+
+    /// Charges one goal: through the attached guard when present, else
+    /// against the plain budget using the caller's running `goals` count.
+    fn charge(&self, goals: u64) -> Result<(), AnalysisError> {
+        match &self.guard {
+            Some(g) => g.charge(1),
+            None => self.budget.check(goals),
+        }
     }
 
     /// Overrides the initial abstract value of a (typically free) variable.
@@ -242,7 +263,7 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
     ) -> Result<AbsAnswer<D>, AnalysisError> {
         self.depth += 1;
         self.stats.enter_goal(self.depth);
-        self.a.budget.check(self.stats.goals)?;
+        self.a.charge(self.stats.goals)?;
 
         let key = (m.label, store.clone());
         if self.path.contains(&key) {

@@ -1,0 +1,1004 @@
+//! Unified resource governance: budgets, deadlines, memory ceilings,
+//! cancellation, and graceful degradation.
+//!
+//! The paper's §6.2 story — CPS-style analyses blow up exponentially and
+//! the semantic-CPS analysis is outright non-computable under `loop` — is a
+//! robustness problem as much as a complexity one. The bare goal counter of
+//! [`AnalysisBudget`] turns a hang into an error, but an error is still a
+//! non-answer: a `BudgetExhausted` run yields nothing even though the
+//! direct-style analyzer (a sound over-approximation per §5) would have
+//! answered the same request comfortably. This module closes that gap in
+//! two layers:
+//!
+//! * [`RunGuard`] — one charge point combining the goal budget with a
+//!   wall-clock [`Deadline`], an arena/set-pool memory ceiling, a shared
+//!   atomic [`CancelToken`], and an optional injected
+//!   [`FaultPlan`](crate::faultinject::FaultPlan). The
+//!   [`WorklistSolver`](crate::solver::WorklistSolver) charges every
+//!   constraint firing and the three abstract interpreters charge every
+//!   goal through the same guard, so all resources are enforced uniformly
+//!   on every fixpoint path.
+//! * [`DegradationLadder`] — on resource exhaustion (or an isolated
+//!   panic), retry the request at the next-coarser rung and return a
+//!   [`Governed`] answer carrying a machine-readable
+//!   [`DegradationReport`] (rungs tried, resource that tripped, residual
+//!   budget) emitted through [`TraceSink`].
+//!
+//! # Why every rung is sound
+//!
+//! Degradation trades precision, never soundness. Each rung of the
+//! canonical ladders satisfies the §4.3 correctness criterion on its own:
+//! if a variable is bound to a value along any concrete execution, the
+//! rung's abstract result contains it. The direct-style analysis is sound
+//! for the direct semantics (Theorem 4.2's construction); falling from a
+//! CPS-based rung to it only *widens* answers (§5: the CPS analyses refine
+//! direct-style answers, so the direct answer over-approximates both), and
+//! narrowing the domain (`PowerSet<8>` → `Flat`) is a Galois-connected
+//! coarsening — again an over-approximation. A degraded answer is therefore
+//! still a safe answer, just a less precise one.
+
+use crate::budget::{AnalysisBudget, AnalysisError};
+use crate::cfa::{self, CfaResult, CpsCfaResult};
+use crate::direct::{DirectAnalyzer, DirectResult};
+use crate::domain::{Flat, PowerSet};
+use crate::faultinject::FaultPlan;
+use crate::semcps::{SemCpsAnalyzer, SemCpsResult};
+use crate::trace::TraceSink;
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_cps::CpsProgram;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many charges pass between wall-clock/cancellation checks on the
+/// guard's hot path. Budget and fault checks are exact (they are integer
+/// compares); `Instant::now` and the atomic load are amortized.
+const INTERRUPT_PERIOD: u64 = 64;
+
+/// A shared cancellation flag: `Clone + Send + Sync`, checkable from
+/// solver steps, interpreter goals, and parallel workers alike. Cancelling
+/// is idempotent and sticky.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token. All holders of clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The raw atomic flag — the std-only interface for crates (like
+    /// `cpsdfa-workloads`) that must observe cancellation without
+    /// depending on this crate.
+    pub fn as_flag(&self) -> &AtomicBool {
+        &self.flag
+    }
+
+    /// A shared handle to the raw flag, for workers that need ownership.
+    pub fn shared_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// An absolute wall-clock deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn within(d: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// The shared interior of a [`RunGuard`]. Counters are [`Cell`]s because
+/// every fixpoint engine in this crate is single-threaded by construction
+/// (the set pools are `Rc`-based and `!Sync`); the one cross-thread
+/// channel, cancellation, goes through the atomic [`CancelToken`].
+#[derive(Debug, Clone)]
+struct GuardState {
+    budget: AnalysisBudget,
+    deadline: Option<Deadline>,
+    memory_limit: Option<u64>,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+    /// Charges since the last [`RunGuard::begin_rung`] — what the budget
+    /// bounds, so every ladder rung gets the full budget.
+    charged: Cell<u64>,
+    /// Charges across the whole guarded request — what fault schedules
+    /// index, so an injected fault cannot re-fire in a fallback rung.
+    total: Cell<u64>,
+    mem_peak: Cell<u64>,
+}
+
+/// The unified charge point for every governed resource.
+///
+/// One guard governs one request end to end: the solver charges a unit per
+/// constraint firing, the abstract interpreters a unit per goal, and the
+/// CFA drivers report their arena footprint through
+/// [`charge_memory`](RunGuard::charge_memory). Cloning is cheap and
+/// *shares* the counters (the clone is a handle, not a fresh guard) — this
+/// is how analyzers hold the guard across builder boundaries.
+#[derive(Debug, Clone)]
+pub struct RunGuard {
+    state: Rc<GuardState>,
+}
+
+impl RunGuard {
+    /// A guard enforcing only `budget` — the drop-in equivalent of the
+    /// pre-governance bare budget check.
+    pub fn new(budget: AnalysisBudget) -> Self {
+        RunGuard {
+            state: Rc::new(GuardState {
+                budget,
+                deadline: None,
+                memory_limit: None,
+                cancel: None,
+                fault: None,
+                charged: Cell::new(0),
+                total: Cell::new(0),
+                mem_peak: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Adds a wall-clock deadline (checked every [`INTERRUPT_PERIOD`]
+    /// charges and at every rung boundary).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        Rc::make_mut(&mut self.state).deadline = Some(deadline);
+        self
+    }
+
+    /// Adds a ceiling (bytes) on the arena/set-pool footprint reported via
+    /// [`charge_memory`](RunGuard::charge_memory).
+    #[must_use]
+    pub fn with_memory_limit(mut self, limit_bytes: u64) -> Self {
+        Rc::make_mut(&mut self.state).memory_limit = Some(limit_bytes);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        Rc::make_mut(&mut self.state).cancel = Some(token);
+        self
+    }
+
+    /// Arms a deterministic fault plan on the charge path (testing only).
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        Rc::make_mut(&mut self.state).fault = Some(plan);
+        self
+    }
+
+    /// The governing budget.
+    pub fn budget(&self) -> AnalysisBudget {
+        self.state.budget
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.state.deadline
+    }
+
+    /// The cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.state.cancel.as_ref()
+    }
+
+    /// Charges spent since the last rung boundary.
+    pub fn spent(&self) -> u64 {
+        self.state.charged.get()
+    }
+
+    /// Charges spent across the whole request (all rungs).
+    pub fn total_spent(&self) -> u64 {
+        self.state.total.get()
+    }
+
+    /// Budget left in the current rung.
+    pub fn residual_budget(&self) -> u64 {
+        self.state.budget.max_goals().saturating_sub(self.spent())
+    }
+
+    /// Peak memory footprint reported so far (bytes).
+    pub fn mem_peak(&self) -> u64 {
+        self.state.mem_peak.get()
+    }
+
+    /// Resets the per-rung charge counter at a ladder rung boundary. The
+    /// cumulative `total` counter (fault schedules), the deadline (absolute
+    /// wall clock), the memory peak, and the cancel token all carry over.
+    pub fn begin_rung(&self) {
+        self.state.charged.set(0);
+    }
+
+    /// Charges `n` units (solver firings / interpreter goals) against the
+    /// guard. This is the shim every governed fixpoint passes through: it
+    /// pokes the fault plan (exact), enforces the budget (exact), and every
+    /// [`INTERRUPT_PERIOD`] charges polls the deadline and cancel token.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`], [`DeadlineExceeded`]
+    /// (crate::AnalysisError::DeadlineExceeded), [`Cancelled`]
+    /// (crate::AnalysisError::Cancelled), or whatever the armed fault plan
+    /// reports.
+    #[inline]
+    pub fn charge(&self, n: u64) -> Result<(), AnalysisError> {
+        let s = &*self.state;
+        let c = s.charged.get() + n;
+        s.charged.set(c);
+        let t = s.total.get() + n;
+        s.total.set(t);
+        if let Some(plan) = &s.fault {
+            plan.poke(t, s.budget.max_goals(), s.cancel.as_ref())?;
+        }
+        if c > s.budget.max_goals() {
+            return Err(AnalysisError::BudgetExhausted {
+                budget: s.budget.max_goals(),
+            });
+        }
+        if c.is_multiple_of(INTERRUPT_PERIOD) {
+            self.check_interrupts()?;
+        }
+        Ok(())
+    }
+
+    /// Reports the current arena/set-pool footprint and enforces the
+    /// memory ceiling. Also tracks the peak, which the `pipeline.*`/pool
+    /// gauges and the [`DegradationReport`] surface.
+    #[inline]
+    pub fn charge_memory(&self, bytes: u64) -> Result<(), AnalysisError> {
+        let s = &*self.state;
+        if bytes > s.mem_peak.get() {
+            s.mem_peak.set(bytes);
+        }
+        match s.memory_limit {
+            Some(limit) if bytes > limit => {
+                Err(AnalysisError::MemoryExhausted { limit_bytes: limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Unamortized deadline + cancellation check (used at rung boundaries
+    /// and by long-running non-charging loops).
+    pub fn check_interrupts(&self) -> Result<(), AnalysisError> {
+        let s = &*self.state;
+        if let Some(token) = &s.cancel {
+            if token.is_cancelled() {
+                return Err(AnalysisError::Cancelled);
+            }
+        }
+        if let Some(deadline) = s.deadline {
+            if deadline.expired() {
+                return Err(AnalysisError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The declarative configuration a governed driver is called with; a
+/// [`guard`](GovernPolicy::guard) is derived per request (converting the
+/// relative deadline to an absolute one and re-arming any fault plan).
+#[derive(Debug, Clone, Default)]
+pub struct GovernPolicy {
+    budget: AnalysisBudget,
+    deadline: Option<Duration>,
+    memory_limit: Option<u64>,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+}
+
+impl GovernPolicy {
+    /// The default policy: the default [`AnalysisBudget`], no deadline, no
+    /// memory ceiling, no cancellation, no faults.
+    pub fn new() -> Self {
+        GovernPolicy::default()
+    }
+
+    /// Replaces the goal budget (per ladder rung).
+    #[must_use]
+    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets a wall-clock allowance for the whole request (all rungs).
+    #[must_use]
+    pub fn with_deadline(mut self, allowance: Duration) -> Self {
+        self.deadline = Some(allowance);
+        self
+    }
+
+    /// Sets the arena/set-pool memory ceiling in bytes.
+    #[must_use]
+    pub fn with_memory_limit(mut self, limit_bytes: u64) -> Self {
+        self.memory_limit = Some(limit_bytes);
+        self
+    }
+
+    /// Attaches a cancellation token shared with the caller.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arms a fault plan (testing only).
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Derives a fresh [`RunGuard`] for one request: the deadline clock
+    /// starts now, counters start at zero, and the fault plan is a fresh
+    /// armed copy (plans are one-shot per guard, not per policy).
+    pub fn guard(&self) -> RunGuard {
+        let mut guard = RunGuard::new(self.budget);
+        if let Some(allowance) = self.deadline {
+            guard = guard.with_deadline(Deadline::within(allowance));
+        }
+        if let Some(limit) = self.memory_limit {
+            guard = guard.with_memory_limit(limit);
+        }
+        if let Some(token) = &self.cancel {
+            guard = guard.with_cancel(token.clone());
+        }
+        if let Some(plan) = &self.fault {
+            guard = guard.with_fault(plan.clone());
+        }
+        guard
+    }
+}
+
+/// One rung attempt in a [`DegradationReport`]: which rung ran, what
+/// stopped it (`None` = it answered), and what it charged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungAttempt {
+    /// The rung's name (e.g. `cfa.cps`, `direct.flat`).
+    pub rung: &'static str,
+    /// `None` if the rung completed; otherwise the error that tripped it.
+    pub error: Option<AnalysisError>,
+    /// Charges (firings/goals) the rung consumed.
+    pub charged: u64,
+}
+
+/// The machine-readable account of a governed request: every rung tried,
+/// the first resource that tripped, and the residual budget of the
+/// answering rung. Emitted through [`TraceSink`] as `govern.*` events and
+/// serializable via [`to_json`](DegradationReport::to_json).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// Rungs in attempt order; the last entry answered iff the request
+    /// succeeded.
+    pub attempts: Vec<RungAttempt>,
+    /// The first resource that tripped (`budget`, `deadline`, `memory`,
+    /// `panic`, `cancel`), or `None` if the first rung answered.
+    pub resource: Option<&'static str>,
+    /// Budget left in the rung that answered (or in the last rung tried).
+    pub residual_budget: u64,
+    /// Wall-clock latency of the whole ladder, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl DegradationReport {
+    /// Whether the answer came from a fallback rung. `false` both for a
+    /// first-rung answer and for a run where every rung failed (no answer
+    /// means nothing was degraded *to*).
+    pub fn degraded(&self) -> bool {
+        self.attempts.len() > 1 && self.answered_by().is_some()
+    }
+
+    /// How many rungs ran.
+    pub fn rungs_tried(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// The name of the rung that answered, if any.
+    pub fn answered_by(&self) -> Option<&'static str> {
+        match self.attempts.last() {
+            Some(a) if a.error.is_none() => Some(a.rung),
+            _ => None,
+        }
+    }
+
+    /// Serializes the report as one JSON object (stable field order; no
+    /// serde dependency, same discipline as the JSONL trace sink).
+    pub fn to_json(&self) -> String {
+        let attempts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"rung\": \"{}\", \"outcome\": \"{}\", \"charged\": {}}}",
+                    json_escape(a.rung),
+                    a.error.as_ref().map_or("ok", |e| e.resource()),
+                    a.charged,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"degraded\": {}, \"resource\": {}, \"residual_budget\": {}, \
+             \"elapsed_ns\": {}, \"attempts\": [{}]}}",
+            self.degraded(),
+            self.resource
+                .map_or("null".to_owned(), |r| format!("\"{}\"", json_escape(r))),
+            self.residual_budget,
+            self.elapsed_ns,
+            attempts.join(", "),
+        )
+    }
+
+    /// Flushes the report into a trace sink: `govern.runs`,
+    /// `govern.rungs_tried`, `govern.degraded`, `govern.trip.<resource>`
+    /// counters, the `govern.residual_budget` gauge, and the
+    /// `govern.latency_ns` timer.
+    pub fn emit_into(&self, sink: &mut impl TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter("govern.runs", 1);
+        sink.counter("govern.rungs_tried", self.attempts.len() as u64);
+        sink.counter("govern.degraded", u64::from(self.degraded()));
+        if let Some(resource) = self.resource {
+            sink.counter(&format!("govern.trip.{resource}"), 1);
+        }
+        sink.gauge("govern.residual_budget", self.residual_budget);
+        sink.time_ns("govern.latency_ns", self.elapsed_ns);
+    }
+}
+
+/// A governed answer: the value plus the [`DegradationReport`] describing
+/// how (and at what rung) it was obtained.
+#[derive(Debug, Clone)]
+pub struct Governed<T> {
+    /// The answer, possibly from a coarser (but still sound) rung.
+    pub value: T,
+    /// The account of the run.
+    pub report: DegradationReport,
+}
+
+/// A rung body: runs one analysis variant under the shared guard, tracing
+/// into the request's sink.
+type RungFn<'a, T> = Box<dyn FnMut(&RunGuard, &mut dyn TraceSink) -> Result<T, AnalysisError> + 'a>;
+
+/// An ordered ladder of analysis rungs, finest first. [`run`]
+/// (DegradationLadder::run) tries each in turn under one [`RunGuard`],
+/// falling to the next rung on any [recoverable]
+/// (AnalysisError::is_recoverable) error — resource exhaustion or an
+/// isolated panic — and aborting immediately on cancellation.
+pub struct DegradationLadder<'a, T> {
+    rungs: Vec<(&'static str, RungFn<'a, T>)>,
+}
+
+impl<'a, T> Default for DegradationLadder<'a, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T> DegradationLadder<'a, T> {
+    /// An empty ladder.
+    pub fn new() -> Self {
+        DegradationLadder { rungs: Vec::new() }
+    }
+
+    /// Appends a rung (coarser than all rungs before it). The rung body
+    /// must be sound standalone — see the module docs for the argument
+    /// obligations.
+    #[must_use]
+    pub fn rung<F>(mut self, name: &'static str, body: F) -> Self
+    where
+        F: FnMut(&RunGuard, &mut dyn TraceSink) -> Result<T, AnalysisError> + 'a,
+    {
+        self.rungs.push((name, Box::new(body)));
+        self
+    }
+
+    /// How many rungs the ladder holds.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether the ladder has no rungs.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Drives the ladder: each rung runs under `guard` (with a fresh
+    /// per-rung budget slice via [`RunGuard::begin_rung`]) inside a
+    /// `catch_unwind`, so a panicking rung degrades instead of aborting.
+    /// The report — success or failure — is emitted into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// The last rung's error if every rung failed;
+    /// [`AnalysisError::Cancelled`] immediately if the token trips (an
+    /// explicit stop request is never answered with a coarser rerun).
+    ///
+    /// # Panics
+    ///
+    /// If the ladder is empty.
+    pub fn run<S: TraceSink>(
+        self,
+        guard: &RunGuard,
+        sink: &mut S,
+    ) -> Result<Governed<T>, AnalysisError> {
+        assert!(
+            !self.is_empty(),
+            "DegradationLadder::run on an empty ladder"
+        );
+        let start = Instant::now();
+        let mut attempts: Vec<RungAttempt> = Vec::new();
+        let mut first_trip: Option<&'static str> = None;
+        let mut last_err: Option<AnalysisError> = None;
+        for (name, mut body) in self.rungs {
+            guard.begin_rung();
+            let result = match guard.check_interrupts() {
+                Ok(()) => {
+                    let reborrow: &mut S = &mut *sink;
+                    match catch_unwind(AssertUnwindSafe(|| body(guard, reborrow))) {
+                        Ok(r) => r,
+                        Err(payload) => Err(AnalysisError::WorkerPanicked {
+                            payload: panic_message(payload.as_ref()),
+                        }),
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(value) => {
+                    attempts.push(RungAttempt {
+                        rung: name,
+                        error: None,
+                        charged: guard.spent(),
+                    });
+                    let report = DegradationReport {
+                        attempts,
+                        resource: first_trip,
+                        residual_budget: guard.residual_budget(),
+                        elapsed_ns: start.elapsed().as_nanos() as u64,
+                    };
+                    report.emit_into(sink);
+                    return Ok(Governed { value, report });
+                }
+                Err(e) => {
+                    first_trip.get_or_insert(e.resource());
+                    attempts.push(RungAttempt {
+                        rung: name,
+                        error: Some(e.clone()),
+                        charged: guard.spent(),
+                    });
+                    let fatal = !e.is_recoverable();
+                    last_err = Some(e);
+                    if fatal {
+                        break;
+                    }
+                }
+            }
+        }
+        let report = DegradationReport {
+            attempts,
+            resource: first_trip,
+            residual_budget: guard.residual_budget(),
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        };
+        report.emit_into(sink);
+        Err(last_err.expect("ladder ran at least one rung"))
+    }
+}
+
+/// Renders a `catch_unwind` payload as a string, for
+/// [`AnalysisError::WorkerPanicked`].
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping (quotes and backslashes; rung names and
+/// resource labels contain nothing else).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The answer of the governed 0CFA ladder: the CPS-level result when the
+/// budget allowed it, otherwise the source-level (direct-style) result.
+#[derive(Debug, Clone)]
+pub enum CfaAnswer {
+    /// The full CPS 0CFA answer (rung 0 held).
+    Cps(CpsCfaResult),
+    /// The source-level fallback: coarser call/return structure (no
+    /// continuation flows), still a sound account of the source program.
+    Direct(CfaResult),
+}
+
+impl CfaAnswer {
+    /// Whether the answer came from the fallback rung.
+    pub fn is_direct_fallback(&self) -> bool {
+        matches!(self, CfaAnswer::Direct(_))
+    }
+}
+
+/// Constraint-based 0CFA of the CPS-converted program under full
+/// governance, degrading to source-level 0CFA.
+///
+/// Ladder: `cfa.cps` (0CFA of `CpsProgram::from_anf(prog)`) → `cfa.src`
+/// (0CFA of `prog` itself). Both rungs satisfy §4.3 soundness for the
+/// source program — the CPS rung via the CPS transform's meaning
+/// preservation, the source rung directly — so the fallback loses the
+/// continuation flows (and §6.1 false-return visibility), not safety.
+///
+/// ```
+/// use std::time::Duration;
+/// use cpsdfa_anf::AnfProgram;
+/// use cpsdfa_core::budget::AnalysisBudget;
+/// use cpsdfa_core::govern::{governed_zero_cfa_cps, CfaAnswer, GovernPolicy};
+/// use cpsdfa_core::trace::NoopSink;
+///
+/// let p = AnfProgram::parse("(let (f (lambda (x) x)) (f (f 1)))").unwrap();
+/// let policy = GovernPolicy::new()
+///     .with_budget(AnalysisBudget::new(50_000))
+///     .with_deadline(Duration::from_millis(100));
+/// let governed = governed_zero_cfa_cps(&p, &policy, &mut NoopSink).unwrap();
+/// match &governed.value {
+///     CfaAnswer::Cps(r) => println!("full CPS answer, {} iterations", r.iterations),
+///     CfaAnswer::Direct(r) => println!("degraded, {} iterations", r.iterations),
+/// }
+/// println!("{}", governed.report.to_json());
+/// ```
+///
+/// # Errors
+///
+/// Only when every rung trips (or the request is cancelled).
+pub fn governed_zero_cfa_cps(
+    prog: &AnfProgram,
+    policy: &GovernPolicy,
+    sink: &mut impl TraceSink,
+) -> Result<Governed<CfaAnswer>, AnalysisError> {
+    let cps = CpsProgram::from_anf(prog);
+    let guard = policy.guard();
+    DegradationLadder::new()
+        .rung("cfa.cps", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+            Ok(CfaAnswer::Cps(
+                cfa::zero_cfa_cps_guarded(&cps, g, &mut sink)?.0,
+            ))
+        })
+        .rung("cfa.src", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+            Ok(CfaAnswer::Direct(
+                cfa::zero_cfa_guarded(prog, g, &mut sink)?.0,
+            ))
+        })
+        .run(&guard, sink)
+}
+
+/// The answer of the governed value-analysis ladder, finest rung first.
+#[derive(Debug, Clone)]
+pub enum ValueAnswer {
+    /// The semantic-CPS analysis over `PowerSet<8>` — the paper's most
+    /// precise (and most explosive, §6.2) configuration.
+    SemCps(SemCpsResult<PowerSet<8>>),
+    /// Direct-style over `PowerSet<8>`: merges at conditionals/calls
+    /// instead of duplicating continuations (§5 sound over-approximation
+    /// of the semantic-CPS answer).
+    Direct(DirectResult<PowerSet<8>>),
+    /// Direct-style over `Flat`: the domain itself coarsened to
+    /// constant-or-⊤ — the cheapest sound rung.
+    DirectFlat(DirectResult<Flat>),
+}
+
+/// The paper's value analysis under full governance: semantic-CPS
+/// `PowerSet<8>` → direct `PowerSet<8>` → direct `Flat`.
+///
+/// Rung soundness: each configuration independently satisfies §4.3 (the
+/// workspace property tests check all of them against concrete runs);
+/// direct-style over-approximates semantic-CPS by Theorem 5.4's
+/// refinement direction, and `Flat` over-approximates `PowerSet<8>`
+/// pointwise (`abstract PowerSet` ⊑ γ∘α into `Flat`), so every fall down
+/// the ladder only widens answers.
+///
+/// # Errors
+///
+/// Only when every rung trips (or the request is cancelled).
+pub fn governed_semcps(
+    prog: &AnfProgram,
+    policy: &GovernPolicy,
+    sink: &mut impl TraceSink,
+) -> Result<Governed<ValueAnswer>, AnalysisError> {
+    let guard = policy.guard();
+    DegradationLadder::new()
+        .rung(
+            "semcps.pow8",
+            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                Ok(ValueAnswer::SemCps(
+                    SemCpsAnalyzer::<PowerSet<8>>::new(prog)
+                        .with_guard(g)
+                        .analyze_traced(&mut sink)?,
+                ))
+            },
+        )
+        .rung(
+            "direct.pow8",
+            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                Ok(ValueAnswer::Direct(
+                    DirectAnalyzer::<PowerSet<8>>::new(prog)
+                        .with_guard(g)
+                        .analyze_traced(&mut sink)?,
+                ))
+            },
+        )
+        .rung(
+            "direct.flat",
+            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                Ok(ValueAnswer::DirectFlat(
+                    DirectAnalyzer::<Flat>::new(prog)
+                        .with_guard(g)
+                        .analyze_traced(&mut sink)?,
+                ))
+            },
+        )
+        .run(&guard, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultinject::FaultKind;
+    use crate::trace::AggSink;
+
+    #[test]
+    fn guard_budget_boundary_matches_bare_budget() {
+        let guard = RunGuard::new(AnalysisBudget::new(10));
+        for _ in 0..10 {
+            guard.charge(1).expect("within budget");
+        }
+        assert_eq!(
+            guard.charge(1),
+            Err(AnalysisError::BudgetExhausted { budget: 10 })
+        );
+        assert_eq!(guard.spent(), 11);
+        assert_eq!(guard.residual_budget(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_the_amortized_check() {
+        let guard = RunGuard::new(AnalysisBudget::new(1_000_000))
+            .with_deadline(Deadline::within(Duration::ZERO));
+        let mut err = None;
+        for _ in 0..INTERRUPT_PERIOD {
+            if let Err(e) = guard.charge(1) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(AnalysisError::DeadlineExceeded));
+        assert!(guard.check_interrupts().is_err());
+    }
+
+    #[test]
+    fn cancellation_is_observed_cross_thread() {
+        let token = CancelToken::new();
+        let guard = RunGuard::new(AnalysisBudget::default()).with_cancel(token.clone());
+        assert!(guard.check_interrupts().is_ok());
+        let remote = token.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || remote.cancel());
+        });
+        assert_eq!(guard.check_interrupts(), Err(AnalysisError::Cancelled));
+        let mut err = None;
+        for _ in 0..INTERRUPT_PERIOD {
+            if let Err(e) = guard.charge(1) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(AnalysisError::Cancelled));
+    }
+
+    #[test]
+    fn memory_ceiling_trips_and_tracks_the_peak() {
+        let guard = RunGuard::new(AnalysisBudget::default()).with_memory_limit(1024);
+        guard.charge_memory(512).expect("under the ceiling");
+        assert_eq!(guard.mem_peak(), 512);
+        assert_eq!(
+            guard.charge_memory(2048),
+            Err(AnalysisError::MemoryExhausted { limit_bytes: 1024 })
+        );
+        assert_eq!(guard.mem_peak(), 2048, "peak records even over the limit");
+    }
+
+    #[test]
+    fn begin_rung_resets_the_budget_but_not_the_fault_clock() {
+        let guard = RunGuard::new(AnalysisBudget::new(5))
+            .with_fault(FaultPlan::new(FaultKind::TripBudget, 8));
+        for _ in 0..5 {
+            guard.charge(1).unwrap();
+        }
+        assert!(guard.charge(1).is_err(), "rung 0 exhausts its slice");
+        guard.begin_rung();
+        assert_eq!(guard.spent(), 0);
+        assert_eq!(guard.total_spent(), 6);
+        // Charges 7 and 8: the fault fires on cumulative firing 8 even
+        // though the per-rung counter was reset.
+        guard.charge(1).unwrap();
+        assert_eq!(
+            guard.charge(1),
+            Err(AnalysisError::BudgetExhausted { budget: 5 })
+        );
+    }
+
+    #[test]
+    fn ladder_falls_to_the_coarser_rung_and_reports() {
+        let guard = RunGuard::new(AnalysisBudget::new(10));
+        let mut sink = AggSink::default();
+        let governed = DegradationLadder::new()
+            .rung("fine", |g: &RunGuard, _: &mut dyn TraceSink| {
+                g.charge(100).map(|()| 1u32)
+            })
+            .rung("coarse", |g: &RunGuard, _: &mut dyn TraceSink| {
+                g.charge(3).map(|()| 2u32)
+            })
+            .run(&guard, &mut sink)
+            .expect("coarse rung answers");
+        assert_eq!(governed.value, 2);
+        let report = &governed.report;
+        assert!(report.degraded());
+        assert_eq!(report.rungs_tried(), 2);
+        assert_eq!(report.resource, Some("budget"));
+        assert_eq!(report.answered_by(), Some("coarse"));
+        assert_eq!(report.residual_budget, 7);
+        assert_eq!(sink.counter_value("govern.degraded"), 1);
+        assert_eq!(sink.counter_value("govern.trip.budget"), 1);
+        assert_eq!(sink.gauge_value("govern.residual_budget"), 7);
+        let json = report.to_json();
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"rung\": \"coarse\""));
+        assert!(json.contains("\"outcome\": \"ok\""));
+    }
+
+    #[test]
+    fn ladder_isolates_a_panicking_rung() {
+        let guard = RunGuard::new(AnalysisBudget::default());
+        let governed = DegradationLadder::new()
+            .rung(
+                "poisoned",
+                |_: &RunGuard, _: &mut dyn TraceSink| -> Result<u32, _> { panic!("rung blew up") },
+            )
+            .rung("fallback", |_: &RunGuard, _: &mut dyn TraceSink| Ok(7u32))
+            .run(&guard, &mut crate::trace::NoopSink)
+            .expect("fallback answers despite the panic");
+        assert_eq!(governed.value, 7);
+        assert_eq!(governed.report.resource, Some("panic"));
+        let first = &governed.report.attempts[0];
+        assert!(matches!(
+            &first.error,
+            Some(AnalysisError::WorkerPanicked { payload }) if payload.contains("rung blew up")
+        ));
+    }
+
+    #[test]
+    fn cancellation_aborts_the_whole_ladder() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = RunGuard::new(AnalysisBudget::default()).with_cancel(token);
+        let ran_fallback = std::cell::Cell::new(false);
+        let err = DegradationLadder::new()
+            .rung("fine", |g: &RunGuard, _: &mut dyn TraceSink| {
+                g.check_interrupts().map(|()| 1u32)
+            })
+            .rung("coarse", |_: &RunGuard, _: &mut dyn TraceSink| {
+                ran_fallback.set(true);
+                Ok(2u32)
+            })
+            .run(&guard, &mut crate::trace::NoopSink)
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+        assert!(!ran_fallback.get(), "cancel must not retry coarser rungs");
+    }
+
+    #[test]
+    fn all_rungs_failing_reports_the_last_error() {
+        let guard = RunGuard::new(AnalysisBudget::new(1));
+        let mut sink = AggSink::default();
+        let err = DegradationLadder::new()
+            .rung("a", |g: &RunGuard, _: &mut dyn TraceSink| {
+                g.charge(10).map(|()| 0u32)
+            })
+            .rung("b", |g: &RunGuard, _: &mut dyn TraceSink| {
+                g.charge(10).map(|()| 0u32)
+            })
+            .run(&guard, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::BudgetExhausted { .. }));
+        assert_eq!(sink.counter_value("govern.rungs_tried"), 2);
+        assert_eq!(
+            sink.counter_value("govern.degraded"),
+            0,
+            "no answer, no degrade"
+        );
+    }
+
+    #[test]
+    fn governed_cfa_answers_directly_when_resources_suffice() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let governed = governed_zero_cfa_cps(&p, &GovernPolicy::new(), &mut crate::trace::NoopSink)
+            .expect("tiny program fits the default budget");
+        assert!(!governed.report.degraded());
+        assert!(matches!(governed.value, CfaAnswer::Cps(_)));
+        assert_eq!(governed.report.answered_by(), Some("cfa.cps"));
+    }
+
+    #[test]
+    fn governed_semcps_degrades_domain_and_style() {
+        // A budget too small for the semantic-CPS rung but ample for the
+        // direct rungs: the ladder answers at `direct.pow8`.
+        let p = AnfProgram::parse(
+            "(let (f (lambda (x) (if0 x 10 20))) (let (a (f 0)) (let (b (f 3)) b)))",
+        )
+        .unwrap();
+        let semcps_goals = SemCpsAnalyzer::<PowerSet<8>>::new(&p)
+            .analyze()
+            .expect("un-governed semantic-CPS run converges")
+            .stats
+            .goals;
+        let direct_goals = DirectAnalyzer::<PowerSet<8>>::new(&p)
+            .analyze()
+            .expect("un-governed direct run converges")
+            .stats
+            .goals;
+        assert!(
+            direct_goals < semcps_goals,
+            "continuation duplication must cost extra goals on this program"
+        );
+        // Exactly enough for the direct rung, strictly short for semcps.
+        let policy = GovernPolicy::new().with_budget(AnalysisBudget::new(direct_goals));
+        let governed = governed_semcps(&p, &policy, &mut crate::trace::NoopSink)
+            .expect("a direct rung answers");
+        assert!(governed.report.degraded());
+        assert!(!matches!(governed.value, ValueAnswer::SemCps(_)));
+    }
+}

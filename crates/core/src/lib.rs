@@ -53,8 +53,10 @@ pub mod deltae;
 pub mod direct;
 pub mod distrib;
 pub mod domain;
+pub mod faultinject;
 pub mod flow;
 pub mod fxhash;
+pub mod govern;
 pub mod kcfa;
 pub mod labtab;
 pub mod mfp;
@@ -71,8 +73,13 @@ pub mod trace;
 pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsStore, CAbsVal};
 pub use budget::{AnalysisBudget, AnalysisError};
 pub use direct::{DirectAnalyzer, DirectResult};
+pub use faultinject::{FaultKind, FaultPlan};
 pub use flow::FlowLog;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use govern::{
+    CancelToken, CfaAnswer, Deadline, DegradationLadder, DegradationReport, GovernPolicy, Governed,
+    RunGuard, RungAttempt, ValueAnswer,
+};
 pub use labtab::{LabelLookup, LabelTable};
 pub use precision::PrecisionOrder;
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};

@@ -30,6 +30,7 @@
 
 use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
+use crate::govern::RunGuard;
 use crate::solver::WorklistSolver;
 use crate::stats::SolverStats;
 use crate::trace::{self, NoopSink, TraceSink};
@@ -345,13 +346,26 @@ impl Cfg {
         budget: AnalysisBudget,
         sink: &mut impl TraceSink,
     ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
-        trace::with_span(sink, "mfp", |sink| self.solve_mfp_impl(init, budget, sink))
+        self.solve_mfp_guarded(init, &RunGuard::new(budget), sink)
+    }
+
+    /// [`solve_mfp`](Cfg::solve_mfp) under a full
+    /// [`RunGuard`](crate::govern::RunGuard): every constraint firing is
+    /// charged through the guard, so deadlines, cancellation, and injected
+    /// faults govern the MFP substrate exactly as they do the CFA solvers.
+    pub fn solve_mfp_guarded<D: NumDomain>(
+        &self,
+        init: DfEnv<D>,
+        guard: &RunGuard,
+        sink: &mut impl TraceSink,
+    ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
+        trace::with_span(sink, "mfp", |sink| self.solve_mfp_impl(init, guard, sink))
     }
 
     fn solve_mfp_impl<D: NumDomain>(
         &self,
         init: DfEnv<D>,
-        budget: AnalysisBudget,
+        guard: &RunGuard,
         sink: &mut impl TraceSink,
     ) -> Result<(DfSummary<D>, SolverStats), AnalysisError> {
         let n = self.nodes.len();
@@ -395,7 +409,7 @@ impl Cfg {
             })
             .collect();
         let mut deltas: Vec<crate::solver::DeltaRange> = Vec::new();
-        solver.run(budget, |solver, id| {
+        solver.run_guarded(guard, |solver, id| {
             solver.take_deltas(id, &mut deltas);
             for &(p, _, _) in &deltas {
                 ins[id] = Self::join_env(&ins[id], &outs[p]);
@@ -691,16 +705,27 @@ mod tests {
     use super::*;
     use crate::domain::Flat;
 
+    /// Parses `src` into a first-order CFG, naming the source in every
+    /// failure so a corpus regression points at the offending program.
     fn cfg(src: &str) -> (AnfProgram, Cfg) {
-        let p = AnfProgram::parse(src).unwrap();
-        let c = Cfg::from_first_order(&p).unwrap();
+        let p = AnfProgram::parse(src).unwrap_or_else(|e| panic!("parse failed on {src:?}: {e}"));
+        let c = Cfg::from_first_order(&p)
+            .unwrap_or_else(|e| panic!("CFG construction failed on {src:?}: {e}"));
         (p, c)
+    }
+
+    /// `solve_mfp` over `Flat` from the program's initial environment,
+    /// naming `src` on divergence.
+    fn mfp_flat(p: &AnfProgram, c: &Cfg, src: &str) -> DfSummary<Flat> {
+        c.solve_mfp::<Flat>(c.initial_env(p))
+            .unwrap_or_else(|e| panic!("MFP failed on {src:?}: {e}"))
     }
 
     #[test]
     fn straight_line_mfp_propagates_constants() {
-        let (p, c) = cfg("(let (a 1) (let (b (add1 a)) b))");
-        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p)).unwrap();
+        let src = "(let (a 1) (let (b (add1 a)) b))";
+        let (p, c) = cfg(src);
+        let mfp = mfp_flat(&p, &c, src);
         assert_eq!(mfp.get(p.var_named("a").unwrap()).as_const(), Some(1));
         assert_eq!(mfp.get(p.var_named("b").unwrap()).as_const(), Some(2));
     }
@@ -712,8 +737,12 @@ mod tests {
         let src = "(let (a1 (if0 z 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))";
         let (p, c) = cfg(src);
         let init = c.initial_env::<Flat>(&p);
-        let mfp = c.solve_mfp::<Flat>(init.clone()).unwrap();
-        let (mop, _) = c.solve_mop::<Flat>(init, 100, PathMode::AllPaths).unwrap();
+        let mfp = c
+            .solve_mfp::<Flat>(init.clone())
+            .unwrap_or_else(|e| panic!("MFP failed on {src:?}: {e}"));
+        let (mop, _) = c
+            .solve_mop::<Flat>(init, 100, PathMode::AllPaths)
+            .unwrap_or_else(|e| panic!("MOP failed on {src:?}: {e}"));
         assert!(mop.leq(&mfp) && mfp.leq(&mop));
         assert!(mfp.get(p.var_named("a2").unwrap()).is_top());
     }
@@ -727,7 +756,7 @@ mod tests {
         let init = c.initial_env::<Flat>(&p);
         let (mop, paths) = c
             .solve_mop::<Flat>(init, 100, PathMode::FeasiblePaths)
-            .unwrap();
+            .unwrap_or_else(|e| panic!("feasible-path MOP failed on {src:?}: {e}"));
         assert_eq!(paths, 2);
         assert_eq!(mop.get(p.var_named("a2").unwrap()).as_const(), Some(3));
     }
@@ -782,10 +811,15 @@ mod tests {
                 cond: None,
             }, // 7 exit
         ];
-        let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4).unwrap();
+        let g = Cfg::from_parts(nodes, NodeId(0), NodeId(7), 4)
+            .expect("the hand-built two-branch sum CFG is well-formed");
         let init = g.bottom_env::<Flat>();
-        let mfp = g.solve_mfp::<Flat>(init.clone()).unwrap();
-        let (mop, paths) = g.solve_mop::<Flat>(init, 10, PathMode::AllPaths).unwrap();
+        let mfp = g
+            .solve_mfp::<Flat>(init.clone())
+            .expect("MFP failed on the hand-built two-branch sum CFG");
+        let (mop, paths) = g
+            .solve_mop::<Flat>(init, 10, PathMode::AllPaths)
+            .expect("MOP failed on the hand-built two-branch sum CFG");
         assert_eq!(paths, 2);
         assert!(mfp.get(cc).is_top(), "MFP merges early");
         assert_eq!(mop.get(cc).as_const(), Some(3), "MOP keeps the correlation");
@@ -794,8 +828,9 @@ mod tests {
 
     #[test]
     fn loop_construct_becomes_havoc() {
-        let (p, c) = cfg("(let (x (loop)) (let (y (add1 x)) y))");
-        let mfp = c.solve_mfp::<Flat>(c.initial_env(&p)).unwrap();
+        let src = "(let (x (loop)) (let (y (add1 x)) y))";
+        let (p, c) = cfg(src);
+        let mfp = mfp_flat(&p, &c, src);
         assert!(mfp.get(p.var_named("x").unwrap()).is_top());
         assert!(mfp.get(p.var_named("y").unwrap()).is_top());
     }
@@ -818,7 +853,9 @@ mod tests {
             .solve_mop::<Flat>(init.clone(), 7, PathMode::AllPaths)
             .unwrap_err();
         assert_eq!(err, CfgError::TooManyPaths { limit: 7 });
-        let (_, paths) = c.solve_mop::<Flat>(init, 8, PathMode::AllPaths).unwrap();
+        let (_, paths) = c
+            .solve_mop::<Flat>(init, 8, PathMode::AllPaths)
+            .unwrap_or_else(|e| panic!("MOP failed on {src:?}: {e}"));
         assert_eq!(paths, 8);
     }
 
@@ -832,9 +869,13 @@ mod tests {
         ] {
             let (p, c) = cfg(src);
             let init = c.initial_env::<Flat>(&p);
-            let mfp = c.solve_mfp::<Flat>(init.clone()).unwrap();
+            let mfp = c
+                .solve_mfp::<Flat>(init.clone())
+                .unwrap_or_else(|e| panic!("MFP failed on {src:?}: {e}"));
             for mode in [PathMode::AllPaths, PathMode::FeasiblePaths] {
-                let (mop, _) = c.solve_mop::<Flat>(init.clone(), 1000, mode).unwrap();
+                let (mop, _) = c
+                    .solve_mop::<Flat>(init.clone(), 1000, mode)
+                    .unwrap_or_else(|e| panic!("MOP ({mode:?}) failed on {src:?}: {e}"));
                 assert!(mop.leq(&mfp), "MOP ⋢ MFP on {src} ({mode:?})");
             }
         }
@@ -851,7 +892,9 @@ mod tests {
         ] {
             let (p, c) = cfg(src);
             let init = c.initial_env::<Flat>(&p);
-            let (sparse, stats) = c.solve_mfp_instrumented::<Flat>(init.clone()).unwrap();
+            let (sparse, stats) = c
+                .solve_mfp_instrumented::<Flat>(init.clone())
+                .unwrap_or_else(|e| panic!("sparse MFP failed on {src:?}: {e}"));
             let dense = c.solve_mfp_dense::<Flat>(init);
             assert_eq!(sparse, dense, "MFP solutions diverge on {src}");
             assert_eq!(stats.constraints, c.nodes().len() as u64);
@@ -863,10 +906,11 @@ mod tests {
     fn rpo_pops_forward_graphs_in_one_pass_each() {
         // On an acyclic diamond the RPO rank order means every node fires
         // exactly once with no re-posts surviving coalescing.
-        let (p, c) = cfg("(let (a1 (if0 z 0 1)) (let (a2 (add1 a1)) a2))");
+        let src = "(let (a1 (if0 z 0 1)) (let (a2 (add1 a1)) a2))";
+        let (p, c) = cfg(src);
         let (_, stats) = c
             .solve_mfp_instrumented::<Flat>(c.initial_env::<Flat>(&p))
-            .unwrap();
+            .unwrap_or_else(|e| panic!("sparse MFP failed on {src:?}: {e}"));
         assert_eq!(
             stats.fired, stats.constraints,
             "acyclic CFG should settle in one RPO pass"
@@ -881,8 +925,12 @@ mod tests {
         let mut agg = crate::trace::AggSink::new();
         let (traced, stats) = c
             .solve_mfp_traced::<Flat>(init.clone(), AnalysisBudget::default(), &mut agg)
-            .unwrap();
-        assert_eq!(traced, c.solve_mfp::<Flat>(init.clone()).unwrap());
+            .unwrap_or_else(|e| panic!("traced MFP failed on {src:?}: {e}"));
+        assert_eq!(
+            traced,
+            c.solve_mfp::<Flat>(init.clone())
+                .unwrap_or_else(|e| panic!("MFP failed on {src:?}: {e}"))
+        );
         assert_eq!(agg.counter_value("mfp.fired"), stats.fired);
         assert_eq!(agg.span_agg("mfp").unwrap().count, 1);
         let err = c

@@ -343,6 +343,12 @@ pub struct DeltaNodes<T> {
     commit_memo: FxHashMap<Box<[u32]>, SetId>,
     /// Reused index buffer for [`commit_into`](DeltaNodes::commit_into).
     commit_scratch: Vec<u32>,
+    /// Total log entries across nodes (running count, so
+    /// [`approx_bytes`](DeltaNodes::approx_bytes) stays O(1) and can sit on
+    /// the solver's per-firing memory-ceiling check).
+    log_entries: usize,
+    /// Total allocated bitset words across nodes (running count).
+    bit_words: usize,
 }
 
 impl<T: Eq + Hash + Clone> DeltaNodes<T> {
@@ -355,6 +361,8 @@ impl<T: Eq + Hash + Clone> DeltaNodes<T> {
             bits: vec![Vec::new(); n],
             commit_memo: FxHashMap::default(),
             commit_scratch: Vec::new(),
+            log_entries: 0,
+            bit_words: 0,
         }
     }
 
@@ -385,6 +393,7 @@ impl<T: Eq + Hash + Clone> DeltaNodes<T> {
         let (word, bit) = (vi as usize / 64, vi % 64);
         let bits = &mut self.bits[node];
         if word >= bits.len() {
+            self.bit_words += word + 1 - bits.len();
             bits.resize(word + 1, 0);
         }
         if bits[word] & (1 << bit) != 0 {
@@ -392,7 +401,21 @@ impl<T: Eq + Hash + Clone> DeltaNodes<T> {
         }
         bits[word] |= 1 << bit;
         self.logs[node].push((v, vi));
+        self.log_entries += 1;
         Some(self.logs[node].len())
+    }
+
+    /// A lower-bound estimate of the store's heap footprint in bytes —
+    /// growth logs, membership bitsets, and the value universe (entry and
+    /// reverse table). O(1): maintained incrementally by the add path. This
+    /// is what the governed CFA drivers feed the
+    /// [`RunGuard`](crate::govern::RunGuard) memory ceiling, and the number
+    /// tracks the same growth the `pool.*` gauges report at commit time.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.log_entries * size_of::<(T, u32)>()
+            + self.bit_words * size_of::<u64>()
+            + self.rev.len() * (2 * size_of::<T>() + size_of::<u32>())
     }
 
     /// The growth log of `node`: its distinct elements in insertion order,

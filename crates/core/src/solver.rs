@@ -32,6 +32,7 @@
 //! is fully deterministic.
 
 use crate::budget::{AnalysisBudget, AnalysisError};
+use crate::govern::RunGuard;
 use crate::stats::SolverStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -285,12 +286,24 @@ impl WorklistSolver {
     /// cumulative firing count exceeds the budget — this is the §6.2 safety
     /// property on the sparse path: exponential CPS workloads stop instead
     /// of looping unbounded.
-    pub fn run<F>(&mut self, budget: AnalysisBudget, mut step: F) -> Result<(), AnalysisError>
+    pub fn run<F>(&mut self, budget: AnalysisBudget, step: F) -> Result<(), AnalysisError>
+    where
+        F: FnMut(&mut Self, ConstraintId) -> Result<(), AnalysisError>,
+    {
+        self.run_guarded(&RunGuard::new(budget), step)
+    }
+
+    /// [`run`](WorklistSolver::run) under a full [`RunGuard`]: every firing
+    /// is charged through the guard, so the wall-clock deadline, the
+    /// cancellation token, and any injected fault plan are enforced on the
+    /// sparse path alongside the goal budget. `run` itself delegates here
+    /// with a budget-only guard, so the two paths cannot drift.
+    pub fn run_guarded<F>(&mut self, guard: &RunGuard, mut step: F) -> Result<(), AnalysisError>
     where
         F: FnMut(&mut Self, ConstraintId) -> Result<(), AnalysisError>,
     {
         while let Some(c) = self.pop() {
-            budget.check(self.stats.fired)?;
+            guard.charge(1)?;
             step(self, c)?;
         }
         Ok(())

@@ -109,12 +109,20 @@ mod tests {
         "(lambda (x) x)",
     ];
 
+    /// Parses one corpus sample, naming it on failure.
+    fn parse(src: &str) -> AnfProgram {
+        AnfProgram::parse(src).unwrap_or_else(|e| panic!("parse failed on {src:?}: {e}"))
+    }
+
     #[test]
     fn direct_analysis_covers_direct_runs() {
         for src in SAMPLES {
-            let p = AnfProgram::parse(src).unwrap();
-            let conc = run_direct(&p, &[], Fuel::default()).unwrap();
-            let abs = DirectAnalyzer::<Flat>::new(&p).analyze().unwrap();
+            let p = parse(src);
+            let conc = run_direct(&p, &[], Fuel::default())
+                .unwrap_or_else(|e| panic!("concrete direct run failed on {src:?}: {e}"));
+            let abs = DirectAnalyzer::<Flat>::new(&p)
+                .analyze()
+                .unwrap_or_else(|e| panic!("direct analysis failed on {src:?}: {e}"));
             check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
     }
@@ -122,9 +130,12 @@ mod tests {
     #[test]
     fn semcps_analysis_covers_semcps_runs() {
         for src in SAMPLES {
-            let p = AnfProgram::parse(src).unwrap();
-            let conc = run_semcps(&p, &[], Fuel::default()).unwrap();
-            let abs = SemCpsAnalyzer::<PowerSet<8>>::new(&p).analyze().unwrap();
+            let p = parse(src);
+            let conc = run_semcps(&p, &[], Fuel::default())
+                .unwrap_or_else(|e| panic!("concrete semantic-CPS run failed on {src:?}: {e}"));
+            let abs = SemCpsAnalyzer::<PowerSet<8>>::new(&p)
+                .analyze()
+                .unwrap_or_else(|e| panic!("semantic-CPS analysis failed on {src:?}: {e}"));
             check_direct(&p, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
     }
@@ -132,18 +143,23 @@ mod tests {
     #[test]
     fn syncps_analysis_covers_syncps_runs() {
         for src in SAMPLES {
-            let p = AnfProgram::parse(src).unwrap();
+            let p = parse(src);
             let c = CpsProgram::from_anf(&p);
-            let conc = run_syncps(&c, &[], Fuel::default()).unwrap();
-            let abs = SynCpsAnalyzer::<Flat>::new(&c).analyze().unwrap();
+            let conc = run_syncps(&c, &[], Fuel::default())
+                .unwrap_or_else(|e| panic!("concrete syntactic-CPS run failed on {src:?}: {e}"));
+            let abs = SynCpsAnalyzer::<Flat>::new(&c)
+                .analyze()
+                .unwrap_or_else(|e| panic!("syntactic-CPS analysis failed on {src:?}: {e}"));
             check_syncps(&c, &conc.store, &abs.store).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
     }
 
     #[test]
     fn violations_are_reported() {
-        let p = AnfProgram::parse("(let (a 1) a)").unwrap();
-        let conc = run_direct(&p, &[], Fuel::default()).unwrap();
+        let src = "(let (a 1) a)";
+        let p = parse(src);
+        let conc = run_direct(&p, &[], Fuel::default())
+            .unwrap_or_else(|e| panic!("concrete direct run failed on {src:?}: {e}"));
         // An all-⊥ "abstract result" cannot cover the run.
         let bogus: AbsStore<Flat> = AbsStore::bottom(p.num_vars());
         let err = check_direct(&p, &conc.store, &bogus).unwrap_err();

@@ -14,6 +14,7 @@ use crate::absval::{AbsClo, AbsKont, CAbsAnswer, CAbsStore, CAbsVal};
 use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::domain::NumDomain;
 use crate::flow::FlowLog;
+use crate::govern::RunGuard;
 use crate::stats::AnalysisStats;
 use crate::trace::{self, TraceSink};
 #[cfg(test)]
@@ -61,6 +62,7 @@ pub struct SynCpsAnalyzer<'p, D: NumDomain> {
     clo_top: BTreeSet<AbsClo>,
     kont_top: BTreeSet<AbsKont>,
     budget: AnalysisBudget,
+    guard: Option<RunGuard>,
     seeds: Vec<(CVarId, CAbsVal<D>)>,
     loop_widening: bool,
 }
@@ -96,6 +98,7 @@ impl<'p, D: NumDomain> SynCpsAnalyzer<'p, D> {
             clo_top,
             kont_top,
             budget: AnalysisBudget::default(),
+            guard: None,
             seeds: Vec::new(),
             loop_widening: false,
         }
@@ -106,6 +109,24 @@ impl<'p, D: NumDomain> SynCpsAnalyzer<'p, D> {
     pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches a [`RunGuard`]: goal charges flow through the guard (which
+    /// also enforces deadlines, memory ceilings, and cancellation) instead
+    /// of the plain goal budget.
+    #[must_use]
+    pub fn with_guard(mut self, guard: &RunGuard) -> Self {
+        self.guard = Some(guard.clone());
+        self
+    }
+
+    /// Charges one goal: through the attached guard when present, else
+    /// against the plain budget using the caller's running `goals` count.
+    fn charge(&self, goals: u64) -> Result<(), AnalysisError> {
+        match &self.guard {
+            Some(g) => g.charge(1),
+            None => self.budget.check(goals),
+        }
     }
 
     /// Overrides the initial abstract value of a variable (either
@@ -228,7 +249,7 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
     fn eval(&mut self, p: &'p CTerm, store: CAbsStore<D>) -> Result<CAbsAnswer<D>, AnalysisError> {
         self.depth += 1;
         self.stats.enter_goal(self.depth);
-        self.a.budget.check(self.stats.goals)?;
+        self.a.charge(self.stats.goals)?;
 
         let key = (p.label, store.clone());
         if self.path.contains(&key) {
@@ -368,7 +389,7 @@ impl<'p, D: NumDomain> Run<'_, 'p, D> {
                     });
                     i += 1;
                     self.stats.goals += 1;
-                    self.a.budget.check(self.stats.goals)?;
+                    self.a.charge(self.stats.goals)?;
                 }
             }
         }
