@@ -114,6 +114,13 @@ impl FaultPlan {
         self.fired.get()
     }
 
+    /// Marks the plan fired without performing it — how a parallel run,
+    /// which pokes an atomic *copy* of the schedule, reports back that the
+    /// one-shot happened on a worker thread.
+    pub(crate) fn force_fire(&self) {
+        self.fired.set(true);
+    }
+
     /// The guard's shim hook: called with the cumulative charge count on
     /// every [`RunGuard::charge`](crate::govern::RunGuard::charge). A plan
     /// that is due and un-fired performs its fault — returning the

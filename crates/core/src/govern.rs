@@ -43,6 +43,7 @@ use crate::direct::{DirectAnalyzer, DirectResult};
 use crate::domain::{Flat, PowerSet};
 use crate::faultinject::FaultPlan;
 use crate::semcps::{SemCpsAnalyzer, SemCpsResult};
+use crate::solver::SolverMode;
 use crate::trace::TraceSink;
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_cps::CpsProgram;
@@ -57,7 +58,7 @@ use std::time::{Duration, Instant};
 /// How many charges pass between wall-clock/cancellation checks on the
 /// guard's hot path. Budget and fault checks are exact (they are integer
 /// compares); `Instant::now` and the atomic load are amortized.
-const INTERRUPT_PERIOD: u64 = 64;
+pub(crate) const INTERRUPT_PERIOD: u64 = 64;
 
 /// A shared cancellation flag: `Clone + Send + Sync`, checkable from
 /// solver steps, interpreter goals, and parallel workers alike. Cancelling
@@ -242,6 +243,39 @@ impl RunGuard {
         self.state.mem_peak.get()
     }
 
+    /// The arena memory ceiling, if one is set.
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.state.memory_limit
+    }
+
+    /// The armed fault plan, if any — read by the parallel guard shim,
+    /// which replays the schedule through atomics.
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.state.fault.as_ref()
+    }
+
+    /// Folds the counters a parallel solve accumulated in its
+    /// [`ParGuard`](crate::solver::par) shim back into this guard: `charges`
+    /// new firings (both the per-rung and cumulative counters advance, so
+    /// fault schedules and `DegradationReport` charge accounting stay
+    /// correct in fallback rungs), the observed memory peak, and — when the
+    /// parallel run performed the armed fault — the plan's one-shot disarm,
+    /// so a fallback rung re-runs clean exactly as it would after a
+    /// sequential trip.
+    pub(crate) fn absorb_parallel(&self, charges: u64, mem_peak: u64, fault_fired: bool) {
+        let s = &*self.state;
+        s.charged.set(s.charged.get() + charges);
+        s.total.set(s.total.get() + charges);
+        if mem_peak > s.mem_peak.get() {
+            s.mem_peak.set(mem_peak);
+        }
+        if fault_fired {
+            if let Some(plan) = &s.fault {
+                plan.force_fire();
+            }
+        }
+    }
+
     /// Resets the per-rung charge counter at a ladder rung boundary. The
     /// cumulative `total` counter (fault schedules), the deadline (absolute
     /// wall clock), the memory peak, and the cancel token all carry over.
@@ -326,6 +360,7 @@ pub struct GovernPolicy {
     memory_limit: Option<u64>,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    mode: SolverMode,
 }
 
 impl GovernPolicy {
@@ -368,6 +403,22 @@ impl GovernPolicy {
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Selects the fixpoint engine the governed CFA drivers run on
+    /// (default [`SolverMode::Seq`]). With [`SolverMode::Par`], the 0CFA
+    /// ladders gain an intermediate rung that retries the same analysis on
+    /// the sequential engine, so a parallel-runtime failure (e.g. a shard
+    /// panic) degrades engine-first before giving up precision.
+    #[must_use]
+    pub fn with_solver_mode(mut self, mode: SolverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured fixpoint engine mode.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
     }
 
     /// Derives a fresh [`RunGuard`] for one request: the deadline clock
@@ -667,11 +718,17 @@ impl CfaAnswer {
 /// Constraint-based 0CFA of the CPS-converted program under full
 /// governance, degrading to source-level 0CFA.
 ///
-/// Ladder: `cfa.cps` (0CFA of `CpsProgram::from_anf(prog)`) → `cfa.src`
-/// (0CFA of `prog` itself). Both rungs satisfy §4.3 soundness for the
-/// source program — the CPS rung via the CPS transform's meaning
-/// preservation, the source rung directly — so the fallback loses the
-/// continuation flows (and §6.1 false-return visibility), not safety.
+/// Ladder: `cfa.cps` (0CFA of `CpsProgram::from_anf(prog)`, on the
+/// policy's [`SolverMode`]) → `cfa.cps.seq` (the same analysis on the
+/// sequential engine; present only when the policy selects a parallel
+/// mode) → `cfa.src` (0CFA of `prog` itself). All rungs satisfy §4.3
+/// soundness for the source program — the CPS rungs via the CPS
+/// transform's meaning preservation, the source rung directly — so the
+/// fallback loses the continuation flows (and §6.1 false-return
+/// visibility), not safety. The engine rung loses nothing at all:
+/// `Par(k)` and `Seq` are result-identical, so retrying sequentially after
+/// a parallel-runtime failure (a poisoned shard, say) recovers the *exact*
+/// answer the parallel rung was computing.
 ///
 /// ```
 /// use std::time::Duration;
@@ -702,12 +759,24 @@ pub fn governed_zero_cfa_cps(
 ) -> Result<Governed<CfaAnswer>, AnalysisError> {
     let cps = CpsProgram::from_anf(prog);
     let guard = policy.guard();
-    DegradationLadder::new()
-        .rung("cfa.cps", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+    let mode = policy.solver_mode();
+    let mut ladder =
+        DegradationLadder::new().rung("cfa.cps", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
             Ok(CfaAnswer::Cps(
-                cfa::zero_cfa_cps_guarded(&cps, g, &mut sink)?.0,
+                cfa::zero_cfa_cps_guarded_mode(&cps, mode, g, &mut sink)?.0,
             ))
-        })
+        });
+    if matches!(mode, SolverMode::Par(_)) {
+        ladder = ladder.rung(
+            "cfa.cps.seq",
+            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                Ok(CfaAnswer::Cps(
+                    cfa::zero_cfa_cps_guarded(&cps, g, &mut sink)?.0,
+                ))
+            },
+        );
+    }
+    ladder
         .rung("cfa.src", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
             Ok(CfaAnswer::Direct(
                 cfa::zero_cfa_guarded(prog, g, &mut sink)?.0,
@@ -970,6 +1039,22 @@ mod tests {
         assert!(!governed.report.degraded());
         assert!(matches!(governed.value, CfaAnswer::Cps(_)));
         assert_eq!(governed.report.answered_by(), Some("cfa.cps"));
+    }
+
+    #[test]
+    fn governed_cfa_on_parallel_mode_answers_identically() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f (f 1)))").unwrap();
+        let seq = governed_zero_cfa_cps(&p, &GovernPolicy::new(), &mut crate::trace::NoopSink)
+            .expect("sequential mode answers");
+        let policy = GovernPolicy::new().with_solver_mode(SolverMode::Par(3));
+        let par = governed_zero_cfa_cps(&p, &policy, &mut crate::trace::NoopSink)
+            .expect("parallel mode answers");
+        assert!(!par.report.degraded());
+        assert_eq!(par.report.answered_by(), Some("cfa.cps"));
+        let (CfaAnswer::Cps(a), CfaAnswer::Cps(b)) = (&seq.value, &par.value) else {
+            panic!("both ladders should answer at the CPS rung");
+        };
+        assert!(a.same_solution(b));
     }
 
     #[test]

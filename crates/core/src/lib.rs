@@ -58,6 +58,7 @@ pub mod flow;
 pub mod fxhash;
 pub mod govern;
 pub mod kcfa;
+pub mod kernels;
 pub mod labtab;
 pub mod mfp;
 pub mod precision;
@@ -84,7 +85,7 @@ pub use labtab::{LabelLookup, LabelTable};
 pub use precision::PrecisionOrder;
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};
 pub use setpool::{DeltaNodes, PoolStats, SetBuilder, SetId, SetPool};
-pub use solver::{DeltaRange, WorklistSolver};
+pub use solver::{worker_count, DeltaRange, SolverMode, WorklistSolver};
 pub use stats::{AnalysisStats, SolverStats};
 pub use syncps::{SynCpsAnalyzer, SynCpsResult};
 pub use trace::{AggSink, JsonlSink, NoopSink, TraceSink};

@@ -31,6 +31,10 @@
 //! pass reverse-postorder ranks (MFP) or source order (CFA) — so solving
 //! is fully deterministic.
 
+pub mod par;
+
+pub use par::{worker_count, SolverMode};
+
 use crate::budget::{AnalysisBudget, AnalysisError};
 use crate::govern::RunGuard;
 use crate::stats::SolverStats;

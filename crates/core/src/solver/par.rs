@@ -1,0 +1,625 @@
+//! The sharded, work-stealing parallel fixpoint runtime.
+//!
+//! The sequential [`WorklistSolver`](super::WorklistSolver) fires one
+//! constraint at a time; this module runs K *shards* — each a complete
+//! solver + delta-store over the same global flow-node space — in
+//! bulk-synchronous rounds on `std::thread::scope` threads (no new
+//! dependencies). Flow nodes are partitioned across shards by contiguous
+//! blocks ([`PartitionMap`]); a shard *owns* the nodes of its block, hosts
+//! the constraints watching them, and keeps append-only mirrors of every
+//! other node so firing stays entirely shared-nothing. Cross-partition
+//! growth travels as frontier messages: an element added to a non-owned
+//! node is applied optimistically to the local mirror and *proposed* to the
+//! node's owner; the owner dedups against its authoritative copy and
+//! broadcasts accepted elements, so every mirror converges to the same set.
+//!
+//! **Work stealing.** Threads do not have fixed partitions: each round,
+//! every worker claims un-pumped partitions from a shared atomic ticket
+//! until none remain, so a worker stalled by the OS never strands queued
+//! partitions. Claiming order does not affect the result because a
+//! partition's behavior in a round depends only on its own state plus an
+//! inbox that is sorted by sender id before processing.
+//!
+//! **Determinism.** Within a round each shard drains its local worklist in
+//! solver rank order (deterministic), producing messages in a deterministic
+//! order; between rounds the per-destination mailboxes are merged at the
+//! barrier in sender-id order. By induction every shard's state at every
+//! round is a pure function of the input program and K — running `Par(k)`
+//! twice is bit-for-bit repeatable. Equality with `Seq` is the monotone
+//! least-fixpoint argument: firings only ever *add* lattice elements, so
+//! the final per-node sets are schedule-independent, and schedule-
+//! independent statistics (node and constraint counts, total delta
+//! elements) agree exactly; see DESIGN.md §10.
+//!
+//! **Fault isolation.** Each partition pump runs under `catch_unwind`. A
+//! panicking shard records its payload, trips the shared abort flag, and
+//! *keeps participating in the barrier protocol*, so sibling shards always
+//! reach the rendezvous and the round loop exits uniformly — a poisoned
+//! shard can degrade the analysis (surfaced as
+//! [`AnalysisError::WorkerPanicked`]) but can never deadlock it.
+
+use crate::budget::AnalysisError;
+use crate::faultinject::FaultKind;
+use crate::govern::{panic_message, CancelToken, Deadline, RunGuard, INTERRUPT_PERIOD};
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// How a fixpoint client drives its solver: the classic single-threaded
+/// engine, or the sharded parallel runtime with `k` worker shards.
+///
+/// `Par(k)` is *result-identical* to `Seq` — same committed stores, same
+/// call/return tables, same node/constraint/delta-element counts — for any
+/// `k`; only wall-clock and the order-dependent scheduling counters
+/// (`fired`, `posted`, ...) differ. `Par(0)` and `Par(1)` both mean one
+/// shard (the degenerate parallel engine, useful for measuring runtime
+/// overhead against `Seq`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SolverMode {
+    /// The single-threaded worklist engine.
+    #[default]
+    Seq,
+    /// The sharded engine with `k` partitions/worker threads.
+    Par(usize),
+}
+
+impl SolverMode {
+    /// The parallel mode sized from the environment: `Par(k)` with `k`
+    /// from [`worker_count`] — the same `CPSDFA_WORKERS` knob the corpus
+    /// driver in `cpsdfa-workloads` uses, so the two cannot drift.
+    pub fn par_from_env() -> SolverMode {
+        SolverMode::Par(worker_count())
+    }
+
+    /// The shard count this mode runs with: 0 for `Seq`, at least 1 for
+    /// `Par` (0 clamps to 1, same as the env knob).
+    pub fn shards(self) -> usize {
+        match self {
+            SolverMode::Seq => 0,
+            SolverMode::Par(k) => k.max(1),
+        }
+    }
+}
+
+/// The worker count configured for this process: the `CPSDFA_WORKERS`
+/// environment variable if set to a parseable integer (clamped to at least
+/// 1, so `0` means "sequential", not "panic"), otherwise the available
+/// hardware parallelism, or 1 if neither can be determined.
+///
+/// This is the single parsing point for the knob: `workloads::par` (the
+/// corpus-level map) and [`SolverMode::par_from_env`] (the intra-program
+/// engine) both call through here, so the two layers always agree on what
+/// the variable means.
+pub fn worker_count() -> usize {
+    if let Ok(raw) = std::env::var("CPSDFA_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Contiguous-block ownership of the global flow-node space: node `n`
+/// belongs to shard `n / ceil(nodes / shards)`. Blocks keep a lambda's
+/// parameter/body nodes (adjacent ids from `NodeIndex`) on one shard, so
+/// most call-wiring traffic stays local.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PartitionMap {
+    shards: usize,
+    block: usize,
+}
+
+impl PartitionMap {
+    /// A map of `nodes` ids over `shards ≥ 1` blocks.
+    pub(crate) fn new(nodes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        PartitionMap {
+            shards,
+            block: nodes.div_ceil(shards).max(1),
+        }
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub(crate) fn owner(&self, node: usize) -> usize {
+        (node / self.block).min(self.shards - 1)
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// The copy of a guard's armed fault plan that can be poked from worker
+/// threads: same kind and schedule, `fired` as an atomic swap so the fault
+/// performs exactly once across all shards.
+struct ParFault {
+    kind: FaultKind,
+    at_firing: u64,
+    fired: AtomicBool,
+}
+
+/// The thread-safe face of a [`RunGuard`] for one parallel solve.
+///
+/// The guard itself is deliberately single-threaded (`Rc` + `Cell`), so a
+/// parallel run charges against this shim instead: a shared atomic firing
+/// counter seeded with the guard's prior cumulative total (fault schedules
+/// stay cumulative across ladder rungs), a copy of the budget/deadline/
+/// memory ceiling, the same shared [`CancelToken`] flag, and per-shard
+/// memory slots summed for the ceiling check. After the run the driver
+/// folds the observed totals back into the guard with
+/// [`RunGuard::absorb_parallel`], so reports and fallback rungs see the
+/// same counters a sequential run would have left.
+pub(crate) struct ParGuard {
+    /// Per-rung budget ceiling (`AnalysisBudget::max_goals`).
+    limit: u64,
+    /// Charges the guard had already accumulated this rung.
+    base: u64,
+    /// Cumulative charges across the whole request before this run (what
+    /// fault schedules index).
+    total_base: u64,
+    /// New charges performed by this parallel run.
+    charged: AtomicU64,
+    deadline: Option<Deadline>,
+    cancel: Option<CancelToken>,
+    fault: Option<ParFault>,
+    mem_limit: Option<u64>,
+    /// One slot per shard: that shard's current store footprint.
+    mem: Vec<AtomicU64>,
+    mem_peak: AtomicU64,
+    /// Trips when any shard errors or panics; every other shard observes it
+    /// on its next charge and exits at the round barrier.
+    abort: AtomicBool,
+}
+
+impl ParGuard {
+    /// Derives the shim from `guard` for `shards` workers.
+    pub(crate) fn from_guard(guard: &RunGuard, shards: usize) -> ParGuard {
+        ParGuard {
+            limit: guard.budget().max_goals(),
+            base: guard.spent(),
+            total_base: guard.total_spent(),
+            charged: AtomicU64::new(0),
+            deadline: guard.deadline(),
+            cancel: guard.cancel_token().cloned(),
+            fault: guard.fault_plan().and_then(|plan| {
+                if plan.has_fired() {
+                    None
+                } else {
+                    Some(ParFault {
+                        kind: plan.kind(),
+                        at_firing: plan.at_firing(),
+                        fired: AtomicBool::new(false),
+                    })
+                }
+            }),
+            mem_limit: guard.memory_limit(),
+            mem: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            mem_peak: AtomicU64::new(guard.mem_peak()),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Total new charges this run performed so far.
+    pub(crate) fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+
+    /// Peak summed store footprint observed (bytes).
+    pub(crate) fn mem_peak(&self) -> u64 {
+        self.mem_peak.load(Ordering::Relaxed)
+    }
+
+    /// Whether the armed fault performed during this run.
+    pub(crate) fn fault_fired(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.fired.load(Ordering::Relaxed))
+    }
+
+    /// Trips the abort flag (a sibling failed; wind down at the barrier).
+    pub(crate) fn abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// Whether a sibling shard has failed.
+    pub(crate) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// One solver firing: the parallel mirror of
+    /// [`RunGuard::charge`](crate::govern::RunGuard::charge). Pokes the
+    /// fault plan at the exact cumulative firing, enforces the per-rung
+    /// budget exactly, polls deadline/cancel every
+    /// [`INTERRUPT_PERIOD`] global charges, and observes the abort flag on
+    /// every call so sibling failures propagate promptly.
+    pub(crate) fn charge(&self) -> Result<(), AnalysisError> {
+        if self.aborted() {
+            // A sibling already produced the authoritative error; stop
+            // charging and let the runtime surface that one.
+            return Err(AnalysisError::Cancelled);
+        }
+        let t = self.charged.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(f) = &self.fault {
+            if self.total_base + t >= f.at_firing && !f.fired.swap(true, Ordering::AcqRel) {
+                match f.kind {
+                    FaultKind::TripBudget => {
+                        return Err(AnalysisError::BudgetExhausted { budget: self.limit })
+                    }
+                    FaultKind::ExpireDeadline => return Err(AnalysisError::DeadlineExceeded),
+                    FaultKind::Panic => panic!(
+                        "{} at firing {}",
+                        crate::faultinject::INJECTED_PANIC,
+                        self.total_base + t
+                    ),
+                    FaultKind::Cancel => {
+                        if let Some(token) = &self.cancel {
+                            token.cancel();
+                        }
+                        return Err(AnalysisError::Cancelled);
+                    }
+                }
+            }
+        }
+        if self.base + t > self.limit {
+            return Err(AnalysisError::BudgetExhausted { budget: self.limit });
+        }
+        if t.is_multiple_of(INTERRUPT_PERIOD) {
+            self.check_interrupts()?;
+        }
+        Ok(())
+    }
+
+    /// Reports shard `shard`'s current store footprint and enforces the
+    /// summed memory ceiling across all shards.
+    pub(crate) fn charge_memory(&self, shard: usize, bytes: u64) -> Result<(), AnalysisError> {
+        self.mem[shard].store(bytes, Ordering::Relaxed);
+        let total: u64 = self.mem.iter().map(|m| m.load(Ordering::Relaxed)).sum();
+        self.mem_peak.fetch_max(total, Ordering::Relaxed);
+        match self.mem_limit {
+            Some(limit) if total > limit => {
+                Err(AnalysisError::MemoryExhausted { limit_bytes: limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Unamortized deadline + cancellation poll.
+    pub(crate) fn check_interrupts(&self) -> Result<(), AnalysisError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(AnalysisError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if deadline.expired() {
+                return Err(AnalysisError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-destination frontier messages a shard emits during one pump.
+pub(crate) struct Outbox<M> {
+    boxes: Vec<Vec<M>>,
+}
+
+impl<M: Clone> Outbox<M> {
+    fn new(shards: usize) -> Self {
+        Outbox {
+            boxes: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Queues `m` for shard `dest`.
+    pub(crate) fn send(&mut self, dest: usize, m: M) {
+        self.boxes[dest].push(m);
+    }
+
+    /// Queues `m` for every shard except `src` (the owner-broadcast path).
+    pub(crate) fn broadcast_from(&mut self, src: usize, m: M) {
+        for (dest, b) in self.boxes.iter_mut().enumerate() {
+            if dest != src {
+                b.push(m.clone());
+            }
+        }
+    }
+}
+
+/// One partition of a parallel fixpoint client. The runtime guarantees
+/// `pump` is called with exclusive access, exactly once per round, with the
+/// round's inbox sorted by sender id.
+pub(crate) trait ParShard: Send {
+    /// The frontier message type exchanged between shards.
+    type Msg: Send + Clone;
+
+    /// Applies one round's incoming messages, then drains the local
+    /// worklist to quiescence, queuing cross-partition traffic on `out`.
+    fn pump(
+        &mut self,
+        inbox: Vec<(usize, Vec<Self::Msg>)>,
+        out: &mut Outbox<Self::Msg>,
+        pg: &ParGuard,
+    ) -> Result<(), AnalysisError>;
+}
+
+/// One shard's incoming mail for a round: `(sender, batch)` pairs behind
+/// the lock the barrier-ordered exchange serializes on.
+type Mailbox<M> = Mutex<Vec<(usize, Vec<M>)>>;
+
+/// Drives `shards` to a global fixpoint in bulk-synchronous rounds and
+/// hands them back (the driver commits results out of the owned stores).
+///
+/// Spawns one scoped thread per shard; each round every thread claims
+/// un-pumped partitions from an atomic ticket (the work-stealing step),
+/// pumps them under `catch_unwind`, and meets the others at a barrier where
+/// the round's message count decides termination: a round that moved no
+/// messages means every local worklist drained with nothing left to say.
+/// Errors and panics trip the shared abort flag instead of breaking the
+/// barrier protocol, so shutdown is always a normal, uniform round exit.
+pub(crate) fn run_bsp<S: ParShard>(
+    mut shards: Vec<S>,
+    pg: &ParGuard,
+) -> Result<Vec<S>, AnalysisError> {
+    let p = shards.len();
+    debug_assert!(p >= 1, "run_bsp needs at least one shard");
+    if p == 1 {
+        // Degenerate parallel engine: no threads, no barriers — pump the
+        // single shard until its self-addressed mailbox drains (it has no
+        // peers, so any message would be a bug; assert that).
+        let mut out = Outbox::new(1);
+        shards[0].pump(Vec::new(), &mut out, pg)?;
+        debug_assert!(out.boxes[0].is_empty(), "single shard messaged itself");
+        return Ok(shards);
+    }
+    let cells: Vec<Mutex<&mut S>> = shards.iter_mut().map(Mutex::new).collect();
+    let mailboxes: Vec<Mailbox<S::Msg>> = (0..p).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(p);
+    let ticket = AtomicUsize::new(0);
+    let round_msgs = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let failure: Mutex<Option<AnalysisError>> = Mutex::new(None);
+    let record_failure = |err: AnalysisError| {
+        let mut slot = failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        pg.abort();
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..p {
+            scope.spawn(|| loop {
+                loop {
+                    let t = ticket.fetch_add(1, Ordering::AcqRel);
+                    if t >= p {
+                        break;
+                    }
+                    let mut shard = cells[t].lock().unwrap();
+                    let mut inbox = std::mem::take(&mut *mailboxes[t].lock().unwrap());
+                    // Sender-id order makes the merge deterministic: each
+                    // sender contributes at most one batch per round.
+                    inbox.sort_by_key(|&(src, _)| src);
+                    let mut out = Outbox::new(p);
+                    let pumped = catch_unwind(AssertUnwindSafe(|| shard.pump(inbox, &mut out, pg)));
+                    match pumped {
+                        Ok(Ok(())) => {
+                            let mut sent = 0;
+                            for (dest, batch) in out.boxes.into_iter().enumerate() {
+                                if !batch.is_empty() {
+                                    sent += batch.len();
+                                    mailboxes[dest].lock().unwrap().push((t, batch));
+                                }
+                            }
+                            if sent > 0 {
+                                round_msgs.fetch_add(sent, Ordering::AcqRel);
+                            }
+                        }
+                        Ok(Err(err)) => {
+                            // `Cancelled` from a charge that merely observed
+                            // the abort flag must not mask the original
+                            // failure; record_failure keeps the first error.
+                            record_failure(err);
+                        }
+                        Err(payload) => {
+                            record_failure(AnalysisError::WorkerPanicked {
+                                payload: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+                // Rendezvous 1: all partitions pumped, all messages posted.
+                if barrier.wait().is_leader() {
+                    let quiet = round_msgs.swap(0, Ordering::AcqRel) == 0;
+                    if quiet || pg.aborted() {
+                        done.store(true, Ordering::Release);
+                    }
+                    ticket.store(0, Ordering::Release);
+                }
+                // Rendezvous 2: everyone observes the termination verdict
+                // and the reset ticket together.
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            });
+        }
+    });
+    drop(cells);
+    match failure.into_inner().unwrap() {
+        Some(err) => Err(err),
+        None => Ok(shards),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::AnalysisBudget;
+
+    #[test]
+    fn partition_map_covers_every_node_exactly_once() {
+        for nodes in [0usize, 1, 2, 7, 64, 65] {
+            for shards in 1..=8 {
+                let pm = PartitionMap::new(nodes, shards);
+                for n in 0..nodes {
+                    let o = pm.owner(n);
+                    assert!(o < shards, "nodes={nodes} shards={shards} n={n}");
+                }
+                // Blocks are contiguous and monotone.
+                let owners: Vec<usize> = (0..nodes).map(|n| pm.owner(n)).collect();
+                assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_shards_clamp() {
+        assert_eq!(SolverMode::Seq.shards(), 0);
+        assert_eq!(SolverMode::Par(0).shards(), 1);
+        assert_eq!(SolverMode::Par(4).shards(), 4);
+        assert_eq!(SolverMode::default(), SolverMode::Seq);
+    }
+
+    /// A trivial shard: counts down `work` via charges, sends `sends`
+    /// tokens to its right-hand neighbor on the first round.
+    #[derive(Debug)]
+    struct Toy {
+        id: usize,
+        shards: usize,
+        work: usize,
+        sends: usize,
+        received: Vec<(usize, u32)>,
+        rounds: usize,
+    }
+
+    impl ParShard for Toy {
+        type Msg = u32;
+        fn pump(
+            &mut self,
+            inbox: Vec<(usize, Vec<u32>)>,
+            out: &mut Outbox<u32>,
+            pg: &ParGuard,
+        ) -> Result<(), AnalysisError> {
+            self.rounds += 1;
+            for (src, batch) in inbox {
+                for m in batch {
+                    self.received.push((src, m));
+                }
+            }
+            for _ in 0..self.work {
+                pg.charge()?;
+            }
+            self.work = 0;
+            if self.sends > 0 {
+                let dest = (self.id + 1) % self.shards;
+                for i in 0..self.sends {
+                    out.send(dest, i as u32);
+                }
+                self.sends = 0;
+            }
+            Ok(())
+        }
+    }
+
+    fn toys(p: usize, work: usize, sends: usize) -> Vec<Toy> {
+        (0..p)
+            .map(|id| Toy {
+                id,
+                shards: p,
+                work,
+                sends,
+                received: Vec::new(),
+                rounds: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bsp_terminates_when_no_messages_flow() {
+        let pg = ParGuard::from_guard(&RunGuard::new(AnalysisBudget::default()), 4);
+        let shards = run_bsp(toys(4, 5, 3), &pg).expect("clean run");
+        for s in &shards {
+            assert_eq!(s.received.len(), 3, "each shard hears its left neighbor");
+            assert!(s.rounds >= 2, "a message round plus a quiet round");
+        }
+        assert_eq!(pg.charged(), 20);
+    }
+
+    #[test]
+    fn bsp_budget_error_reaches_the_caller_without_hanging() {
+        let pg = ParGuard::from_guard(&RunGuard::new(AnalysisBudget::new(10)), 4);
+        let err = run_bsp(toys(4, 100, 0), &pg).expect_err("budget must trip");
+        assert!(matches!(err, AnalysisError::BudgetExhausted { budget: 10 }));
+    }
+
+    #[test]
+    fn bsp_single_shard_runs_inline() {
+        let pg = ParGuard::from_guard(&RunGuard::new(AnalysisBudget::default()), 1);
+        let shards = run_bsp(toys(1, 7, 0), &pg).expect("clean run");
+        assert_eq!(shards[0].rounds, 1);
+        assert_eq!(pg.charged(), 7);
+    }
+
+    #[derive(Debug)]
+    struct Panicker {
+        id: usize,
+    }
+
+    impl ParShard for Panicker {
+        type Msg = ();
+        fn pump(
+            &mut self,
+            _inbox: Vec<(usize, Vec<()>)>,
+            _out: &mut Outbox<()>,
+            _pg: &ParGuard,
+        ) -> Result<(), AnalysisError> {
+            if self.id == 2 {
+                panic!("shard 2 poisoned");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn bsp_shard_panic_surfaces_as_worker_panicked() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pg = ParGuard::from_guard(&RunGuard::new(AnalysisBudget::default()), 4);
+        let err = run_bsp((0..4).map(|id| Panicker { id }).collect(), &pg)
+            .expect_err("panic must surface");
+        std::panic::set_hook(quiet);
+        let AnalysisError::WorkerPanicked { payload } = err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert!(payload.contains("shard 2 poisoned"));
+    }
+
+    #[test]
+    fn par_guard_fault_fires_exactly_once_across_shards() {
+        use crate::faultinject::FaultPlan;
+        let guard = RunGuard::new(AnalysisBudget::default())
+            .with_fault(FaultPlan::new(FaultKind::TripBudget, 8));
+        let pg = ParGuard::from_guard(&guard, 4);
+        let mut errs = 0;
+        for _ in 0..32 {
+            if pg.charge().is_err() {
+                errs += 1;
+            }
+        }
+        assert_eq!(errs, 1, "one-shot fault");
+        assert!(pg.fault_fired());
+    }
+
+    #[test]
+    fn par_guard_memory_ceiling_sums_across_shards() {
+        let guard = RunGuard::new(AnalysisBudget::default()).with_memory_limit(100);
+        let pg = ParGuard::from_guard(&guard, 2);
+        assert!(pg.charge_memory(0, 60).is_ok());
+        assert!(pg.charge_memory(1, 30).is_ok());
+        assert!(pg.charge_memory(1, 50).is_err(), "60 + 50 > 100");
+        assert_eq!(pg.mem_peak(), 110);
+    }
+}

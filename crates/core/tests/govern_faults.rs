@@ -25,6 +25,7 @@ use cpsdfa_core::cfa::{
 use cpsdfa_core::faultinject::{FaultKind, FaultPlan, INJECTED_PANIC};
 use cpsdfa_core::govern::{governed_zero_cfa_cps, CancelToken, CfaAnswer, GovernPolicy, RunGuard};
 use cpsdfa_core::trace::{AggSink, NoopSink};
+use cpsdfa_core::SolverMode;
 use cpsdfa_cps::CpsProgram;
 use cpsdfa_workloads::families;
 use cpsdfa_workloads::par::{par_map_isolated, ParOutcome};
@@ -126,7 +127,11 @@ fn ample_budget_still_answers_at_the_cps_rung() {
 
 #[test]
 fn memory_ceiling_degrades_cps_cfa_to_direct() {
-    let p = AnfProgram::from_term(&families::repeated_calls(160));
+    // A conditional chain: source-level 0CFA sees almost no closure flow,
+    // while the CPS transform threads a continuation through every `let` —
+    // so the direct rung's arena stays both reserved-capacity- and
+    // element-wise far below the CPS rung's.
+    let p = AnfProgram::from_term(&families::cond_chain(160));
     let cps = CpsProgram::from_anf(&p);
     // Measure each rung's arena peak (DeltaNodes::approx_bytes) with
     // unlimited guards.
@@ -241,6 +246,77 @@ fn wall_clock_deadline_of_zero_degrades_or_cancels_soundly() {
         0,
         "no answer, no degrade"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults under the sharded parallel engine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_panic_under_par_degrades_without_deadlocking_siblings() {
+    quiet_injected_panics();
+    let p = AnfProgram::from_term(&families::repeated_calls(96));
+    // The fault panics inside whichever shard performs cumulative charge
+    // 40. The sibling shards must still reach the round barrier (the BSP
+    // runtime keeps a poisoned shard in the protocol), the ladder must see
+    // WorkerPanicked, and the sequential-engine rung must answer with the
+    // exact solution the parallel rung was computing.
+    let fault = FaultPlan::new(FaultKind::Panic, 40);
+    let policy = GovernPolicy::new()
+        .with_solver_mode(SolverMode::Par(4))
+        .with_fault(fault);
+    let governed = governed_zero_cfa_cps(&p, &policy, &mut NoopSink)
+        .expect("the sequential rung recovers the answer");
+    assert!(governed.report.degraded());
+    assert_eq!(governed.report.resource, Some("panic"));
+    assert_eq!(governed.report.answered_by(), Some("cfa.cps.seq"));
+    let Some(AnalysisError::WorkerPanicked { payload }) = &governed.report.attempts[0].error else {
+        panic!("first attempt should record the shard panic");
+    };
+    assert!(payload.contains(INJECTED_PANIC), "payload kept: {payload}");
+    let CfaAnswer::Cps(answer) = governed.value else {
+        panic!("the engine fallback keeps the CPS-level answer");
+    };
+    let c = CpsProgram::from_anf(&p);
+    assert!(answer.same_solution(&zero_cfa_cps(&c).unwrap()));
+}
+
+#[test]
+fn injected_budget_trip_under_par_degrades_to_the_sequential_engine() {
+    let p = AnfProgram::from_term(&families::repeated_calls(96));
+    let fault = FaultPlan::new(FaultKind::TripBudget, 25);
+    let policy = GovernPolicy::new()
+        .with_solver_mode(SolverMode::Par(3))
+        .with_fault(fault);
+    let governed = governed_zero_cfa_cps(&p, &policy, &mut NoopSink)
+        .expect("one-shot fault, the sequential rung runs clean");
+    assert!(governed.report.degraded());
+    assert_eq!(governed.report.resource, Some("budget"));
+    assert_eq!(governed.report.answered_by(), Some("cfa.cps.seq"));
+    assert!(matches!(
+        governed.report.attempts[0].error,
+        Some(AnalysisError::BudgetExhausted { .. })
+    ));
+    let CfaAnswer::Cps(answer) = governed.value else {
+        panic!("the engine fallback keeps the CPS-level answer");
+    };
+    let c = CpsProgram::from_anf(&p);
+    assert!(answer.same_solution(&zero_cfa_cps(&c).unwrap()));
+}
+
+#[test]
+fn injected_cancel_under_par_aborts_every_rung_without_hanging() {
+    let p = AnfProgram::from_term(&families::repeated_calls(96));
+    let token = CancelToken::new();
+    let fault = FaultPlan::new(FaultKind::Cancel, 30);
+    let policy = GovernPolicy::new()
+        .with_solver_mode(SolverMode::Par(4))
+        .with_cancel(token.clone())
+        .with_fault(fault);
+    let err = governed_zero_cfa_cps(&p, &policy, &mut NoopSink)
+        .expect_err("cancellation is never retried, sequential rungs included");
+    assert_eq!(err, AnalysisError::Cancelled);
+    assert!(token.is_cancelled(), "the fault tripped the shared token");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,197 @@
+//! Differential acceptance tests for the sharded parallel fixpoint engine
+//! (`core::solver::par`) against the sequential solver.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Bit-identity.** On an 800-program random corpus, `Par(k)` produces
+//!    the same committed stores, call/return tables, and
+//!    schedule-independent counters (`nodes`, `constraints`, `delta_elems`)
+//!    as `Seq`, for both the source-level and CPS-level 0CFA — plus a
+//!    proptest over random corpus slots and shard counts.
+//! 2. **Deterministic merge.** Running `Par(4)` twice on the same program
+//!    is bit-for-bit repeatable: identical store digests *and* identical
+//!    full counter sets (including the order-dependent scheduling
+//!    counters), because partitioning, rank-order drains, and the
+//!    sender-sorted barrier merge are all deterministic.
+//! 3. **MFP parity.** The classical MFP substrate solved on `Par(k)`
+//!    returns the same per-variable summary as the sequential engine.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::budget::AnalysisBudget;
+use cpsdfa_core::cfa::{
+    zero_cfa_cps_guarded_mode, zero_cfa_cps_instrumented, zero_cfa_guarded_mode,
+    zero_cfa_instrumented, CpsCfaResult,
+};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_core::govern::RunGuard;
+use cpsdfa_core::mfp::Cfg;
+use cpsdfa_core::trace::{AggSink, NoopSink};
+use cpsdfa_core::SolverMode;
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_workloads::families;
+use cpsdfa_workloads::par::{par_map_isolated, ParOutcome};
+use cpsdfa_workloads::random::{corpus, open_config};
+use proptest::prelude::*;
+
+/// Checks both 0CFA representations of `p` under `Par(k)` against their
+/// sequential runs: solution bit-identity plus the schedule-independent
+/// counters. Returns a description of the first divergence.
+fn check_cfa_differential(p: &AnfProgram, k: usize) -> Result<(), String> {
+    let (src_seq, src_stats) =
+        zero_cfa_instrumented(p).map_err(|e| format!("seq src 0CFA failed: {e}"))?;
+    let guard = RunGuard::new(AnalysisBudget::default());
+    let (src_par, src_par_stats) =
+        zero_cfa_guarded_mode(p, SolverMode::Par(k), &guard, &mut NoopSink)
+            .map_err(|e| format!("Par({k}) src 0CFA failed: {e}"))?;
+    if !src_par.same_solution(&src_seq) {
+        return Err(format!("Par({k}) src solution diverged"));
+    }
+    for (name, a, b) in [
+        ("nodes", src_stats.nodes, src_par_stats.nodes),
+        (
+            "constraints",
+            src_stats.constraints,
+            src_par_stats.constraints,
+        ),
+        (
+            "delta_elems",
+            src_stats.delta_elems,
+            src_par_stats.delta_elems,
+        ),
+    ] {
+        if a != b {
+            return Err(format!("Par({k}) src {name}: seq {a} vs par {b}"));
+        }
+    }
+
+    let c = CpsProgram::from_anf(p);
+    let (cps_seq, cps_stats) =
+        zero_cfa_cps_instrumented(&c).map_err(|e| format!("seq cps 0CFA failed: {e}"))?;
+    let guard = RunGuard::new(AnalysisBudget::default());
+    let (cps_par, cps_par_stats) =
+        zero_cfa_cps_guarded_mode(&c, SolverMode::Par(k), &guard, &mut NoopSink)
+            .map_err(|e| format!("Par({k}) cps 0CFA failed: {e}"))?;
+    if !cps_par.same_solution(&cps_seq) {
+        return Err(format!("Par({k}) cps solution diverged"));
+    }
+    for (name, a, b) in [
+        ("nodes", cps_stats.nodes, cps_par_stats.nodes),
+        (
+            "constraints",
+            cps_stats.constraints,
+            cps_par_stats.constraints,
+        ),
+        (
+            "delta_elems",
+            cps_stats.delta_elems,
+            cps_par_stats.delta_elems,
+        ),
+    ] {
+        if a != b {
+            return Err(format!("Par({k}) cps {name}: seq {a} vs par {b}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn parallel_equals_sequential_on_800_program_corpus() {
+    let progs = corpus(0x9A_11E1, 800, &open_config());
+    let indexed: Vec<(usize, &cpsdfa_syntax::Term)> = progs.iter().enumerate().collect();
+    let report = par_map_isolated(&indexed, None, |&(i, t)| {
+        let p = AnfProgram::from_term(t);
+        // Shard count varies with the slot so the sweep covers the
+        // degenerate single-shard engine and block splits around the
+        // program's node count.
+        let k = 1 + i % 4;
+        check_cfa_differential(&p, k).map_err(|e| format!("program {i}: {e}"))
+    });
+    assert_eq!(report.completed, progs.len(), "no sweep worker may die");
+    let failures: Vec<String> = report
+        .results
+        .into_iter()
+        .filter_map(ParOutcome::done)
+        .filter_map(Result::err)
+        .collect();
+    assert!(failures.is_empty(), "Par/Seq diverged: {failures:?}");
+}
+
+/// A stable digest of everything trace-visible about a CPS 0CFA solution:
+/// the committed stores, return/call tables (via their canonical `Debug`
+/// forms — `BTreeSet` iterates sorted), FNV-1a folded to one `u64`.
+fn cps_store_digest(r: &CpsCfaResult) -> u64 {
+    let rendered = format!("{:?}|{:?}|{:?}", r.vars, r.returns, r.calls);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn par_4_twice_is_bit_for_bit_repeatable() {
+    let p = AnfProgram::from_term(&families::dispatch(96));
+    let c = CpsProgram::from_anf(&p);
+    let run = || {
+        let guard = RunGuard::new(AnalysisBudget::default());
+        let mut agg = AggSink::new();
+        let (r, stats) = zero_cfa_cps_guarded_mode(&c, SolverMode::Par(4), &guard, &mut agg)
+            .expect("dispatch(96) fits the default budget");
+        (cps_store_digest(&r), stats, agg)
+    };
+    let (digest_a, stats_a, agg_a) = run();
+    let (digest_b, stats_b, agg_b) = run();
+    assert_eq!(digest_a, digest_b, "store digests must match run to run");
+    // Not just the solution: the *entire* counter set, including the
+    // order-dependent scheduling counters, is reproducible at fixed K.
+    assert_eq!(stats_a, stats_b);
+    for counter in [
+        "cfa.cps.fired",
+        "cfa.cps.posted",
+        "cfa.cps.delta_elems",
+        "cfa.cps.node_updates",
+    ] {
+        assert_eq!(
+            agg_a.counter_value(counter),
+            agg_b.counter_value(counter),
+            "trace counter {counter} must be reproducible"
+        );
+    }
+}
+
+#[test]
+fn parallel_mfp_matches_sequential_on_lowerable_families() {
+    for (name, term) in [
+        ("cond_chain(24)", families::cond_chain(24)),
+        ("agreeing_cond_chain(16)", families::agreeing_cond_chain(16)),
+        ("diamond_chain(6)", families::diamond_chain(6)),
+    ] {
+        let p = AnfProgram::from_term(&term);
+        let cfg = Cfg::from_first_order(&p)
+            .unwrap_or_else(|e| panic!("{name} should lower to a first-order CFG: {e}"));
+        let init = cfg.initial_env::<Flat>(&p);
+        let seq = cfg
+            .solve_mfp::<Flat>(init.clone())
+            .unwrap_or_else(|e| panic!("sequential MFP failed on {name}: {e}"));
+        for k in [1usize, 2, 4] {
+            let par = cfg
+                .solve_mfp_with_mode::<Flat>(init.clone(), SolverMode::Par(k))
+                .unwrap_or_else(|e| panic!("Par({k}) MFP failed on {name}: {e}"));
+            assert_eq!(seq, par, "Par({k}) MFP summary diverged on {name}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random corpus slot × random shard count: the parallel engines stay
+    /// bit-identical to sequential.
+    #[test]
+    fn prop_parallel_matches_sequential(slot in 0usize..32, k in 1usize..6) {
+        let progs = corpus(0x9A_55E1, 32, &open_config());
+        let p = AnfProgram::from_term(&progs[slot]);
+        prop_assert_eq!(check_cfa_differential(&p, k), Ok(()));
+    }
+}

@@ -19,9 +19,9 @@
 //! one poisoned program no longer aborts a corpus sweep) and cooperative
 //! cancellation via a shared [`AtomicBool`] — the same flag
 //! `cpsdfa_core::govern::CancelToken::as_flag` exposes, kept as a plain
-//! std type here so this crate stays independent of `cpsdfa-core`.
+//! std type in these signatures so callers can drive a sweep without
+//! constructing a token.
 
-use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -31,13 +31,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// parallelism, or 1 if neither can be determined. The experiment harness
 /// records this value in its report header and trace output so runs on
 /// different machines stay comparable.
+///
+/// This is a re-export shim over [`cpsdfa_core::worker_count`] — the
+/// single parsing point for the knob, shared with the intra-program
+/// parallel engine (`SolverMode::par_from_env`), so the corpus-level and
+/// solver-level layers can never disagree about what the variable means.
 pub fn worker_count() -> usize {
-    if let Ok(raw) = std::env::var("CPSDFA_WORKERS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    cpsdfa_core::worker_count()
 }
 
 /// The fate of one input item under [`par_map_isolated`].
