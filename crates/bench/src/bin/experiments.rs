@@ -152,6 +152,9 @@ fn main() {
     if want("E19") {
         trace::with_span(sink, "e19", |sink| e19_par_scaling(sink, test_mode));
     }
+    if want("E20") {
+        trace::with_span(sink, "e20", |sink| e20_service(sink, test_mode));
+    }
 }
 
 /// The hardware thread count the host actually has — recorded next to
@@ -2223,5 +2226,402 @@ fn e18_degradation(sink: &mut impl TraceSink, test_mode: bool) {
             sweep_json.len()
         ),
         Err(e) => println!("\ncould not write BENCH_degrade.json: {e}"),
+    }
+}
+
+// ===========================================================================
+// E20 — the analysis service: content-addressed cache under mixed traffic
+// ===========================================================================
+
+/// The E20 request pool: every analysis kind crossed with the cost-
+/// experiment families it accepts. Each point contributes two program
+/// sizes, so the pool holds 12 distinct programs — enough spread for a
+/// zipf-skewed mix to produce a realistic hit/miss interleaving.
+const E20_POOL: [(&str, Family, usize, usize); 6] = [
+    ("cfa.src", ("dispatch", families::dispatch), 96, 12),
+    ("cfa.src", ("polyvariant", families::repeated_calls), 96, 12),
+    ("cfa.cps", ("dispatch", families::dispatch), 96, 12),
+    ("cfa.cps", ("polyvariant", families::repeated_calls), 96, 12),
+    ("mfp.flat", ("diamond", families::diamond_chain), 48, 6),
+    ("mfp.flat", ("cond-chain", families::cond_chain), 96, 12),
+];
+
+/// One distinct request of the E20 pool: the JSONL tail shared by every
+/// submission of this program (ids are assigned per mix).
+struct E20Req {
+    label: String,
+    tail: String,
+}
+
+/// Summary of one (mix, cache setting) run: the latency distribution of
+/// the measured batch, its wall-clock throughput, and the hit/miss split
+/// read back from the responses themselves.
+struct E20Mix {
+    mix: &'static str,
+    cache: &'static str,
+    requests: usize,
+    wall_ms: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl E20Mix {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\"mix\": \"{}\", \"cache\": \"{}\", \"requests\": {}, \
+             \"wall_ms\": {:.4}, \"throughput_rps\": {:.0}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}",
+            self.mix,
+            self.cache,
+            self.requests,
+            self.wall_ms,
+            self.throughput_rps(),
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+        )
+    }
+
+    fn emit_into(&self, sink: &mut impl TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let p = format!("e20.{}.{}", self.mix, self.cache);
+        sink.gauge(&format!("{p}.requests"), self.requests as u64);
+        sink.time_ns(&format!("{p}.wall_ns"), (self.wall_ms * 1e6) as u64);
+        sink.gauge(&format!("{p}.p50_us"), self.p50_us);
+        sink.gauge(&format!("{p}.p95_us"), self.p95_us);
+        sink.gauge(&format!("{p}.p99_us"), self.p99_us);
+        sink.counter(&format!("{p}.hits"), self.hits);
+        sink.counter(&format!("{p}.misses"), self.misses);
+    }
+}
+
+/// Runs one measured batch against `service`, folding the per-request
+/// trace into the harness sink under `e20.<mix>.<cache>` and reading the
+/// hit/miss split back from the responses. Any non-ok response fails the
+/// experiment — every E20 request is well-formed and admission is opened
+/// up, so a failure here is a service bug.
+fn e20_run_mix(
+    service: &cpsdfa_service::AnalysisService,
+    mix: &'static str,
+    cache: &'static str,
+    lines: &[String],
+    sink: &mut impl TraceSink,
+) -> (E20Mix, Vec<cpsdfa_service::Outcome>) {
+    use cpsdfa_service::proto::{Served, Status};
+    use std::time::Instant;
+
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut agg = AggSink::new();
+    let start = Instant::now();
+    let outcomes = service.run_batch_traced(&refs, &mut agg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    trace::with_span(sink, &format!("e20.{mix}.{cache}"), |s| agg.replay_into(s));
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut latencies = Vec::with_capacity(outcomes.len());
+    for o in &outcomes {
+        match &o.response.status {
+            Status::Ok { cache, .. } => {
+                latencies.push(o.response.latency_us);
+                match cache {
+                    Served::Hit => hits += 1,
+                    Served::Miss => misses += 1,
+                    Served::Off => {}
+                }
+            }
+            other => panic!(
+                "E20 {mix}/{cache}: request {} failed: {other:?}",
+                o.response.id
+            ),
+        }
+    }
+    let summary = E20Mix {
+        mix,
+        cache,
+        requests: outcomes.len(),
+        wall_ms,
+        p50_us: e20_percentile(&latencies, 0.50),
+        p95_us: e20_percentile(&latencies, 0.95),
+        p99_us: e20_percentile(&latencies, 0.99),
+        hits,
+        misses,
+    };
+    summary.emit_into(sink);
+    (summary, outcomes)
+}
+
+/// Nearest-rank percentile over an unsorted latency sample.
+fn e20_percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// E20: the analysis-as-a-service daemon's content-addressed cache under
+/// sustained mixed-family traffic. Three request mixes — cold (every
+/// program distinct), warm-repeat (a primed pool replayed), zipf-skewed
+/// (rank-weighted draws over the pool) — each run against a cache-on and a
+/// cache-off service built from the *same* request lines, with per-sample
+/// bit-identity asserted between the two. Records p50/p95/p99 service
+/// latency, throughput, and hit-rate into `BENCH_service.json` and
+/// `e20.*` trace events; the acceptance target is a >= 10x warm-repeat
+/// p50 over cold.
+fn e20_service(sink: &mut impl TraceSink, test_mode: bool) {
+    use cpsdfa_service::{AnalysisService, Outcome, ServiceConfig};
+
+    section(
+        "E20",
+        "analysis service: content-addressed fixpoint cache under mixed traffic",
+    );
+    let workers = cpsdfa_workloads::par::worker_count();
+    let hw = hw_threads();
+    sink.gauge("e20.workers", workers as u64);
+    sink.gauge("e20.hw_threads", hw as u64);
+    println!("service workers: {workers}; hardware threads: {hw}");
+    println!("(latency is per-request service time — cache probe + solve — so the");
+    println!(" warm/cold ratio is queue-independent; throughput is batch wall-clock)\n");
+
+    // -- The request pool --------------------------------------------------
+    let pool: Vec<E20Req> = E20_POOL
+        .iter()
+        .flat_map(|&(analysis, (family, build), n_full, n_test)| {
+            let n = if test_mode { n_test } else { n_full };
+            [n, (n / 2).max(2)].map(move |n| {
+                let program = build(n).to_string();
+                E20Req {
+                    label: format!("{analysis} {family}({n})"),
+                    tail: format!(
+                        "\"analysis\": \"{analysis}\", \"program\": \"{}\"",
+                        cpsdfa_service::json::escape(&program)
+                    ),
+                }
+            })
+        })
+        .collect();
+    println!(
+        "request pool ({} distinct programs, zipf rank order): {}\n",
+        pool.len(),
+        pool.iter()
+            .map(|r| r.label.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let line = |id: usize, req: &E20Req| format!("{{\"id\": {id}, {}}}", req.tail);
+    let pool_pass = |base: usize| -> Vec<String> {
+        pool.iter()
+            .enumerate()
+            .map(|(i, r)| line(base + i, r))
+            .collect()
+    };
+
+    // E20 measures the cache, not admission control: the batch feeder
+    // enqueues a whole mix at once, so worst-case reservations for the
+    // backlog would trip the capacity rung. Open the admission ladder up.
+    let config = |cache_enabled: bool| ServiceConfig {
+        workers,
+        cache_enabled,
+        capacity_charges: u64::MAX / 2,
+        max_queue: 1 << 16,
+        ..ServiceConfig::default()
+    };
+
+    // Per-sample differential: the cache-on and cache-off services ran the
+    // identical request sequence, so outcome i of one must be bit-identical
+    // to outcome i of the other — same canonical digest, same whole answer.
+    let assert_bit_identity = |mix: &str, on: &[Outcome], off: &[Outcome]| -> usize {
+        assert_eq!(on.len(), off.len(), "E20 {mix}: sample counts differ");
+        for (a, b) in on.iter().zip(off) {
+            let fa = a.fixpoint.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "E20 {mix}: cache-on request {} has no answer",
+                    a.response.id
+                )
+            });
+            let fb = b.fixpoint.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "E20 {mix}: cache-off request {} has no answer",
+                    b.response.id
+                )
+            });
+            assert_eq!(
+                fa.answer_digest, fb.answer_digest,
+                "E20 {mix}: request {} digests diverge between cache on/off",
+                a.response.id
+            );
+            assert_eq!(
+                fa.answer, fb.answer,
+                "E20 {mix}: request {} answers diverge between cache on/off",
+                a.response.id
+            );
+        }
+        on.len()
+    };
+
+    let mut summaries: Vec<E20Mix> = Vec::new();
+    let mut identical_samples = 0usize;
+
+    // -- Mix 1: cold — every program distinct, nothing to reuse ------------
+    let cold_lines = pool_pass(1_000);
+    let (cold_on, cold_off) = (AnalysisService::new(config(true)), {
+        AnalysisService::new(config(false))
+    });
+    let (cold_on_mix, cold_on_out) = e20_run_mix(&cold_on, "cold", "on", &cold_lines, sink);
+    let (cold_off_mix, cold_off_out) = e20_run_mix(&cold_off, "cold", "off", &cold_lines, sink);
+    identical_samples += assert_bit_identity("cold", &cold_on_out, &cold_off_out);
+    assert_eq!(cold_on_mix.hits, 0, "a cold mix cannot hit");
+
+    // -- Mix 2: warm-repeat — prime once, then replay the pool -------------
+    let passes = if test_mode { 2 } else { 8 };
+    let (warm_on, warm_off) = (AnalysisService::new(config(true)), {
+        AnalysisService::new(config(false))
+    });
+    // The priming pass is run on both services (and excluded from the
+    // measurement) so the measured sequences stay sample-aligned.
+    for service in [&warm_on, &warm_off] {
+        let prime = pool_pass(2_000);
+        let refs: Vec<&str> = prime.iter().map(String::as_str).collect();
+        service.run_batch(&refs);
+    }
+    let warm_lines: Vec<String> = (0..passes)
+        .flat_map(|pass| pool_pass(3_000 + pass * pool.len()))
+        .collect();
+    let (warm_on_mix, warm_on_out) = e20_run_mix(&warm_on, "warm-repeat", "on", &warm_lines, sink);
+    let (warm_off_mix, warm_off_out) =
+        e20_run_mix(&warm_off, "warm-repeat", "off", &warm_lines, sink);
+    identical_samples += assert_bit_identity("warm-repeat", &warm_on_out, &warm_off_out);
+    assert_eq!(
+        warm_on_mix.misses, 0,
+        "a primed pool replay must be all hits"
+    );
+
+    // -- Mix 3: zipf-skewed — rank-weighted draws over the pool ------------
+    // Rank r of the pool carries weight 1/r (zipf s=1); draws come from a
+    // fixed-seed LCG so the mix is reproducible run to run.
+    let draws = if test_mode { 32 } else { 200 };
+    let weights: Vec<f64> = (1..=pool.len()).map(|r| 1.0 / r as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut lcg: u64 = 0xE20_5EED;
+    let mut next_index = || -> usize {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (lcg >> 11) as f64 / (1u64 << 53) as f64;
+        let mut target = u * total_weight;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        pool.len() - 1
+    };
+    let zipf_lines: Vec<String> = (0..draws)
+        .map(|i| line(10_000 + i, &pool[next_index()]))
+        .collect();
+    let (zipf_on, zipf_off) = (AnalysisService::new(config(true)), {
+        AnalysisService::new(config(false))
+    });
+    let (zipf_on_mix, zipf_on_out) = e20_run_mix(&zipf_on, "zipf", "on", &zipf_lines, sink);
+    let (zipf_off_mix, zipf_off_out) = e20_run_mix(&zipf_off, "zipf", "off", &zipf_lines, sink);
+    identical_samples += assert_bit_identity("zipf", &zipf_on_out, &zipf_off_out);
+    assert!(
+        zipf_on_mix.hits > 0 && zipf_on_mix.misses > 0,
+        "a zipf mix over a {}-program pool must interleave hits and misses",
+        pool.len()
+    );
+
+    // -- Report ------------------------------------------------------------
+    let ratio = cold_on_mix.p50_us as f64 / warm_on_mix.p50_us.max(1) as f64;
+    summaries.extend([
+        cold_on_mix,
+        cold_off_mix,
+        warm_on_mix,
+        warm_off_mix,
+        zipf_on_mix,
+        zipf_off_mix,
+    ]);
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|m| {
+            vec![
+                m.mix.to_string(),
+                m.cache.to_string(),
+                format!("{}", m.requests),
+                format!("{}", m.p50_us),
+                format!("{}", m.p95_us),
+                format!("{}", m.p99_us),
+                format!("{:.0}", m.throughput_rps()),
+                format!("{:.0}%", m.hit_rate() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["mix", "cache", "reqs", "p50 us", "p95 us", "p99 us", "req/s", "hit rate",],
+            &rows
+        )
+    );
+    println!(
+        "warm-repeat p50 speedup over cold (cache on): {ratio:.1}x  \
+         (target >= 10x)"
+    );
+    println!(
+        "bit-identity: {identical_samples} samples compared cache-on vs \
+         cache-off, all identical"
+    );
+    sink.gauge("e20.warm_cold_p50_ratio_x100", (ratio * 100.0) as u64);
+    sink.gauge("e20.identical_samples", identical_samples as u64);
+    if !test_mode {
+        assert!(
+            ratio >= 10.0,
+            "warm-repeat p50 must be >= 10x faster than cold (got {ratio:.1}x)"
+        );
+    }
+
+    // -- Artifact ----------------------------------------------------------
+    let payload = format!(
+        "{{\n\"mixes\": [\n{}\n],\n\"summary\": {{\"warm_cold_p50_ratio\": {:.2}, \
+         \"identical_samples\": {}, \"pool_programs\": {}, \"workers\": {}, \
+         \"hw_threads\": {}, \"test_mode\": {}}}\n}}\n",
+        summaries
+            .iter()
+            .map(E20Mix::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        ratio,
+        identical_samples,
+        pool.len(),
+        workers,
+        hw,
+        test_mode,
+    );
+    match std::fs::write("BENCH_service.json", &payload) {
+        Ok(()) => println!("\nwrote {} mix rows to BENCH_service.json", summaries.len()),
+        Err(e) => println!("\ncould not write BENCH_service.json: {e}"),
     }
 }

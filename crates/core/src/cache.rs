@@ -1,0 +1,842 @@
+//! Content-addressed fixpoint cache: cross-request reuse of committed
+//! analysis answers.
+//!
+//! The experiment harness (and the `cpsdfa-service` daemon built on this
+//! module) re-runs the same three analyses over large program corpora, and
+//! real corpora repeat themselves: identical programs recur across
+//! requests, and the hash-consed [`TermArena`] already proves how much
+//! structure is shared. Before this module every repeat was re-solved from
+//! scratch; with it, a repeated request is a lookup.
+//!
+//! # Content addressing
+//!
+//! A cache key is `(analysis kind, engine shards, subtree digest, rung)`:
+//!
+//! * **kind** — which fixpoint was asked for ([`AnalysisKind`]): source
+//!   0CFA, CPS 0CFA, or first-order MFP over `Flat`.
+//! * **shards** — the [`SolverMode`](crate::solver::SolverMode) shard count
+//!   (0 for `Seq`). `Par(k)` and `Seq` are result-identical by the PR 6
+//!   differential suite, but the engine is part of the request contract, so
+//!   it stays in the key and the differential tests assert hit ≡ fresh
+//!   per mode rather than across modes.
+//! * **digest** — a structural FNV-1a digest of the hash-consed
+//!   [`TermArena`] subtree ([`ArenaDigests`]), memoized per [`TermId`]:
+//!   because the arena hash-conses, a repeated program parses to the same
+//!   `TermId` and its digest is an `O(1)` memo hit. Identifiers are hashed
+//!   by *name*, so the digest is stable across arenas and processes.
+//! * **rung** — the [`DegradationLadder`](crate::govern::DegradationLadder)
+//!   rung that produced the answer. Lookups for fresh work use
+//!   [`CacheKey::full`] (the finest rung of the kind's canonical ladder);
+//!   an answer computed on a *degraded* rung is inserted under its own rung
+//!   name ([`CacheKey::for_rung`]) and therefore can never shadow a
+//!   full-precision answer — the soundness condition the differential
+//!   suite pins down.
+//!
+//! # Eviction accounting
+//!
+//! Every cached value carries an `approx_bytes` estimate (same spirit as
+//! [`DeltaNodes::approx_bytes`](crate::setpool::DeltaNodes::approx_bytes):
+//! a cheap, capacity-aware upper-ish bound, not a malloc census). The cache
+//! holds a byte ceiling and evicts least-recently-used entries until an
+//! insert fits, so cache growth goes through the same memory-governance
+//! discipline as live solves. An entry larger than the whole ceiling is
+//! rejected outright rather than flushing the cache for one tenant.
+//!
+//! # Observability
+//!
+//! [`CacheStats`] counts hits, misses, inserts, evictions, and rejects, and
+//! gauges resident bytes/entries. [`CacheStats::emit_into`] flushes them as
+//! `cache.*` trace events and [`CacheStats::from_agg`] inverts that, so a
+//! JSONL trace reproduces the cache report byte-for-byte
+//! ([`render_cache_stats_from_agg`](crate::report::render_cache_stats_from_agg)).
+
+use crate::absval::{AbsClo, AbsKont};
+use crate::cfa::{CfaResult, CpsCfaResult, CpsFlow};
+use crate::domain::Flat;
+use crate::fxhash::FxHashMap;
+use crate::govern::DegradationReport;
+use crate::mfp::DfSummary;
+use crate::solver::SolverMode;
+use crate::trace::{AggSink, TraceSink};
+use cpsdfa_syntax::arena::{TermArena, TermId, TermNode, ValueId, ValueNode};
+use cpsdfa_syntax::Label;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `h`.
+#[inline]
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a `u64`, continuing from `h` (little-endian bytes).
+#[inline]
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+/// A stable digest of an answer's canonical `Debug` rendering (`BTreeSet`
+/// iterates sorted, `LabelTable` iterates in label order), FNV-1a folded to
+/// one `u64` — the same discipline the parallel differential suite uses to
+/// pin bit-for-bit repeatability. Two answers digest equal iff their
+/// canonical forms coincide.
+pub fn debug_digest(value: &impl std::fmt::Debug) -> u64 {
+    fnv_bytes(FNV_OFFSET, format!("{value:?}").as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Structural arena digests
+// ---------------------------------------------------------------------------
+
+/// Memoized structural digests over a [`TermArena`]. The arena is
+/// append-only and hash-consed, so digests are computed once per distinct
+/// node id and shared by every request that parses to the same subtree.
+#[derive(Debug, Default)]
+pub struct ArenaDigests {
+    terms: Vec<Option<u64>>,
+    values: Vec<Option<u64>>,
+}
+
+impl ArenaDigests {
+    /// A fresh, empty memo (pair it with exactly one arena).
+    pub fn new() -> Self {
+        ArenaDigests::default()
+    }
+
+    /// The structural digest of term `id`. Identifiers hash by name and
+    /// node shapes by tag, so the digest is independent of interner state,
+    /// arena insertion order, and process.
+    pub fn term_digest(&mut self, arena: &TermArena, id: TermId) -> u64 {
+        if let Some(Some(d)) = self.terms.get(id.index()) {
+            return *d;
+        }
+        let d = match arena.term(id).clone() {
+            TermNode::Value(v) => {
+                fnv_u64(fnv_bytes(FNV_OFFSET, b"val"), self.value_digest(arena, v))
+            }
+            TermNode::App(f, a) => {
+                let h = fnv_bytes(FNV_OFFSET, b"app");
+                let h = fnv_u64(h, self.term_digest(arena, f));
+                fnv_u64(h, self.term_digest(arena, a))
+            }
+            TermNode::Let(x, rhs, body) => {
+                let h = fnv_bytes(FNV_OFFSET, b"let");
+                let h = fnv_bytes(h, x.as_str().as_bytes());
+                let h = fnv_u64(h, self.term_digest(arena, rhs));
+                fnv_u64(h, self.term_digest(arena, body))
+            }
+            TermNode::If0(c, t, e) => {
+                let h = fnv_bytes(FNV_OFFSET, b"if0");
+                let h = fnv_u64(h, self.term_digest(arena, c));
+                let h = fnv_u64(h, self.term_digest(arena, t));
+                fnv_u64(h, self.term_digest(arena, e))
+            }
+            TermNode::Loop => fnv_bytes(FNV_OFFSET, b"loop"),
+        };
+        if self.terms.len() <= id.index() {
+            self.terms.resize(id.index() + 1, None);
+        }
+        self.terms[id.index()] = Some(d);
+        d
+    }
+
+    fn value_digest(&mut self, arena: &TermArena, id: ValueId) -> u64 {
+        if let Some(Some(d)) = self.values.get(id.index()) {
+            return *d;
+        }
+        let d = match arena.value(id).clone() {
+            ValueNode::Num(n) => fnv_u64(fnv_bytes(FNV_OFFSET, b"num"), n as u64),
+            ValueNode::Var(x) => fnv_bytes(fnv_bytes(FNV_OFFSET, b"var"), x.as_str().as_bytes()),
+            ValueNode::Add1 => fnv_bytes(FNV_OFFSET, b"add1"),
+            ValueNode::Sub1 => fnv_bytes(FNV_OFFSET, b"sub1"),
+            ValueNode::Lam(x, body) => {
+                let h = fnv_bytes(FNV_OFFSET, b"lam");
+                let h = fnv_bytes(h, x.as_str().as_bytes());
+                fnv_u64(h, self.term_digest(arena, body))
+            }
+        };
+        if self.values.len() <= id.index() {
+            self.values.resize(id.index() + 1, None);
+        }
+        self.values[id.index()] = Some(d);
+        d
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// Which fixpoint a cache entry answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// Constraint 0CFA over the ANF source ([`crate::cfa::zero_cfa`]).
+    CfaSrc,
+    /// Constraint 0CFA over cps(Λ) ([`crate::cfa::zero_cfa_cps`]).
+    CfaCps,
+    /// First-order MFP over the [`Flat`] domain
+    /// ([`crate::mfp::Cfg::solve_mfp`]).
+    MfpFlat,
+}
+
+impl AnalysisKind {
+    /// The wire / trace name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnalysisKind::CfaSrc => "cfa.src",
+            AnalysisKind::CfaCps => "cfa.cps",
+            AnalysisKind::MfpFlat => "mfp.flat",
+        }
+    }
+
+    /// Parses a wire name (`cfa.src` / `cfa.cps` / `mfp.flat`).
+    pub fn parse(s: &str) -> Option<AnalysisKind> {
+        match s {
+            "cfa.src" => Some(AnalysisKind::CfaSrc),
+            "cfa.cps" => Some(AnalysisKind::CfaCps),
+            "mfp.flat" => Some(AnalysisKind::MfpFlat),
+            _ => None,
+        }
+    }
+
+    /// The finest (full-precision) rung of this kind's canonical ladder —
+    /// the rung name cold lookups address.
+    pub fn full_rung(self) -> &'static str {
+        self.as_str()
+    }
+}
+
+/// A content address: analysis kind × engine shard count × structural
+/// program digest × producing rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The analysis requested.
+    pub kind: AnalysisKind,
+    /// [`SolverMode::shards`]: 0 for the sequential engine.
+    pub shards: usize,
+    /// Structural digest of the program ([`ArenaDigests::term_digest`]).
+    pub digest: u64,
+    /// The ladder rung that produced (or is asked for) the answer.
+    /// `&'static str` equality/hashing is by content, so rung names from
+    /// different ladders unify as expected.
+    pub rung: &'static str,
+}
+
+impl CacheKey {
+    /// The key a fresh request looks up: the kind's full-precision rung.
+    pub fn full(kind: AnalysisKind, mode: SolverMode, digest: u64) -> CacheKey {
+        CacheKey {
+            kind,
+            shards: mode.shards(),
+            digest,
+            rung: kind.full_rung(),
+        }
+    }
+
+    /// The key an *answered* request inserts under: the rung that actually
+    /// produced the value. For an undegraded run this equals
+    /// [`CacheKey::full`]; for a degraded run it is a distinct key, so the
+    /// degraded answer can never shadow a full-precision one.
+    pub fn for_rung(
+        kind: AnalysisKind,
+        mode: SolverMode,
+        digest: u64,
+        rung: &'static str,
+    ) -> CacheKey {
+        CacheKey {
+            kind,
+            shards: mode.shards(),
+            digest,
+            rung,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Send-safe answer mirrors
+// ---------------------------------------------------------------------------
+
+/// Rough per-set bookkeeping overhead charged by the byte estimators: one
+/// `BTreeSet` header plus a leaf node. Deliberately coarse — the estimate
+/// only has to be monotone in content for eviction accounting to work.
+const SET_OVERHEAD: u64 = 64;
+
+fn sets_bytes<T>(sets: impl Iterator<Item = usize>) -> u64 {
+    sets.map(|len| SET_OVERHEAD + (len as u64) * std::mem::size_of::<T>() as u64)
+        .sum()
+}
+
+/// [`CfaResult`] with the `Rc` sharing flattened out: `Send + Sync`, so it
+/// can live in a cache shared across service worker threads. Round-trips
+/// losslessly ([`SendCfa::to_result`] compares `same_solution`-equal, and
+/// `==` on every field, with the run it mirrors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendCfa {
+    /// Mirror of [`CfaResult::vars`] (contents, not handles).
+    pub vars: Vec<BTreeSet<AbsClo>>,
+    /// Mirror of [`CfaResult::terms`], occupied entries in label order.
+    pub terms: Vec<(Label, BTreeSet<AbsClo>)>,
+    /// Mirror of [`CfaResult::calls`], occupied entries in label order.
+    pub calls: Vec<(Label, BTreeSet<AbsClo>)>,
+    /// Fixpoint work the producing run performed.
+    pub iterations: u64,
+}
+
+impl SendCfa {
+    /// Snapshots a solve result into the cacheable mirror.
+    pub fn from_result(r: &CfaResult) -> SendCfa {
+        SendCfa {
+            vars: r.vars.iter().map(|s| s.as_ref().clone()).collect(),
+            terms: r
+                .terms
+                .iter()
+                .map(|(l, s)| (l, s.as_ref().clone()))
+                .collect(),
+            calls: r.calls.iter().map(|(l, s)| (l, s.clone())).collect(),
+            iterations: r.iterations,
+        }
+    }
+
+    /// Reconstitutes the analyzer-shaped result (fresh `Rc` handles).
+    pub fn to_result(&self) -> CfaResult {
+        CfaResult {
+            vars: self.vars.iter().map(|s| Rc::new(s.clone())).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(l, s)| (*l, Rc::new(s.clone())))
+                .collect(),
+            calls: self.calls.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            iterations: self.iterations,
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        sets_bytes::<AbsClo>(self.vars.iter().map(BTreeSet::len))
+            + sets_bytes::<AbsClo>(self.terms.iter().map(|(_, s)| s.len()))
+            + sets_bytes::<AbsClo>(self.calls.iter().map(|(_, s)| s.len()))
+    }
+
+    /// Digest of the *solution* alone. `iterations` is excluded on
+    /// purpose: it is a work counter, and under `Par(k)` work stealing it
+    /// varies run to run on a loaded host even though the solution is
+    /// bit-identical — two equal answers must digest equal.
+    pub fn solution_digest(&self) -> u64 {
+        debug_digest(&(&self.vars, &self.terms, &self.calls))
+    }
+}
+
+/// [`CpsCfaResult`] mirror, same contract as [`SendCfa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendCpsCfa {
+    /// Mirror of [`CpsCfaResult::vars`].
+    pub vars: Vec<BTreeSet<CpsFlow>>,
+    /// Mirror of [`CpsCfaResult::returns`], occupied entries in label order.
+    pub returns: Vec<(Label, BTreeSet<AbsKont>)>,
+    /// Mirror of [`CpsCfaResult::calls`], occupied entries in label order.
+    pub calls: Vec<(Label, BTreeSet<AbsClo>)>,
+    /// Fixpoint work the producing run performed.
+    pub iterations: u64,
+}
+
+impl SendCpsCfa {
+    /// Snapshots a solve result into the cacheable mirror.
+    pub fn from_result(r: &CpsCfaResult) -> SendCpsCfa {
+        SendCpsCfa {
+            vars: r.vars.iter().map(|s| s.as_ref().clone()).collect(),
+            returns: r.returns.iter().map(|(l, s)| (l, s.clone())).collect(),
+            calls: r.calls.iter().map(|(l, s)| (l, s.clone())).collect(),
+            iterations: r.iterations,
+        }
+    }
+
+    /// Reconstitutes the analyzer-shaped result (fresh `Rc` handles).
+    pub fn to_result(&self) -> CpsCfaResult {
+        CpsCfaResult {
+            vars: self.vars.iter().map(|s| Rc::new(s.clone())).collect(),
+            returns: self.returns.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            calls: self.calls.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            iterations: self.iterations,
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        sets_bytes::<CpsFlow>(self.vars.iter().map(BTreeSet::len))
+            + sets_bytes::<AbsKont>(self.returns.iter().map(|(_, s)| s.len()))
+            + sets_bytes::<AbsClo>(self.calls.iter().map(|(_, s)| s.len()))
+    }
+
+    /// Digest of the *solution* alone, excluding the schedule-dependent
+    /// `iterations` counter — see [`SendCfa::solution_digest`].
+    pub fn solution_digest(&self) -> u64 {
+        debug_digest(&(&self.vars, &self.returns, &self.calls))
+    }
+}
+
+/// A committed, `Send`-safe analysis answer — the value side of the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// Source-level 0CFA.
+    CfaSrc(SendCfa),
+    /// CPS-level 0CFA.
+    CfaCps(SendCpsCfa),
+    /// First-order MFP over [`Flat`].
+    MfpFlat(DfSummary<Flat>),
+}
+
+impl CachedAnswer {
+    /// The kind this answer actually is (may be coarser than the request's
+    /// kind when a ladder degraded `cfa.cps → cfa.src`).
+    pub fn kind(&self) -> AnalysisKind {
+        match self {
+            CachedAnswer::CfaSrc(_) => AnalysisKind::CfaSrc,
+            CachedAnswer::CfaCps(_) => AnalysisKind::CfaCps,
+            CachedAnswer::MfpFlat(_) => AnalysisKind::MfpFlat,
+        }
+    }
+
+    /// Fixpoint iterations/firings the producing run performed (0 for MFP,
+    /// whose summary carries no work counter).
+    pub fn iterations(&self) -> u64 {
+        match self {
+            CachedAnswer::CfaSrc(r) => r.iterations,
+            CachedAnswer::CfaCps(r) => r.iterations,
+            CachedAnswer::MfpFlat(_) => 0,
+        }
+    }
+
+    /// The eviction-accounting estimate for this answer.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            CachedAnswer::CfaSrc(r) => r.approx_bytes(),
+            CachedAnswer::CfaCps(r) => r.approx_bytes(),
+            CachedAnswer::MfpFlat(s) => {
+                SET_OVERHEAD + (s.vars.len() as u64) * std::mem::size_of::<Flat>() as u64
+            }
+        }
+    }
+
+    /// Canonical-form digest of the *solution* — what service responses
+    /// carry so clients can assert bit-identity without shipping stores.
+    /// Work counters are excluded: under `Par(k)` work stealing,
+    /// `iterations` varies run to run while the solution does not, and
+    /// equal answers must digest equal.
+    pub fn digest(&self) -> u64 {
+        match self {
+            CachedAnswer::CfaSrc(r) => r.solution_digest(),
+            CachedAnswer::CfaCps(r) => r.solution_digest(),
+            CachedAnswer::MfpFlat(s) => debug_digest(s),
+        }
+    }
+}
+
+/// One cached fixpoint: the committed answer, the governance report of the
+/// producing run, and the digests/accounting computed once at insert so the
+/// warm path never re-renders.
+#[derive(Debug, Clone)]
+pub struct CachedFixpoint {
+    /// The committed answer.
+    pub answer: CachedAnswer,
+    /// The producing run's [`DegradationReport`].
+    pub report: DegradationReport,
+    /// [`CachedAnswer::digest`], precomputed.
+    pub answer_digest: u64,
+    /// [`CachedAnswer::approx_bytes`], precomputed (what eviction charges).
+    pub approx_bytes: u64,
+}
+
+impl CachedFixpoint {
+    /// Packages an answer + report, computing the digest and byte estimate.
+    pub fn new(answer: CachedAnswer, report: DegradationReport) -> CachedFixpoint {
+        let answer_digest = answer.digest();
+        let approx_bytes = answer.approx_bytes();
+        CachedFixpoint {
+            answer,
+            report,
+            answer_digest,
+            approx_bytes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Cumulative cache counters, emitted as `cache.*` trace events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries admitted.
+    pub inserts: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts refused (entry alone exceeds the ceiling, or key collision
+    /// with a resident entry).
+    pub rejects: u64,
+    /// Resident payload bytes (estimate; gauge).
+    pub bytes: u64,
+    /// Resident entries (gauge).
+    pub entries: u64,
+    /// The configured ceiling (gauge).
+    pub ceiling_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Flushes the counters into a sink under `prefix` (conventionally
+    /// `cache`): `<prefix>.hit/miss/insert/evict/reject` counters and
+    /// `<prefix>.bytes/entries/ceiling_bytes` gauges.
+    pub fn emit_into(&self, sink: &mut impl TraceSink, prefix: &str) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter(&format!("{prefix}.hit"), self.hits);
+        sink.counter(&format!("{prefix}.miss"), self.misses);
+        sink.counter(&format!("{prefix}.insert"), self.inserts);
+        sink.counter(&format!("{prefix}.evict"), self.evictions);
+        sink.counter(&format!("{prefix}.reject"), self.rejects);
+        sink.gauge(&format!("{prefix}.bytes"), self.bytes);
+        sink.gauge(&format!("{prefix}.entries"), self.entries);
+        sink.gauge(&format!("{prefix}.ceiling_bytes"), self.ceiling_bytes);
+    }
+
+    /// Inverts [`emit_into`](CacheStats::emit_into) from an aggregated
+    /// trace — the replay path `render_cache_stats_from_agg` uses.
+    pub fn from_agg(agg: &AggSink, prefix: &str) -> CacheStats {
+        let c = |name: &str| agg.counter_value(&format!("{prefix}.{name}"));
+        let g = |name: &str| agg.gauge_value(&format!("{prefix}.{name}"));
+        CacheStats {
+            hits: c("hit"),
+            misses: c("miss"),
+            inserts: c("insert"),
+            evictions: c("evict"),
+            rejects: c("reject"),
+            bytes: g("bytes"),
+            entries: g("entries"),
+            ceiling_bytes: g("ceiling_bytes"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+struct Entry {
+    value: Arc<CachedFixpoint>,
+    last_used: u64,
+}
+
+/// The content-addressed, byte-ceilinged, LRU fixpoint cache.
+///
+/// Values are handed out as [`Arc`]s, so a warm hit is a pointer clone —
+/// no store is copied on the serve path. The struct itself is not
+/// synchronized; the service wraps it in a `Mutex` (lookups and inserts
+/// are O(1) + eviction, so the critical section is tiny next to a solve).
+pub struct FixpointCache {
+    entries: FxHashMap<CacheKey, Entry>,
+    ceiling_bytes: u64,
+    bytes: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl FixpointCache {
+    /// An empty cache with an eviction ceiling of `ceiling_bytes` of
+    /// estimated payload.
+    pub fn new(ceiling_bytes: u64) -> FixpointCache {
+        FixpointCache {
+            entries: FxHashMap::default(),
+            ceiling_bytes,
+            bytes: 0,
+            tick: 0,
+            stats: CacheStats {
+                ceiling_bytes,
+                ..CacheStats::default()
+            },
+        }
+    }
+
+    /// The configured ceiling.
+    pub fn ceiling_bytes(&self) -> u64 {
+        self.ceiling_bytes
+    }
+
+    /// Estimated resident payload bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A snapshot of the counters (gauges refreshed to current residency).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            bytes: self.bytes,
+            entries: self.entries.len() as u64,
+            ceiling_bytes: self.ceiling_bytes,
+            ..self.stats
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing LRU order.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<CachedFixpoint>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits `value` under `key`, evicting LRU entries until it fits.
+    /// Returns `false` (a counted reject) when the value alone exceeds the
+    /// ceiling or the key is already resident (first writer wins — two
+    /// racing solves of the same program commit identical answers anyway,
+    /// and keeping the first preserves its LRU position).
+    pub fn insert(&mut self, key: CacheKey, value: CachedFixpoint) -> bool {
+        let cost = value.approx_bytes;
+        if cost > self.ceiling_bytes || self.entries.contains_key(&key) {
+            self.stats.rejects += 1;
+            return false;
+        }
+        while self.bytes + cost > self.ceiling_bytes {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        self.tick += 1;
+        self.bytes += cost;
+        self.stats.inserts += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                value: Arc::new(value),
+                last_used: self.tick,
+            },
+        );
+        true
+    }
+
+    /// Evicts the least-recently-used entry; `false` if the cache is empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        else {
+            return false;
+        };
+        if let Some(entry) = self.entries.remove(&victim) {
+            self.bytes = self.bytes.saturating_sub(entry.value.approx_bytes);
+            self.stats.evictions += 1;
+        }
+        true
+    }
+
+    /// Flushes the current counter snapshot as `cache.*` events.
+    pub fn emit_into(&self, sink: &mut impl TraceSink) {
+        self.stats().emit_into(sink, "cache");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfa::zero_cfa;
+    use cpsdfa_anf::AnfProgram;
+
+    fn digest_of(src: &str) -> u64 {
+        let mut arena = TermArena::new();
+        let id = arena.parse(src).expect("parses");
+        ArenaDigests::new().term_digest(&arena, id)
+    }
+
+    #[test]
+    fn digests_are_structural_and_arena_independent() {
+        let a = digest_of("(let (f (lambda (x) x)) (f 1))");
+        let b = digest_of("(let (f (lambda (x) x)) (f 1))");
+        let c = digest_of("(let (f (lambda (x) x)) (f 2))");
+        assert_eq!(a, b, "same program, different arenas, same digest");
+        assert_ne!(a, c, "different constants, different digests");
+        // Renamed binder: structural digest distinguishes it (content
+        // addressing is syntactic, not alpha-equivalent).
+        let d = digest_of("(let (g (lambda (x) x)) (g 1))");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn shared_subtrees_memoize_in_one_arena() {
+        let mut arena = TermArena::new();
+        let a = arena.parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        let b = arena.parse("(let (f (lambda (x) x)) (f 1))").unwrap();
+        assert_eq!(a, b, "hash-consing gives one id");
+        let mut memo = ArenaDigests::new();
+        let d1 = memo.term_digest(&arena, a);
+        let d2 = memo.term_digest(&arena, b);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn cfa_round_trips_through_the_mirror() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a (f 1)) (f a)))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let mirror = SendCfa::from_result(&fresh);
+        let back = mirror.to_result();
+        assert!(back.same_solution(&fresh));
+        assert_eq!(back.iterations, fresh.iterations);
+        assert_eq!(SendCfa::from_result(&back), mirror);
+    }
+
+    #[test]
+    fn answer_digest_ignores_schedule_dependent_work_counters() {
+        // Under Par(k) work stealing, `iterations` varies run to run on a
+        // loaded host while the solution stays bit-identical; the canonical
+        // digest must see through that.
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a (f 1)) (f a)))").unwrap();
+        let a = SendCfa::from_result(&zero_cfa(&p).unwrap());
+        let mut b = a.clone();
+        b.iterations += 17;
+        assert_ne!(a, b, "premise: the mirrors differ as values");
+        assert_eq!(a.solution_digest(), b.solution_digest());
+        let fixpoint =
+            |m: SendCfa| CachedFixpoint::new(CachedAnswer::CfaSrc(m), DegradationReport::default());
+        assert_eq!(fixpoint(a).answer_digest, fixpoint(b).answer_digest);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first_and_accounts_bytes() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let value = || {
+            CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(&fresh)),
+                DegradationReport::default(),
+            )
+        };
+        let one = value().approx_bytes;
+        assert!(one > 0);
+        // Room for exactly two entries.
+        let mut cache = FixpointCache::new(2 * one);
+        let key = |d: u64| CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, d);
+        assert!(cache.insert(key(1), value()));
+        assert!(cache.insert(key(2), value()));
+        assert_eq!(cache.len(), 2);
+        // Touch key 1 so key 2 is LRU.
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.insert(key(3), value()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key(2)).is_none(), "LRU victim evicted");
+        assert!(cache.lookup(&key(1)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.inserts, 3);
+        assert_eq!(stats.bytes, 2 * one);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn oversized_and_duplicate_inserts_are_rejected() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let value = || {
+            CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(&fresh)),
+                DegradationReport::default(),
+            )
+        };
+        let one = value().approx_bytes;
+        let mut tiny = FixpointCache::new(one / 2);
+        let key = CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, 7);
+        assert!(!tiny.insert(key, value()), "entry alone exceeds ceiling");
+        assert!(tiny.is_empty());
+        let mut cache = FixpointCache::new(10 * one);
+        assert!(cache.insert(key, value()));
+        assert!(!cache.insert(key, value()), "first writer wins");
+        assert_eq!(cache.stats().rejects, 1);
+    }
+
+    #[test]
+    fn degraded_rung_key_never_shadows_the_full_key() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let mut cache = FixpointCache::new(u64::MAX);
+        let degraded = CacheKey::for_rung(AnalysisKind::CfaCps, SolverMode::Seq, 42, "cfa.src");
+        assert_ne!(
+            degraded,
+            CacheKey::full(AnalysisKind::CfaCps, SolverMode::Seq, 42)
+        );
+        cache.insert(
+            degraded,
+            CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(&fresh)),
+                DegradationReport::default(),
+            ),
+        );
+        assert!(
+            cache
+                .lookup(&CacheKey::full(AnalysisKind::CfaCps, SolverMode::Seq, 42))
+                .is_none(),
+            "full-precision lookup must miss a degraded-rung entry"
+        );
+    }
+
+    #[test]
+    fn stats_round_trip_through_a_trace_agg() {
+        let mut stats = CacheStats {
+            hits: 5,
+            misses: 3,
+            inserts: 3,
+            evictions: 1,
+            rejects: 2,
+            bytes: 4096,
+            entries: 2,
+            ceiling_bytes: 1 << 20,
+        };
+        let mut agg = AggSink::new();
+        stats.emit_into(&mut agg, "cache");
+        assert_eq!(CacheStats::from_agg(&agg, "cache"), stats);
+        stats.hits += 1;
+        assert_ne!(CacheStats::from_agg(&agg, "cache"), stats);
+    }
+}

@@ -141,6 +141,11 @@ struct GuardState {
     /// Charges since the last [`RunGuard::begin_rung`] — what the budget
     /// bounds, so every ladder rung gets the full budget.
     charged: Cell<u64>,
+    /// Optional cap on the *cumulative* charge count across all rungs.
+    /// Unlike the per-rung budget this is never reset by
+    /// [`RunGuard::begin_rung`] — it bounds the whole request, which is
+    /// what an admission controller reserves against before queuing.
+    request_budget: Option<u64>,
     /// Charges across the whole guarded request — what fault schedules
     /// index, so an injected fault cannot re-fire in a fallback rung.
     total: Cell<u64>,
@@ -172,10 +177,22 @@ impl RunGuard {
                 cancel: None,
                 fault: None,
                 charged: Cell::new(0),
+                request_budget: None,
                 total: Cell::new(0),
                 mem_peak: Cell::new(0),
             }),
         }
+    }
+
+    /// Caps the *cumulative* charge count across the whole request (all
+    /// rungs). [`begin_rung`](RunGuard::begin_rung) resets the per-rung
+    /// budget but never this cap, so a ladder cannot spend more than
+    /// `cap` in total no matter how many fallback rungs it tries — the
+    /// enforcement half of service admission control.
+    #[must_use]
+    pub fn with_request_budget(mut self, cap: u64) -> Self {
+        Rc::make_mut(&mut self.state).request_budget = Some(cap);
+        self
     }
 
     /// Adds a wall-clock deadline (checked every [`INTERRUPT_PERIOD`]
@@ -231,6 +248,19 @@ impl RunGuard {
     /// Charges spent across the whole request (all rungs).
     pub fn total_spent(&self) -> u64 {
         self.state.total.get()
+    }
+
+    /// The whole-request charge cap, if one is set.
+    pub fn request_budget(&self) -> Option<u64> {
+        self.state.request_budget
+    }
+
+    /// Charges left under the whole-request cap (`u64::MAX` when uncapped).
+    pub fn request_remaining(&self) -> u64 {
+        match self.state.request_budget {
+            Some(cap) => cap.saturating_sub(self.total_spent()),
+            None => u64::MAX,
+        }
     }
 
     /// Budget left in the current rung.
@@ -309,6 +339,11 @@ impl RunGuard {
                 budget: s.budget.max_goals(),
             });
         }
+        if let Some(cap) = s.request_budget {
+            if t > cap {
+                return Err(AnalysisError::BudgetExhausted { budget: cap });
+            }
+        }
         if c.is_multiple_of(INTERRUPT_PERIOD) {
             self.check_interrupts()?;
         }
@@ -356,6 +391,7 @@ impl RunGuard {
 #[derive(Debug, Clone, Default)]
 pub struct GovernPolicy {
     budget: AnalysisBudget,
+    request_budget: Option<u64>,
     deadline: Option<Duration>,
     memory_limit: Option<u64>,
     cancel: Option<CancelToken>,
@@ -375,6 +411,40 @@ impl GovernPolicy {
     pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Caps the cumulative charges across the *whole request* — all ladder
+    /// rungs together ([`RunGuard::with_request_budget`]). Without this,
+    /// [`begin_rung`](RunGuard::begin_rung) hands every fallback rung a
+    /// fresh per-rung budget, so a request's worst case is
+    /// `rung_budget × rungs`; an admission controller that must reject
+    /// *before* queuing reserves against this cap instead.
+    #[must_use]
+    pub fn with_request_budget(mut self, cap: u64) -> Self {
+        self.request_budget = Some(cap);
+        self
+    }
+
+    /// The whole-request charge cap, if one is set.
+    pub fn request_budget(&self) -> Option<u64> {
+        self.request_budget
+    }
+
+    /// The per-rung goal budget ([`AnalysisBudget::max_goals`]).
+    pub fn rung_budget(&self) -> u64 {
+        self.budget.max_goals()
+    }
+
+    /// The most charges a request under this policy can consume when its
+    /// ladder has `rungs` rungs: the request cap if one is set, else the
+    /// per-rung budget times the rung count (every rung may burn its full
+    /// budget before falling through). This is the quantity a service's
+    /// admission controller reserves against capacity.
+    pub fn worst_case_charges(&self, rungs: u64) -> u64 {
+        match self.request_budget {
+            Some(cap) => cap,
+            None => self.budget.max_goals().saturating_mul(rungs.max(1)),
+        }
     }
 
     /// Sets a wall-clock allowance for the whole request (all rungs).
@@ -426,6 +496,9 @@ impl GovernPolicy {
     /// armed copy (plans are one-shot per guard, not per policy).
     pub fn guard(&self) -> RunGuard {
         let mut guard = RunGuard::new(self.budget);
+        if let Some(cap) = self.request_budget {
+            guard = guard.with_request_budget(cap);
+        }
         if let Some(allowance) = self.deadline {
             guard = guard.with_deadline(Deadline::within(allowance));
         }
@@ -938,6 +1011,44 @@ mod tests {
             guard.charge(1),
             Err(AnalysisError::BudgetExhausted { budget: 5 })
         );
+    }
+
+    #[test]
+    fn request_budget_survives_rung_boundaries() {
+        // Per-rung budget 10, but the whole request may only charge 12:
+        // begin_rung restores the rung slice yet the cumulative cap still
+        // trips two charges into the second rung.
+        let guard = RunGuard::new(AnalysisBudget::new(10)).with_request_budget(12);
+        for _ in 0..10 {
+            guard.charge(1).unwrap();
+        }
+        guard.begin_rung();
+        assert_eq!(guard.request_remaining(), 2);
+        guard.charge(1).unwrap();
+        guard.charge(1).unwrap();
+        assert_eq!(
+            guard.charge(1),
+            Err(AnalysisError::BudgetExhausted { budget: 12 })
+        );
+        // And once spent, every later rung trips immediately: the ladder
+        // aborts cheaply instead of burning a fresh slice per rung.
+        guard.begin_rung();
+        assert!(guard.charge(1).is_err());
+    }
+
+    #[test]
+    fn policy_worst_case_charges_feed_admission_control() {
+        let per_rung = GovernPolicy::new().with_budget(AnalysisBudget::new(1000));
+        assert_eq!(per_rung.request_budget(), None);
+        assert_eq!(per_rung.rung_budget(), 1000);
+        assert_eq!(per_rung.worst_case_charges(3), 3000);
+        assert_eq!(per_rung.worst_case_charges(0), 1000, "at least one rung");
+
+        let capped = per_rung.clone().with_request_budget(1500);
+        assert_eq!(capped.worst_case_charges(3), 1500);
+        let guard = capped.guard();
+        assert_eq!(guard.request_budget(), Some(1500));
+        assert_eq!(guard.request_remaining(), 1500);
     }
 
     #[test]

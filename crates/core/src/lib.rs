@@ -48,6 +48,7 @@
 
 pub mod absval;
 pub mod budget;
+pub mod cache;
 pub mod cfa;
 pub mod deltae;
 pub mod direct;
@@ -73,6 +74,10 @@ pub mod trace;
 
 pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsStore, CAbsVal};
 pub use budget::{AnalysisBudget, AnalysisError};
+pub use cache::{
+    AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
+    SendCfa, SendCpsCfa,
+};
 pub use direct::{DirectAnalyzer, DirectResult};
 pub use faultinject::{FaultKind, FaultPlan};
 pub use flow::FlowLog;

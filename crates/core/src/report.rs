@@ -2,6 +2,7 @@
 //! the experiment harness.
 
 use crate::absval::{AbsStore, CAbsStore};
+use crate::cache::CacheStats;
 use crate::domain::NumDomain;
 use crate::stats::SolverStats;
 use crate::trace::AggSink;
@@ -73,6 +74,39 @@ pub fn render_solver_stats(label: &str, stats: &SolverStats) -> String {
 /// layer — a recorded JSONL file reproduces the report byte-for-byte.
 pub fn render_solver_stats_from_agg(label: &str, agg: &AggSink, prefix: &str) -> String {
     render_solver_stats(label, &SolverStats::from_agg(agg, prefix))
+}
+
+/// Renders the content-addressed cache's counters as an indented block:
+/// traffic (hits/misses and the derived hit rate) on the first line,
+/// residency against the eviction ceiling on the second.
+pub fn render_cache_stats(label: &str, stats: &CacheStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {label:<10} {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted, {} rejected",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.inserts,
+        stats.evictions,
+        stats.rejects
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {} entries resident, {} / {} bytes",
+        "", stats.entries, stats.bytes, stats.ceiling_bytes
+    );
+    out
+}
+
+/// [`render_cache_stats`] fed from an aggregated trace instead of a live
+/// [`CacheStats`] value: reconstructs the `cache.*` counters emitted under
+/// `prefix` (via [`CacheStats::from_agg`]) and renders the same block, so
+/// a recorded JSONL service trace reproduces the cache report
+/// byte-for-byte — the same contract [`render_solver_stats_from_agg`]
+/// gives the solver counters.
+pub fn render_cache_stats_from_agg(label: &str, agg: &AggSink, prefix: &str) -> String {
+    render_cache_stats(label, &CacheStats::from_agg(agg, prefix))
 }
 
 /// Renders a two-column side-by-side comparison of per-variable rows.
@@ -159,6 +193,55 @@ mod tests {
             render_solver_stats_from_agg("0CFA", &agg, "cfa.src"),
             render_solver_stats("0CFA", &stats),
             "trace-reconstructed report must match the live one"
+        );
+    }
+
+    #[test]
+    fn cache_report_round_trips_through_jsonl() {
+        use crate::trace::JsonlSink;
+        let stats = CacheStats {
+            hits: 42,
+            misses: 8,
+            inserts: 8,
+            evictions: 3,
+            rejects: 1,
+            bytes: 65536,
+            entries: 5,
+            ceiling_bytes: 1 << 20,
+        };
+        let live = render_cache_stats("service", &stats);
+        assert!(live.contains("84% hit rate"));
+        assert!(live.contains("65536 / 1048576 bytes"));
+        // Live → JSONL stream → AggSink replay → identical report.
+        let mut jsonl = JsonlSink::new(Vec::new());
+        stats.emit_into(&mut jsonl, "cache");
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        let agg = AggSink::from_jsonl(&text);
+        assert_eq!(
+            render_cache_stats_from_agg("service", &agg, "cache"),
+            live,
+            "trace-reconstructed cache report must match the live one"
+        );
+    }
+
+    #[test]
+    fn agg_replay_preserves_counters_and_gauges() {
+        use crate::trace::TraceSink;
+        let mut per_request = AggSink::new();
+        per_request.counter("cache.hit", 3);
+        per_request.counter("cache.hit", 2);
+        per_request.gauge("cache.bytes", 512);
+        per_request.time_ns("service.req.solve", 1000);
+        per_request.time_ns("service.req.solve", 500);
+        let mut shared = AggSink::new();
+        shared.counter("cache.hit", 10); // pre-existing traffic
+        per_request.replay_into(&mut shared);
+        assert_eq!(shared.counter_value("cache.hit"), 15);
+        assert_eq!(shared.gauge_value("cache.bytes"), 512);
+        assert_eq!(
+            shared.timer_agg("service.req.solve").unwrap().total_ns,
+            1500,
+            "timer totals survive replay"
         );
     }
 

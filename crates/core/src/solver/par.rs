@@ -155,6 +155,9 @@ struct ParFault {
 pub(crate) struct ParGuard {
     /// Per-rung budget ceiling (`AnalysisBudget::max_goals`).
     limit: u64,
+    /// Whole-request cumulative cap ([`RunGuard::request_budget`]), checked
+    /// against `total_base + charged` so it spans rung boundaries.
+    request_cap: Option<u64>,
     /// Charges the guard had already accumulated this rung.
     base: u64,
     /// Cumulative charges across the whole request before this run (what
@@ -179,6 +182,7 @@ impl ParGuard {
     pub(crate) fn from_guard(guard: &RunGuard, shards: usize) -> ParGuard {
         ParGuard {
             limit: guard.budget().max_goals(),
+            request_cap: guard.request_budget(),
             base: guard.spent(),
             total_base: guard.total_spent(),
             charged: AtomicU64::new(0),
@@ -265,6 +269,11 @@ impl ParGuard {
         }
         if self.base + t > self.limit {
             return Err(AnalysisError::BudgetExhausted { budget: self.limit });
+        }
+        if let Some(cap) = self.request_cap {
+            if self.total_base + t > cap {
+                return Err(AnalysisError::BudgetExhausted { budget: cap });
+            }
         }
         if t.is_multiple_of(INTERRUPT_PERIOD) {
             self.check_interrupts()?;

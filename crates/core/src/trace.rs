@@ -254,6 +254,31 @@ impl AggSink {
         agg
     }
 
+    /// Replays the aggregated counters, gauges, and timer measurements
+    /// into another sink, in deterministic (name-sorted) order. Spans are
+    /// not replayed — their nesting structure is gone after aggregation —
+    /// and a timer's measurements collapse to one emission carrying the
+    /// preserved total (counter and gauge values replay exactly).
+    ///
+    /// This is the service's per-request flush path: each request
+    /// aggregates into a private `AggSink` (so cumulative process-wide
+    /// counters are never double-counted), then replays that delta into
+    /// the shared streaming [`JsonlSink`] under the request's span.
+    pub fn replay_into(&self, sink: &mut impl TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (name, value) in &self.counters {
+            sink.counter(name, *value);
+        }
+        for (name, value) in &self.gauges {
+            sink.gauge(name, *value);
+        }
+        for (name, agg) in &self.timers {
+            sink.time_ns(name, agg.total_ns);
+        }
+    }
+
     fn close_one(&mut self, name: String, started: Instant) {
         let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let slot = self.spans.entry(name).or_default();

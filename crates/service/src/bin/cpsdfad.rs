@@ -1,0 +1,104 @@
+//! `cpsdfad` — the analysis daemon. JSONL requests on stdin, JSONL
+//! responses on stdout, optional JSONL trace stream to a file.
+//!
+//! ```text
+//! cpsdfad [--workers N] [--cache-bytes N] [--max-queue N] [--capacity N]
+//!         [--budget N] [--deadline-ms N] [--no-cache] [--trace PATH]
+//! ```
+//!
+//! Request lines look like
+//! `{"id": 1, "analysis": "cfa.cps", "program": "(let (f (lambda (x) x)) (f 1))"}`
+//! (optional fields: `mode` = `seq`/`par`/`par:K`, `budget`,
+//! `request_budget`, `deadline_ms`). Control lines: `{"cmd": "stats"}`,
+//! `{"cmd": "shutdown"}`. Responses correlate by `id` and may complete
+//! out of order.
+
+use cpsdfa_core::JsonlSink;
+use cpsdfa_service::{AnalysisService, ServiceConfig};
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServiceConfig::default();
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let result: Result<(), String> = match arg.as_str() {
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| config.workers = n.max(1))
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--cache-bytes" => value("--cache-bytes").and_then(|v| {
+                v.parse()
+                    .map(|n| config.cache_bytes = n)
+                    .map_err(|e| format!("--cache-bytes: {e}"))
+            }),
+            "--max-queue" => value("--max-queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_queue = n)
+                    .map_err(|e| format!("--max-queue: {e}"))
+            }),
+            "--capacity" => value("--capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| config.capacity_charges = n)
+                    .map_err(|e| format!("--capacity: {e}"))
+            }),
+            "--budget" => value("--budget").and_then(|v| {
+                v.parse()
+                    .map(|n| config.default_budget = n)
+                    .map_err(|e| format!("--budget: {e}"))
+            }),
+            "--deadline-ms" => value("--deadline-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.default_deadline_ms = Some(n))
+                    .map_err(|e| format!("--deadline-ms: {e}"))
+            }),
+            "--no-cache" => {
+                config.cache_enabled = false;
+                Ok(())
+            }
+            "--trace" => value("--trace").map(|v| trace_path = Some(v)),
+            "--help" | "-h" => {
+                println!(
+                    "cpsdfad: analysis daemon (JSONL on stdin/stdout)\n\
+                     flags: --workers N --cache-bytes N --max-queue N --capacity N\n\
+                     \x20      --budget N --deadline-ms N --no-cache --trace PATH"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?} (try --help)")),
+        };
+        if let Err(e) = result {
+            eprintln!("cpsdfad: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let trace = match &trace_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => {
+                let w: Box<dyn Write + Send> = Box::new(BufWriter::new(f));
+                Some(JsonlSink::new(w))
+            }
+            Err(e) => {
+                eprintln!("cpsdfad: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let service = AnalysisService::new(config);
+    let stdin = io::stdin();
+    // `Stdout` is `Send` (it locks per write); the explicit lock guard is
+    // not, and `serve` serializes writers behind its own mutex anyway.
+    match service.serve(stdin.lock(), io::stdout(), trace) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cpsdfad: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

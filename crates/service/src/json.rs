@@ -1,0 +1,266 @@
+//! A minimal flat-JSON-object reader and string escaper for the service
+//! wire protocol — serde-free, like the rest of the workspace (the trace
+//! layer's JSONL writer/parser set the precedent).
+//!
+//! The protocol only ever exchanges *flat* objects whose values are
+//! strings, integers, or booleans, so that is all this module accepts.
+//! Nested objects/arrays are a parse error, not a silent skip.
+
+/// A scalar field value in a protocol object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number, restricted to unsigned integers (every numeric
+    /// protocol field — ids, budgets, millisecond allowances — is one).
+    UInt(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": v, ...}`) into its fields, in
+/// source order. Returns `Err` with a short human-readable reason on
+/// anything that is not a flat object of string/uint/bool scalars.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing content after object".to_owned());
+    }
+    Ok(fields)
+}
+
+/// Looks a field up by name in a parsed object.
+pub fn field<'a>(fields: &'a [(String, Scalar)], name: &str) -> Option<&'a Scalar> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+/// and control characters; everything else passes through verbatim).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 tail starting at this byte.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_owned())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Scalar::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Scalar::Bool(false))
+            }
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+                text.parse::<u64>()
+                    .map(Scalar::UInt)
+                    .map_err(|e| format!("bad integer {text:?}: {e}"))
+            }
+            Some(b'{') | Some(b'[') => Err("nested values are not part of the protocol".to_owned()),
+            other => Err(format!("expected a scalar, got {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected literal {word}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let fields = parse_object(
+            r#"{"id": 7, "analysis": "cfa.cps", "program": "(f \"x\")", "warm": true}"#,
+        )
+        .unwrap();
+        assert_eq!(field(&fields, "id").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            field(&fields, "analysis").unwrap().as_str(),
+            Some("cfa.cps")
+        );
+        assert_eq!(
+            field(&fields, "program").unwrap().as_str(),
+            Some("(f \"x\")")
+        );
+        assert_eq!(field(&fields, "warm").unwrap().as_bool(), Some(true));
+        assert!(field(&fields, "missing").is_none());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line\n\"quoted\" \\ tab\t λ";
+        let line = format!(r#"{{"s": "{}"}}"#, escape(nasty));
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(field(&fields, "s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_nested_and_trailing_garbage() {
+        assert!(parse_object(r#"{"a": {"b": 1}}"#).is_err());
+        assert!(parse_object(r#"{"a": [1]}"#).is_err());
+        assert!(parse_object(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_object(r#"{"a": }"#).is_err());
+        assert!(parse_object("").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_ok() {
+        assert_eq!(parse_object("{}").unwrap().len(), 0);
+        assert_eq!(parse_object(" { } ").unwrap().len(), 0);
+    }
+}

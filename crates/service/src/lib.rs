@@ -1,0 +1,778 @@
+//! Analysis-as-a-service: a long-running daemon serving the three
+//! fixpoint analyses over a JSONL protocol, fronted by the
+//! content-addressed [`FixpointCache`] and a two-rung admission
+//! controller.
+//!
+//! The offline build environment has no async runtime, so the daemon is
+//! plain threads: the caller's thread reads requests, a scoped pool of
+//! [`worker_count`]-sized workers (each owning its own hash-consing
+//! [`TermArena`] + digest memo) drains a bounded queue, and responses
+//! stream back as they complete, correlated by `id`.
+//!
+//! # Admission control
+//!
+//! A request passes two *rejection rungs* before it may queue — the cheap
+//! outer extension of the per-request
+//! [`DegradationLadder`](cpsdfa_core::govern::DegradationLadder):
+//!
+//! 1. **queue-depth** — if the queue already holds
+//!    [`max_queue`](ServiceConfig::max_queue) pending requests, reject
+//!    with `queue-full` instead of growing the backlog.
+//! 2. **budget reservation** — every admitted request reserves its
+//!    worst-case charge count
+//!    ([`GovernPolicy::worst_case_charges`](cpsdfa_core::govern::GovernPolicy::worst_case_charges):
+//!    the whole-request cap when the client set one, else per-rung budget
+//!    × rung count) against
+//!    [`capacity_charges`](ServiceConfig::capacity_charges); if the
+//!    reservation does not fit, reject with `over-capacity` *before* any
+//!    rung burns budget. Reservations release on completion.
+//!
+//! Only past both rungs does a request reach the degradation rungs proper
+//! (engine retry, representation fallback) that PR 5/6 built.
+//!
+//! # Caching
+//!
+//! Warm hits are served without touching the solver: the request's
+//! program is parsed into the worker's arena (hash-consing makes repeats
+//! cheap), digested (memoized per node id), and looked up under the
+//! full-precision [`CacheKey`]. Fresh answers commit under the rung that
+//! produced them, so degraded answers can never shadow full-precision
+//! ones. See `DESIGN.md` §11 for the soundness argument.
+//!
+//! # Example
+//!
+//! ```
+//! use cpsdfa_service::{AnalysisService, ServiceConfig};
+//! use cpsdfa_service::proto::{Served, Status};
+//!
+//! let service = AnalysisService::new(ServiceConfig::default());
+//! let batch = [
+//!     r#"{"id": 1, "analysis": "cfa.cps", "program": "(let (f (lambda (x) x)) (f 1))"}"#,
+//!     r#"{"id": 2, "analysis": "cfa.cps", "program": "(let (f (lambda (x) x)) (f 1))"}"#,
+//! ];
+//! let outcomes = service.run_batch(&batch);
+//! // Same program twice: the second request is a cache hit with the
+//! // bit-identical answer digest.
+//! let (a, b) = (&outcomes[0].response, &outcomes[1].response);
+//! match (&a.status, &b.status) {
+//!     (
+//!         Status::Ok { cache: Served::Miss, answer_digest: d1, .. },
+//!         Status::Ok { cache: Served::Hit, answer_digest: d2, .. },
+//!     ) => assert_eq!(d1, d2),
+//!     other => panic!("expected miss then hit, got {other:?}"),
+//! }
+//! ```
+
+pub mod json;
+pub mod proto;
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::cache::{
+    AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
+    SendCfa, SendCpsCfa,
+};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_core::govern::{governed_zero_cfa_cps, CfaAnswer, DegradationLadder, GovernPolicy};
+use cpsdfa_core::mfp::Cfg;
+use cpsdfa_core::trace::TraceSink;
+use cpsdfa_core::{cfa, worker_count, AggSink, AnalysisBudget, JsonlSink, RunGuard, SolverMode};
+use cpsdfa_syntax::arena::TermArena;
+use proto::{BadRequest, Request, Response, Served, Status};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. [`Default`] gives a single-machine profile:
+/// [`worker_count`] workers, a 64 MiB cache, a 256-deep queue, and
+/// capacity for `workers × default budget` concurrent worst-case charges.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// [`FixpointCache`] eviction ceiling in (estimated) payload bytes.
+    pub cache_bytes: u64,
+    /// Queue-depth rejection rung: pending requests beyond this are
+    /// refused with `queue-full`.
+    pub max_queue: usize,
+    /// Budget-reservation rejection rung: total outstanding worst-case
+    /// charges the service will accept before refusing with
+    /// `over-capacity`.
+    pub capacity_charges: u64,
+    /// Per-rung goal budget for requests that do not set one.
+    pub default_budget: u64,
+    /// Wall-clock allowance (ms) for requests that do not set one
+    /// (`None` = no deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Master cache switch — `false` turns every request into a fresh
+    /// solve (the differential baseline E20 compares against).
+    pub cache_enabled: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = worker_count();
+        let default_budget = AnalysisBudget::default().max_goals();
+        ServiceConfig {
+            workers,
+            cache_bytes: 64 << 20,
+            max_queue: 256,
+            // Room for every worker to run a worst-case three-rung ladder
+            // plus as much again waiting in the queue.
+            capacity_charges: default_budget
+                .saturating_mul(3)
+                .saturating_mul(2 * workers as u64),
+            default_budget,
+            default_deadline_ms: None,
+            cache_enabled: true,
+        }
+    }
+}
+
+/// Cumulative service counters (all monotone; readable while serving).
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    accepted: AtomicU64,
+    rejected_queue: AtomicU64,
+    rejected_budget: AtomicU64,
+    served_hit: AtomicU64,
+    served_solve: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// One completed request of a batch run: the response plus (when the
+/// request was answered) the committed fixpoint, so in-process callers —
+/// tests, E20 — can compare whole answers, not just digests.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The response, exactly as [`serve`](AnalysisService::serve) would
+    /// have written it.
+    pub response: Response,
+    /// The answered fixpoint (a cache handle on hits, the fresh commit on
+    /// misses); `None` on rejections and errors.
+    pub fixpoint: Option<std::sync::Arc<CachedFixpoint>>,
+}
+
+/// The service: one [`FixpointCache`] + admission state shared by every
+/// request, however it arrives ([`run_batch`](AnalysisService::run_batch)
+/// or the [`serve`](AnalysisService::serve) loop).
+pub struct AnalysisService {
+    config: ServiceConfig,
+    cache: Mutex<FixpointCache>,
+    /// Outstanding reserved worst-case charges (admission rung 2).
+    reserved: AtomicU64,
+    counters: ServiceCounters,
+}
+
+/// Per-worker reusable state: the hash-consing arena and its digest memo.
+/// Workers never share arenas — digests are structural, so keys agree
+/// across workers without sharing.
+struct WorkerCtx {
+    arena: TermArena,
+    digests: ArenaDigests,
+}
+
+impl WorkerCtx {
+    fn new() -> Self {
+        WorkerCtx {
+            arena: TermArena::new(),
+            digests: ArenaDigests::new(),
+        }
+    }
+}
+
+/// A queued, admitted request (its reservation is already counted).
+struct Job {
+    slot: usize,
+    request: Request,
+    reservation: u64,
+    enqueued: Instant,
+}
+
+/// The bounded queue the reader feeds and workers drain.
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>, // (pending, closed)
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.jobs.lock().expect("queue poisoned").0.len()
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("queue poisoned").0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.jobs.lock().expect("queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut guard = self.jobs.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("queue poisoned");
+        }
+    }
+}
+
+impl AnalysisService {
+    /// A fresh service (empty cache, zero counters).
+    pub fn new(config: ServiceConfig) -> Self {
+        AnalysisService {
+            cache: Mutex::new(FixpointCache::new(config.cache_bytes)),
+            reserved: AtomicU64::new(0),
+            counters: ServiceCounters::default(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// How many rungs `kind`'s canonical ladder has under `mode` —
+    /// what the admission reservation multiplies an unbounded request's
+    /// per-rung budget by.
+    fn ladder_rungs(kind: AnalysisKind, mode: SolverMode) -> u64 {
+        let base = match kind {
+            AnalysisKind::CfaCps => 2, // cfa.cps → cfa.src
+            AnalysisKind::CfaSrc | AnalysisKind::MfpFlat => 1,
+        };
+        base + u64::from(matches!(mode, SolverMode::Par(_))) // engine-retry rung
+    }
+
+    /// Builds the per-request governance policy.
+    fn policy_for(&self, req: &Request) -> GovernPolicy {
+        let mut policy = GovernPolicy::new()
+            .with_budget(AnalysisBudget::new(req.budget))
+            .with_solver_mode(req.mode);
+        if let Some(cap) = req.request_budget {
+            policy = policy.with_request_budget(cap);
+        }
+        if let Some(ms) = req.deadline_ms {
+            policy = policy.with_deadline(Duration::from_millis(ms));
+        }
+        policy
+    }
+
+    /// Admission rungs 1–2. On success, returns the reservation (already
+    /// counted into [`reserved`](Self::reserved) — release it after the
+    /// request completes). On rejection, returns the refusal reason.
+    fn admit(&self, req: &Request, queue_depth: usize) -> Result<u64, &'static str> {
+        if queue_depth >= self.config.max_queue {
+            self.counters.rejected_queue.fetch_add(1, Ordering::Relaxed);
+            return Err("queue-full");
+        }
+        let rungs = Self::ladder_rungs(req.kind, req.mode);
+        let want = self.policy_for(req).worst_case_charges(rungs);
+        let mut current = self.reserved.load(Ordering::Relaxed);
+        loop {
+            if current.saturating_add(want) > self.config.capacity_charges {
+                self.counters
+                    .rejected_budget
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err("over-capacity");
+            }
+            match self.reserved.compare_exchange_weak(
+                current,
+                current + want,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(want)
+    }
+
+    fn release(&self, reservation: u64) {
+        self.reserved.fetch_sub(reservation, Ordering::Relaxed);
+    }
+
+    /// Serves one admitted request: cache probe, then (on a miss) the
+    /// governed ladder. Emits the request's trace into `sink` and returns
+    /// the response plus the answered fixpoint.
+    fn handle(
+        &self,
+        req: &Request,
+        ctx: &mut WorkerCtx,
+        sink: &mut impl TraceSink,
+    ) -> (Response, Option<std::sync::Arc<CachedFixpoint>>) {
+        let start = Instant::now();
+        let finish = |status: Status| Response {
+            id: req.id,
+            latency_us: start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            status,
+        };
+
+        // Parse into the worker's hash-consing arena. A repeated program
+        // re-resolves to the same node ids, so the digest below is a memo
+        // hit — the whole warm path does no per-node work.
+        let root = match ctx.arena.parse(&req.program) {
+            Ok(root) => root,
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                return (
+                    finish(Status::Error {
+                        reason: "parse-error",
+                        detail: e.to_string(),
+                    }),
+                    None,
+                );
+            }
+        };
+        let digest = ctx.digests.term_digest(&ctx.arena, root);
+        let full_key = CacheKey::full(req.kind, req.mode, digest);
+
+        if self.config.cache_enabled {
+            let cached = self.cache.lock().expect("cache poisoned").lookup(&full_key);
+            if let Some(hit) = cached {
+                self.counters.served_hit.fetch_add(1, Ordering::Relaxed);
+                sink.counter("service.hit", 1);
+                let resp = finish(Status::Ok {
+                    cache: Served::Hit,
+                    rung: full_key.rung,
+                    degraded: false,
+                    answer_digest: hit.answer_digest,
+                    iterations: hit.answer.iterations(),
+                    charged: 0,
+                });
+                return (resp, Some(hit));
+            }
+        }
+
+        // Miss (or cache off): lower out of the arena and run the ladder.
+        let term = ctx.arena.to_term(root);
+        let prog = AnfProgram::from_term(&term);
+        let policy = self.policy_for(req);
+        let governed = match req.kind {
+            AnalysisKind::CfaCps => governed_zero_cfa_cps(&prog, &policy, sink).map(|g| {
+                let answer = match g.value {
+                    CfaAnswer::Cps(r) => CachedAnswer::CfaCps(SendCpsCfa::from_result(&r)),
+                    CfaAnswer::Direct(r) => CachedAnswer::CfaSrc(SendCfa::from_result(&r)),
+                };
+                (answer, g.report)
+            }),
+            AnalysisKind::CfaSrc => {
+                let guard = policy.guard();
+                let mode = policy.solver_mode();
+                let mut ladder = DegradationLadder::new().rung(
+                    "cfa.src",
+                    |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                        Ok(cfa::zero_cfa_guarded_mode(&prog, mode, g, &mut sink)?.0)
+                    },
+                );
+                if matches!(mode, SolverMode::Par(_)) {
+                    ladder = ladder.rung(
+                        "cfa.src.seq",
+                        |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                            Ok(cfa::zero_cfa_guarded(&prog, g, &mut sink)?.0)
+                        },
+                    );
+                }
+                ladder.run(&guard, sink).map(|g| {
+                    (
+                        CachedAnswer::CfaSrc(SendCfa::from_result(&g.value)),
+                        g.report,
+                    )
+                })
+            }
+            AnalysisKind::MfpFlat => {
+                let cfg = match Cfg::from_first_order(&prog) {
+                    Ok(cfg) => cfg,
+                    Err(e) => {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        return (
+                            finish(Status::Error {
+                                reason: "not-first-order",
+                                detail: e.to_string(),
+                            }),
+                            None,
+                        );
+                    }
+                };
+                let init = cfg.initial_env::<Flat>(&prog);
+                let guard = policy.guard();
+                let mode = policy.solver_mode();
+                let mut ladder = DegradationLadder::new().rung(
+                    "mfp.flat",
+                    |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                        Ok(cfg
+                            .solve_mfp_guarded_mode::<Flat>(init.clone(), mode, g, &mut sink)?
+                            .0)
+                    },
+                );
+                if matches!(mode, SolverMode::Par(_)) {
+                    ladder = ladder.rung(
+                        "mfp.flat.seq",
+                        |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                            Ok(cfg
+                                .solve_mfp_guarded_mode::<Flat>(
+                                    init.clone(),
+                                    SolverMode::Seq,
+                                    g,
+                                    &mut sink,
+                                )?
+                                .0)
+                        },
+                    );
+                }
+                ladder
+                    .run(&guard, sink)
+                    .map(|g| (CachedAnswer::MfpFlat(g.value), g.report))
+            }
+        };
+
+        let (answer, report) = match governed {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                sink.counter("service.failed", 1);
+                return (
+                    finish(Status::Error {
+                        reason: "analysis-failed",
+                        detail: e.to_string(),
+                    }),
+                    None,
+                );
+            }
+        };
+
+        self.counters.served_solve.fetch_add(1, Ordering::Relaxed);
+        sink.counter("service.solve", 1);
+        let degraded = report.degraded();
+        if degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let rung = report.answered_by().unwrap_or(req.kind.full_rung());
+        let charged: u64 = report.attempts.iter().map(|a| a.charged).sum();
+        let fixpoint = std::sync::Arc::new(CachedFixpoint::new(answer, report));
+        if self.config.cache_enabled {
+            // Commit under the rung that actually answered: an undegraded
+            // answer lands on the full-precision key future lookups probe;
+            // a degraded answer lands on its own rung key, reachable only
+            // by an explicit degraded probe — never by a fresh request.
+            let commit_key = CacheKey::for_rung(req.kind, req.mode, digest, rung);
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(commit_key, (*fixpoint).clone());
+        }
+        let resp = finish(Status::Ok {
+            cache: if self.config.cache_enabled {
+                Served::Miss
+            } else {
+                Served::Off
+            },
+            rung,
+            degraded,
+            answer_digest: fixpoint.answer_digest,
+            iterations: fixpoint.answer.iterations(),
+            charged,
+        });
+        (resp, Some(fixpoint))
+    }
+
+    /// Runs a batch of request lines through the worker pool and returns
+    /// the outcomes *in request order* (admission rejections and parse
+    /// errors included). This is the in-process entry point the tests and
+    /// the E20 benchmark drive; [`serve`](AnalysisService::serve) is the
+    /// same machinery fed from a stream.
+    pub fn run_batch(&self, lines: &[&str]) -> Vec<Outcome> {
+        self.run_batch_traced(lines, &mut cpsdfa_core::NoopSink)
+    }
+
+    /// [`run_batch`](AnalysisService::run_batch), streaming per-request
+    /// traces and the end-of-batch `cache.*` flush into `trace`.
+    pub fn run_batch_traced(
+        &self,
+        lines: &[&str],
+        trace: &mut (impl TraceSink + Send),
+    ) -> Vec<Outcome> {
+        let queue = Queue::new();
+        let slots: Vec<Mutex<Option<Outcome>>> = lines.iter().map(|_| Mutex::new(None)).collect();
+        let trace_shared = Mutex::new(trace);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    let mut ctx = WorkerCtx::new();
+                    while let Some(job) = queue.pop() {
+                        let outcome = self.run_job(&job, &mut ctx, &trace_shared);
+                        *slots[job.slot].lock().expect("slot poisoned") = Some(outcome);
+                        self.release(job.reservation);
+                    }
+                });
+            }
+            // Feed in order; workers drain concurrently, so the
+            // queue-depth rung sees the true backlog.
+            for (slot, line) in lines.iter().enumerate() {
+                match Request::parse(
+                    line,
+                    self.config.default_budget,
+                    self.config.default_deadline_ms,
+                    self.config.workers,
+                ) {
+                    Ok(request) => match self.admit(&request, queue.depth()) {
+                        Ok(reservation) => queue.push(Job {
+                            slot,
+                            request,
+                            reservation,
+                            enqueued: Instant::now(),
+                        }),
+                        Err(reason) => {
+                            *slots[slot].lock().expect("slot poisoned") = Some(Outcome {
+                                response: Response {
+                                    id: request.id,
+                                    latency_us: 0,
+                                    status: Status::Rejected { reason },
+                                },
+                                fixpoint: None,
+                            });
+                        }
+                    },
+                    Err(bad) => {
+                        *slots[slot].lock().expect("slot poisoned") = Some(Outcome {
+                            response: bad_request_response(&bad),
+                            fixpoint: None,
+                        });
+                    }
+                }
+            }
+            queue.close();
+        });
+        let outcomes: Vec<Outcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .expect("every slot is filled by a worker or the feeder")
+            })
+            .collect();
+        let stats = self.cache_stats();
+        stats.emit_into(&mut *trace_shared.lock().expect("trace poisoned"), "cache");
+        outcomes
+    }
+
+    /// Runs one admitted job, wrapping its trace in a `service.req` span
+    /// in the shared sink. Each request aggregates into a private
+    /// [`AggSink`] first, so process-cumulative counters are never
+    /// double-counted into the stream.
+    fn run_job<S: TraceSink>(&self, job: &Job, ctx: &mut WorkerCtx, trace: &Mutex<S>) -> Outcome {
+        let mut agg = AggSink::new();
+        agg.gauge(
+            "service.queue_wait_us",
+            job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        let (response, fixpoint) = self.handle(&job.request, ctx, &mut agg);
+        let mut guard = trace.lock().expect("trace poisoned");
+        let sink = &mut *guard;
+        if sink.enabled() {
+            let span = format!("service.req.{}", job.request.id);
+            sink.span_start(&span);
+            agg.replay_into(sink);
+            sink.time_ns("service.req.latency", response.latency_us * 1000);
+            sink.span_end(&span);
+        }
+        Outcome { response, fixpoint }
+    }
+
+    /// The daemon loop: JSONL requests from `input`, JSONL responses to
+    /// `output` (as they complete — order is by completion, correlate by
+    /// `id`), per-request traces to `trace`. Returns when `input` ends or
+    /// a `{"cmd": "shutdown"}` line arrives; pending admitted requests
+    /// are drained first.
+    pub fn serve(
+        &self,
+        input: impl BufRead,
+        output: impl Write + Send,
+        trace: Option<JsonlSink<Box<dyn Write + Send>>>,
+    ) -> io::Result<()> {
+        let queue = Queue::new();
+        let out = Mutex::new(output);
+        let trace_shared = Mutex::new(match trace {
+            Some(sink) => TraceOut::Jsonl(sink),
+            None => TraceOut::Off,
+        });
+        let write_line = |line: &str| -> io::Result<()> {
+            let mut w = out.lock().expect("writer poisoned");
+            writeln!(w, "{line}")?;
+            w.flush()
+        };
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    let mut ctx = WorkerCtx::new();
+                    while let Some(job) = queue.pop() {
+                        let outcome = self.run_job(&job, &mut ctx, &trace_shared);
+                        self.release(job.reservation);
+                        let _ = write_line(&outcome.response.to_json());
+                    }
+                });
+            }
+            for line in input.lines() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(cmd) = control_command(line) {
+                    match cmd.as_str() {
+                        "shutdown" => break,
+                        "stats" => {
+                            write_line(&self.stats_json())?;
+                            continue;
+                        }
+                        other => {
+                            write_line(&format!(
+                                "{{\"status\": \"error\", \"reason\": \"bad-request\", \
+                                 \"detail\": \"unknown cmd {}\"}}",
+                                json::escape(other)
+                            ))?;
+                            continue;
+                        }
+                    }
+                }
+                match Request::parse(
+                    line,
+                    self.config.default_budget,
+                    self.config.default_deadline_ms,
+                    self.config.workers,
+                ) {
+                    Ok(request) => match self.admit(&request, queue.depth()) {
+                        Ok(reservation) => queue.push(Job {
+                            slot: 0,
+                            request,
+                            reservation,
+                            enqueued: Instant::now(),
+                        }),
+                        Err(reason) => write_line(
+                            &Response {
+                                id: request.id,
+                                latency_us: 0,
+                                status: Status::Rejected { reason },
+                            }
+                            .to_json(),
+                        )?,
+                    },
+                    Err(bad) => write_line(&bad_request_response(&bad).to_json())?,
+                }
+            }
+            queue.close();
+            Ok(())
+        })?;
+        // Final flush: cumulative cache counters into the trace stream.
+        if let TraceOut::Jsonl(sink) = &mut *trace_shared.lock().expect("trace poisoned") {
+            self.cache_stats().emit_into(sink, "cache");
+        }
+        Ok(())
+    }
+
+    /// The `{"cmd": "stats"}` response line.
+    pub fn stats_json(&self) -> String {
+        let cache = self.cache_stats();
+        let c = &self.counters;
+        format!(
+            "{{\"status\": \"stats\", \"accepted\": {}, \"rejected_queue\": {}, \
+             \"rejected_budget\": {}, \"served_hit\": {}, \"served_solve\": {}, \
+             \"degraded\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_entries\": {}, \"cache_bytes\": {}, \"reserved_charges\": {}}}",
+            c.accepted.load(Ordering::Relaxed),
+            c.rejected_queue.load(Ordering::Relaxed),
+            c.rejected_budget.load(Ordering::Relaxed),
+            c.served_hit.load(Ordering::Relaxed),
+            c.served_solve.load(Ordering::Relaxed),
+            c.degraded.load(Ordering::Relaxed),
+            c.failed.load(Ordering::Relaxed),
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            cache.bytes,
+            self.reserved.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The serve loop's trace slot: a JSONL stream or nothing.
+enum TraceOut {
+    Jsonl(JsonlSink<Box<dyn Write + Send>>),
+    Off,
+}
+
+impl TraceSink for TraceOut {
+    fn enabled(&self) -> bool {
+        matches!(self, TraceOut::Jsonl(_))
+    }
+    fn counter(&mut self, name: &str, delta: u64) {
+        if let TraceOut::Jsonl(s) = self {
+            s.counter(name, delta);
+        }
+    }
+    fn gauge(&mut self, name: &str, value: u64) {
+        if let TraceOut::Jsonl(s) = self {
+            s.gauge(name, value);
+        }
+    }
+    fn time_ns(&mut self, name: &str, ns: u64) {
+        if let TraceOut::Jsonl(s) = self {
+            s.time_ns(name, ns);
+        }
+    }
+    fn span_start(&mut self, name: &str) {
+        if let TraceOut::Jsonl(s) = self {
+            s.span_start(name);
+        }
+    }
+    fn span_end(&mut self, name: &str) {
+        if let TraceOut::Jsonl(s) = self {
+            s.span_end(name);
+        }
+    }
+}
+
+fn control_command(line: &str) -> Option<String> {
+    let fields = json::parse_object(line).ok()?;
+    json::field(&fields, "cmd")
+        .and_then(json::Scalar::as_str)
+        .map(str::to_owned)
+}
+
+fn bad_request_response(bad: &BadRequest) -> Response {
+    Response {
+        id: bad.id.unwrap_or(0),
+        latency_us: 0,
+        status: Status::Error {
+            reason: if bad.id.is_some() {
+                "bad-request"
+            } else {
+                "parse-error"
+            },
+            detail: bad.detail.clone(),
+        },
+    }
+}

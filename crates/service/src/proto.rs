@@ -1,0 +1,370 @@
+//! The service wire protocol: JSONL requests in, JSONL responses out.
+//!
+//! One request per line, one response per line, correlated by `id`
+//! (responses may arrive out of order — the worker pool completes
+//! whichever request finishes first). Two control lines drive the daemon:
+//! `{"cmd": "stats"}` reports the cache/admission counters without running
+//! anything, `{"cmd": "shutdown"}` drains the queue and exits.
+
+use crate::json::{self, Scalar};
+use cpsdfa_core::cache::AnalysisKind;
+use cpsdfa_core::SolverMode;
+
+/// A parsed analysis request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Which fixpoint to run.
+    pub kind: AnalysisKind,
+    /// The program source (the same s-expression syntax every front end in
+    /// the workspace parses).
+    pub program: String,
+    /// Engine selection (`"seq"`, `"par"` = the pool's worker count,
+    /// `"par:K"`).
+    pub mode: SolverMode,
+    /// Per-rung goal budget.
+    pub budget: u64,
+    /// Whole-request cumulative charge cap, if the client set one.
+    pub request_budget: Option<u64>,
+    /// Wall-clock allowance in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Why a line could not even be turned into a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadRequest {
+    /// The id, when one could be recovered from the malformed line.
+    pub id: Option<u64>,
+    /// Human-readable reason.
+    pub detail: String,
+}
+
+impl Request {
+    /// Parses one request line, filling unspecified knobs from the
+    /// defaults. `default_workers` resolves a bare `"mode": "par"`.
+    pub fn parse(
+        line: &str,
+        default_budget: u64,
+        default_deadline_ms: Option<u64>,
+        default_workers: usize,
+    ) -> Result<Request, BadRequest> {
+        let fields = json::parse_object(line).map_err(|detail| BadRequest { id: None, detail })?;
+        let id = json::field(&fields, "id")
+            .and_then(Scalar::as_u64)
+            .ok_or_else(|| BadRequest {
+                id: None,
+                detail: "missing or non-integer \"id\"".to_owned(),
+            })?;
+        let fail = |detail: String| BadRequest {
+            id: Some(id),
+            detail,
+        };
+        let kind_name = json::field(&fields, "analysis")
+            .and_then(Scalar::as_str)
+            .ok_or_else(|| fail("missing \"analysis\"".to_owned()))?;
+        let kind = AnalysisKind::parse(kind_name).ok_or_else(|| {
+            fail(format!(
+                "unknown analysis {kind_name:?} (expected cfa.src, cfa.cps, or mfp.flat)"
+            ))
+        })?;
+        let program = json::field(&fields, "program")
+            .and_then(Scalar::as_str)
+            .ok_or_else(|| fail("missing \"program\"".to_owned()))?
+            .to_owned();
+        let mode = match json::field(&fields, "mode").and_then(Scalar::as_str) {
+            None | Some("seq") => SolverMode::Seq,
+            Some("par") => SolverMode::Par(default_workers),
+            Some(m) => match m.strip_prefix("par:").and_then(|k| k.parse::<usize>().ok()) {
+                Some(k) if k > 0 => SolverMode::Par(k),
+                _ => {
+                    return Err(fail(format!(
+                        "bad mode {m:?} (expected seq, par, or par:K)"
+                    )))
+                }
+            },
+        };
+        let budget = json::field(&fields, "budget")
+            .and_then(Scalar::as_u64)
+            .unwrap_or(default_budget);
+        let request_budget = json::field(&fields, "request_budget").and_then(Scalar::as_u64);
+        let deadline_ms = json::field(&fields, "deadline_ms")
+            .and_then(Scalar::as_u64)
+            .or(default_deadline_ms);
+        Ok(Request {
+            id,
+            kind,
+            program,
+            mode,
+            budget,
+            request_budget,
+            deadline_ms,
+        })
+    }
+}
+
+/// How a completed request was served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Served {
+    /// Answered from the content-addressed cache without touching the
+    /// solver.
+    Hit,
+    /// Solved fresh (and, when caching is on, committed to the cache).
+    Miss,
+    /// Solved fresh with the cache disabled.
+    Off,
+}
+
+impl Served {
+    /// The wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Served::Hit => "hit",
+            Served::Miss => "miss",
+            Served::Off => "off",
+        }
+    }
+}
+
+/// The outcome payload of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// The request was answered.
+    Ok {
+        /// Cache disposition.
+        cache: Served,
+        /// The ladder rung that produced the answer.
+        rung: &'static str,
+        /// Whether a fallback rung (not the finest) answered.
+        degraded: bool,
+        /// FNV-1a digest of the answer's canonical form — what clients
+        /// compare for bit-identity without shipping whole stores.
+        answer_digest: u64,
+        /// Fixpoint iterations the producing run performed (0 on MFP).
+        iterations: u64,
+        /// Charges the request consumed across all rungs (0 on a hit).
+        charged: u64,
+    },
+    /// Admission control refused the request before queuing.
+    Rejected {
+        /// `queue-full` or `over-capacity`.
+        reason: &'static str,
+    },
+    /// The request was admitted but could not be answered.
+    Error {
+        /// `parse-error`, `bad-request`, `not-first-order`, or
+        /// `analysis-failed`.
+        reason: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id (0 when the line was too malformed to
+    /// carry one).
+    pub id: u64,
+    /// Wall-clock service latency for this request, microseconds
+    /// (admission rejections report the admission check's latency).
+    pub latency_us: u64,
+    /// What happened.
+    pub status: Status,
+}
+
+impl Response {
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"id\": {}", self.id);
+        match &self.status {
+            Status::Ok {
+                cache,
+                rung,
+                degraded,
+                answer_digest,
+                iterations,
+                charged,
+            } => {
+                out.push_str(&format!(
+                    ", \"status\": \"ok\", \"cache\": \"{}\", \"rung\": \"{}\", \
+                     \"degraded\": {}, \"answer_digest\": \"{:016x}\", \
+                     \"iterations\": {}, \"charged\": {}",
+                    cache.as_str(),
+                    json::escape(rung),
+                    degraded,
+                    answer_digest,
+                    iterations,
+                    charged
+                ));
+            }
+            Status::Rejected { reason } => {
+                out.push_str(&format!(
+                    ", \"status\": \"rejected\", \"reason\": \"{reason}\""
+                ));
+            }
+            Status::Error { reason, detail } => {
+                out.push_str(&format!(
+                    ", \"status\": \"error\", \"reason\": \"{reason}\", \"detail\": \"{}\"",
+                    json::escape(detail)
+                ));
+            }
+        }
+        out.push_str(&format!(", \"latency_us\": {}}}", self.latency_us));
+        out
+    }
+
+    /// Parses a response line back (the inverse of
+    /// [`to_json`](Response::to_json)) — used by the smoke test that
+    /// replays a recorded session and by clients written against this
+    /// crate.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let fields = json::parse_object(line)?;
+        let get_str = |name: &str| {
+            json::field(&fields, name)
+                .and_then(Scalar::as_str)
+                .ok_or_else(|| format!("missing string field {name:?}"))
+        };
+        let get_u64 = |name: &str| {
+            json::field(&fields, name)
+                .and_then(Scalar::as_u64)
+                .ok_or_else(|| format!("missing integer field {name:?}"))
+        };
+        let id = get_u64("id")?;
+        let latency_us = get_u64("latency_us")?;
+        let status = match get_str("status")? {
+            "ok" => Status::Ok {
+                cache: match get_str("cache")? {
+                    "hit" => Served::Hit,
+                    "miss" => Served::Miss,
+                    "off" => Served::Off,
+                    other => return Err(format!("unknown cache disposition {other:?}")),
+                },
+                rung: intern_rung(get_str("rung")?),
+                degraded: json::field(&fields, "degraded")
+                    .and_then(Scalar::as_bool)
+                    .ok_or("missing \"degraded\"")?,
+                answer_digest: u64::from_str_radix(get_str("answer_digest")?, 16)
+                    .map_err(|e| format!("bad answer_digest: {e}"))?,
+                iterations: get_u64("iterations")?,
+                charged: get_u64("charged")?,
+            },
+            "rejected" => Status::Rejected {
+                reason: match get_str("reason")? {
+                    "queue-full" => "queue-full",
+                    "over-capacity" => "over-capacity",
+                    other => return Err(format!("unknown rejection reason {other:?}")),
+                },
+            },
+            "error" => Status::Error {
+                reason: match get_str("reason")? {
+                    "parse-error" => "parse-error",
+                    "bad-request" => "bad-request",
+                    "not-first-order" => "not-first-order",
+                    "analysis-failed" => "analysis-failed",
+                    other => return Err(format!("unknown error reason {other:?}")),
+                },
+                detail: get_str("detail")?.to_owned(),
+            },
+            other => return Err(format!("unknown status {other:?}")),
+        };
+        Ok(Response {
+            id,
+            latency_us,
+            status,
+        })
+    }
+}
+
+/// Maps a rung name arriving off the wire back to the `&'static str` the
+/// ladders use. Unknown names (future rungs) leak once — acceptable for a
+/// test/client utility, never called on the serving path.
+fn intern_rung(name: &str) -> &'static str {
+    for known in [
+        "cfa.src",
+        "cfa.src.seq",
+        "cfa.cps",
+        "cfa.cps.seq",
+        "mfp.flat",
+        "mfp.flat.seq",
+    ] {
+        if name == known {
+            return known;
+        }
+    }
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_and_overrides() {
+        let line = r#"{"id": 3, "analysis": "cfa.cps", "program": "(f 1)"}"#;
+        let req = Request::parse(line, 50_000, Some(100), 4).unwrap();
+        assert_eq!(req.id, 3);
+        assert_eq!(req.kind, AnalysisKind::CfaCps);
+        assert_eq!(req.mode, SolverMode::Seq);
+        assert_eq!(req.budget, 50_000);
+        assert_eq!(req.deadline_ms, Some(100));
+        let line = r#"{"id": 4, "analysis": "mfp.flat", "program": "1", "mode": "par:2",
+                       "budget": 9, "request_budget": 12, "deadline_ms": 5}"#;
+        let req = Request::parse(line, 50_000, None, 4).unwrap();
+        assert_eq!(req.mode, SolverMode::Par(2));
+        assert_eq!(req.budget, 9);
+        assert_eq!(req.request_budget, Some(12));
+        assert_eq!(req.deadline_ms, Some(5));
+    }
+
+    #[test]
+    fn bad_requests_carry_the_id_when_recoverable() {
+        let err = Request::parse(
+            r#"{"id": 9, "analysis": "nope", "program": "x"}"#,
+            1,
+            None,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err.id, Some(9));
+        assert!(err.detail.contains("unknown analysis"));
+        let err = Request::parse("not json", 1, None, 1).unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response {
+                id: 1,
+                latency_us: 420,
+                status: Status::Ok {
+                    cache: Served::Hit,
+                    rung: "cfa.cps",
+                    degraded: false,
+                    answer_digest: 0xdead_beef_0042_1137,
+                    iterations: 17,
+                    charged: 0,
+                },
+            },
+            Response {
+                id: 2,
+                latency_us: 3,
+                status: Status::Rejected {
+                    reason: "queue-full",
+                },
+            },
+            Response {
+                id: 3,
+                latency_us: 55,
+                status: Status::Error {
+                    reason: "analysis-failed",
+                    detail: "budget exhausted (1000 goals)".to_owned(),
+                },
+            },
+        ] {
+            let line = resp.to_json();
+            assert_eq!(Response::parse(&line).unwrap(), resp, "line: {line}");
+        }
+    }
+}
