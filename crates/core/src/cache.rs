@@ -19,11 +19,18 @@
 //!   differential suite, but the engine is part of the request contract, so
 //!   it stays in the key and the differential tests assert hit ≡ fresh
 //!   per mode rather than across modes.
-//! * **digest** — a structural FNV-1a digest of the hash-consed
+//! * **digest** — a structural 128-bit FNV-1a digest of the hash-consed
 //!   [`TermArena`] subtree ([`ArenaDigests`]), memoized per [`TermId`]:
 //!   because the arena hash-conses, a repeated program parses to the same
 //!   `TermId` and its digest is an `O(1)` memo hit. Identifiers are hashed
-//!   by *name*, so the digest is stable across arenas and processes.
+//!   by *name*, so the digest is stable across arenas and processes. The
+//!   byte stream fed to the hash is prefix-free: every variable-length
+//!   field (identifier names) is length-prefixed, so no two distinct trees
+//!   fold the same bytes, and the 128-bit width keeps even a
+//!   million-program corpus far below birthday-collision territory. (FNV
+//!   is not cryptographic; a shared deployment that must resist
+//!   *adversarially crafted* collisions should front the service with a
+//!   keyed MAC of the program text — see DESIGN.md §11.)
 //! * **rung** — the [`DegradationLadder`](crate::govern::DegradationLadder)
 //!   rung that produced the answer. Lookups for fresh work use
 //!   [`CacheKey::full`] (the finest rung of the kind's canonical ladder);
@@ -81,10 +88,44 @@ fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// FNV-1a over a `u64`, continuing from `h` (little-endian bytes).
+// 128-bit FNV-1a: the structural program digests use the wide variant so
+// cache-key collisions across a large corpus stay in birthday-bound
+// territory (~2^64 programs for a 50% chance) instead of the ~2^32 a
+// 64-bit key would give.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// 128-bit FNV-1a over a byte slice, continuing from `h`.
 #[inline]
-fn fnv_u64(h: u64, v: u64) -> u64 {
-    fnv_bytes(h, &v.to_le_bytes())
+fn fnv128_bytes(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// 128-bit FNV-1a over a `u64`, continuing from `h` (little-endian bytes —
+/// a fixed-width field, so no framing is needed).
+#[inline]
+fn fnv128_u64(h: u128, v: u64) -> u128 {
+    fnv128_bytes(h, &v.to_le_bytes())
+}
+
+/// Folds a child subtree digest: fixed-width 16 bytes, little-endian.
+#[inline]
+fn fnv128_child(h: u128, d: u128) -> u128 {
+    fnv128_bytes(h, &d.to_le_bytes())
+}
+
+/// Folds an identifier name with a length prefix. The prefix makes the
+/// overall byte stream prefix-free: without it, a name's bytes would run
+/// into whatever follows (e.g. a child digest), and two different
+/// name/child splits could fold identical streams.
+#[inline]
+fn fnv128_name(h: u128, name: &str) -> u128 {
+    let h = fnv128_u64(h, name.len() as u64);
+    fnv128_bytes(h, name.as_bytes())
 }
 
 /// A stable digest of an answer's canonical `Debug` rendering (`BTreeSet`
@@ -105,8 +146,8 @@ pub fn debug_digest(value: &impl std::fmt::Debug) -> u64 {
 /// node id and shared by every request that parses to the same subtree.
 #[derive(Debug, Default)]
 pub struct ArenaDigests {
-    terms: Vec<Option<u64>>,
-    values: Vec<Option<u64>>,
+    terms: Vec<Option<u128>>,
+    values: Vec<Option<u128>>,
 }
 
 impl ArenaDigests {
@@ -115,35 +156,38 @@ impl ArenaDigests {
         ArenaDigests::default()
     }
 
-    /// The structural digest of term `id`. Identifiers hash by name and
-    /// node shapes by tag, so the digest is independent of interner state,
-    /// arena insertion order, and process.
-    pub fn term_digest(&mut self, arena: &TermArena, id: TermId) -> u64 {
+    /// The structural digest of term `id`. Identifiers hash by name
+    /// (length-prefixed) and node shapes by tag, so the digest is
+    /// independent of interner state, arena insertion order, and process,
+    /// and the folded byte stream is unambiguous: every node's encoding is
+    /// a fixed-arity sequence of fixed-width fields once names carry their
+    /// length.
+    pub fn term_digest(&mut self, arena: &TermArena, id: TermId) -> u128 {
         if let Some(Some(d)) = self.terms.get(id.index()) {
             return *d;
         }
         let d = match arena.term(id).clone() {
             TermNode::Value(v) => {
-                fnv_u64(fnv_bytes(FNV_OFFSET, b"val"), self.value_digest(arena, v))
+                fnv128_child(fnv128_bytes(FNV128_OFFSET, b"val"), self.value_digest(arena, v))
             }
             TermNode::App(f, a) => {
-                let h = fnv_bytes(FNV_OFFSET, b"app");
-                let h = fnv_u64(h, self.term_digest(arena, f));
-                fnv_u64(h, self.term_digest(arena, a))
+                let h = fnv128_bytes(FNV128_OFFSET, b"app");
+                let h = fnv128_child(h, self.term_digest(arena, f));
+                fnv128_child(h, self.term_digest(arena, a))
             }
             TermNode::Let(x, rhs, body) => {
-                let h = fnv_bytes(FNV_OFFSET, b"let");
-                let h = fnv_bytes(h, x.as_str().as_bytes());
-                let h = fnv_u64(h, self.term_digest(arena, rhs));
-                fnv_u64(h, self.term_digest(arena, body))
+                let h = fnv128_bytes(FNV128_OFFSET, b"let");
+                let h = fnv128_name(h, x.as_str());
+                let h = fnv128_child(h, self.term_digest(arena, rhs));
+                fnv128_child(h, self.term_digest(arena, body))
             }
             TermNode::If0(c, t, e) => {
-                let h = fnv_bytes(FNV_OFFSET, b"if0");
-                let h = fnv_u64(h, self.term_digest(arena, c));
-                let h = fnv_u64(h, self.term_digest(arena, t));
-                fnv_u64(h, self.term_digest(arena, e))
+                let h = fnv128_bytes(FNV128_OFFSET, b"if0");
+                let h = fnv128_child(h, self.term_digest(arena, c));
+                let h = fnv128_child(h, self.term_digest(arena, t));
+                fnv128_child(h, self.term_digest(arena, e))
             }
-            TermNode::Loop => fnv_bytes(FNV_OFFSET, b"loop"),
+            TermNode::Loop => fnv128_bytes(FNV128_OFFSET, b"loop"),
         };
         if self.terms.len() <= id.index() {
             self.terms.resize(id.index() + 1, None);
@@ -152,19 +196,19 @@ impl ArenaDigests {
         d
     }
 
-    fn value_digest(&mut self, arena: &TermArena, id: ValueId) -> u64 {
+    fn value_digest(&mut self, arena: &TermArena, id: ValueId) -> u128 {
         if let Some(Some(d)) = self.values.get(id.index()) {
             return *d;
         }
         let d = match arena.value(id).clone() {
-            ValueNode::Num(n) => fnv_u64(fnv_bytes(FNV_OFFSET, b"num"), n as u64),
-            ValueNode::Var(x) => fnv_bytes(fnv_bytes(FNV_OFFSET, b"var"), x.as_str().as_bytes()),
-            ValueNode::Add1 => fnv_bytes(FNV_OFFSET, b"add1"),
-            ValueNode::Sub1 => fnv_bytes(FNV_OFFSET, b"sub1"),
+            ValueNode::Num(n) => fnv128_u64(fnv128_bytes(FNV128_OFFSET, b"num"), n as u64),
+            ValueNode::Var(x) => fnv128_name(fnv128_bytes(FNV128_OFFSET, b"var"), x.as_str()),
+            ValueNode::Add1 => fnv128_bytes(FNV128_OFFSET, b"add1"),
+            ValueNode::Sub1 => fnv128_bytes(FNV128_OFFSET, b"sub1"),
             ValueNode::Lam(x, body) => {
-                let h = fnv_bytes(FNV_OFFSET, b"lam");
-                let h = fnv_bytes(h, x.as_str().as_bytes());
-                fnv_u64(h, self.term_digest(arena, body))
+                let h = fnv128_bytes(FNV128_OFFSET, b"lam");
+                let h = fnv128_name(h, x.as_str());
+                fnv128_child(h, self.term_digest(arena, body))
             }
         };
         if self.values.len() <= id.index() {
@@ -227,7 +271,7 @@ pub struct CacheKey {
     /// [`SolverMode::shards`]: 0 for the sequential engine.
     pub shards: usize,
     /// Structural digest of the program ([`ArenaDigests::term_digest`]).
-    pub digest: u64,
+    pub digest: u128,
     /// The ladder rung that produced (or is asked for) the answer.
     /// `&'static str` equality/hashing is by content, so rung names from
     /// different ladders unify as expected.
@@ -236,7 +280,7 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// The key a fresh request looks up: the kind's full-precision rung.
-    pub fn full(kind: AnalysisKind, mode: SolverMode, digest: u64) -> CacheKey {
+    pub fn full(kind: AnalysisKind, mode: SolverMode, digest: u128) -> CacheKey {
         CacheKey {
             kind,
             shards: mode.shards(),
@@ -252,7 +296,7 @@ impl CacheKey {
     pub fn for_rung(
         kind: AnalysisKind,
         mode: SolverMode,
-        digest: u64,
+        digest: u128,
         rung: &'static str,
     ) -> CacheKey {
         CacheKey {
@@ -686,10 +730,27 @@ mod tests {
     use crate::cfa::zero_cfa;
     use cpsdfa_anf::AnfProgram;
 
-    fn digest_of(src: &str) -> u64 {
+    fn digest_of(src: &str) -> u128 {
         let mut arena = TermArena::new();
         let id = arena.parse(src).expect("parses");
         ArenaDigests::new().term_digest(&arena, id)
+    }
+
+    #[test]
+    fn name_framing_is_prefix_free() {
+        // Without the length prefix, folding "a" then "b" is byte-for-byte
+        // the same stream as folding "ab" — the ambiguity class that let
+        // distinct trees collide. The prefix separates them.
+        let h = FNV128_OFFSET;
+        assert_ne!(fnv128_name(fnv128_name(h, "a"), "b"), fnv128_name(h, "ab"));
+        // And names can never be mistaken for the fixed-width fields that
+        // follow them: a name whose bytes equal a child-digest prefix still
+        // folds differently because its length is folded first.
+        let d = fnv128_bytes(h, b"whatever");
+        assert_ne!(
+            fnv128_child(fnv128_name(h, "x"), d),
+            fnv128_name(h, &format!("x{}", "y".repeat(16)))
+        );
     }
 
     #[test]
@@ -758,7 +819,7 @@ mod tests {
         assert!(one > 0);
         // Room for exactly two entries.
         let mut cache = FixpointCache::new(2 * one);
-        let key = |d: u64| CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, d);
+        let key = |d: u128| CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, d);
         assert!(cache.insert(key(1), value()));
         assert!(cache.insert(key(2), value()));
         assert_eq!(cache.len(), 2);

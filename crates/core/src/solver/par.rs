@@ -22,10 +22,12 @@
 //!
 //! **Determinism.** Within a round each shard drains its local worklist in
 //! solver rank order (deterministic), producing messages in a deterministic
-//! order; between rounds the per-destination mailboxes are merged at the
-//! barrier in sender-id order. By induction every shard's state at every
-//! round is a pure function of the input program and K — running `Par(k)`
-//! twice is bit-for-bit repeatable. Equality with `Seq` is the monotone
+//! order; outgoing batches are *staged* during the round and published into
+//! the destination mailboxes only at the barrier, so a round's inbox is
+//! exactly the previous round's sends — sorted by sender id before
+//! processing — no matter which worker claimed which partition when. By
+//! induction every shard's state at every round is a pure function of the
+//! input program and K — running `Par(k)` twice is bit-for-bit repeatable. Equality with `Seq` is the monotone
 //! least-fixpoint argument: firings only ever *add* lattice elements, so
 //! the final per-node sets are schedule-independent, and schedule-
 //! independent statistics (node and constraint counts, total delta
@@ -386,6 +388,13 @@ pub(crate) fn run_bsp<S: ParShard>(
     }
     let cells: Vec<Mutex<&mut S>> = shards.iter_mut().map(Mutex::new).collect();
     let mailboxes: Vec<Mailbox<S::Msg>> = (0..p).map(|_| Mutex::new(Vec::new())).collect();
+    // Batches produced during round R are *staged* here and only published
+    // into `mailboxes` at the barrier, so a partition claimed late in a
+    // round can never observe messages its siblings produced earlier in the
+    // same round — delivery round is a function of send round, not of
+    // work-stealing claim order. That is what makes the round-count and
+    // per-round state claims in the module docs hold exactly.
+    let staged: Vec<Mailbox<S::Msg>> = (0..p).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(p);
     let ticket = AtomicUsize::new(0);
     let round_msgs = AtomicUsize::new(0);
@@ -419,7 +428,7 @@ pub(crate) fn run_bsp<S: ParShard>(
                             for (dest, batch) in out.boxes.into_iter().enumerate() {
                                 if !batch.is_empty() {
                                     sent += batch.len();
-                                    mailboxes[dest].lock().unwrap().push((t, batch));
+                                    staged[dest].lock().unwrap().push((t, batch));
                                 }
                             }
                             if sent > 0 {
@@ -439,11 +448,19 @@ pub(crate) fn run_bsp<S: ParShard>(
                         }
                     }
                 }
-                // Rendezvous 1: all partitions pumped, all messages posted.
+                // Rendezvous 1: all partitions pumped, all messages staged.
                 if barrier.wait().is_leader() {
                     let quiet = round_msgs.swap(0, Ordering::AcqRel) == 0;
                     if quiet || pg.aborted() {
                         done.store(true, Ordering::Release);
+                    } else {
+                        // Publish this round's staged batches as next
+                        // round's inboxes (each mailbox is empty here:
+                        // every partition was pumped and took its mail).
+                        for (dest, s) in staged.iter().enumerate() {
+                            let batches = std::mem::take(&mut *s.lock().unwrap());
+                            mailboxes[dest].lock().unwrap().extend(batches);
+                        }
                     }
                     ticket.store(0, Ordering::Release);
                 }
@@ -544,6 +561,68 @@ mod tests {
                 rounds: 0,
             })
             .collect()
+    }
+
+    /// Sends one token to the right-hand neighbor in round 1 and stamps
+    /// the round each incoming message arrives in.
+    #[derive(Debug)]
+    struct RoundStamp {
+        id: usize,
+        shards: usize,
+        round: usize,
+        recv_rounds: Vec<usize>,
+    }
+
+    impl ParShard for RoundStamp {
+        type Msg = u32;
+        fn pump(
+            &mut self,
+            inbox: Vec<(usize, Vec<u32>)>,
+            out: &mut Outbox<u32>,
+            _pg: &ParGuard,
+        ) -> Result<(), AnalysisError> {
+            self.round += 1;
+            for (_, batch) in inbox {
+                for _ in batch {
+                    self.recv_rounds.push(self.round);
+                }
+            }
+            if self.round == 1 {
+                out.send((self.id + 1) % self.shards, 7);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn messages_land_exactly_one_round_after_sending() {
+        // Regression: batches used to be pushed into mailboxes immediately
+        // after each pump, so a partition claimed late in round 1 could
+        // consume a round-1 send *in round 1* — delivery round depended on
+        // work-stealing timing. Staged publication at the barrier makes it
+        // a function of the send round alone; repeat to shake schedules.
+        for _ in 0..64 {
+            let pg = ParGuard::from_guard(&RunGuard::new(AnalysisBudget::default()), 4);
+            let shards = run_bsp(
+                (0..4)
+                    .map(|id| RoundStamp {
+                        id,
+                        shards: 4,
+                        round: 0,
+                        recv_rounds: Vec::new(),
+                    })
+                    .collect(),
+                &pg,
+            )
+            .expect("clean run");
+            for s in &shards {
+                assert_eq!(
+                    s.recv_rounds,
+                    vec![2],
+                    "a round-1 send must arrive in round 2 on every schedule"
+                );
+            }
+        }
     }
 
     #[test]

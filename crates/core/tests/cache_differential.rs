@@ -34,7 +34,7 @@ use cpsdfa_workloads::families;
 use cpsdfa_workloads::par::{par_map_isolated, ParOutcome};
 use cpsdfa_workloads::random::{corpus, open_config};
 
-fn digest_in_fresh_arena(src: &str) -> u64 {
+fn digest_in_fresh_arena(src: &str) -> u128 {
     let mut arena = TermArena::new();
     let root = arena.parse(src).expect("corpus programs parse");
     ArenaDigests::new().term_digest(&arena, root)

@@ -153,12 +153,27 @@ impl<'a> Parser<'a> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self.next().ok_or("truncated \\u escape")?;
-                            code = code * 16
-                                + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
-                        }
+                        let code = match self.hex4()? {
+                            // High surrogate: standard encoders (e.g.
+                            // Python's json.dumps with ensure_ascii) emit
+                            // every non-BMP character as a \u pair, so the
+                            // low half must follow immediately.
+                            hi @ 0xD800..=0xDBFF => {
+                                self.expect(b'\\')
+                                    .and_then(|()| self.expect(b'u'))
+                                    .map_err(|_| "high surrogate not followed by \\u escape")?;
+                                match self.hex4()? {
+                                    lo @ 0xDC00..=0xDFFF => {
+                                        0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    }
+                                    _ => return Err("high surrogate not followed by low \
+                                                     surrogate"
+                                        .to_owned()),
+                                }
+                            }
+                            0xDC00..=0xDFFF => return Err("lone low surrogate".to_owned()),
+                            code => code,
+                        };
                         out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
                     }
                     other => return Err(format!("bad escape {other:?}")),
@@ -208,6 +223,16 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Four hex digits of a `\u` escape (the `\u` itself already consumed).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.next().ok_or("truncated \\u escape")?;
+            code = code * 16 + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+        }
+        Ok(code)
+    }
+
     fn literal(&mut self, word: &str) -> Result<(), String> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
@@ -247,6 +272,22 @@ mod tests {
         let line = format!(r#"{{"s": "{}"}}"#, escape(nasty));
         let fields = parse_object(&line).unwrap();
         assert_eq!(field(&fields, "s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_rejected() {
+        // What Python's json.dumps (default ensure_ascii=True) emits for a
+        // non-BMP character: a UTF-16 surrogate pair of \u escapes.
+        let fields = parse_object("{\"s\": \"\\ud83d\\ude00!\"}").unwrap();
+        assert_eq!(field(&fields, "s").unwrap().as_str(), Some("\u{1F600}!"));
+        // BMP escapes still decode directly.
+        let fields = parse_object("{\"s\": \"\\u03bb\"}").unwrap();
+        assert_eq!(field(&fields, "s").unwrap().as_str(), Some("λ"));
+        // Lone or malformed surrogates are invalid JSON text.
+        assert!(parse_object(r#"{"s": "\ud83d"}"#).is_err());
+        assert!(parse_object(r#"{"s": "\ud83d oops"}"#).is_err());
+        assert!(parse_object(r#"{"s": "\ud83dA"}"#).is_err());
+        assert!(parse_object(r#"{"s": "\ude00"}"#).is_err());
     }
 
     #[test]

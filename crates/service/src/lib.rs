@@ -635,56 +635,68 @@ impl AnalysisService {
                     }
                 });
             }
-            for line in input.lines() {
-                let line = line?;
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                if let Some(cmd) = control_command(line) {
-                    match cmd.as_str() {
-                        "shutdown" => break,
-                        "stats" => {
-                            write_line(&self.stats_json())?;
-                            continue;
-                        }
-                        other => {
-                            write_line(&format!(
-                                "{{\"status\": \"error\", \"reason\": \"bad-request\", \
-                                 \"detail\": \"unknown cmd {}\"}}",
-                                json::escape(other)
-                            ))?;
-                            continue;
+            // The feeder runs inside a closure so that `queue.close()` is
+            // reached on EVERY exit path, error or not. A `?` that escaped
+            // the scope directly would leave the workers parked forever in
+            // `Queue::pop` and `thread::scope` would never return — one
+            // invalid-UTF-8 byte on stdin would wedge the daemon instead of
+            // surfacing the error.
+            let fed = (|| -> io::Result<()> {
+                for line in input.lines() {
+                    let line = line?;
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if let Some(cmd) = control_command(line) {
+                        match cmd.as_str() {
+                            "shutdown" => break,
+                            "stats" => {
+                                write_line(&self.stats_json())?;
+                                continue;
+                            }
+                            other => {
+                                write_line(&format!(
+                                    "{{\"status\": \"error\", \"reason\": \"bad-request\", \
+                                     \"detail\": \"unknown cmd {}\"}}",
+                                    json::escape(other)
+                                ))?;
+                                continue;
+                            }
                         }
                     }
+                    match Request::parse(
+                        line,
+                        self.config.default_budget,
+                        self.config.default_deadline_ms,
+                        self.config.workers,
+                    ) {
+                        Ok(request) => match self.admit(&request, queue.depth()) {
+                            Ok(reservation) => queue.push(Job {
+                                slot: 0,
+                                request,
+                                reservation,
+                                enqueued: Instant::now(),
+                            }),
+                            Err(reason) => write_line(
+                                &Response {
+                                    id: request.id,
+                                    latency_us: 0,
+                                    status: Status::Rejected { reason },
+                                }
+                                .to_json(),
+                            )?,
+                        },
+                        Err(bad) => write_line(&bad_request_response(&bad).to_json())?,
+                    }
                 }
-                match Request::parse(
-                    line,
-                    self.config.default_budget,
-                    self.config.default_deadline_ms,
-                    self.config.workers,
-                ) {
-                    Ok(request) => match self.admit(&request, queue.depth()) {
-                        Ok(reservation) => queue.push(Job {
-                            slot: 0,
-                            request,
-                            reservation,
-                            enqueued: Instant::now(),
-                        }),
-                        Err(reason) => write_line(
-                            &Response {
-                                id: request.id,
-                                latency_us: 0,
-                                status: Status::Rejected { reason },
-                            }
-                            .to_json(),
-                        )?,
-                    },
-                    Err(bad) => write_line(&bad_request_response(&bad).to_json())?,
-                }
-            }
+                Ok(())
+            })();
+            // Unconditional: workers drain whatever was admitted before the
+            // failure, then exit, then the feeder's error (if any)
+            // propagates.
             queue.close();
-            Ok(())
+            fed
         })?;
         // Final flush: cumulative cache counters into the trace stream.
         if let TraceOut::Jsonl(sink) = &mut *trace_shared.lock().expect("trace poisoned") {

@@ -267,6 +267,30 @@ fn serve_loop_round_trips_requests_stats_and_shutdown() {
 }
 
 #[test]
+fn serve_loop_surfaces_input_errors_instead_of_wedging() {
+    let service = AnalysisService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let program = families::cond_chain(8).to_string();
+    // A valid request line followed by an invalid-UTF-8 byte:
+    // `BufRead::lines` yields `Err(InvalidData)` for the second line. The
+    // feeder must still close the queue so the workers exit and the error
+    // comes back — a regression here shows up as this test hanging.
+    let mut input: Vec<u8> = request(1, "cfa.cps", &program).into_bytes();
+    input.push(b'\n');
+    input.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+    let mut output: Vec<u8> = Vec::new();
+    let err = service
+        .serve(&input[..], &mut output, None)
+        .expect_err("invalid UTF-8 on stdin is an error, not a wedge");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // The request admitted before the failure was still drained.
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 1);
+}
+
+#[test]
 fn malformed_lines_get_error_responses_not_crashes() {
     let service = AnalysisService::new(small_config());
     let lines = [
