@@ -155,6 +155,9 @@ fn main() {
     if want("E20") {
         trace::with_span(sink, "e20", |sink| e20_service(sink, test_mode));
     }
+    if want("E21") {
+        trace::with_span(sink, "e21", |sink| e21_pushdown_census(sink, test_mode));
+    }
 }
 
 /// The hardware thread count the host actually has — recorded next to
@@ -1638,12 +1641,12 @@ const E19_N: usize = 320;
 const E19_TEST_N: usize = 32;
 
 /// Appends E19 curve rows to `BENCH_solver.json` without disturbing the
-/// rows E16 wrote. [`e16_render`] rewrites the file wholesale, so the
-/// harness runs E19 after E16 and merges here instead: existing non-curve
-/// rows are kept, stale curve rows from a previous sweep are dropped, and
-/// the fresh curve is appended.
+/// rows E16 wrote or the rows of other curves (E21). [`e16_render`]
+/// rewrites the file wholesale, so the harness runs E19 after E16 and
+/// merges here instead: existing non-e19 rows are kept, stale e19 rows
+/// from a previous sweep are dropped, and the fresh curve is appended.
 fn e19_append_rows(rows: &[String]) {
-    let mut all = bench_solver_rows(|line| !line.contains("\"curve\""));
+    let mut all = bench_solver_rows(|line| !line.contains("\"curve\": \"e19\""));
     all.extend(rows.iter().cloned());
     let payload = format!("[\n{}\n]\n", all.join(",\n"));
     match std::fs::write("BENCH_solver.json", &payload) {
@@ -1747,6 +1750,184 @@ fn e19_par_scaling(sink: &mut impl TraceSink, test_mode: bool) {
     );
     println!("every Par(K) solution checked bit-identical to the sequential run");
     e19_append_rows(&json_rows);
+}
+
+/// The E21 census grid: the three families where the monovariant CPS
+/// 0CFA merges continuations at a shared `k` — the dispatcher, the new
+/// polyvariant funnel, and the paper's repeated-calls family — swept over
+/// the sizes where E5 records the §6.1 losses.
+const E21_CENSUS_NS: [usize; 7] = [2, 3, 4, 5, 6, 7, 8];
+const E21_FAMILIES: [Family; 3] = [
+    ("dispatch", families::dispatch),
+    ("polyvariant", families::polyvariant),
+    ("repeated_calls", families::repeated_calls),
+];
+/// The cost pair is measured at E19's workload size so the two BENCH
+/// curves are comparable.
+const E21_N: usize = 320;
+const E21_TEST_N: usize = 32;
+
+/// Appends E21 curve rows to `BENCH_solver.json`, symmetric with
+/// [`e19_append_rows`]: rows of every other producer (E16's plain rows,
+/// E19's curve) are kept, stale e21 rows are dropped, fresh ones appended.
+fn e21_append_rows(rows: &[String]) {
+    let mut all = bench_solver_rows(|line| !line.contains("\"curve\": \"e21\""));
+    all.extend(rows.iter().cloned());
+    let payload = format!("[\n{}\n]\n", all.join(",\n"));
+    match std::fs::write("BENCH_solver.json", &payload) {
+        Ok(()) => println!(
+            "\nappended {} pushdown rows to BENCH_solver.json",
+            rows.len()
+        ),
+        Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
+    }
+}
+
+/// E21: the §6.1 false-return census re-run under the pushdown rung. The
+/// summary-based solver matches every return edge to a recorded call, so
+/// the spurious-edge count must be *zero* on every family where the
+/// monovariant CPS 0CFA merges returns — asserted, not just printed —
+/// while per-variable flow sets stay contained in the 0CFA's (also
+/// asserted). The cost half pairs the pushdown solve against the CPS
+/// 0CFA at E19's workload size and writes `"curve": "e21"` rows into
+/// `BENCH_solver.json`.
+fn e21_pushdown_census(sink: &mut impl TraceSink, test_mode: bool) {
+    use cpsdfa_core::cfa::zero_cfa_cps_instrumented;
+    use cpsdfa_core::pushdown::pushdown_cfa_instrumented;
+
+    section(
+        "E21",
+        "pushdown call/return matching: zero §6.1 false returns, at what cost",
+    );
+
+    // --- census: spurious return edges and flow facts, rung vs rung ---
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (family, build) in E21_FAMILIES {
+        for n in E21_CENSUS_NS {
+            let prog = AnfProgram::from_term(&build(n));
+            let cps = CpsProgram::from_anf(&prog);
+            let (mono, _) = zero_cfa_cps_instrumented(&cps).unwrap();
+            let (pd, _) = pushdown_cfa_instrumented(&cps).unwrap();
+            if let Some(violation) = pd.refinement_violation(&mono) {
+                panic!("pushdown does not refine 0CFA on {family}({n}): {violation}");
+            }
+            let merged = mono.false_return_edges();
+            let spurious = pd.false_return_edges();
+            assert_eq!(
+                spurious, 0,
+                "pushdown left spurious return edges on {family}({n})"
+            );
+            let mono_facts: usize = mono.vars.iter().map(|s| s.len()).sum();
+            sink.gauge(
+                &format!("e21.census.{family}.{n}.merged_0cfa"),
+                merged as u64,
+            );
+            sink.gauge(
+                &format!("e21.census.{family}.{n}.spurious_pd"),
+                spurious as u64,
+            );
+            rows.push(vec![
+                format!("{family}({n})"),
+                merged.to_string(),
+                spurious.to_string(),
+                mono_facts.to_string(),
+                pd.flow_facts().to_string(),
+                pd.summaries.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "0CFA merged returns",
+                "pushdown spurious",
+                "0CFA flow facts",
+                "pushdown flow facts",
+                "summaries",
+            ],
+            &rows
+        )
+    );
+    println!("every row's pushdown census is asserted zero and every pushdown flow set");
+    println!("is asserted contained in the 0CFA's — the precision is free of surprises;");
+    println!("the cost table below is what it is not free of.\n");
+
+    // --- cost: the pushdown rung paired against the CPS 0CFA ---
+    let n = if test_mode { E21_TEST_N } else { E21_N };
+    let reps = if test_mode { 2 } else { 5 };
+    let hw = hw_threads();
+    let mut cost_rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for (family, build) in E21_FAMILIES {
+        let prog = AnfProgram::from_term(&build(n));
+        let cps = CpsProgram::from_anf(&prog);
+        let psize = prog.root().size();
+        let ((mono_ms, (mono, mono_stats)), (pd_ms, (pd, pd_stats))) = paired_median_ms(
+            reps,
+            || zero_cfa_cps_instrumented(&cps).unwrap(),
+            || pushdown_cfa_instrumented(&cps).unwrap(),
+        );
+        if let Some(violation) = pd.refinement_violation(&mono) {
+            panic!("pushdown does not refine 0CFA on {family}({n}): {violation}");
+        }
+        assert_eq!(pd.false_return_edges(), 0);
+        let p = format!("e21.{family}.{n}");
+        sink.gauge(&format!("{p}.program_size"), psize as u64);
+        sink.time_ns(&format!("{p}.mono_ns"), (mono_ms * 1e6) as u64);
+        sink.time_ns(&format!("{p}.pd_ns"), (pd_ms * 1e6) as u64);
+        sink.gauge(&format!("{p}.summaries"), pd.summaries);
+        pd_stats.emit_into(sink, &format!("{p}.pd"));
+        cost_rows.push(vec![
+            format!("{family}({n})"),
+            format!("{mono_ms:.2}"),
+            format!("{pd_ms:.2}"),
+            format!("{:.2}x", pd_ms / mono_ms),
+            format!("{}", mono_stats.fired),
+            format!("{}", pd_stats.fired),
+            format!("{}", mono.false_return_edges()),
+        ]);
+        json_rows.push(format!(
+            "  {{\"family\": \"{}\", \"n\": {}, \"program_size\": {}, \
+             \"analyzer\": \"pushdown\", \"impl\": \"summary-delta\", \
+             \"wall_ms\": {:.4}, \"iterations\": {}, \"posts\": {}, \
+             \"delta_elems\": {}, \"mean_delta\": {:.3}, \
+             \"summaries\": {}, \"false_returns\": 0, \
+             \"mono_wall_ms\": {:.4}, \"mono_iterations\": {}, \
+             \"mono_false_returns\": {}, \"hw_threads\": {}, \
+             \"curve\": \"e21\"}}",
+            family,
+            n,
+            psize,
+            pd_ms,
+            pd_stats.fired,
+            pd_stats.posted,
+            pd_stats.delta_elems,
+            pd_stats.mean_delta(),
+            pd.summaries,
+            mono_ms,
+            mono_stats.fired,
+            mono.false_return_edges(),
+            hw,
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "0CFA ms",
+                "pushdown ms",
+                "pd/0CFA",
+                "0CFA firings",
+                "pd firings",
+                "0CFA merged returns",
+            ],
+            &cost_rows
+        )
+    );
+    e21_append_rows(&json_rows);
 }
 
 /// The E17 measurement grid: the same families ladder as E16, pushed to
@@ -2107,6 +2288,8 @@ fn e18_degradation(sink: &mut impl TraceSink, test_mode: bool) {
                 let matches = match &governed.value {
                     CfaAnswer::Cps(a) => a.same_solution(&cps_baseline),
                     CfaAnswer::Direct(a) => a.same_solution(&zero_cfa(&p).unwrap()),
+                    // The 0CFA ladder has no pushdown rung.
+                    CfaAnswer::Pushdown(_) => false,
                 };
                 (kind, true, degraded, matches)
             }

@@ -63,6 +63,7 @@ use crate::domain::Flat;
 use crate::fxhash::FxHashMap;
 use crate::govern::DegradationReport;
 use crate::mfp::DfSummary;
+use crate::pushdown::{MatchedReturn, PushdownCfaResult};
 use crate::solver::SolverMode;
 use crate::trace::{AggSink, TraceSink};
 use cpsdfa_syntax::arena::{TermArena, TermId, TermNode, ValueId, ValueNode};
@@ -167,9 +168,10 @@ impl ArenaDigests {
             return *d;
         }
         let d = match arena.term(id).clone() {
-            TermNode::Value(v) => {
-                fnv128_child(fnv128_bytes(FNV128_OFFSET, b"val"), self.value_digest(arena, v))
-            }
+            TermNode::Value(v) => fnv128_child(
+                fnv128_bytes(FNV128_OFFSET, b"val"),
+                self.value_digest(arena, v),
+            ),
             TermNode::App(f, a) => {
                 let h = fnv128_bytes(FNV128_OFFSET, b"app");
                 let h = fnv128_child(h, self.term_digest(arena, f));
@@ -230,26 +232,43 @@ pub enum AnalysisKind {
     CfaSrc,
     /// Constraint 0CFA over cps(Λ) ([`crate::cfa::zero_cfa_cps`]).
     CfaCps,
+    /// Pushdown (summary-based) CFA over cps(Λ)
+    /// ([`crate::pushdown::pushdown_cfa`]).
+    CfaPushdown,
     /// First-order MFP over the [`Flat`] domain
     /// ([`crate::mfp::Cfg::solve_mfp`]).
     MfpFlat,
 }
 
 impl AnalysisKind {
+    /// Every kind, for exhaustive sweeps (the wire round-trip test, the
+    /// service admission table). The round-trip test pins this list with
+    /// an exhaustive `match`, so adding a variant without extending it is
+    /// a compile error there, not silent drift.
+    pub const ALL: [AnalysisKind; 4] = [
+        AnalysisKind::CfaSrc,
+        AnalysisKind::CfaCps,
+        AnalysisKind::CfaPushdown,
+        AnalysisKind::MfpFlat,
+    ];
+
     /// The wire / trace name.
     pub fn as_str(self) -> &'static str {
         match self {
             AnalysisKind::CfaSrc => "cfa.src",
             AnalysisKind::CfaCps => "cfa.cps",
+            AnalysisKind::CfaPushdown => "cfa.pushdown",
             AnalysisKind::MfpFlat => "mfp.flat",
         }
     }
 
-    /// Parses a wire name (`cfa.src` / `cfa.cps` / `mfp.flat`).
+    /// Parses a wire name (`cfa.src` / `cfa.cps` / `cfa.pushdown` /
+    /// `mfp.flat`).
     pub fn parse(s: &str) -> Option<AnalysisKind> {
         match s {
             "cfa.src" => Some(AnalysisKind::CfaSrc),
             "cfa.cps" => Some(AnalysisKind::CfaCps),
+            "cfa.pushdown" => Some(AnalysisKind::CfaPushdown),
             "mfp.flat" => Some(AnalysisKind::MfpFlat),
             _ => None,
         }
@@ -429,6 +448,65 @@ impl SendCpsCfa {
     }
 }
 
+/// [`PushdownCfaResult`] mirror, same contract as [`SendCfa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendPushdown {
+    /// Mirror of [`PushdownCfaResult::vars`].
+    pub vars: Vec<BTreeSet<CpsFlow>>,
+    /// Mirror of [`PushdownCfaResult::returns`], occupied entries in
+    /// label order.
+    pub returns: Vec<(Label, BTreeSet<AbsKont>)>,
+    /// Mirror of [`PushdownCfaResult::calls`], occupied entries in label
+    /// order.
+    pub calls: Vec<(Label, BTreeSet<AbsClo>)>,
+    /// Mirror of [`PushdownCfaResult::matched`], in set order.
+    pub matched: Vec<MatchedReturn>,
+    /// Summary instantiations the producing run performed.
+    pub summaries: u64,
+    /// Fixpoint work the producing run performed.
+    pub iterations: u64,
+}
+
+impl SendPushdown {
+    /// Snapshots a solve result into the cacheable mirror.
+    pub fn from_result(r: &PushdownCfaResult) -> SendPushdown {
+        SendPushdown {
+            vars: r.vars.iter().map(|s| s.as_ref().clone()).collect(),
+            returns: r.returns.iter().map(|(l, s)| (l, s.clone())).collect(),
+            calls: r.calls.iter().map(|(l, s)| (l, s.clone())).collect(),
+            matched: r.matched.iter().copied().collect(),
+            summaries: r.summaries,
+            iterations: r.iterations,
+        }
+    }
+
+    /// Reconstitutes the analyzer-shaped result (fresh `Rc` handles).
+    pub fn to_result(&self) -> PushdownCfaResult {
+        PushdownCfaResult {
+            vars: self.vars.iter().map(|s| Rc::new(s.clone())).collect(),
+            returns: self.returns.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            calls: self.calls.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            matched: self.matched.iter().copied().collect(),
+            summaries: self.summaries,
+            iterations: self.iterations,
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        sets_bytes::<CpsFlow>(self.vars.iter().map(BTreeSet::len))
+            + sets_bytes::<AbsKont>(self.returns.iter().map(|(_, s)| s.len()))
+            + sets_bytes::<AbsClo>(self.calls.iter().map(|(_, s)| s.len()))
+            + (self.matched.len() as u64) * std::mem::size_of::<MatchedReturn>() as u64
+    }
+
+    /// Digest of the *solution* alone, excluding the work counters — see
+    /// [`SendCfa::solution_digest`]. The matched-return witnesses are part
+    /// of the solution (they are what distinguishes this rung).
+    pub fn solution_digest(&self) -> u64 {
+        debug_digest(&(&self.vars, &self.returns, &self.calls, &self.matched))
+    }
+}
+
 /// A committed, `Send`-safe analysis answer — the value side of the cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CachedAnswer {
@@ -436,6 +514,8 @@ pub enum CachedAnswer {
     CfaSrc(SendCfa),
     /// CPS-level 0CFA.
     CfaCps(SendCpsCfa),
+    /// Pushdown CFA over cps(Λ).
+    CfaPushdown(SendPushdown),
     /// First-order MFP over [`Flat`].
     MfpFlat(DfSummary<Flat>),
 }
@@ -447,6 +527,7 @@ impl CachedAnswer {
         match self {
             CachedAnswer::CfaSrc(_) => AnalysisKind::CfaSrc,
             CachedAnswer::CfaCps(_) => AnalysisKind::CfaCps,
+            CachedAnswer::CfaPushdown(_) => AnalysisKind::CfaPushdown,
             CachedAnswer::MfpFlat(_) => AnalysisKind::MfpFlat,
         }
     }
@@ -457,6 +538,7 @@ impl CachedAnswer {
         match self {
             CachedAnswer::CfaSrc(r) => r.iterations,
             CachedAnswer::CfaCps(r) => r.iterations,
+            CachedAnswer::CfaPushdown(r) => r.iterations,
             CachedAnswer::MfpFlat(_) => 0,
         }
     }
@@ -466,6 +548,7 @@ impl CachedAnswer {
         match self {
             CachedAnswer::CfaSrc(r) => r.approx_bytes(),
             CachedAnswer::CfaCps(r) => r.approx_bytes(),
+            CachedAnswer::CfaPushdown(r) => r.approx_bytes(),
             CachedAnswer::MfpFlat(s) => {
                 SET_OVERHEAD + (s.vars.len() as u64) * std::mem::size_of::<Flat>() as u64
             }
@@ -481,6 +564,7 @@ impl CachedAnswer {
         match self {
             CachedAnswer::CfaSrc(r) => r.solution_digest(),
             CachedAnswer::CfaCps(r) => r.solution_digest(),
+            CachedAnswer::CfaPushdown(r) => r.solution_digest(),
             CachedAnswer::MfpFlat(s) => debug_digest(s),
         }
     }
@@ -776,6 +860,49 @@ mod tests {
         let d1 = memo.term_digest(&arena, a);
         let d2 = memo.term_digest(&arena, b);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn analysis_kind_wire_names_round_trip_exhaustively() {
+        // The match pins exhaustiveness: adding an `AnalysisKind` variant
+        // without extending `ALL` (and the wire tables) fails to compile
+        // here instead of silently drifting between `as_str` and `parse`.
+        for k in AnalysisKind::ALL {
+            match k {
+                AnalysisKind::CfaSrc
+                | AnalysisKind::CfaCps
+                | AnalysisKind::CfaPushdown
+                | AnalysisKind::MfpFlat => {}
+            }
+            assert_eq!(AnalysisKind::parse(k.as_str()), Some(k), "{k:?}");
+            assert_eq!(k.full_rung(), k.as_str());
+        }
+        // Names are pairwise distinct.
+        let names: std::collections::BTreeSet<&str> =
+            AnalysisKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(names.len(), AnalysisKind::ALL.len());
+        // Near-misses do not parse.
+        for junk in ["", "cfa", "cfa.pushdown.seq", "cfa.cps ", "CFA.SRC", "mfp"] {
+            assert_eq!(AnalysisKind::parse(junk), None, "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn pushdown_round_trips_through_the_mirror() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (let (a (f 1)) (f a)))").unwrap();
+        let cps = cpsdfa_cps::CpsProgram::from_anf(&p);
+        let fresh = crate::pushdown::pushdown_cfa(&cps).unwrap();
+        let mirror = SendPushdown::from_result(&fresh);
+        let back = mirror.to_result();
+        assert!(back.same_solution(&fresh));
+        assert_eq!(back.iterations, fresh.iterations);
+        assert_eq!(back.summaries, fresh.summaries);
+        assert_eq!(SendPushdown::from_result(&back), mirror);
+        // Work counters stay out of the canonical digest.
+        let mut skewed = mirror.clone();
+        skewed.iterations += 5;
+        skewed.summaries += 5;
+        assert_eq!(mirror.solution_digest(), skewed.solution_digest());
     }
 
     #[test]

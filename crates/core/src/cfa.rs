@@ -944,11 +944,18 @@ impl CpsCfaResult {
     }
 
     /// §6.1's measurable shadow, as in
-    /// [`FlowLog::false_return_edges`](crate::flow::FlowLog::false_return_edges).
+    /// [`FlowLog::false_return_edges`](crate::flow::FlowLog::false_return_edges):
+    /// only `Co` targets merge — the halt continuation is not a procedure
+    /// return.
     pub fn false_return_edges(&self) -> usize {
         self.returns
             .values()
-            .map(|ks| ks.len().saturating_sub(1))
+            .map(|ks| {
+                ks.iter()
+                    .filter(|k| matches!(k, AbsKont::Co(_)))
+                    .count()
+                    .saturating_sub(1)
+            })
             .sum()
     }
 }
@@ -957,9 +964,11 @@ impl CpsCfaResult {
 // CPS-level constraint generation (shared by sparse and dense solvers)
 // ---------------------------------------------------------------------------
 
-/// A CPS operand: either a constant flow or a variable.
+/// A CPS operand: either a constant flow or a variable. Shared with the
+/// pushdown analyzer ([`crate::pushdown`]), which generates constraints
+/// over the same operand shape.
 #[derive(Clone, Copy)]
-enum Flow {
+pub(crate) enum Flow {
     None,
     Const(CpsFlow),
     Var(CVarId),
@@ -1088,16 +1097,16 @@ enum CpsConstraint {
 /// variable node indices so the firing bodies (and the `Send` parallel
 /// shards) never touch the program tree.
 #[derive(Clone)]
-struct CpsTables {
+pub(crate) struct CpsTables {
     /// By lambda label: `(param var node, k var node)`; `UNINDEXED` when
     /// the label is not a lambda.
-    lam: Vec<(usize, usize)>,
+    pub(crate) lam: Vec<(usize, usize)>,
     /// By continuation label: the continuation's binder var node.
-    cont_var: Vec<usize>,
+    pub(crate) cont_var: Vec<usize>,
 }
 
 impl CpsTables {
-    fn build(prog: &CpsProgram) -> CpsTables {
+    pub(crate) fn build(prog: &CpsProgram) -> CpsTables {
         let n = prog.label_count() as usize;
         let mut lam = vec![(UNINDEXED, UNINDEXED); n];
         for (l, r) in prog.lambdas() {

@@ -76,13 +76,21 @@ impl FlowLog {
         self.calls.values().map(BTreeSet::len).sum()
     }
 
-    /// §6.1's measurable shadow: at each return site with `k` continuations,
-    /// `k − 1` of the invocations merge distinct procedure returns. A
-    /// direct-style analysis always scores 0 here.
+    /// §6.1's measurable shadow: at each return site with `c` *procedure*
+    /// continuations (`Co` targets), `c − 1` of the invocations merge
+    /// distinct procedure returns. The halt continuation (`Stop`) is not a
+    /// procedure return — reaching it means the program finishes, not that
+    /// control resumes at a merged frame — so it never counts toward a
+    /// merge. A direct-style analysis always scores 0 here.
     pub fn false_return_edges(&self) -> usize {
         self.returns
             .values()
-            .map(|ks| ks.len().saturating_sub(1))
+            .map(|ks| {
+                ks.iter()
+                    .filter(|k| matches!(k, AbsKont::Co(_)))
+                    .count()
+                    .saturating_sub(1)
+            })
             .sum()
     }
 }
@@ -126,9 +134,12 @@ mod tests {
         let mut f = FlowLog::default();
         f.record_return(Label::new(5), AbsKont::Stop);
         assert_eq!(f.false_return_edges(), 0);
+        // Halting alongside one real return is not a merge of returns.
         f.record_return(Label::new(5), AbsKont::Co(Label::new(7)));
+        assert_eq!(f.false_return_edges(), 0);
+        // A second procedure continuation is.
         f.record_return(Label::new(5), AbsKont::Co(Label::new(8)));
-        assert_eq!(f.false_return_edges(), 2);
+        assert_eq!(f.false_return_edges(), 1);
     }
 
     #[test]

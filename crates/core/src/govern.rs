@@ -42,6 +42,7 @@ use crate::cfa::{self, CfaResult, CpsCfaResult};
 use crate::direct::{DirectAnalyzer, DirectResult};
 use crate::domain::{Flat, PowerSet};
 use crate::faultinject::FaultPlan;
+use crate::pushdown::{self, PushdownCfaResult};
 use crate::semcps::{SemCpsAnalyzer, SemCpsResult};
 use crate::solver::SolverMode;
 use crate::trace::TraceSink;
@@ -774,7 +775,10 @@ fn json_escape(s: &str) -> String {
 /// budget allowed it, otherwise the source-level (direct-style) result.
 #[derive(Debug, Clone)]
 pub enum CfaAnswer {
-    /// The full CPS 0CFA answer (rung 0 held).
+    /// The pushdown (summary-based, call/return-matched) answer — the
+    /// finest rung, produced only by [`governed_pushdown_cfa`].
+    Pushdown(PushdownCfaResult),
+    /// The full CPS 0CFA answer.
     Cps(CpsCfaResult),
     /// The source-level fallback: coarser call/return structure (no
     /// continuation flows), still a sound account of the source program.
@@ -816,6 +820,7 @@ impl CfaAnswer {
 ///     .with_deadline(Duration::from_millis(100));
 /// let governed = governed_zero_cfa_cps(&p, &policy, &mut NoopSink).unwrap();
 /// match &governed.value {
+///     CfaAnswer::Pushdown(_) => unreachable!("the 0CFA ladder has no pushdown rung"),
 ///     CfaAnswer::Cps(r) => println!("full CPS answer, {} iterations", r.iterations),
 ///     CfaAnswer::Direct(r) => println!("degraded, {} iterations", r.iterations),
 /// }
@@ -850,6 +855,73 @@ pub fn governed_zero_cfa_cps(
         );
     }
     ladder
+        .rung("cfa.src", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+            Ok(CfaAnswer::Direct(
+                cfa::zero_cfa_guarded(prog, g, &mut sink)?.0,
+            ))
+        })
+        .run(&guard, sink)
+}
+
+/// Pushdown CFA under full governance — the four-rung precision ladder
+/// with the summary-based analyzer ([`crate::pushdown`]) on top.
+///
+/// Ladder: `cfa.pushdown` (call/return matching over
+/// `CpsProgram::from_anf(prog)`) → `cfa.pushdown.seq` (the same analysis
+/// retried on a fresh engine; present only when the policy selects a
+/// parallel mode, mirroring `cfa.cps.seq` in
+/// [`governed_zero_cfa_cps`]) → `cfa.cps` (monovariant 0CFA over the same
+/// CPS arena, on the policy's [`SolverMode`]) → `cfa.src` (0CFA of `prog`
+/// itself).
+///
+/// Rung soundness: the pushdown rungs are §4.3-sound for the source
+/// program via the CPS transform's meaning preservation plus the
+/// summary argument (a return is only wired where a call was observed,
+/// and a concrete return always pops the frame its activation pushed);
+/// each fall widens the answer — `cfa.cps` readmits the merged
+/// continuation flows (every pushdown flow set is a subset of its 0CFA
+/// counterpart, checked by the differential suite), `cfa.src` further
+/// drops continuation flow entirely. No rung is ever *less* sound, so
+/// degradation trades precision (false returns reappear), never safety.
+/// The pushdown rungs do not insert or reorder the 0CFA ladder's own
+/// engine-retry rung: under `Par` the shape is exactly
+/// `cfa.pushdown → cfa.pushdown.seq → cfa.cps → cfa.src`.
+///
+/// # Errors
+///
+/// Only when every rung trips (or the request is cancelled).
+pub fn governed_pushdown_cfa(
+    prog: &AnfProgram,
+    policy: &GovernPolicy,
+    sink: &mut impl TraceSink,
+) -> Result<Governed<CfaAnswer>, AnalysisError> {
+    let cps = CpsProgram::from_anf(prog);
+    let guard = policy.guard();
+    let mode = policy.solver_mode();
+    let mut ladder = DegradationLadder::new().rung(
+        "cfa.pushdown",
+        |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+            Ok(CfaAnswer::Pushdown(
+                pushdown::pushdown_cfa_guarded_mode(&cps, mode, g, &mut sink)?.0,
+            ))
+        },
+    );
+    if matches!(mode, SolverMode::Par(_)) {
+        ladder = ladder.rung(
+            "cfa.pushdown.seq",
+            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                Ok(CfaAnswer::Pushdown(
+                    pushdown::pushdown_cfa_guarded(&cps, g, &mut sink)?.0,
+                ))
+            },
+        );
+    }
+    ladder
+        .rung("cfa.cps", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+            Ok(CfaAnswer::Cps(
+                cfa::zero_cfa_cps_guarded_mode(&cps, mode, g, &mut sink)?.0,
+            ))
+        })
         .rung("cfa.src", |g: &RunGuard, mut sink: &mut dyn TraceSink| {
             Ok(CfaAnswer::Direct(
                 cfa::zero_cfa_guarded(prog, g, &mut sink)?.0,

@@ -67,12 +67,19 @@ impl ContCfaResult {
     }
 
     /// Merged-return edges, context-sensitively: at each *activation* of a
-    /// return site, `|konts| − 1` returns are confused. Context sensitivity
-    /// drives this to 0 where 0CFA reports `m − 1`.
+    /// return site, `|konts| − 1` procedure returns are confused (the halt
+    /// continuation never counts, matching
+    /// [`FlowLog::false_return_edges`](crate::flow::FlowLog::false_return_edges)).
+    /// Context sensitivity drives this to 0 where 0CFA reports `m − 1`.
     pub fn false_return_edges(&self) -> usize {
         self.returns
             .values()
-            .map(|ks| ks.len().saturating_sub(1))
+            .map(|ks| {
+                ks.iter()
+                    .filter(|k| matches!(k, CtxKont::Co(_, _)))
+                    .count()
+                    .saturating_sub(1)
+            })
             .sum()
     }
 

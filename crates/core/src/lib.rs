@@ -63,6 +63,7 @@ pub mod kernels;
 pub mod labtab;
 pub mod mfp;
 pub mod precision;
+pub mod pushdown;
 pub mod report;
 pub mod semcps;
 pub mod setpool;
@@ -76,7 +77,7 @@ pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsS
 pub use budget::{AnalysisBudget, AnalysisError};
 pub use cache::{
     AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
-    SendCfa, SendCpsCfa,
+    SendCfa, SendCpsCfa, SendPushdown,
 };
 pub use direct::{DirectAnalyzer, DirectResult};
 pub use faultinject::{FaultKind, FaultPlan};
@@ -88,6 +89,7 @@ pub use govern::{
 };
 pub use labtab::{LabelLookup, LabelTable};
 pub use precision::PrecisionOrder;
+pub use pushdown::{pushdown_cfa, MatchedReturn, PushdownCfaResult};
 pub use semcps::{SemCpsAnalyzer, SemCpsResult};
 pub use setpool::{DeltaNodes, PoolStats, SetBuilder, SetId, SetPool};
 pub use solver::{worker_count, DeltaRange, SolverMode, WorklistSolver};

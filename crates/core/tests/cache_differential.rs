@@ -24,7 +24,9 @@ use cpsdfa_core::cache::{
 };
 use cpsdfa_core::cfa::{zero_cfa_cps_guarded_mode, zero_cfa_guarded_mode};
 use cpsdfa_core::domain::Flat;
-use cpsdfa_core::govern::{governed_zero_cfa_cps, DegradationReport, GovernPolicy, RunGuard};
+use cpsdfa_core::govern::{
+    governed_pushdown_cfa, governed_zero_cfa_cps, DegradationReport, GovernPolicy, RunGuard,
+};
 use cpsdfa_core::mfp::Cfg;
 use cpsdfa_core::trace::NoopSink;
 use cpsdfa_core::SolverMode;
@@ -213,7 +215,7 @@ fn degraded_rung_commit_never_shadows_full_precision() {
 
     let answer = match governed.value {
         cpsdfa_core::govern::CfaAnswer::Direct(r) => CachedAnswer::CfaSrc(SendCfa::from_result(&r)),
-        cpsdfa_core::govern::CfaAnswer::Cps(_) => panic!("expected the direct fallback"),
+        other => panic!("expected the direct fallback, got {other:?}"),
     };
     let mut cache = FixpointCache::new(u64::MAX);
     let mode = SolverMode::Seq;
@@ -228,4 +230,63 @@ fn degraded_rung_commit_never_shadows_full_precision() {
         "a degraded commit must be invisible to full-precision lookups"
     );
     assert!(cache.lookup(&commit_key).is_some());
+}
+
+#[test]
+fn degraded_pushdown_commit_never_shadows_upper_rungs() {
+    // Starve the whole CPS-arena ladder under the pushdown entry point so
+    // it answers at cfa.src (dispatch is the family where the direct rung
+    // is genuinely the cheapest), then commit the way the service does:
+    // under the answering rung. Neither the full-precision pushdown key
+    // nor any intermediate rung key may see the coarse answer.
+    let term = families::dispatch(64);
+    let p = AnfProgram::from_term(&term);
+    let text = term.to_string();
+    let digest = digest_in_fresh_arena(&text);
+
+    let (_, src_stats) =
+        cpsdfa_core::cfa::zero_cfa_instrumented(&p).expect("source 0CFA completes");
+    let policy = GovernPolicy::new().with_budget(AnalysisBudget::new(src_stats.fired));
+    let governed = governed_pushdown_cfa(&p, &policy, &mut NoopSink)
+        .expect("the ladder recovers at the direct rung");
+    assert!(governed.report.degraded(), "premise: upper rungs must trip");
+    let rung = governed.report.answered_by().expect("a rung answered");
+    assert_eq!(rung, "cfa.src");
+
+    let answer = match governed.value {
+        cpsdfa_core::govern::CfaAnswer::Direct(r) => CachedAnswer::CfaSrc(SendCfa::from_result(&r)),
+        other => panic!("expected the direct fallback, got {other:?}"),
+    };
+    let mut cache = FixpointCache::new(u64::MAX);
+    let mode = SolverMode::Seq;
+    let commit_key = CacheKey::for_rung(AnalysisKind::CfaPushdown, mode, digest, rung);
+    assert!(cache.insert(commit_key, CachedFixpoint::new(answer, governed.report)));
+
+    // The full-precision probe misses, as does the intermediate cfa.cps
+    // rung probe; only the rung-addressed probe hits.
+    assert!(
+        cache
+            .lookup(&CacheKey::full(AnalysisKind::CfaPushdown, mode, digest))
+            .is_none(),
+        "a degraded commit must be invisible to full-precision pushdown lookups"
+    );
+    assert!(
+        cache
+            .lookup(&CacheKey::for_rung(
+                AnalysisKind::CfaPushdown,
+                mode,
+                digest,
+                "cfa.cps"
+            ))
+            .is_none(),
+        "a cfa.src answer must not surface on the cfa.cps rung key either"
+    );
+    assert!(cache.lookup(&commit_key).is_some());
+
+    // Kind remains part of the key: a full-precision pushdown answer is
+    // never served to a cfa.cps request for the same program.
+    assert_ne!(
+        CacheKey::full(AnalysisKind::CfaPushdown, mode, digest),
+        CacheKey::full(AnalysisKind::CfaCps, mode, digest)
+    );
 }

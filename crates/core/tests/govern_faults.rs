@@ -23,7 +23,10 @@ use cpsdfa_core::cfa::{
     zero_cfa_instrumented,
 };
 use cpsdfa_core::faultinject::{FaultKind, FaultPlan, INJECTED_PANIC};
-use cpsdfa_core::govern::{governed_zero_cfa_cps, CancelToken, CfaAnswer, GovernPolicy, RunGuard};
+use cpsdfa_core::govern::{
+    governed_pushdown_cfa, governed_zero_cfa_cps, CancelToken, CfaAnswer, GovernPolicy, RunGuard,
+};
+use cpsdfa_core::pushdown::{pushdown_cfa, pushdown_cfa_instrumented};
 use cpsdfa_core::trace::{AggSink, NoopSink};
 use cpsdfa_core::SolverMode;
 use cpsdfa_cps::CpsProgram;
@@ -405,6 +408,9 @@ fn check_fault_differential(p: &AnfProgram, fault: FaultPlan) -> Result<(), Stri
         Err(e) => return Err(format!("unexpected ladder error: {e}")),
     };
     match &governed.value {
+        CfaAnswer::Pushdown(_) => {
+            return Err("the 0CFA ladder must never answer at a pushdown rung".to_owned());
+        }
         CfaAnswer::Cps(answer) => {
             let c = CpsProgram::from_anf(p);
             let baseline = zero_cfa_cps(&c).map_err(|e| format!("baseline: {e}"))?;
@@ -472,4 +478,87 @@ proptest! {
         let fault = FaultPlan::from_seed_recoverable(seed, at);
         prop_assert_eq!(check_fault_differential(&p, fault), Ok(()));
     }
+}
+
+// ---------------------------------------------------------------------------
+// The pushdown rung on top: ladder shape and engine-retry composition
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pushdown_ladder_under_par_keeps_exact_rung_order_with_no_duplicates() {
+    // Budget-starve every rung except the last, so the report records the
+    // complete ladder: the engine-retry rung must be inserted exactly
+    // once, directly after the rung it retries, and the representation
+    // rungs must follow in unchanged order — no duplicates, no reorder.
+    // `dispatch` is the family where the CPS-arena rungs genuinely cost
+    // more than the direct rung (pushdown is *cheaper* than source 0CFA
+    // on most families — it skips every continuation flow — so starving
+    // the whole upper ladder needs this ordering, asserted below).
+    let p = AnfProgram::from_term(&families::dispatch(64));
+    let (cps_fired, src_fired) = rung_costs(&p);
+    let c = CpsProgram::from_anf(&p);
+    let (_, pd_stats) = pushdown_cfa_instrumented(&c).expect("un-governed pushdown completes");
+    assert!(
+        src_fired < cps_fired && src_fired < pd_stats.fired,
+        "premise: the direct rung is the cheapest ({src_fired} vs {cps_fired} vs {} firings)",
+        pd_stats.fired
+    );
+    let policy = GovernPolicy::new()
+        .with_budget(AnalysisBudget::new(src_fired))
+        .with_solver_mode(SolverMode::Par(4));
+    let governed = governed_pushdown_cfa(&p, &policy, &mut NoopSink)
+        .expect("the ladder recovers at the direct rung");
+    let names: Vec<&str> = governed.report.attempts.iter().map(|a| a.rung).collect();
+    assert_eq!(
+        names,
+        ["cfa.pushdown", "cfa.pushdown.seq", "cfa.cps", "cfa.src"],
+        "the seq-retry rung composes with the pushdown rung exactly once, in place"
+    );
+    assert_eq!(governed.report.answered_by(), Some("cfa.src"));
+    assert_eq!(governed.report.resource, Some("budget"));
+    let CfaAnswer::Direct(answer) = governed.value else {
+        panic!("total starvation above cfa.src forces the direct fallback");
+    };
+    assert!(answer.same_solution(&zero_cfa(&p).unwrap()));
+}
+
+#[test]
+fn pushdown_panic_under_par_retries_on_the_sequential_engine_first() {
+    quiet_injected_panics();
+    let p = AnfProgram::from_term(&families::repeated_calls(96));
+    let c = CpsProgram::from_anf(&p);
+    let (baseline, stats) = pushdown_cfa_instrumented(&c).expect("un-governed pushdown completes");
+    // A panic mid-run in the parallel attempt: the engine-retry rung (not
+    // the coarser representation rungs) must answer, bit-identically to
+    // the un-faulted pushdown run.
+    let fault = FaultPlan::new(FaultKind::Panic, (stats.fired / 2).max(1));
+    let policy = GovernPolicy::new()
+        .with_solver_mode(SolverMode::Par(4))
+        .with_fault(fault);
+    let governed = governed_pushdown_cfa(&p, &policy, &mut NoopSink)
+        .expect("the sequential engine recovers the answer");
+    assert!(governed.report.degraded());
+    assert_eq!(governed.report.resource, Some("panic"));
+    assert_eq!(governed.report.answered_by(), Some("cfa.pushdown.seq"));
+    let names: Vec<&str> = governed.report.attempts.iter().map(|a| a.rung).collect();
+    assert_eq!(names, ["cfa.pushdown", "cfa.pushdown.seq"]);
+    let CfaAnswer::Pushdown(answer) = governed.value else {
+        panic!("the engine retry keeps the pushdown-level answer");
+    };
+    assert!(answer.same_solution(&baseline));
+    assert!(pushdown_cfa(&c).unwrap().same_solution(&answer));
+}
+
+#[test]
+fn pushdown_ladder_without_faults_answers_at_the_top_rung() {
+    let p = AnfProgram::from_term(&families::dispatch(8));
+    let governed = governed_pushdown_cfa(&p, &GovernPolicy::new(), &mut NoopSink)
+        .expect("default budget is ample");
+    assert!(!governed.report.degraded());
+    assert_eq!(governed.report.answered_by(), Some("cfa.pushdown"));
+    assert_eq!(governed.report.rungs_tried(), 1);
+    let CfaAnswer::Pushdown(answer) = governed.value else {
+        panic!("no starvation, no fallback");
+    };
+    assert_eq!(answer.false_return_edges(), 0);
 }

@@ -166,9 +166,11 @@ impl<'a> Parser<'a> {
                                     lo @ 0xDC00..=0xDFFF => {
                                         0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
                                     }
-                                    _ => return Err("high surrogate not followed by low \
+                                    _ => {
+                                        return Err("high surrogate not followed by low \
                                                      surrogate"
-                                        .to_owned()),
+                                            .to_owned())
+                                    }
                                 }
                             }
                             0xDC00..=0xDFFF => return Err("lone low surrogate".to_owned()),

@@ -1,5 +1,6 @@
-//! Analysis-as-a-service: a long-running daemon serving the three
-//! fixpoint analyses over a JSONL protocol, fronted by the
+//! Analysis-as-a-service: a long-running daemon serving the fixpoint
+//! analyses (`cfa.src`, `cfa.cps`, `cfa.pushdown`, `mfp.flat`) over a
+//! JSONL protocol, fronted by the
 //! content-addressed [`FixpointCache`] and a two-rung admission
 //! controller.
 //!
@@ -69,10 +70,12 @@ pub mod proto;
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_core::cache::{
     AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
-    SendCfa, SendCpsCfa,
+    SendCfa, SendCpsCfa, SendPushdown,
 };
 use cpsdfa_core::domain::Flat;
-use cpsdfa_core::govern::{governed_zero_cfa_cps, CfaAnswer, DegradationLadder, GovernPolicy};
+use cpsdfa_core::govern::{
+    governed_pushdown_cfa, governed_zero_cfa_cps, CfaAnswer, DegradationLadder, GovernPolicy,
+};
 use cpsdfa_core::mfp::Cfg;
 use cpsdfa_core::trace::TraceSink;
 use cpsdfa_core::{cfa, worker_count, AggSink, AnalysisBudget, JsonlSink, RunGuard, SolverMode};
@@ -259,7 +262,8 @@ impl AnalysisService {
     /// per-rung budget by.
     fn ladder_rungs(kind: AnalysisKind, mode: SolverMode) -> u64 {
         let base = match kind {
-            AnalysisKind::CfaCps => 2, // cfa.cps → cfa.src
+            AnalysisKind::CfaPushdown => 3, // cfa.pushdown → cfa.cps → cfa.src
+            AnalysisKind::CfaCps => 2,      // cfa.cps → cfa.src
             AnalysisKind::CfaSrc | AnalysisKind::MfpFlat => 1,
         };
         base + u64::from(matches!(mode, SolverMode::Par(_))) // engine-retry rung
@@ -371,83 +375,89 @@ impl AnalysisService {
         let term = ctx.arena.to_term(root);
         let prog = AnfProgram::from_term(&term);
         let policy = self.policy_for(req);
-        let governed = match req.kind {
-            AnalysisKind::CfaCps => governed_zero_cfa_cps(&prog, &policy, sink).map(|g| {
-                let answer = match g.value {
-                    CfaAnswer::Cps(r) => CachedAnswer::CfaCps(SendCpsCfa::from_result(&r)),
-                    CfaAnswer::Direct(r) => CachedAnswer::CfaSrc(SendCfa::from_result(&r)),
-                };
-                (answer, g.report)
-            }),
-            AnalysisKind::CfaSrc => {
-                let guard = policy.guard();
-                let mode = policy.solver_mode();
-                let mut ladder = DegradationLadder::new().rung(
-                    "cfa.src",
-                    |g: &RunGuard, mut sink: &mut dyn TraceSink| {
-                        Ok(cfa::zero_cfa_guarded_mode(&prog, mode, g, &mut sink)?.0)
-                    },
-                );
-                if matches!(mode, SolverMode::Par(_)) {
-                    ladder = ladder.rung(
-                        "cfa.src.seq",
+        // Whatever rung of the CFA ladder answered, cache the answer in
+        // its own representation so a degraded-rung probe gets back
+        // exactly what was computed.
+        let pack_cfa = |answer: CfaAnswer| match answer {
+            CfaAnswer::Pushdown(r) => CachedAnswer::CfaPushdown(SendPushdown::from_result(&r)),
+            CfaAnswer::Cps(r) => CachedAnswer::CfaCps(SendCpsCfa::from_result(&r)),
+            CfaAnswer::Direct(r) => CachedAnswer::CfaSrc(SendCfa::from_result(&r)),
+        };
+        let governed =
+            match req.kind {
+                AnalysisKind::CfaPushdown => governed_pushdown_cfa(&prog, &policy, sink)
+                    .map(|g| (pack_cfa(g.value), g.report)),
+                AnalysisKind::CfaCps => governed_zero_cfa_cps(&prog, &policy, sink)
+                    .map(|g| (pack_cfa(g.value), g.report)),
+                AnalysisKind::CfaSrc => {
+                    let guard = policy.guard();
+                    let mode = policy.solver_mode();
+                    let mut ladder = DegradationLadder::new().rung(
+                        "cfa.src",
                         |g: &RunGuard, mut sink: &mut dyn TraceSink| {
-                            Ok(cfa::zero_cfa_guarded(&prog, g, &mut sink)?.0)
+                            Ok(cfa::zero_cfa_guarded_mode(&prog, mode, g, &mut sink)?.0)
                         },
                     );
-                }
-                ladder.run(&guard, sink).map(|g| {
-                    (
-                        CachedAnswer::CfaSrc(SendCfa::from_result(&g.value)),
-                        g.report,
-                    )
-                })
-            }
-            AnalysisKind::MfpFlat => {
-                let cfg = match Cfg::from_first_order(&prog) {
-                    Ok(cfg) => cfg,
-                    Err(e) => {
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                        return (
-                            finish(Status::Error {
-                                reason: "not-first-order",
-                                detail: e.to_string(),
-                            }),
-                            None,
+                    if matches!(mode, SolverMode::Par(_)) {
+                        ladder = ladder.rung(
+                            "cfa.src.seq",
+                            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                                Ok(cfa::zero_cfa_guarded(&prog, g, &mut sink)?.0)
+                            },
                         );
                     }
-                };
-                let init = cfg.initial_env::<Flat>(&prog);
-                let guard = policy.guard();
-                let mode = policy.solver_mode();
-                let mut ladder = DegradationLadder::new().rung(
-                    "mfp.flat",
-                    |g: &RunGuard, mut sink: &mut dyn TraceSink| {
-                        Ok(cfg
-                            .solve_mfp_guarded_mode::<Flat>(init.clone(), mode, g, &mut sink)?
-                            .0)
-                    },
-                );
-                if matches!(mode, SolverMode::Par(_)) {
-                    ladder = ladder.rung(
-                        "mfp.flat.seq",
+                    ladder.run(&guard, sink).map(|g| {
+                        (
+                            CachedAnswer::CfaSrc(SendCfa::from_result(&g.value)),
+                            g.report,
+                        )
+                    })
+                }
+                AnalysisKind::MfpFlat => {
+                    let cfg = match Cfg::from_first_order(&prog) {
+                        Ok(cfg) => cfg,
+                        Err(e) => {
+                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                            return (
+                                finish(Status::Error {
+                                    reason: "not-first-order",
+                                    detail: e.to_string(),
+                                }),
+                                None,
+                            );
+                        }
+                    };
+                    let init = cfg.initial_env::<Flat>(&prog);
+                    let guard = policy.guard();
+                    let mode = policy.solver_mode();
+                    let mut ladder = DegradationLadder::new().rung(
+                        "mfp.flat",
                         |g: &RunGuard, mut sink: &mut dyn TraceSink| {
                             Ok(cfg
-                                .solve_mfp_guarded_mode::<Flat>(
-                                    init.clone(),
-                                    SolverMode::Seq,
-                                    g,
-                                    &mut sink,
-                                )?
+                                .solve_mfp_guarded_mode::<Flat>(init.clone(), mode, g, &mut sink)?
                                 .0)
                         },
                     );
+                    if matches!(mode, SolverMode::Par(_)) {
+                        ladder = ladder.rung(
+                            "mfp.flat.seq",
+                            |g: &RunGuard, mut sink: &mut dyn TraceSink| {
+                                Ok(cfg
+                                    .solve_mfp_guarded_mode::<Flat>(
+                                        init.clone(),
+                                        SolverMode::Seq,
+                                        g,
+                                        &mut sink,
+                                    )?
+                                    .0)
+                            },
+                        );
+                    }
+                    ladder
+                        .run(&guard, sink)
+                        .map(|g| (CachedAnswer::MfpFlat(g.value), g.report))
                 }
-                ladder
-                    .run(&guard, sink)
-                    .map(|g| (CachedAnswer::MfpFlat(g.value), g.report))
-            }
-        };
+            };
 
         let (answer, report) = match governed {
             Ok(pair) => pair,

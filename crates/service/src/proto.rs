@@ -64,8 +64,12 @@ impl Request {
             .and_then(Scalar::as_str)
             .ok_or_else(|| fail("missing \"analysis\"".to_owned()))?;
         let kind = AnalysisKind::parse(kind_name).ok_or_else(|| {
+            // The expected-list is derived from `AnalysisKind::ALL`, so a
+            // new kind can never be missing from this message.
+            let expected: Vec<&str> = AnalysisKind::ALL.iter().map(|k| k.as_str()).collect();
             fail(format!(
-                "unknown analysis {kind_name:?} (expected cfa.src, cfa.cps, or mfp.flat)"
+                "unknown analysis {kind_name:?} (expected one of: {})",
+                expected.join(", ")
             ))
         })?;
         let program = json::field(&fields, "program")
@@ -285,6 +289,8 @@ fn intern_rung(name: &str) -> &'static str {
         "cfa.src.seq",
         "cfa.cps",
         "cfa.cps.seq",
+        "cfa.pushdown",
+        "cfa.pushdown.seq",
         "mfp.flat",
         "mfp.flat.seq",
     ] {
@@ -328,8 +334,42 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.id, Some(9));
         assert!(err.detail.contains("unknown analysis"));
+        // The expected-kind list in the message is generated from
+        // `AnalysisKind::ALL`: every wire name is advertised.
+        for k in AnalysisKind::ALL {
+            assert!(
+                err.detail.contains(k.as_str()),
+                "{:?} missing from {:?}",
+                k.as_str(),
+                err.detail
+            );
+        }
         let err = Request::parse("not json", 1, None, 1).unwrap_err();
         assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn pushdown_requests_parse() {
+        let line = r#"{"id": 11, "analysis": "cfa.pushdown", "program": "(f 1)", "mode": "par:2"}"#;
+        let req = Request::parse(line, 50_000, None, 4).unwrap();
+        assert_eq!(req.kind, AnalysisKind::CfaPushdown);
+        assert_eq!(req.mode, SolverMode::Par(2));
+        // The answering rung names survive a response round trip.
+        for rung in ["cfa.pushdown", "cfa.pushdown.seq"] {
+            let resp = Response {
+                id: 11,
+                latency_us: 7,
+                status: Status::Ok {
+                    cache: Served::Miss,
+                    rung: intern_rung(rung),
+                    degraded: rung.ends_with(".seq"),
+                    answer_digest: 1,
+                    iterations: 2,
+                    charged: 3,
+                },
+            };
+            assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! policy, and the full `serve` loop over in-memory streams.
 
 use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::cache::CachedAnswer;
 use cpsdfa_core::cfa::{zero_cfa_cps_instrumented, zero_cfa_instrumented};
 use cpsdfa_core::trace::AggSink;
 use cpsdfa_cps::CpsProgram;
@@ -314,4 +315,64 @@ fn malformed_lines_get_error_responses_not_crashes() {
         Status::Error { reason, .. } => assert_eq!(*reason, "parse-error"),
         other => panic!("expected program parse-error, got {other:?}"),
     }
+}
+
+#[test]
+fn pushdown_requests_answer_warm_hit_and_report_zero_false_returns() {
+    let service = AnalysisService::new(small_config());
+    let program = families::polyvariant(4).to_string();
+    let lines = [
+        request(30, "cfa.pushdown", &program),
+        request(31, "cfa.cps", &program),
+        request(32, "cfa.pushdown", &program),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    let (cold_cache, cold_rung, cold_degraded, cold_digest) = ok_fields(&outcomes[0].response);
+    assert_eq!(*cold_cache, Served::Miss);
+    assert_eq!(cold_rung, "cfa.pushdown");
+    assert!(!cold_degraded, "full budget must answer at the top rung");
+    let (warm_cache, warm_rung, _, warm_digest) = ok_fields(&outcomes[2].response);
+    assert_eq!(*warm_cache, Served::Hit, "repeat pushdown request must hit");
+    assert_eq!(warm_rung, "cfa.pushdown");
+    assert_eq!(cold_digest, warm_digest, "hit must be bit-identical");
+    // The pushdown and 0CFA answers live under distinct keys: the 0CFA
+    // request in between neither hits nor shadows the pushdown entry.
+    let (cps_cache, cps_rung, _, _) = ok_fields(&outcomes[1].response);
+    assert_eq!(*cps_cache, Served::Miss);
+    assert_eq!(cps_rung, "cfa.cps");
+    // The committed answer is the pushdown representation, and on the
+    // polyvariant family it has no spurious return edges (the 0CFA rung
+    // on the same program does).
+    match &outcomes[0].fixpoint.as_ref().expect("answered").answer {
+        CachedAnswer::CfaPushdown(sp) => {
+            assert_eq!(sp.to_result().false_return_edges(), 0);
+        }
+        other => panic!("expected a pushdown answer, got {other:?}"),
+    }
+    match &outcomes[1].fixpoint.as_ref().expect("answered").answer {
+        CachedAnswer::CfaCps(sc) => {
+            assert!(sc.to_result().false_return_edges() > 0);
+        }
+        other => panic!("expected a cps answer, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_analysis_gets_structured_error_naming_every_kind() {
+    let service = AnalysisService::new(small_config());
+    let line = r#"{"id": 41, "analysis": "cfa.magic", "program": "(add1 1)"}"#;
+    let outcomes = service.run_batch(&[line]);
+    match &outcomes[0].response.status {
+        Status::Error { reason, detail } => {
+            assert_eq!(*reason, "bad-request");
+            assert!(detail.contains("unknown analysis"), "{detail}");
+            for kind in ["cfa.src", "cfa.cps", "cfa.pushdown", "mfp.flat"] {
+                assert!(detail.contains(kind), "{kind} missing from {detail}");
+            }
+        }
+        other => panic!("expected bad-request, got {other:?}"),
+    }
+    assert_eq!(outcomes[0].response.id, 41);
+    assert!(outcomes[0].fixpoint.is_none());
 }

@@ -68,6 +68,39 @@ pub fn repeated_calls(m: usize) -> Term {
     let_("id", identity("x"), body)
 }
 
+/// `n` distinct closures `(λdᵢ. i−1)` all funneled through one identity
+/// procedure, then each funneled result applied:
+///
+/// ```text
+/// (let (id (λx. x))
+///  (let (f1 (λd1. 0)) … (let (fn (λdn. n−1))
+///   (let (a1 (id f1)) … (let (an (id fn))
+///    (let (r1 (a1 0)) … (let (rn (an 0)) rn)))))…)
+/// ```
+///
+/// A monovariant analysis merges all `n` closures inside `id`, so every
+/// `aᵢ` holds all of `{f1…fn}` and every call `(aᵢ 0)` dispatches to `n`
+/// callees; call/return matching keeps `aᵢ = {fᵢ}` exactly. The family is
+/// the E21 precision probe for the pushdown rung.
+pub fn polyvariant(n: usize) -> Term {
+    assert!(n >= 1, "polyvariant requires at least one closure");
+    let mut body: Term = var(format!("r{n}"));
+    for i in (1..=n).rev() {
+        body = let_(format!("r{i}"), app(var(format!("a{i}")), num(0)), body);
+    }
+    for i in (1..=n).rev() {
+        body = let_(format!("a{i}"), app(var("id"), var(format!("f{i}"))), body);
+    }
+    for i in (1..=n).rev() {
+        body = let_(
+            format!("f{i}"),
+            lam(format!("d{i}"), num((i - 1) as i64)),
+            body,
+        );
+    }
+    let_("id", identity("x"), body)
+}
+
 /// A pipeline `x₁ = add1 z; x₂ = add1 x₁; …; xₙ` — pure straight-line
 /// arithmetic for interpreter/transform throughput baselines.
 pub fn adder_pipeline(n: usize) -> Term {
@@ -200,6 +233,7 @@ mod tests {
             ("agreeing", agreeing_cond_chain(4)),
             ("dispatch", dispatch(3)),
             ("repeated_calls", repeated_calls(3)),
+            ("polyvariant", polyvariant(3)),
             ("adder_pipeline", adder_pipeline(5)),
             ("add_tower", add_tower(5)),
             ("church", church(6)),
@@ -230,12 +264,24 @@ mod tests {
     }
 
     #[test]
+    fn polyvariant_builds_funnel_lambdas_and_computes() {
+        for n in [1, 2, 5] {
+            let p = AnfProgram::from_term(&polyvariant(n));
+            // n funneled closures plus the identity itself.
+            assert_eq!(p.lambda_labels().len(), n + 1);
+            let r = run_direct(&p, &[], Fuel::default()).unwrap();
+            assert_eq!(r.value.as_num(), Some((n - 1) as i64));
+        }
+    }
+
+    #[test]
     fn families_only_use_known_free_variables() {
         let allowed = ["z", "w", "v"];
         for t in [
             cond_chain(3),
             dispatch(2),
             repeated_calls(2),
+            polyvariant(3),
             diamond_chain(2),
             loop_then_branch(2),
         ] {
