@@ -381,7 +381,7 @@ impl SendCfa {
                 .iter()
                 .map(|(l, s)| (*l, Rc::new(s.clone())))
                 .collect(),
-            calls: self.calls.iter().map(|(l, s)| (*l, s.clone())).collect(),
+            calls: Rc::new(self.calls.iter().map(|(l, s)| (*l, s.clone())).collect()),
             iterations: self.iterations,
         }
     }
@@ -680,6 +680,34 @@ struct Entry {
     last_used: u64,
 }
 
+/// One watch-mode session's most recent fixpoint: the source it was
+/// computed over plus the committed answer — the seed the service
+/// warm-starts the session's *next* edit from (PR 9).
+///
+/// Ancestors live beside the content-addressed entries, keyed by session
+/// id instead of program digest: an edited program has a *new* digest, so
+/// the ordinary lookup can never find its predecessor.
+#[derive(Debug, Clone)]
+pub struct Ancestor {
+    /// The analysis the session is running (the *answer's* kind — a
+    /// degraded answer records the rung that actually produced it).
+    pub kind: AnalysisKind,
+    /// Structural digest of `source`.
+    pub digest: u128,
+    /// The program source the fixpoint was computed over. Stored as text:
+    /// the warm path re-parses it into the worker's own arena, so
+    /// ancestors stay `Send` without sharing term graphs across workers.
+    pub source: String,
+    /// The committed fixpoint.
+    pub fixpoint: Arc<CachedFixpoint>,
+}
+
+/// Sessions remembered at once. Ancestors are deliberately outside the
+/// byte ceiling: they are the live working set of open sessions, and
+/// letting bulk cache traffic evict them would silently turn every watch
+/// step cold. A small count cap bounds them instead.
+const MAX_ANCESTORS: usize = 64;
+
 /// The content-addressed, byte-ceilinged, LRU fixpoint cache.
 ///
 /// Values are handed out as [`Arc`]s, so a warm hit is a pointer clone —
@@ -688,6 +716,8 @@ struct Entry {
 /// are O(1) + eviction, so the critical section is tiny next to a solve).
 pub struct FixpointCache {
     entries: FxHashMap<CacheKey, Entry>,
+    /// Session id → (last touch tick, latest fixpoint) for watch mode.
+    ancestors: FxHashMap<u64, (u64, Arc<Ancestor>)>,
     ceiling_bytes: u64,
     bytes: u64,
     tick: u64,
@@ -700,6 +730,7 @@ impl FixpointCache {
     pub fn new(ceiling_bytes: u64) -> FixpointCache {
         FixpointCache {
             entries: FxHashMap::default(),
+            ancestors: FxHashMap::default(),
             ceiling_bytes,
             bytes: 0,
             tick: 0,
@@ -805,6 +836,41 @@ impl FixpointCache {
     /// Flushes the current counter snapshot as `cache.*` events.
     pub fn emit_into(&self, sink: &mut impl TraceSink) {
         self.stats().emit_into(sink, "cache");
+    }
+
+    /// Records `session`'s latest fixpoint, replacing any predecessor.
+    /// Beyond [`MAX_ANCESTORS`] sessions, the least-recently-touched
+    /// session is forgotten (its *content-addressed* entries survive —
+    /// only the warm-start shortcut is lost).
+    pub fn note_ancestor(&mut self, session: u64, ancestor: Ancestor) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.ancestors.len() >= MAX_ANCESTORS && !self.ancestors.contains_key(&session) {
+            if let Some(victim) = self
+                .ancestors
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(s, _)| *s)
+            {
+                self.ancestors.remove(&victim);
+            }
+        }
+        self.ancestors.insert(session, (tick, Arc::new(ancestor)));
+    }
+
+    /// The latest fixpoint noted for `session`, refreshing its recency.
+    pub fn ancestor(&mut self, session: u64) -> Option<Arc<Ancestor>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.ancestors.get_mut(&session).map(|(t, a)| {
+            *t = tick;
+            Arc::clone(a)
+        })
+    }
+
+    /// Sessions currently remembered.
+    pub fn ancestor_count(&self) -> usize {
+        self.ancestors.len()
     }
 }
 

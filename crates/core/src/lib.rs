@@ -58,6 +58,7 @@ pub mod faultinject;
 pub mod flow;
 pub mod fxhash;
 pub mod govern;
+pub mod incremental;
 pub mod kcfa;
 pub mod kernels;
 pub mod labtab;
@@ -76,8 +77,8 @@ pub mod trace;
 pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsStore, CAbsVal};
 pub use budget::{AnalysisBudget, AnalysisError};
 pub use cache::{
-    AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
-    SendCfa, SendCpsCfa, SendPushdown,
+    AnalysisKind, Ancestor, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint,
+    FixpointCache, SendCfa, SendCpsCfa, SendPushdown,
 };
 pub use direct::{DirectAnalyzer, DirectResult};
 pub use faultinject::{FaultKind, FaultPlan};

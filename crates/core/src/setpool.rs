@@ -527,6 +527,35 @@ impl<T: Eq + Hash + Clone> DeltaNodes<T> {
             .is_some_and(|w| w & (1 << (vi % 64)) != 0)
     }
 
+    /// `values(src) ⊆ values(dst)`, decided word-parallel on the membership
+    /// bitsets. This is the warm-start satisfaction check: a subset edge
+    /// whose seeded source is already contained in its seeded destination
+    /// would fire as a pure no-op, so its watch can start caught up.
+    pub fn is_subset(&self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return true;
+        }
+        let (s, d) = (&self.bits[src], &self.bits[dst]);
+        s.iter()
+            .zip(d.iter().chain(std::iter::repeat(&0)))
+            .all(|(sw, dw)| sw & !dw == 0)
+    }
+
+    /// Number of nodes in the store.
+    pub fn node_count(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Appends one fresh empty node to the store and returns its index.
+    /// The incremental re-analysis path ([`crate::incremental`]) uses this
+    /// to grow the node space in place when an edit introduces flow nodes
+    /// the original program did not have.
+    pub fn push_node(&mut self) -> usize {
+        self.logs.push(Vec::new());
+        self.bits.push(Vec::new());
+        self.logs.len() - 1
+    }
+
     /// Interns `node`'s converged set into `pool` — the extraction commit
     /// point. The node's bitset already holds its elements as
     /// sorted-distinct universe indices, so the canonical form costs a word
@@ -774,6 +803,41 @@ mod tests {
         let sb: BTreeSet<u32> = b.values(1).copied().collect();
         assert_eq!(sa, sb);
         assert_eq!(a.log(1).len(), b.log(1).len(), "same distinct count");
+    }
+
+    #[test]
+    fn is_subset_agrees_with_set_containment() {
+        let mut nodes: DeltaNodes<u32> = DeltaNodes::new(4);
+        // Node 1 spans several words; node 0 is a strict subset, node 2
+        // overlaps but escapes, node 3 is empty.
+        for v in [1, 63, 64, 129, 200] {
+            nodes.add(1, v);
+        }
+        for v in [63, 200] {
+            nodes.add(0, v);
+        }
+        for v in [63, 500] {
+            nodes.add(2, v);
+        }
+        assert!(nodes.is_subset(0, 1));
+        assert!(!nodes.is_subset(1, 0));
+        assert!(!nodes.is_subset(2, 1), "500 is outside node 1");
+        assert!(!nodes.is_subset(1, 2));
+        assert!(nodes.is_subset(3, 1), "∅ ⊆ anything");
+        assert!(!nodes.is_subset(1, 3));
+        assert!(nodes.is_subset(1, 1), "reflexive");
+        assert!(nodes.is_subset(3, 3));
+        // Differential against the committed sets.
+        let sets: Vec<BTreeSet<u32>> = (0..4).map(|n| nodes.values(n).copied().collect()).collect();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    nodes.is_subset(a, b),
+                    sets[a].is_subset(&sets[b]),
+                    "nodes {a} ⊆ {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct WorklistSolver {
     rank: Vec<u32>,
     /// `pending[c]` = already queued (posts coalesce into one firing).
     pending: Vec<bool>,
+    /// `retracted[c]` = constraint was withdrawn
+    /// ([`retract_constraint`](Self::retract_constraint)); its watch edges
+    /// are unlinked and `pop` skips any stale queue entry.
+    retracted: Vec<bool>,
     /// Entries are `rank << 32 | constraint id`, so ordering is (rank, id)
     /// — same as a `(u32, ConstraintId)` tuple at half the width.
     queue: BinaryHeap<Reverse<u64>>,
@@ -113,6 +117,7 @@ impl WorklistSolver {
             node_len: Vec::new(),
             rank: Vec::new(),
             pending: Vec::new(),
+            retracted: Vec::new(),
             queue: BinaryHeap::new(),
             stats: SolverStats::default(),
         }
@@ -144,6 +149,7 @@ impl WorklistSolver {
     pub fn reserve(&mut self, constraints: usize) {
         self.rank.reserve(constraints);
         self.pending.reserve(constraints);
+        self.retracted.reserve(constraints);
         self.cwatch_head.reserve(constraints);
         self.cwatch_tail.reserve(constraints);
         self.watch_constraint.reserve(constraints);
@@ -161,6 +167,7 @@ impl WorklistSolver {
         );
         self.rank.push(rank);
         self.pending.push(false);
+        self.retracted.push(false);
         self.cwatch_head.push(NIL);
         self.cwatch_tail.push(NIL);
         self.stats.constraints += 1;
@@ -172,6 +179,19 @@ impl WorklistSolver {
     /// watch's cursor starts at 0: its first delta covers the node's whole
     /// current log.
     pub fn watch(&mut self, node: FlowNodeId, constraint: ConstraintId) {
+        self.watch_with_cursor(node, constraint, 0);
+    }
+
+    /// [`watch`](Self::watch), but the new edge starts *caught up*: its
+    /// cursor is set to the node's current log length, so the watcher sees
+    /// only growth that happens after registration. This is the warm-start
+    /// primitive — a constraint whose effect is already reflected in a
+    /// seeded fixpoint must not replay the seeded history.
+    pub fn watch_caught_up(&mut self, node: FlowNodeId, constraint: ConstraintId) {
+        self.watch_with_cursor(node, constraint, self.node_len[node]);
+    }
+
+    fn watch_with_cursor(&mut self, node: FlowNodeId, constraint: ConstraintId, cursor: usize) {
         debug_assert!(
             node < self.watcher_head.len(),
             "watch: node {node} out of range"
@@ -180,10 +200,14 @@ impl WorklistSolver {
             constraint < self.rank.len(),
             "watch: constraint {constraint} out of range"
         );
+        debug_assert!(
+            !self.retracted[constraint],
+            "watch: constraint {constraint} was retracted"
+        );
         let w = self.watch_constraint.len() as u32;
         self.watch_constraint.push(constraint);
         self.watch_node.push(node);
-        self.watch_cursor.push(0);
+        self.watch_cursor.push(cursor);
         self.watch_next_of_node.push(NIL);
         self.watch_next_of_constraint.push(NIL);
         // Tail-append into both chains.
@@ -247,14 +271,94 @@ impl WorklistSolver {
         self.node_grew(node, self.node_len[node] + 1);
     }
 
+    /// Records a node's log length *without scheduling anybody* — the
+    /// seed-pouring primitive of the warm-start path. After a previous
+    /// fixpoint's values are poured into the client's logs, this syncs the
+    /// engine's length bookkeeping so that cursor-0 watches registered
+    /// later still see the poured history as their first delta, while
+    /// nothing fires just because a seed exists.
+    ///
+    /// Must not shrink: like [`node_grew`](Self::node_grew), lengths are
+    /// monotone.
+    pub fn set_node_len(&mut self, node: FlowNodeId, len: usize) {
+        debug_assert!(
+            len >= self.node_len[node],
+            "node {node} growth log shrank ({} -> {len})",
+            self.node_len[node]
+        );
+        self.node_len[node] = len;
+    }
+
+    /// The engine's current length bookkeeping for `node`.
+    pub fn node_len(&self, node: FlowNodeId) -> usize {
+        self.node_len[node]
+    }
+
+    /// Withdraws `constraint`: every watch edge it owns is unlinked from
+    /// its node's watcher chain (so future growth never schedules it), its
+    /// delta chain is emptied, and any stale entry already in the queue is
+    /// skipped by [`pop`](Self::pop). Retraction is what lets an
+    /// incremental client drop the constraints of a deleted or re-generated
+    /// program region from a *live* engine instead of rebuilding it.
+    ///
+    /// Cost: O(Σ watcher-chain length of the watched nodes) — retraction
+    /// walks each chain once to splice the edge out; the hot paths
+    /// (`node_grew`, `post`, `take_deltas`) stay branch-free.
+    pub fn retract_constraint(&mut self, constraint: ConstraintId) {
+        if self.retracted[constraint] {
+            return;
+        }
+        self.retracted[constraint] = true;
+        let mut w = self.cwatch_head[constraint];
+        while w != NIL {
+            let wi = w as usize;
+            self.unlink_from_node(self.watch_node[wi], w);
+            w = self.watch_next_of_constraint[wi];
+        }
+        self.cwatch_head[constraint] = NIL;
+        self.cwatch_tail[constraint] = NIL;
+    }
+
+    /// True when `constraint` has been retracted.
+    pub fn is_retracted(&self, constraint: ConstraintId) -> bool {
+        self.retracted[constraint]
+    }
+
+    /// Splices watch edge `w` out of `node`'s watcher chain.
+    fn unlink_from_node(&mut self, node: FlowNodeId, w: u32) {
+        let mut prev = NIL;
+        let mut cur = self.watcher_head[node];
+        while cur != NIL {
+            if cur == w {
+                let next = self.watch_next_of_node[cur as usize];
+                match prev {
+                    NIL => self.watcher_head[node] = next,
+                    p => self.watch_next_of_node[p as usize] = next,
+                }
+                if self.watcher_tail[node] == w {
+                    self.watcher_tail[node] = prev;
+                }
+                return;
+            }
+            prev = cur;
+            cur = self.watch_next_of_node[cur as usize];
+        }
+    }
+
     /// The next constraint to evaluate, lowest rank first; `None` at
-    /// fixpoint.
+    /// fixpoint. Constraints retracted while queued are discarded here
+    /// (uncounted) rather than handed to the client.
     pub fn pop(&mut self) -> Option<ConstraintId> {
-        let Reverse(packed) = self.queue.pop()?;
-        let c = (packed & u32::MAX as u64) as ConstraintId;
-        self.pending[c] = false;
-        self.stats.fired += 1;
-        Some(c)
+        loop {
+            let Reverse(packed) = self.queue.pop()?;
+            let c = (packed & u32::MAX as u64) as ConstraintId;
+            self.pending[c] = false;
+            if self.retracted[c] {
+                continue;
+            }
+            self.stats.fired += 1;
+            return Some(c);
+        }
     }
 
     /// Collects into `out` the un-consumed delta of every node `constraint`
@@ -576,6 +680,105 @@ mod tests {
             AnalysisError::BudgetExhausted { budget: 100 }
         ));
         assert!(s.stats().fired <= 102, "stops right at the budget");
+    }
+
+    #[test]
+    fn poured_seeds_are_silent_but_visible_to_cursor_zero_watches() {
+        // The warm-start discipline: pour a previous fixpoint's history
+        // with `set_node_len` (nothing fires), then a fresh watch still
+        // receives that history as its first delta.
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        s.set_node_len(0, 4);
+        assert_eq!(s.node_len(0), 4);
+        assert_eq!(s.pop(), None, "pouring seeds must not schedule anybody");
+        let c = s.add_constraint(0);
+        s.watch(0, c);
+        s.post(c);
+        let mut deltas = Vec::new();
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert_eq!(deltas, vec![(0, 0, 4)], "seeded history is the first delta");
+    }
+
+    #[test]
+    fn caught_up_watches_skip_the_seeded_history() {
+        let mut s = WorklistSolver::new();
+        s.add_nodes(1);
+        s.set_node_len(0, 4);
+        let c = s.add_constraint(0);
+        s.watch_caught_up(0, c);
+        // Nothing pending, and a manual post delivers an empty delta: the
+        // seeded prefix is considered already consumed.
+        s.post(c);
+        let mut deltas = Vec::new();
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert!(deltas.is_empty(), "caught-up watch must not replay seeds");
+        // Post-registration growth is delivered normally, from the seam.
+        s.node_grew(0, 6);
+        assert_eq!(s.pop(), Some(c));
+        s.take_deltas(c, &mut deltas);
+        assert_eq!(deltas, vec![(0, 4, 6)]);
+    }
+
+    #[test]
+    fn retracted_constraints_never_fire_again() {
+        let mut s = WorklistSolver::new();
+        s.add_nodes(2);
+        let keep = s.add_constraint(0);
+        let gone = s.add_constraint(1);
+        s.watch(0, keep);
+        s.watch(0, gone);
+        s.watch(1, gone);
+        // Queued at retraction time: pop must skip it.
+        s.post(gone);
+        s.retract_constraint(gone);
+        assert!(s.is_retracted(gone));
+        assert_eq!(s.pop(), None, "stale queue entry is discarded");
+        // Growth after retraction schedules only the survivor.
+        s.node_grew(0, 1);
+        assert_eq!(s.pop(), Some(keep));
+        assert_eq!(s.pop(), None);
+        s.node_grew(1, 1);
+        assert_eq!(s.pop(), None, "retracted watcher is unlinked");
+        // Retraction is idempotent.
+        s.retract_constraint(gone);
+        assert!(!s.is_retracted(keep));
+    }
+
+    #[test]
+    fn retraction_unlinks_head_middle_and_tail_positions() {
+        // Three watchers on one node; retract each position and check the
+        // chain still schedules exactly the survivors.
+        for victim in 0..3usize {
+            let mut s = WorklistSolver::new();
+            s.add_nodes(1);
+            let cs: Vec<ConstraintId> = (0..3).map(|i| s.add_constraint(i)).collect();
+            for &c in &cs {
+                s.watch(0, c);
+            }
+            s.retract_constraint(cs[victim]);
+            s.node_grew(0, 1);
+            let mut popped = Vec::new();
+            while let Some(c) = s.pop() {
+                popped.push(c);
+            }
+            let expected: Vec<ConstraintId> = (0..3).filter(|&i| i != victim).collect();
+            assert_eq!(popped, expected, "victim {victim}");
+            // The tail pointer stays valid: appending a new watch after the
+            // retraction must still chain correctly.
+            let late = s.add_constraint(9);
+            s.watch(0, late);
+            s.node_grew(0, 2);
+            let mut popped = Vec::new();
+            while let Some(c) = s.pop() {
+                popped.push(c);
+            }
+            let mut expected: Vec<ConstraintId> = (0..3).filter(|&i| i != victim).collect();
+            expected.push(late);
+            assert_eq!(popped, expected, "victim {victim}, after re-watch");
+        }
     }
 
     #[test]

@@ -304,3 +304,186 @@ fn sparse_delta_matches_dense_on_800_program_corpus() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// FixpointCache: LRU churn against an executable model
+// ---------------------------------------------------------------------------
+
+mod cache_churn {
+    use super::*;
+    use cpsdfa_core::cache::{AnalysisKind, Ancestor, CacheKey, CachedAnswer, CachedFixpoint};
+    use cpsdfa_core::govern::DegradationReport;
+    use cpsdfa_core::mfp::DfSummary;
+    use cpsdfa_core::{FixpointCache, SolverMode};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// An MFP summary entry whose eviction cost scales with `size`.
+    fn entry(size: usize) -> CachedFixpoint {
+        let answer = CachedAnswer::MfpFlat(DfSummary {
+            vars: vec![Flat::top(); size],
+        });
+        CachedFixpoint::new(
+            answer,
+            DegradationReport {
+                attempts: Vec::new(),
+                resource: None,
+                residual_budget: 0,
+                elapsed_ns: 0,
+            },
+        )
+    }
+
+    fn key(idx: usize) -> CacheKey {
+        CacheKey::full(AnalysisKind::MfpFlat, SolverMode::Seq, idx as u128)
+    }
+
+    /// A transliteration of the documented cache algorithm: LRU by unique
+    /// touch ticks, byte ceiling, first-writer-wins, reject-over-ceiling.
+    #[derive(Default)]
+    struct Model {
+        entries: BTreeMap<usize, (u64, u64)>, // key idx → (cost, last_used)
+        ceiling: u64,
+        bytes: u64,
+        tick: u64,
+        hits: u64,
+        misses: u64,
+        inserts: u64,
+        evictions: u64,
+        rejects: u64,
+    }
+
+    impl Model {
+        fn lookup(&mut self, idx: usize) -> bool {
+            self.tick += 1;
+            match self.entries.get_mut(&idx) {
+                Some((_, last)) => {
+                    *last = self.tick;
+                    self.hits += 1;
+                    true
+                }
+                None => {
+                    self.misses += 1;
+                    false
+                }
+            }
+        }
+
+        fn insert(&mut self, idx: usize, cost: u64) -> bool {
+            if cost > self.ceiling || self.entries.contains_key(&idx) {
+                self.rejects += 1;
+                return false;
+            }
+            while self.bytes + cost > self.ceiling {
+                let Some(victim) = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, last))| *last)
+                    .map(|(k, _)| *k)
+                else {
+                    break;
+                };
+                let (gone, _) = self.entries.remove(&victim).unwrap();
+                self.bytes -= gone;
+                self.evictions += 1;
+            }
+            self.tick += 1;
+            self.bytes += cost;
+            self.inserts += 1;
+            self.entries.insert(idx, (cost, self.tick));
+            true
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random insert/hit/evict churn: the real cache and the model
+        /// agree on every counter, both gauges, the resident key set, and
+        /// — because last-used ticks are unique — the exact eviction
+        /// order implied by recency.
+        #[test]
+        fn lru_churn_matches_the_model(
+            ops in proptest::collection::vec(
+                (0u8..2, 0usize..8, 1usize..40),
+                1..200,
+            ),
+        ) {
+            // Tight ceiling: a handful of mid-sized entries fit, so the
+            // op stream constantly evicts.
+            let ceiling = entry(20).approx_bytes * 3;
+            let mut cache = FixpointCache::new(ceiling);
+            let mut model = Model { ceiling, ..Model::default() };
+            for (op, idx, size) in ops {
+                if op == 1 {
+                    let fixpoint = entry(size);
+                    let cost = fixpoint.approx_bytes;
+                    let admitted = cache.insert(key(idx), fixpoint);
+                    prop_assert_eq!(admitted, model.insert(idx, cost));
+                } else {
+                    let hit = cache.lookup(&key(idx)).is_some();
+                    prop_assert_eq!(hit, model.lookup(idx));
+                }
+                let stats = cache.stats();
+                prop_assert_eq!(stats.bytes, model.bytes, "bytes gauge");
+                prop_assert_eq!(stats.entries, model.entries.len() as u64, "entries gauge");
+                prop_assert_eq!(stats.hits, model.hits);
+                prop_assert_eq!(stats.misses, model.misses);
+                prop_assert_eq!(stats.inserts, model.inserts);
+                prop_assert_eq!(stats.evictions, model.evictions);
+                prop_assert_eq!(stats.rejects, model.rejects);
+                prop_assert!(stats.bytes <= ceiling, "residency within the ceiling");
+            }
+            // Resident key sets agree (probed without asserting stats
+            // afterwards — the probes themselves count as traffic).
+            for idx in 0..8 {
+                prop_assert_eq!(
+                    cache.lookup(&key(idx)).is_some(),
+                    model.entries.contains_key(&idx),
+                    "residency of key {}", idx
+                );
+            }
+        }
+    }
+
+    fn ancestor(tag: u128) -> Ancestor {
+        let fixpoint = Arc::new(entry(1));
+        Ancestor {
+            kind: AnalysisKind::MfpFlat,
+            digest: tag,
+            source: format!("src-{tag}"),
+            fixpoint,
+        }
+    }
+
+    #[test]
+    fn ancestors_cap_at_64_sessions_evicting_least_recent() {
+        let mut cache = FixpointCache::new(1 << 20);
+        for s in 0..64u64 {
+            cache.note_ancestor(s, ancestor(s as u128));
+        }
+        assert_eq!(cache.ancestor_count(), 64);
+        // Touch session 0 so it is no longer the least recent…
+        assert!(cache.ancestor(0).is_some());
+        // …then one more session evicts session 1 instead.
+        cache.note_ancestor(64, ancestor(64));
+        assert_eq!(cache.ancestor_count(), 64);
+        assert!(cache.ancestor(0).is_some(), "refreshed session survives");
+        assert!(cache.ancestor(1).is_none(), "least-recent session evicted");
+        assert!(cache.ancestor(64).is_some());
+        // Re-noting an existing session replaces, never evicts.
+        cache.note_ancestor(64, ancestor(999));
+        assert_eq!(cache.ancestor_count(), 64);
+        assert_eq!(cache.ancestor(64).unwrap().digest, 999);
+    }
+
+    #[test]
+    fn ancestors_live_outside_the_byte_ceiling() {
+        // A ceiling too small for even one entry: content-addressed
+        // inserts reject, but the session ancestor is still remembered.
+        let mut cache = FixpointCache::new(1);
+        assert!(!cache.insert(key(0), entry(10)));
+        cache.note_ancestor(7, ancestor(42));
+        assert_eq!(cache.ancestor(7).unwrap().digest, 42);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

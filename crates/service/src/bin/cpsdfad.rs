@@ -9,7 +9,9 @@
 //! Request lines look like
 //! `{"id": 1, "analysis": "cfa.cps", "program": "(let (f (lambda (x) x)) (f 1))"}`
 //! (optional fields: `mode` = `seq`/`par`/`par:K`, `budget`,
-//! `request_budget`, `deadline_ms`). Control lines: `{"cmd": "stats"}`,
+//! `request_budget`, `deadline_ms`, and `session` — requests sharing a
+//! session id form an edit stream whose steps warm-start from the
+//! session's previous fixpoint). Control lines: `{"cmd": "stats"}`,
 //! `{"cmd": "shutdown"}`. Responses correlate by `id` and may complete
 //! out of order.
 
@@ -17,6 +19,10 @@ use cpsdfa_core::JsonlSink;
 use cpsdfa_service::{AnalysisService, ServiceConfig};
 use std::io::{self, BufWriter, Write};
 use std::process::ExitCode;
+
+const USAGE: &str = "cpsdfad: analysis daemon (JSONL on stdin/stdout)\n\
+                     flags: --workers N --cache-bytes N --max-queue N --capacity N\n\
+                     \x20      --budget N --deadline-ms N --no-cache --trace PATH";
 
 fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
@@ -61,17 +67,13 @@ fn main() -> ExitCode {
             }
             "--trace" => value("--trace").map(|v| trace_path = Some(v)),
             "--help" | "-h" => {
-                println!(
-                    "cpsdfad: analysis daemon (JSONL on stdin/stdout)\n\
-                     flags: --workers N --cache-bytes N --max-queue N --capacity N\n\
-                     \x20      --budget N --deadline-ms N --no-cache --trace PATH"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => Err(format!("unknown flag {other:?} (try --help)")),
+            other => Err(format!("unknown flag {other:?}")),
         };
         if let Err(e) = result {
-            eprintln!("cpsdfad: {e}");
+            eprintln!("cpsdfad: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     }

@@ -69,16 +69,19 @@ pub mod proto;
 
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_core::cache::{
-    AnalysisKind, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint, FixpointCache,
-    SendCfa, SendCpsCfa, SendPushdown,
+    AnalysisKind, Ancestor, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint,
+    FixpointCache, SendCfa, SendCpsCfa, SendPushdown,
 };
 use cpsdfa_core::domain::Flat;
 use cpsdfa_core::govern::{
-    governed_pushdown_cfa, governed_zero_cfa_cps, CfaAnswer, DegradationLadder, GovernPolicy,
+    governed_pushdown_cfa, governed_zero_cfa_cps, CfaAnswer, DegradationLadder, DegradationReport,
+    GovernPolicy, RungAttempt,
 };
+use cpsdfa_core::incremental::{self, WarmReport, WarmSolve};
 use cpsdfa_core::mfp::Cfg;
 use cpsdfa_core::trace::TraceSink;
 use cpsdfa_core::{cfa, worker_count, AggSink, AnalysisBudget, JsonlSink, RunGuard, SolverMode};
+use cpsdfa_cps::CpsProgram;
 use cpsdfa_syntax::arena::TermArena;
 use proto::{BadRequest, Request, Response, Served, Status};
 use std::collections::VecDeque;
@@ -140,6 +143,7 @@ struct ServiceCounters {
     rejected_queue: AtomicU64,
     rejected_budget: AtomicU64,
     served_hit: AtomicU64,
+    served_warm: AtomicU64,
     served_solve: AtomicU64,
     degraded: AtomicU64,
     failed: AtomicU64,
@@ -359,6 +363,9 @@ impl AnalysisService {
             if let Some(hit) = cached {
                 self.counters.served_hit.fetch_add(1, Ordering::Relaxed);
                 sink.counter("service.hit", 1);
+                if let Some(session) = req.session {
+                    self.note_session(session, req, digest, &hit);
+                }
                 let resp = finish(Status::Ok {
                     cache: Served::Hit,
                     rung: full_key.rung,
@@ -374,6 +381,52 @@ impl AnalysisService {
         // Miss (or cache off): lower out of the arena and run the ladder.
         let term = ctx.arena.to_term(root);
         let prog = AnfProgram::from_term(&term);
+
+        // Watch mode: before paying for the ladder, try to warm-start from
+        // the session's previous fixpoint — only the edit delta re-solves.
+        // Any ineligible edit (non-monotone, misaligned, over budget)
+        // falls through to the governed ladder below: warm starting is an
+        // optimization, never a gate.
+        if self.config.cache_enabled {
+            if let Some(session) = req.session {
+                if let Some((answer, warm, charged)) = self.session_warm(req, session, &prog, sink)
+                {
+                    self.counters.served_warm.fetch_add(1, Ordering::Relaxed);
+                    sink.counter("service.warm", 1);
+                    sink.counter("service.warm.fired", warm.fired);
+                    let report = DegradationReport {
+                        attempts: vec![RungAttempt {
+                            rung: "warm",
+                            error: None,
+                            charged,
+                        }],
+                        resource: None,
+                        residual_budget: req.budget.saturating_sub(charged),
+                        elapsed_ns: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    };
+                    let fixpoint = std::sync::Arc::new(CachedFixpoint::new(answer, report));
+                    // The warm answer is bit-identical to a cold solve
+                    // (the incremental cascade's tested invariant), so it
+                    // commits under the very key a fresh solve of the
+                    // edited program would have used.
+                    self.cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .insert(full_key, (*fixpoint).clone());
+                    self.note_session(session, req, digest, &fixpoint);
+                    let resp = finish(Status::Ok {
+                        cache: Served::Warm,
+                        rung: full_key.rung,
+                        degraded: false,
+                        answer_digest: fixpoint.answer_digest,
+                        iterations: fixpoint.answer.iterations(),
+                        charged,
+                    });
+                    return (resp, Some(fixpoint));
+                }
+            }
+        }
+
         let policy = self.policy_for(req);
         // Whatever rung of the CFA ladder answered, cache the answer in
         // its own representation so a degraded-rung probe gets back
@@ -493,6 +546,9 @@ impl AnalysisService {
                 .lock()
                 .expect("cache poisoned")
                 .insert(commit_key, (*fixpoint).clone());
+            if let Some(session) = req.session {
+                self.note_session(session, req, digest, &fixpoint);
+            }
         }
         let resp = finish(Status::Ok {
             cache: if self.config.cache_enabled {
@@ -507,6 +563,102 @@ impl AnalysisService {
             charged,
         });
         (resp, Some(fixpoint))
+    }
+
+    /// Remembers `fixpoint` as `session`'s latest answer, so the session's
+    /// next request can warm-start from it.
+    fn note_session(
+        &self,
+        session: u64,
+        req: &Request,
+        digest: u128,
+        fixpoint: &std::sync::Arc<CachedFixpoint>,
+    ) {
+        self.cache.lock().expect("cache poisoned").note_ancestor(
+            session,
+            Ancestor {
+                kind: fixpoint.answer.kind(),
+                digest,
+                source: req.program.clone(),
+                fixpoint: std::sync::Arc::clone(fixpoint),
+            },
+        );
+    }
+
+    /// Attempts the watch-mode warm start: the session's remembered
+    /// fixpoint becomes the seed and only the edit delta re-solves. Every
+    /// rung of the incremental cascade is differentially tested
+    /// bit-identical to a from-scratch solve, so a `Some` answer is
+    /// exactly what the ladder would have produced — minus the work.
+    /// `None` means "not warm-eligible; run the ladder".
+    fn session_warm(
+        &self,
+        req: &Request,
+        session: u64,
+        prog: &AnfProgram,
+        sink: &mut impl TraceSink,
+    ) -> Option<(CachedAnswer, WarmReport, u64)> {
+        let anc = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .ancestor(session)?;
+        // A degraded ancestor answered on a coarser rung; warm-starting
+        // from it would silently propagate the degradation. Require the
+        // remembered answer to be the requested analysis at full rung.
+        if anc.kind != req.kind || anc.fixpoint.answer.kind() != req.kind {
+            return None;
+        }
+        let old = AnfProgram::parse(&anc.source).ok()?;
+        let guard = self.policy_for(req).guard();
+        let warm = match &anc.fixpoint.answer {
+            CachedAnswer::CfaSrc(prev) => {
+                match incremental::zero_cfa_incremental(&old, &prev.to_result(), prog, &guard, sink)
+                {
+                    Ok(WarmSolve::Warm(result, report)) => {
+                        Some((CachedAnswer::CfaSrc(SendCfa::from_result(&result)), report))
+                    }
+                    _ => None,
+                }
+            }
+            CachedAnswer::CfaCps(prev) => {
+                let old_cps = CpsProgram::from_anf(&old);
+                let new_cps = CpsProgram::from_anf(prog);
+                match incremental::zero_cfa_cps_incremental(
+                    &old_cps,
+                    &prev.to_result(),
+                    &new_cps,
+                    &guard,
+                    sink,
+                ) {
+                    Ok(WarmSolve::Warm(result, report)) => Some((
+                        CachedAnswer::CfaCps(SendCpsCfa::from_result(&result)),
+                        report,
+                    )),
+                    _ => None,
+                }
+            }
+            CachedAnswer::CfaPushdown(prev) => {
+                let old_cps = CpsProgram::from_anf(&old);
+                let new_cps = CpsProgram::from_anf(prog);
+                match incremental::pushdown_cfa_incremental(
+                    &old_cps,
+                    &prev.to_result(),
+                    &new_cps,
+                    &guard,
+                    sink,
+                ) {
+                    Ok(WarmSolve::Warm(result, report)) => Some((
+                        CachedAnswer::CfaPushdown(SendPushdown::from_result(&result)),
+                        report,
+                    )),
+                    _ => None,
+                }
+            }
+            CachedAnswer::MfpFlat(prev) => incremental::solve_mfp_incremental(&old, prev, prog)
+                .map(|(summary, report)| (CachedAnswer::MfpFlat(summary), report)),
+        };
+        warm.map(|(answer, report)| (answer, report, guard.total_spent()))
     }
 
     /// Runs a batch of request lines through the worker pool and returns
@@ -721,13 +873,15 @@ impl AnalysisService {
         let c = &self.counters;
         format!(
             "{{\"status\": \"stats\", \"accepted\": {}, \"rejected_queue\": {}, \
-             \"rejected_budget\": {}, \"served_hit\": {}, \"served_solve\": {}, \
+             \"rejected_budget\": {}, \"served_hit\": {}, \"served_warm\": {}, \
+             \"served_solve\": {}, \
              \"degraded\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_entries\": {}, \"cache_bytes\": {}, \"reserved_charges\": {}}}",
             c.accepted.load(Ordering::Relaxed),
             c.rejected_queue.load(Ordering::Relaxed),
             c.rejected_budget.load(Ordering::Relaxed),
             c.served_hit.load(Ordering::Relaxed),
+            c.served_warm.load(Ordering::Relaxed),
             c.served_solve.load(Ordering::Relaxed),
             c.degraded.load(Ordering::Relaxed),
             c.failed.load(Ordering::Relaxed),

@@ -29,6 +29,12 @@ pub struct Request {
     pub request_budget: Option<u64>,
     /// Wall-clock allowance in milliseconds, if any.
     pub deadline_ms: Option<u64>,
+    /// Watch-mode session id, if the client opened one. Requests sharing a
+    /// session id are treated as an edit stream: the daemon remembers each
+    /// answered fixpoint and warm-starts the next request of the session
+    /// from it (PR 9), falling back to the ordinary governed ladder when
+    /// the edit is not warm-eligible.
+    pub session: Option<u64>,
 }
 
 /// Why a line could not even be turned into a [`Request`].
@@ -95,6 +101,7 @@ impl Request {
         let deadline_ms = json::field(&fields, "deadline_ms")
             .and_then(Scalar::as_u64)
             .or(default_deadline_ms);
+        let session = json::field(&fields, "session").and_then(Scalar::as_u64);
         Ok(Request {
             id,
             kind,
@@ -103,6 +110,7 @@ impl Request {
             budget,
             request_budget,
             deadline_ms,
+            session,
         })
     }
 }
@@ -115,6 +123,11 @@ pub enum Served {
     Hit,
     /// Solved fresh (and, when caching is on, committed to the cache).
     Miss,
+    /// Warm-started from the session's previous fixpoint: the edit delta
+    /// was re-solved incrementally instead of from scratch. The answer is
+    /// bit-identical to a fresh solve (and committed to the cache under
+    /// the same key a fresh solve would use).
+    Warm,
     /// Solved fresh with the cache disabled.
     Off,
 }
@@ -125,6 +138,7 @@ impl Served {
         match self {
             Served::Hit => "hit",
             Served::Miss => "miss",
+            Served::Warm => "warm",
             Served::Off => "off",
         }
     }
@@ -241,6 +255,7 @@ impl Response {
                 cache: match get_str("cache")? {
                     "hit" => Served::Hit,
                     "miss" => Served::Miss,
+                    "warm" => Served::Warm,
                     "off" => Served::Off,
                     other => return Err(format!("unknown cache disposition {other:?}")),
                 },

@@ -1,0 +1,72 @@
+//! `cpsdfad` flag-handling tests, driven over the real binary.
+
+use std::process::{Command, Stdio};
+
+fn cpsdfad() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cpsdfad"))
+}
+
+#[test]
+fn unknown_flags_print_usage_and_exit_nonzero() {
+    for bad in ["--bogus", "-x", "--sessions"] {
+        let out = cpsdfad()
+            .arg(bad)
+            .stdin(Stdio::null())
+            .output()
+            .expect("spawn cpsdfad");
+        assert!(
+            !out.status.success(),
+            "{bad}: unknown flags must exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag") && stderr.contains(bad),
+            "{bad}: stderr must name the offending flag: {stderr}"
+        );
+        assert!(
+            stderr.contains("--workers") && stderr.contains("--trace"),
+            "{bad}: stderr must include the usage text: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn flags_missing_their_value_exit_nonzero() {
+    let out = cpsdfad()
+        .arg("--workers")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn cpsdfad");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--workers needs a value"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = cpsdfad()
+            .arg(flag)
+            .stdin(Stdio::null())
+            .output()
+            .expect("spawn cpsdfad");
+        assert!(out.status.success(), "{flag} exits zero");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("analysis daemon") && stdout.contains("--no-cache"),
+            "{flag}: stdout must carry the usage text: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn empty_stdin_serves_and_exits_zero() {
+    let out = cpsdfad()
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn cpsdfad");
+    assert!(out.status.success(), "EOF on stdin is a clean shutdown");
+}

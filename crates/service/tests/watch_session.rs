@@ -1,0 +1,197 @@
+//! Watch-mode session tests: requests sharing a `session` id form an edit
+//! stream, and the daemon warm-starts each step from the session's
+//! previous fixpoint. The acceptance bar is the same as the incremental
+//! differential suite's — a warm answer must be bit-identical (same
+//! answer digest) to a from-scratch solve of the edited program — plus
+//! the service-level facts: warm serves are reported as `warm`, cold
+//! fallbacks still answer, and the stats line counts them.
+
+use cpsdfa_service::proto::{Response, Served, Status};
+use cpsdfa_service::{AnalysisService, ServiceConfig};
+use cpsdfa_syntax::build::{let_, num};
+use cpsdfa_workloads::families;
+
+/// One worker: batches execute in request order, so the session's edit
+/// stream is seen in order and miss-then-warm expectations are
+/// deterministic.
+fn small_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        capacity_charges: u64::MAX / 2,
+        ..ServiceConfig::default()
+    }
+}
+
+fn request(id: u64, analysis: &str, program: &str) -> String {
+    format!(r#"{{"id": {id}, "analysis": "{analysis}", "program": "{program}"}}"#)
+}
+
+fn session_request(id: u64, session: u64, analysis: &str, program: &str) -> String {
+    format!(
+        r#"{{"id": {id}, "session": {session}, "analysis": "{analysis}", "program": "{program}"}}"#
+    )
+}
+
+fn ok_fields(resp: &Response) -> (&Served, u64, u64) {
+    match &resp.status {
+        Status::Ok {
+            cache,
+            answer_digest,
+            charged,
+            ..
+        } => (cache, *answer_digest, *charged),
+        other => panic!("expected ok response, got {other:?} (id {})", resp.id),
+    }
+}
+
+/// The digest a fresh (session-less) service produces for `program`.
+fn cold_digest(analysis: &str, program: &str) -> u64 {
+    let service = AnalysisService::new(small_config());
+    let line = request(99, analysis, program);
+    let outcomes = service.run_batch(&[&line]);
+    let (cache, digest, _) = ok_fields(&outcomes[0].response);
+    assert_eq!(*cache, Served::Miss, "fresh service must solve cold");
+    digest
+}
+
+#[test]
+fn insert_edit_answers_warm_and_bit_identical_for_every_cfa_kind() {
+    for analysis in ["cfa.src", "cfa.cps", "cfa.pushdown"] {
+        let base = families::dispatch(8);
+        let edited = let_("extra", num(7), base.clone());
+        let service = AnalysisService::new(small_config());
+        let lines = [
+            session_request(1, 42, analysis, &base.to_string()),
+            session_request(2, 42, analysis, &edited.to_string()),
+        ];
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let outcomes = service.run_batch(&refs);
+        let (open_cache, _, _) = ok_fields(&outcomes[0].response);
+        let (edit_cache, edit_digest, _) = ok_fields(&outcomes[1].response);
+        assert_eq!(*open_cache, Served::Miss, "{analysis}: session opens cold");
+        assert_eq!(
+            *edit_cache,
+            Served::Warm,
+            "{analysis}: an inserted leaf binding must warm-start"
+        );
+        assert_eq!(
+            edit_digest,
+            cold_digest(analysis, &edited.to_string()),
+            "{analysis}: warm answer must be bit-identical to from-scratch"
+        );
+    }
+}
+
+#[test]
+fn rename_edit_transports_mfp_for_free() {
+    let base = families::cond_chain(6).to_string();
+    let renamed = base.replace("c3", "w3");
+    assert_ne!(base, renamed, "the rename must actually change the text");
+    let service = AnalysisService::new(small_config());
+    let lines = [
+        session_request(1, 7, "mfp.flat", &base),
+        session_request(2, 7, "mfp.flat", &renamed),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    let (_, _, _) = ok_fields(&outcomes[0].response);
+    let (cache, digest, charged) = ok_fields(&outcomes[1].response);
+    assert_eq!(*cache, Served::Warm, "a pure rename transports the summary");
+    assert_eq!(charged, 0, "transport fires no constraints");
+    assert_eq!(digest, cold_digest("mfp.flat", &renamed));
+}
+
+#[test]
+fn misaligned_edit_falls_back_to_the_governed_ladder() {
+    // Replacing the program wholesale is not an edit the aligner can
+    // bridge: the session must still answer — cold, via the ladder.
+    let base = families::dispatch(8).to_string();
+    let replaced = families::cond_chain(6).to_string();
+    let service = AnalysisService::new(small_config());
+    let lines = [
+        session_request(1, 3, "cfa.src", &base),
+        session_request(2, 3, "cfa.src", &replaced),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    let (cache, digest, _) = ok_fields(&outcomes[1].response);
+    assert_eq!(*cache, Served::Miss, "unalignable edits solve cold");
+    assert_eq!(digest, cold_digest("cfa.src", &replaced));
+}
+
+#[test]
+fn sessions_chain_warm_across_successive_edits() {
+    // Three stacked inserts: every step after the first warm-starts from
+    // the *previous step's* fixpoint, not from the session opener.
+    let base = families::polyvariant(8);
+    let step1 = let_("e1", num(1), base.clone());
+    let step2 = let_("e2", num(2), step1.clone());
+    let step3 = let_("e3", num(3), step2.clone());
+    let service = AnalysisService::new(small_config());
+    let lines = [
+        session_request(1, 5, "cfa.cps", &base.to_string()),
+        session_request(2, 5, "cfa.cps", &step1.to_string()),
+        session_request(3, 5, "cfa.cps", &step2.to_string()),
+        session_request(4, 5, "cfa.cps", &step3.to_string()),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    for (outcome, (expect, program)) in outcomes.iter().zip([
+        (Served::Miss, base.to_string()),
+        (Served::Warm, step1.to_string()),
+        (Served::Warm, step2.to_string()),
+        (Served::Warm, step3.to_string()),
+    ]) {
+        let (cache, digest, _) = ok_fields(&outcome.response);
+        assert_eq!(*cache, expect, "id {}", outcome.response.id);
+        assert_eq!(digest, cold_digest("cfa.cps", &program));
+    }
+    let stats = service.stats_json();
+    assert!(
+        stats.contains("\"served_warm\": 3"),
+        "stats must count the three warm serves: {stats}"
+    );
+}
+
+#[test]
+fn sessionless_requests_never_touch_the_warm_path() {
+    // The same two programs without a session id: the edit is a plain
+    // cache miss (different digest), solved by the ladder.
+    let base = families::dispatch(6);
+    let edited = let_("extra", num(7), base.clone());
+    let service = AnalysisService::new(small_config());
+    let lines = [
+        request(1, "cfa.src", &base.to_string()),
+        request(2, "cfa.src", &edited.to_string()),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    let (second, _, _) = ok_fields(&outcomes[1].response);
+    assert_eq!(*second, Served::Miss);
+    assert!(
+        service.stats_json().contains("\"served_warm\": 0"),
+        "no session id, no warm serves"
+    );
+}
+
+#[test]
+fn warm_answers_commit_so_a_repeat_request_hits() {
+    // After a warm serve, the edited program's fixpoint is resident under
+    // its content address: a later session-less request for the same
+    // program is an ordinary cache hit.
+    let base = families::dispatch(8);
+    let edited = let_("extra", num(7), base.clone());
+    let service = AnalysisService::new(small_config());
+    let lines = [
+        session_request(1, 11, "cfa.src", &base.to_string()),
+        session_request(2, 11, "cfa.src", &edited.to_string()),
+        request(3, "cfa.src", &edited.to_string()),
+    ];
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = service.run_batch(&refs);
+    let (warm, warm_digest, _) = ok_fields(&outcomes[1].response);
+    let (hit, hit_digest, _) = ok_fields(&outcomes[2].response);
+    assert_eq!(*warm, Served::Warm);
+    assert_eq!(*hit, Served::Hit, "warm commits under the full key");
+    assert_eq!(hit_digest, warm_digest);
+}

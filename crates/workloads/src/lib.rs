@@ -18,6 +18,7 @@
 //! # Ok::<(), cpsdfa_syntax::parse::ParseError>(())
 //! ```
 
+pub mod edits;
 pub mod exhaustive;
 pub mod families;
 pub mod paper;

@@ -1,0 +1,321 @@
+//! Differential acceptance tests for incremental re-analysis
+//! (`cpsdfa_core::incremental`): every warm fixpoint must be
+//! **bit-identical** to a from-scratch solve of the edited program, on
+//! every step of every edit script — and the non-monotone edits must
+//! provably fall back to a cold solve rather than return a stale answer.
+//!
+//! Four clients are differenced on each step: source 0CFA (both the
+//! stateless seeded driver and the live [`IncrementalCfa`] retract path),
+//! CPS 0CFA, the pushdown rung, and MFP/`Flat` (transport-only). A
+//! proptest closes the loop over random programs × random edit scripts.
+
+use cpsdfa_anf::AnfProgram;
+use cpsdfa_core::cfa::{zero_cfa, zero_cfa_cps};
+use cpsdfa_core::domain::Flat;
+use cpsdfa_core::incremental::{
+    pushdown_cfa_warm, solve_mfp_incremental, zero_cfa_cps_warm, zero_cfa_warm, ColdReason,
+    IncrementalCfa, Outcome, WarmPath, WarmSolve,
+};
+use cpsdfa_core::mfp::Cfg;
+use cpsdfa_core::pushdown::pushdown_cfa;
+use cpsdfa_cps::CpsProgram;
+use cpsdfa_syntax::Term;
+use cpsdfa_workloads::edits::{apply_edit, edit_script, EditKind, FreshNames, ALL_EDIT_KINDS};
+use cpsdfa_workloads::families;
+use cpsdfa_workloads::random::{generate, open_config};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Differences every client across one edit `old → new`. Warm answers
+/// must equal the cold solution bit for bit; cold falls are always
+/// acceptable (the cold path is the from-scratch solver itself).
+fn check_edit_step(old: &Term, new: &Term, ctx: &str) {
+    let old_p = AnfProgram::from_term(old);
+    let new_p = AnfProgram::from_term(new);
+
+    // Source-level 0CFA, stateless seeded driver.
+    let prev = zero_cfa(&old_p).expect("cold solve (old)");
+    let cold = zero_cfa(&new_p).expect("cold solve (new)");
+    match zero_cfa_warm(&old_p, &prev, &new_p).expect("warm driver") {
+        WarmSolve::Warm(warm, report) => {
+            assert!(
+                warm.same_solution(&cold),
+                "{ctx}: src warm fixpoint differs from cold ({report:?})"
+            );
+        }
+        WarmSolve::Cold(_) => {}
+    }
+
+    // CPS-level 0CFA.
+    let old_c = CpsProgram::from_anf(&old_p);
+    let new_c = CpsProgram::from_anf(&new_p);
+    let prev_c = zero_cfa_cps(&old_c).expect("cold CPS solve (old)");
+    let cold_c = zero_cfa_cps(&new_c).expect("cold CPS solve (new)");
+    match zero_cfa_cps_warm(&old_c, &prev_c, &new_c).expect("warm CPS driver") {
+        WarmSolve::Warm(warm, report) => {
+            assert!(
+                warm.same_solution(&cold_c),
+                "{ctx}: cps warm fixpoint differs from cold ({report:?})"
+            );
+        }
+        WarmSolve::Cold(_) => {}
+    }
+
+    // Pushdown rung.
+    let prev_pd = pushdown_cfa(&old_c).expect("cold pushdown (old)");
+    let cold_pd = pushdown_cfa(&new_c).expect("cold pushdown (new)");
+    match pushdown_cfa_warm(&old_c, &prev_pd, &new_c).expect("warm pushdown driver") {
+        WarmSolve::Warm(warm, report) => {
+            assert!(
+                warm.same_solution(&cold_pd),
+                "{ctx}: pushdown warm fixpoint differs from cold ({report:?})"
+            );
+        }
+        WarmSolve::Cold(_) => {}
+    }
+
+    // MFP over Flat (first-order programs only; transport rung).
+    if let (Ok(old_cfg), Ok(new_cfg)) =
+        (Cfg::from_first_order(&old_p), Cfg::from_first_order(&new_p))
+    {
+        let prev_m = old_cfg
+            .solve_mfp::<Flat>(old_cfg.initial_env(&old_p))
+            .expect("cold MFP (old)");
+        let cold_m = new_cfg
+            .solve_mfp::<Flat>(new_cfg.initial_env(&new_p))
+            .expect("cold MFP (new)");
+        if let Some((warm, _)) = solve_mfp_incremental(&old_p, &prev_m, &new_p) {
+            assert_eq!(warm, cold_m, "{ctx}: MFP transported summary differs");
+        }
+    }
+}
+
+/// Runs one full script through the live analyzer, checking bit-identity
+/// against a cold solve after every step, and returns the per-step
+/// reports.
+fn run_live(
+    base: &Term,
+    kinds: &[EditKind],
+    seed: u64,
+) -> Vec<(EditKind, cpsdfa_core::incremental::WarmReport)> {
+    let script = edit_script(base, kinds, seed);
+    let mut live = IncrementalCfa::new(AnfProgram::from_term(&script.base)).expect("initial solve");
+    let mut out = Vec::new();
+    for (i, step) in script.steps.iter().enumerate() {
+        let new_p = AnfProgram::from_term(&step.term);
+        let cold = zero_cfa(&new_p).expect("cold solve");
+        let report = live.update(new_p).expect("live update");
+        assert!(
+            live.result().same_solution(&cold),
+            "live step {i} ({:?}) differs from cold: {report:?}",
+            step.kind
+        );
+        out.push((step.kind, report));
+    }
+    out
+}
+
+fn family_bases() -> Vec<(&'static str, Term)> {
+    vec![
+        ("dispatch", families::dispatch(24)),
+        ("polyvariant", families::polyvariant(16)),
+        ("cond_chain", families::cond_chain(12)),
+        ("repeated_calls", families::repeated_calls(10)),
+        ("adder_pipeline", families::adder_pipeline(12)),
+        ("diamond_chain", families::diamond_chain(6)),
+        ("church", families::church(6)),
+    ]
+}
+
+#[test]
+fn edit_scripts_are_bit_identical_across_families() {
+    // Two rounds of every edit kind, per family, stepped pairwise.
+    let kinds: Vec<EditKind> = ALL_EDIT_KINDS
+        .iter()
+        .chain(ALL_EDIT_KINDS.iter())
+        .copied()
+        .collect();
+    for (name, base) in family_bases() {
+        let script = edit_script(&base, &kinds, 0xE22);
+        let mut prev = script.base.clone();
+        for (i, step) in script.steps.iter().enumerate() {
+            check_edit_step(
+                &prev,
+                &step.term,
+                &format!("{name} step {i} {:?}", step.kind),
+            );
+            prev = step.term.clone();
+        }
+        assert!(
+            !script.steps.is_empty(),
+            "{name}: edit script applied no edits"
+        );
+    }
+}
+
+#[test]
+fn live_analyzer_tracks_scripts_across_families() {
+    let kinds: Vec<EditKind> = ALL_EDIT_KINDS.to_vec();
+    for (name, base) in family_bases() {
+        let reports = run_live(&base, &kinds, 0x11FE + name.len() as u64);
+        assert!(!reports.is_empty(), "{name}: no edits applied");
+    }
+}
+
+#[test]
+fn const_and_rename_edits_are_noops_on_the_live_solver() {
+    let base = families::dispatch(24);
+    let reports = run_live(&base, &[EditKind::ReplaceConst, EditKind::RenameVar], 7);
+    assert_eq!(reports.len(), 2);
+    for (kind, report) in reports {
+        assert_eq!(
+            report.outcome,
+            Outcome::Warm(WarmPath::Noop),
+            "{kind:?} should be a Noop"
+        );
+        assert_eq!(report.fired, 0, "{kind:?} fired constraints");
+    }
+}
+
+#[test]
+fn const_to_var_edit_retracts_in_place() {
+    // dispatch has the free input `z`, so the rewritten constant keeps the
+    // variable and label spaces intact — the retract rung must answer.
+    let base = families::dispatch(24);
+    let reports = run_live(&base, &[EditKind::ReplaceConstWithVar], 3);
+    assert_eq!(reports.len(), 1);
+    let (_, report) = reports[0];
+    assert_eq!(report.outcome, Outcome::Warm(WarmPath::Retract));
+}
+
+#[test]
+fn insertions_warm_start_from_the_seed() {
+    let base = families::polyvariant(16);
+    let cold_fired = {
+        let live = IncrementalCfa::new(AnfProgram::from_term(&base)).expect("cold");
+        live.last_report().fired
+    };
+    let reports = run_live(&base, &[EditKind::InsertLeaf, EditKind::InsertLambda], 11);
+    assert_eq!(reports.len(), 2);
+    for (kind, report) in reports {
+        assert!(report.is_warm(), "{kind:?} fell cold: {report:?}");
+        assert!(
+            report.fired < cold_fired,
+            "{kind:?}: warm fired {} ≥ cold {}",
+            report.fired,
+            cold_fired
+        );
+    }
+}
+
+#[test]
+fn deleting_a_flowing_binding_falls_back_cold() {
+    // Insert an (unused) λ binding, converge, then delete it: the deleted
+    // variable's set holds the closure, so re-using the old fixpoint would
+    // over-approximate — the analyzer must prove it and go cold.
+    let base = families::dispatch(12);
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut fresh = FreshNames::over(&base);
+    let with_lam = apply_edit(&base, EditKind::InsertLambda, &mut rng, &mut fresh).expect("insert");
+    let deleted =
+        apply_edit(&with_lam, EditKind::DeleteBinding, &mut rng, &mut fresh).expect("delete");
+    assert_eq!(with_lam.lambda_count(), base.lambda_count() + 1);
+    assert_eq!(deleted, base, "deleting the inserted binding restores");
+
+    let mut live = IncrementalCfa::new(AnfProgram::from_term(&with_lam)).expect("initial");
+    let cold = zero_cfa(&AnfProgram::from_term(&deleted)).expect("cold");
+    let report = live
+        .update(AnfProgram::from_term(&deleted))
+        .expect("update");
+    assert_eq!(
+        report.outcome,
+        Outcome::Cold(ColdReason::NonMonotone),
+        "deletion of a flowing binding must be proven non-monotone"
+    );
+    assert!(live.result().same_solution(&cold));
+}
+
+#[test]
+fn swapping_lambda_arms_falls_back_cold() {
+    // dispatch's if0 arms carry λs: swapping them moves closures between
+    // labels, which no transported seed can express.
+    let base = families::dispatch(8);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut fresh = FreshNames::over(&base);
+    let swapped = apply_edit(&base, EditKind::SwapArms, &mut rng, &mut fresh).expect("swap");
+    assert_ne!(swapped, base);
+
+    let mut live = IncrementalCfa::new(AnfProgram::from_term(&base)).expect("initial");
+    let cold = zero_cfa(&AnfProgram::from_term(&swapped)).expect("cold");
+    let report = live
+        .update(AnfProgram::from_term(&swapped))
+        .expect("update");
+    assert!(
+        matches!(report.outcome, Outcome::Cold(_)),
+        "λ-moving swap must fall cold, got {report:?}"
+    );
+    assert!(live.result().same_solution(&cold));
+}
+
+#[test]
+fn mfp_transport_answers_pure_renames_only() {
+    let base = families::cond_chain(8);
+    let p = AnfProgram::from_term(&base);
+    let cfg = Cfg::from_first_order(&p).expect("first-order");
+    let prev = cfg
+        .solve_mfp::<Flat>(cfg.initial_env(&p))
+        .expect("cold MFP");
+
+    // A rename transports.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut fresh = FreshNames::over(&base);
+    let renamed = apply_edit(&base, EditKind::RenameVar, &mut rng, &mut fresh).expect("rename");
+    let rp = AnfProgram::from_term(&renamed);
+    let warm = solve_mfp_incremental(&p, &prev, &rp);
+    assert!(warm.is_some(), "rename must transport");
+    let rcfg = Cfg::from_first_order(&rp).expect("first-order");
+    let cold = rcfg
+        .solve_mfp::<Flat>(rcfg.initial_env(&rp))
+        .expect("cold MFP");
+    assert_eq!(warm.unwrap().0, cold);
+
+    // A constant change must NOT transport (Flat is constant-sensitive).
+    let changed = apply_edit(&base, EditKind::ReplaceConst, &mut rng, &mut fresh).expect("const");
+    let cp = AnfProgram::from_term(&changed);
+    assert!(
+        solve_mfp_incremental(&p, &prev, &cp).is_none(),
+        "constant change must fall cold under Flat"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs × random edit scripts: every warm answer on every
+    /// step equals the from-scratch solution.
+    #[test]
+    fn random_edit_scripts_are_bit_identical(
+        prog_seed in 0u64..1u64 << 16,
+        script_seed in 0u64..1u64 << 16,
+        picks in proptest::collection::vec(0usize..ALL_EDIT_KINDS.len(), 1..5),
+    ) {
+        let base = generate(prog_seed, &open_config());
+        let kinds: Vec<EditKind> = picks.iter().map(|&i| ALL_EDIT_KINDS[i]).collect();
+        let script = edit_script(&base, &kinds, script_seed);
+        let mut prev = script.base.clone();
+        for (i, step) in script.steps.iter().enumerate() {
+            check_edit_step(&prev, &step.term, &format!("random step {i} {:?}", step.kind));
+            prev = step.term.clone();
+        }
+
+        // And the live analyzer over the same script.
+        let mut live = IncrementalCfa::new(AnfProgram::from_term(&script.base)).expect("initial");
+        for step in &script.steps {
+            let new_p = AnfProgram::from_term(&step.term);
+            let cold = zero_cfa(&new_p).expect("cold");
+            live.update(new_p).expect("update");
+            prop_assert!(live.result().same_solution(&cold));
+        }
+    }
+}
