@@ -161,6 +161,9 @@ fn main() {
     if want("E22") {
         trace::with_span(sink, "e22", |sink| e22_incremental(sink, test_mode));
     }
+    if want("E23") {
+        trace::with_span(sink, "e23", |sink| e23_chaos(sink, test_mode));
+    }
 }
 
 /// The hardware thread count the host actually has — recorded next to
@@ -2792,24 +2795,125 @@ fn e20_service(sink: &mut impl TraceSink, test_mode: bool) {
     }
 
     // -- Artifact ----------------------------------------------------------
-    let payload = format!(
-        "{{\n\"mixes\": [\n{}\n],\n\"summary\": {{\"warm_cold_p50_ratio\": {:.2}, \
-         \"identical_samples\": {}, \"pool_programs\": {}, \"workers\": {}, \
-         \"hw_threads\": {}, \"test_mode\": {}}}\n}}\n",
+    let mixes = format!(
+        "[\n{}\n]",
         summaries
             .iter()
             .map(E20Mix::to_json)
             .collect::<Vec<_>>()
-            .join(",\n"),
-        ratio,
-        identical_samples,
-        pool.len(),
-        workers,
-        hw,
-        test_mode,
+            .join(",\n")
     );
-    match std::fs::write("BENCH_service.json", &payload) {
-        Ok(()) => println!("\nwrote {} mix rows to BENCH_service.json", summaries.len()),
+    let summary = format!(
+        "{{\"warm_cold_p50_ratio\": {ratio:.2}, \
+         \"identical_samples\": {identical_samples}, \"pool_programs\": {}, \
+         \"workers\": {workers}, \"hw_threads\": {hw}, \"test_mode\": {test_mode}}}",
+        pool.len(),
+    );
+    bench_service_merge(&[("mixes", mixes), ("summary", summary)]);
+}
+
+/// Splits the text of a JSON object into `(key, raw value)` pairs at the
+/// top level — strings and nesting respected, values left as raw text.
+/// `None` when the text is not a braced object (the caller starts fresh).
+fn json_top_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        if i >= bytes.len() {
+            return None;
+        }
+        if bytes[i] == b'}' {
+            return Some(out);
+        }
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_start = i + 1;
+        i += 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1 + usize::from(bytes[i] == b'\\');
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        let key = text[key_start..i].to_owned();
+        i += 1;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let val_start = i;
+        let mut depth = 0u32;
+        let mut in_str = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if in_str {
+                if b == b'\\' {
+                    i += 1;
+                } else if b == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match b {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth > 0 => depth -= 1,
+                    b'}' | b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push((key, text[val_start..i].trim_end().to_owned()));
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// Merges top-level sections into `BENCH_service.json`: sections of other
+/// producers survive, same-named sections are replaced, new ones appended
+/// — the same live-and-let-live contract the `BENCH_solver.json` row
+/// helpers give the curve experiments.
+fn bench_service_merge(sections: &[(&str, String)]) {
+    let mut all: Vec<(String, String)> = std::fs::read_to_string("BENCH_service.json")
+        .ok()
+        .as_deref()
+        .and_then(json_top_sections)
+        .unwrap_or_default();
+    for (key, value) in sections {
+        match all.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => all.push(((*key).to_owned(), value.clone())),
+        }
+    }
+    let body = all
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let names = sections
+        .iter()
+        .map(|(k, _)| *k)
+        .collect::<Vec<_>>()
+        .join(", ");
+    match std::fs::write("BENCH_service.json", format!("{{\n{body}\n}}\n")) {
+        Ok(()) => println!("\nwrote sections [{names}] into BENCH_service.json"),
         Err(e) => println!("\ncould not write BENCH_service.json: {e}"),
     }
 }
@@ -3130,4 +3234,278 @@ fn e22_incremental(sink: &mut impl TraceSink, test_mode: bool) {
     );
     println!("every step checked bit-identical to a from-scratch solve");
     e22_append_rows(&json_rows);
+}
+
+// ---------------------------------------------------------------------------
+// E23: chaos harness — kill/restart/corrupt over the persistent cache
+// ---------------------------------------------------------------------------
+
+/// E23: the crash-safety acceptance run. Phase A fills a persisted cache
+/// (plus a watch-session journal) with cold solves; phase B restarts the
+/// daemon over the same directory and measures the post-restart warm
+/// hit-rate; phase C loops every [`PersistFault`] through a
+/// store/kill/restart cycle with full serve-path certification on,
+/// asserting three invariants: zero wrong answers served (every response's
+/// digest matches a from-scratch baseline and every served answer is
+/// certified), every injected corruption detected and counted in the
+/// matching recovery column, and every corruption healed (a second
+/// recovery over the directory is clean). Results land in the `"e23"`
+/// section of `BENCH_service.json`.
+fn e23_chaos(sink: &mut impl TraceSink, test_mode: bool) {
+    use cpsdfa_core::faultinject::{PersistFault, PersistFaultPlan};
+    use cpsdfa_service::proto::{Served, Status};
+    use cpsdfa_service::{AnalysisService, ServiceConfig};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    section(
+        "E23",
+        "chaos harness: certified answers over a crash-safe persistent cache",
+    );
+
+    let ns: &[usize] = if test_mode {
+        &[4, 5, 6]
+    } else {
+        &[4, 6, 8, 10, 12]
+    };
+    let mut reqs: Vec<(&'static str, String)> = Vec::new();
+    for &n in ns {
+        reqs.push(("cfa.src", families::dispatch(n).to_string()));
+        reqs.push(("cfa.cps", families::repeated_calls(n).to_string()));
+        reqs.push(("mfp.flat", families::cond_chain(n).to_string()));
+    }
+    let line_for = |id: u64, analysis: &str, program: &str| {
+        format!(
+            "{{\"id\": {id}, \"analysis\": \"{analysis}\", \"program\": \"{}\"}}",
+            cpsdfa_service::json::escape(program)
+        )
+    };
+    let ok_of = |status: &Status| -> (Served, u64) {
+        match status {
+            Status::Ok {
+                cache,
+                answer_digest,
+                ..
+            } => (cache.clone(), *answer_digest),
+            other => panic!("E23: request failed: {other:?}"),
+        }
+    };
+
+    // From-scratch ground truth, computed with the cache disabled: the
+    // digest every certified/recovered/healed answer must reproduce.
+    let mut truth: HashMap<(&'static str, String), u64> = HashMap::new();
+    {
+        let baseline = AnalysisService::new(ServiceConfig {
+            workers: 1,
+            capacity_charges: u64::MAX / 2,
+            cache_enabled: false,
+            ..ServiceConfig::default()
+        });
+        for (i, (analysis, program)) in reqs.iter().enumerate() {
+            let line = line_for(i as u64, analysis, program);
+            let out = baseline.run_batch(&[&line]);
+            truth.insert(
+                (analysis, program.clone()),
+                ok_of(&out[0].response.status).1,
+            );
+        }
+    }
+    println!(
+        "{} programs across cfa.src / cfa.cps / mfp.flat",
+        reqs.len()
+    );
+
+    let scratch = std::env::temp_dir().join(format!("cpsdfa-e23-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let config_for = |dir: &std::path::Path| ServiceConfig {
+        workers: 1,
+        capacity_charges: u64::MAX / 2,
+        persist_dir: Some(dir.to_path_buf()),
+        certify_sample: 1,
+        ..ServiceConfig::default()
+    };
+
+    // -- Phase A: cold fill + watch session ---------------------------------
+    let warm_dir = scratch.join("restart");
+    let session_base = families::dispatch(*ns.last().unwrap()).to_string();
+    {
+        let service = AnalysisService::new(config_for(&warm_dir));
+        for (i, (analysis, program)) in reqs.iter().enumerate() {
+            let line = line_for(i as u64, analysis, program);
+            let out = service.run_batch(&[&line]);
+            let (served, digest) = ok_of(&out[0].response.status);
+            assert_eq!(served, Served::Miss, "phase A solves cold");
+            assert_eq!(digest, truth[&(*analysis, program.clone())]);
+        }
+        let line = format!(
+            "{{\"id\": 900, \"session\": 9, \"analysis\": \"cfa.cps\", \"program\": \"{}\"}}",
+            cpsdfa_service::json::escape(&session_base)
+        );
+        service.run_batch(&[&line]);
+    }
+
+    // -- Phase B: restart, measure the warm hit-rate ------------------------
+    let (recovered, warm_hit_rate);
+    {
+        let service = AnalysisService::new(config_for(&warm_dir));
+        let rec = *service.recovery().expect("persist dir recovers");
+        assert_eq!(rec.dropped(), 0, "clean shutdown leaves no corruption");
+        assert_eq!(rec.sessions, 1, "watch session journaled: {rec:?}");
+        recovered = rec.recovered;
+        let mut warm_served = 0usize;
+        for (i, (analysis, program)) in reqs.iter().enumerate() {
+            let line = line_for(1000 + i as u64, analysis, program);
+            let out = service.run_batch(&[&line]);
+            let (served, digest) = ok_of(&out[0].response.status);
+            assert_eq!(digest, truth[&(*analysis, program.clone())]);
+            if served == Served::Hit {
+                warm_served += 1;
+            }
+        }
+        // The journaled session warm-starts an edit of its last program —
+        // an answer no cache key could have served.
+        let edited = cpsdfa_syntax::build::let_(
+            "e23fresh",
+            cpsdfa_syntax::build::num(3),
+            families::dispatch(*ns.last().unwrap()),
+        )
+        .to_string();
+        let line = format!(
+            "{{\"id\": 901, \"session\": 9, \"analysis\": \"cfa.cps\", \"program\": \"{}\"}}",
+            cpsdfa_service::json::escape(&edited)
+        );
+        let out = service.run_batch(&[&line]);
+        let (served, _) = ok_of(&out[0].response.status);
+        assert_eq!(served, Served::Warm, "journaled session warm-starts");
+        warm_hit_rate = warm_served as f64 / reqs.len() as f64;
+        assert!(
+            warm_hit_rate > 0.0,
+            "post-restart warm hit-rate must be nonzero"
+        );
+        let stats = service.cache_stats();
+        assert_eq!(
+            stats.certify_fail, 0,
+            "nothing to refute after a clean restart"
+        );
+        assert!(stats.certify_ok > 0, "served answers were certified");
+    }
+    println!(
+        "restart recovery: {recovered} entries re-admitted, post-restart \
+         warm hit-rate {:.0}%",
+        warm_hit_rate * 100.0
+    );
+    sink.gauge("e23.restart.recovered", recovered);
+    sink.gauge(
+        "e23.restart.warm_hit_rate_x100",
+        (warm_hit_rate * 100.0) as u64,
+    );
+
+    // -- Phase C: the fault loop --------------------------------------------
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut faults_injected = 0u64;
+    let mut faults_detected = 0u64;
+    let chaos_reqs: &[(&'static str, String)] = &reqs[..reqs.len().min(6)];
+    for fault in PersistFault::ALL {
+        let dir = scratch.join(fault.as_str());
+        {
+            let mut cfg = config_for(&dir);
+            cfg.persist_faults = Some(Arc::new(PersistFaultPlan::new(fault, 2)));
+            let service = AnalysisService::new(cfg);
+            for (i, (analysis, program)) in chaos_reqs.iter().enumerate() {
+                let line = line_for(i as u64, analysis, program);
+                let out = service.run_batch(&[&line]);
+                let (_, digest) = ok_of(&out[0].response.status);
+                assert_eq!(
+                    digest,
+                    truth[&(*analysis, program.clone())],
+                    "{fault:?}: a spill fault must never change the served answer"
+                );
+            }
+            assert!(
+                service
+                    .config()
+                    .persist_faults
+                    .as_ref()
+                    .unwrap()
+                    .has_fired(),
+                "{fault:?}: the plan must fire"
+            );
+            faults_injected += 1;
+        }
+        // Restart: detection. Kill-before-rename loses the entry without
+        // corrupting anything (detected as a swept interruption); the
+        // other three leave damage recovery must classify and delete.
+        let service = AnalysisService::new(config_for(&dir));
+        let rec = *service.recovery().expect("persist dir recovers");
+        let detected = match fault {
+            PersistFault::KillBeforeRename => rec.interrupted,
+            PersistFault::TruncateTail | PersistFault::BitFlip => rec.corrupt,
+            PersistFault::StaleKey => rec.stale,
+        };
+        assert_eq!(
+            detected, 1,
+            "{fault:?}: detected in its own column: {rec:?}"
+        );
+        faults_detected += detected;
+        // Healing: every program still answers with the ground-truth
+        // digest, certified (certify_sample = 1).
+        for (i, (analysis, program)) in chaos_reqs.iter().enumerate() {
+            let line = line_for(2000 + i as u64, analysis, program);
+            let out = service.run_batch(&[&line]);
+            let (_, digest) = ok_of(&out[0].response.status);
+            assert_eq!(digest, truth[&(*analysis, program.clone())], "{fault:?}");
+        }
+        assert_eq!(
+            service.cache_stats().certify_fail,
+            0,
+            "{fault:?}: recovery left nothing refutable in the cache"
+        );
+        // A second restart proves the damage was deleted, not skipped.
+        let clean = AnalysisService::new(config_for(&dir));
+        let rec2 = *clean.recovery().expect("persist dir recovers");
+        assert_eq!(
+            rec2.corrupt + rec2.stale + rec2.interrupted,
+            0,
+            "{fault:?}: healed directory recovers clean: {rec2:?}"
+        );
+        sink.counter(&format!("e23.fault.{}.detected", fault.as_str()), detected);
+        rows.push(vec![
+            fault.as_str().to_owned(),
+            format!("{detected}"),
+            format!("{}", rec.recovered),
+            "0".to_owned(),
+            "yes".to_owned(),
+        ]);
+    }
+    println!(
+        "\n{}",
+        render_table(
+            &["fault", "detected", "recovered", "mis-served", "healed"],
+            &rows
+        )
+    );
+    assert_eq!(
+        faults_detected, faults_injected,
+        "every injected persistence fault must be detected"
+    );
+    println!(
+        "{faults_injected}/{faults_injected} injected faults detected and healed, \
+         0 wrong answers served"
+    );
+    sink.gauge("e23.faults.injected", faults_injected);
+    sink.gauge("e23.faults.detected", faults_detected);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // -- Artifact ------------------------------------------------------------
+    bench_service_merge(&[(
+        "e23",
+        format!(
+            "{{\"faults_injected\": {faults_injected}, \"faults_detected\": {faults_detected}, \
+             \"mis_served\": 0, \"restart_recovered\": {recovered}, \
+             \"warm_hit_rate\": {warm_hit_rate:.2}, \"programs\": {}, \
+             \"test_mode\": {test_mode}}}",
+            reqs.len()
+        ),
+    )]);
 }

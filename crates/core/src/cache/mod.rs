@@ -57,6 +57,10 @@
 //! JSONL trace reproduces the cache report byte-for-byte
 //! ([`render_cache_stats_from_agg`](crate::report::render_cache_stats_from_agg)).
 
+pub mod persist;
+
+pub use persist::{PersistDir, RecoveryReport};
+
 use crate::absval::{AbsClo, AbsKont};
 use crate::cfa::{CfaResult, CpsCfaResult, CpsFlow};
 use crate::domain::Flat;
@@ -71,6 +75,7 @@ use cpsdfa_syntax::Label;
 use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // FNV-1a
@@ -623,6 +628,20 @@ pub struct CacheStats {
     pub entries: u64,
     /// The configured ceiling (gauge).
     pub ceiling_bytes: u64,
+    /// Served answers that passed a sampled certification check.
+    pub certify_ok: u64,
+    /// Served answers a certification check *refuted* (each one is an
+    /// evicted-and-recomputed wrong answer that was never served).
+    pub certify_fail: u64,
+    /// Persisted entries re-admitted by startup recovery.
+    pub persist_recovered: u64,
+    /// Persisted entries dropped by recovery (framing/checksum/decode
+    /// failures plus stale-key mismatches).
+    pub persist_corrupt: u64,
+    /// Bytes of persisted entries evicted after a failed certification.
+    pub persist_evicted_bytes: u64,
+    /// Watch-session ancestors evicted by the deadline-clock TTL.
+    pub session_ttl_evictions: u64,
 }
 
 impl CacheStats {
@@ -651,6 +670,21 @@ impl CacheStats {
         sink.gauge(&format!("{prefix}.bytes"), self.bytes);
         sink.gauge(&format!("{prefix}.entries"), self.entries);
         sink.gauge(&format!("{prefix}.ceiling_bytes"), self.ceiling_bytes);
+        sink.counter(&format!("{prefix}.certify.ok"), self.certify_ok);
+        sink.counter(&format!("{prefix}.certify.fail"), self.certify_fail);
+        sink.counter(
+            &format!("{prefix}.persist.recovered"),
+            self.persist_recovered,
+        );
+        sink.counter(&format!("{prefix}.persist.corrupt"), self.persist_corrupt);
+        sink.counter(
+            &format!("{prefix}.persist.evicted_bytes"),
+            self.persist_evicted_bytes,
+        );
+        sink.counter(
+            &format!("{prefix}.session.ttl_evict"),
+            self.session_ttl_evictions,
+        );
     }
 
     /// Inverts [`emit_into`](CacheStats::emit_into) from an aggregated
@@ -667,6 +701,12 @@ impl CacheStats {
             bytes: g("bytes"),
             entries: g("entries"),
             ceiling_bytes: g("ceiling_bytes"),
+            certify_ok: c("certify.ok"),
+            certify_fail: c("certify.fail"),
+            persist_recovered: c("persist.recovered"),
+            persist_corrupt: c("persist.corrupt"),
+            persist_evicted_bytes: c("persist.evicted_bytes"),
+            session_ttl_evictions: c("session.ttl_evict"),
         }
     }
 }
@@ -716,12 +756,25 @@ const MAX_ANCESTORS: usize = 64;
 /// are O(1) + eviction, so the critical section is tiny next to a solve).
 pub struct FixpointCache {
     entries: FxHashMap<CacheKey, Entry>,
-    /// Session id → (last touch tick, latest fixpoint) for watch mode.
-    ancestors: FxHashMap<u64, (u64, Arc<Ancestor>)>,
+    /// Session id → latest fixpoint slot for watch mode.
+    ancestors: FxHashMap<u64, SessionSlot>,
+    /// Deadline-clock TTL for ancestors; `None` disables expiry.
+    session_ttl: Option<Duration>,
     ceiling_bytes: u64,
     bytes: u64,
     tick: u64,
     stats: CacheStats,
+}
+
+/// One watch session's slot in the ancestor side-table: LRU recency for
+/// the count cap, plus a wall-clock deadline for the TTL. Every touch
+/// refreshes both; a session whose deadline passes is evicted the next
+/// time the table is consulted, so abandoned sessions stop pinning
+/// fixpoints even though nothing ever touches them again.
+struct SessionSlot {
+    last_used: u64,
+    deadline: Option<Instant>,
+    ancestor: Arc<Ancestor>,
 }
 
 impl FixpointCache {
@@ -731,6 +784,7 @@ impl FixpointCache {
         FixpointCache {
             entries: FxHashMap::default(),
             ancestors: FxHashMap::default(),
+            session_ttl: None,
             ceiling_bytes,
             bytes: 0,
             tick: 0,
@@ -838,39 +892,105 @@ impl FixpointCache {
         self.stats().emit_into(sink, "cache");
     }
 
+    /// Removes the entry under `key` (a certify-failure eviction: the
+    /// answer was refuted, so it must not be served again). Counted as an
+    /// eviction. Returns the removed fixpoint, if one was resident.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<Arc<CachedFixpoint>> {
+        let entry = self.entries.remove(key)?;
+        self.bytes = self.bytes.saturating_sub(entry.value.approx_bytes);
+        self.stats.evictions += 1;
+        Some(entry.value)
+    }
+
+    /// Configures the ancestor deadline-clock TTL (`None` disables it).
+    /// Applies to sessions noted from now on; existing deadlines are
+    /// rewritten on their next touch.
+    pub fn set_session_ttl(&mut self, ttl: Option<Duration>) {
+        self.session_ttl = ttl;
+    }
+
+    /// Evicts every ancestor whose deadline has passed, counting each in
+    /// `session.ttl_evict`. Called on the session-table paths, so expiry
+    /// needs no background thread — an abandoned session is reaped the
+    /// next time *any* session traffic consults the table.
+    fn purge_expired_sessions(&mut self) {
+        if self.session_ttl.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let before = self.ancestors.len();
+        self.ancestors
+            .retain(|_, slot| slot.deadline.is_none_or(|d| d > now));
+        self.stats.session_ttl_evictions += (before - self.ancestors.len()) as u64;
+    }
+
     /// Records `session`'s latest fixpoint, replacing any predecessor.
     /// Beyond [`MAX_ANCESTORS`] sessions, the least-recently-touched
     /// session is forgotten (its *content-addressed* entries survive —
     /// only the warm-start shortcut is lost).
     pub fn note_ancestor(&mut self, session: u64, ancestor: Ancestor) {
+        self.purge_expired_sessions();
         self.tick += 1;
-        let tick = self.tick;
+        let slot = SessionSlot {
+            last_used: self.tick,
+            deadline: self.session_ttl.map(|ttl| Instant::now() + ttl),
+            ancestor: Arc::new(ancestor),
+        };
         if self.ancestors.len() >= MAX_ANCESTORS && !self.ancestors.contains_key(&session) {
             if let Some(victim) = self
                 .ancestors
                 .iter()
-                .min_by_key(|(_, (t, _))| *t)
+                .min_by_key(|(_, s)| s.last_used)
                 .map(|(s, _)| *s)
             {
                 self.ancestors.remove(&victim);
             }
         }
-        self.ancestors.insert(session, (tick, Arc::new(ancestor)));
+        self.ancestors.insert(session, slot);
     }
 
-    /// The latest fixpoint noted for `session`, refreshing its recency.
+    /// The latest fixpoint noted for `session`, refreshing its recency and
+    /// TTL deadline. An expired session reads as absent.
     pub fn ancestor(&mut self, session: u64) -> Option<Arc<Ancestor>> {
+        self.purge_expired_sessions();
         self.tick += 1;
         let tick = self.tick;
-        self.ancestors.get_mut(&session).map(|(t, a)| {
-            *t = tick;
-            Arc::clone(a)
+        let deadline = self.session_ttl.map(|ttl| Instant::now() + ttl);
+        self.ancestors.get_mut(&session).map(|slot| {
+            slot.last_used = tick;
+            slot.deadline = deadline;
+            Arc::clone(&slot.ancestor)
         })
+    }
+
+    /// Forgets `session`'s ancestor (certify refuted its fixpoint, or the
+    /// client closed the session). Returns whether one was present.
+    pub fn evict_session(&mut self, session: u64) -> bool {
+        self.ancestors.remove(&session).is_some()
     }
 
     /// Sessions currently remembered.
     pub fn ancestor_count(&self) -> usize {
         self.ancestors.len()
+    }
+
+    /// Counts a passed certification check.
+    pub fn note_certify_ok(&mut self) {
+        self.stats.certify_ok += 1;
+    }
+
+    /// Counts a refuted certification check, optionally charging the disk
+    /// bytes its eviction freed.
+    pub fn note_certify_fail(&mut self, evicted_disk_bytes: u64) {
+        self.stats.certify_fail += 1;
+        self.stats.persist_evicted_bytes += evicted_disk_bytes;
+    }
+
+    /// Folds a startup [`RecoveryReport`] into the persistent-cache
+    /// counters.
+    pub fn note_recovery(&mut self, report: &RecoveryReport) {
+        self.stats.persist_recovered += report.recovered;
+        self.stats.persist_corrupt += report.dropped();
     }
 }
 
@@ -1076,6 +1196,79 @@ mod tests {
     }
 
     #[test]
+    fn remove_frees_bytes_and_counts_an_eviction() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let mut cache = FixpointCache::new(u64::MAX);
+        let key = CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, 11);
+        cache.insert(
+            key,
+            CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(&fresh)),
+                DegradationReport::default(),
+            ),
+        );
+        assert!(cache.remove(&key).is_some());
+        assert!(cache.remove(&key).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.stats().evictions, 1);
+        // The key is insertable again — eviction must not poison it.
+        assert!(cache.insert(
+            key,
+            CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(&fresh)),
+                DegradationReport::default(),
+            ),
+        ));
+    }
+
+    fn dummy_ancestor(fresh: &crate::cfa::CfaResult) -> Ancestor {
+        Ancestor {
+            kind: AnalysisKind::CfaSrc,
+            digest: 1,
+            source: String::new(),
+            fixpoint: Arc::new(CachedFixpoint::new(
+                CachedAnswer::CfaSrc(SendCfa::from_result(fresh)),
+                DegradationReport::default(),
+            )),
+        }
+    }
+
+    #[test]
+    fn expired_sessions_are_reaped_and_counted() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let mut cache = FixpointCache::new(u64::MAX);
+        cache.set_session_ttl(Some(std::time::Duration::from_millis(20)));
+        cache.note_ancestor(1, dummy_ancestor(&fresh));
+        assert!(cache.ancestor(1).is_some(), "fresh session is warm");
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(cache.ancestor(1).is_none(), "expired session reads cold");
+        assert_eq!(cache.ancestor_count(), 0);
+        assert_eq!(cache.stats().session_ttl_evictions, 1);
+        // A touch within the TTL refreshes the deadline.
+        cache.note_ancestor(2, dummy_ancestor(&fresh));
+        std::thread::sleep(std::time::Duration::from_millis(12));
+        assert!(cache.ancestor(2).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(12));
+        assert!(cache.ancestor(2).is_some(), "refreshed deadline holds");
+    }
+
+    #[test]
+    fn without_a_ttl_sessions_never_expire() {
+        let p = AnfProgram::parse("(let (f (lambda (x) x)) (f f))").unwrap();
+        let fresh = zero_cfa(&p).unwrap();
+        let mut cache = FixpointCache::new(u64::MAX);
+        cache.note_ancestor(1, dummy_ancestor(&fresh));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(cache.ancestor(1).is_some());
+        assert!(cache.evict_session(1));
+        assert!(!cache.evict_session(1));
+        assert!(cache.ancestor(1).is_none());
+        assert_eq!(cache.stats().session_ttl_evictions, 0);
+    }
+
+    #[test]
     fn stats_round_trip_through_a_trace_agg() {
         let mut stats = CacheStats {
             hits: 5,
@@ -1086,6 +1279,12 @@ mod tests {
             bytes: 4096,
             entries: 2,
             ceiling_bytes: 1 << 20,
+            certify_ok: 9,
+            certify_fail: 1,
+            persist_recovered: 4,
+            persist_corrupt: 2,
+            persist_evicted_bytes: 512,
+            session_ttl_evictions: 3,
         };
         let mut agg = AggSink::new();
         stats.emit_into(&mut agg, "cache");

@@ -1,0 +1,976 @@
+//! Crash-safe disk persistence for the [`FixpointCache`].
+//!
+//! The in-memory cache (and every watch session's warm-start ancestor)
+//! evaporates on process death; this module spills both to a directory so
+//! a restarted daemon recovers its working set instead of going cold. The
+//! design budget is strict: **a torn, truncated, bit-flipped, or
+//! mis-keyed entry must never become a served answer.** Three layers
+//! enforce that, each catching what the previous cannot:
+//!
+//! 1. **Atomic commit** — every entry is written to a `.tmp` file in the
+//!    same directory and `rename`d into place, so a crash leaves either
+//!    the old state or the new one, never a half-written entry. Stray
+//!    `.tmp` files (a crash between write and rename) are swept and
+//!    counted at recovery.
+//! 2. **Checksummed framing** — an entry is `magic ∥ len ∥ payload ∥
+//!    fnv128(payload)`: an 8-byte magic, a little-endian `u64` payload
+//!    length, the length-prefixed payload itself, and a 128-bit FNV-1a
+//!    checksum over the payload (the same hash family as the cache's
+//!    structural digests). Truncation breaks the length frame; corruption
+//!    breaks the checksum; both drop the entry at recovery.
+//! 3. **Semantic validation** — the payload carries the *source text*
+//!    alongside the key and answer. Recovery re-parses it and re-derives
+//!    the structural digest: a mismatch against the stored key means the
+//!    entry answers some other program (a stale or mis-keyed write) and
+//!    it is dropped. A sample of surviving entries is then pushed through
+//!    [`certify_source`](crate::certify::certify_source), so even a
+//!    checksum-valid entry whose *answer* is wrong for its own source is
+//!    caught before it can be served. (The daemon's `--certify` sampling
+//!    extends the same check to the serve path.)
+//!
+//! The checksum guards against *accidental* corruption; like the cache's
+//! content digests it is not cryptographic, and a deployment that must
+//! resist adversarial tampering of the spill directory needs an
+//! authenticated store (DESIGN.md §11's caveat applies to disk too).
+//!
+//! Fault injection: [`PersistDir::store`] and
+//! [`PersistDir::store_session`] accept an optional [`PersistFault`]
+//! poked from a shared [`PersistFaultPlan`] — the E23 chaos harness and
+//! the persistence tests drive every recovery path above through the real
+//! writer instead of hand-crafting broken files.
+
+use super::{
+    fnv128_bytes, AnalysisKind, Ancestor, ArenaDigests, CacheKey, CachedAnswer, CachedFixpoint,
+    FixpointCache, SendCfa, SendCpsCfa, SendPushdown, FNV128_OFFSET,
+};
+use crate::absval::{AbsClo, AbsKont};
+use crate::cfa::CpsFlow;
+use crate::domain::Flat;
+use crate::faultinject::PersistFault;
+use crate::govern::{DegradationReport, RungAttempt};
+use crate::mfp::DfSummary;
+use crate::pushdown::MatchedReturn;
+use cpsdfa_syntax::arena::TermArena;
+use cpsdfa_syntax::Label;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: module name + format version, newline-terminated so a
+/// `head -c8` of an entry is self-describing.
+const MAGIC: &[u8; 8] = b"CPSDFA1\n";
+
+/// Rung names a persisted key may carry. Interning back to `&'static str`
+/// keeps [`CacheKey`]'s content-equality semantics; an unknown rung means
+/// the entry was written by an incompatible build and is dropped as
+/// corrupt rather than leaked into the key space.
+fn intern_rung(name: &str) -> Option<&'static str> {
+    [
+        "cfa.src",
+        "cfa.src.seq",
+        "cfa.cps",
+        "cfa.cps.seq",
+        "cfa.pushdown",
+        "cfa.pushdown.seq",
+        "mfp.flat",
+        "mfp.flat.seq",
+        "warm",
+    ]
+    .into_iter()
+    .find(|&known| known == name)
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+//
+// A small, explicit binary codec: every variable-length field is
+// count-prefixed with a little-endian u64, every scalar has a fixed width,
+// and every enum is a tag byte — so the payload is prefix-free and the
+// decoder can bounds-check each read against the framed length.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_label(out: &mut Vec<u8>, l: Label) {
+    put_u32(out, l.index());
+}
+
+fn put_clo(out: &mut Vec<u8>, c: AbsClo) {
+    match c {
+        AbsClo::Inc => out.push(0),
+        AbsClo::Dec => out.push(1),
+        AbsClo::Lam(l) => {
+            out.push(2);
+            put_label(out, l);
+        }
+    }
+}
+
+fn put_kont(out: &mut Vec<u8>, k: AbsKont) {
+    match k {
+        AbsKont::Stop => out.push(0),
+        AbsKont::Co(l) => {
+            out.push(1);
+            put_label(out, l);
+        }
+    }
+}
+
+fn put_flow(out: &mut Vec<u8>, f: CpsFlow) {
+    match f {
+        CpsFlow::Clo(c) => {
+            out.push(0);
+            put_clo(out, c);
+        }
+        CpsFlow::Kont(k) => {
+            out.push(1);
+            put_kont(out, k);
+        }
+    }
+}
+
+fn put_set<T: Copy>(out: &mut Vec<u8>, set: &BTreeSet<T>, mut put: impl FnMut(&mut Vec<u8>, T)) {
+    put_u64(out, set.len() as u64);
+    for &v in set {
+        put(out, v);
+    }
+}
+
+fn put_table<T: Copy>(
+    out: &mut Vec<u8>,
+    table: &[(Label, BTreeSet<T>)],
+    mut put: impl FnMut(&mut Vec<u8>, T),
+) {
+    put_u64(out, table.len() as u64);
+    for (l, set) in table {
+        put_label(out, *l);
+        put_set(out, set, &mut put);
+    }
+}
+
+fn put_answer(out: &mut Vec<u8>, answer: &CachedAnswer) {
+    match answer {
+        CachedAnswer::CfaSrc(r) => {
+            out.push(0);
+            put_u64(out, r.vars.len() as u64);
+            for set in &r.vars {
+                put_set(out, set, put_clo);
+            }
+            put_table(out, &r.terms, put_clo);
+            put_table(out, &r.calls, put_clo);
+            put_u64(out, r.iterations);
+        }
+        CachedAnswer::CfaCps(r) => {
+            out.push(1);
+            put_u64(out, r.vars.len() as u64);
+            for set in &r.vars {
+                put_set(out, set, put_flow);
+            }
+            put_table(out, &r.returns, put_kont);
+            put_table(out, &r.calls, put_clo);
+            put_u64(out, r.iterations);
+        }
+        CachedAnswer::CfaPushdown(r) => {
+            out.push(2);
+            put_u64(out, r.vars.len() as u64);
+            for set in &r.vars {
+                put_set(out, set, put_flow);
+            }
+            put_table(out, &r.returns, put_kont);
+            put_table(out, &r.calls, put_clo);
+            put_u64(out, r.matched.len() as u64);
+            for m in &r.matched {
+                put_label(out, m.ret_site);
+                put_label(out, m.callee);
+                put_label(out, m.call_site);
+                put_label(out, m.cont);
+            }
+            put_u64(out, r.summaries);
+            put_u64(out, r.iterations);
+        }
+        CachedAnswer::MfpFlat(s) => {
+            out.push(3);
+            put_u64(out, s.vars.len() as u64);
+            for v in &s.vars {
+                match v {
+                    Flat::Bot => out.push(0),
+                    Flat::Const(n) => {
+                        out.push(1);
+                        put_i64(out, *n);
+                    }
+                    Flat::Top => out.push(2),
+                }
+            }
+        }
+    }
+}
+
+fn encode_entry_payload(key: &CacheKey, source: &str, fixpoint: &CachedFixpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(source.len() + 256);
+    out.push(
+        AnalysisKind::ALL
+            .iter()
+            .position(|k| *k == key.kind)
+            .expect("kind in ALL") as u8,
+    );
+    put_u64(&mut out, key.shards as u64);
+    put_u128(&mut out, key.digest);
+    put_str(&mut out, key.rung);
+    put_str(&mut out, source);
+    put_answer(&mut out, &fixpoint.answer);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked read cursor; every decode error collapses to `None`
+/// and the entry is counted corrupt.
+struct Cur<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.p.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.p..end];
+        self.p = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A count prefix, sanity-capped so a corrupt length cannot ask for an
+    /// allocation larger than the remaining bytes could possibly encode.
+    fn count(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).ok()?;
+        if n > self.b.len().saturating_sub(self.p) {
+            return None;
+        }
+        Some(n)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.count()?;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn label(&mut self) -> Option<Label> {
+        Some(Label::new(self.u32()?))
+    }
+
+    fn clo(&mut self) -> Option<AbsClo> {
+        match self.u8()? {
+            0 => Some(AbsClo::Inc),
+            1 => Some(AbsClo::Dec),
+            2 => Some(AbsClo::Lam(self.label()?)),
+            _ => None,
+        }
+    }
+
+    fn kont(&mut self) -> Option<AbsKont> {
+        match self.u8()? {
+            0 => Some(AbsKont::Stop),
+            1 => Some(AbsKont::Co(self.label()?)),
+            _ => None,
+        }
+    }
+
+    fn flow(&mut self) -> Option<CpsFlow> {
+        match self.u8()? {
+            0 => Some(CpsFlow::Clo(self.clo()?)),
+            1 => Some(CpsFlow::Kont(self.kont()?)),
+            _ => None,
+        }
+    }
+
+    fn set<T: Ord>(&mut self, mut get: impl FnMut(&mut Self) -> Option<T>) -> Option<BTreeSet<T>> {
+        let n = self.count()?;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(get(self)?);
+        }
+        Some(set)
+    }
+
+    fn sets<T: Ord>(
+        &mut self,
+        mut get: impl FnMut(&mut Self) -> Option<T>,
+    ) -> Option<Vec<BTreeSet<T>>> {
+        let n = self.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.set(&mut get)?);
+        }
+        Some(out)
+    }
+
+    fn table<T: Ord>(
+        &mut self,
+        mut get: impl FnMut(&mut Self) -> Option<T>,
+    ) -> Option<Vec<(Label, BTreeSet<T>)>> {
+        let n = self.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = self.label()?;
+            out.push((l, self.set(&mut get)?));
+        }
+        Some(out)
+    }
+
+    fn answer(&mut self) -> Option<CachedAnswer> {
+        match self.u8()? {
+            0 => Some(CachedAnswer::CfaSrc(SendCfa {
+                vars: self.sets(Cur::clo)?,
+                terms: self.table(Cur::clo)?,
+                calls: self.table(Cur::clo)?,
+                iterations: self.u64()?,
+            })),
+            1 => Some(CachedAnswer::CfaCps(SendCpsCfa {
+                vars: self.sets(Cur::flow)?,
+                returns: self.table(Cur::kont)?,
+                calls: self.table(Cur::clo)?,
+                iterations: self.u64()?,
+            })),
+            2 => {
+                let vars = self.sets(Cur::flow)?;
+                let returns = self.table(Cur::kont)?;
+                let calls = self.table(Cur::clo)?;
+                let n = self.count()?;
+                let mut matched = Vec::with_capacity(n);
+                for _ in 0..n {
+                    matched.push(MatchedReturn {
+                        ret_site: self.label()?,
+                        callee: self.label()?,
+                        call_site: self.label()?,
+                        cont: self.label()?,
+                    });
+                }
+                Some(CachedAnswer::CfaPushdown(SendPushdown {
+                    vars,
+                    returns,
+                    calls,
+                    matched,
+                    summaries: self.u64()?,
+                    iterations: self.u64()?,
+                }))
+            }
+            3 => {
+                let n = self.count()?;
+                let mut vars = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vars.push(match self.u8()? {
+                        0 => Flat::Bot,
+                        1 => Flat::Const(self.i64()?),
+                        2 => Flat::Top,
+                        _ => return None,
+                    });
+                }
+                Some(CachedAnswer::MfpFlat(DfSummary { vars }))
+            }
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.p == self.b.len()
+    }
+}
+
+fn decode_entry_payload(payload: &[u8]) -> Option<(CacheKey, String, CachedAnswer)> {
+    let mut cur = Cur { b: payload, p: 0 };
+    let kind = *AnalysisKind::ALL.get(cur.u8()? as usize)?;
+    let shards = usize::try_from(cur.u64()?).ok()?;
+    let digest = cur.u128()?;
+    let rung = intern_rung(&cur.str()?)?;
+    let source = cur.str()?;
+    let answer = cur.answer()?;
+    if !cur.done() {
+        return None;
+    }
+    Some((
+        CacheKey {
+            kind,
+            shards,
+            digest,
+            rung,
+        },
+        source,
+        answer,
+    ))
+}
+
+/// Recovery cannot know the original run's governance history — the report
+/// is not persisted (the serve path never reads it on hits) — so it
+/// synthesizes a single clean attempt on the producing rung.
+fn recovered_report(rung: &'static str) -> DegradationReport {
+    DegradationReport {
+        attempts: vec![RungAttempt {
+            rung,
+            error: None,
+            charged: 0,
+        }],
+        ..DegradationReport::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 8 + payload.len() + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv128_bytes(FNV128_OFFSET, payload).to_le_bytes());
+    out
+}
+
+fn unframe(bytes: &[u8]) -> Option<&[u8]> {
+    let rest = bytes.strip_prefix(MAGIC.as_slice())?;
+    if rest.len() < 8 + 16 {
+        return None;
+    }
+    let len = usize::try_from(u64::from_le_bytes(rest[..8].try_into().ok()?)).ok()?;
+    let rest = &rest[8..];
+    if rest.len() != len + 16 {
+        return None;
+    }
+    let (payload, sum) = rest.split_at(len);
+    let want = u128::from_le_bytes(sum.try_into().ok()?);
+    if fnv128_bytes(FNV128_OFFSET, payload) != want {
+        return None;
+    }
+    Some(payload)
+}
+
+// ---------------------------------------------------------------------------
+// The directory
+// ---------------------------------------------------------------------------
+
+/// What a [`PersistDir::recover`] scan found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries that passed every check and were re-admitted to the cache.
+    pub recovered: u64,
+    /// Entries dropped for framing, checksum, or decode failures (the
+    /// files are deleted).
+    pub corrupt: u64,
+    /// Entries whose re-derived source digest did not match their key —
+    /// mis-keyed or stale writes, deleted.
+    pub stale: u64,
+    /// Stray `.tmp` files from interrupted commits, swept.
+    pub interrupted: u64,
+    /// Recovered entries additionally pushed through certification.
+    pub certified: u64,
+    /// Payload bytes (cache-accounting estimate) re-admitted.
+    pub bytes: u64,
+    /// Watch-session ancestors re-admitted.
+    pub sessions: u64,
+}
+
+impl RecoveryReport {
+    /// Entries dropped for any reason (what `persist.corrupt` counts).
+    pub fn dropped(&self) -> u64 {
+        self.corrupt + self.stale
+    }
+}
+
+/// A spill directory of checksummed, atomically-committed cache entries —
+/// one file per [`CacheKey`], plus a `sessions/` journal of watch-session
+/// ancestors.
+///
+/// All methods take `&self` and are safe to call from multiple service
+/// workers: commits go through write-temp + rename (with a per-write
+/// unique temp name), so concurrent stores of the same key settle on one
+/// winner and never interleave bytes.
+#[derive(Debug, Clone)]
+pub struct PersistDir {
+    root: PathBuf,
+}
+
+impl PersistDir {
+    /// Opens (creating if needed) a spill directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<PersistDir> {
+        let root = root.into();
+        fs::create_dir_all(root.join("sessions"))?;
+        Ok(PersistDir { root })
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(format!(
+            "{}-{}-{:032x}-{}.entry",
+            key.kind.as_str(),
+            key.shards,
+            key.digest,
+            key.rung
+        ))
+    }
+
+    fn session_path(&self, session: u64) -> PathBuf {
+        self.root.join("sessions").join(format!("{session}.entry"))
+    }
+
+    /// Atomically commits `bytes` at `path`, injecting `fault` if armed.
+    /// Returns `false` when the commit did not land (kill-before-rename).
+    fn commit(&self, path: &Path, bytes: &[u8], fault: Option<PersistFault>) -> io::Result<bool> {
+        let mut bytes = bytes.to_vec();
+        if fault == Some(PersistFault::BitFlip) {
+            // Flip one payload bit, deterministically mid-file: past the
+            // magic and length frame, so the checksum — not the framing —
+            // is what catches it.
+            let at = MAGIC.len() + 8 + (bytes.len() - MAGIC.len() - 8 - 16) / 2;
+            bytes[at] ^= 0x10;
+        }
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{:x}",
+            std::process::id(),
+            fnv128_bytes(FNV128_OFFSET, path.as_os_str().as_encoded_bytes()) as u64
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        if fault == Some(PersistFault::KillBeforeRename) {
+            // Simulated crash: the temp file is left behind for recovery
+            // to sweep; the entry never becomes visible.
+            return Ok(false);
+        }
+        fs::rename(&tmp, path)?;
+        if fault == Some(PersistFault::TruncateTail) {
+            let keep = bytes.len() as u64 / 2;
+            fs::OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(keep)?;
+        }
+        Ok(true)
+    }
+
+    /// Spills one cache entry. Returns `true` when the entry landed on
+    /// disk (an injected [`PersistFault::KillBeforeRename`] makes it
+    /// `Ok(false)`; other faults land a *damaged* entry, which is the
+    /// point).
+    pub fn store(
+        &self,
+        key: &CacheKey,
+        source: &str,
+        fixpoint: &CachedFixpoint,
+        fault: Option<PersistFault>,
+    ) -> io::Result<bool> {
+        let mut key = *key;
+        if fault == Some(PersistFault::StaleKey) {
+            // Commit under a digest that does not match the entry's own
+            // source: recovery's re-digest check must catch and drop it.
+            key.digest = key.digest.wrapping_add(1);
+        }
+        let payload = encode_entry_payload(&key, source, fixpoint);
+        self.commit(&self.entry_path(&key), &frame(payload.as_slice()), fault)
+    }
+
+    /// Deletes the spilled entry for `key`, returning the file size freed
+    /// (0 when nothing was on disk) — the certify-eviction path.
+    pub fn remove(&self, key: &CacheKey) -> u64 {
+        let path = self.entry_path(key);
+        let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        match fs::remove_file(&path) {
+            Ok(()) => bytes,
+            Err(_) => 0,
+        }
+    }
+
+    /// Journals a watch session's latest committed fixpoint, replacing any
+    /// predecessor — the warm-start seed a restarted daemon recovers.
+    pub fn store_session(
+        &self,
+        session: u64,
+        ancestor: &Ancestor,
+        fault: Option<PersistFault>,
+    ) -> io::Result<bool> {
+        let key = CacheKey {
+            kind: ancestor.kind,
+            shards: 0,
+            digest: ancestor.digest,
+            rung: "warm",
+        };
+        let mut payload = Vec::new();
+        put_u64(&mut payload, session);
+        payload.extend_from_slice(&encode_entry_payload(
+            &key,
+            &ancestor.source,
+            &ancestor.fixpoint,
+        ));
+        self.commit(&self.session_path(session), &frame(&payload), fault)
+    }
+
+    /// Drops a session's journal entry (TTL or certify eviction).
+    pub fn remove_session(&self, session: u64) {
+        let _ = fs::remove_file(self.session_path(session));
+    }
+
+    /// Scans the directory, re-admitting every valid entry into `cache`
+    /// and deleting everything invalid. Up to `certify_sample` recovered
+    /// entries are additionally certified against their own source — a
+    /// checksum-valid entry whose answer fails certification is dropped
+    /// like any other corruption.
+    pub fn recover(&self, cache: &mut FixpointCache, certify_sample: usize) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let mut arena = TermArena::new();
+        let mut digests = ArenaDigests::new();
+        let mut entries: Vec<PathBuf> = Vec::new();
+        let mut sessions: Vec<PathBuf> = Vec::new();
+        for dir in [self.root.clone(), self.root.join("sessions")] {
+            let Ok(iter) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for path in iter.flatten().map(|e| e.path()) {
+                if !path.is_file() {
+                    continue;
+                }
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.contains(".tmp") {
+                    report.interrupted += 1;
+                    let _ = fs::remove_file(&path);
+                } else if name.ends_with(".entry") {
+                    if dir.ends_with("sessions") {
+                        sessions.push(path);
+                    } else {
+                        entries.push(path);
+                    }
+                }
+            }
+        }
+        // Deterministic admission order, so LRU state after recovery does
+        // not depend on directory iteration order.
+        entries.sort();
+        sessions.sort();
+        for path in entries {
+            match self.load_entry(&path, &mut arena, &mut digests, &mut report, certify_sample) {
+                Some((key, fixpoint)) => {
+                    let bytes = fixpoint.approx_bytes;
+                    if cache.insert(key, fixpoint) {
+                        report.recovered += 1;
+                        report.bytes += bytes;
+                    }
+                }
+                None => {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        for path in sessions {
+            match self.load_session(&path, &mut arena, &mut digests, &mut report) {
+                Some((session, ancestor)) => {
+                    cache.note_ancestor(session, ancestor);
+                    report.sessions += 1;
+                }
+                None => {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        report
+    }
+
+    /// Validates one entry file end to end; `None` means delete it.
+    fn load_entry(
+        &self,
+        path: &Path,
+        arena: &mut TermArena,
+        digests: &mut ArenaDigests,
+        report: &mut RecoveryReport,
+        certify_sample: usize,
+    ) -> Option<(CacheKey, CachedFixpoint)> {
+        let bytes = fs::read(path).ok()?;
+        let Some(payload) = unframe(&bytes) else {
+            report.corrupt += 1;
+            return None;
+        };
+        let Some((key, source, answer)) = decode_entry_payload(payload) else {
+            report.corrupt += 1;
+            return None;
+        };
+        let fresh_digest = arena
+            .parse(&source)
+            .ok()
+            .map(|id| digests.term_digest(arena, id));
+        if fresh_digest != Some(key.digest) {
+            report.stale += 1;
+            return None;
+        }
+        if report.certified < certify_sample as u64 {
+            report.certified += 1;
+            if crate::certify::certify_source(&source, &answer).is_err() {
+                report.corrupt += 1;
+                return None;
+            }
+        }
+        Some((key, CachedFixpoint::new(answer, recovered_report(key.rung))))
+    }
+
+    /// Validates one session journal file; `None` means delete it.
+    fn load_session(
+        &self,
+        path: &Path,
+        arena: &mut TermArena,
+        digests: &mut ArenaDigests,
+        report: &mut RecoveryReport,
+    ) -> Option<(u64, Ancestor)> {
+        let bytes = fs::read(path).ok()?;
+        let Some(payload) = unframe(&bytes) else {
+            report.corrupt += 1;
+            return None;
+        };
+        if payload.len() < 8 {
+            report.corrupt += 1;
+            return None;
+        }
+        let session = u64::from_le_bytes(payload[..8].try_into().ok()?);
+        let Some((key, source, answer)) = decode_entry_payload(&payload[8..]) else {
+            report.corrupt += 1;
+            return None;
+        };
+        let fresh_digest = arena
+            .parse(&source)
+            .ok()
+            .map(|id| digests.term_digest(arena, id));
+        if fresh_digest != Some(key.digest) {
+            report.stale += 1;
+            return None;
+        }
+        Some((
+            session,
+            Ancestor {
+                kind: key.kind,
+                digest: key.digest,
+                source,
+                fixpoint: Arc::new(CachedFixpoint::new(answer, recovered_report(key.rung))),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::debug_digest;
+    use crate::cfa::{zero_cfa, zero_cfa_cps};
+    use crate::mfp::Cfg;
+    use crate::solver::SolverMode;
+    use cpsdfa_anf::AnfProgram;
+    use cpsdfa_cps::CpsProgram;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cpsdfa-persist-{tag}-{}-{:x}",
+            std::process::id(),
+            debug_digest(&tag)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fixture(src: &str) -> (CacheKey, CachedFixpoint) {
+        let p = AnfProgram::parse(src).unwrap();
+        let mut arena = TermArena::new();
+        let id = arena.parse(src).unwrap();
+        let digest = ArenaDigests::new().term_digest(&arena, id);
+        let key = CacheKey::full(AnalysisKind::CfaSrc, SolverMode::Seq, digest);
+        let fixpoint = CachedFixpoint::new(
+            CachedAnswer::CfaSrc(SendCfa::from_result(&zero_cfa(&p).unwrap())),
+            DegradationReport::default(),
+        );
+        (key, fixpoint)
+    }
+
+    const SRC: &str = "(let (f (lambda (x) x)) (f f))";
+
+    #[test]
+    fn all_answer_kinds_round_trip_through_the_codec() {
+        let p = AnfProgram::parse("(let (c (if0 0 1 2)) (add1 c))").unwrap();
+        let cps = CpsProgram::from_anf(&p);
+        let cfg = Cfg::from_first_order(&p).unwrap();
+        let answers = [
+            CachedAnswer::CfaSrc(SendCfa::from_result(&zero_cfa(&p).unwrap())),
+            CachedAnswer::CfaCps(SendCpsCfa::from_result(&zero_cfa_cps(&cps).unwrap())),
+            CachedAnswer::CfaPushdown(SendPushdown::from_result(
+                &crate::pushdown::pushdown_cfa(&cps).unwrap(),
+            )),
+            CachedAnswer::MfpFlat(cfg.solve_mfp::<Flat>(cfg.initial_env(&p)).unwrap()),
+        ];
+        for answer in answers {
+            let key = CacheKey {
+                kind: answer.kind(),
+                shards: 2,
+                digest: 0xfeed,
+                rung: answer.kind().full_rung(),
+            };
+            let fixpoint = CachedFixpoint::new(answer.clone(), DegradationReport::default());
+            let payload = encode_entry_payload(&key, "(src)", &fixpoint);
+            let (k2, s2, a2) = decode_entry_payload(&payload).expect("decodes");
+            assert_eq!(k2, key);
+            assert_eq!(s2, "(src)");
+            assert_eq!(a2, answer, "lossless round-trip");
+        }
+    }
+
+    #[test]
+    fn store_then_recover_round_trips_and_preserves_digest() {
+        let dir = tmpdir("roundtrip");
+        let persist = PersistDir::open(&dir).unwrap();
+        let (key, fixpoint) = fixture(SRC);
+        assert!(persist.store(&key, SRC, &fixpoint, None).unwrap());
+        let mut cache = FixpointCache::new(u64::MAX);
+        let report = persist.recover(&mut cache, 8);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.certified, 1);
+        assert!(report.bytes > 0);
+        let hit = cache.lookup(&key).expect("recovered entry serves");
+        assert_eq!(hit.answer_digest, fixpoint.answer_digest);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_injected_fault_is_detected_and_healed() {
+        for fault in PersistFault::ALL {
+            let dir = tmpdir(fault.as_str());
+            let persist = PersistDir::open(&dir).unwrap();
+            let (key, fixpoint) = fixture(SRC);
+            let landed = persist.store(&key, SRC, &fixpoint, Some(fault)).unwrap();
+            assert_eq!(landed, fault != PersistFault::KillBeforeRename);
+            let mut cache = FixpointCache::new(u64::MAX);
+            let report = persist.recover(&mut cache, 8);
+            assert_eq!(report.recovered, 0, "{fault:?}: damaged entry served");
+            assert!(
+                cache.lookup(&key).is_none(),
+                "{fault:?}: damaged entry reached the cache"
+            );
+            match fault {
+                PersistFault::KillBeforeRename => assert_eq!(report.interrupted, 1, "{fault:?}"),
+                PersistFault::TruncateTail | PersistFault::BitFlip => {
+                    assert_eq!(report.corrupt, 1, "{fault:?}")
+                }
+                PersistFault::StaleKey => assert_eq!(report.stale, 1, "{fault:?}"),
+            }
+            // Healed: the next recovery scan finds a clean directory.
+            let second = persist.recover(&mut FixpointCache::new(u64::MAX), 8);
+            assert_eq!(second, RecoveryReport::default(), "{fault:?}: not healed");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn certify_sample_drops_a_wrong_answer_with_a_valid_checksum() {
+        // Key + source of program A, answer of program B: framing and
+        // digest checks pass, only certification can catch it.
+        let dir = tmpdir("poison");
+        let persist = PersistDir::open(&dir).unwrap();
+        let (key, _) = fixture(SRC);
+        let other = "(let (g (lambda (y) (g y))) (g add1))";
+        let (_, wrong) = fixture(other);
+        assert!(persist.store(&key, SRC, &wrong, None).unwrap());
+        let mut cache = FixpointCache::new(u64::MAX);
+        let report = persist.recover(&mut cache, 8);
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.corrupt, 1);
+        assert!(cache.lookup(&key).is_none());
+        // Without sampling the poisoned entry would have been admitted —
+        // the serve-path `--certify` check is the remaining net.
+        assert!(persist.store(&key, SRC, &wrong, None).unwrap());
+        let report = persist.recover(&mut FixpointCache::new(u64::MAX), 0);
+        assert_eq!((report.recovered, report.certified), (1, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_journal_round_trips_an_ancestor() {
+        let dir = tmpdir("sessions");
+        let persist = PersistDir::open(&dir).unwrap();
+        let (key, fixpoint) = fixture(SRC);
+        let ancestor = Ancestor {
+            kind: key.kind,
+            digest: key.digest,
+            source: SRC.to_string(),
+            fixpoint: Arc::new(fixpoint),
+        };
+        assert!(persist.store_session(17, &ancestor, None).unwrap());
+        let mut cache = FixpointCache::new(u64::MAX);
+        let report = persist.recover(&mut cache, 8);
+        assert_eq!(report.sessions, 1);
+        let back = cache.ancestor(17).expect("session recovered");
+        assert_eq!(back.digest, ancestor.digest);
+        assert_eq!(back.source, ancestor.source);
+        assert_eq!(back.fixpoint.answer_digest, ancestor.fixpoint.answer_digest);
+        // remove_session heals the journal.
+        persist.remove_session(17);
+        let report = persist.recover(&mut FixpointCache::new(u64::MAX), 8);
+        assert_eq!(report.sessions, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_frees_the_entry_and_reports_bytes() {
+        let dir = tmpdir("remove");
+        let persist = PersistDir::open(&dir).unwrap();
+        let (key, fixpoint) = fixture(SRC);
+        assert!(persist.store(&key, SRC, &fixpoint, None).unwrap());
+        assert!(persist.remove(&key) > 0);
+        assert_eq!(persist.remove(&key), 0, "second remove is a no-op");
+        let report = persist.recover(&mut FixpointCache::new(u64::MAX), 8);
+        assert_eq!(report, RecoveryReport::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::budget::AnalysisError;
 use crate::govern::CancelToken;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What an armed [`FaultPlan`] does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +155,111 @@ impl FaultPlan {
     }
 }
 
+/// What a [`PersistFaultPlan`] does to the next scheduled persisted-cache
+/// write — the disk-side counterpart of [`FaultKind`], modelling the
+/// failure classes a crash-safe store must survive (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistFault {
+    /// The process "dies" after writing the temp file but before the
+    /// atomic rename: the entry is never committed, only a stray `.tmp`
+    /// file remains for recovery to sweep up.
+    KillBeforeRename,
+    /// The committed file loses its tail (torn write / truncated volume):
+    /// the length-prefixed framing no longer covers the payload.
+    TruncateTail,
+    /// One bit of the committed payload flips (media corruption): the
+    /// FNV-128 checksum no longer matches.
+    BitFlip,
+    /// The entry is committed under a key whose digest does not match its
+    /// own source text (an alignment bug, or an entry surviving a key
+    /// schema change): recovery's re-digest check must drop it as stale.
+    StaleKey,
+}
+
+impl PersistFault {
+    /// All four persistence fault kinds, for exhaustive chaos sweeps.
+    pub const ALL: [PersistFault; 4] = [
+        PersistFault::KillBeforeRename,
+        PersistFault::TruncateTail,
+        PersistFault::BitFlip,
+        PersistFault::StaleKey,
+    ];
+
+    /// The trace / chaos-report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PersistFault::KillBeforeRename => "kill_before_rename",
+            PersistFault::TruncateTail => "truncate_tail",
+            PersistFault::BitFlip => "bit_flip",
+            PersistFault::StaleKey => "stale_key",
+        }
+    }
+}
+
+/// A one-shot persistence fault scheduled at a specific cumulative store
+/// count.
+///
+/// Unlike [`FaultPlan`], which lives on a single solver thread, this plan
+/// is shared (behind an `Arc`) by every service worker that spills entries
+/// to disk, so its armed/fired state is atomic: exactly one store across
+/// all workers takes the fault, no matter how commits interleave.
+#[derive(Debug)]
+pub struct PersistFaultPlan {
+    kind: PersistFault,
+    at_store: u64,
+    seen: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl PersistFaultPlan {
+    /// A plan that injects `kind` into the `at_store`-th persisted write
+    /// (1-based; `at_store = 0` fires on the first write).
+    pub fn new(kind: PersistFault, at_store: u64) -> Self {
+        PersistFaultPlan {
+            kind,
+            at_store: at_store.max(1),
+            seen: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A reproducible plan derived from `seed`: one splitmix64 step picks
+    /// the kind, another the store number in `1..=max_store`.
+    pub fn from_seed(seed: u64, max_store: u64) -> Self {
+        let r = splitmix64(seed);
+        let kind = PersistFault::ALL[(r % 4) as usize];
+        PersistFaultPlan::new(kind, 1 + splitmix64(r) % max_store.max(1))
+    }
+
+    /// The scheduled fault kind.
+    pub fn kind(&self) -> PersistFault {
+        self.kind
+    }
+
+    /// The cumulative store count the fault is scheduled at.
+    pub fn at_store(&self) -> u64 {
+        self.at_store
+    }
+
+    /// Whether the fault has already been taken (plans are one-shot).
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// The store-path hook: counts this write and, when it is the
+    /// scheduled one and the plan has not fired yet, returns the fault the
+    /// writer must inject. The swap makes the one-shot race-free: exactly
+    /// one caller ever sees `Some`.
+    pub fn poke(&self) -> Option<PersistFault> {
+        let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.at_store && !self.fired.swap(true, Ordering::SeqCst) {
+            Some(self.kind)
+        } else {
+            None
+        }
+    }
+}
+
 /// One splitmix64 step — the standard 64-bit seed scrambler; enough
 /// structure-free mixing for fault schedules without pulling in a RNG
 /// crate dependency on the library path.
@@ -215,6 +321,37 @@ mod tests {
             kinds.insert(format!("{:?}", a.kind()));
             let r = FaultPlan::from_seed_recoverable(seed, 100);
             assert_ne!(r.kind(), FaultKind::Cancel);
+        }
+        assert_eq!(kinds.len(), 4, "64 seeds should cover all four kinds");
+    }
+
+    #[test]
+    fn persist_plan_fires_exactly_once_across_threads() {
+        let plan = std::sync::Arc::new(PersistFaultPlan::new(PersistFault::BitFlip, 5));
+        let hits: usize = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let plan = std::sync::Arc::clone(&plan);
+                    s.spawn(move || (0..10).filter(|_| plan.poke().is_some()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(hits, 1, "exactly one store takes the fault");
+        assert!(plan.has_fired());
+    }
+
+    #[test]
+    fn seeded_persist_plans_are_deterministic_and_cover_all_kinds() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            let a = PersistFaultPlan::from_seed(seed, 20);
+            let b = PersistFaultPlan::from_seed(seed, 20);
+            assert_eq!((a.kind(), a.at_store()), (b.kind(), b.at_store()));
+            assert!((1..=20).contains(&a.at_store()));
+            kinds.insert(a.kind().as_str());
         }
         assert_eq!(kinds.len(), 4, "64 seeds should cover all four kinds");
     }

@@ -49,6 +49,7 @@
 pub mod absval;
 pub mod budget;
 pub mod cache;
+pub mod certify;
 pub mod cfa;
 pub mod deltae;
 pub mod direct;
@@ -78,10 +79,14 @@ pub use absval::{AbsAnswer, AbsClo, AbsKont, AbsStore, AbsVal, CAbsAnswer, CAbsS
 pub use budget::{AnalysisBudget, AnalysisError};
 pub use cache::{
     AnalysisKind, Ancestor, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint,
-    FixpointCache, SendCfa, SendCpsCfa, SendPushdown,
+    FixpointCache, PersistDir, RecoveryReport, SendCfa, SendCpsCfa, SendPushdown,
+};
+pub use certify::{
+    certify_answer, certify_cfa_cps, certify_cfa_src, certify_mfp, certify_pushdown,
+    certify_source, Certificate, Refutation,
 };
 pub use direct::{DirectAnalyzer, DirectResult};
-pub use faultinject::{FaultKind, FaultPlan};
+pub use faultinject::{FaultKind, FaultPlan, PersistFault, PersistFaultPlan};
 pub use flow::FlowLog;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use govern::{

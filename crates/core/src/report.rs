@@ -208,6 +208,7 @@ mod tests {
             bytes: 65536,
             entries: 5,
             ceiling_bytes: 1 << 20,
+            ..CacheStats::default()
         };
         let live = render_cache_stats("service", &stats);
         assert!(live.contains("84% hit rate"));

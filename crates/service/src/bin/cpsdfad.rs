@@ -4,6 +4,7 @@
 //! ```text
 //! cpsdfad [--workers N] [--cache-bytes N] [--max-queue N] [--capacity N]
 //!         [--budget N] [--deadline-ms N] [--no-cache] [--trace PATH]
+//!         [--persist-dir PATH] [--certify N] [--session-ttl-ms N]
 //! ```
 //!
 //! Request lines look like
@@ -12,17 +13,27 @@
 //! `request_budget`, `deadline_ms`, and `session` — requests sharing a
 //! session id form an edit stream whose steps warm-start from the
 //! session's previous fixpoint). Control lines: `{"cmd": "stats"}`,
-//! `{"cmd": "shutdown"}`. Responses correlate by `id` and may complete
-//! out of order.
+//! `{"cmd": "health"}`, `{"cmd": "shutdown"}`. Responses correlate by `id`
+//! and may complete out of order.
+//!
+//! `--persist-dir` makes the cache crash-safe: answers spill to a
+//! directory of checksummed, atomically-committed entries, recovered (and
+//! re-verified) on the next start. `--certify N` independently re-checks
+//! every Nth cached/warm answer against a re-derived constraint system
+//! before serving it (1 = certify everything); refuted entries are evicted
+//! and recomputed, never served. `--session-ttl-ms` bounds how long an
+//! idle watch session keeps its warm-start state (0 = no TTL).
 
 use cpsdfa_core::JsonlSink;
 use cpsdfa_service::{AnalysisService, ServiceConfig};
 use std::io::{self, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "cpsdfad: analysis daemon (JSONL on stdin/stdout)\n\
                      flags: --workers N --cache-bytes N --max-queue N --capacity N\n\
-                     \x20      --budget N --deadline-ms N --no-cache --trace PATH";
+                     \x20      --budget N --deadline-ms N --no-cache --trace PATH\n\
+                     \x20      --persist-dir PATH --certify N --session-ttl-ms N";
 
 fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
@@ -65,6 +76,21 @@ fn main() -> ExitCode {
                 config.cache_enabled = false;
                 Ok(())
             }
+            "--persist-dir" => value("--persist-dir").map(|v| {
+                config.persist_dir = Some(v.into());
+            }),
+            "--certify" => value("--certify").and_then(|v| {
+                v.parse()
+                    .map(|n| config.certify_sample = n)
+                    .map_err(|e| format!("--certify: {e}"))
+            }),
+            "--session-ttl-ms" => value("--session-ttl-ms").and_then(|v| {
+                v.parse()
+                    .map(|n: u64| {
+                        config.session_ttl = (n > 0).then(|| Duration::from_millis(n));
+                    })
+                    .map_err(|e| format!("--session-ttl-ms: {e}"))
+            }),
             "--trace" => value("--trace").map(|v| trace_path = Some(v)),
             "--help" | "-h" => {
                 println!("{USAGE}");

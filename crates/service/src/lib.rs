@@ -70,9 +70,11 @@ pub mod proto;
 use cpsdfa_anf::AnfProgram;
 use cpsdfa_core::cache::{
     AnalysisKind, Ancestor, ArenaDigests, CacheKey, CacheStats, CachedAnswer, CachedFixpoint,
-    FixpointCache, SendCfa, SendCpsCfa, SendPushdown,
+    FixpointCache, PersistDir, RecoveryReport, SendCfa, SendCpsCfa, SendPushdown,
 };
+use cpsdfa_core::certify::certify_answer;
 use cpsdfa_core::domain::Flat;
+use cpsdfa_core::faultinject::PersistFaultPlan;
 use cpsdfa_core::govern::{
     governed_pushdown_cfa, governed_zero_cfa_cps, CfaAnswer, DegradationLadder, DegradationReport,
     GovernPolicy, RungAttempt,
@@ -86,8 +88,9 @@ use cpsdfa_syntax::arena::TermArena;
 use proto::{BadRequest, Request, Response, Served, Status};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Daemon configuration. [`Default`] gives a single-machine profile:
@@ -114,6 +117,28 @@ pub struct ServiceConfig {
     /// Master cache switch — `false` turns every request into a fresh
     /// solve (the differential baseline E20 compares against).
     pub cache_enabled: bool,
+    /// Crash-safe spill directory for the cache (`None` = in-memory only).
+    /// On startup the directory is scanned, checksums verified, a sample
+    /// certified, and every valid entry re-admitted — see
+    /// [`AnalysisService::recovery`].
+    pub persist_dir: Option<PathBuf>,
+    /// Serve-path certification sampling: every `N`th cache hit or warm
+    /// answer is independently re-checked by [`certify_answer`] before it
+    /// is served (0 = off, 1 = certify everything). A refuted answer is
+    /// evicted from memory *and* disk and recomputed from scratch — never
+    /// served.
+    pub certify_sample: u64,
+    /// How many recovered entries startup recovery pushes through full
+    /// certification (checksums and key re-digests are always verified).
+    pub recover_certify: usize,
+    /// Idle deadline for watch-session ancestors: a session untouched for
+    /// this long is dropped from the warm-start side table (`None` = only
+    /// the LRU capacity evicts).
+    pub session_ttl: Option<Duration>,
+    /// Chaos-harness hook: an armed plan injects one persistence fault
+    /// (kill-before-rename, truncation, bit flip, stale key) into the
+    /// `N`th disk commit. Production leaves this `None`.
+    pub persist_faults: Option<Arc<PersistFaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -132,6 +157,11 @@ impl Default for ServiceConfig {
             default_budget,
             default_deadline_ms: None,
             cache_enabled: true,
+            persist_dir: None,
+            certify_sample: 0,
+            recover_certify: 8,
+            session_ttl: Some(Duration::from_secs(600)),
+            persist_faults: None,
         }
     }
 }
@@ -168,6 +198,12 @@ pub struct Outcome {
 pub struct AnalysisService {
     config: ServiceConfig,
     cache: Mutex<FixpointCache>,
+    /// The crash-safe spill directory, when configured and openable.
+    persist: Option<PersistDir>,
+    /// What startup recovery found in [`persist`](Self::persist).
+    recovery: Option<RecoveryReport>,
+    /// Monotone sequence behind the every-Nth certify sampler.
+    certify_seq: AtomicU64,
     /// Outstanding reserved worst-case charges (admission rung 2).
     reserved: AtomicU64,
     counters: ServiceCounters,
@@ -241,10 +277,37 @@ impl Queue {
 }
 
 impl AnalysisService {
-    /// A fresh service (empty cache, zero counters).
+    /// A fresh service. When [`persist_dir`](ServiceConfig::persist_dir)
+    /// is set, the spill directory is recovered into the cache before the
+    /// first request: checksums verified, keys re-digested, a sample
+    /// certified, everything invalid deleted. An unopenable directory
+    /// degrades to in-memory-only service rather than refusing to start.
     pub fn new(config: ServiceConfig) -> Self {
+        let mut cache = FixpointCache::new(config.cache_bytes);
+        cache.set_session_ttl(config.session_ttl);
+        let mut persist = None;
+        let mut recovery = None;
+        if let Some(dir) = &config.persist_dir {
+            match PersistDir::open(dir) {
+                Ok(p) => {
+                    let report = p.recover(&mut cache, config.recover_certify);
+                    cache.note_recovery(&report);
+                    persist = Some(p);
+                    recovery = Some(report);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "cpsdfa-service: cannot open persist dir {}: {e} (running in-memory)",
+                        dir.display()
+                    );
+                }
+            }
+        }
         AnalysisService {
-            cache: Mutex::new(FixpointCache::new(config.cache_bytes)),
+            cache: Mutex::new(cache),
+            persist,
+            recovery,
+            certify_seq: AtomicU64::new(0),
             reserved: AtomicU64::new(0),
             counters: ServiceCounters::default(),
             config,
@@ -254,6 +317,28 @@ impl AnalysisService {
     /// The active configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// What startup recovery found, when a persist directory is configured
+    /// and was openable.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Whether the every-Nth sampler elects this answer for certification.
+    fn should_certify(&self) -> bool {
+        let n = self.config.certify_sample;
+        n > 0 && (self.certify_seq.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(n)
+    }
+
+    /// Spills a committed fixpoint, poking the chaos plan (if armed) for a
+    /// fault to inject. I/O errors degrade to in-memory-only for this
+    /// entry; recovery semantics make a missing spill merely a cold start.
+    fn spill(&self, key: &CacheKey, source: &str, fixpoint: &CachedFixpoint) {
+        if let Some(persist) = &self.persist {
+            let fault = self.config.persist_faults.as_ref().and_then(|p| p.poke());
+            let _ = persist.store(key, source, fixpoint, fault);
+        }
     }
 
     /// A snapshot of the cache counters.
@@ -361,20 +446,53 @@ impl AnalysisService {
         if self.config.cache_enabled {
             let cached = self.cache.lock().expect("cache poisoned").lookup(&full_key);
             if let Some(hit) = cached {
-                self.counters.served_hit.fetch_add(1, Ordering::Relaxed);
-                sink.counter("service.hit", 1);
-                if let Some(session) = req.session {
-                    self.note_session(session, req, digest, &hit);
+                // Sampled certification: re-derive the constraint system
+                // independently of the solver and check the cached answer
+                // against it. A refuted entry — recovered corruption the
+                // checksums could not see, an alignment bug, a shard merge
+                // error — is evicted from memory *and* disk, then the
+                // request falls through to a from-scratch solve below.
+                // Wrong answers are detected and healed, never served.
+                let refuted = self.should_certify() && {
+                    let term = ctx.arena.to_term(root);
+                    let prog = AnfProgram::from_term(&term);
+                    match certify_answer(&prog, &hit.answer) {
+                        Ok(_) => {
+                            self.cache.lock().expect("cache poisoned").note_certify_ok();
+                            sink.counter("service.certify.ok", 1);
+                            false
+                        }
+                        Err(refutation) => {
+                            let disk = self.persist.as_ref().map_or(0, |p| p.remove(&full_key));
+                            let mut cache = self.cache.lock().expect("cache poisoned");
+                            cache.remove(&full_key);
+                            cache.note_certify_fail(disk);
+                            drop(cache);
+                            sink.counter("service.certify.fail", 1);
+                            sink.counter(
+                                &format!("service.certify.refuted.{}", refutation.tag()),
+                                1,
+                            );
+                            true
+                        }
+                    }
+                };
+                if !refuted {
+                    self.counters.served_hit.fetch_add(1, Ordering::Relaxed);
+                    sink.counter("service.hit", 1);
+                    if let Some(session) = req.session {
+                        self.note_session(session, req, digest, &hit);
+                    }
+                    let resp = finish(Status::Ok {
+                        cache: Served::Hit,
+                        rung: full_key.rung,
+                        degraded: false,
+                        answer_digest: hit.answer_digest,
+                        iterations: hit.answer.iterations(),
+                        charged: 0,
+                    });
+                    return (resp, Some(hit));
                 }
-                let resp = finish(Status::Ok {
-                    cache: Served::Hit,
-                    rung: full_key.rung,
-                    degraded: false,
-                    answer_digest: hit.answer_digest,
-                    iterations: hit.answer.iterations(),
-                    charged: 0,
-                });
-                return (resp, Some(hit));
             }
         }
 
@@ -387,44 +505,71 @@ impl AnalysisService {
         // Any ineligible edit (non-monotone, misaligned, over budget)
         // falls through to the governed ladder below: warm starting is an
         // optimization, never a gate.
-        if self.config.cache_enabled {
-            if let Some(session) = req.session {
-                if let Some((answer, warm, charged)) = self.session_warm(req, session, &prog, sink)
-                {
-                    self.counters.served_warm.fetch_add(1, Ordering::Relaxed);
-                    sink.counter("service.warm", 1);
-                    sink.counter("service.warm.fired", warm.fired);
-                    let report = DegradationReport {
-                        attempts: vec![RungAttempt {
-                            rung: "warm",
-                            error: None,
-                            charged,
-                        }],
-                        resource: None,
-                        residual_budget: req.budget.saturating_sub(charged),
-                        elapsed_ns: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                    };
-                    let fixpoint = std::sync::Arc::new(CachedFixpoint::new(answer, report));
-                    // The warm answer is bit-identical to a cold solve
-                    // (the incremental cascade's tested invariant), so it
-                    // commits under the very key a fresh solve of the
-                    // edited program would have used.
-                    self.cache
-                        .lock()
-                        .expect("cache poisoned")
-                        .insert(full_key, (*fixpoint).clone());
-                    self.note_session(session, req, digest, &fixpoint);
-                    let resp = finish(Status::Ok {
-                        cache: Served::Warm,
-                        rung: full_key.rung,
-                        degraded: false,
-                        answer_digest: fixpoint.answer_digest,
-                        iterations: fixpoint.answer.iterations(),
-                        charged,
-                    });
-                    return (resp, Some(fixpoint));
-                }
+        'warm: {
+            if !self.config.cache_enabled {
+                break 'warm;
             }
+            let Some(session) = req.session else {
+                break 'warm;
+            };
+            let Some((answer, warm, charged)) = self.session_warm(req, session, &prog, sink) else {
+                break 'warm;
+            };
+            // Certify-on-warm: a sampled warm answer is re-checked against
+            // an independently derived constraint system before it is
+            // served. A refutation means the remembered ancestor is
+            // untrustworthy — evict the session (memory and journal) and
+            // fall through to the cold ladder below.
+            if self.should_certify() {
+                if let Err(refutation) = certify_answer(&prog, &answer) {
+                    let mut cache = self.cache.lock().expect("cache poisoned");
+                    cache.evict_session(session);
+                    cache.note_certify_fail(0);
+                    drop(cache);
+                    if let Some(persist) = &self.persist {
+                        persist.remove_session(session);
+                    }
+                    sink.counter("service.certify.fail", 1);
+                    sink.counter(&format!("service.certify.refuted.{}", refutation.tag()), 1);
+                    break 'warm;
+                }
+                self.cache.lock().expect("cache poisoned").note_certify_ok();
+                sink.counter("service.certify.ok", 1);
+            }
+            self.counters.served_warm.fetch_add(1, Ordering::Relaxed);
+            sink.counter("service.warm", 1);
+            sink.counter("service.warm.fired", warm.fired);
+            let report = DegradationReport {
+                attempts: vec![RungAttempt {
+                    rung: "warm",
+                    error: None,
+                    charged,
+                }],
+                resource: None,
+                residual_budget: req.budget.saturating_sub(charged),
+                elapsed_ns: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            };
+            let fixpoint = std::sync::Arc::new(CachedFixpoint::new(answer, report));
+            // The warm answer is bit-identical to a cold solve (the
+            // incremental cascade's tested invariant), so it commits under
+            // the very key a fresh solve of the edited program would have
+            // used — and spills to disk under it, so a restarted daemon
+            // recovers it.
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(full_key, (*fixpoint).clone());
+            self.spill(&full_key, &req.program, &fixpoint);
+            self.note_session(session, req, digest, &fixpoint);
+            let resp = finish(Status::Ok {
+                cache: Served::Warm,
+                rung: full_key.rung,
+                degraded: false,
+                answer_digest: fixpoint.answer_digest,
+                iterations: fixpoint.answer.iterations(),
+                charged,
+            });
+            return (resp, Some(fixpoint));
         }
 
         let policy = self.policy_for(req);
@@ -546,6 +691,7 @@ impl AnalysisService {
                 .lock()
                 .expect("cache poisoned")
                 .insert(commit_key, (*fixpoint).clone());
+            self.spill(&commit_key, &req.program, &fixpoint);
             if let Some(session) = req.session {
                 self.note_session(session, req, digest, &fixpoint);
             }
@@ -574,15 +720,22 @@ impl AnalysisService {
         digest: u128,
         fixpoint: &std::sync::Arc<CachedFixpoint>,
     ) {
-        self.cache.lock().expect("cache poisoned").note_ancestor(
-            session,
-            Ancestor {
-                kind: fixpoint.answer.kind(),
-                digest,
-                source: req.program.clone(),
-                fixpoint: std::sync::Arc::clone(fixpoint),
-            },
-        );
+        let ancestor = Ancestor {
+            kind: fixpoint.answer.kind(),
+            digest,
+            source: req.program.clone(),
+            fixpoint: std::sync::Arc::clone(fixpoint),
+        };
+        // Journal the session's latest committed fixpoint so a restarted
+        // daemon warm-starts the watch stream instead of going cold.
+        if let Some(persist) = &self.persist {
+            let fault = self.config.persist_faults.as_ref().and_then(|p| p.poke());
+            let _ = persist.store_session(session, &ancestor, fault);
+        }
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .note_ancestor(session, ancestor);
     }
 
     /// Attempts the watch-mode warm start: the session's remembered
@@ -817,6 +970,10 @@ impl AnalysisService {
                                 write_line(&self.stats_json())?;
                                 continue;
                             }
+                            "health" => {
+                                write_line(&self.health_json(queue.depth()))?;
+                                continue;
+                            }
                             other => {
                                 write_line(&format!(
                                     "{{\"status\": \"error\", \"reason\": \"bad-request\", \
@@ -876,7 +1033,10 @@ impl AnalysisService {
              \"rejected_budget\": {}, \"served_hit\": {}, \"served_warm\": {}, \
              \"served_solve\": {}, \
              \"degraded\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"cache_entries\": {}, \"cache_bytes\": {}, \"reserved_charges\": {}}}",
+             \"cache_entries\": {}, \"cache_bytes\": {}, \"reserved_charges\": {}, \
+             \"certify_ok\": {}, \"certify_fail\": {}, \"persist_recovered\": {}, \
+             \"persist_corrupt\": {}, \"persist_evicted_bytes\": {}, \
+             \"session_ttl_evict\": {}}}",
             c.accepted.load(Ordering::Relaxed),
             c.rejected_queue.load(Ordering::Relaxed),
             c.rejected_budget.load(Ordering::Relaxed),
@@ -890,6 +1050,37 @@ impl AnalysisService {
             cache.entries,
             cache.bytes,
             self.reserved.load(Ordering::Relaxed),
+            cache.certify_ok,
+            cache.certify_fail,
+            cache.persist_recovered,
+            cache.persist_corrupt,
+            cache.persist_evicted_bytes,
+            cache.session_ttl_evictions,
+        )
+    }
+
+    /// The `{"cmd": "health"}` response line: liveness plus the last
+    /// startup-recovery summary, as one flat JSON object.
+    pub fn health_json(&self, queue_depth: usize) -> String {
+        let cache = self.cache_stats();
+        let rec = self.recovery.unwrap_or_default();
+        format!(
+            "{{\"status\": \"health\", \"queue_depth\": {}, \"workers\": {}, \
+             \"cache_entries\": {}, \"cache_bytes\": {}, \"persist\": {}, \
+             \"recovered_entries\": {}, \"recovered_bytes\": {}, \
+             \"recovered_corrupt\": {}, \"recovered_stale\": {}, \
+             \"recovered_interrupted\": {}, \"recovered_sessions\": {}}}",
+            queue_depth,
+            self.config.workers,
+            cache.entries,
+            cache.bytes,
+            self.persist.is_some(),
+            rec.recovered,
+            rec.bytes,
+            rec.corrupt,
+            rec.stale,
+            rec.interrupted,
+            rec.sessions,
         )
     }
 }

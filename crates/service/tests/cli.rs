@@ -70,3 +70,69 @@ fn empty_stdin_serves_and_exits_zero() {
         .expect("spawn cpsdfad");
     assert!(out.status.success(), "EOF on stdin is a clean shutdown");
 }
+
+#[test]
+fn non_numeric_certify_and_ttl_values_exit_nonzero() {
+    for (flag, value) in [("--certify", "always"), ("--session-ttl-ms", "10s")] {
+        let out = cpsdfad()
+            .args([flag, value])
+            .stdin(Stdio::null())
+            .output()
+            .expect("spawn cpsdfad");
+        assert!(!out.status.success(), "{flag} {value} must exit nonzero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "stderr names the flag: {stderr}");
+    }
+}
+
+#[test]
+fn persist_certify_and_ttl_flags_drive_a_crash_safe_daemon() {
+    use std::io::Write;
+    let dir = std::env::temp_dir().join(format!("cpsdfad-cli-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |input: &str| -> String {
+        let mut child = cpsdfad()
+            .args(["--persist-dir", dir.to_str().unwrap()])
+            .args([
+                "--certify",
+                "1",
+                "--session-ttl-ms",
+                "60000",
+                "--workers",
+                "1",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cpsdfad");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("cpsdfad exits");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // First run: solve one program (spilling it), then ask for health.
+    let req = r#"{"id": 1, "analysis": "cfa.cps", "program": "(let (f (lambda (x) x)) (f 1))"}"#;
+    let first = run(&format!("{req}\n{{\"cmd\": \"shutdown\"}}\n"));
+    assert!(first.contains("\"cache\": \"miss\""), "{first}");
+
+    // Second run over the same directory: the recovered entry serves as a
+    // hit, and health reports the recovery.
+    let second = run(&format!("{req}\n{{\"cmd\": \"shutdown\"}}\n"));
+    assert!(second.contains("\"cache\": \"hit\""), "{second}");
+    let health = run("{\"cmd\": \"health\"}\n{\"cmd\": \"shutdown\"}\n");
+    assert!(health.contains("\"status\": \"health\""), "{health}");
+    assert!(health.contains("\"persist\": true"), "{health}");
+    assert!(health.contains("\"recovered_entries\": 1"), "{health}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
